@@ -1,0 +1,51 @@
+// Figure 14 — effect of the actual tolerance: number of candidates after
+// the filter step (a) and total discovery time (b), with the range-search
+// bounds charged the per-segment *actual* tolerances versus the global
+// delta. Paper shape: actual tolerances cut the candidate count
+// substantially on every dataset; the time advantage is largest where
+// refinement is expensive.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace convoy;
+  using namespace convoy::bench;
+  const BenchOptions opts = ParseArgs(argc, argv);
+
+  PrintHeader(
+      "Figure 14: effect of actual tolerance (CuTS*, fixed delta/lambda)");
+  PrintRow({{"dataset", 12},
+            {"cand(glob)", 12},
+            {"cand(act)", 12},
+            {"time(glob)", 12},
+            {"time(act)", 12},
+            {"runit(glob)", 13},
+            {"runit(act)", 13}});
+  PrintRule(87);
+
+  for (const BenchDataset& ds : AllDatasets(opts)) {
+    CutsFilterOptions global = FilterOptionsFor(ds);
+    global.use_actual_tolerance = false;
+    CutsFilterOptions actual = FilterOptionsFor(ds);
+    actual.use_actual_tolerance = true;
+
+    DiscoveryStats gstats;
+    (void)RunVariant(ds, CutsVariant::kCutsStar, &gstats, global);
+    DiscoveryStats astats;
+    (void)RunVariant(ds, CutsVariant::kCutsStar, &astats, actual);
+
+    PrintRow({{ds.data.name, 12},
+              {std::to_string(gstats.num_candidates), 12},
+              {std::to_string(astats.num_candidates), 12},
+              {Fmt(gstats.total_seconds, 3), 12},
+              {Fmt(astats.total_seconds, 3), 12},
+              {Fmt(gstats.refinement_unit / 1e6, 2) + "M", 13},
+              {Fmt(astats.refinement_unit / 1e6, 2) + "M", 13}});
+  }
+  std::cout << "\npaper shape: using actual tolerances never increases the "
+               "candidate count\nor the refinement load, and usually reduces "
+               "both considerably (Fig 14a);\nthe total-time gain (Fig 14b) "
+               "is smaller on Truck/Taxi where the pruned\ncandidates were "
+               "cheap to refine anyway.\n";
+  return 0;
+}

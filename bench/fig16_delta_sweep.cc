@@ -1,0 +1,62 @@
+// Figure 16 — effect of the simplification tolerance delta on the Car and
+// Taxi datasets: refinement unit (filter effectiveness) and total discovery
+// time for each CuTS variant. Paper shape: CuTS* has the lowest refinement
+// unit and the best time at every delta; CuTS+ filters better than CuTS;
+// both effectiveness and efficiency degrade as delta grows.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace convoy;
+  using namespace convoy::bench;
+  const BenchOptions opts = ParseArgs(argc, argv);
+  const ScaleSet scales = ScalesFor(opts);
+
+  const BenchDataset car =
+      PrepareDataset(CarLikeConfig(scales.car), opts.seed + 2);
+  const BenchDataset taxi =
+      PrepareDataset(TaxiLikeConfig(scales.taxi), opts.seed + 3);
+
+  for (const BenchDataset* ds : {&car, &taxi}) {
+    const double e = ds->data.query.e;
+    // The paper sweeps delta = 10..220 with e = 80 (Car): from e/8 to ~3e.
+    const std::vector<double> deltas = {e / 8, e / 2, e, 2 * e, 2.75 * e};
+
+    PrintHeader("Figure 16 (" + ds->data.name +
+                "): refinement unit (M) and elapsed time (s) vs delta");
+    PrintRow({{"delta", 10},
+              {"CuTS ru", 12},
+              {"CuTS+ ru", 12},
+              {"CuTS* ru", 12},
+              {"CuTS t", 10},
+              {"CuTS+ t", 10},
+              {"CuTS* t", 10}});
+    PrintRule(76);
+    for (const double delta : deltas) {
+      std::vector<std::string> units;
+      std::vector<std::string> times;
+      for (const auto variant : {CutsVariant::kCuts, CutsVariant::kCutsPlus,
+                                 CutsVariant::kCutsStar}) {
+        CutsFilterOptions options = FilterOptionsFor(*ds);
+        options.delta = delta;
+        DiscoveryStats stats;
+        (void)RunVariant(*ds, variant, &stats, options);
+        units.push_back(Fmt(stats.refinement_unit / 1e6, 3));
+        times.push_back(Fmt(stats.total_seconds, 3));
+      }
+      PrintRow({{Fmt(delta, 1), 10},
+                {units[0], 12},
+                {units[1], 12},
+                {units[2], 12},
+                {times[0], 10},
+                {times[1], 10},
+                {times[2], 10}});
+    }
+  }
+  std::cout << "\npaper shape: refinement unit grows with delta for every "
+               "method (looser\nbounds -> fatter candidates); CuTS* lowest, "
+               "then CuTS+, then CuTS. Total\ntime grows steadily on Car; "
+               "on Taxi it stays nearly flat (uniformly\nspread taxis give "
+               "the enlarged search range little extra to find).\n";
+  return 0;
+}

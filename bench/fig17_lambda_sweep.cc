@@ -1,0 +1,67 @@
+// Figure 17 — effect of the time-partition length lambda on the Truck and
+// Cattle datasets: refinement unit and total discovery time per CuTS
+// variant. Paper shape: refinement unit rises with lambda (longer
+// partitions make sloppier filters); total time is U-shaped — small lambda
+// means many clustering rounds, large lambda means expensive refinement —
+// and on Cattle, CuTS+ rivals CuTS* at large lambda because simplification
+// speed dominates there.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace convoy;
+  using namespace convoy::bench;
+  const BenchOptions opts = ParseArgs(argc, argv);
+  const ScaleSet scales = ScalesFor(opts);
+
+  const BenchDataset truck =
+      PrepareDataset(TruckLikeConfig(scales.truck), opts.seed);
+  const BenchDataset cattle =
+      PrepareDataset(CattleLikeConfig(scales.cattle), opts.seed + 1);
+
+  const std::vector<Tick> truck_lambdas = {5, 10, 15, 20};
+  const std::vector<Tick> cattle_lambdas = {10, 30, 50, 70};
+
+  struct Sweep {
+    const BenchDataset* ds;
+    const std::vector<Tick>* lambdas;
+  };
+  for (const Sweep& sweep :
+       {Sweep{&truck, &truck_lambdas}, Sweep{&cattle, &cattle_lambdas}}) {
+    PrintHeader("Figure 17 (" + sweep.ds->data.name +
+                "): refinement unit (M) and elapsed time (s) vs lambda");
+    PrintRow({{"lambda", 10},
+              {"CuTS ru", 12},
+              {"CuTS+ ru", 12},
+              {"CuTS* ru", 12},
+              {"CuTS t", 10},
+              {"CuTS+ t", 10},
+              {"CuTS* t", 10}});
+    PrintRule(76);
+    for (const Tick lambda : *sweep.lambdas) {
+      std::vector<std::string> units;
+      std::vector<std::string> times;
+      for (const auto variant : {CutsVariant::kCuts, CutsVariant::kCutsPlus,
+                                 CutsVariant::kCutsStar}) {
+        CutsFilterOptions options = FilterOptionsFor(*sweep.ds);
+        options.lambda = lambda;
+        DiscoveryStats stats;
+        (void)RunVariant(*sweep.ds, variant, &stats, options);
+        units.push_back(Fmt(stats.refinement_unit / 1e6, 3));
+        times.push_back(Fmt(stats.total_seconds, 3));
+      }
+      PrintRow({{std::to_string(lambda), 10},
+                {units[0], 12},
+                {units[1], 12},
+                {units[2], 12},
+                {times[0], 10},
+                {times[1], 10},
+                {times[2], 10}});
+    }
+  }
+  std::cout << "\npaper shape: refinement unit climbs with lambda for all "
+               "methods; CuTS*\nstays the most effective filter. Elapsed "
+               "time bottoms out at moderate\nlambda; on Cattle the "
+               "fast-simplifying CuTS+ closes the gap to CuTS*.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 1 as an experiment — the lossy-flock problem, quantified.
+//
+// The paper motivates convoys with a sketch: a disc-based flock query
+// misses groups whose shape exceeds the disc, and no single disc size works
+// for all group shapes. This bench sweeps the extent of a linear formation
+// (cars along a road) and reports, for each extent, whether the convoy
+// query and the flock query recover the full group.
+
+#include "bench/bench_common.h"
+#include "core/flock.h"
+
+namespace {
+
+// A moving line of `n` objects with consecutive spacing `gap`, alive for
+// `ticks` ticks, plus a few far-away noise objects.
+convoy::TrajectoryDatabase LinearFormation(size_t n, double gap, long ticks,
+                                           uint64_t seed) {
+  convoy::Rng rng(seed);
+  convoy::TrajectoryDatabase db;
+  for (size_t id = 0; id < n; ++id) {
+    convoy::Trajectory traj(static_cast<convoy::ObjectId>(id));
+    for (long t = 0; t < ticks; ++t) {
+      traj.Append(static_cast<double>(t) * 3.0 +
+                      rng.Gaussian(0.0, 0.01),
+                  static_cast<double>(id) * gap + rng.Gaussian(0.0, 0.01),
+                  t);
+    }
+    db.Add(std::move(traj));
+  }
+  for (size_t id = n; id < n + 4; ++id) {
+    convoy::Trajectory traj(static_cast<convoy::ObjectId>(id));
+    for (long t = 0; t < ticks; ++t) {
+      traj.Append(static_cast<double>(t) * 3.0, 500.0 + 100.0 * id, t);
+    }
+    db.Add(std::move(traj));
+  }
+  return db;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace convoy;
+  using namespace convoy::bench;
+  (void)ParseArgs(argc, argv);
+
+  const size_t n = 6;
+  const long ticks = 20;
+  const double e = 1.5;  // chaining range == disc radius
+
+  PrintHeader("Figure 1: the lossy-flock problem (6-object line, e = r = "
+              "1.5)");
+  PrintRow({{"gap", 8},
+            {"extent", 10},
+            {"convoy finds", 14},
+            {"flock finds", 13},
+            {"flock frags", 13}});
+  PrintRule(58);
+
+  for (const double gap : {0.4, 0.9, 1.4, 1.8}) {
+    const TrajectoryDatabase db = LinearFormation(n, gap, ticks, 11);
+    // Convoy query: density m = 3 (each line member has two neighbors plus
+    // itself within e); the full group qualifies when some result convoy
+    // contains all n members.
+    const auto convoys = Cmc(db, ConvoyQuery{3, static_cast<Tick>(ticks), e});
+    bool convoy_full = false;
+    for (const Convoy& c : convoys) {
+      convoy_full |= c.objects.size() >= n;
+    }
+    // Flock query: the full group must fit one disc.
+    const auto flocks =
+        FlockDiscovery(db, FlockQuery{n, static_cast<Tick>(ticks), e});
+    size_t flock_max = 0;
+    const auto frags = FlockDiscovery(
+        db, FlockQuery{2, static_cast<Tick>(ticks), e});
+    for (const Convoy& f : frags) {
+      flock_max = std::max(flock_max, f.objects.size());
+    }
+    PrintRow({{Fmt(gap, 1), 8},
+              {Fmt(gap * (n - 1), 1), 10},
+              {convoy_full ? "full group" : "MISSED", 14},
+              {flocks.empty() ? "MISSED" : "full group", 13},
+              {std::to_string(flock_max) + "/6", 13}});
+  }
+  std::cout << "\nshape (paper Figure 1): once the formation extent exceeds "
+               "the disc\ndiameter (2r = 3.0), the flock query cannot return "
+               "the group at any\nplacement — only fragments — while the "
+               "density-connected convoy query\nstill finds it as long as "
+               "consecutive members chain within e (the last\nrow, gap > e, "
+               "is beyond both models). No disc radius fixes this without\n"
+               "also merging separate groups elsewhere.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Scalability bench (beyond the paper's figures): how the algorithms scale
+// with population size N and time-domain length T on a controlled workload,
+// and what parallel refinement buys. The paper's evaluation fixes its four
+// datasets; a library release needs the growth curves.
+
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+convoy::ScenarioConfig BaseConfig(size_t n, convoy::Tick t) {
+  convoy::ScenarioConfig c = convoy::CarLikeConfig(1.0);
+  c.num_objects = n;
+  c.time_domain = t;
+  c.lifetime_fraction = std::min(1.0, 500.0 / static_cast<double>(t));
+  c.num_groups = std::max<size_t>(2, n / 40);
+  c.query.k = 120;
+  c.group_duration_min = 150;
+  c.group_duration_max = 400;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace convoy;
+  using namespace convoy::bench;
+  const BenchOptions opts = ParseArgs(argc, argv);
+  const double mult = opts.full ? 2.0 : 1.0;
+
+  PrintHeader("Scalability in N (T = 1500, seconds)");
+  PrintRow({{"N", 8}, {"CMC", 12}, {"CuTS*", 12}, {"speedup", 10},
+            {"convoys", 10}});
+  PrintRule(52);
+  for (const size_t n :
+       {size_t(64), size_t(128), size_t(256),
+        static_cast<size_t>(512 * mult)}) {
+    const BenchDataset ds = PrepareDataset(
+        BaseConfig(n, static_cast<Tick>(1500)), opts.seed + n);
+    DiscoveryStats cmc_stats;
+    const auto cmc = Cmc(ds.data.db, ds.data.query, {}, &cmc_stats);
+    DiscoveryStats cuts_stats;
+    const auto cuts = RunVariant(ds, CutsVariant::kCutsStar, &cuts_stats);
+    PrintRow({{std::to_string(n), 8},
+              {Fmt(cmc_stats.total_seconds, 3), 12},
+              {Fmt(cuts_stats.total_seconds, 3), 12},
+              {Fmt(cmc_stats.total_seconds /
+                       std::max(1e-9, cuts_stats.total_seconds), 1) + "x",
+               10},
+              {std::to_string(cuts.size()), 10}});
+  }
+
+  PrintHeader("Scalability in T (N = 128, seconds)");
+  PrintRow({{"T", 8}, {"CMC", 12}, {"CuTS*", 12}, {"speedup", 10}});
+  PrintRule(42);
+  for (const Tick t :
+       {Tick{1000}, Tick{2000}, Tick{4000},
+        static_cast<Tick>(8000 * mult)}) {
+    const BenchDataset ds = PrepareDataset(
+        BaseConfig(128, t), opts.seed + static_cast<uint64_t>(t));
+    DiscoveryStats cmc_stats;
+    (void)Cmc(ds.data.db, ds.data.query, {}, &cmc_stats);
+    DiscoveryStats cuts_stats;
+    (void)RunVariant(ds, CutsVariant::kCutsStar, &cuts_stats);
+    PrintRow({{std::to_string(t), 8},
+              {Fmt(cmc_stats.total_seconds, 3), 12},
+              {Fmt(cuts_stats.total_seconds, 3), 12},
+              {Fmt(cmc_stats.total_seconds /
+                       std::max(1e-9, cuts_stats.total_seconds), 1) + "x",
+               10}});
+  }
+
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  PrintHeader("Parallel refinement (CuTS, DLL filter, N = 128, T = 1200; " +
+              std::to_string(hw) + " hardware thread(s))");
+  PrintRow({{"threads", 10}, {"refine(s)", 12}, {"total(s)", 12},
+            {"convoys", 10}});
+  PrintRule(44);
+  const BenchDataset ds =
+      PrepareDataset(BaseConfig(128, 1200), opts.seed + 77);
+  for (const size_t threads :
+       {size_t(1), size_t(2), std::min<size_t>(std::max<size_t>(hw, 2), 8)}) {
+    CutsFilterOptions options = FilterOptionsFor(ds);
+    options.refine_threads = threads;
+    DiscoveryStats stats;
+    const auto result = RunVariant(ds, CutsVariant::kCuts, &stats, options);
+    PrintRow({{std::to_string(threads), 10},
+              {Fmt(stats.refine_seconds, 3), 12},
+              {Fmt(stats.total_seconds, 3), 12},
+              {std::to_string(result.size()), 10}});
+  }
+  std::cout << "\nshape: CuTS*'s advantage over CMC grows with N (snapshot "
+               "clustering cost)\nand stays roughly constant in T (both "
+               "scale linearly); refinement\nparallelizes across independent "
+               "candidates — on a single-core host the\nextra threads only "
+               "add scheduling overhead, so expect gains only when\n"
+               "hardware threads > 1.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Carpool candidate detection — the paper's motivating application
+// (Section 1): cars that follow the same route at the same time are
+// candidates for ride-sharing.
+//
+//   $ ./build/examples/carpool [seed]
+//
+// Generates a Copenhagen-style commuter workload (CarLike preset), runs a
+// convoy query, and prints a carpooling report: which cars could share a
+// ride, for how long, and the estimated saving in vehicle-minutes.
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "convoy/convoy.h"
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // A commuter scenario: ~180 cars over a morning, several groups sharing
+  // routes (the planted ground truth stands in for real shared commutes).
+  convoy::ScenarioConfig config = convoy::CarLikeConfig(/*time_scale=*/0.25);
+  config.num_groups = 6;
+  const convoy::ScenarioData data = convoy::GenerateScenario(config, seed);
+
+  convoy::PrintDatasetReport(data.db, "commuter cars", std::cout);
+
+  // Ride-sharing makes sense for >= 2 cars within ~80 m for >= 3 minutes.
+  const convoy::ConvoyQuery query{/*m=*/2, /*k=*/180, /*e=*/80.0};
+
+  convoy::DiscoveryStats stats;
+  const auto convoys = convoy::Cuts(data.db, query,
+                                    convoy::CutsVariant::kCutsStar, {}, &stats);
+
+  std::cout << "\ncarpool candidates (convoys with m>=" << query.m
+            << ", k>=" << query.k << " ticks, e=" << query.e << " m):\n";
+  double saved_vehicle_ticks = 0.0;
+  for (const convoy::Convoy& c : convoys) {
+    // If the group shared one vehicle, all but one car could stay home for
+    // the duration of the shared stretch.
+    const double saving = static_cast<double>(c.objects.size() - 1) *
+                          static_cast<double>(c.Lifetime());
+    saved_vehicle_ticks += saving;
+    std::cout << "  cars ";
+    for (const convoy::ObjectId id : c.objects) std::cout << id << " ";
+    std::cout << "| shared stretch [" << c.start_tick << ", " << c.end_tick
+              << "] (" << c.Lifetime() << " s)"
+              << " | potential saving " << std::fixed << std::setprecision(0)
+              << saving / 60.0 << " vehicle-minutes\n";
+  }
+  std::cout << "total: " << convoys.size() << " candidate group(s), "
+            << std::fixed << std::setprecision(0)
+            << saved_vehicle_ticks / 60.0
+            << " vehicle-minutes saveable\n";
+  std::cout << "discovery: " << std::setprecision(1)
+            << stats.total_seconds * 1e3 << " ms, filter kept "
+            << stats.num_candidates << " candidate(s)\n";
+  return 0;
+}

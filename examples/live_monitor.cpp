@@ -1,0 +1,65 @@
+// Live convoy monitor — online discovery over a position stream.
+//
+//   $ ./build/examples/live_monitor [seed]
+//
+// Simulates a dispatch center receiving taxi positions tick by tick and
+// raising an alert the moment a convoy *closes* (the group disperses), plus
+// a final report at end of stream. Uses StreamingCmc, the incremental form
+// of the paper's CMC algorithm, and demonstrates carry-forward handling of
+// silent transponders.
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "convoy/convoy.h"
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  // The "live feed": a generated taxi day, replayed in tick order.
+  convoy::ScenarioConfig config = convoy::TaxiLikeConfig(1.0);
+  config.num_groups = 4;
+  const convoy::ScenarioData data = convoy::GenerateScenario(config, seed);
+  convoy::PrintDatasetReport(data.db, "live taxi feed", std::cout);
+
+  const convoy::ConvoyQuery query = data.query;
+  convoy::StreamingCmc::Options options;
+  options.carry_forward_ticks = 4;  // transponders report irregularly
+  convoy::StreamingCmc stream(query, options);
+
+  size_t alerts = 0;
+  size_t reports = 0;
+  convoy::Stopwatch watch;
+  for (convoy::Tick t = data.db.BeginTick(); t <= data.db.EndTick(); ++t) {
+    stream.BeginTick(t);
+    for (const convoy::Trajectory& taxi : data.db.trajectories()) {
+      // Only actual transmissions reach the center (no interpolation —
+      // carry-forward covers short silences).
+      const auto pos = taxi.LocationAt(t);
+      if (pos.has_value()) {
+        stream.Report(taxi.id(), *pos);
+        ++reports;
+      }
+    }
+    for (const convoy::Convoy& c : stream.EndTick()) {
+      ++alerts;
+      std::cout << "[tick " << std::setw(4) << t << "] convoy closed: "
+                << convoy::ToString(c) << "\n";
+    }
+  }
+  for (const convoy::Convoy& c : stream.Finish()) {
+    ++alerts;
+    std::cout << "[end of stream] convoy still active: "
+              << convoy::ToString(c) << "\n";
+  }
+
+  std::cout << "\nprocessed " << reports << " position reports in "
+            << std::fixed << std::setprecision(1) << watch.ElapsedMillis()
+            << " ms (" << alerts << " convoy alert(s))\n";
+  std::cout << "batch CMC over the same feed finds "
+            << convoy::Cmc(data.db, query).size()
+            << " convoy(s) offline (carry-forward vs interpolation can "
+               "differ at gaps)\n";
+  return 0;
+}

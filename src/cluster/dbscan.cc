@@ -1,0 +1,64 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "cluster/grid_index.h"
+
+namespace convoy {
+
+Clustering Dbscan(const std::vector<Point>& points, double eps,
+                  size_t min_pts) {
+  Clustering result;
+  const size_t n = points.size();
+  if (n == 0) return result;
+
+  const GridIndex index(points, eps);
+
+  constexpr uint32_t kUnvisited = 0xFFFFFFFF;
+  constexpr uint32_t kNoise = 0xFFFFFFFE;
+  std::vector<uint32_t> label(n, kUnvisited);
+
+  std::vector<size_t> neighbors;
+  std::deque<size_t> frontier;
+
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (label[seed] != kUnvisited) continue;
+    index.WithinRadiusInto(points[seed], eps, &neighbors);
+    if (neighbors.size() < min_pts) {
+      label[seed] = kNoise;  // may be claimed later as a border point
+      continue;
+    }
+
+    const uint32_t cluster_id = static_cast<uint32_t>(result.clusters.size());
+    result.clusters.emplace_back();
+    label[seed] = cluster_id;
+    result.clusters.back().push_back(seed);
+
+    frontier.assign(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const size_t p = frontier.front();
+      frontier.pop_front();
+      if (label[p] == kNoise) {
+        // Border point: joins the cluster but is not expanded.
+        label[p] = cluster_id;
+        result.clusters.back().push_back(p);
+        continue;
+      }
+      if (label[p] != kUnvisited) continue;
+      label[p] = cluster_id;
+      result.clusters.back().push_back(p);
+      index.WithinRadiusInto(points[p], eps, &neighbors);
+      if (neighbors.size() >= min_pts) {
+        // p is core: its whole neighborhood is density-reachable.
+        for (const size_t q : neighbors) {
+          if (label[q] == kUnvisited || label[q] == kNoise) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace convoy

@@ -1,0 +1,42 @@
+#ifndef CONVOY_CLUSTER_DBSCAN_H_
+#define CONVOY_CLUSTER_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace convoy {
+
+/// Result of a snapshot clustering: each cluster is a list of input indices;
+/// points in no cluster are DBSCAN noise.
+struct Clustering {
+  std::vector<std::vector<size_t>> clusters;
+
+  /// True if index i belongs to some cluster (computed on demand in tests).
+  size_t NumClusteredPoints() const {
+    size_t n = 0;
+    for (const auto& c : clusters) n += c.size();
+    return n;
+  }
+};
+
+/// DBSCAN (Ester et al. 1996), the snapshot clustering the paper's density
+/// connection is defined through (Definition 2).
+///
+/// A point is a *core* point when its e-neighborhood (which includes the
+/// point itself) holds at least `min_pts` points. Clusters are the maximal
+/// density-connected sets: connected components of core points under the
+/// "within e" relation, plus every border point reachable from a core point.
+/// Border points equidistant to several clusters join the first cluster that
+/// reaches them (the classic DBSCAN tie-break); noise points appear in no
+/// cluster.
+///
+/// Runs on a uniform-grid index: expected O(N) neighborhood cost for the
+/// near-uniform snapshots the datasets produce, O(N^2) worst case.
+Clustering Dbscan(const std::vector<Point>& points, double eps,
+                  size_t min_pts);
+
+}  // namespace convoy
+
+#endif  // CONVOY_CLUSTER_DBSCAN_H_

@@ -1,0 +1,59 @@
+#include "cluster/grid_index.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace convoy {
+
+namespace {
+
+// Packs the two signed cell coordinates into one 64-bit key.
+uint64_t PackCell(int32_t cx, int32_t cy) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+}  // namespace
+
+GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  assert(cell_size_ > 0.0);
+  cells_.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    cells_[KeyFor(points_[i].x, points_[i].y)].push_back(
+        static_cast<uint32_t>(i));
+  }
+}
+
+GridIndex::CellKey GridIndex::KeyFor(double x, double y) const {
+  const int32_t cx = static_cast<int32_t>(std::floor(x / cell_size_));
+  const int32_t cy = static_cast<int32_t>(std::floor(y / cell_size_));
+  return PackCell(cx, cy);
+}
+
+std::vector<size_t> GridIndex::WithinRadius(const Point& probe,
+                                            double radius) const {
+  std::vector<size_t> out;
+  WithinRadiusInto(probe, radius, &out);
+  return out;
+}
+
+void GridIndex::WithinRadiusInto(const Point& probe, double radius,
+                                 std::vector<size_t>* out) const {
+  assert(radius <= cell_size_ + 1e-12);
+  out->clear();
+  const double r2 = radius * radius;
+  const int32_t cx = static_cast<int32_t>(std::floor(probe.x / cell_size_));
+  const int32_t cy = static_cast<int32_t>(std::floor(probe.y / cell_size_));
+  for (int32_t dx = -1; dx <= 1; ++dx) {
+    for (int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(PackCell(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (const uint32_t idx : it->second) {
+        if (D2(points_[idx], probe) <= r2) out->push_back(idx);
+      }
+    }
+  }
+}
+
+}  // namespace convoy

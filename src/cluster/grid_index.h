@@ -1,0 +1,48 @@
+#ifndef CONVOY_CLUSTER_GRID_INDEX_H_
+#define CONVOY_CLUSTER_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace convoy {
+
+/// Uniform-grid spatial index over a fixed set of points, supporting
+/// e-neighborhood queries (the core operation of DBSCAN, paper Section 5.2).
+///
+/// Cell side equals the query radius, so a radius query inspects at most the
+/// 3x3 block of cells around the probe. This gives the O(N log N)-style
+/// behaviour the paper attributes to "DBSCAN with a spatial index" without
+/// pulling in an R-tree; snapshot point sets are rebuilt every timestamp, so
+/// build cost matters as much as query cost.
+class GridIndex {
+ public:
+  /// Builds the index over `points` with cell side `cell_size` (> 0).
+  GridIndex(const std::vector<Point>& points, double cell_size);
+
+  /// Returns the indices of all points within distance `radius` of `probe`
+  /// (inclusive). `radius` must be <= cell_size for the 3x3 scan to be
+  /// exhaustive; this is asserted in debug builds.
+  std::vector<size_t> WithinRadius(const Point& probe, double radius) const;
+
+  /// Appends the result of WithinRadius to `out` (no allocation churn in
+  /// DBSCAN's inner loop).
+  void WithinRadiusInto(const Point& probe, double radius,
+                        std::vector<size_t>* out) const;
+
+  size_t NumPoints() const { return points_.size(); }
+
+ private:
+  using CellKey = uint64_t;
+  CellKey KeyFor(double x, double y) const;
+
+  std::vector<Point> points_;
+  double cell_size_;
+  std::unordered_map<CellKey, std::vector<uint32_t>> cells_;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_CLUSTER_GRID_INDEX_H_

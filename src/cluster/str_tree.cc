@@ -1,0 +1,109 @@
+#include "cluster/str_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace convoy {
+
+namespace {
+
+double CenterX(const Box& b) { return 0.5 * (b.min().x + b.max().x); }
+double CenterY(const Box& b) { return 0.5 * (b.min().y + b.max().y); }
+
+}  // namespace
+
+StrTree::StrTree(std::vector<Entry> entries, size_t node_capacity)
+    : entries_(std::move(entries)), num_entries_(entries_.size()) {
+  if (node_capacity < 2) node_capacity = 2;
+  if (entries_.empty()) return;
+
+  // --- Sort-Tile-Recursive leaf packing ------------------------------------
+  // Sort by x-center, cut into vertical slabs of ~sqrt(n/cap) leaves each,
+  // sort each slab by y-center, emit runs of `node_capacity`.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return CenterX(a.box) < CenterX(b.box);
+            });
+  const size_t n = entries_.size();
+  const size_t num_leaves =
+      (n + node_capacity - 1) / node_capacity;
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size =
+      ((num_leaves + slabs - 1) / slabs) * node_capacity;
+
+  for (size_t slab_start = 0; slab_start < n; slab_start += slab_size) {
+    const size_t slab_end = std::min(n, slab_start + slab_size);
+    std::sort(entries_.begin() + static_cast<long>(slab_start),
+              entries_.begin() + static_cast<long>(slab_end),
+              [](const Entry& a, const Entry& b) {
+                return CenterY(a.box) < CenterY(b.box);
+              });
+    for (size_t i = slab_start; i < slab_end; i += node_capacity) {
+      Node leaf;
+      leaf.leaf = true;
+      leaf.first = static_cast<uint32_t>(i);
+      leaf.count = static_cast<uint32_t>(
+          std::min(node_capacity, slab_end - i));
+      for (uint32_t c = 0; c < leaf.count; ++c) {
+        leaf.box.Extend(entries_[leaf.first + c].box);
+      }
+      nodes_.push_back(leaf);
+    }
+  }
+  height_ = 1;
+
+  // --- Build upper levels by packing runs of children -----------------------
+  size_t level_first = 0;
+  size_t level_count = nodes_.size();
+  while (level_count > 1) {
+    const size_t next_first = nodes_.size();
+    for (size_t i = 0; i < level_count; i += node_capacity) {
+      Node inner;
+      inner.leaf = false;
+      inner.first = static_cast<uint32_t>(level_first + i);
+      inner.count = static_cast<uint32_t>(
+          std::min(node_capacity, level_count - i));
+      for (uint32_t c = 0; c < inner.count; ++c) {
+        inner.box.Extend(nodes_[inner.first + c].box);
+      }
+      nodes_.push_back(inner);
+    }
+    level_first = next_first;
+    level_count = nodes_.size() - next_first;
+    ++height_;
+  }
+  root_ = static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void StrTree::WithinDistanceInto(const Box& probe, double distance,
+                                 std::vector<uint32_t>* out) const {
+  out->clear();
+  if (entries_.empty()) return;
+  // Iterative DFS with a small explicit stack.
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (Dmin(node.box, probe) > distance) continue;
+    if (node.leaf) {
+      for (uint32_t c = 0; c < node.count; ++c) {
+        const Entry& entry = entries_[node.first + c];
+        if (Dmin(entry.box, probe) <= distance) out->push_back(entry.id);
+      }
+    } else {
+      for (uint32_t c = 0; c < node.count; ++c) {
+        stack.push_back(node.first + c);
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> StrTree::WithinDistance(const Box& probe,
+                                              double distance) const {
+  std::vector<uint32_t> out;
+  WithinDistanceInto(probe, distance, &out);
+  return out;
+}
+
+}  // namespace convoy

@@ -1,0 +1,65 @@
+#ifndef CONVOY_CLUSTER_STR_TREE_H_
+#define CONVOY_CLUSTER_STR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+
+namespace convoy {
+
+/// A static, bulk-loaded R-tree (Sort-Tile-Recursive packing) over
+/// rectangles. The paper's complexity discussion assumes a spatial index
+/// brings the e-neighborhood search of the clustering step from O(N^2) to
+/// O(N log N); this tree is that index for the filter step's polyline
+/// bounding boxes: a `WithinDistance` query returns every entry whose box
+/// could be within the Lemma 2 bound of the probe box.
+///
+/// The tree is immutable after construction — partitions are rebuilt every
+/// filter round, so bulk-load cost matters more than update support (same
+/// trade-off as GridIndex for points).
+class StrTree {
+ public:
+  struct Entry {
+    Box box;
+    uint32_t id = 0;
+  };
+
+  /// Bulk-loads the tree. `node_capacity` is the fan-out (>= 2).
+  explicit StrTree(std::vector<Entry> entries, size_t node_capacity = 16);
+
+  /// Appends the ids of all entries whose box has Dmin(entry, probe) <=
+  /// `distance` to `out` (cleared first). Exact: no false negatives, and
+  /// every returned id really satisfies the predicate.
+  void WithinDistanceInto(const Box& probe, double distance,
+                          std::vector<uint32_t>* out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<uint32_t> WithinDistance(const Box& probe,
+                                       double distance) const;
+
+  size_t Size() const { return num_entries_; }
+
+  /// Height of the tree (0 for an empty tree, 1 for a single leaf level).
+  size_t Height() const { return height_; }
+
+ private:
+  struct Node {
+    Box box;
+    // Children are a contiguous range in `nodes_` (internal) or in
+    // `entries_` (leaf).
+    uint32_t first = 0;
+    uint32_t count = 0;
+    bool leaf = true;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t num_entries_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_CLUSTER_STR_TREE_H_

@@ -1,0 +1,63 @@
+#ifndef CONVOY_CONVOY_H_
+#define CONVOY_CONVOY_H_
+
+/// \file
+/// Umbrella header of libconvoy — a from-scratch C++20 implementation of
+/// "Discovery of Convoys in Trajectory Databases" (Jeung, Yiu, Zhou, Jensen,
+/// Shen; VLDB 2008).
+///
+/// Typical use:
+///
+///   #include "convoy/convoy.h"
+///
+///   convoy::TrajectoryDatabase db = ...;            // load or generate
+///   convoy::ConvoyQuery query{.m = 3, .k = 180, .e = 8.0};
+///   std::vector<convoy::Convoy> result =
+///       convoy::Cuts(db, query, convoy::CutsVariant::kCutsStar);
+///
+/// `Cuts` (the CuTS* variant by default) is the recommended entry point; it
+/// returns exactly the convoys the CMC baseline returns, typically several
+/// times faster. `Cmc` is available as the exact reference algorithm, and
+/// `Mc2` as the moving-cluster baseline the paper contrasts in Appendix B.
+
+#include "cluster/dbscan.h"
+#include "cluster/grid_index.h"
+#include "cluster/polyline_dbscan.h"
+#include "cluster/str_tree.h"
+#include "core/cmc.h"
+#include "core/convoy_set.h"
+#include "core/cuts.h"
+#include "core/cuts_filter.h"
+#include "core/cuts_refine.h"
+#include "core/discovery_stats.h"
+#include "core/engine.h"
+#include "core/flock.h"
+#include "core/mc2.h"
+#include "core/params.h"
+#include "core/streaming.h"
+#include "core/verify.h"
+#include "datagen/convoy_planter.h"
+#include "datagen/movement.h"
+#include "datagen/road_network.h"
+#include "datagen/scenarios.h"
+#include "geom/box.h"
+#include "geom/distance.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+#include "io/csv.h"
+#include "io/dataset_report.h"
+#include "io/result_io.h"
+#include "simplify/douglas_peucker.h"
+#include "simplify/dp_plus.h"
+#include "simplify/dp_star.h"
+#include "simplify/simplifier.h"
+#include "traj/cleaning.h"
+#include "traj/resample.h"
+#include "traj/database.h"
+#include "traj/interpolate.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+#endif  // CONVOY_CONVOY_H_

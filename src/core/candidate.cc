@@ -1,0 +1,73 @@
+#include "core/candidate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace convoy {
+
+std::vector<ObjectId> IntersectSorted(const std::vector<ObjectId>& a,
+                                      const std::vector<ObjectId>& b) {
+  std::vector<ObjectId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void CandidateTracker::Advance(
+    const std::vector<std::vector<ObjectId>>& clusters, Tick step_start,
+    Tick step_end, Tick step_weight, std::vector<Candidate>* completed) {
+  // Successors keyed by object set; the earliest start (largest lifetime)
+  // wins, so dominated duplicates never multiply.
+  std::map<std::vector<ObjectId>, Candidate> next;
+
+  const auto offer = [&next](Candidate cand) {
+    auto [it, inserted] = next.try_emplace(cand.objects, cand);
+    if (!inserted && cand.lifetime > it->second.lifetime) it->second = cand;
+  };
+
+  for (const Candidate& v : live_) {
+    bool continued_intact = false;  // some successor kept v's full object set
+    for (const std::vector<ObjectId>& c : clusters) {
+      std::vector<ObjectId> common = IntersectSorted(v.objects, c);
+      if (common.size() < m_) continue;
+      continued_intact |= common.size() == v.objects.size();
+      Candidate successor;
+      successor.objects = std::move(common);
+      successor.start_tick = v.start_tick;
+      successor.end_tick = step_end;
+      successor.lifetime = v.lifetime + step_weight;
+      offer(std::move(successor));
+    }
+    // Emit v when it dies — and also when every successor lost members
+    // ("emit on shrink"): otherwise a maximal convoy whose subgroup keeps
+    // traveling would be narrowed away and never reported (see DESIGN.md).
+    if (!continued_intact && v.lifetime >= k_) completed->push_back(v);
+  }
+
+  // Every cluster also begins its own candidate: a convoy may be born at
+  // this step. If an identical successor already exists it has an earlier
+  // start and wins the dedup above.
+  for (const std::vector<ObjectId>& c : clusters) {
+    if (c.size() < m_) continue;
+    Candidate fresh;
+    fresh.objects = c;
+    fresh.start_tick = step_start;
+    fresh.end_tick = step_end;
+    fresh.lifetime = step_weight;
+    offer(std::move(fresh));
+  }
+
+  live_.clear();
+  live_.reserve(next.size());
+  for (auto& [objects, cand] : next) live_.push_back(std::move(cand));
+}
+
+void CandidateTracker::Flush(std::vector<Candidate>* completed) {
+  for (Candidate& v : live_) {
+    if (v.lifetime >= k_) completed->push_back(std::move(v));
+  }
+  live_.clear();
+}
+
+}  // namespace convoy

@@ -1,0 +1,71 @@
+#ifndef CONVOY_CORE_CANDIDATE_H_
+#define CONVOY_CORE_CANDIDATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/convoy_set.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// A convoy candidate being grown across consecutive steps (timestamps for
+/// CMC, time partitions for the CuTS filter).
+struct Candidate {
+  std::vector<ObjectId> objects;  ///< sorted, unique
+  Tick start_tick = 0;            ///< first tick covered by the candidate
+  Tick end_tick = 0;              ///< last tick covered so far
+  Tick lifetime = 0;              ///< accumulated lifetime in the caller's
+                                  ///< unit (ticks for CMC, lambda per
+                                  ///< partition for the CuTS filter)
+
+  Convoy ToConvoy() const { return Convoy{objects, start_tick, end_tick}; }
+};
+
+/// The candidate bookkeeping shared by Algorithm 1 (CMC) and the filter step
+/// of Algorithm 2 (CuTS): at every step, snapshot clusters are intersected
+/// with live candidates; intersections with at least m objects continue,
+/// candidates that fail to continue are emitted when their lifetime reaches
+/// k, and clusters seed new candidates.
+///
+/// Two deliberate deviations from the published pseudocode (see DESIGN.md):
+///  * a candidate intersecting several clusters (cluster split) spawns one
+///    successor per qualifying cluster instead of being updated in place;
+///  * every step cluster also *always* starts a fresh candidate, because a
+///    convoy may begin at this step inside a cluster that happens to extend
+///    an unrelated older candidate. Successor deduplication (by object set,
+///    keeping the earliest start) keeps the candidate set small.
+class CandidateTracker {
+ public:
+  /// `m` and `k` are the convoy query parameters.
+  CandidateTracker(size_t m, Tick k) : m_(m), k_(k) {}
+
+  /// Advances one step covering ticks [step_start, step_end] whose clusters
+  /// (as object-id sets, each sorted ascending) are `clusters`.
+  /// `step_weight` is the lifetime increment (1 for CMC, lambda for CuTS).
+  /// Candidates that ended at this step with lifetime >= k are appended to
+  /// `completed`.
+  void Advance(const std::vector<std::vector<ObjectId>>& clusters,
+               Tick step_start, Tick step_end, Tick step_weight,
+               std::vector<Candidate>* completed);
+
+  /// Ends the stream: every live candidate with lifetime >= k is appended
+  /// to `completed`; the live set is cleared.
+  void Flush(std::vector<Candidate>* completed);
+
+  /// Number of currently live candidates.
+  size_t LiveCount() const { return live_.size(); }
+
+ private:
+  size_t m_;
+  Tick k_;
+  std::vector<Candidate> live_;
+};
+
+/// Sorted-vector intersection helper shared with the MC2 baseline.
+std::vector<ObjectId> IntersectSorted(const std::vector<ObjectId>& a,
+                                      const std::vector<ObjectId>& b);
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_CANDIDATE_H_

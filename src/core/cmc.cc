@@ -1,0 +1,78 @@
+#include "core/cmc.h"
+
+#include <algorithm>
+
+#include "cluster/dbscan.h"
+#include "core/candidate.h"
+#include "traj/interpolate.h"
+#include "util/stopwatch.h"
+
+namespace convoy {
+
+std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
+                             const ConvoyQuery& query, Tick begin_tick,
+                             Tick end_tick, const CmcOptions& options,
+                             DiscoveryStats* stats) {
+  Stopwatch total;
+  CandidateTracker tracker(query.m, query.k);
+  std::vector<Candidate> completed;
+
+  std::vector<Point> snapshot;
+  std::vector<ObjectId> snapshot_ids;
+  std::vector<std::vector<ObjectId>> cluster_objects;
+
+  for (Tick t = begin_tick; t <= end_tick; ++t) {
+    // O_t: every object alive at t contributes its (possibly virtual,
+    // linearly interpolated) location.
+    snapshot.clear();
+    snapshot_ids.clear();
+    for (const Trajectory& traj : db.trajectories()) {
+      const auto pos = InterpolateAt(traj, t);
+      if (!pos.has_value()) continue;
+      snapshot.push_back(*pos);
+      snapshot_ids.push_back(traj.id());
+    }
+
+    cluster_objects.clear();
+    if (snapshot.size() >= query.m) {
+      const Clustering clustering = Dbscan(snapshot, query.e, query.m);
+      if (stats != nullptr) ++stats->num_clusterings;
+      cluster_objects.reserve(clustering.clusters.size());
+      for (const std::vector<size_t>& cluster : clustering.clusters) {
+        std::vector<ObjectId> ids;
+        ids.reserve(cluster.size());
+        for (const size_t idx : cluster) ids.push_back(snapshot_ids[idx]);
+        std::sort(ids.begin(), ids.end());
+        cluster_objects.push_back(std::move(ids));
+      }
+    }
+    // Advancing with an empty cluster list retires every live candidate,
+    // which is exactly what a tick with < m alive objects must do: the
+    // "consecutive time points" requirement breaks there.
+    tracker.Advance(cluster_objects, t, t, /*step_weight=*/1, &completed);
+  }
+  tracker.Flush(&completed);
+
+  std::vector<Convoy> result;
+  result.reserve(completed.size());
+  for (const Candidate& cand : completed) result.push_back(cand.ToConvoy());
+  if (options.remove_dominated) {
+    result = RemoveDominated(std::move(result));
+  } else {
+    Canonicalize(&result);
+  }
+
+  if (stats != nullptr) {
+    stats->total_seconds += total.ElapsedSeconds();
+    stats->num_convoys = result.size();
+  }
+  return result;
+}
+
+std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const CmcOptions& options, DiscoveryStats* stats) {
+  if (db.Empty()) return {};
+  return CmcRange(db, query, db.BeginTick(), db.EndTick(), options, stats);
+}
+
+}  // namespace convoy

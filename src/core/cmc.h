@@ -1,0 +1,42 @@
+#ifndef CONVOY_CORE_CMC_H_
+#define CONVOY_CORE_CMC_H_
+
+#include <vector>
+
+#include "core/convoy_set.h"
+#include "core/discovery_stats.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Options for the Coherent Moving Cluster algorithm.
+struct CmcOptions {
+  /// When true (default) the raw candidate output is dominance-pruned so
+  /// the result contains only maximal convoys. Disable to inspect the raw
+  /// candidate algebra (some tests do).
+  bool remove_dominated = true;
+};
+
+/// CMC — Coherent Moving Cluster (paper Algorithm 1, Section 4): the exact
+/// baseline convoy-discovery algorithm. For every tick it interpolates
+/// virtual points for objects with missing samples, clusters the snapshot
+/// with DBSCAN(e, m), and intersects the clusters with the candidates kept
+/// from the previous tick; candidates that survive k consecutive ticks are
+/// convoys.
+///
+/// Runs over the database's full time domain.
+std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const CmcOptions& options = {},
+                        DiscoveryStats* stats = nullptr);
+
+/// CMC restricted to ticks [begin_tick, end_tick] — the refinement step of
+/// CuTS runs this on each candidate's objects and time interval
+/// (paper Algorithm 3).
+std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
+                             const ConvoyQuery& query, Tick begin_tick,
+                             Tick end_tick, const CmcOptions& options = {},
+                             DiscoveryStats* stats = nullptr);
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_CMC_H_

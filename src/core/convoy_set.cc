@@ -1,0 +1,99 @@
+#include "core/convoy_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace convoy {
+
+std::ostream& operator<<(std::ostream& os, const Convoy& c) {
+  os << "{";
+  for (size_t i = 0; i < c.objects.size(); ++i) {
+    if (i > 0) os << ",";
+    os << c.objects[i];
+  }
+  return os << "}@[" << c.start_tick << "," << c.end_tick << "]";
+}
+
+std::string ToString(const Convoy& c) {
+  std::ostringstream os;
+  os << c;
+  return os.str();
+}
+
+bool Covers(const Convoy& big, const Convoy& small) {
+  if (big.start_tick > small.start_tick || big.end_tick < small.end_tick) {
+    return false;
+  }
+  // objects are sorted: subset test by inclusion scan.
+  return std::includes(big.objects.begin(), big.objects.end(),
+                       small.objects.begin(), small.objects.end());
+}
+
+namespace {
+
+bool CanonicalLess(const Convoy& a, const Convoy& b) {
+  if (a.start_tick != b.start_tick) return a.start_tick < b.start_tick;
+  if (a.end_tick != b.end_tick) return a.end_tick < b.end_tick;
+  return a.objects < b.objects;
+}
+
+}  // namespace
+
+void Canonicalize(std::vector<Convoy>* convoys) {
+  for (Convoy& c : *convoys) {
+    std::sort(c.objects.begin(), c.objects.end());
+    c.objects.erase(std::unique(c.objects.begin(), c.objects.end()),
+                    c.objects.end());
+  }
+  std::sort(convoys->begin(), convoys->end(), CanonicalLess);
+  convoys->erase(std::unique(convoys->begin(), convoys->end()),
+                 convoys->end());
+}
+
+std::vector<Convoy> RemoveDominated(std::vector<Convoy> convoys) {
+  Canonicalize(&convoys);
+  std::vector<Convoy> kept;
+  for (size_t i = 0; i < convoys.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < convoys.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (!Covers(convoys[j], convoys[i])) continue;
+      // Mutual coverage means equality, which Canonicalize already removed;
+      // so coverage here is strict domination — except for the symmetric
+      // case of identical object sets and intervals differing only in the
+      // vector identity, which cannot occur post-unique. Break ties by
+      // letting the canonically-earlier convoy win.
+      if (Covers(convoys[i], convoys[j])) {
+        dominated = j < i;
+      } else {
+        dominated = true;
+      }
+    }
+    if (!dominated) kept.push_back(convoys[i]);
+  }
+  return kept;
+}
+
+bool SameResultSet(std::vector<Convoy> a, std::vector<Convoy> b) {
+  Canonicalize(&a);
+  Canonicalize(&b);
+  return a == b;
+}
+
+std::vector<Convoy> Uncovered(const std::vector<Convoy>& expected,
+                              const std::vector<Convoy>& got) {
+  std::vector<Convoy> missing;
+  for (const Convoy& e : expected) {
+    bool covered = false;
+    for (const Convoy& g : got) {
+      if (Covers(g, e)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) missing.push_back(e);
+  }
+  return missing;
+}
+
+}  // namespace convoy

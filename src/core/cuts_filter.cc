@@ -1,0 +1,132 @@
+#include "core/cuts_filter.h"
+
+#include <algorithm>
+
+#include "core/params.h"
+#include "util/stopwatch.h"
+
+namespace convoy {
+
+CutsFilterResult CutsFilter(const TrajectoryDatabase& db,
+                            const ConvoyQuery& query,
+                            const CutsFilterOptions& options,
+                            DiscoveryStats* stats) {
+  if (db.Empty()) return CutsFilterResult{};
+
+  Stopwatch phase;
+  const double delta =
+      options.delta > 0.0 ? options.delta : ComputeDelta(db, query.e);
+  std::vector<SimplifiedTrajectory> simplified =
+      SimplifyDatabase(db, delta, options.simplifier);
+  if (stats != nullptr) stats->simplify_seconds += phase.ElapsedSeconds();
+
+  return CutsFilterPresimplified(db, query, options, std::move(simplified),
+                                 delta, stats);
+}
+
+CutsFilterResult CutsFilterPresimplified(
+    const TrajectoryDatabase& db, const ConvoyQuery& query,
+    const CutsFilterOptions& options,
+    std::vector<SimplifiedTrajectory> simplified, double delta_used,
+    DiscoveryStats* stats) {
+  CutsFilterResult result;
+  if (db.Empty()) return result;
+  result.delta_used = delta_used;
+  result.simplified = std::move(simplified);
+  if (stats != nullptr) {
+    stats->delta_used = result.delta_used;
+    stats->vertex_reduction_percent =
+        VertexReductionPercent(db, result.simplified);
+  }
+
+  // --- Filter phase ---------------------------------------------------------
+  Stopwatch phase;
+  result.lambda_used = options.lambda > 0
+                           ? options.lambda
+                           : ComputeLambda(db, result.simplified, query.k);
+  if (stats != nullptr) stats->lambda_used = result.lambda_used;
+
+  const Tick begin = db.BeginTick();
+  const Tick end = db.EndTick();
+  const Tick lambda = std::max<Tick>(result.lambda_used, 1);
+
+  CandidateTracker tracker(query.m, query.k);
+  PolylineClusterStats cluster_stats;
+  PolylineDbscanOptions cluster_options;
+  cluster_options.eps = query.e;
+  cluster_options.min_pts = query.m;
+  cluster_options.distance = options.distance;
+  cluster_options.use_box_pruning = options.use_box_pruning;
+  cluster_options.use_rtree = options.use_rtree;
+
+  std::vector<PartitionPolyline> polylines;
+  std::vector<std::vector<ObjectId>> cluster_objects;
+
+  for (Tick part_start = begin; part_start <= end; part_start += lambda) {
+    const Tick part_end = std::min<Tick>(part_start + lambda - 1, end);
+
+    // Gather each object's sub-polyline: the simplified segments whose time
+    // intervals intersect the partition (a segment spanning a boundary goes
+    // into both partitions, as in Figure 9(b)).
+    polylines.clear();
+    for (const SimplifiedTrajectory& simp : result.simplified) {
+      PartitionPolyline poly;
+      poly.object = simp.id();
+      if (simp.NumSegments() == 0) {
+        // Single-sample trajectory: represent it as a degenerate zero-
+        // length segment so the filter can still see the object (a
+        // one-tick convoy through it must not be dismissed).
+        if (simp.NumVertices() != 1) continue;
+        const TimedPoint& v = simp.vertices().front();
+        if (v.t < part_start || v.t > part_end) continue;
+        poly.segments.push_back(TimedSegment(v, v));
+        poly.tolerances.push_back(0.0);
+      } else {
+        const auto range = simp.SegmentsIntersecting(part_start, part_end);
+        if (!range.has_value()) continue;
+        for (size_t s = range->first; s <= range->second; ++s) {
+          poly.segments.push_back(simp.GetSegment(s));
+          poly.tolerances.push_back(options.use_actual_tolerance
+                                        ? simp.SegmentTolerance(s)
+                                        : result.delta_used);
+        }
+      }
+      poly.FinalizeBounds();
+      polylines.push_back(std::move(poly));
+    }
+
+    cluster_objects.clear();
+    if (polylines.size() >= query.m) {
+      const Clustering clustering =
+          PolylineDbscan(polylines, cluster_options, &cluster_stats);
+      if (stats != nullptr) ++stats->num_clusterings;
+      for (const std::vector<size_t>& cluster : clustering.clusters) {
+        std::vector<ObjectId> ids;
+        ids.reserve(cluster.size());
+        for (const size_t idx : cluster) ids.push_back(polylines[idx].object);
+        std::sort(ids.begin(), ids.end());
+        cluster_objects.push_back(std::move(ids));
+      }
+    }
+    tracker.Advance(cluster_objects, part_start, part_end,
+                    /*step_weight=*/lambda, &result.candidates);
+  }
+  tracker.Flush(&result.candidates);
+
+  if (stats != nullptr) {
+    stats->filter_seconds += phase.ElapsedSeconds();
+    stats->num_candidates = result.candidates.size();
+    stats->polyline_pair_tests += cluster_stats.pair_tests;
+    stats->polyline_box_pruned += cluster_stats.box_pruned;
+    stats->segment_distance_tests += cluster_stats.segment_tests;
+    for (const Candidate& cand : result.candidates) {
+      const double n = static_cast<double>(cand.objects.size());
+      const double lifetime =
+          static_cast<double>(cand.end_tick - cand.start_tick + 1);
+      stats->refinement_unit += n * n * lifetime;
+    }
+  }
+  return result;
+}
+
+}  // namespace convoy

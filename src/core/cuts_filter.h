@@ -1,0 +1,88 @@
+#ifndef CONVOY_CORE_CUTS_FILTER_H_
+#define CONVOY_CORE_CUTS_FILTER_H_
+
+#include <vector>
+
+#include "cluster/polyline_dbscan.h"
+#include "core/candidate.h"
+#include "core/convoy_set.h"
+#include "core/cuts_refine.h"
+#include "core/discovery_stats.h"
+#include "simplify/simplifier.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Tuning knobs of the CuTS filter step (paper Algorithm 2). The variant
+/// table of Section 6 maps onto `simplifier` + `distance`:
+///
+///   CuTS   = kDp     + kDll
+///   CuTS+  = kDpPlus + kDll
+///   CuTS*  = kDpStar + kDStar
+struct CutsFilterOptions {
+  SimplifierKind simplifier = SimplifierKind::kDp;
+  SegmentDistanceKind distance = SegmentDistanceKind::kDll;
+
+  /// Simplification tolerance; <= 0 means derive it with ComputeDelta.
+  double delta = -1.0;
+
+  /// Time-partition length; <= 0 means derive it with ComputeLambda.
+  Tick lambda = -1;
+
+  /// Use per-segment actual tolerances in the range-search bounds (the
+  /// paper's Figure 14 optimization). When false the global delta is
+  /// charged for every segment — still correct, just looser.
+  bool use_actual_tolerance = true;
+
+  /// Apply the Lemma 2 bounding-box pre-test per polyline pair.
+  bool use_box_pruning = true;
+
+  /// Generate neighbor candidates through an STR R-tree over polyline
+  /// bounding boxes instead of all-pairs scanning (see
+  /// PolylineDbscanOptions::use_rtree). Identical results either way.
+  bool use_rtree = false;
+
+  /// How the refinement step verifies candidates (consumed by Cuts(), which
+  /// forwards it to CutsRefine). kProjected is the paper's Algorithm 3;
+  /// kFullWindow guarantees exact equality with CMC on every input.
+  RefineMode refine_mode = RefineMode::kProjected;
+
+  /// Worker threads for the refinement step (candidates / windows are
+  /// independent units of work). 1 = sequential; results are identical
+  /// regardless.
+  size_t refine_threads = 1;
+};
+
+/// Output of the filter step: candidate convoys (object sets with the tick
+/// span of the partitions that produced them) plus the simplified
+/// trajectories, so the refinement can reuse them if needed.
+struct CutsFilterResult {
+  std::vector<Candidate> candidates;
+  std::vector<SimplifiedTrajectory> simplified;
+  double delta_used = 0.0;
+  Tick lambda_used = 0;
+};
+
+/// Runs trajectory simplification and the partition-by-partition
+/// TRAJ-DBSCAN candidate generation of Algorithm 2. Every actual convoy is
+/// contained in some candidate (no false dismissal — the exactness the
+/// Lemma 1/2/3 bounds guarantee); candidates may be larger or spurious and
+/// are trimmed by the refinement step.
+CutsFilterResult CutsFilter(const TrajectoryDatabase& db,
+                            const ConvoyQuery& query,
+                            const CutsFilterOptions& options,
+                            DiscoveryStats* stats = nullptr);
+
+/// Variant that reuses already-simplified trajectories (index-aligned with
+/// `db`, produced with `delta_used` and the simplifier matching
+/// `options.simplifier`). `ConvoyEngine` uses this to amortize the
+/// simplification cost across repeated queries.
+CutsFilterResult CutsFilterPresimplified(
+    const TrajectoryDatabase& db, const ConvoyQuery& query,
+    const CutsFilterOptions& options,
+    std::vector<SimplifiedTrajectory> simplified, double delta_used,
+    DiscoveryStats* stats = nullptr);
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_CUTS_FILTER_H_

@@ -1,0 +1,118 @@
+#include "core/cuts_refine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/cmc.h"
+#include "util/stopwatch.h"
+
+namespace convoy {
+
+namespace {
+
+// Runs `work(i)` for i in [0, n) on up to `threads` workers. Each worker
+// owns a result slot, so no synchronization beyond the work-stealing
+// counter is needed.
+template <typename WorkFn>
+std::vector<std::vector<Convoy>> ParallelMap(size_t n, size_t threads,
+                                             WorkFn work) {
+  threads = std::max<size_t>(1, std::min(threads, n == 0 ? 1 : n));
+  std::vector<std::vector<Convoy>> results(n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = work(i);
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&]() {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        results[i] = work(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<Convoy> Flatten(std::vector<std::vector<Convoy>> parts) {
+  std::vector<Convoy> all;
+  for (std::vector<Convoy>& part : parts) {
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return all;
+}
+
+std::vector<Convoy> RefineProjected(const TrajectoryDatabase& db,
+                                    const ConvoyQuery& query,
+                                    const std::vector<Candidate>& candidates,
+                                    DiscoveryStats* stats, size_t threads) {
+  CmcOptions cmc_options;
+  cmc_options.remove_dominated = false;  // pruned globally by the caller
+  // Stats are only threadable when single-threaded; CmcRange mutates them.
+  DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
+  auto parts = ParallelMap(
+      candidates.size(), threads, [&](size_t i) {
+        const Candidate& cand = candidates[i];
+        const TrajectoryDatabase subset = db.Project(cand.objects);
+        return CmcRange(subset, query, cand.start_tick, cand.end_tick,
+                        cmc_options, per_run_stats);
+      });
+  return Flatten(std::move(parts));
+}
+
+std::vector<Convoy> RefineFullWindow(const TrajectoryDatabase& db,
+                                     const ConvoyQuery& query,
+                                     const std::vector<Candidate>& candidates,
+                                     DiscoveryStats* stats, size_t threads) {
+  // Merge candidate intervals into disjoint windows; every true convoy is
+  // contained in some candidate's interval, hence in some window.
+  std::vector<std::pair<Tick, Tick>> intervals;
+  intervals.reserve(candidates.size());
+  for (const Candidate& cand : candidates) {
+    intervals.emplace_back(cand.start_tick, cand.end_tick);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<Tick, Tick>> windows;
+  for (const auto& iv : intervals) {
+    if (!windows.empty() && iv.first <= windows.back().second + 1) {
+      windows.back().second = std::max(windows.back().second, iv.second);
+    } else {
+      windows.push_back(iv);
+    }
+  }
+
+  CmcOptions cmc_options;
+  cmc_options.remove_dominated = false;
+  DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
+  auto parts = ParallelMap(windows.size(), threads, [&](size_t i) {
+    return CmcRange(db, query, windows[i].first, windows[i].second,
+                    cmc_options, per_run_stats);
+  });
+  return Flatten(std::move(parts));
+}
+
+}  // namespace
+
+std::vector<Convoy> CutsRefine(const TrajectoryDatabase& db,
+                               const ConvoyQuery& query,
+                               const std::vector<Candidate>& candidates,
+                               RefineMode mode, DiscoveryStats* stats,
+                               size_t threads) {
+  Stopwatch phase;
+  std::vector<Convoy> all =
+      mode == RefineMode::kProjected
+          ? RefineProjected(db, query, candidates, stats, threads)
+          : RefineFullWindow(db, query, candidates, stats, threads);
+  std::vector<Convoy> result = RemoveDominated(std::move(all));
+  if (stats != nullptr) {
+    stats->refine_seconds += phase.ElapsedSeconds();
+    stats->num_convoys = result.size();
+  }
+  return result;
+}
+
+}  // namespace convoy

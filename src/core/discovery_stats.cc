@@ -1,0 +1,14 @@
+#include "core/discovery_stats.h"
+
+namespace convoy {
+
+std::ostream& operator<<(std::ostream& os, const DiscoveryStats& s) {
+  os << "total=" << s.total_seconds << "s (simplify=" << s.simplify_seconds
+     << "s filter=" << s.filter_seconds << "s refine=" << s.refine_seconds
+     << "s) candidates=" << s.num_candidates
+     << " refinement_unit=" << s.refinement_unit
+     << " convoys=" << s.num_convoys;
+  return os;
+}
+
+}  // namespace convoy

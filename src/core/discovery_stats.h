@@ -1,0 +1,57 @@
+#ifndef CONVOY_CORE_DISCOVERY_STATS_H_
+#define CONVOY_CORE_DISCOVERY_STATS_H_
+
+#include <cstddef>
+#include <ostream>
+
+#include "geom/point.h"
+
+namespace convoy {
+
+/// Per-run instrumentation of a convoy discovery, mirroring the quantities
+/// the paper's evaluation plots: the phase cost breakdown of Figure 13, the
+/// candidate counts of Figure 14, and the *refinement unit* of Figures 16-17
+/// (sum over candidates of |objects|^2 x lifetime — the index-free
+/// clustering cost a candidate implies for the refinement step).
+struct DiscoveryStats {
+  double simplify_seconds = 0.0;
+  double filter_seconds = 0.0;
+  double refine_seconds = 0.0;
+
+  /// Wall-clock total of the run (>= sum of the phases; includes result
+  /// post-processing).
+  double total_seconds = 0.0;
+
+  /// Number of candidates the filter handed to refinement (CMC: 0).
+  size_t num_candidates = 0;
+
+  /// Sum over candidates of |objects|^2 * lifetime-in-ticks (paper §7.3).
+  double refinement_unit = 0.0;
+
+  /// Number of convoys in the final result.
+  size_t num_convoys = 0;
+
+  /// Snapshot clusterings performed (CMC: one per tick; CuTS: one per time
+  /// partition in the filter plus the refinement's per-tick clusterings).
+  size_t num_clusterings = 0;
+
+  /// TRAJ-DBSCAN neighborhood evaluations (CuTS family only).
+  size_t polyline_pair_tests = 0;
+  /// ... of which the Lemma 2 bounding-box bound rejected outright.
+  size_t polyline_box_pruned = 0;
+  /// Segment-pair distance evaluations that survived pruning.
+  size_t segment_distance_tests = 0;
+
+  /// Vertex reduction achieved by the simplification step, in percent.
+  double vertex_reduction_percent = 0.0;
+
+  /// The internal parameter values actually used (auto-derived or given).
+  double delta_used = 0.0;
+  Tick lambda_used = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const DiscoveryStats& s);
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_DISCOVERY_STATS_H_

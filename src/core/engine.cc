@@ -1,0 +1,81 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cmc.h"
+#include "core/cuts_refine.h"
+#include "core/params.h"
+#include "util/stopwatch.h"
+
+namespace convoy {
+
+std::vector<Convoy> ConvoyEngine::Discover(const ConvoyQuery& query,
+                                           CutsVariant variant,
+                                           CutsFilterOptions options,
+                                           DiscoveryStats* stats) {
+  Stopwatch total;
+  options = MakeFilterOptions(variant, options);
+  const double delta =
+      options.delta > 0.0 ? options.delta : ComputeDelta(db_, query.e);
+
+  const CacheKey key{options.simplifier,
+                     static_cast<int64_t>(std::llround(delta * 1e6))};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    Stopwatch simplify;
+    std::vector<SimplifiedTrajectory> simplified =
+        SimplifyDatabase(db_, delta, options.simplifier);
+    if (stats != nullptr) stats->simplify_seconds += simplify.ElapsedSeconds();
+    it = cache_.emplace(key, std::move(simplified)).first;
+  }
+
+  const CutsFilterResult filtered = CutsFilterPresimplified(
+      db_, query, options, it->second, delta, stats);
+  std::vector<Convoy> result =
+      CutsRefine(db_, query, filtered.candidates, options.refine_mode, stats,
+                 options.refine_threads);
+  if (stats != nullptr) {
+    stats->total_seconds = total.ElapsedSeconds();
+    stats->num_convoys = result.size();
+  }
+  return result;
+}
+
+std::vector<Convoy> ConvoyEngine::DiscoverExact(const ConvoyQuery& query,
+                                                DiscoveryStats* stats) const {
+  return Cmc(db_, query, {}, stats);
+}
+
+std::optional<Convoy> ConvoyEngine::LongestConvoy(
+    const std::vector<Convoy>& result) {
+  if (result.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      result.begin(), result.end(), [](const Convoy& a, const Convoy& b) {
+        if (a.Lifetime() != b.Lifetime()) return a.Lifetime() < b.Lifetime();
+        return a.objects.size() < b.objects.size();
+      });
+  return *best;
+}
+
+std::vector<Convoy> ConvoyEngine::Involving(const std::vector<Convoy>& result,
+                                            ObjectId id) {
+  std::vector<Convoy> out;
+  for (const Convoy& c : result) {
+    if (std::binary_search(c.objects.begin(), c.objects.end(), id)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<Convoy> ConvoyEngine::During(const std::vector<Convoy>& result,
+                                         Tick from, Tick to) {
+  std::vector<Convoy> out;
+  for (const Convoy& c : result) {
+    if (c.start_tick <= to && from <= c.end_tick) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace convoy

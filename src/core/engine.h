@@ -1,0 +1,73 @@
+#ifndef CONVOY_CORE_ENGINE_H_
+#define CONVOY_CORE_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/convoy_set.h"
+#include "core/cuts.h"
+#include "core/discovery_stats.h"
+#include "simplify/simplifier.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+/// High-level convoy query interface over a fixed trajectory database.
+///
+/// Analysts rarely run one query: they sweep `e`, `m`, and `k` until the
+/// result set is meaningful (the paper tunes e per dataset until 1-100
+/// convoys appear). The engine amortizes the query-independent work — the
+/// trajectory simplifications, which depend only on (simplifier, delta) —
+/// across such sweeps, and offers small conveniences over the raw result
+/// vectors.
+///
+/// Thread-compatibility: const after construction except for the internal
+/// simplification cache; concurrent Discover calls require external
+/// synchronization.
+class ConvoyEngine {
+ public:
+  explicit ConvoyEngine(TrajectoryDatabase db) : db_(std::move(db)) {}
+
+  const TrajectoryDatabase& db() const { return db_; }
+
+  /// Runs a convoy query with the given CuTS variant. Equivalent to
+  /// `Cuts(db, query, variant, options)` but reuses cached simplifications
+  /// when the (simplifier, delta) pair repeats. A non-positive
+  /// options.delta is resolved once per query.e via ComputeDelta and then
+  /// cached the same way.
+  std::vector<Convoy> Discover(const ConvoyQuery& query,
+                               CutsVariant variant = CutsVariant::kCutsStar,
+                               CutsFilterOptions options = {},
+                               DiscoveryStats* stats = nullptr);
+
+  /// Runs the exact CMC baseline (no caching to exploit).
+  std::vector<Convoy> DiscoverExact(const ConvoyQuery& query,
+                                    DiscoveryStats* stats = nullptr) const;
+
+  /// The convoy with the longest lifetime in `result` (ties: more objects,
+  /// then canonical order). nullopt for an empty result.
+  static std::optional<Convoy> LongestConvoy(
+      const std::vector<Convoy>& result);
+
+  /// Convoys of `result` that involve the given object.
+  static std::vector<Convoy> Involving(const std::vector<Convoy>& result,
+                                       ObjectId id);
+
+  /// Convoys of `result` whose interval intersects [from, to].
+  static std::vector<Convoy> During(const std::vector<Convoy>& result,
+                                    Tick from, Tick to);
+
+  /// Number of cached simplification sets (for tests / monitoring).
+  size_t CacheSize() const { return cache_.size(); }
+
+ private:
+  using CacheKey = std::pair<SimplifierKind, int64_t>;  // delta in micro-units
+  TrajectoryDatabase db_;
+  std::map<CacheKey, std::vector<SimplifiedTrajectory>> cache_;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_ENGINE_H_

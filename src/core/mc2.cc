@@ -1,0 +1,144 @@
+#include "core/mc2.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/dbscan.h"
+#include "core/candidate.h"
+#include "core/verify.h"
+#include "traj/interpolate.h"
+
+namespace convoy {
+
+namespace {
+
+// One live moving-cluster chain: the most recent snapshot cluster plus the
+// intersection of every cluster seen so far.
+struct Chain {
+  std::vector<ObjectId> current;  ///< cluster at the previous tick
+  std::vector<ObjectId> common;   ///< intersection across the chain
+  Tick start_tick = 0;
+  Tick end_tick = 0;
+};
+
+double Jaccard(const std::vector<ObjectId>& a,
+               const std::vector<ObjectId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t common = IntersectSorted(a, b).size();
+  const size_t uni = a.size() + b.size() - common;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+std::vector<Convoy> Mc2(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const Mc2Options& options) {
+  std::vector<Convoy> reports;
+  if (db.Empty()) return reports;
+
+  std::vector<Chain> live;
+  std::vector<Point> snapshot;
+  std::vector<ObjectId> snapshot_ids;
+
+  const auto finish = [&](const Chain& chain) {
+    if (chain.end_tick - chain.start_tick + 1 < options.min_duration) return;
+    if (chain.common.size() < 2) return;
+    reports.push_back(Convoy{chain.common, chain.start_tick, chain.end_tick});
+  };
+
+  for (Tick t = db.BeginTick(); t <= db.EndTick(); ++t) {
+    snapshot.clear();
+    snapshot_ids.clear();
+    for (const Trajectory& traj : db.trajectories()) {
+      const auto pos = InterpolateAt(traj, t);
+      if (!pos.has_value()) continue;
+      snapshot.push_back(*pos);
+      snapshot_ids.push_back(traj.id());
+    }
+
+    std::vector<std::vector<ObjectId>> clusters;
+    if (snapshot.size() >= query.m) {
+      const Clustering clustering = Dbscan(snapshot, query.e, query.m);
+      for (const std::vector<size_t>& cluster : clustering.clusters) {
+        std::vector<ObjectId> ids;
+        for (const size_t idx : cluster) ids.push_back(snapshot_ids[idx]);
+        std::sort(ids.begin(), ids.end());
+        clusters.push_back(std::move(ids));
+      }
+    }
+
+    // Extend chains whose previous cluster overlaps a current cluster by at
+    // least theta; like the convoy tracker, splits spawn one successor per
+    // qualifying pair and identical successors collapse.
+    std::map<std::vector<ObjectId>, Chain> next;
+    const auto offer = [&next](Chain chain) {
+      auto [it, inserted] = next.try_emplace(chain.current, chain);
+      if (!inserted && chain.start_tick < it->second.start_tick) {
+        it->second = chain;
+      }
+    };
+
+    std::vector<bool> cluster_used(clusters.size(), false);
+    for (const Chain& chain : live) {
+      bool extended = false;
+      for (size_t ci = 0; ci < clusters.size(); ++ci) {
+        if (Jaccard(chain.current, clusters[ci]) < options.theta) continue;
+        extended = true;
+        cluster_used[ci] = true;
+        Chain successor;
+        successor.current = clusters[ci];
+        successor.common = IntersectSorted(chain.common, clusters[ci]);
+        successor.start_tick = chain.start_tick;
+        successor.end_tick = t;
+        offer(std::move(successor));
+      }
+      if (!extended) finish(chain);
+    }
+    for (size_t ci = 0; ci < clusters.size(); ++ci) {
+      if (cluster_used[ci]) continue;
+      Chain fresh;
+      fresh.current = clusters[ci];
+      fresh.common = clusters[ci];
+      fresh.start_tick = t;
+      fresh.end_tick = t;
+      offer(std::move(fresh));
+    }
+
+    live.clear();
+    live.reserve(next.size());
+    for (auto& [key, chain] : next) live.push_back(std::move(chain));
+  }
+  for (const Chain& chain : live) finish(chain);
+
+  Canonicalize(&reports);
+  return reports;
+}
+
+Mc2Accuracy MeasureMc2Accuracy(const TrajectoryDatabase& db,
+                               const ConvoyQuery& query,
+                               const Mc2Options& options,
+                               const std::vector<Convoy>& exact_result) {
+  Mc2Accuracy acc;
+  const std::vector<Convoy> reported = Mc2(db, query, options);
+  acc.reported = reported.size();
+  acc.actual = exact_result.size();
+
+  size_t false_pos = 0;
+  for (const Convoy& r : reported) {
+    if (!VerifyConvoy(db, query, r)) ++false_pos;
+  }
+  if (!reported.empty()) {
+    acc.false_positive_pct =
+        100.0 * static_cast<double>(false_pos) /
+        static_cast<double>(reported.size());
+  }
+
+  const std::vector<Convoy> missed = Uncovered(exact_result, reported);
+  if (!exact_result.empty()) {
+    acc.false_negative_pct = 100.0 * static_cast<double>(missed.size()) /
+                             static_cast<double>(exact_result.size());
+  }
+  return acc;
+}
+
+}  // namespace convoy

@@ -1,0 +1,96 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace convoy {
+
+StreamingCmc::StreamingCmc(const ConvoyQuery& query, const Options& options)
+    : query_(query), options_(options), tracker_(query.m, query.k) {}
+
+void StreamingCmc::BeginTick(Tick t) {
+  assert(!current_tick_.has_value() && "EndTick() missing");
+  assert((!last_processed_.has_value() || t > *last_processed_) &&
+         "ticks must increase");
+  // Process skipped ticks as empty snapshots so that candidate lifetimes
+  // remain strictly consecutive.
+  if (last_processed_.has_value()) {
+    for (Tick gap = *last_processed_ + 1; gap < t; ++gap) AdvanceEmpty(gap);
+  }
+  current_tick_ = t;
+  snapshot_.clear();
+}
+
+void StreamingCmc::Report(ObjectId id, const Point& position) {
+  assert(current_tick_.has_value() && "BeginTick() missing");
+  snapshot_[id] = position;
+}
+
+void StreamingCmc::AdvanceEmpty(Tick t) {
+  tracker_.Advance({}, t, t, /*step_weight=*/1, &completed_);
+}
+
+std::vector<Convoy> StreamingCmc::EndTick() {
+  assert(current_tick_.has_value() && "BeginTick() missing");
+  const Tick t = *current_tick_;
+
+  // Carry forward recently seen objects that stayed silent this tick.
+  if (options_.carry_forward_ticks > 0) {
+    for (const auto& [id, seen] : last_seen_) {
+      if (snapshot_.count(id) > 0) continue;
+      if (t - seen.tick <= options_.carry_forward_ticks) {
+        snapshot_.emplace(id, seen.position);
+      }
+    }
+  }
+  for (const auto& [id, pos] : snapshot_) {
+    last_seen_[id] = LastSeen{pos, t};
+  }
+
+  std::vector<std::vector<ObjectId>> cluster_objects;
+  if (snapshot_.size() >= query_.m) {
+    std::vector<Point> points;
+    std::vector<ObjectId> ids;
+    points.reserve(snapshot_.size());
+    ids.reserve(snapshot_.size());
+    for (const auto& [id, pos] : snapshot_) {
+      ids.push_back(id);
+      points.push_back(pos);
+    }
+    const Clustering clustering = Dbscan(points, query_.e, query_.m);
+    for (const std::vector<size_t>& cluster : clustering.clusters) {
+      std::vector<ObjectId> members;
+      members.reserve(cluster.size());
+      for (const size_t idx : cluster) members.push_back(ids[idx]);
+      std::sort(members.begin(), members.end());
+      cluster_objects.push_back(std::move(members));
+    }
+  }
+  tracker_.Advance(cluster_objects, t, t, /*step_weight=*/1, &completed_);
+
+  last_processed_ = t;
+  current_tick_.reset();
+  return DrainCompleted();
+}
+
+std::vector<Convoy> StreamingCmc::Finish() {
+  assert(!current_tick_.has_value() && "EndTick() missing");
+  tracker_.Flush(&completed_);
+  last_seen_.clear();
+  return DrainCompleted();
+}
+
+std::vector<Convoy> StreamingCmc::DrainCompleted() {
+  std::vector<Convoy> out;
+  out.reserve(completed_.size());
+  for (const Candidate& cand : completed_) out.push_back(cand.ToConvoy());
+  completed_.clear();
+  if (options_.remove_dominated) {
+    out = RemoveDominated(std::move(out));
+  } else {
+    Canonicalize(&out);
+  }
+  return out;
+}
+
+}  // namespace convoy

@@ -1,0 +1,101 @@
+#ifndef CONVOY_CORE_STREAMING_H_
+#define CONVOY_CORE_STREAMING_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "core/candidate.h"
+#include "core/convoy_set.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// Online convoy discovery over a live position stream.
+///
+/// `StreamingCmc` is the incremental form of CMC (paper Algorithm 1): feed
+/// it one snapshot of object positions per tick, in tick order, and it
+/// reports each convoy as soon as the convoy *closes* (its group disperses
+/// or the stream ends). Internally it runs the same snapshot DBSCAN and
+/// candidate algebra as the batch algorithm, so — given the same virtual
+/// points for missing samples — its output equals batch CMC's
+/// (property-tested in streaming_test.cc).
+///
+/// Unlike batch CMC it cannot interpolate a gap it has not seen yet; the
+/// caller decides how to handle missing reports:
+///  * feed every live object's position each tick (e.g. from a tracker
+///    that already extrapolates), or
+///  * use `CarryForwardTicks` to let the engine repeat an object's last
+///    position for up to that many ticks (0 disables carrying).
+///
+/// Typical loop:
+///
+///   StreamingCmc stream(query);
+///   for (Tick t = ...; ...; ++t) {
+///     stream.BeginTick(t);
+///     for (auto& [id, pos] : live_positions) stream.Report(id, pos);
+///     for (const Convoy& c : stream.EndTick()) alert(c);
+///   }
+///   for (const Convoy& c : stream.Finish()) alert(c);
+class StreamingCmc {
+ public:
+  struct Options {
+    /// Repeat an object's last known position for up to this many ticks
+    /// when no report arrives (crude dead reckoning). 0 = objects vanish
+    /// immediately when silent.
+    Tick carry_forward_ticks = 0;
+
+    /// Apply dominance pruning to the convoys emitted by one EndTick()
+    /// batch (across batches the stream already avoids duplicates).
+    bool remove_dominated = true;
+  };
+
+  explicit StreamingCmc(const ConvoyQuery& query)
+      : StreamingCmc(query, Options()) {}
+  StreamingCmc(const ConvoyQuery& query, const Options& options);
+
+  /// Starts tick `t`. Ticks must be fed in strictly increasing order;
+  /// skipped ticks are processed as empty snapshots (every candidate's
+  /// consecutiveness breaks there, as the definition requires).
+  void BeginTick(Tick t);
+
+  /// Reports the position of `id` at the current tick. At most one report
+  /// per object per tick; the last one wins.
+  void Report(ObjectId id, const Point& position);
+
+  /// Finishes the current tick: clusters the snapshot, advances the
+  /// candidate algebra, and returns every convoy that closed at this tick.
+  std::vector<Convoy> EndTick();
+
+  /// Ends the stream and returns the convoys still alive (lifetime >= k).
+  std::vector<Convoy> Finish();
+
+  /// Number of convoy candidates currently alive.
+  size_t LiveCandidates() const { return tracker_.LiveCount(); }
+
+  /// The current tick, if a stream is in progress.
+  std::optional<Tick> CurrentTick() const { return current_tick_; }
+
+ private:
+  struct LastSeen {
+    Point position;
+    Tick tick;
+  };
+
+  std::vector<Convoy> DrainCompleted();
+  void AdvanceEmpty(Tick t);
+
+  ConvoyQuery query_;
+  Options options_;
+  CandidateTracker tracker_;
+  std::optional<Tick> current_tick_;
+  std::optional<Tick> last_processed_;
+  std::unordered_map<ObjectId, Point> snapshot_;
+  std::unordered_map<ObjectId, LastSeen> last_seen_;
+  std::vector<Candidate> completed_;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_STREAMING_H_

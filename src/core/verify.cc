@@ -1,0 +1,51 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cluster/dbscan.h"
+#include "traj/interpolate.h"
+
+namespace convoy {
+
+bool ObjectsConnectedAt(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const std::vector<ObjectId>& objects, Tick t) {
+  std::vector<Point> snapshot;
+  std::vector<ObjectId> snapshot_ids;
+  for (const Trajectory& traj : db.trajectories()) {
+    const auto pos = InterpolateAt(traj, t);
+    if (!pos.has_value()) continue;
+    snapshot.push_back(*pos);
+    snapshot_ids.push_back(traj.id());
+  }
+
+  // Every queried object must be alive at t.
+  std::unordered_set<ObjectId> alive(snapshot_ids.begin(), snapshot_ids.end());
+  for (const ObjectId id : objects) {
+    if (alive.count(id) == 0) return false;
+  }
+
+  const Clustering clustering = Dbscan(snapshot, query.e, query.m);
+  const std::unordered_set<ObjectId> wanted(objects.begin(), objects.end());
+  for (const std::vector<size_t>& cluster : clustering.clusters) {
+    size_t hits = 0;
+    for (const size_t idx : cluster) {
+      if (wanted.count(snapshot_ids[idx]) > 0) ++hits;
+    }
+    if (hits == wanted.size()) return true;
+    if (hits > 0) return false;  // split across clusters (or partly noise)
+  }
+  return false;
+}
+
+bool VerifyConvoy(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                  const Convoy& candidate) {
+  if (candidate.objects.size() < query.m) return false;
+  if (candidate.Lifetime() < query.k) return false;
+  for (Tick t = candidate.start_tick; t <= candidate.end_tick; ++t) {
+    if (!ObjectsConnectedAt(db, query, candidate.objects, t)) return false;
+  }
+  return true;
+}
+
+}  // namespace convoy

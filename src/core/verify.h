@@ -1,0 +1,31 @@
+#ifndef CONVOY_CORE_VERIFY_H_
+#define CONVOY_CORE_VERIFY_H_
+
+#include "core/convoy_set.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Independent checker of the convoy definition (paper Definition 3),
+/// implemented directly from first principles — no shared code with the
+/// discovery algorithms — so tests and the Appendix B.1 accuracy study can
+/// use it as ground truth.
+///
+/// `candidate` qualifies when:
+///  * it has at least query.m objects,
+///  * its interval spans at least query.k ticks,
+///  * at every tick of the interval all of its objects are alive and belong
+///    to one common DBSCAN(e, m) cluster of the *full* snapshot (density
+///    connection is defined over all objects' locations, matching how CMC
+///    constructs convoys).
+bool VerifyConvoy(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                  const Convoy& candidate);
+
+/// True if all of the candidate's objects are in one density-connected
+/// cluster of the snapshot at tick t (and all alive). Exposed for tests.
+bool ObjectsConnectedAt(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const std::vector<ObjectId>& objects, Tick t);
+
+}  // namespace convoy
+
+#endif  // CONVOY_CORE_VERIFY_H_

@@ -1,0 +1,70 @@
+#include "datagen/convoy_planter.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace convoy {
+
+std::vector<DensePath> PlantGroupPaths(Rng& rng, const MovementConfig& move,
+                                       const PlantConfig& plant,
+                                       const PlantedGroup& group,
+                                       Tick life_start, Tick life_end) {
+  const size_t g = group.members.size();
+  const size_t window_len =
+      static_cast<size_t>(group.window_end - group.window_start + 1);
+  const size_t pre_len =
+      static_cast<size_t>(group.window_start - life_start);
+  const size_t post_len = static_cast<size_t>(life_end - group.window_end);
+
+  // The virtual leader's path through the convoy window.
+  const Point gather = RandomPointIn(rng, move);
+  const DensePath leader = WaypointPathFrom(rng, move, gather, window_len);
+
+  // Stable formation slots on a ring inside the cohesion radius; jitter must
+  // not push a member outside the radius.
+  const double slot_radius =
+      std::max(0.0, plant.cohesion_radius - 3.0 * plant.jitter);
+
+  std::vector<DensePath> paths;
+  paths.reserve(g);
+  for (size_t i = 0; i < g; ++i) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(i) /
+        static_cast<double>(g) + rng.Uniform(0.0, 0.3);
+    const Point slot(slot_radius * std::cos(angle) * rng.Uniform(0.3, 1.0),
+                     slot_radius * std::sin(angle) * rng.Uniform(0.3, 1.0));
+
+    DensePath member;
+    member.reserve(pre_len + window_len + post_len);
+
+    // Convoy phase first, so the approach can target its first position.
+    DensePath convoy_phase;
+    convoy_phase.reserve(window_len);
+    for (const Point& lead_pos : leader) {
+      const Point noise(rng.Gaussian(0.0, plant.jitter),
+                        rng.Gaussian(0.0, plant.jitter));
+      convoy_phase.push_back(lead_pos + slot + noise);
+    }
+
+    if (pre_len > 0) {
+      DensePath approach =
+          WaypointPathTo(rng, move, convoy_phase.front(), pre_len + 1);
+      approach.pop_back();  // the target tick belongs to the convoy phase
+      member.insert(member.end(), approach.begin(), approach.end());
+    }
+    member.insert(member.end(), convoy_phase.begin(), convoy_phase.end());
+    if (post_len > 0) {
+      DensePath depart =
+          WaypointPathFrom(rng, move, convoy_phase.back(), post_len + 1);
+      member.insert(member.end(), depart.begin() + 1, depart.end());
+    }
+    paths.push_back(std::move(member));
+  }
+  return paths;
+}
+
+Convoy ToExpectedConvoy(const PlantedGroup& group) {
+  return Convoy{group.members, group.window_start, group.window_end};
+}
+
+}  // namespace convoy

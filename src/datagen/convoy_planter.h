@@ -1,0 +1,52 @@
+#ifndef CONVOY_DATAGEN_CONVOY_PLANTER_H_
+#define CONVOY_DATAGEN_CONVOY_PLANTER_H_
+
+#include <vector>
+
+#include "core/convoy_set.h"
+#include "datagen/movement.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace convoy {
+
+/// Description of one ground-truth convoy to plant into a dataset.
+struct PlantedGroup {
+  std::vector<ObjectId> members;  ///< sorted object ids
+  Tick window_start = 0;          ///< first tick the group travels together
+  Tick window_end = 0;            ///< last tick
+};
+
+/// Parameters controlling how tightly planted members travel.
+struct PlantConfig {
+  /// Maximum distance of a member from the (virtual) group leader while the
+  /// group travels together. Choose <= e/2 so that all pairwise member
+  /// distances stay within the query range, guaranteeing density connection
+  /// for groups of size >= m.
+  double cohesion_radius = 3.0;
+
+  /// Per-tick positional noise of a member around its formation slot.
+  double jitter = 0.3;
+};
+
+/// Builds the dense per-tick paths of one planted group over the trajectory
+/// lifetimes [life_start, life_end] (shared by all members):
+///  * inside [window_start, window_end] every member follows a common
+///    leader path offset by a stable formation slot plus jitter;
+///  * before the window each member approaches the gathering point on an
+///    independent waypoint walk, and after the window it wanders away.
+///
+/// Returns one DensePath per member, index-aligned with `group.members`.
+/// All paths span exactly life_end - life_start + 1 ticks.
+std::vector<DensePath> PlantGroupPaths(Rng& rng, const MovementConfig& move,
+                                       const PlantConfig& plant,
+                                       const PlantedGroup& group,
+                                       Tick life_start, Tick life_end);
+
+/// Converts a planted group into the Convoy it should (at least) induce,
+/// for use as ground truth in tests: the members over the window interval.
+Convoy ToExpectedConvoy(const PlantedGroup& group);
+
+}  // namespace convoy
+
+#endif  // CONVOY_DATAGEN_CONVOY_PLANTER_H_

@@ -1,0 +1,59 @@
+#include "datagen/movement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace convoy {
+
+Point RandomPointIn(Rng& rng, const MovementConfig& config) {
+  return Point(rng.Uniform(0.0, config.world_size),
+               rng.Uniform(0.0, config.world_size));
+}
+
+DensePath WaypointPathFrom(Rng& rng, const MovementConfig& config,
+                           const Point& start, size_t num_ticks) {
+  DensePath path;
+  path.reserve(num_ticks);
+  if (num_ticks == 0) return path;
+
+  Point pos = start;
+  Point waypoint = RandomPointIn(rng, config);
+  path.push_back(pos);
+
+  for (size_t i = 1; i < num_ticks; ++i) {
+    if (rng.Chance(config.pause_prob)) {
+      path.push_back(pos);
+      continue;
+    }
+    Point to_target = waypoint - pos;
+    double dist = to_target.Norm();
+    const double step = std::max(
+        0.0, rng.Gaussian(config.speed_mean,
+                          config.speed_mean * config.speed_jitter));
+    if (dist <= step || dist < 1e-9) {
+      // Arrived: land on the waypoint and pick a new one.
+      pos = waypoint;
+      waypoint = RandomPointIn(rng, config);
+    } else {
+      const Point dir = to_target * (1.0 / dist);
+      // Lateral wobble perpendicular to the heading.
+      const Point lateral(-dir.y, dir.x);
+      const double wobble =
+          rng.Gaussian(0.0, config.speed_mean * config.heading_noise);
+      pos = pos + dir * step + lateral * wobble;
+      pos.x = std::clamp(pos.x, 0.0, config.world_size);
+      pos.y = std::clamp(pos.y, 0.0, config.world_size);
+    }
+    path.push_back(pos);
+  }
+  return path;
+}
+
+DensePath WaypointPathTo(Rng& rng, const MovementConfig& config,
+                         const Point& end, size_t num_ticks) {
+  DensePath path = WaypointPathFrom(rng, config, end, num_ticks);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace convoy

@@ -1,0 +1,42 @@
+#ifndef CONVOY_DATAGEN_MOVEMENT_H_
+#define CONVOY_DATAGEN_MOVEMENT_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "util/random.h"
+
+namespace convoy {
+
+/// Parameters of the random-waypoint movement model the synthetic datasets
+/// are built from: an object repeatedly picks a waypoint uniformly in the
+/// world square and moves toward it at a jittered speed, with occasional
+/// pauses (vehicles at intersections, cattle grazing).
+struct MovementConfig {
+  double world_size = 10000.0;  ///< side of the square world, in meters
+  double speed_mean = 10.0;     ///< mean displacement per tick
+  double speed_jitter = 0.3;    ///< relative sigma of per-tick speed
+  double pause_prob = 0.02;     ///< chance per tick to idle in place
+  double heading_noise = 0.05;  ///< lateral wobble as a fraction of speed
+};
+
+/// A dense per-tick position sequence (one Point per tick).
+using DensePath = std::vector<Point>;
+
+/// Generates `num_ticks` positions starting from `start`, following the
+/// random-waypoint model. Deterministic in `rng`.
+DensePath WaypointPathFrom(Rng& rng, const MovementConfig& config,
+                           const Point& start, size_t num_ticks);
+
+/// Generates a path of `num_ticks` positions *ending* at `end` — used to
+/// give convoy members an organic approach to their gathering point (the
+/// path is a waypoint walk generated backwards).
+DensePath WaypointPathTo(Rng& rng, const MovementConfig& config,
+                         const Point& end, size_t num_ticks);
+
+/// Uniformly random point in the world square.
+Point RandomPointIn(Rng& rng, const MovementConfig& config);
+
+}  // namespace convoy
+
+#endif  // CONVOY_DATAGEN_MOVEMENT_H_

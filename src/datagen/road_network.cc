@@ -1,0 +1,115 @@
+#include "datagen/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace convoy {
+
+namespace {
+
+// Nearest multiple of spacing within [0, world].
+double SnapCoord(const RoadConfig& config, double x) {
+  const double snapped =
+      std::round(x / config.spacing) * config.spacing;
+  return std::clamp(snapped, 0.0, config.world_size);
+}
+
+}  // namespace
+
+Point SnapToRoad(const RoadConfig& config, const Point& p) {
+  const double sx = SnapCoord(config, p.x);
+  const double sy = SnapCoord(config, p.y);
+  // Snap the axis that is cheaper to move to; the other stays free.
+  if (std::abs(sx - p.x) < std::abs(sy - p.y)) {
+    return Point(sx, std::clamp(p.y, 0.0, config.world_size));
+  }
+  return Point(std::clamp(p.x, 0.0, config.world_size), sy);
+}
+
+Point RandomIntersection(Rng& rng, const RoadConfig& config) {
+  const int64_t cells =
+      std::max<int64_t>(1, static_cast<int64_t>(config.world_size /
+                                                config.spacing));
+  return Point(static_cast<double>(rng.UniformInt(0, cells)) * config.spacing,
+               static_cast<double>(rng.UniformInt(0, cells)) *
+                   config.spacing);
+}
+
+DensePath RoadPathFrom(Rng& rng, const RoadConfig& config, const Point& start,
+                       size_t num_ticks) {
+  DensePath path;
+  path.reserve(num_ticks);
+  if (num_ticks == 0) return path;
+
+  Point pos = SnapToRoad(config, start);
+  // Route = sequence of corner points to visit (L-shaped legs).
+  std::vector<Point> route;
+  const auto plan_route = [&]() {
+    const Point dest = RandomIntersection(rng, config);
+    // Travel along the current street first, then turn. If pos is on a
+    // vertical street (x snapped), move vertically to dest.y, then
+    // horizontally; otherwise the transpose.
+    const bool on_vertical =
+        std::abs(pos.x - SnapCoord(config, pos.x)) <
+        std::abs(pos.y - SnapCoord(config, pos.y));
+    route.clear();
+    if (on_vertical) {
+      route.push_back(Point(pos.x, SnapCoord(config, dest.y)));
+      route.push_back(Point(dest.x, SnapCoord(config, dest.y)));
+    } else {
+      route.push_back(Point(SnapCoord(config, dest.x), pos.y));
+      route.push_back(Point(SnapCoord(config, dest.x), dest.y));
+    }
+    std::reverse(route.begin(), route.end());  // use as a stack
+  };
+  plan_route();
+
+  const auto noisy = [&](const Point& p) {
+    return Point(p.x + rng.Gaussian(0.0, config.gps_noise),
+                 p.y + rng.Gaussian(0.0, config.gps_noise));
+  };
+
+  path.push_back(noisy(pos));
+  for (size_t i = 1; i < num_ticks; ++i) {
+    if (rng.Chance(config.stop_prob)) {
+      path.push_back(noisy(pos));
+      continue;
+    }
+    double budget = std::max(
+        0.0, rng.Gaussian(config.speed_mean,
+                          config.speed_mean * config.speed_jitter));
+    // Consume the movement budget along the route, possibly crossing
+    // corners within one tick.
+    while (budget > 0.0) {
+      if (route.empty()) plan_route();
+      const Point target = route.back();
+      const Point to_target = target - pos;
+      const double dist = std::abs(to_target.x) + std::abs(to_target.y);
+      if (dist <= budget) {
+        pos = target;
+        budget -= dist;
+        route.pop_back();
+      } else {
+        // Move along the single non-zero axis of the leg.
+        if (std::abs(to_target.x) > 1e-9) {
+          pos.x += std::copysign(std::min(budget, std::abs(to_target.x)),
+                                 to_target.x);
+        } else {
+          pos.y += std::copysign(std::min(budget, std::abs(to_target.y)),
+                                 to_target.y);
+        }
+        budget = 0.0;
+      }
+    }
+    path.push_back(noisy(pos));
+  }
+  return path;
+}
+
+bool IsOnRoad(const RoadConfig& config, const Point& p, double tolerance) {
+  const double dx = std::abs(p.x - SnapCoord(config, p.x));
+  const double dy = std::abs(p.y - SnapCoord(config, p.y));
+  return std::min(dx, dy) <= tolerance;
+}
+
+}  // namespace convoy

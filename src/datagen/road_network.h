@@ -1,0 +1,42 @@
+#ifndef CONVOY_DATAGEN_ROAD_NETWORK_H_
+#define CONVOY_DATAGEN_ROAD_NETWORK_H_
+
+#include "datagen/movement.h"
+
+namespace convoy {
+
+/// A Manhattan grid of roads: horizontal and vertical streets every
+/// `spacing` units across the world square. Vehicles travel along streets
+/// and turn at intersections, which concentrates traffic on shared
+/// corridors the way real road-constrained GPS data does — convoys (and
+/// near-convoys that stress the discovery algorithms) arise naturally from
+/// route sharing rather than only from planting.
+struct RoadConfig {
+  double world_size = 10000.0;
+  double spacing = 500.0;       ///< distance between parallel streets
+  double speed_mean = 10.0;     ///< displacement per tick along the street
+  double speed_jitter = 0.2;    ///< relative sigma of per-tick speed
+  double gps_noise = 1.0;       ///< isotropic position noise per sample
+  double stop_prob = 0.03;      ///< chance per tick to wait (traffic light)
+};
+
+/// Nearest point to `p` that lies on some street of the grid.
+Point SnapToRoad(const RoadConfig& config, const Point& p);
+
+/// A random intersection of the grid.
+Point RandomIntersection(Rng& rng, const RoadConfig& config);
+
+/// Generates `num_ticks` positions starting at SnapToRoad(start): the
+/// vehicle repeatedly picks a random intersection as destination and drives
+/// there along an L-shaped street route. Deterministic in `rng`.
+DensePath RoadPathFrom(Rng& rng, const RoadConfig& config, const Point& start,
+                       size_t num_ticks);
+
+/// True if `p` lies within `tolerance` of some street (test helper; GPS
+/// noise is excluded by passing the path point before noise is applied —
+/// callers should allow config.gps_noise slack).
+bool IsOnRoad(const RoadConfig& config, const Point& p, double tolerance);
+
+}  // namespace convoy
+
+#endif  // CONVOY_DATAGEN_ROAD_NETWORK_H_

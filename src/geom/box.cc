@@ -1,0 +1,36 @@
+#include "geom/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace convoy {
+
+Box Box::Of(const Segment& s) {
+  return Box(Point(std::min(s.a.x, s.b.x), std::min(s.a.y, s.b.y)),
+             Point(std::max(s.a.x, s.b.x), std::max(s.a.y, s.b.y)));
+}
+
+void Box::Extend(const Point& p) {
+  min_.x = std::min(min_.x, p.x);
+  min_.y = std::min(min_.y, p.y);
+  max_.x = std::max(max_.x, p.x);
+  max_.y = std::max(max_.y, p.y);
+}
+
+void Box::Extend(const Box& other) {
+  if (other.Empty()) return;
+  Extend(other.min_);
+  Extend(other.max_);
+}
+
+double Dmin(const Box& a, const Box& b) {
+  if (a.Empty() || b.Empty()) return std::numeric_limits<double>::infinity();
+  // Per-axis gap between the intervals; zero when they overlap.
+  const double dx =
+      std::max({0.0, a.min().x - b.max().x, b.min().x - a.max().x});
+  const double dy =
+      std::max({0.0, a.min().y - b.max().y, b.min().y - a.max().y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace convoy

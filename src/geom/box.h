@@ -1,0 +1,60 @@
+#ifndef CONVOY_GEOM_BOX_H_
+#define CONVOY_GEOM_BOX_H_
+
+#include <limits>
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace convoy {
+
+/// Axis-aligned minimum bounding box. Used by Lemma 2 to prune whole groups
+/// of simplified line segments before their pairwise distances are examined.
+class Box {
+ public:
+  /// Creates an empty box (contains nothing; Extend() makes it valid).
+  Box()
+      : min_(std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity()),
+        max_(-std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity()) {}
+
+  /// Creates the box spanning the two corner points.
+  Box(const Point& lo, const Point& hi) : min_(lo), max_(hi) {}
+
+  /// The bounding box B(l) of a line segment (paper Table 1).
+  static Box Of(const Segment& s);
+
+  /// The bounding box of a timed segment's spatial extent.
+  static Box Of(const TimedSegment& s) { return Of(s.Spatial()); }
+
+  /// True if no point has ever been added.
+  bool Empty() const { return min_.x > max_.x; }
+
+  /// Grows the box to cover point p.
+  void Extend(const Point& p);
+
+  /// Grows the box to cover another box.
+  void Extend(const Box& other);
+
+  /// True if the point lies inside (inclusive) the box.
+  bool Contains(const Point& p) const {
+    return min_.x <= p.x && p.x <= max_.x && min_.y <= p.y && p.y <= max_.y;
+  }
+
+  const Point& min() const { return min_; }
+  const Point& max() const { return max_; }
+
+ private:
+  Point min_;
+  Point max_;
+};
+
+/// Dmin(B_u, B_v): the minimum distance between any pair of points belonging
+/// to the two boxes (paper Definition 1). Zero when the boxes intersect.
+/// Either box being empty yields +infinity (nothing to be close to).
+double Dmin(const Box& a, const Box& b);
+
+}  // namespace convoy
+
+#endif  // CONVOY_GEOM_BOX_H_

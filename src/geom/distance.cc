@@ -1,0 +1,82 @@
+#include "geom/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace convoy {
+
+double DPL2(const Point& p, const Segment& l) {
+  const Point d = l.b - l.a;
+  const double len2 = d.Norm2();
+  if (len2 == 0.0) return D2(p, l.a);  // degenerate segment
+  const double s = std::clamp((p - l.a).Dot(d) / len2, 0.0, 1.0);
+  return D2(p, l.At(s));
+}
+
+double DPL(const Point& p, const Segment& l) { return std::sqrt(DPL2(p, l)); }
+
+namespace {
+
+// Orientation of the ordered triple (a, b, c): >0 counter-clockwise,
+// <0 clockwise, 0 collinear (within exact double arithmetic).
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Segment& u, const Segment& v) {
+  const double d1 = Cross(v.a, v.b, u.a);
+  const double d2 = Cross(v.a, v.b, u.b);
+  const double d3 = Cross(u.a, u.b, v.a);
+  const double d4 = Cross(u.a, u.b, v.b);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(v.a, v.b, u.a)) return true;
+  if (d2 == 0 && OnSegment(v.a, v.b, u.b)) return true;
+  if (d3 == 0 && OnSegment(u.a, u.b, v.a)) return true;
+  if (d4 == 0 && OnSegment(u.a, u.b, v.b)) return true;
+  return false;
+}
+
+double DLL(const Segment& u, const Segment& v) {
+  if (SegmentsIntersect(u, v)) return 0.0;
+  // Disjoint segments: the minimum is attained endpoint-to-segment.
+  const double d = std::min(std::min(DPL2(u.a, v), DPL2(u.b, v)),
+                            std::min(DPL2(v.a, u), DPL2(v.b, u)));
+  return std::sqrt(d);
+}
+
+double CpaTime(const TimedSegment& p, const TimedSegment& q) {
+  const TickOverlap ov = OverlapTicks(p, q);
+  const double lo = static_cast<double>(ov.lo);
+  const double hi = static_cast<double>(ov.hi);
+  // Relative position and velocity of the two moving points as linear
+  // functions of absolute time t: d(t) = d0 + (t - lo) * dv.
+  const Point p0 = p.PositionAt(lo);
+  const Point q0 = q.PositionAt(lo);
+  const Point d0 = p0 - q0;
+  const Point dv = p.Velocity() - q.Velocity();
+  const double dv2 = dv.Norm2();
+  if (dv2 <= 0.0) return lo;  // parallel motion: distance constant over time
+  // Unclamped minimizer of |d0 + s*dv|^2 with s = t - lo.
+  const double s = -d0.Dot(dv) / dv2;
+  return std::clamp(lo + s, lo, hi);
+}
+
+double DStar(const TimedSegment& p, const TimedSegment& q) {
+  const TickOverlap ov = OverlapTicks(p, q);
+  if (!ov.valid) return std::numeric_limits<double>::infinity();
+  const double t = CpaTime(p, q);
+  return D(p.PositionAt(t), q.PositionAt(t));
+}
+
+}  // namespace convoy

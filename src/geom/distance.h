@@ -1,0 +1,40 @@
+#ifndef CONVOY_GEOM_DISTANCE_H_
+#define CONVOY_GEOM_DISTANCE_H_
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace convoy {
+
+/// DPL(p, l): the shortest Euclidean distance between point p and any point
+/// on segment l (paper Definition 1).
+double DPL(const Point& p, const Segment& l);
+
+/// Squared version of DPL for comparison-only callers.
+double DPL2(const Point& p, const Segment& l);
+
+/// DLL(l_u, l_v): the shortest Euclidean distance between any two points on
+/// the two segments (paper Definition 1). Zero if the segments intersect.
+double DLL(const Segment& u, const Segment& v);
+
+/// True if the two spatial segments properly or improperly intersect.
+bool SegmentsIntersect(const Segment& u, const Segment& v);
+
+/// The time of Closest Point of Approach for two linearly moving points
+/// (paper Section 6.2). The motions are given by the timed segments' linear
+/// time parameterizations; the returned time is clamped to the segments'
+/// common time interval. Requires the intervals to overlap.
+///
+/// If the relative velocity is zero (objects move in parallel), any time in
+/// the common interval attains the minimum; the interval start is returned.
+double CpaTime(const TimedSegment& p, const TimedSegment& q);
+
+/// D*(l'_1, l'_2): the tightened, time-aware distance between two simplified
+/// line segments (paper Section 6.2) — the Euclidean distance between the two
+/// moving positions at the (clamped) CPA time. Returns +infinity when the
+/// segments' time intervals do not intersect.
+double DStar(const TimedSegment& p, const TimedSegment& q);
+
+}  // namespace convoy
+
+#endif  // CONVOY_GEOM_DISTANCE_H_

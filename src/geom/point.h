@@ -1,0 +1,70 @@
+#ifndef CONVOY_GEOM_POINT_H_
+#define CONVOY_GEOM_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace convoy {
+
+/// Discrete time point. The paper's time domain is the ordered set
+/// {t_1, ..., t_T}; we model it as integer ticks so that "k consecutive time
+/// points" is exact arithmetic rather than floating-point comparison.
+using Tick = int64_t;
+
+/// A location in the 2-D spatial domain.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  /// Dot product treating the point as a vector from the origin.
+  double Dot(const Point& o) const { return x * o.x + y * o.y; }
+
+  /// Squared Euclidean norm.
+  double Norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// A timestamped location: one sample p_j = (x_j, y_j, t_j) of a trajectory.
+struct TimedPoint {
+  Point pos;
+  Tick t = 0;
+
+  TimedPoint() = default;
+  TimedPoint(double x, double y, Tick tick) : pos(x, y), t(tick) {}
+  TimedPoint(const Point& p, Tick tick) : pos(p), t(tick) {}
+
+  bool operator==(const TimedPoint& o) const {
+    return pos == o.pos && t == o.t;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TimedPoint& p) {
+  return os << "(" << p.pos.x << ", " << p.pos.y << ", t=" << p.t << ")";
+}
+
+/// Euclidean distance D(p_u, p_v) between two points (paper Definition 1).
+inline double D(const Point& a, const Point& b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance; cheaper when only comparisons are needed.
+inline double D2(const Point& a, const Point& b) { return (a - b).Norm2(); }
+
+}  // namespace convoy
+
+#endif  // CONVOY_GEOM_POINT_H_

@@ -1,0 +1,3 @@
+#include "geom/segment.h"
+
+// All members are inline; the TU anchors the module in the build graph.

@@ -1,0 +1,90 @@
+#ifndef CONVOY_GEOM_SEGMENT_H_
+#define CONVOY_GEOM_SEGMENT_H_
+
+#include <algorithm>
+
+#include "geom/point.h"
+
+namespace convoy {
+
+/// A line segment in the spatial domain.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(const Point& pa, const Point& pb) : a(pa), b(pb) {}
+
+  /// Segment length.
+  double Length() const { return D(a, b); }
+
+  /// The point at parameter s in [0,1] along the segment.
+  Point At(double s) const { return a + (b - a) * s; }
+};
+
+/// A line segment of a *simplified trajectory*: both endpoints carry
+/// timestamps (they are retained samples of the original trajectory), so the
+/// segment has a time interval l'.tau = [start.t, end.t] and a linearly
+/// time-parameterized position l'(t) (paper Section 6.2).
+struct TimedSegment {
+  TimedPoint start;
+  TimedPoint end;
+
+  TimedSegment() = default;
+  TimedSegment(const TimedPoint& s, const TimedPoint& e) : start(s), end(e) {}
+
+  /// The purely spatial segment.
+  Segment Spatial() const { return Segment(start.pos, end.pos); }
+
+  /// First tick of the segment's time interval.
+  Tick BeginTick() const { return start.t; }
+
+  /// Last tick of the segment's time interval.
+  Tick EndTick() const { return end.t; }
+
+  /// True if tick t lies inside [BeginTick, EndTick].
+  bool CoversTick(Tick t) const { return start.t <= t && t <= end.t; }
+
+  /// True if the segment's time interval intersects [lo, hi].
+  bool IntersectsTickRange(Tick lo, Tick hi) const {
+    return start.t <= hi && lo <= end.t;
+  }
+
+  /// The time-ratio position l'(t) = p_u + (t-u)/(v-u) * (p_v - p_u)
+  /// (paper Section 6.2). For a zero-length time interval returns start.
+  /// `t` is clamped to the segment's interval.
+  Point PositionAt(double t) const {
+    const double u = static_cast<double>(start.t);
+    const double v = static_cast<double>(end.t);
+    if (v <= u) return start.pos;
+    const double s = std::clamp((t - u) / (v - u), 0.0, 1.0);
+    return start.pos + (end.pos - start.pos) * s;
+  }
+
+  /// Velocity vector in space units per tick (zero if the interval is empty).
+  Point Velocity() const {
+    const double dt = static_cast<double>(end.t - start.t);
+    if (dt <= 0.0) return Point(0.0, 0.0);
+    return (end.pos - start.pos) * (1.0 / dt);
+  }
+};
+
+/// Returns the overlap [lo, hi] of the two segments' time intervals;
+/// `valid` is false when the intervals are disjoint.
+struct TickOverlap {
+  Tick lo = 0;
+  Tick hi = 0;
+  bool valid = false;
+};
+
+inline TickOverlap OverlapTicks(const TimedSegment& p, const TimedSegment& q) {
+  TickOverlap o;
+  o.lo = std::max(p.BeginTick(), q.BeginTick());
+  o.hi = std::min(p.EndTick(), q.EndTick());
+  o.valid = o.lo <= o.hi;
+  return o;
+}
+
+}  // namespace convoy
+
+#endif  // CONVOY_GEOM_SEGMENT_H_

@@ -1,0 +1,128 @@
+#include "io/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace convoy {
+
+namespace {
+
+// Splits a CSV line into at most 4 fields; returns false on field count
+// mismatch. No quoting support — trajectory rows are purely numeric.
+bool SplitFields(std::string_view line, std::string_view fields[4]) {
+  size_t field = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (field >= 4) return false;
+      fields[field++] = line.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  return field == 4;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+CsvLoadResult LoadTrajectoriesCsv(std::istream& in) {
+  CsvLoadResult result;
+  std::map<ObjectId, std::vector<TimedPoint>> rows;
+
+  std::string line;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    std::string_view view = Trim(line);
+    if (view.empty()) continue;
+    std::string_view fields[4];
+    int64_t id = 0;
+    if (!SplitFields(view, fields) || !ParseInt(Trim(fields[0]), &id)) {
+      if (first_line) {
+        first_line = false;  // header
+        continue;
+      }
+      ++result.lines_skipped;
+      continue;
+    }
+    first_line = false;
+    int64_t tick = 0;
+    double x = 0.0;
+    double y = 0.0;
+    if (id < 0 || !ParseInt(Trim(fields[1]), &tick) ||
+        !ParseDouble(Trim(fields[2]), &x) || !ParseDouble(Trim(fields[3]), &y)) {
+      ++result.lines_skipped;
+      continue;
+    }
+    rows[static_cast<ObjectId>(id)].emplace_back(x, y, tick);
+    ++result.lines_parsed;
+  }
+
+  for (auto& [id, samples] : rows) {
+    result.db.Add(Trajectory(id, std::move(samples)));
+  }
+  result.ok = true;
+  return result;
+}
+
+CsvLoadResult LoadTrajectoriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    CsvLoadResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  return LoadTrajectoriesCsv(in);
+}
+
+void SaveTrajectoriesCsv(const TrajectoryDatabase& db, std::ostream& out) {
+  // Round-trip-exact doubles: discovery results must not depend on whether
+  // the data took a detour through a file.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "object_id,tick,x,y\n";
+  for (const Trajectory& traj : db.trajectories()) {
+    for (const TimedPoint& p : traj.samples()) {
+      out << traj.id() << "," << p.t << "," << p.pos.x << "," << p.pos.y
+          << "\n";
+    }
+  }
+}
+
+bool SaveTrajectoriesCsv(const TrajectoryDatabase& db,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveTrajectoriesCsv(db, out);
+  return out.good();
+}
+
+}  // namespace convoy

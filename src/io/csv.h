@@ -1,0 +1,38 @@
+#ifndef CONVOY_IO_CSV_H_
+#define CONVOY_IO_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Result of a CSV load: the database plus parse diagnostics.
+struct CsvLoadResult {
+  TrajectoryDatabase db;
+  size_t lines_parsed = 0;
+  size_t lines_skipped = 0;  ///< malformed or out-of-order rows
+  bool ok = false;           ///< false when the file could not be opened
+  std::string error;
+};
+
+/// Loads trajectories from a CSV stream of rows `object_id,tick,x,y`.
+/// A single header line is tolerated (detected by a non-numeric first
+/// field). Rows may appear in any order; rows with duplicate (id, tick)
+/// collapse to the last occurrence, mirroring Trajectory's constructor.
+CsvLoadResult LoadTrajectoriesCsv(std::istream& in);
+
+/// Convenience overload opening `path`. Sets ok=false on I/O failure.
+CsvLoadResult LoadTrajectoriesCsv(const std::string& path);
+
+/// Writes the database as `object_id,tick,x,y` rows with a header line.
+void SaveTrajectoriesCsv(const TrajectoryDatabase& db, std::ostream& out);
+
+/// Convenience overload writing to `path`; returns false on I/O failure.
+bool SaveTrajectoriesCsv(const TrajectoryDatabase& db,
+                         const std::string& path);
+
+}  // namespace convoy
+
+#endif  // CONVOY_IO_CSV_H_

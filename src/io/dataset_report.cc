@@ -1,0 +1,22 @@
+#include "io/dataset_report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace convoy {
+
+void PrintDatasetReport(const TrajectoryDatabase& db, const std::string& name,
+                        std::ostream& out) {
+  const DatabaseStats stats = db.Stats();
+  out << "dataset: " << name << "\n"
+      << "  number of objects (N):      " << stats.num_objects << "\n"
+      << "  time domain length (T):     " << stats.time_domain_length << "\n"
+      << "  average trajectory length:  " << std::fixed << std::setprecision(1)
+      << stats.avg_trajectory_length << "\n"
+      << "  data size (points):         " << stats.total_points << "\n"
+      << "  avg missing-sample ratio:   " << std::setprecision(3)
+      << stats.avg_missing_ratio << "\n"
+      << std::defaultfloat;
+}
+
+}  // namespace convoy

@@ -1,0 +1,19 @@
+#ifndef CONVOY_IO_DATASET_REPORT_H_
+#define CONVOY_IO_DATASET_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Prints the Table 3-style statistics block of a dataset: object count N,
+/// time-domain length T, average trajectory length, total points, and the
+/// average missing-sample ratio (sampling irregularity).
+void PrintDatasetReport(const TrajectoryDatabase& db, const std::string& name,
+                        std::ostream& out);
+
+}  // namespace convoy
+
+#endif  // CONVOY_IO_DATASET_REPORT_H_

@@ -1,0 +1,31 @@
+#ifndef CONVOY_IO_RESULT_IO_H_
+#define CONVOY_IO_RESULT_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/convoy_set.h"
+
+namespace convoy {
+
+/// Writes convoys as CSV rows `start_tick,end_tick,object_ids` where the
+/// object ids are ';'-separated (object ids may not contain commas, so the
+/// format stays a plain 3-column CSV). A header row is emitted.
+void SaveConvoysCsv(const std::vector<Convoy>& convoys, std::ostream& out);
+bool SaveConvoysCsv(const std::vector<Convoy>& convoys,
+                    const std::string& path);
+
+/// Parses the format written by SaveConvoysCsv. Malformed rows are skipped
+/// and counted in `*skipped` when provided. A header is tolerated.
+std::vector<Convoy> LoadConvoysCsv(std::istream& in,
+                                   size_t* skipped = nullptr);
+
+/// Writes convoys as a JSON array:
+///   [{"objects":[1,2,3],"start":0,"end":9}, ...]
+/// Stable field order; no external JSON dependency needed for output.
+void SaveConvoysJson(const std::vector<Convoy>& convoys, std::ostream& out);
+
+}  // namespace convoy
+
+#endif  // CONVOY_IO_RESULT_IO_H_

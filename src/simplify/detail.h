@@ -1,0 +1,115 @@
+#ifndef CONVOY_SIMPLIFY_DETAIL_H_
+#define CONVOY_SIMPLIFY_DETAIL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/distance.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+#include "simplify/simplified_trajectory.h"
+#include "traj/trajectory.h"
+
+namespace convoy::simplify_detail {
+
+/// Deviation of interior sample `p` from the anchor segment joining the
+/// samples at indices lo/hi, under the perpendicular measure used by DP and
+/// DP+ (distance from the point to the spatial segment).
+inline double PerpendicularDeviation(const TimedPoint& p,
+                                     const TimedPoint& lo,
+                                     const TimedPoint& hi) {
+  return DPL(p.pos, Segment(lo.pos, hi.pos));
+}
+
+/// Deviation of interior sample `p` under DP*'s time-synchronized measure
+/// (Meratnia & de By): the distance between p and the anchor segment's
+/// time-ratio position at p's own timestamp.
+inline double TimeSyncDeviation(const TimedPoint& p, const TimedPoint& lo,
+                                const TimedPoint& hi) {
+  const TimedSegment anchor(lo, hi);
+  return D(p.pos, anchor.PositionAt(static_cast<double>(p.t)));
+}
+
+/// How the divide step picks its split vertex.
+enum class SplitRule {
+  /// Classic Douglas-Peucker: the interior point with maximum deviation.
+  kFarthest,
+  /// DP+ (paper Section 6.1): among interior points whose deviation exceeds
+  /// delta, the one closest to the middle *index* of the range, producing
+  /// balanced sub-problems.
+  kMiddleMost,
+};
+
+/// Shared divide-and-conquer core for DP / DP+ / DP*. `deviation` is one of
+/// the measures above; the result records per-segment actual tolerances.
+///
+/// Runs iteratively with an explicit stack so that per-second cattle traces
+/// (hundreds of thousands of samples) cannot overflow the call stack.
+template <typename DeviationFn>
+SimplifiedTrajectory SimplifyCore(const Trajectory& traj, double delta,
+                                  SplitRule rule, DeviationFn deviation) {
+  const std::vector<TimedPoint>& pts = traj.samples();
+  if (pts.size() <= 2) {
+    std::vector<double> tol(pts.size() == 2 ? 1 : 0, 0.0);
+    return SimplifiedTrajectory(traj.id(), pts, std::move(tol));
+  }
+
+  std::vector<TimedPoint> vertices;
+  std::vector<double> tolerances;
+  vertices.push_back(pts.front());
+
+  // Each frame is a [lo, hi] index range whose endpoints are (or will be)
+  // retained vertices. Processing is left-to-right: pop a frame, either emit
+  // the segment lo->hi or split and push the two halves (right first).
+  std::vector<std::pair<size_t, size_t>> stack;
+  stack.emplace_back(0, pts.size() - 1);
+
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+
+    // One pass finds both the farthest point (DP/DP* split, and the actual
+    // tolerance when the range is emitted) and, for DP+, the exceeding
+    // point nearest the middle index.
+    const double mid = static_cast<double>(lo + hi) / 2.0;
+    double max_dev = 0.0;
+    size_t farthest = lo;
+    size_t middle_most = lo;
+    double middle_gap = -1.0;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double dev = deviation(pts[i], pts[lo], pts[hi]);
+      if (dev > max_dev) {
+        max_dev = dev;
+        farthest = i;
+      }
+      if (rule == SplitRule::kMiddleMost && dev > delta) {
+        const double gap = std::abs(static_cast<double>(i) - mid);
+        if (middle_gap < 0.0 || gap < middle_gap) {
+          middle_gap = gap;
+          middle_most = i;
+        }
+      }
+    }
+
+    if (max_dev <= delta || hi - lo < 2) {
+      // All interior points within tolerance: emit segment, record the
+      // *actual* tolerance (Definition 4) = the max deviation observed.
+      vertices.push_back(pts[hi]);
+      tolerances.push_back(max_dev);
+      continue;
+    }
+
+    const size_t split =
+        rule == SplitRule::kMiddleMost ? middle_most : farthest;
+
+    stack.emplace_back(split, hi);  // pushed first, processed second
+    stack.emplace_back(lo, split);
+  }
+
+  return SimplifiedTrajectory(traj.id(), std::move(vertices),
+                              std::move(tolerances));
+}
+
+}  // namespace convoy::simplify_detail
+
+#endif  // CONVOY_SIMPLIFY_DETAIL_H_

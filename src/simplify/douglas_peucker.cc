@@ -1,0 +1,46 @@
+#include "simplify/douglas_peucker.h"
+
+#include <algorithm>
+
+#include "simplify/detail.h"
+
+namespace convoy {
+
+SimplifiedTrajectory DouglasPeucker(const Trajectory& traj, double delta) {
+  return simplify_detail::SimplifyCore(
+      traj, delta, simplify_detail::SplitRule::kFarthest,
+      simplify_detail::PerpendicularDeviation);
+}
+
+std::vector<double> CollectSplitDeviations(const Trajectory& traj) {
+  const std::vector<TimedPoint>& pts = traj.samples();
+  std::vector<double> deviations;
+  if (pts.size() < 3) return deviations;
+
+  std::vector<std::pair<size_t, size_t>> stack;
+  stack.emplace_back(0, pts.size() - 1);
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi - lo < 2) continue;
+    double max_dev = 0.0;
+    size_t farthest = lo + 1;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double dev = simplify_detail::PerpendicularDeviation(
+          pts[i], pts[lo], pts[hi]);
+      if (dev > max_dev) {
+        max_dev = dev;
+        farthest = i;
+      }
+    }
+    // With delta = 0 every division step happens (until ranges are atomic);
+    // the recorded value is the tolerance at which this split would stop.
+    deviations.push_back(max_dev);
+    stack.emplace_back(farthest, hi);
+    stack.emplace_back(lo, farthest);
+  }
+  std::sort(deviations.begin(), deviations.end());
+  return deviations;
+}
+
+}  // namespace convoy

@@ -1,0 +1,24 @@
+#ifndef CONVOY_SIMPLIFY_DOUGLAS_PEUCKER_H_
+#define CONVOY_SIMPLIFY_DOUGLAS_PEUCKER_H_
+
+#include <vector>
+
+#include "simplify/simplified_trajectory.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// Classic Douglas-Peucker line simplification (paper Section 2.2 / 5.1):
+/// recursively keeps the interior point farthest (in perpendicular distance)
+/// from the anchor segment until every removed point deviates by at most
+/// `delta`. Per-segment actual tolerances (Definition 4) are recorded.
+SimplifiedTrajectory DouglasPeucker(const Trajectory& traj, double delta);
+
+/// Runs DP with delta = 0 and returns the deviation value at every division
+/// step, in ascending order. These are the "actual tolerance values" the
+/// Section 7.4 delta-selection guideline inspects for its largest-gap rule.
+std::vector<double> CollectSplitDeviations(const Trajectory& traj);
+
+}  // namespace convoy
+
+#endif  // CONVOY_SIMPLIFY_DOUGLAS_PEUCKER_H_

@@ -1,0 +1,13 @@
+#include "simplify/dp_plus.h"
+
+#include "simplify/detail.h"
+
+namespace convoy {
+
+SimplifiedTrajectory DpPlus(const Trajectory& traj, double delta) {
+  return simplify_detail::SimplifyCore(
+      traj, delta, simplify_detail::SplitRule::kMiddleMost,
+      simplify_detail::PerpendicularDeviation);
+}
+
+}  // namespace convoy

@@ -1,0 +1,19 @@
+#ifndef CONVOY_SIMPLIFY_DP_PLUS_H_
+#define CONVOY_SIMPLIFY_DP_PLUS_H_
+
+#include "simplify/simplified_trajectory.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// DP+ (paper Section 6.1): Douglas-Peucker variant that splits at the
+/// exceeding point closest to the middle of the range instead of the
+/// farthest point. The divide step then produces balanced halves, making the
+/// simplification faster; the retained actual tolerances are never larger
+/// than classic DP's, which tightens the filter's range-search bounds, at
+/// the price of somewhat lower vertex reduction.
+SimplifiedTrajectory DpPlus(const Trajectory& traj, double delta);
+
+}  // namespace convoy
+
+#endif  // CONVOY_SIMPLIFY_DP_PLUS_H_

@@ -1,0 +1,13 @@
+#include "simplify/dp_star.h"
+
+#include "simplify/detail.h"
+
+namespace convoy {
+
+SimplifiedTrajectory DpStar(const Trajectory& traj, double delta) {
+  return simplify_detail::SimplifyCore(traj, delta,
+                                       simplify_detail::SplitRule::kFarthest,
+                                       simplify_detail::TimeSyncDeviation);
+}
+
+}  // namespace convoy

@@ -1,0 +1,20 @@
+#ifndef CONVOY_SIMPLIFY_DP_STAR_H_
+#define CONVOY_SIMPLIFY_DP_STAR_H_
+
+#include "simplify/simplified_trajectory.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// DP* (Meratnia & de By; paper Sections 2.2 and 6.2): Douglas-Peucker with
+/// the *time-synchronized* deviation measure — a removed sample p is compared
+/// against the anchor segment's position at p's own timestamp rather than
+/// against the nearest point of the segment. The measure is never smaller
+/// than the perpendicular one, so DP* keeps more vertices; in exchange the
+/// recorded tolerances bound D(o(t), l'(t)) directly, which is what the
+/// tightened distance D* of CuTS* requires (Lemma 3).
+SimplifiedTrajectory DpStar(const Trajectory& traj, double delta);
+
+}  // namespace convoy
+
+#endif  // CONVOY_SIMPLIFY_DP_STAR_H_

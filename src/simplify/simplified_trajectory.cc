@@ -1,0 +1,41 @@
+#include "simplify/simplified_trajectory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace convoy {
+
+SimplifiedTrajectory::SimplifiedTrajectory(ObjectId id,
+                                           std::vector<TimedPoint> vertices,
+                                           std::vector<double> seg_tolerances)
+    : id_(id),
+      vertices_(std::move(vertices)),
+      seg_tolerance_(std::move(seg_tolerances)) {
+  assert(vertices_.empty() ? seg_tolerance_.empty()
+                           : seg_tolerance_.size() == vertices_.size() - 1);
+  max_tolerance_ = 0.0;
+  for (double tol : seg_tolerance_) max_tolerance_ = std::max(max_tolerance_, tol);
+}
+
+std::optional<size_t> SimplifiedTrajectory::SegmentCovering(Tick t) const {
+  if (NumSegments() == 0 || !CoversTick(t)) return std::nullopt;
+  // Binary search for the last vertex with tick <= t.
+  auto it = std::upper_bound(
+      vertices_.begin(), vertices_.end(), t,
+      [](Tick tick, const TimedPoint& v) { return tick < v.t; });
+  size_t idx = static_cast<size_t>(std::distance(vertices_.begin(), it)) - 1;
+  // t == EndTick lands on the last vertex; clamp to the final segment.
+  if (idx >= NumSegments()) idx = NumSegments() - 1;
+  return idx;
+}
+
+std::optional<std::pair<size_t, size_t>>
+SimplifiedTrajectory::SegmentsIntersecting(Tick lo, Tick hi) const {
+  if (NumSegments() == 0 || lo > hi) return std::nullopt;
+  if (hi < BeginTick() || EndTick() < lo) return std::nullopt;
+  const size_t first = SegmentCovering(std::max(lo, BeginTick())).value();
+  const size_t last = SegmentCovering(std::min(hi, EndTick())).value();
+  return std::make_pair(first, last);
+}
+
+}  // namespace convoy

@@ -1,0 +1,89 @@
+#ifndef CONVOY_SIMPLIFY_SIMPLIFIED_TRAJECTORY_H_
+#define CONVOY_SIMPLIFY_SIMPLIFIED_TRAJECTORY_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geom/segment.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// A simplified trajectory o' (paper Section 5.1): a subsequence of the
+/// original trajectory's samples, connected by line segments, together with
+/// the *actual tolerance* of every segment (Definition 4):
+///
+///   delta(l') = max over ticks t in l'.tau of the deviation of the original
+///               trajectory from l' at t,
+///
+/// where "deviation" is the perpendicular distance DPL(o(t), l') for DP/DP+
+/// simplifications and the time-synchronized distance D(o(t), l'(t)) for DP*.
+/// The tolerances are recorded during simplification at no extra asymptotic
+/// cost and drive the tightened range-search bounds of Lemmas 1-3.
+class SimplifiedTrajectory {
+ public:
+  SimplifiedTrajectory() = default;
+
+  /// Constructs from retained vertices and per-segment tolerances.
+  /// `seg_tolerances.size()` must equal `vertices.size() - 1` (or both empty).
+  SimplifiedTrajectory(ObjectId id, std::vector<TimedPoint> vertices,
+                       std::vector<double> seg_tolerances);
+
+  ObjectId id() const { return id_; }
+
+  /// Number of retained vertices |o'|.
+  size_t NumVertices() const { return vertices_.size(); }
+
+  /// Number of line segments (|o'| - 1, or 0 for degenerate inputs).
+  size_t NumSegments() const {
+    return vertices_.size() < 2 ? 0 : vertices_.size() - 1;
+  }
+
+  bool Empty() const { return vertices_.empty(); }
+
+  /// The i-th line segment l'_i with its endpoint timestamps.
+  TimedSegment GetSegment(size_t i) const {
+    return TimedSegment(vertices_[i], vertices_[i + 1]);
+  }
+
+  /// The actual tolerance delta(l'_i) of the i-th segment.
+  double SegmentTolerance(size_t i) const { return seg_tolerance_[i]; }
+
+  /// The actual tolerance delta(o') of the whole simplified trajectory:
+  /// the maximum over its segments (Definition 4). Zero when no segments.
+  double MaxTolerance() const { return max_tolerance_; }
+
+  /// Time interval o'.tau (same as the original trajectory's interval).
+  Tick BeginTick() const { return vertices_.front().t; }
+  Tick EndTick() const { return vertices_.back().t; }
+  bool CoversTick(Tick t) const {
+    return !Empty() && BeginTick() <= t && t <= EndTick();
+  }
+
+  /// Index of the segment whose time interval covers tick t (the segment
+  /// with start.t <= t <= end.t; boundaries resolve to the earlier segment).
+  /// nullopt if t is outside the trajectory's interval or there are no
+  /// segments.
+  std::optional<size_t> SegmentCovering(Tick t) const;
+
+  /// Indices [first, last] of segments whose time intervals intersect
+  /// [lo, hi]; nullopt when no segment intersects.
+  std::optional<std::pair<size_t, size_t>> SegmentsIntersecting(Tick lo,
+                                                                Tick hi) const;
+
+  const std::vector<TimedPoint>& vertices() const { return vertices_; }
+  const std::vector<double>& segment_tolerances() const {
+    return seg_tolerance_;
+  }
+
+ private:
+  ObjectId id_ = 0;
+  std::vector<TimedPoint> vertices_;
+  std::vector<double> seg_tolerance_;
+  double max_tolerance_ = 0.0;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_SIMPLIFY_SIMPLIFIED_TRAJECTORY_H_

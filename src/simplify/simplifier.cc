@@ -1,0 +1,56 @@
+#include "simplify/simplifier.h"
+
+#include "simplify/douglas_peucker.h"
+#include "simplify/dp_plus.h"
+#include "simplify/dp_star.h"
+
+namespace convoy {
+
+std::string ToString(SimplifierKind kind) {
+  switch (kind) {
+    case SimplifierKind::kDp:
+      return "DP";
+    case SimplifierKind::kDpPlus:
+      return "DP+";
+    case SimplifierKind::kDpStar:
+      return "DP*";
+  }
+  return "?";
+}
+
+SimplifiedTrajectory Simplify(const Trajectory& traj, double delta,
+                              SimplifierKind kind) {
+  switch (kind) {
+    case SimplifierKind::kDp:
+      return DouglasPeucker(traj, delta);
+    case SimplifierKind::kDpPlus:
+      return DpPlus(traj, delta);
+    case SimplifierKind::kDpStar:
+      return DpStar(traj, delta);
+  }
+  return DouglasPeucker(traj, delta);
+}
+
+std::vector<SimplifiedTrajectory> SimplifyDatabase(const TrajectoryDatabase& db,
+                                                   double delta,
+                                                   SimplifierKind kind) {
+  std::vector<SimplifiedTrajectory> out;
+  out.reserve(db.Size());
+  for (const Trajectory& traj : db.trajectories()) {
+    out.push_back(Simplify(traj, delta, kind));
+  }
+  return out;
+}
+
+double VertexReductionPercent(const TrajectoryDatabase& db,
+                              const std::vector<SimplifiedTrajectory>& simp) {
+  size_t original = 0;
+  size_t kept = 0;
+  for (const Trajectory& traj : db.trajectories()) original += traj.Size();
+  for (const SimplifiedTrajectory& s : simp) kept += s.NumVertices();
+  if (original == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(kept) /
+                            static_cast<double>(original));
+}
+
+}  // namespace convoy

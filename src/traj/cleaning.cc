@@ -1,0 +1,90 @@
+#include "traj/cleaning.h"
+
+#include <algorithm>
+
+namespace convoy {
+
+std::vector<Trajectory> CleanTrajectory(const Trajectory& traj,
+                                        const CleaningOptions& options,
+                                        ObjectId base_id, ObjectId id_stride,
+                                        CleaningReport* report) {
+  CleaningReport local;
+  CleaningReport* rep = report != nullptr ? report : &local;
+
+  // Pass 1: spike and duplicate removal into a flat sample list.
+  std::vector<TimedPoint> kept;
+  kept.reserve(traj.Size());
+  for (const TimedPoint& sample : traj.samples()) {
+    if (!kept.empty() && options.max_speed > 0.0) {
+      const TimedPoint& prev = kept.back();
+      const double dt = static_cast<double>(sample.t - prev.t);
+      if (D(sample.pos, prev.pos) > options.max_speed * dt) {
+        ++rep->spikes_removed;
+        continue;
+      }
+    }
+    kept.push_back(sample);
+  }
+  if (options.drop_stationary_duplicates && kept.size() > 2) {
+    std::vector<TimedPoint> dedup;
+    dedup.reserve(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const bool last = i + 1 == kept.size();
+      if (!last && !dedup.empty() && kept[i].pos == dedup.back().pos) {
+        ++rep->duplicates_removed;
+        continue;
+      }
+      dedup.push_back(kept[i]);
+    }
+    kept = std::move(dedup);
+  }
+
+  // Pass 2: split at long gaps.
+  std::vector<Trajectory> out;
+  ObjectId next_id = base_id;
+  Trajectory current(next_id);
+  const auto flush = [&]() {
+    if (current.Size() >= std::max<size_t>(options.min_samples, 1)) {
+      out.push_back(std::move(current));
+      next_id += id_stride;
+    } else if (!current.Empty()) {
+      ++rep->trajectories_dropped;
+    }
+    current = Trajectory(next_id);
+  };
+  for (const TimedPoint& sample : kept) {
+    if (!current.Empty() && options.max_gap_ticks > 0 &&
+        sample.t - current.EndTick() > options.max_gap_ticks) {
+      ++rep->trajectories_split;
+      flush();
+    }
+    current.Append(sample);
+  }
+  flush();
+  return out;
+}
+
+TrajectoryDatabase CleanDatabase(const TrajectoryDatabase& db,
+                                 const CleaningOptions& options,
+                                 CleaningReport* report) {
+  // Fragments receive ids above every existing id so that identities of
+  // unsplit objects are stable.
+  ObjectId max_id = 0;
+  for (const Trajectory& traj : db.trajectories()) {
+    max_id = std::max(max_id, traj.id());
+  }
+  ObjectId next_fragment_id = max_id + 1;
+
+  TrajectoryDatabase out;
+  for (const Trajectory& traj : db.trajectories()) {
+    std::vector<Trajectory> cleaned =
+        CleanTrajectory(traj, options, traj.id(), /*id_stride=*/0, report);
+    for (size_t i = 0; i < cleaned.size(); ++i) {
+      if (i > 0) cleaned[i].set_id(next_fragment_id++);
+      out.Add(std::move(cleaned[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace convoy

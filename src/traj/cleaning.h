@@ -1,0 +1,60 @@
+#ifndef CONVOY_TRAJ_CLEANING_H_
+#define CONVOY_TRAJ_CLEANING_H_
+
+#include <vector>
+
+#include "traj/database.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// Statistics of one cleaning pass, for operator visibility.
+struct CleaningReport {
+  size_t spikes_removed = 0;      ///< samples rejected as GPS spikes
+  size_t duplicates_removed = 0;  ///< consecutive identical positions dropped
+  size_t trajectories_split = 0;  ///< splits performed at long gaps
+  size_t trajectories_dropped = 0;  ///< fragments below the length floor
+};
+
+/// Options for CleanDatabase.
+struct CleaningOptions {
+  /// Reject a sample whose implied speed from the previous kept sample
+  /// exceeds this (distance units per tick). <= 0 disables spike removal.
+  /// GPS receivers under multipath emit isolated positions hundreds of
+  /// meters off; one spike at tick t otherwise breaks every convoy through
+  /// t, so discovery pipelines filter them first.
+  double max_speed = -1.0;
+
+  /// Split a trajectory into separate objects when consecutive samples are
+  /// more than this many ticks apart (<= 0 disables). Interpolating across
+  /// an hours-long gap fabricates a straight-line "ghost" path that can
+  /// create convoys that never happened.
+  Tick max_gap_ticks = -1;
+
+  /// Drop consecutive samples at the exact same position beyond the first
+  /// (stationary beacons at 1 Hz) — lossless for discovery because linear
+  /// interpolation re-creates them, and it feeds the simplifier less data.
+  /// The last sample is always kept so the lifetime is preserved.
+  bool drop_stationary_duplicates = false;
+
+  /// Discard trajectories (or split fragments) with fewer samples.
+  size_t min_samples = 2;
+};
+
+/// Cleans a single trajectory. Splitting can yield several output
+/// trajectories; their ids are `base_id`, `base_id + id_stride`, ...
+std::vector<Trajectory> CleanTrajectory(const Trajectory& traj,
+                                        const CleaningOptions& options,
+                                        ObjectId base_id,
+                                        ObjectId id_stride = 0,
+                                        CleaningReport* report = nullptr);
+
+/// Cleans every trajectory of a database. Split fragments get fresh ids
+/// above the current maximum so object identities stay unique.
+TrajectoryDatabase CleanDatabase(const TrajectoryDatabase& db,
+                                 const CleaningOptions& options,
+                                 CleaningReport* report = nullptr);
+
+}  // namespace convoy
+
+#endif  // CONVOY_TRAJ_CLEANING_H_

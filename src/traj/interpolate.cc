@@ -1,0 +1,25 @@
+#include "traj/interpolate.h"
+
+namespace convoy {
+
+std::optional<Point> InterpolateAt(const Trajectory& traj, Tick t) {
+  if (!traj.CoversTick(t)) return std::nullopt;
+  const auto idx = traj.IndexAtOrBefore(t);
+  const TimedPoint& before = traj[*idx];
+  if (before.t == t) return before.pos;
+  const TimedPoint& after = traj[*idx + 1];  // exists because t <= EndTick
+  const double frac = static_cast<double>(t - before.t) /
+                      static_cast<double>(after.t - before.t);
+  return before.pos + (after.pos - before.pos) * frac;
+}
+
+Trajectory Densify(const Trajectory& traj) {
+  Trajectory out(traj.id());
+  if (traj.Empty()) return out;
+  for (Tick t = traj.BeginTick(); t <= traj.EndTick(); ++t) {
+    out.Append(TimedPoint(*InterpolateAt(traj, t), t));
+  }
+  return out;
+}
+
+}  // namespace convoy

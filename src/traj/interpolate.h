@@ -1,0 +1,27 @@
+#ifndef CONVOY_TRAJ_INTERPOLATE_H_
+#define CONVOY_TRAJ_INTERPOLATE_H_
+
+#include <optional>
+
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// Linear interpolation of an object's position at tick t, the "virtual
+/// point" generation CMC performs for ticks where the object's trajectory
+/// has no sample (paper Section 4).
+///
+/// Returns nullopt when t lies outside the trajectory's lifetime o.tau —
+/// virtual points are created only *between* existing samples, never by
+/// extrapolation. When t hits an exact sample the sample itself is returned.
+std::optional<Point> InterpolateAt(const Trajectory& traj, Tick t);
+
+/// Materializes a copy of `traj` with a sample at every tick of its
+/// lifetime, filling gaps by linear interpolation. Used by tests and by the
+/// "regular sampling" path of the dataset generators; CMC itself
+/// interpolates lazily and never builds this.
+Trajectory Densify(const Trajectory& traj);
+
+}  // namespace convoy
+
+#endif  // CONVOY_TRAJ_INTERPOLATE_H_

@@ -1,0 +1,31 @@
+#include "traj/resample.h"
+
+#include <algorithm>
+
+#include "traj/interpolate.h"
+
+namespace convoy {
+
+Trajectory Resample(const Trajectory& traj, Tick interval) {
+  interval = std::max<Tick>(1, interval);
+  Trajectory out(traj.id());
+  if (traj.Empty()) return out;
+  const Tick begin = traj.BeginTick();
+  const Tick end = traj.EndTick();
+  for (Tick t = begin; t < end; t += interval) {
+    out.Append(TimedPoint(*InterpolateAt(traj, t), t));
+  }
+  out.Append(TimedPoint(*InterpolateAt(traj, end), end));
+  return out;
+}
+
+TrajectoryDatabase ResampleDatabase(const TrajectoryDatabase& db,
+                                    Tick interval) {
+  TrajectoryDatabase out;
+  for (const Trajectory& traj : db.trajectories()) {
+    out.Add(Resample(traj, interval));
+  }
+  return out;
+}
+
+}  // namespace convoy

@@ -1,0 +1,26 @@
+#ifndef CONVOY_TRAJ_RESAMPLE_H_
+#define CONVOY_TRAJ_RESAMPLE_H_
+
+#include "traj/database.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// Re-samples a trajectory onto a regular tick grid: one sample every
+/// `interval` ticks starting at the trajectory's first sample (the last
+/// sample is always kept so the lifetime is exact). Positions at grid
+/// ticks are linearly interpolated, matching the virtual-point semantics
+/// the discovery algorithms use — so downsampling with this function
+/// changes results only insofar as genuine position detail is discarded.
+///
+/// Use cases: normalizing mixed-rate fleets before analysis, or thinning
+/// 1 Hz data when the query's k is in minutes.
+Trajectory Resample(const Trajectory& traj, Tick interval);
+
+/// Resamples every trajectory of a database.
+TrajectoryDatabase ResampleDatabase(const TrajectoryDatabase& db,
+                                    Tick interval);
+
+}  // namespace convoy
+
+#endif  // CONVOY_TRAJ_RESAMPLE_H_

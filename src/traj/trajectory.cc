@@ -1,0 +1,42 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+
+namespace convoy {
+
+Trajectory::Trajectory(ObjectId id, std::vector<TimedPoint> samples)
+    : id_(id), samples_(std::move(samples)) {
+  std::stable_sort(
+      samples_.begin(), samples_.end(),
+      [](const TimedPoint& a, const TimedPoint& b) { return a.t < b.t; });
+  // Collapse duplicate ticks, keeping the last reported location.
+  auto out = samples_.begin();
+  for (auto it = samples_.begin(); it != samples_.end(); ++it) {
+    auto next = std::next(it);
+    if (next != samples_.end() && next->t == it->t) continue;
+    *out++ = *it;
+  }
+  samples_.erase(out, samples_.end());
+}
+
+bool Trajectory::Append(const TimedPoint& p) {
+  if (!samples_.empty() && p.t <= samples_.back().t) return false;
+  samples_.push_back(p);
+  return true;
+}
+
+std::optional<size_t> Trajectory::IndexAtOrBefore(Tick t) const {
+  if (samples_.empty() || t < samples_.front().t) return std::nullopt;
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](Tick tick, const TimedPoint& p) { return tick < p.t; });
+  return static_cast<size_t>(std::distance(samples_.begin(), it)) - 1;
+}
+
+std::optional<Point> Trajectory::LocationAt(Tick t) const {
+  const auto idx = IndexAtOrBefore(t);
+  if (!idx.has_value() || samples_[*idx].t != t) return std::nullopt;
+  return samples_[*idx].pos;
+}
+
+}  // namespace convoy

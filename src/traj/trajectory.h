@@ -1,0 +1,84 @@
+#ifndef CONVOY_TRAJ_TRAJECTORY_H_
+#define CONVOY_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace convoy {
+
+/// Identifier of a moving object. Dense small integers are expected; the
+/// discovery algorithms use them to index bitsets and candidate tables.
+using ObjectId = uint32_t;
+
+/// The trajectory of one object: a polyline of timestamped samples
+/// o = <p_a, ..., p_b> with strictly increasing ticks (paper Section 3).
+///
+/// The model deliberately admits the paper's "practical trajectory database"
+/// conditions: trajectories may start and end anywhere in the time domain and
+/// may skip ticks (irregular sampling). `LocationAt` answers exact samples
+/// only; `InterpolateAt` (traj/interpolate.h) linearly fills missing ticks
+/// the way CMC's virtual-point generation does.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(ObjectId id) : id_(id) {}
+
+  /// Builds a trajectory from samples; the samples are sorted by tick and
+  /// duplicate ticks collapse to the last occurrence.
+  Trajectory(ObjectId id, std::vector<TimedPoint> samples);
+
+  /// Appends a sample. Ticks must be strictly increasing; out-of-order
+  /// appends are rejected (returns false) to keep the invariant cheap.
+  bool Append(const TimedPoint& p);
+  bool Append(double x, double y, Tick t) {
+    return Append(TimedPoint(x, y, t));
+  }
+
+  ObjectId id() const { return id_; }
+  void set_id(ObjectId id) { id_ = id; }
+
+  /// Number of stored samples |o|.
+  size_t Size() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  /// Start tick t_a of the time interval o.tau (undefined when empty).
+  Tick BeginTick() const { return samples_.front().t; }
+
+  /// End tick t_b of the time interval o.tau (undefined when empty).
+  Tick EndTick() const { return samples_.back().t; }
+
+  /// True if tick t falls within o.tau = [t_a, t_b].
+  bool CoversTick(Tick t) const {
+    return !Empty() && BeginTick() <= t && t <= EndTick();
+  }
+
+  /// Duration of o.tau in ticks, inclusive of both ends. Empty -> 0.
+  Tick DurationTicks() const {
+    return Empty() ? 0 : EndTick() - BeginTick() + 1;
+  }
+
+  /// The sample exactly at tick t, or nullopt if the object did not report
+  /// at t (missing sample or outside lifetime). O(log |o|).
+  std::optional<Point> LocationAt(Tick t) const;
+
+  /// True if a sample exists exactly at tick t.
+  bool HasSampleAt(Tick t) const { return LocationAt(t).has_value(); }
+
+  /// Index of the last sample with tick <= t, or nullopt if t precedes the
+  /// first sample. O(log |o|). Used by interpolation and simplification.
+  std::optional<size_t> IndexAtOrBefore(Tick t) const;
+
+  const std::vector<TimedPoint>& samples() const { return samples_; }
+  const TimedPoint& operator[](size_t i) const { return samples_[i]; }
+
+ private:
+  ObjectId id_ = 0;
+  std::vector<TimedPoint> samples_;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,44 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace convoy {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  // Rejection-free Lemire-style bounded draw; bias is negligible for the
+  // ranges used here (<< 2^32), and the result is deterministic per seed.
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(engine_());  // full 64-bit range
+  return lo + static_cast<int64_t>(engine_() % span);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return mean + stddev * spare_gaussian_;
+  }
+  // Box-Muller: two uniforms -> two independent standard normals.
+  double u1 = NextUnit();
+  while (u1 <= 1e-300) u1 = NextUnit();
+  const double u2 = NextUnit();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  have_spare_gaussian_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  // Fisher-Yates with our deterministic bounded draw.
+  for (size_t i = n; i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace convoy

@@ -1,0 +1,54 @@
+#ifndef CONVOY_UTIL_STATS_H_
+#define CONVOY_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace convoy {
+
+/// Streaming summary statistics (count / mean / min / max / variance) used by
+/// dataset reports and benchmark output. Welford's algorithm keeps the
+/// variance numerically stable for the long per-second cattle traces.
+class SummaryStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  size_t count() const { return count_; }
+
+  /// Mean of the observations (0 if empty).
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Smallest observation (+inf if empty).
+  double Min() const;
+
+  /// Largest observation (-inf if empty).
+  double Max() const;
+
+  /// Population variance (0 with fewer than 2 observations).
+  double Variance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
+/// between order statistics. Copies and sorts; intended for reporting, not
+/// hot paths. Returns 0 for an empty input.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace convoy
+
+#endif  // CONVOY_UTIL_STATS_H_

@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit exists so the target owns a .cc per
+// module and the header stays cheap to include.

@@ -1,0 +1,78 @@
+#ifndef CONVOY_UTIL_STOPWATCH_H_
+#define CONVOY_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace convoy {
+
+/// High-resolution wall-clock stopwatch used by the discovery algorithms to
+/// attribute elapsed time to pipeline phases (simplification, filter,
+/// refinement) the way the paper's Figure 13 breaks costs down.
+///
+/// The stopwatch starts running on construction. `ElapsedSeconds()` may be
+/// sampled repeatedly; `Restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the time origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple disjoint intervals, e.g. the total time a
+/// discovery run spends inside the refinement step across all candidates.
+class PhaseTimer {
+ public:
+  /// Starts (or restarts) the current interval.
+  void Start() { watch_.Restart(); }
+
+  /// Ends the current interval and adds it to the running total.
+  void Stop() { total_ += watch_.ElapsedSeconds(); }
+
+  /// Total accumulated seconds across all Start()/Stop() intervals.
+  double TotalSeconds() const { return total_; }
+
+  /// Clears the accumulated total.
+  void Reset() { total_ = 0.0; }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+};
+
+/// RAII helper that adds the lifetime of the guard to a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer* timer) : timer_(timer) { timer_->Start(); }
+  ~ScopedPhase() { timer_->Stop(); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_UTIL_STOPWATCH_H_

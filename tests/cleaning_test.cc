@@ -1,0 +1,174 @@
+#include "traj/cleaning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cmc.h"
+#include "tests/test_util.h"
+
+namespace convoy {
+namespace {
+
+Trajectory Walk(ObjectId id, std::initializer_list<TimedPoint> pts) {
+  Trajectory traj(id);
+  for (const TimedPoint& p : pts) traj.Append(p);
+  return traj;
+}
+
+TEST(CleaningTest, NoOpOnCleanData) {
+  const Trajectory traj = Walk(1, {{0, 0, 0}, {1, 0, 1}, {2, 0, 2}});
+  CleaningOptions options;
+  options.max_speed = 5.0;
+  options.max_gap_ticks = 10;
+  CleaningReport report;
+  const auto out = CleanTrajectory(traj, options, 1, 0, &report);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Size(), 3u);
+  EXPECT_EQ(report.spikes_removed, 0u);
+  EXPECT_EQ(report.trajectories_split, 0u);
+}
+
+TEST(CleaningTest, RemovesSpeedSpike) {
+  // Sample at tick 2 jumps 500 units in one tick, then returns.
+  const Trajectory traj = Walk(
+      1, {{0, 0, 0}, {1, 0, 1}, {500, 0, 2}, {3, 0, 3}, {4, 0, 4}});
+  CleaningOptions options;
+  options.max_speed = 10.0;
+  CleaningReport report;
+  const auto out = CleanTrajectory(traj, options, 1, 0, &report);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Size(), 4u);
+  EXPECT_EQ(report.spikes_removed, 1u);
+  EXPECT_FALSE(out[0].LocationAt(2).has_value());
+}
+
+TEST(CleaningTest, SpikeRemovalDisabledByDefault) {
+  const Trajectory traj = Walk(1, {{0, 0, 0}, {500, 0, 1}, {0, 0, 2}});
+  const auto out = CleanTrajectory(traj, CleaningOptions{}, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Size(), 3u);
+}
+
+TEST(CleaningTest, SplitsAtLongGap) {
+  const Trajectory traj = Walk(
+      1, {{0, 0, 0}, {1, 0, 1}, {2, 0, 100}, {3, 0, 101}});
+  CleaningOptions options;
+  options.max_gap_ticks = 10;
+  CleaningReport report;
+  const auto out = CleanTrajectory(traj, options, 1, /*id_stride=*/100,
+                                   &report);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(report.trajectories_split, 1u);
+  EXPECT_EQ(out[0].EndTick(), 1);
+  EXPECT_EQ(out[1].BeginTick(), 100);
+  EXPECT_EQ(out[0].id(), 1u);
+  EXPECT_EQ(out[1].id(), 101u);
+}
+
+TEST(CleaningTest, DropsShortFragments) {
+  const Trajectory traj = Walk(1, {{0, 0, 0}, {1, 0, 50}, {2, 0, 51}});
+  CleaningOptions options;
+  options.max_gap_ticks = 10;
+  options.min_samples = 2;
+  CleaningReport report;
+  const auto out = CleanTrajectory(traj, options, 1, 0, &report);
+  // First fragment is the lone tick-0 sample: dropped.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].BeginTick(), 50);
+  EXPECT_EQ(report.trajectories_dropped, 1u);
+}
+
+TEST(CleaningTest, StationaryDuplicatesDropped) {
+  const Trajectory traj = Walk(
+      1, {{5, 5, 0}, {5, 5, 1}, {5, 5, 2}, {5, 5, 3}, {6, 5, 4}, {6, 5, 5}});
+  CleaningOptions options;
+  options.drop_stationary_duplicates = true;
+  CleaningReport report;
+  const auto out = CleanTrajectory(traj, options, 1, 0, &report);
+  ASSERT_EQ(out.size(), 1u);
+  // Kept: first (5,5), the move to (6,5), and the forced last sample.
+  EXPECT_EQ(out[0].Size(), 3u);
+  EXPECT_EQ(report.duplicates_removed, 3u);
+  // Lifetime preserved.
+  EXPECT_EQ(out[0].BeginTick(), 0);
+  EXPECT_EQ(out[0].EndTick(), 5);
+}
+
+TEST(CleaningTest, StationaryDropIsLosslessForDiscovery) {
+  // Two objects parked together, then driving together: cleaning must not
+  // change the convoy result (interpolation re-creates dropped samples).
+  TrajectoryDatabase db;
+  for (ObjectId id = 0; id < 2; ++id) {
+    Trajectory traj(id);
+    for (Tick t = 0; t < 6; ++t) {
+      traj.Append(0.0, 0.4 * static_cast<double>(id), t);  // parked
+    }
+    for (Tick t = 6; t < 12; ++t) {
+      traj.Append(static_cast<double>(t - 5),
+                  0.4 * static_cast<double>(id), t);
+    }
+    db.Add(std::move(traj));
+  }
+  CleaningOptions options;
+  options.drop_stationary_duplicates = true;
+  const TrajectoryDatabase cleaned = CleanDatabase(db, options);
+  ASSERT_LT(cleaned.Stats().total_points, db.Stats().total_points);
+  const ConvoyQuery query{2, 8, 1.0};
+  EXPECT_TRUE(SameResultSet(Cmc(db, query), Cmc(cleaned, query)));
+}
+
+TEST(CleanDatabaseTest, FragmentsGetFreshIds) {
+  TrajectoryDatabase db;
+  db.Add(Walk(0, {{0, 0, 0}, {1, 0, 1}}));
+  db.Add(Walk(7, {{0, 0, 0}, {1, 0, 1}, {2, 0, 100}, {3, 0, 101}}));
+  CleaningOptions options;
+  options.max_gap_ticks = 10;
+  const TrajectoryDatabase cleaned = CleanDatabase(db, options);
+  ASSERT_EQ(cleaned.Size(), 3u);
+  // Ids: 0 and 7 unchanged; the split fragment gets 8 (max+1).
+  std::vector<ObjectId> ids;
+  for (const Trajectory& traj : cleaned.trajectories()) {
+    ids.push_back(traj.id());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ObjectId>{0, 7, 8}));
+}
+
+TEST(CleanDatabaseTest, ReportAggregatesAcrossObjects) {
+  TrajectoryDatabase db;
+  db.Add(Walk(0, {{0, 0, 0}, {900, 0, 1}, {2, 0, 2}}));
+  db.Add(Walk(1, {{0, 0, 0}, {901, 0, 1}, {2, 0, 2}}));
+  CleaningOptions options;
+  options.max_speed = 10.0;
+  CleaningReport report;
+  (void)CleanDatabase(db, options, &report);
+  EXPECT_EQ(report.spikes_removed, 2u);
+}
+
+TEST(CleaningTest, SpikeRemovalPreventsFalseConvoyBreak) {
+  // Without cleaning, object 1's single GPS spike at tick 3 breaks an
+  // otherwise continuous 7-tick convoy into two pieces; with cleaning the
+  // full convoy is found.
+  TrajectoryDatabase db;
+  Trajectory a(0);
+  Trajectory b(1);
+  for (Tick t = 0; t < 7; ++t) {
+    a.Append(static_cast<double>(t), 0.0, t);
+    const double spike = t == 3 ? 800.0 : 0.4;
+    b.Append(static_cast<double>(t), spike, t);
+  }
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+
+  const ConvoyQuery query{2, 7, 1.0};
+  EXPECT_TRUE(Cmc(db, query).empty());
+
+  CleaningOptions options;
+  options.max_speed = 5.0;
+  const TrajectoryDatabase cleaned = CleanDatabase(db, options);
+  const auto result = Cmc(cleaned, query);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].Lifetime(), 7);
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,103 @@
+#include "core/convoy_set.h"
+
+#include <gtest/gtest.h>
+
+namespace convoy {
+namespace {
+
+Convoy C(std::vector<ObjectId> objects, Tick start, Tick end) {
+  return Convoy{std::move(objects), start, end};
+}
+
+TEST(ConvoyTest, Lifetime) {
+  EXPECT_EQ(C({1, 2}, 5, 9).Lifetime(), 5);
+  EXPECT_EQ(C({1, 2}, 3, 3).Lifetime(), 1);
+}
+
+TEST(ConvoyTest, ToStringFormat) {
+  EXPECT_EQ(ToString(C({1, 2, 3}, 0, 9)), "{1,2,3}@[0,9]");
+}
+
+TEST(CoversTest, SupersetObjectsAndInterval) {
+  EXPECT_TRUE(Covers(C({1, 2, 3}, 0, 10), C({1, 2}, 2, 8)));
+  EXPECT_TRUE(Covers(C({1, 2}, 0, 10), C({1, 2}, 0, 10)));  // self
+}
+
+TEST(CoversTest, FailsOnIntervalOverhang) {
+  EXPECT_FALSE(Covers(C({1, 2, 3}, 2, 10), C({1, 2}, 0, 8)));
+  EXPECT_FALSE(Covers(C({1, 2, 3}, 0, 8), C({1, 2}, 2, 10)));
+}
+
+TEST(CoversTest, FailsOnObjectNotContained) {
+  EXPECT_FALSE(Covers(C({1, 2, 3}, 0, 10), C({4}, 2, 8)));
+  EXPECT_FALSE(Covers(C({1, 3}, 0, 10), C({1, 2}, 2, 8)));
+}
+
+TEST(CanonicalizeTest, SortsObjectsAndDedups) {
+  std::vector<Convoy> convoys = {C({3, 1, 2}, 0, 5), C({1, 2, 3}, 0, 5)};
+  Canonicalize(&convoys);
+  ASSERT_EQ(convoys.size(), 1u);
+  EXPECT_EQ(convoys[0].objects, (std::vector<ObjectId>{1, 2, 3}));
+}
+
+TEST(CanonicalizeTest, DedupsObjectIds) {
+  std::vector<Convoy> convoys = {C({2, 1, 2, 1}, 0, 5)};
+  Canonicalize(&convoys);
+  EXPECT_EQ(convoys[0].objects, (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(RemoveDominatedTest, DropsCoveredConvoy) {
+  const auto result =
+      RemoveDominated({C({1, 2}, 2, 8), C({1, 2, 3}, 0, 10)});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], C({1, 2, 3}, 0, 10));
+}
+
+TEST(RemoveDominatedTest, KeepsIncomparableConvoys) {
+  // Overlapping but neither covers the other.
+  const auto result = RemoveDominated({C({1, 2}, 0, 8), C({2, 3}, 2, 10)});
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(RemoveDominatedTest, KeepsLongerIntervalSmallerSet) {
+  // {1,2} over [0,20] vs {1,2,3} over [5,10]: incomparable, keep both.
+  const auto result =
+      RemoveDominated({C({1, 2}, 0, 20), C({1, 2, 3}, 5, 10)});
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(RemoveDominatedTest, ChainOfDomination) {
+  const auto result = RemoveDominated(
+      {C({1}, 3, 4), C({1, 2}, 2, 6), C({1, 2, 3}, 0, 10)});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], C({1, 2, 3}, 0, 10));
+}
+
+TEST(RemoveDominatedTest, EmptyInput) {
+  EXPECT_TRUE(RemoveDominated({}).empty());
+}
+
+TEST(SameResultSetTest, OrderInsensitive) {
+  EXPECT_TRUE(SameResultSet({C({2, 1}, 0, 5), C({3}, 1, 2)},
+                            {C({3}, 1, 2), C({1, 2}, 0, 5)}));
+}
+
+TEST(SameResultSetTest, DetectsDifferences) {
+  EXPECT_FALSE(SameResultSet({C({1, 2}, 0, 5)}, {C({1, 2}, 0, 6)}));
+  EXPECT_FALSE(SameResultSet({C({1, 2}, 0, 5)}, {}));
+}
+
+TEST(UncoveredTest, ReportsMissedConvoys) {
+  const std::vector<Convoy> expected = {C({1, 2}, 0, 5), C({3, 4}, 2, 9)};
+  const std::vector<Convoy> got = {C({1, 2, 9}, 0, 6)};
+  const auto missing = Uncovered(expected, got);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], C({3, 4}, 2, 9));
+}
+
+TEST(UncoveredTest, EmptyExpectedMeansNothingMissing) {
+  EXPECT_TRUE(Uncovered({}, {C({1, 2}, 0, 5)}).empty());
+}
+
+}  // namespace
+}  // namespace convoy

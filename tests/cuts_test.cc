@@ -1,0 +1,294 @@
+#include "core/cuts.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cmc.h"
+#include "core/verify.h"
+#include "tests/test_util.h"
+
+namespace convoy {
+namespace {
+
+using testutil::FromXRows;
+using testutil::RandomClumpyDb;
+
+TEST(CutsTest, VariantNames) {
+  EXPECT_EQ(ToString(CutsVariant::kCuts), "CuTS");
+  EXPECT_EQ(ToString(CutsVariant::kCutsPlus), "CuTS+");
+  EXPECT_EQ(ToString(CutsVariant::kCutsStar), "CuTS*");
+}
+
+TEST(CutsTest, VariantConfigTable) {
+  // The Section 6 summary table.
+  const auto cuts = MakeFilterOptions(CutsVariant::kCuts);
+  EXPECT_EQ(cuts.simplifier, SimplifierKind::kDp);
+  EXPECT_EQ(cuts.distance, SegmentDistanceKind::kDll);
+  const auto plus = MakeFilterOptions(CutsVariant::kCutsPlus);
+  EXPECT_EQ(plus.simplifier, SimplifierKind::kDpPlus);
+  EXPECT_EQ(plus.distance, SegmentDistanceKind::kDll);
+  const auto star = MakeFilterOptions(CutsVariant::kCutsStar);
+  EXPECT_EQ(star.simplifier, SimplifierKind::kDpStar);
+  EXPECT_EQ(star.distance, SegmentDistanceKind::kDStar);
+}
+
+TEST(CutsTest, EmptyDatabase) {
+  EXPECT_TRUE(
+      Cuts(TrajectoryDatabase(), ConvoyQuery{2, 2, 1.0}).empty());
+}
+
+TEST(CutsTest, SimpleConvoyMatchesCmc) {
+  const auto db = FromXRows({{0, 1, 2, 3, 4, 5, 6, 7},
+                             {0, 1, 2, 3, 4, 5, 6, 7},
+                             {50, 40, 30, 20, 10, 0, -10, -20}},
+                            0.4);
+  const ConvoyQuery query{2, 4, 1.0};
+  const auto expected = Cmc(db, query);
+  ASSERT_EQ(expected.size(), 1u);
+  for (const auto variant :
+       {CutsVariant::kCuts, CutsVariant::kCutsPlus, CutsVariant::kCutsStar}) {
+    const auto got = Cuts(db, query, variant);
+    EXPECT_TRUE(SameResultSet(expected, got)) << ToString(variant);
+  }
+}
+
+TEST(CutsTest, FilterProducesCandidatesAndStats) {
+  const auto db = FromXRows({{0, 1, 2, 3, 4, 5, 6, 7},
+                             {0, 1, 2, 3, 4, 5, 6, 7}},
+                            0.4);
+  DiscoveryStats stats;
+  CutsFilterOptions options;
+  options.lambda = 2;
+  const auto result = Cuts(db, ConvoyQuery{2, 4, 1.0},
+                           CutsVariant::kCutsStar, options, &stats);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_GE(stats.num_candidates, 1u);
+  EXPECT_GT(stats.refinement_unit, 0.0);
+  EXPECT_GT(stats.num_clusterings, 0u);
+  EXPECT_EQ(stats.lambda_used, 2);
+  // Perfectly straight synthetic rows legitimately auto-derive delta = 0.
+  EXPECT_GE(stats.delta_used, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's central exactness guarantee: CuTS returns exactly CMC's
+// convoys. Randomized sweep over variants, internal parameters, and
+// workload shapes, using the exact full-window refinement (see DESIGN.md
+// for why the paper's projected refinement is only *almost* exact).
+// ---------------------------------------------------------------------------
+
+struct ExactnessCase {
+  CutsVariant variant;
+  double delta;  // <= 0: auto
+  Tick lambda;   // <= 0: auto
+  bool actual_tolerance;
+  bool box_pruning;
+  int seed;
+};
+
+class CutsExactnessTest : public ::testing::TestWithParam<ExactnessCase> {};
+
+TEST_P(CutsExactnessTest, MatchesCmcOnRandomWorkload) {
+  const ExactnessCase param = GetParam();
+  Rng rng(static_cast<uint64_t>(param.seed));
+  const TrajectoryDatabase db =
+      RandomClumpyDb(rng, /*num_objects=*/24, /*ticks=*/60, /*world=*/60.0,
+                     /*step=*/0.8, /*keep_prob=*/0.9);
+  const ConvoyQuery query{3, 6, 4.0};
+
+  const auto expected = Cmc(db, query);
+
+  CutsFilterOptions options;
+  options.delta = param.delta;
+  options.lambda = param.lambda;
+  options.use_actual_tolerance = param.actual_tolerance;
+  options.use_box_pruning = param.box_pruning;
+  options.refine_mode = RefineMode::kFullWindow;
+  const auto got = Cuts(db, query, param.variant, options);
+
+  EXPECT_TRUE(SameResultSet(expected, got))
+      << ToString(param.variant) << " delta=" << param.delta
+      << " lambda=" << param.lambda << " seed=" << param.seed
+      << " expected=" << expected.size() << " got=" << got.size();
+}
+
+std::vector<ExactnessCase> MakeExactnessCases() {
+  std::vector<ExactnessCase> cases;
+  const CutsVariant variants[] = {CutsVariant::kCuts, CutsVariant::kCutsPlus,
+                                  CutsVariant::kCutsStar};
+  int seed = 100;
+  for (const CutsVariant variant : variants) {
+    for (const double delta : {-1.0, 0.5, 2.0}) {
+      for (const Tick lambda : {Tick{-1}, Tick{3}, Tick{10}}) {
+        cases.push_back(ExactnessCase{variant, delta, lambda,
+                                      /*actual_tolerance=*/true,
+                                      /*box_pruning=*/true, seed++});
+      }
+    }
+    // Toggle the optimizations off as well.
+    cases.push_back(ExactnessCase{variant, 1.0, 5, false, true, seed++});
+    cases.push_back(ExactnessCase{variant, 1.0, 5, true, false, seed++});
+    cases.push_back(ExactnessCase{variant, 1.0, 5, false, false, seed++});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CutsExactnessTest,
+                         ::testing::ValuesIn(MakeExactnessCases()));
+
+// With the paper's projected refinement (Algorithm 3), soundness must still
+// hold on arbitrary inputs: every reported convoy verifies true and is
+// covered by a CMC convoy.
+class CutsProjectedSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutsProjectedSoundnessTest, ProjectedRefinementIsSound) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const TrajectoryDatabase db =
+      RandomClumpyDb(rng, 20, 50, 50.0, 0.8, 0.85);
+  const ConvoyQuery query{3, 5, 4.0};
+  const auto exact = Cmc(db, query);
+
+  CutsFilterOptions options;
+  options.refine_mode = RefineMode::kProjected;
+  for (const auto variant :
+       {CutsVariant::kCuts, CutsVariant::kCutsPlus, CutsVariant::kCutsStar}) {
+    const auto got = Cuts(db, query, variant, options);
+    for (const Convoy& c : got) {
+      EXPECT_TRUE(VerifyConvoy(db, query, c))
+          << ToString(variant) << " reported false convoy " << ToString(c);
+      EXPECT_TRUE(Uncovered({c}, exact).empty())
+          << ToString(variant) << " reported convoy not covered by CMC: "
+          << ToString(c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutsProjectedSoundnessTest,
+                         ::testing::Range(500, 512));
+
+// Irregular sampling (taxi-style) stresses the interpolation-aware bounds.
+class CutsIrregularSamplingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutsIrregularSamplingTest, ExactOnIrregularlySampledData) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const TrajectoryDatabase db =
+      RandomClumpyDb(rng, 18, 70, 50.0, 0.7, /*keep_prob=*/0.45);
+  const ConvoyQuery query{2, 8, 4.0};
+  const auto expected = Cmc(db, query);
+
+  CutsFilterOptions options;
+  options.refine_mode = RefineMode::kFullWindow;
+  for (const auto variant :
+       {CutsVariant::kCuts, CutsVariant::kCutsPlus, CutsVariant::kCutsStar}) {
+    const auto got = Cuts(db, query, variant, options);
+    EXPECT_TRUE(SameResultSet(expected, got))
+        << ToString(variant) << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutsIrregularSamplingTest,
+                         ::testing::Range(900, 910));
+
+// Large lambda (sloppy filter) and tiny lambda (tight filter) must both be
+// correct; only performance may differ.
+TEST(CutsTest, ExtremeLambdaStillExact) {
+  Rng rng(4242);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 16, 48, 40.0, 0.8);
+  const ConvoyQuery query{2, 6, 4.0};
+  const auto expected = Cmc(db, query);
+  for (const Tick lambda : {Tick{1}, Tick{2}, Tick{48}, Tick{100}}) {
+    CutsFilterOptions options;
+    options.lambda = lambda;
+    options.refine_mode = RefineMode::kFullWindow;
+    const auto got = Cuts(db, query, CutsVariant::kCutsStar, options);
+    EXPECT_TRUE(SameResultSet(expected, got)) << "lambda=" << lambda;
+  }
+}
+
+TEST(CutsTest, HugeDeltaStillExact) {
+  // Absurd tolerance: everything collapses to 2-point lines, the filter
+  // admits nearly everything, refinement still fixes it.
+  Rng rng(777);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 14, 40, 40.0, 0.8);
+  const ConvoyQuery query{2, 5, 4.0};
+  const auto expected = Cmc(db, query);
+  CutsFilterOptions options;
+  options.delta = 1000.0;
+  options.refine_mode = RefineMode::kFullWindow;
+  const auto got = Cuts(db, query, CutsVariant::kCuts, options);
+  EXPECT_TRUE(SameResultSet(expected, got));
+}
+
+TEST(CutsTest, ActualToleranceNeverLoosensFilter) {
+  // Figure 14's claim: actual tolerances yield no more candidates than the
+  // global tolerance (they are <= the global delta everywhere).
+  Rng rng(31);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 24, 60, 50.0, 0.8);
+  const ConvoyQuery query{3, 6, 4.0};
+  for (const auto variant :
+       {CutsVariant::kCuts, CutsVariant::kCutsStar}) {
+    CutsFilterOptions with = MakeFilterOptions(variant);
+    with.delta = 2.0;
+    with.lambda = 5;
+    CutsFilterOptions without = with;
+    without.use_actual_tolerance = false;
+
+    DiscoveryStats stats_with;
+    DiscoveryStats stats_without;
+    (void)CutsFilter(db, query, with, &stats_with);
+    (void)CutsFilter(db, query, without, &stats_without);
+    EXPECT_LE(stats_with.refinement_unit, stats_without.refinement_unit + 1e-6)
+        << ToString(variant);
+  }
+}
+
+TEST(CutsTest, RtreeFilterGivesSameConvoys) {
+  Rng rng(606);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 24, 60, 50.0, 0.8);
+  const ConvoyQuery query{3, 6, 4.0};
+  for (const auto variant :
+       {CutsVariant::kCuts, CutsVariant::kCutsStar}) {
+    CutsFilterOptions scan;
+    scan.use_rtree = false;
+    scan.refine_mode = RefineMode::kFullWindow;
+    CutsFilterOptions rtree = scan;
+    rtree.use_rtree = true;
+    EXPECT_TRUE(SameResultSet(Cuts(db, query, variant, scan),
+                              Cuts(db, query, variant, rtree)))
+        << ToString(variant);
+  }
+}
+
+TEST(CutsTest, ParallelRefinementGivesSameConvoys) {
+  Rng rng(909);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 24, 60, 50.0, 0.8);
+  const ConvoyQuery query{2, 5, 4.0};
+  for (const RefineMode mode :
+       {RefineMode::kProjected, RefineMode::kFullWindow}) {
+    CutsFilterOptions sequential;
+    sequential.refine_mode = mode;
+    sequential.refine_threads = 1;
+    CutsFilterOptions parallel = sequential;
+    parallel.refine_threads = 4;
+    EXPECT_TRUE(SameResultSet(
+        Cuts(db, query, CutsVariant::kCutsStar, sequential),
+        Cuts(db, query, CutsVariant::kCutsStar, parallel)))
+        << (mode == RefineMode::kProjected ? "projected" : "full-window");
+  }
+}
+
+TEST(CutsTest, PhaseTimingsAccumulate) {
+  Rng rng(8);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 20, 60, 50.0, 0.8);
+  DiscoveryStats stats;
+  (void)Cuts(db, ConvoyQuery{3, 6, 4.0}, CutsVariant::kCutsStar, {}, &stats);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GE(stats.simplify_seconds, 0.0);
+  EXPECT_GT(stats.filter_seconds, 0.0);
+  EXPECT_GE(stats.total_seconds, stats.simplify_seconds);
+  EXPECT_GT(stats.vertex_reduction_percent, -1e-9);
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,204 @@
+#include "datagen/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/convoy_planter.h"
+#include "datagen/movement.h"
+#include "geom/point.h"
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+TEST(MovementTest, PathHasRequestedLength) {
+  Rng rng(1);
+  MovementConfig config;
+  const DensePath path = WaypointPathFrom(rng, config, Point(10, 10), 100);
+  EXPECT_EQ(path.size(), 100u);
+  EXPECT_EQ(path.front(), Point(10, 10));
+}
+
+TEST(MovementTest, PathStaysInWorld) {
+  Rng rng(2);
+  MovementConfig config;
+  config.world_size = 100.0;
+  const DensePath path = WaypointPathFrom(rng, config, Point(50, 50), 500);
+  for (const Point& p : path) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+}
+
+TEST(MovementTest, StepSizeBounded) {
+  Rng rng(3);
+  MovementConfig config;
+  config.speed_mean = 5.0;
+  config.speed_jitter = 0.2;
+  const DensePath path = WaypointPathFrom(rng, config, Point(0, 0), 300);
+  for (size_t i = 1; i < path.size(); ++i) {
+    // Speed jitter is Gaussian; allow generous headroom (6 sigma) plus the
+    // lateral wobble.
+    EXPECT_LE(D(path[i - 1], path[i]), 5.0 * (1.0 + 6.0 * 0.2) + 3.0);
+  }
+}
+
+TEST(MovementTest, PathToEndsAtTarget) {
+  Rng rng(4);
+  MovementConfig config;
+  const Point target(42, 17);
+  const DensePath path = WaypointPathTo(rng, config, target, 50);
+  EXPECT_EQ(path.size(), 50u);
+  EXPECT_EQ(path.back(), target);
+}
+
+TEST(MovementTest, ZeroTicksYieldsEmptyPath) {
+  Rng rng(5);
+  MovementConfig config;
+  EXPECT_TRUE(WaypointPathFrom(rng, config, Point(0, 0), 0).empty());
+}
+
+TEST(PlanterTest, MembersStayWithinCohesionDuringWindow) {
+  Rng rng(6);
+  MovementConfig move;
+  PlantConfig plant;
+  plant.cohesion_radius = 5.0;
+  plant.jitter = 0.4;
+  PlantedGroup group;
+  group.members = {0, 1, 2, 3};
+  group.window_start = 20;
+  group.window_end = 80;
+
+  const auto paths = PlantGroupPaths(rng, move, plant, group, 0, 99);
+  ASSERT_EQ(paths.size(), 4u);
+  for (const DensePath& path : paths) EXPECT_EQ(path.size(), 100u);
+
+  // Pairwise distance within the window never exceeds 2 * cohesion radius
+  // (both members within cohesion of the common leader position).
+  for (Tick t = group.window_start; t <= group.window_end; ++t) {
+    for (size_t a = 0; a < paths.size(); ++a) {
+      for (size_t b = a + 1; b < paths.size(); ++b) {
+        EXPECT_LE(D(paths[a][static_cast<size_t>(t)],
+                    paths[b][static_cast<size_t>(t)]),
+                  2.0 * plant.cohesion_radius + 1e-6)
+            << "tick " << t;
+      }
+    }
+  }
+}
+
+TEST(PlanterTest, ExpectedConvoyMirrorsGroup) {
+  PlantedGroup group;
+  group.members = {3, 1, 7};
+  group.window_start = 5;
+  group.window_end = 25;
+  const Convoy c = ToExpectedConvoy(group);
+  EXPECT_EQ(c.objects, group.members);
+  EXPECT_EQ(c.start_tick, 5);
+  EXPECT_EQ(c.end_tick, 25);
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  const ScenarioConfig config = TaxiLikeConfig(0.3);
+  const ScenarioData a = GenerateScenario(config, 99);
+  const ScenarioData b = GenerateScenario(config, 99);
+  ASSERT_EQ(a.db.Size(), b.db.Size());
+  for (size_t i = 0; i < a.db.Size(); ++i) {
+    ASSERT_EQ(a.db[i].Size(), b.db[i].Size());
+    for (size_t j = 0; j < a.db[i].Size(); ++j) {
+      EXPECT_EQ(a.db[i][j], b.db[i][j]);
+    }
+  }
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  const ScenarioConfig config = TaxiLikeConfig(0.3);
+  const ScenarioData a = GenerateScenario(config, 1);
+  const ScenarioData b = GenerateScenario(config, 2);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.db.Size() && !any_difference; ++i) {
+    if (a.db[i].Size() != b.db[i].Size() ||
+        !(a.db[i][0] == b.db[i][0])) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScenarioTest, ObjectCountMatchesConfig) {
+  for (const ScenarioConfig& config : AllScenarioConfigs(0.05, 0.01, 0.05,
+                                                         0.3)) {
+    const ScenarioData data = GenerateScenario(config, 5);
+    EXPECT_EQ(data.db.Size(), config.num_objects) << config.name;
+    EXPECT_EQ(data.name, config.name);
+  }
+}
+
+TEST(ScenarioTest, TimeDomainRespected) {
+  const ScenarioConfig config = TruckLikeConfig(0.05);
+  const ScenarioData data = GenerateScenario(config, 5);
+  EXPECT_GE(data.db.BeginTick(), 0);
+  EXPECT_LT(data.db.EndTick(), config.time_domain);
+}
+
+TEST(ScenarioTest, IrregularSamplingProducesMissingTicks) {
+  const ScenarioData taxi = GenerateScenario(TaxiLikeConfig(0.5), 5);
+  const DatabaseStats stats = taxi.db.Stats();
+  EXPECT_GT(stats.avg_missing_ratio, 0.5) << "taxi sampling should be sparse";
+
+  const ScenarioData cattle = GenerateScenario(CattleLikeConfig(0.005), 5);
+  EXPECT_LT(cattle.db.Stats().avg_missing_ratio, 0.01)
+      << "cattle sampling is per-tick";
+}
+
+TEST(ScenarioTest, PlantedGroupsAreDisjoint) {
+  const ScenarioData data = GenerateScenario(TruckLikeConfig(0.1), 5);
+  std::vector<bool> seen(data.db.Size(), false);
+  for (const PlantedGroup& group : data.planted) {
+    for (const ObjectId id : group.members) {
+      EXPECT_FALSE(seen[id]) << "object in two planted groups";
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(ScenarioTest, PlantedWindowsInsideDomain) {
+  for (const ScenarioConfig& config :
+       AllScenarioConfigs(0.1, 0.01, 0.1, 0.5)) {
+    const ScenarioData data = GenerateScenario(config, 7);
+    for (const PlantedGroup& group : data.planted) {
+      EXPECT_GE(group.window_start, 0);
+      EXPECT_LT(group.window_end, config.time_domain);
+      EXPECT_GE(group.members.size(), config.group_size_min);
+      EXPECT_LE(group.members.size(), config.group_size_max);
+    }
+  }
+}
+
+TEST(ScenarioTest, GroupMembersAliveThroughWindow) {
+  const ScenarioData data = GenerateScenario(CarLikeConfig(0.1), 11);
+  for (const PlantedGroup& group : data.planted) {
+    for (const ObjectId id : group.members) {
+      const Trajectory& traj = data.db[id];
+      EXPECT_LE(traj.BeginTick(), group.window_start);
+      EXPECT_GE(traj.EndTick(), group.window_end);
+    }
+  }
+}
+
+TEST(ScenarioTest, TrajectoryLengthShapeMatchesPreset) {
+  // Truck-like: short trajectories relative to domain. Cattle-like: full.
+  const ScenarioData truck = GenerateScenario(TruckLikeConfig(0.25), 3);
+  const DatabaseStats truck_stats = truck.db.Stats();
+  EXPECT_LT(truck_stats.avg_trajectory_length,
+            0.3 * static_cast<double>(truck_stats.time_domain_length));
+
+  const ScenarioData cattle = GenerateScenario(CattleLikeConfig(0.01), 3);
+  const DatabaseStats cattle_stats = cattle.db.Stats();
+  EXPECT_GT(cattle_stats.avg_trajectory_length,
+            0.9 * static_cast<double>(cattle_stats.time_domain_length));
+}
+
+}  // namespace
+}  // namespace convoy

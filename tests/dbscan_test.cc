@@ -1,0 +1,202 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+// Returns the cluster index containing point i, or -1 for noise.
+int ClusterOf(const Clustering& c, size_t i) {
+  for (size_t ci = 0; ci < c.clusters.size(); ++ci) {
+    if (std::find(c.clusters[ci].begin(), c.clusters[ci].end(), i) !=
+        c.clusters[ci].end()) {
+      return static_cast<int>(ci);
+    }
+  }
+  return -1;
+}
+
+TEST(DbscanTest, EmptyInput) {
+  const Clustering c = Dbscan({}, 1.0, 2);
+  EXPECT_TRUE(c.clusters.empty());
+}
+
+TEST(DbscanTest, SingletonIsNoiseWithMinPts2) {
+  const Clustering c = Dbscan({Point(0, 0)}, 1.0, 2);
+  EXPECT_TRUE(c.clusters.empty());
+}
+
+TEST(DbscanTest, SingletonIsClusterWithMinPts1) {
+  const Clustering c = Dbscan({Point(0, 0)}, 1.0, 1);
+  ASSERT_EQ(c.clusters.size(), 1u);
+}
+
+TEST(DbscanTest, PairWithinEpsFormsClusterMinPts2) {
+  // Neighborhood includes the point itself: each has |NH| = 2 >= m.
+  const Clustering c = Dbscan({Point(0, 0), Point(0.5, 0)}, 1.0, 2);
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), 2u);
+}
+
+TEST(DbscanTest, PairBeyondEpsIsNoise) {
+  const Clustering c = Dbscan({Point(0, 0), Point(5, 0)}, 1.0, 2);
+  EXPECT_TRUE(c.clusters.empty());
+}
+
+TEST(DbscanTest, TwoSeparatedClusters) {
+  const std::vector<Point> points = {Point(0, 0),  Point(1, 0), Point(0, 1),
+                                     Point(20, 20), Point(21, 20),
+                                     Point(20, 21)};
+  const Clustering c = Dbscan(points, 2.0, 3);
+  ASSERT_EQ(c.clusters.size(), 2u);
+  EXPECT_NE(ClusterOf(c, 0), ClusterOf(c, 3));
+  EXPECT_EQ(ClusterOf(c, 0), ClusterOf(c, 1));
+  EXPECT_EQ(ClusterOf(c, 3), ClusterOf(c, 4));
+}
+
+TEST(DbscanTest, ChainIsDensityConnectedArbitraryShape) {
+  // A long chain: consecutive gaps of 1, minPts 2 -> one snake-shaped
+  // cluster. This is the "arbitrary shape" motivation of Definition 2.
+  std::vector<Point> points;
+  for (int i = 0; i < 30; ++i) {
+    points.emplace_back(static_cast<double>(i), (i % 2) * 0.2);
+  }
+  const Clustering c = Dbscan(points, 1.1, 2);
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), points.size());
+}
+
+TEST(DbscanTest, ChainBreaksWithHighMinPts) {
+  // The same chain with minPts 3: interior points have 3 neighbors
+  // (self + two), so still one cluster; endpoints become border points.
+  std::vector<Point> points;
+  for (int i = 0; i < 10; ++i) {
+    points.emplace_back(static_cast<double>(i), 0.0);
+  }
+  const Clustering c = Dbscan(points, 1.1, 3);
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), points.size());
+  // With minPts 4 no point has 4 neighbors within 1.1 -> all noise.
+  EXPECT_TRUE(Dbscan(points, 1.1, 4).clusters.empty());
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // Dense core of 3 mutual neighbors plus one border point reachable from
+  // a core point but itself not core.
+  const std::vector<Point> points = {Point(0, 0), Point(0.5, 0),
+                                     Point(0, 0.5), Point(1.3, 0)};
+  const Clustering c = Dbscan(points, 1.0, 3);
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), 4u);
+}
+
+TEST(DbscanTest, NoisePointExcluded) {
+  const std::vector<Point> points = {Point(0, 0), Point(0.5, 0),
+                                     Point(0, 0.5), Point(50, 50)};
+  const Clustering c = Dbscan(points, 1.0, 3);
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), 3u);
+  EXPECT_EQ(ClusterOf(c, 3), -1);
+}
+
+TEST(DbscanTest, BridgeMergesClusters) {
+  // Two dense blobs joined by a chain of core points -> single cluster.
+  std::vector<Point> points = {Point(0, 0), Point(0.5, 0), Point(0, 0.5)};
+  points.insert(points.end(),
+                {Point(10, 0), Point(10.5, 0), Point(10, 0.5)});
+  for (double x = 1.0; x < 10.0; x += 0.5) {
+    points.emplace_back(x, 0.0);
+    points.emplace_back(x, 0.2);  // keep bridge points core with minPts 3
+  }
+  const Clustering c = Dbscan(points, 1.0, 3);
+  ASSERT_EQ(c.clusters.size(), 1u);
+}
+
+TEST(DbscanTest, DuplicatePointsCountTowardDensity) {
+  const std::vector<Point> points = {Point(1, 1), Point(1, 1), Point(1, 1)};
+  const Clustering c = Dbscan(points, 0.5, 3);
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), 3u);
+}
+
+// ------------------------- postcondition properties on random datasets ----
+
+// DBSCAN's defining postconditions (cluster partition over *core* points is
+// unique; border/noise rules). Checked against a brute-force analysis.
+TEST(DbscanTest, PostconditionsOnRandomData) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 15; ++iter) {
+    std::vector<Point> points;
+    const size_t n = 30 + static_cast<size_t>(rng.UniformInt(0, 120));
+    for (size_t i = 0; i < n; ++i) {
+      // Clumpy distribution so clusters actually form.
+      const Point center(rng.Uniform(0, 30), rng.Uniform(0, 30));
+      points.push_back(center);
+      if (rng.Chance(0.6)) {
+        points.emplace_back(center.x + rng.Gaussian(0, 0.5),
+                            center.y + rng.Gaussian(0, 0.5));
+      }
+    }
+    const double eps = 1.5;
+    const size_t min_pts = 3;
+    const Clustering c = Dbscan(points, eps, min_pts);
+
+    // Brute-force core computation.
+    std::vector<bool> core(points.size(), false);
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t neighbors = 0;
+      for (size_t j = 0; j < points.size(); ++j) {
+        if (D(points[i], points[j]) <= eps) ++neighbors;
+      }
+      core[i] = neighbors >= min_pts;
+    }
+
+    std::vector<int> label(points.size(), -1);
+    for (size_t ci = 0; ci < c.clusters.size(); ++ci) {
+      for (const size_t idx : c.clusters[ci]) {
+        EXPECT_EQ(label[idx], -1) << "point in two clusters";
+        label[idx] = static_cast<int>(ci);
+      }
+    }
+
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = 0; j < points.size(); ++j) {
+        if (core[i] && core[j] && D(points[i], points[j]) <= eps) {
+          // Two close core points must share a cluster.
+          EXPECT_EQ(label[i], label[j]);
+        }
+      }
+      if (label[i] >= 0 && !core[i]) {
+        // Border point: must be within eps of a core point of its cluster.
+        bool ok = false;
+        for (size_t j = 0; j < points.size(); ++j) {
+          if (core[j] && label[j] == label[i] &&
+              D(points[i], points[j]) <= eps) {
+            ok = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(ok) << "border point not attached to its cluster core";
+      }
+      if (label[i] == -1) {
+        // Noise: not within eps of any core point.
+        for (size_t j = 0; j < points.size(); ++j) {
+          if (core[j]) {
+            EXPECT_GT(D(points[i], points[j]), eps);
+          }
+        }
+      }
+      if (core[i]) {
+        EXPECT_GE(label[i], 0) << "core point left unclustered";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,221 @@
+// Degenerate and boundary inputs across the whole discovery stack: the
+// cases a production deployment will eventually feed the library.
+
+#include <gtest/gtest.h>
+
+#include "convoy/convoy.h"
+#include "tests/test_util.h"
+
+namespace convoy {
+namespace {
+
+using testutil::FromXRows;
+
+// ------------------------------------------------------------ queries -----
+
+TEST(EdgeCaseTest, MEqualsOneReportsSingletons) {
+  // m = 1: every alive object is its own cluster; convoys of one object
+  // spanning their lifetimes qualify.
+  const auto db = FromXRows({{0, 1, 2}}, 0.0);
+  const auto result = Cmc(db, ConvoyQuery{1, 3, 1.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].objects, (std::vector<ObjectId>{0}));
+  EXPECT_EQ(result[0].Lifetime(), 3);
+}
+
+TEST(EdgeCaseTest, KEqualsOneMeansSingleTickMeetings) {
+  // Two objects meet only at tick 1.
+  const auto db = FromXRows({{0, 5, 10}, {50, 5.4, 60}});
+  const auto result = Cmc(db, ConvoyQuery{2, 1, 1.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].start_tick, 1);
+  EXPECT_EQ(result[0].end_tick, 1);
+}
+
+TEST(EdgeCaseTest, ZeroRangeRequiresExactCoincidence) {
+  const auto coincident = FromXRows({{1, 2, 3}, {1, 2, 3}}, 0.0);
+  EXPECT_EQ(Cmc(coincident, ConvoyQuery{2, 3, 0.0}).size(), 1u);
+  const auto apart = FromXRows({{1, 2, 3}, {1, 2, 3}}, 0.001);
+  EXPECT_TRUE(Cmc(apart, ConvoyQuery{2, 3, 0.0}).empty());
+}
+
+TEST(EdgeCaseTest, HugeRangeGroupsEverything) {
+  const auto db = FromXRows({{0, 1, 2}, {500, 501, 502}, {900, 901, 902}});
+  const auto result = Cmc(db, ConvoyQuery{3, 3, 1e9});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].objects.size(), 3u);
+}
+
+TEST(EdgeCaseTest, MLargerThanPopulation) {
+  const auto db = FromXRows({{0, 1}, {0, 1}}, 0.1);
+  EXPECT_TRUE(Cmc(db, ConvoyQuery{5, 2, 10.0}).empty());
+  EXPECT_TRUE(Cuts(db, ConvoyQuery{5, 2, 10.0}).empty());
+}
+
+TEST(EdgeCaseTest, KLargerThanDomain) {
+  const auto db = FromXRows({{0, 1, 2}, {0, 1, 2}}, 0.1);
+  EXPECT_TRUE(Cmc(db, ConvoyQuery{2, 100, 1.0}).empty());
+  EXPECT_TRUE(Cuts(db, ConvoyQuery{2, 100, 1.0}).empty());
+}
+
+// ------------------------------------------------------------ databases ---
+
+TEST(EdgeCaseTest, SingleTickDatabase) {
+  const auto db = FromXRows({{0}, {0.3}, {0.6}});
+  const auto result = Cmc(db, ConvoyQuery{3, 1, 1.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(Cuts(db, ConvoyQuery{3, 1, 1.0}).size() == 1u);
+}
+
+TEST(EdgeCaseTest, DatabaseWithEmptyTrajectories) {
+  TrajectoryDatabase db;
+  db.Add(Trajectory(0));
+  Trajectory a(1);
+  Trajectory b(2);
+  for (Tick t = 0; t < 4; ++t) {
+    a.Append(static_cast<double>(t), 0.0, t);
+    b.Append(static_cast<double>(t), 0.4, t);
+  }
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+  db.Add(Trajectory(3));
+  const ConvoyQuery query{2, 4, 1.0};
+  EXPECT_EQ(Cmc(db, query).size(), 1u);
+  EXPECT_EQ(Cuts(db, query).size(), 1u);
+}
+
+TEST(EdgeCaseTest, SingleSampleTrajectoriesAreHandled) {
+  TrajectoryDatabase db;
+  for (ObjectId id = 0; id < 3; ++id) {
+    Trajectory traj(id);
+    traj.Append(0.2 * static_cast<double>(id), 0.0, 5);
+    db.Add(std::move(traj));
+  }
+  const auto result = Cmc(db, ConvoyQuery{3, 1, 1.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].start_tick, 5);
+  EXPECT_TRUE(SameResultSet(result, Cuts(db, ConvoyQuery{3, 1, 1.0},
+                                         CutsVariant::kCutsStar)));
+}
+
+TEST(EdgeCaseTest, NegativeTicksWork) {
+  TrajectoryDatabase db;
+  for (ObjectId id = 0; id < 2; ++id) {
+    Trajectory traj(id);
+    for (Tick t = -10; t <= -5; ++t) {
+      traj.Append(static_cast<double>(t), 0.3 * static_cast<double>(id), t);
+    }
+    db.Add(std::move(traj));
+  }
+  const ConvoyQuery query{2, 6, 1.0};
+  const auto result = Cmc(db, query);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].start_tick, -10);
+  EXPECT_EQ(result[0].end_tick, -5);
+  EXPECT_TRUE(SameResultSet(result, Cuts(db, query)));
+}
+
+TEST(EdgeCaseTest, IdenticalTrajectories) {
+  // Five clones of the same path: one convoy of all five.
+  TrajectoryDatabase db;
+  for (ObjectId id = 0; id < 5; ++id) {
+    Trajectory traj(id);
+    for (Tick t = 0; t < 6; ++t) {
+      traj.Append(static_cast<double>(t) * 2.0, 1.0, t);
+    }
+    db.Add(std::move(traj));
+  }
+  const ConvoyQuery query{5, 6, 0.5};
+  const auto result = Cmc(db, query);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].objects.size(), 5u);
+  EXPECT_TRUE(SameResultSet(result, Cuts(db, query)));
+}
+
+TEST(EdgeCaseTest, StationaryObjects) {
+  // Parked vehicles form a convoy too (nothing in Definition 3 requires
+  // motion) — and stationary data is a degenerate input for DP (all
+  // interior points collapse).
+  TrajectoryDatabase db;
+  for (ObjectId id = 0; id < 3; ++id) {
+    Trajectory traj(id);
+    for (Tick t = 0; t < 10; ++t) {
+      traj.Append(0.2 * static_cast<double>(id), 7.0, t);
+    }
+    db.Add(std::move(traj));
+  }
+  const ConvoyQuery query{3, 10, 1.0};
+  const auto cmc = Cmc(db, query);
+  ASSERT_EQ(cmc.size(), 1u);
+  for (const auto variant :
+       {CutsVariant::kCuts, CutsVariant::kCutsPlus, CutsVariant::kCutsStar}) {
+    EXPECT_TRUE(SameResultSet(cmc, Cuts(db, query, variant)));
+  }
+}
+
+TEST(EdgeCaseTest, DisjointLifetimesNeverMeet) {
+  // Same positions, non-overlapping lifetimes: no convoy.
+  TrajectoryDatabase db;
+  Trajectory a(0);
+  for (Tick t = 0; t < 5; ++t) a.Append(static_cast<double>(t), 0, t);
+  Trajectory b(1);
+  for (Tick t = 10; t < 15; ++t) {
+    b.Append(static_cast<double>(t - 10), 0, t);
+  }
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+  const ConvoyQuery query{2, 2, 5.0};
+  EXPECT_TRUE(Cmc(db, query).empty());
+  EXPECT_TRUE(Cuts(db, query).empty());
+}
+
+// ----------------------------------------------------------- streaming ----
+
+TEST(EdgeCaseTest, StreamingSingleTick) {
+  StreamingCmc stream(ConvoyQuery{2, 1, 1.0});
+  stream.BeginTick(0);
+  stream.Report(0, Point(0, 0));
+  stream.Report(1, Point(0, 0.5));
+  const auto closed = stream.EndTick();
+  const auto finished = stream.Finish();
+  EXPECT_EQ(closed.size() + finished.size(), 1u);
+}
+
+// ------------------------------------------------------------ simplify ----
+
+TEST(EdgeCaseTest, SimplifyStationaryTrajectory) {
+  Trajectory traj(0);
+  for (Tick t = 0; t < 100; ++t) traj.Append(3.0, 4.0, t);
+  for (const auto kind : {SimplifierKind::kDp, SimplifierKind::kDpPlus,
+                          SimplifierKind::kDpStar}) {
+    const SimplifiedTrajectory simp = Simplify(traj, 0.5, kind);
+    EXPECT_EQ(simp.NumVertices(), 2u) << ToString(kind);
+    EXPECT_DOUBLE_EQ(simp.MaxTolerance(), 0.0);
+  }
+}
+
+TEST(EdgeCaseTest, SimplifyZigZagWithZeroDelta) {
+  // delta = 0 must keep every non-collinear point and stay within bounds.
+  Trajectory traj(0);
+  for (Tick t = 0; t < 50; ++t) {
+    traj.Append(static_cast<double>(t), t % 2 == 0 ? 0.0 : 1.0, t);
+  }
+  EXPECT_EQ(DouglasPeucker(traj, 0.0).NumVertices(), 50u);
+  EXPECT_EQ(DpStar(traj, 0.0).NumVertices(), 50u);
+}
+
+// --------------------------------------------------------------- verify ---
+
+TEST(EdgeCaseTest, VerifyEmptyConvoyRejected) {
+  const auto db = FromXRows({{0, 1}, {0, 1}}, 0.1);
+  EXPECT_FALSE(VerifyConvoy(db, ConvoyQuery{2, 1, 1.0}, Convoy{{}, 0, 1}));
+}
+
+TEST(EdgeCaseTest, VerifyUnknownObjectRejected) {
+  const auto db = FromXRows({{0, 1}, {0, 1}}, 0.1);
+  EXPECT_FALSE(
+      VerifyConvoy(db, ConvoyQuery{2, 1, 1.0}, Convoy{{0, 99}, 0, 1}));
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,121 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cmc.h"
+#include "tests/test_util.h"
+
+namespace convoy {
+namespace {
+
+using testutil::RandomClumpyDb;
+
+ConvoyEngine MakeEngine(uint64_t seed) {
+  Rng rng(seed);
+  return ConvoyEngine(RandomClumpyDb(rng, 20, 60, 50.0, 0.8));
+}
+
+TEST(EngineTest, DiscoverMatchesFreestandingCuts) {
+  ConvoyEngine engine = MakeEngine(1);
+  const ConvoyQuery query{3, 6, 4.0};
+  const auto via_engine = engine.Discover(query, CutsVariant::kCutsStar);
+  const auto direct = Cuts(engine.db(), query, CutsVariant::kCutsStar);
+  EXPECT_TRUE(SameResultSet(via_engine, direct));
+}
+
+TEST(EngineTest, DiscoverExactMatchesCmc) {
+  ConvoyEngine engine = MakeEngine(2);
+  const ConvoyQuery query{3, 6, 4.0};
+  EXPECT_TRUE(
+      SameResultSet(engine.DiscoverExact(query), Cmc(engine.db(), query)));
+}
+
+TEST(EngineTest, CacheReusedAcrossQueriesWithSameDelta) {
+  ConvoyEngine engine = MakeEngine(3);
+  CutsFilterOptions options;
+  options.delta = 1.5;
+  (void)engine.Discover(ConvoyQuery{3, 6, 4.0}, CutsVariant::kCutsStar,
+                        options);
+  EXPECT_EQ(engine.CacheSize(), 1u);
+  // Different m/k/e, same simplifier+delta: no new cache entry.
+  (void)engine.Discover(ConvoyQuery{2, 10, 3.0}, CutsVariant::kCutsStar,
+                        options);
+  EXPECT_EQ(engine.CacheSize(), 1u);
+  // Different variant -> different simplifier -> new entry.
+  (void)engine.Discover(ConvoyQuery{3, 6, 4.0}, CutsVariant::kCuts, options);
+  EXPECT_EQ(engine.CacheSize(), 2u);
+  // Different delta -> new entry.
+  options.delta = 2.5;
+  (void)engine.Discover(ConvoyQuery{3, 6, 4.0}, CutsVariant::kCuts, options);
+  EXPECT_EQ(engine.CacheSize(), 3u);
+}
+
+TEST(EngineTest, CachedRunSkipsSimplifyTime) {
+  ConvoyEngine engine = MakeEngine(4);
+  CutsFilterOptions options;
+  options.delta = 1.5;
+  const ConvoyQuery query{3, 6, 4.0};
+  DiscoveryStats first;
+  (void)engine.Discover(query, CutsVariant::kCutsStar, options, &first);
+  DiscoveryStats second;
+  (void)engine.Discover(query, CutsVariant::kCutsStar, options, &second);
+  EXPECT_EQ(second.simplify_seconds, 0.0);
+  EXPECT_GT(first.total_seconds, 0.0);
+}
+
+TEST(EngineTest, CachedResultsStayCorrect) {
+  ConvoyEngine engine = MakeEngine(5);
+  CutsFilterOptions options;
+  options.delta = 1.2;
+  options.refine_mode = RefineMode::kFullWindow;
+  for (const double e : {3.0, 4.0, 5.0}) {
+    const ConvoyQuery query{2, 5, e};
+    const auto got = engine.Discover(query, CutsVariant::kCutsStar, options);
+    EXPECT_TRUE(SameResultSet(got, Cmc(engine.db(), query))) << "e=" << e;
+  }
+}
+
+TEST(EngineTest, LongestConvoy) {
+  const std::vector<Convoy> result = {
+      Convoy{{1, 2}, 0, 9},       // lifetime 10
+      Convoy{{3, 4, 5}, 20, 25},  // lifetime 6
+  };
+  const auto longest = ConvoyEngine::LongestConvoy(result);
+  ASSERT_TRUE(longest.has_value());
+  EXPECT_EQ(longest->objects, (std::vector<ObjectId>{1, 2}));
+  EXPECT_FALSE(ConvoyEngine::LongestConvoy({}).has_value());
+}
+
+TEST(EngineTest, LongestConvoyTieBreaksOnSize) {
+  const std::vector<Convoy> result = {
+      Convoy{{1, 2}, 0, 9},
+      Convoy{{3, 4, 5}, 10, 19},
+  };
+  const auto longest = ConvoyEngine::LongestConvoy(result);
+  ASSERT_TRUE(longest.has_value());
+  EXPECT_EQ(longest->objects.size(), 3u);
+}
+
+TEST(EngineTest, InvolvingFiltersByObject) {
+  const std::vector<Convoy> result = {
+      Convoy{{1, 2}, 0, 9},
+      Convoy{{2, 3}, 5, 14},
+      Convoy{{4, 5}, 0, 9},
+  };
+  const auto involving2 = ConvoyEngine::Involving(result, 2);
+  EXPECT_EQ(involving2.size(), 2u);
+  EXPECT_TRUE(ConvoyEngine::Involving(result, 9).empty());
+}
+
+TEST(EngineTest, DuringFiltersByInterval) {
+  const std::vector<Convoy> result = {
+      Convoy{{1, 2}, 0, 9},
+      Convoy{{2, 3}, 20, 30},
+  };
+  EXPECT_EQ(ConvoyEngine::During(result, 5, 25).size(), 2u);
+  EXPECT_EQ(ConvoyEngine::During(result, 10, 19).size(), 0u);
+  EXPECT_EQ(ConvoyEngine::During(result, 9, 9).size(), 1u);
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,102 @@
+#include "geom/box.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace convoy {
+namespace {
+
+TEST(BoxTest, DefaultIsEmpty) {
+  Box b;
+  EXPECT_TRUE(b.Empty());
+}
+
+TEST(BoxTest, ExtendMakesNonEmpty) {
+  Box b;
+  b.Extend(Point(1, 2));
+  EXPECT_FALSE(b.Empty());
+  EXPECT_TRUE(b.Contains(Point(1, 2)));
+  EXPECT_FALSE(b.Contains(Point(1.1, 2)));
+}
+
+TEST(BoxTest, ExtendGrowsToCoverAllPoints) {
+  Box b;
+  b.Extend(Point(0, 0));
+  b.Extend(Point(10, -5));
+  b.Extend(Point(-3, 8));
+  EXPECT_TRUE(b.Contains(Point(0, 0)));
+  EXPECT_TRUE(b.Contains(Point(10, -5)));
+  EXPECT_TRUE(b.Contains(Point(-3, 8)));
+  EXPECT_TRUE(b.Contains(Point(5, 0)));
+  EXPECT_FALSE(b.Contains(Point(11, 0)));
+  EXPECT_EQ(b.min(), Point(-3, -5));
+  EXPECT_EQ(b.max(), Point(10, 8));
+}
+
+TEST(BoxTest, OfSegmentNormalizesCorners) {
+  const Box b = Box::Of(Segment(Point(5, 1), Point(2, 7)));
+  EXPECT_EQ(b.min(), Point(2, 1));
+  EXPECT_EQ(b.max(), Point(5, 7));
+}
+
+TEST(BoxTest, OfTimedSegment) {
+  const Box b =
+      Box::Of(TimedSegment(TimedPoint(3, 4, 0), TimedPoint(1, 2, 5)));
+  EXPECT_EQ(b.min(), Point(1, 2));
+  EXPECT_EQ(b.max(), Point(3, 4));
+}
+
+TEST(BoxTest, ExtendWithBox) {
+  Box a(Point(0, 0), Point(1, 1));
+  Box b(Point(5, 5), Point(6, 6));
+  a.Extend(b);
+  EXPECT_EQ(a.min(), Point(0, 0));
+  EXPECT_EQ(a.max(), Point(6, 6));
+}
+
+TEST(BoxTest, ExtendWithEmptyBoxIsNoOp) {
+  Box a(Point(0, 0), Point(1, 1));
+  a.Extend(Box());
+  EXPECT_EQ(a.min(), Point(0, 0));
+  EXPECT_EQ(a.max(), Point(1, 1));
+}
+
+TEST(DminTest, OverlappingBoxesIsZero) {
+  const Box a(Point(0, 0), Point(5, 5));
+  const Box b(Point(3, 3), Point(8, 8));
+  EXPECT_DOUBLE_EQ(Dmin(a, b), 0.0);
+}
+
+TEST(DminTest, TouchingBoxesIsZero) {
+  const Box a(Point(0, 0), Point(5, 5));
+  const Box b(Point(5, 0), Point(8, 5));
+  EXPECT_DOUBLE_EQ(Dmin(a, b), 0.0);
+}
+
+TEST(DminTest, HorizontalGap) {
+  const Box a(Point(0, 0), Point(1, 10));
+  const Box b(Point(4, 0), Point(5, 10));
+  EXPECT_DOUBLE_EQ(Dmin(a, b), 3.0);
+}
+
+TEST(DminTest, DiagonalGap) {
+  const Box a(Point(0, 0), Point(1, 1));
+  const Box b(Point(4, 5), Point(6, 7));
+  EXPECT_DOUBLE_EQ(Dmin(a, b), 5.0);  // dx=3, dy=4
+}
+
+TEST(DminTest, Symmetric) {
+  const Box a(Point(0, 0), Point(1, 1));
+  const Box b(Point(10, -3), Point(12, -2));
+  EXPECT_DOUBLE_EQ(Dmin(a, b), Dmin(b, a));
+}
+
+TEST(DminTest, EmptyBoxIsInfinitelyFar) {
+  const Box a(Point(0, 0), Point(1, 1));
+  EXPECT_EQ(Dmin(a, Box()), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Dmin(Box(), a), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,220 @@
+#include "geom/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+// ---------------------------------------------------------------- DPL ------
+
+TEST(DplTest, PointOnSegment) {
+  const Segment s(Point(0, 0), Point(10, 0));
+  EXPECT_DOUBLE_EQ(DPL(Point(5, 0), s), 0.0);
+  EXPECT_DOUBLE_EQ(DPL(Point(0, 0), s), 0.0);
+  EXPECT_DOUBLE_EQ(DPL(Point(10, 0), s), 0.0);
+}
+
+TEST(DplTest, PerpendicularProjectionInside) {
+  const Segment s(Point(0, 0), Point(10, 0));
+  EXPECT_DOUBLE_EQ(DPL(Point(5, 3), s), 3.0);
+  EXPECT_DOUBLE_EQ(DPL(Point(5, -3), s), 3.0);
+}
+
+TEST(DplTest, ProjectionBeyondEndpoints) {
+  const Segment s(Point(0, 0), Point(10, 0));
+  EXPECT_DOUBLE_EQ(DPL(Point(-3, 4), s), 5.0);  // nearest is (0,0)
+  EXPECT_DOUBLE_EQ(DPL(Point(13, 4), s), 5.0);  // nearest is (10,0)
+}
+
+TEST(DplTest, DegenerateSegmentIsPointDistance) {
+  const Segment s(Point(2, 2), Point(2, 2));
+  EXPECT_DOUBLE_EQ(DPL(Point(5, 6), s), 5.0);
+}
+
+TEST(DplTest, SquaredMatchesUnsquared) {
+  const Segment s(Point(1, 1), Point(4, 5));
+  const Point p(-2, 3);
+  EXPECT_DOUBLE_EQ(DPL2(p, s), DPL(p, s) * DPL(p, s));
+}
+
+// ------------------------------------------------------ SegmentsIntersect --
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(10, 10)),
+                                Segment(Point(0, 10), Point(10, 0))));
+}
+
+TEST(SegmentsIntersectTest, NoIntersection) {
+  EXPECT_FALSE(SegmentsIntersect(Segment(Point(0, 0), Point(1, 0)),
+                                 Segment(Point(0, 1), Point(1, 1))));
+}
+
+TEST(SegmentsIntersectTest, SharedEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(1, 1)),
+                                Segment(Point(1, 1), Point(2, 0))));
+}
+
+TEST(SegmentsIntersectTest, TShapedTouch) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(10, 0)),
+                                Segment(Point(5, 0), Point(5, 5))));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlapping) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(5, 0)),
+                                Segment(Point(3, 0), Point(8, 0))));
+}
+
+TEST(SegmentsIntersectTest, CollinearDisjoint) {
+  EXPECT_FALSE(SegmentsIntersect(Segment(Point(0, 0), Point(2, 0)),
+                                 Segment(Point(3, 0), Point(8, 0))));
+}
+
+// ---------------------------------------------------------------- DLL ------
+
+TEST(DllTest, IntersectingSegmentsIsZero) {
+  EXPECT_DOUBLE_EQ(DLL(Segment(Point(0, 0), Point(10, 10)),
+                       Segment(Point(0, 10), Point(10, 0))),
+                   0.0);
+}
+
+TEST(DllTest, ParallelSegments) {
+  EXPECT_DOUBLE_EQ(DLL(Segment(Point(0, 0), Point(10, 0)),
+                       Segment(Point(0, 4), Point(10, 4))),
+                   4.0);
+}
+
+TEST(DllTest, EndpointToInterior) {
+  // Closest pair is the endpoint (12,0) of one segment against interior of
+  // the other? Here: segments on the same line, gap of 2.
+  EXPECT_DOUBLE_EQ(DLL(Segment(Point(0, 0), Point(10, 0)),
+                       Segment(Point(12, 0), Point(20, 0))),
+                   2.0);
+}
+
+TEST(DllTest, SkewSegments) {
+  // Vertical segment above the right end of a horizontal one.
+  EXPECT_DOUBLE_EQ(DLL(Segment(Point(0, 0), Point(10, 0)),
+                       Segment(Point(13, 4), Point(13, 10))),
+                   5.0);
+}
+
+TEST(DllTest, Symmetric) {
+  const Segment a(Point(0, 0), Point(3, 1));
+  const Segment b(Point(7, -2), Point(9, 4));
+  EXPECT_DOUBLE_EQ(DLL(a, b), DLL(b, a));
+}
+
+TEST(DllTest, LowerBoundsSampledPointDistances) {
+  // Property: DLL is the minimum over all point pairs, so any sampled pair
+  // must be at least DLL apart.
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Segment a(Point(rng.Uniform(0, 100), rng.Uniform(0, 100)),
+                    Point(rng.Uniform(0, 100), rng.Uniform(0, 100)));
+    const Segment b(Point(rng.Uniform(0, 100), rng.Uniform(0, 100)),
+                    Point(rng.Uniform(0, 100), rng.Uniform(0, 100)));
+    const double dll = DLL(a, b);
+    for (int s = 0; s <= 10; ++s) {
+      for (int t = 0; t <= 10; ++t) {
+        const double dist = D(a.At(s / 10.0), b.At(t / 10.0));
+        EXPECT_GE(dist + 1e-9, dll);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- CPA ------
+
+TEST(CpaTest, HeadOnApproach) {
+  // Two objects moving toward each other along the x axis over [0,10]:
+  // closest at t=5 where they meet.
+  const TimedSegment p(TimedPoint(0, 0, 0), TimedPoint(10, 0, 10));
+  const TimedSegment q(TimedPoint(10, 0, 0), TimedPoint(0, 0, 10));
+  EXPECT_DOUBLE_EQ(CpaTime(p, q), 5.0);
+  EXPECT_DOUBLE_EQ(DStar(p, q), 0.0);
+}
+
+TEST(CpaTest, ParallelMotionConstantDistance) {
+  const TimedSegment p(TimedPoint(0, 0, 0), TimedPoint(10, 0, 10));
+  const TimedSegment q(TimedPoint(0, 3, 0), TimedPoint(10, 3, 10));
+  EXPECT_DOUBLE_EQ(DStar(p, q), 3.0);
+}
+
+TEST(CpaTest, CpaClampedToCommonInterval) {
+  // Both move right; q trails p and gains, but their common interval ends
+  // before q catches up, so the clamped CPA is the interval end.
+  const TimedSegment p(TimedPoint(5, 0, 0), TimedPoint(15, 0, 10));
+  const TimedSegment q(TimedPoint(0, 0, 0), TimedPoint(12, 0, 8));
+  const double t = CpaTime(p, q);
+  EXPECT_DOUBLE_EQ(t, 8.0);
+  // At t=8, p is at x=13, q at x=12.
+  EXPECT_NEAR(DStar(p, q), 1.0, 1e-12);
+}
+
+TEST(CpaTest, DisjointIntervalsGiveInfiniteDStar) {
+  const TimedSegment p(TimedPoint(0, 0, 0), TimedPoint(1, 0, 5));
+  const TimedSegment q(TimedPoint(0, 0, 6), TimedPoint(1, 0, 10));
+  EXPECT_EQ(DStar(p, q), std::numeric_limits<double>::infinity());
+}
+
+TEST(DStarTest, NeverBelowDll) {
+  // Property (paper Section 6.2): D* >= DLL, since D* restricts both points
+  // to time-synchronized positions while DLL minimizes freely.
+  Rng rng(1234);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Tick a0 = rng.UniformInt(0, 50);
+    const Tick a1 = a0 + rng.UniformInt(1, 20);
+    const Tick b0 = rng.UniformInt(0, 50);
+    const Tick b1 = b0 + rng.UniformInt(1, 20);
+    const TimedSegment p(
+        TimedPoint(rng.Uniform(0, 100), rng.Uniform(0, 100), a0),
+        TimedPoint(rng.Uniform(0, 100), rng.Uniform(0, 100), a1));
+    const TimedSegment q(
+        TimedPoint(rng.Uniform(0, 100), rng.Uniform(0, 100), b0),
+        TimedPoint(rng.Uniform(0, 100), rng.Uniform(0, 100), b1));
+    const double dstar = DStar(p, q);
+    if (std::isinf(dstar)) continue;
+    EXPECT_GE(dstar + 1e-9, DLL(p.Spatial(), q.Spatial()));
+  }
+}
+
+TEST(DStarTest, IsMinimumOverCommonInterval) {
+  // Property: D* equals the minimum time-synchronized distance over the
+  // common interval (sampled densely).
+  Rng rng(777);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Tick a0 = rng.UniformInt(0, 20);
+    const Tick a1 = a0 + rng.UniformInt(1, 20);
+    const Tick b0 = rng.UniformInt(0, 20);
+    const Tick b1 = b0 + rng.UniformInt(1, 20);
+    const TimedSegment p(
+        TimedPoint(rng.Uniform(0, 50), rng.Uniform(0, 50), a0),
+        TimedPoint(rng.Uniform(0, 50), rng.Uniform(0, 50), a1));
+    const TimedSegment q(
+        TimedPoint(rng.Uniform(0, 50), rng.Uniform(0, 50), b0),
+        TimedPoint(rng.Uniform(0, 50), rng.Uniform(0, 50), b1));
+    const TickOverlap ov = OverlapTicks(p, q);
+    if (!ov.valid) continue;
+    const double dstar = DStar(p, q);
+    double sampled_min = std::numeric_limits<double>::infinity();
+    const double lo = static_cast<double>(ov.lo);
+    const double hi = static_cast<double>(ov.hi);
+    for (int s = 0; s <= 200; ++s) {
+      const double t = lo + (hi - lo) * s / 200.0;
+      sampled_min =
+          std::min(sampled_min, D(p.PositionAt(t), q.PositionAt(t)));
+    }
+    // D* is the exact minimum; sampling can only be >= it.
+    EXPECT_GE(sampled_min + 1e-9, dstar);
+    // And the sampled minimum should approach it.
+    EXPECT_NEAR(sampled_min, dstar, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,73 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace convoy {
+namespace {
+
+TEST(PointTest, DefaultIsOrigin) {
+  Point p;
+  EXPECT_EQ(p.x, 0.0);
+  EXPECT_EQ(p.y, 0.0);
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a(1.0, 2.0);
+  const Point b(3.0, -4.0);
+  EXPECT_EQ(a + b, Point(4.0, -2.0));
+  EXPECT_EQ(a - b, Point(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+}
+
+TEST(PointTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Point(1.0, 2.0).Dot(Point(3.0, 4.0)), 11.0);
+  EXPECT_DOUBLE_EQ(Point(1.0, 0.0).Dot(Point(0.0, 1.0)), 0.0);
+}
+
+TEST(PointTest, Norms) {
+  const Point p(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(p.Norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(p.Norm(), 5.0);
+}
+
+TEST(PointTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(D(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(D(Point(1, 1), Point(1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(D2(Point(0, 0), Point(3, 4)), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  const Point a(1.5, -2.5);
+  const Point b(-3.0, 7.0);
+  EXPECT_DOUBLE_EQ(D(a, b), D(b, a));
+}
+
+TEST(PointTest, EqualityAndInequality) {
+  EXPECT_EQ(Point(1, 2), Point(1, 2));
+  EXPECT_NE(Point(1, 2), Point(2, 1));
+}
+
+TEST(PointTest, StreamOutput) {
+  std::ostringstream os;
+  os << Point(1.5, 2.5);
+  EXPECT_EQ(os.str(), "(1.5, 2.5)");
+}
+
+TEST(TimedPointTest, ConstructionAndEquality) {
+  const TimedPoint p(1.0, 2.0, 42);
+  EXPECT_EQ(p.pos, Point(1.0, 2.0));
+  EXPECT_EQ(p.t, 42);
+  EXPECT_EQ(p, TimedPoint(Point(1.0, 2.0), 42));
+  EXPECT_FALSE(p == TimedPoint(1.0, 2.0, 43));
+}
+
+TEST(TimedPointTest, StreamOutput) {
+  std::ostringstream os;
+  os << TimedPoint(1.0, 2.0, 7);
+  EXPECT_EQ(os.str(), "(1, 2, t=7)");
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,99 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace convoy {
+namespace {
+
+TEST(SegmentTest, LengthAndAt) {
+  const Segment s(Point(0, 0), Point(6, 8));
+  EXPECT_DOUBLE_EQ(s.Length(), 10.0);
+  EXPECT_EQ(s.At(0.0), Point(0, 0));
+  EXPECT_EQ(s.At(1.0), Point(6, 8));
+  EXPECT_EQ(s.At(0.5), Point(3, 4));
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  const Segment s(Point(2, 3), Point(2, 3));
+  EXPECT_DOUBLE_EQ(s.Length(), 0.0);
+  EXPECT_EQ(s.At(0.7), Point(2, 3));
+}
+
+TEST(TimedSegmentTest, TickAccessors) {
+  const TimedSegment s(TimedPoint(0, 0, 10), TimedPoint(10, 0, 20));
+  EXPECT_EQ(s.BeginTick(), 10);
+  EXPECT_EQ(s.EndTick(), 20);
+  EXPECT_TRUE(s.CoversTick(10));
+  EXPECT_TRUE(s.CoversTick(15));
+  EXPECT_TRUE(s.CoversTick(20));
+  EXPECT_FALSE(s.CoversTick(9));
+  EXPECT_FALSE(s.CoversTick(21));
+}
+
+TEST(TimedSegmentTest, IntersectsTickRange) {
+  const TimedSegment s(TimedPoint(0, 0, 10), TimedPoint(10, 0, 20));
+  EXPECT_TRUE(s.IntersectsTickRange(0, 10));
+  EXPECT_TRUE(s.IntersectsTickRange(20, 30));
+  EXPECT_TRUE(s.IntersectsTickRange(12, 14));
+  EXPECT_TRUE(s.IntersectsTickRange(5, 25));
+  EXPECT_FALSE(s.IntersectsTickRange(0, 9));
+  EXPECT_FALSE(s.IntersectsTickRange(21, 30));
+}
+
+TEST(TimedSegmentTest, PositionAtLinearInterpolation) {
+  // The paper's l'(t) = p_u + (t-u)/(v-u) (p_v - p_u).
+  const TimedSegment s(TimedPoint(0, 0, 0), TimedPoint(10, 20, 10));
+  EXPECT_EQ(s.PositionAt(0.0), Point(0, 0));
+  EXPECT_EQ(s.PositionAt(10.0), Point(10, 20));
+  EXPECT_EQ(s.PositionAt(5.0), Point(5, 10));
+  EXPECT_EQ(s.PositionAt(2.5), Point(2.5, 5));
+}
+
+TEST(TimedSegmentTest, PositionAtClampsOutsideInterval) {
+  const TimedSegment s(TimedPoint(0, 0, 0), TimedPoint(10, 0, 10));
+  EXPECT_EQ(s.PositionAt(-5.0), Point(0, 0));
+  EXPECT_EQ(s.PositionAt(15.0), Point(10, 0));
+}
+
+TEST(TimedSegmentTest, PositionAtZeroDurationReturnsStart) {
+  const TimedSegment s(TimedPoint(1, 2, 5), TimedPoint(9, 9, 5));
+  EXPECT_EQ(s.PositionAt(5.0), Point(1, 2));
+}
+
+TEST(TimedSegmentTest, Velocity) {
+  const TimedSegment s(TimedPoint(0, 0, 0), TimedPoint(10, -20, 5));
+  EXPECT_EQ(s.Velocity(), Point(2, -4));
+}
+
+TEST(TimedSegmentTest, VelocityZeroDuration) {
+  const TimedSegment s(TimedPoint(0, 0, 5), TimedPoint(10, 10, 5));
+  EXPECT_EQ(s.Velocity(), Point(0, 0));
+}
+
+TEST(OverlapTicksTest, OverlappingIntervals) {
+  const TimedSegment a(TimedPoint(0, 0, 0), TimedPoint(1, 0, 10));
+  const TimedSegment b(TimedPoint(0, 1, 5), TimedPoint(1, 1, 15));
+  const TickOverlap ov = OverlapTicks(a, b);
+  EXPECT_TRUE(ov.valid);
+  EXPECT_EQ(ov.lo, 5);
+  EXPECT_EQ(ov.hi, 10);
+}
+
+TEST(OverlapTicksTest, TouchingIntervals) {
+  const TimedSegment a(TimedPoint(0, 0, 0), TimedPoint(1, 0, 10));
+  const TimedSegment b(TimedPoint(0, 1, 10), TimedPoint(1, 1, 20));
+  const TickOverlap ov = OverlapTicks(a, b);
+  EXPECT_TRUE(ov.valid);
+  EXPECT_EQ(ov.lo, 10);
+  EXPECT_EQ(ov.hi, 10);
+}
+
+TEST(OverlapTicksTest, DisjointIntervals) {
+  const TimedSegment a(TimedPoint(0, 0, 0), TimedPoint(1, 0, 10));
+  const TimedSegment b(TimedPoint(0, 1, 11), TimedPoint(1, 1, 20));
+  EXPECT_FALSE(OverlapTicks(a, b).valid);
+  EXPECT_FALSE(OverlapTicks(b, a).valid);
+}
+
+}  // namespace
+}  // namespace convoy

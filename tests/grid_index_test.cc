@@ -1,0 +1,91 @@
+#include "cluster/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+TEST(GridIndexTest, EmptyIndex) {
+  const GridIndex index({}, 1.0);
+  EXPECT_EQ(index.NumPoints(), 0u);
+  EXPECT_TRUE(index.WithinRadius(Point(0, 0), 1.0).empty());
+}
+
+TEST(GridIndexTest, SinglePointSelfQuery) {
+  const GridIndex index({Point(5, 5)}, 2.0);
+  const auto hits = index.WithinRadius(Point(5, 5), 2.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(GridIndexTest, RadiusIsInclusive) {
+  const GridIndex index({Point(0, 0), Point(3, 4)}, 5.0);
+  // D((0,0),(3,4)) = 5 exactly.
+  EXPECT_EQ(index.WithinRadius(Point(0, 0), 5.0).size(), 2u);
+}
+
+TEST(GridIndexTest, PointsAcrossCellBoundaries) {
+  // Points in adjacent cells must still be found.
+  const GridIndex index({Point(0.9, 0.9), Point(1.1, 1.1)}, 1.0);
+  EXPECT_EQ(index.WithinRadius(Point(1.0, 1.0), 1.0).size(), 2u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  const GridIndex index({Point(-5.5, -3.2), Point(-5.0, -3.0)}, 1.0);
+  EXPECT_EQ(index.WithinRadius(Point(-5.2, -3.1), 1.0).size(), 2u);
+}
+
+TEST(GridIndexTest, MatchesBruteForceOnRandomData) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<Point> points;
+    const size_t n = 50 + static_cast<size_t>(rng.UniformInt(0, 150));
+    points.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      points.emplace_back(rng.Uniform(-50, 50), rng.Uniform(-50, 50));
+    }
+    const double radius = rng.Uniform(1.0, 10.0);
+    const GridIndex index(points, radius);
+    for (int probe_i = 0; probe_i < 10; ++probe_i) {
+      const Point probe(rng.Uniform(-50, 50), rng.Uniform(-50, 50));
+      std::vector<size_t> got = index.WithinRadius(probe, radius);
+      std::vector<size_t> want;
+      for (size_t i = 0; i < n; ++i) {
+        if (D(points[i], probe) <= radius) want.push_back(i);
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(GridIndexTest, SmallerQueryRadiusThanCellSize) {
+  Rng rng(7);
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.emplace_back(rng.Uniform(0, 20), rng.Uniform(0, 20));
+  }
+  const GridIndex index(points, 5.0);
+  const Point probe(10, 10);
+  std::vector<size_t> got = index.WithinRadius(probe, 2.5);
+  std::vector<size_t> want;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (D(points[i], probe) <= 2.5) want.push_back(i);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(GridIndexTest, WithinRadiusIntoClearsOutput) {
+  const GridIndex index({Point(0, 0)}, 1.0);
+  std::vector<size_t> out = {99, 98};
+  index.WithinRadiusInto(Point(10, 10), 1.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace convoy

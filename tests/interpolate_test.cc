@@ -1,0 +1,83 @@
+#include "traj/interpolate.h"
+
+#include <gtest/gtest.h>
+
+namespace convoy {
+namespace {
+
+TEST(InterpolateTest, ExactSampleReturned) {
+  Trajectory traj(0);
+  traj.Append(0, 0, 0);
+  traj.Append(10, 0, 10);
+  EXPECT_EQ(*InterpolateAt(traj, 0), Point(0, 0));
+  EXPECT_EQ(*InterpolateAt(traj, 10), Point(10, 0));
+}
+
+TEST(InterpolateTest, LinearBetweenSamples) {
+  Trajectory traj(0);
+  traj.Append(0, 0, 0);
+  traj.Append(10, 20, 10);
+  EXPECT_EQ(*InterpolateAt(traj, 5), Point(5, 10));
+  EXPECT_EQ(*InterpolateAt(traj, 1), Point(1, 2));
+  EXPECT_EQ(*InterpolateAt(traj, 9), Point(9, 18));
+}
+
+TEST(InterpolateTest, VirtualPointAtMissingTick) {
+  // The CMC virtual-point case: o3 sampled at t=1 and t=3, queried at t=2.
+  Trajectory traj(3);
+  traj.Append(0, 0, 1);
+  traj.Append(4, 2, 3);
+  EXPECT_EQ(*InterpolateAt(traj, 2), Point(2, 1));
+}
+
+TEST(InterpolateTest, NoExtrapolationOutsideLifetime) {
+  Trajectory traj(0);
+  traj.Append(0, 0, 5);
+  traj.Append(10, 0, 10);
+  EXPECT_FALSE(InterpolateAt(traj, 4).has_value());
+  EXPECT_FALSE(InterpolateAt(traj, 11).has_value());
+}
+
+TEST(InterpolateTest, EmptyTrajectory) {
+  Trajectory traj(0);
+  EXPECT_FALSE(InterpolateAt(traj, 0).has_value());
+}
+
+TEST(InterpolateTest, UnevenGaps) {
+  Trajectory traj(0);
+  traj.Append(0, 0, 0);
+  traj.Append(3, 0, 3);
+  traj.Append(3, 10, 13);
+  EXPECT_EQ(*InterpolateAt(traj, 2), Point(2, 0));
+  EXPECT_EQ(*InterpolateAt(traj, 8), Point(3, 5));
+}
+
+TEST(DensifyTest, FillsEveryTick) {
+  Trajectory traj(9);
+  traj.Append(0, 0, 0);
+  traj.Append(4, 8, 4);
+  const Trajectory dense = Densify(traj);
+  EXPECT_EQ(dense.id(), 9u);
+  EXPECT_EQ(dense.Size(), 5u);
+  for (Tick t = 0; t <= 4; ++t) {
+    ASSERT_TRUE(dense.LocationAt(t).has_value());
+    EXPECT_EQ(*dense.LocationAt(t),
+              Point(static_cast<double>(t), 2.0 * static_cast<double>(t)));
+  }
+}
+
+TEST(DensifyTest, EmptyStaysEmpty) {
+  EXPECT_TRUE(Densify(Trajectory(1)).Empty());
+}
+
+TEST(DensifyTest, IdempotentOnDensePath) {
+  Trajectory traj(2);
+  for (Tick t = 0; t < 10; ++t) {
+    traj.Append(static_cast<double>(t), 0.0, t);
+  }
+  const Trajectory dense = Densify(traj);
+  EXPECT_EQ(dense.Size(), traj.Size());
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,183 @@
+// Property tests of the paper's Lemmas 1-3: the distance bounds that make
+// the CuTS filter lossless. Each test constructs random trajectories,
+// simplifies them, and checks the lemma as an implication at sampled ticks.
+
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/distance.h"
+#include "simplify/douglas_peucker.h"
+#include "simplify/dp_star.h"
+#include "traj/interpolate.h"
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+Trajectory RandomWalk(Rng& rng, ObjectId id, Tick ticks, double step) {
+  Trajectory traj(id);
+  Point pos(rng.Uniform(0, 30), rng.Uniform(0, 30));
+  for (Tick t = 0; t < ticks; ++t) {
+    traj.Append(pos.x, pos.y, t);
+    pos = pos + Point(rng.Gaussian(0.2, step), rng.Gaussian(0, step));
+  }
+  return traj;
+}
+
+// Lemma 1: if DLL(l'q, l'i) > e + delta(l'q) + delta(l'i), then
+// D(oq(t), oi(t)) > e for every t covered by both segments.
+TEST(Lemma1Test, DllBoundImpliesOriginalSeparation) {
+  Rng rng(11);
+  size_t checked = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const Trajectory oq = RandomWalk(rng, 0, 40, 1.0);
+    const Trajectory oi = RandomWalk(rng, 1, 40, 1.0);
+    const double delta = rng.Uniform(0.3, 3.0);
+    const SimplifiedTrajectory sq = DouglasPeucker(oq, delta);
+    const SimplifiedTrajectory si = DouglasPeucker(oi, delta);
+    const double e = rng.Uniform(0.5, 5.0);
+
+    for (Tick t = 0; t < 40; ++t) {
+      const auto qseg = sq.SegmentCovering(t);
+      const auto iseg = si.SegmentCovering(t);
+      if (!qseg || !iseg) continue;
+      const TimedSegment lq = sq.GetSegment(*qseg);
+      const TimedSegment li = si.GetSegment(*iseg);
+      const double bound =
+          e + sq.SegmentTolerance(*qseg) + si.SegmentTolerance(*iseg);
+      if (DLL(lq.Spatial(), li.Spatial()) > bound) {
+        const double actual = D(*oq.LocationAt(t), *oi.LocationAt(t));
+        EXPECT_GT(actual, e) << "t=" << t << " iter=" << iter;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u) << "test vacuous: prune case never triggered";
+}
+
+// Lemma 1 extended to interpolated (virtual) points at unsampled ticks.
+TEST(Lemma1Test, HoldsForInterpolatedPositions) {
+  Rng rng(12);
+  size_t checked = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    // Build irregularly sampled trajectories.
+    Trajectory oq(0);
+    Trajectory oi(1);
+    Point pq(rng.Uniform(0, 20), rng.Uniform(0, 20));
+    Point pi(rng.Uniform(0, 20), rng.Uniform(0, 20));
+    for (Tick t = 0; t < 40; ++t) {
+      if (t == 0 || t == 39 || rng.Chance(0.5)) oq.Append(pq.x, pq.y, t);
+      if (t == 0 || t == 39 || rng.Chance(0.5)) oi.Append(pi.x, pi.y, t);
+      pq = pq + Point(rng.Gaussian(0.2, 1.0), rng.Gaussian(0, 1.0));
+      pi = pi + Point(rng.Gaussian(0.2, 1.0), rng.Gaussian(0, 1.0));
+    }
+    const double delta = rng.Uniform(0.3, 2.0);
+    const SimplifiedTrajectory sq = DouglasPeucker(oq, delta);
+    const SimplifiedTrajectory si = DouglasPeucker(oi, delta);
+    const double e = rng.Uniform(0.5, 4.0);
+
+    for (Tick t = 0; t < 40; ++t) {
+      const auto qseg = sq.SegmentCovering(t);
+      const auto iseg = si.SegmentCovering(t);
+      if (!qseg || !iseg) continue;
+      const double bound =
+          e + sq.SegmentTolerance(*qseg) + si.SegmentTolerance(*iseg);
+      if (DLL(sq.GetSegment(*qseg).Spatial(),
+              si.GetSegment(*iseg).Spatial()) > bound) {
+        const auto a = InterpolateAt(oq, t);
+        const auto b = InterpolateAt(oi, t);
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        EXPECT_GT(D(*a, *b), e);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+// Lemma 2: the bounding-box bound over a *set* of segments.
+TEST(Lemma2Test, BoxBoundImpliesSeparationForAllMembers) {
+  Rng rng(13);
+  size_t checked = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const Trajectory oq = RandomWalk(rng, 0, 30, 1.0);
+    const Trajectory oi = RandomWalk(rng, 1, 30, 1.0);
+    const double delta = rng.Uniform(0.3, 2.0);
+    const SimplifiedTrajectory sq = DouglasPeucker(oq, delta);
+    const SimplifiedTrajectory si = DouglasPeucker(oi, delta);
+    const double e = rng.Uniform(0.5, 4.0);
+
+    // S = all of si's segments; B(S) their joint bounding box.
+    Box box_s;
+    double delta_max = 0.0;
+    for (size_t s = 0; s < si.NumSegments(); ++s) {
+      box_s.Extend(Box::Of(si.GetSegment(s)));
+      delta_max = std::max(delta_max, si.SegmentTolerance(s));
+    }
+
+    for (size_t qs = 0; qs < sq.NumSegments(); ++qs) {
+      const TimedSegment lq = sq.GetSegment(qs);
+      const double bound = e + sq.SegmentTolerance(qs) + delta_max;
+      if (Dmin(Box::Of(lq), box_s) <= bound) continue;
+      // The lemma: every tick covered by lq and any segment of si has the
+      // originals more than e apart.
+      for (Tick t = lq.BeginTick(); t <= lq.EndTick(); ++t) {
+        if (!si.CoversTick(t)) continue;
+        EXPECT_GT(D(*InterpolateAt(oq, t), *InterpolateAt(oi, t)), e);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+// Lemma 3: same as Lemma 1 but with DP* simplification and the D* distance.
+TEST(Lemma3Test, DStarBoundImpliesOriginalSeparation) {
+  Rng rng(14);
+  size_t checked = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const Trajectory oq = RandomWalk(rng, 0, 40, 1.0);
+    const Trajectory oi = RandomWalk(rng, 1, 40, 1.0);
+    const double delta = rng.Uniform(0.3, 3.0);
+    const SimplifiedTrajectory sq = DpStar(oq, delta);
+    const SimplifiedTrajectory si = DpStar(oi, delta);
+    const double e = rng.Uniform(0.5, 5.0);
+
+    for (Tick t = 0; t < 40; ++t) {
+      const auto qseg = sq.SegmentCovering(t);
+      const auto iseg = si.SegmentCovering(t);
+      if (!qseg || !iseg) continue;
+      const double bound =
+          e + sq.SegmentTolerance(*qseg) + si.SegmentTolerance(*iseg);
+      if (DStar(sq.GetSegment(*qseg), si.GetSegment(*iseg)) > bound) {
+        EXPECT_GT(D(*oq.LocationAt(t), *oi.LocationAt(t)), e);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+// D* tightening (Section 6.2): D* >= DLL always, so the CuTS* filter prunes
+// at least as hard as CuTS for the same tolerances.
+TEST(Lemma3Test, DStarPrunesAtLeastAsMuchAsDll) {
+  Rng rng(15);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Trajectory oq = RandomWalk(rng, 0, 20, 1.0);
+    const Trajectory oi = RandomWalk(rng, 1, 20, 1.0);
+    const SimplifiedTrajectory sq = DpStar(oq, 1.0);
+    const SimplifiedTrajectory si = DpStar(oi, 1.0);
+    for (size_t a = 0; a < sq.NumSegments(); ++a) {
+      for (size_t b = 0; b < si.NumSegments(); ++b) {
+        const TimedSegment lq = sq.GetSegment(a);
+        const TimedSegment li = si.GetSegment(b);
+        if (!OverlapTicks(lq, li).valid) continue;
+        EXPECT_GE(DStar(lq, li) + 1e-9, DLL(lq.Spatial(), li.Spatial()));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,130 @@
+#include "core/mc2.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cmc.h"
+#include "tests/test_util.h"
+
+namespace convoy {
+namespace {
+
+using testutil::FromXRows;
+
+Mc2Options Theta(double theta) {
+  Mc2Options o;
+  o.theta = theta;
+  return o;
+}
+
+TEST(Mc2Test, EmptyDatabase) {
+  EXPECT_TRUE(Mc2(TrajectoryDatabase(), ConvoyQuery{2, 3, 1.0}).empty());
+}
+
+TEST(Mc2Test, StableGroupReported) {
+  const auto db = FromXRows({{0, 1, 2, 3}, {0, 1, 2, 3}}, 0.5);
+  const auto result = Mc2(db, ConvoyQuery{2, 3, 1.0}, Theta(1.0));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].objects, (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(result[0].start_tick, 0);
+  EXPECT_EQ(result[0].end_tick, 3);
+}
+
+// Paper Figure 2(a): o2,o3,o4 form a convoy but with theta = 1 the overlap
+// between consecutive clusters is 3/4 (o1 is in the first cluster only), so
+// MC2 misses the group — a false negative of the moving-cluster model.
+TEST(Mc2Test, PaperFigure2aFalseNegativeAtThetaOne) {
+  // Four objects; o1 (index 0) is close at t=0 only, the other three stay
+  // together through t=0..2.
+  const auto db = FromXRows({{0.0, 30.0, 60.0},
+                             {0.6, 1.6, 2.6},
+                             {1.2, 2.2, 3.2},
+                             {1.8, 2.8, 3.8}});
+  const ConvoyQuery query{3, 3, 1.0};
+
+  // CMC finds the 3-object convoy over all 3 ticks.
+  const auto exact = Cmc(db, query);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0].objects, (std::vector<ObjectId>{1, 2, 3}));
+
+  // MC2 with theta=1.0: cluster at t0 is {0,1,2,3}, at t1 it is {1,2,3};
+  // Jaccard 3/4 < 1, the chain breaks; the t1..t2 chain spans only 2 ticks.
+  const auto reported = Mc2(db, query, Theta(1.0));
+  EXPECT_TRUE(Uncovered(exact, reported).empty() == false)
+      << "theta=1 should miss the paper's Figure 2(a) convoy";
+
+  // With theta = 0.5 the chain survives.
+  const auto relaxed = Mc2(db, query, Theta(0.5));
+  EXPECT_TRUE(Uncovered(exact, relaxed).empty());
+}
+
+// Paper Figure 2(b): gradual membership turnover keeps consecutive overlap
+// high though no common object set survives. The chain exists as a moving
+// cluster, but since the running intersection empties out, the adapter
+// reports nothing — turnover chains cannot masquerade as convoys.
+TEST(Mc2Test, GradualTurnoverChainHasNoCommonObjects) {
+  // t0: {0,1} together; t1: {1,2} together; t2: {2,3} together.
+  const auto db = FromXRows({{0.0, 50.0, 90.0, 130.0},
+                             {0.6, 10.0, 60.0, 95.0},
+                             {30.0, 10.6, 20.0, 65.0},
+                             {70.0, 40.0, 20.6, 30.0}});
+  // No pair stays within e for 2 consecutive ticks:
+  const ConvoyQuery query{2, 2, 1.0};
+  EXPECT_TRUE(Cmc(db, query).empty());
+  // MC2 with theta <= 1/3 chains {0,1} -> {1,2} -> {2,3}, but the common
+  // object set of the chain is empty, so nothing is reported either.
+  EXPECT_TRUE(Mc2(db, query, Theta(0.3)).empty());
+}
+
+TEST(Mc2Test, NoLifetimeConstraint) {
+  // Two ticks together only — a convoy query with k=3 has no result, but
+  // MC2 reports the chain (its model has no k).
+  const auto db = FromXRows({{0, 1, 40}, {0.4, 1.4, 80}});
+  EXPECT_TRUE(Cmc(db, ConvoyQuery{2, 3, 1.0}).empty());
+  const auto reported = Mc2(db, ConvoyQuery{2, 3, 1.0}, Theta(0.9));
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0].Lifetime(), 2);
+}
+
+TEST(Mc2Test, MinDurationFloorSuppressesSingletons) {
+  const auto db = FromXRows({{0, 50}, {0.4, 90}});
+  Mc2Options options = Theta(0.5);
+  options.min_duration = 2;
+  // Together at tick 0 only: chain of one snapshot, not reported.
+  EXPECT_TRUE(Mc2(db, ConvoyQuery{2, 2, 1.0}, options).empty());
+}
+
+TEST(Mc2AccuracyTest, PerfectInputGivesZeroErrors) {
+  const auto db = FromXRows({{0, 1, 2, 3}, {0, 1, 2, 3}}, 0.5);
+  const ConvoyQuery query{2, 3, 1.0};
+  const auto exact = Cmc(db, query);
+  const Mc2Accuracy acc = MeasureMc2Accuracy(db, query, Theta(1.0), exact);
+  EXPECT_DOUBLE_EQ(acc.false_positive_pct, 0.0);
+  EXPECT_DOUBLE_EQ(acc.false_negative_pct, 0.0);
+  EXPECT_EQ(acc.reported, 1u);
+  EXPECT_EQ(acc.actual, 1u);
+}
+
+TEST(Mc2AccuracyTest, ShortChainsCountAsFalsePositives) {
+  // MC2 reports the 2-tick chain; with k=3 it fails verification.
+  const auto db = FromXRows({{0, 1, 40}, {0.4, 1.4, 80}});
+  const ConvoyQuery query{2, 3, 1.0};
+  const auto exact = Cmc(db, query);
+  const Mc2Accuracy acc = MeasureMc2Accuracy(db, query, Theta(0.9), exact);
+  EXPECT_DOUBLE_EQ(acc.false_positive_pct, 100.0);
+  EXPECT_EQ(acc.actual, 0u);
+}
+
+TEST(Mc2AccuracyTest, MissedConvoyCountsAsFalseNegative) {
+  const auto db = FromXRows({{0.0, 30.0, 60.0},
+                             {0.6, 1.6, 2.6},
+                             {1.2, 2.2, 3.2},
+                             {1.8, 2.8, 3.8}});
+  const ConvoyQuery query{3, 3, 1.0};
+  const auto exact = Cmc(db, query);
+  ASSERT_EQ(exact.size(), 1u);
+  const Mc2Accuracy acc = MeasureMc2Accuracy(db, query, Theta(1.0), exact);
+  EXPECT_DOUBLE_EQ(acc.false_negative_pct, 100.0);
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,95 @@
+// Full preset x variant exactness matrix at small scale: every CuTS
+// variant against CMC on every dataset shape the paper evaluates,
+// including the R-tree candidate path and both refinement modes for the
+// recommended variant. Complements cuts_test.cc's random-workload sweep
+// with the actual workload *shapes* (short scattered trajectories, dense
+// herding, variable lengths, sparse sampling).
+
+#include <gtest/gtest.h>
+
+#include "convoy/convoy.h"
+
+namespace convoy {
+namespace {
+
+struct MatrixCase {
+  std::string label;
+  int preset;  // 0..3 = truck/cattle/car/taxi
+  CutsVariant variant;
+  bool rtree;
+};
+
+ScenarioConfig SmallPreset(int preset) {
+  switch (preset) {
+    case 0: {
+      ScenarioConfig c = TruckLikeConfig(0.05);
+      c.num_objects = 60;
+      c.num_groups = 3;
+      return c;
+    }
+    case 1: {
+      ScenarioConfig c = CattleLikeConfig(0.006);
+      c.group_duration_min = 250;
+      c.group_duration_max = 450;
+      return c;
+    }
+    case 2: {
+      ScenarioConfig c = CarLikeConfig(0.06);
+      c.num_objects = 40;
+      c.num_groups = 2;
+      return c;
+    }
+    default: {
+      ScenarioConfig c = TaxiLikeConfig(0.35);
+      c.num_objects = 80;
+      c.query.k = 90;
+      c.group_duration_min = 110;
+      c.group_duration_max = 180;
+      return c;
+    }
+  }
+}
+
+class PresetMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(PresetMatrixTest, VariantMatchesCmcOnPresetShape) {
+  const MatrixCase& param = GetParam();
+  const ScenarioData data =
+      GenerateScenario(SmallPreset(param.preset), 3000 + param.preset);
+  const auto exact = Cmc(data.db, data.query);
+
+  CutsFilterOptions options;
+  options.refine_mode = RefineMode::kFullWindow;
+  options.use_rtree = param.rtree;
+  const auto got = Cuts(data.db, data.query, param.variant, options);
+  EXPECT_TRUE(SameResultSet(exact, got))
+      << param.label << ": got " << got.size() << " vs " << exact.size();
+}
+
+std::vector<MatrixCase> MakeMatrix() {
+  static const char* kNames[] = {"truck", "cattle", "car", "taxi"};
+  std::vector<MatrixCase> cases;
+  for (int preset = 0; preset < 4; ++preset) {
+    for (const CutsVariant variant :
+         {CutsVariant::kCuts, CutsVariant::kCutsPlus,
+          CutsVariant::kCutsStar}) {
+      for (const bool rtree : {false, true}) {
+        const std::string label =
+            std::string(kNames[preset]) + "_" +
+            std::to_string(static_cast<int>(variant)) +
+            (rtree ? "_rtree" : "_scan");
+        cases.push_back(MatrixCase{label, preset, variant, rtree});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetMatrixTest,
+                         ::testing::ValuesIn(MakeMatrix()),
+                         [](const auto& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,98 @@
+#include "traj/resample.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cmc.h"
+#include "tests/test_util.h"
+#include "traj/interpolate.h"
+
+namespace convoy {
+namespace {
+
+TEST(ResampleTest, EmptyTrajectory) {
+  EXPECT_TRUE(Resample(Trajectory(1), 5).Empty());
+}
+
+TEST(ResampleTest, SingleSample) {
+  Trajectory traj(1);
+  traj.Append(3, 4, 10);
+  const Trajectory out = Resample(traj, 5);
+  ASSERT_EQ(out.Size(), 1u);
+  EXPECT_EQ(out.BeginTick(), 10);
+}
+
+TEST(ResampleTest, RegularGridWithExactEndpoints) {
+  Trajectory traj(2);
+  for (Tick t = 0; t <= 10; ++t) {
+    traj.Append(static_cast<double>(t), 0.0, t);
+  }
+  const Trajectory out = Resample(traj, 4);
+  // Ticks 0, 4, 8, plus the forced last tick 10.
+  ASSERT_EQ(out.Size(), 4u);
+  EXPECT_EQ(out[0].t, 0);
+  EXPECT_EQ(out[1].t, 4);
+  EXPECT_EQ(out[2].t, 8);
+  EXPECT_EQ(out[3].t, 10);
+  EXPECT_EQ(out[1].pos, Point(4, 0));
+}
+
+TEST(ResampleTest, UpsamplesIrregularData) {
+  Trajectory traj(3);
+  traj.Append(0, 0, 0);
+  traj.Append(10, 0, 10);
+  const Trajectory out = Resample(traj, 1);
+  ASSERT_EQ(out.Size(), 11u);
+  EXPECT_EQ(*out.LocationAt(7), Point(7, 0));
+}
+
+TEST(ResampleTest, LifetimePreserved) {
+  Rng rng(4);
+  Trajectory traj(4);
+  Tick t = 3;
+  for (int i = 0; i < 40; ++i) {
+    traj.Append(rng.Uniform(0, 10), rng.Uniform(0, 10), t);
+    t += rng.UniformInt(1, 7);
+  }
+  for (const Tick interval : {1, 3, 10}) {
+    const Trajectory out = Resample(traj, interval);
+    EXPECT_EQ(out.BeginTick(), traj.BeginTick());
+    EXPECT_EQ(out.EndTick(), traj.EndTick());
+  }
+}
+
+TEST(ResampleTest, IntervalOneEqualsDensify) {
+  Trajectory traj(5);
+  traj.Append(0, 0, 0);
+  traj.Append(6, 0, 3);
+  traj.Append(6, 9, 6);
+  const Trajectory resampled = Resample(traj, 1);
+  const Trajectory densified = Densify(traj);
+  ASSERT_EQ(resampled.Size(), densified.Size());
+  for (size_t i = 0; i < resampled.Size(); ++i) {
+    EXPECT_EQ(resampled[i], densified[i]);
+  }
+}
+
+TEST(ResampleTest, NonPositiveIntervalClamped) {
+  Trajectory traj(6);
+  traj.Append(0, 0, 0);
+  traj.Append(2, 0, 2);
+  EXPECT_EQ(Resample(traj, 0).Size(), 3u);
+  EXPECT_EQ(Resample(traj, -5).Size(), 3u);
+}
+
+TEST(ResampleDatabaseTest, PreservesDiscoveryOnLinearMotion) {
+  // Straight-line movement survives resampling exactly (interpolation is
+  // lossless there), so convoys are unchanged.
+  const auto db =
+      testutil::FromXRows({{0, 1, 2, 3, 4, 5, 6, 7},
+                           {0, 1, 2, 3, 4, 5, 6, 7}},
+                          0.4);
+  const TrajectoryDatabase thin = ResampleDatabase(db, 3);
+  EXPECT_LT(thin.Stats().total_points, db.Stats().total_points);
+  const ConvoyQuery query{2, 8, 1.0};
+  EXPECT_TRUE(SameResultSet(Cmc(db, query), Cmc(thin, query)));
+}
+
+}  // namespace
+}  // namespace convoy

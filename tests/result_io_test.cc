@@ -1,0 +1,79 @@
+#include "io/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace convoy {
+namespace {
+
+std::vector<Convoy> Sample() {
+  return {Convoy{{1, 2, 3}, 0, 9}, Convoy{{7, 9}, 100, 250}};
+}
+
+TEST(ResultIoTest, CsvRoundTrip) {
+  std::ostringstream out;
+  SaveConvoysCsv(Sample(), out);
+  std::istringstream in(out.str());
+  size_t skipped = 0;
+  const auto loaded = LoadConvoysCsv(in, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_TRUE(SameResultSet(loaded, Sample()));
+}
+
+TEST(ResultIoTest, CsvFormatIsStable) {
+  std::ostringstream out;
+  SaveConvoysCsv({Convoy{{1, 2, 3}, 0, 9}}, out);
+  EXPECT_EQ(out.str(), "start_tick,end_tick,object_ids\n0,9,1;2;3\n");
+}
+
+TEST(ResultIoTest, EmptyResultSet) {
+  std::ostringstream out;
+  SaveConvoysCsv({}, out);
+  std::istringstream in(out.str());
+  EXPECT_TRUE(LoadConvoysCsv(in).empty());
+}
+
+TEST(ResultIoTest, MalformedRowsSkipped) {
+  std::istringstream in(
+      "start_tick,end_tick,object_ids\n"
+      "0,9,1;2;3\n"
+      "garbage\n"
+      "5,1,2;3\n"       // start > end
+      "0,9,\n"          // no objects
+      "0,9,1;x;3\n"     // bad id
+      "3,4,5;6\n");
+  size_t skipped = 0;
+  const auto loaded = LoadConvoysCsv(in, &skipped);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(skipped, 4u);
+}
+
+TEST(ResultIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/convoys_io_test.csv";
+  ASSERT_TRUE(SaveConvoysCsv(Sample(), path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const auto loaded = LoadConvoysCsv(in);
+  EXPECT_TRUE(SameResultSet(loaded, Sample()));
+}
+
+TEST(ResultIoTest, JsonOutput) {
+  std::ostringstream out;
+  SaveConvoysJson(Sample(), out);
+  EXPECT_EQ(out.str(),
+            "[\n"
+            "  {\"objects\":[1,2,3],\"start\":0,\"end\":9},\n"
+            "  {\"objects\":[7,9],\"start\":100,\"end\":250}\n"
+            "]\n");
+}
+
+TEST(ResultIoTest, JsonEmptyArray) {
+  std::ostringstream out;
+  SaveConvoysJson({}, out);
+  EXPECT_EQ(out.str(), "[]\n");
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,115 @@
+#include "datagen/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+
+namespace convoy {
+namespace {
+
+RoadConfig SmallGrid() {
+  RoadConfig config;
+  config.world_size = 2000.0;
+  config.spacing = 200.0;
+  config.speed_mean = 10.0;
+  config.gps_noise = 0.5;
+  return config;
+}
+
+TEST(RoadNetworkTest, SnapToRoadLandsOnRoad) {
+  const RoadConfig config = SmallGrid();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Point p(rng.Uniform(0, 2000), rng.Uniform(0, 2000));
+    EXPECT_TRUE(IsOnRoad(config, SnapToRoad(config, p), 1e-9));
+  }
+}
+
+TEST(RoadNetworkTest, SnapIsIdempotent) {
+  const RoadConfig config = SmallGrid();
+  const Point p(333.0, 777.0);
+  const Point snapped = SnapToRoad(config, p);
+  EXPECT_EQ(snapped, SnapToRoad(config, snapped));
+}
+
+TEST(RoadNetworkTest, RandomIntersectionOnGrid) {
+  const RoadConfig config = SmallGrid();
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Point p = RandomIntersection(rng, config);
+    EXPECT_DOUBLE_EQ(std::fmod(p.x, config.spacing), 0.0);
+    EXPECT_DOUBLE_EQ(std::fmod(p.y, config.spacing), 0.0);
+    EXPECT_LE(p.x, config.world_size);
+    EXPECT_LE(p.y, config.world_size);
+  }
+}
+
+TEST(RoadNetworkTest, PathStaysOnRoads) {
+  RoadConfig config = SmallGrid();
+  Rng rng(3);
+  const DensePath path = RoadPathFrom(rng, config, Point(500, 700), 500);
+  ASSERT_EQ(path.size(), 500u);
+  size_t off_road = 0;
+  for (const Point& p : path) {
+    // Allow 4 sigma of GPS noise.
+    if (!IsOnRoad(config, p, 4.0 * config.gps_noise)) ++off_road;
+  }
+  EXPECT_LT(off_road, 5u);  // ~0.006% expected beyond 4 sigma
+}
+
+TEST(RoadNetworkTest, PathRespectsSpeed) {
+  RoadConfig config = SmallGrid();
+  config.gps_noise = 0.0;
+  Rng rng(4);
+  const DensePath path = RoadPathFrom(rng, config, Point(0, 0), 300);
+  for (size_t i = 1; i < path.size(); ++i) {
+    // Manhattan step length is bounded by the speed draw (6 sigma).
+    const double step = std::abs(path[i].x - path[i - 1].x) +
+                        std::abs(path[i].y - path[i - 1].y);
+    EXPECT_LE(step, config.speed_mean * (1.0 + 6.0 * config.speed_jitter));
+  }
+}
+
+TEST(RoadNetworkTest, DeterministicPerSeed) {
+  const RoadConfig config = SmallGrid();
+  Rng a(7);
+  Rng b(7);
+  const DensePath pa = RoadPathFrom(a, config, Point(100, 100), 100);
+  const DensePath pb = RoadPathFrom(b, config, Point(100, 100), 100);
+  EXPECT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(RoadNetworkTest, TrafficConcentratesOnCorridors) {
+  // Road-constrained movement produces far more close encounters than free
+  // waypoint wandering in the same world — the reason road data yields
+  // chance convoys. Compare the number of clustered snapshot points.
+  RoadConfig roads = SmallGrid();
+  MovementConfig free_move;
+  free_move.world_size = roads.world_size;
+  free_move.speed_mean = roads.speed_mean;
+
+  Rng rng(11);
+  std::vector<Point> road_positions;
+  std::vector<Point> free_positions;
+  for (int obj = 0; obj < 60; ++obj) {
+    const Point start(rng.Uniform(0, 2000), rng.Uniform(0, 2000));
+    road_positions.push_back(RoadPathFrom(rng, roads, start, 50).back());
+    free_positions.push_back(
+        WaypointPathFrom(rng, free_move, start, 50).back());
+  }
+  const size_t road_clustered =
+      Dbscan(road_positions, 30.0, 2).NumClusteredPoints();
+  const size_t free_clustered =
+      Dbscan(free_positions, 30.0, 2).NumClusteredPoints();
+  EXPECT_GT(road_clustered, free_clustered);
+}
+
+TEST(RoadNetworkTest, ZeroTicks) {
+  RoadConfig config = SmallGrid();
+  Rng rng(5);
+  EXPECT_TRUE(RoadPathFrom(rng, config, Point(0, 0), 0).empty());
+}
+
+}  // namespace
+}  // namespace convoy

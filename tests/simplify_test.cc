@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "geom/distance.h"
+#include "simplify/douglas_peucker.h"
+#include "simplify/dp_plus.h"
+#include "simplify/dp_star.h"
+#include "simplify/simplifier.h"
+#include "traj/database.h"
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+Trajectory ZigZag(ObjectId id, size_t n, double amplitude) {
+  Trajectory traj(id);
+  for (size_t i = 0; i < n; ++i) {
+    const double y = (i % 2 == 0) ? 0.0 : amplitude;
+    traj.Append(static_cast<double>(i), y, static_cast<Tick>(i));
+  }
+  return traj;
+}
+
+Trajectory RandomWalk(Rng& rng, ObjectId id, size_t n) {
+  Trajectory traj(id);
+  Point pos(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  for (size_t i = 0; i < n; ++i) {
+    pos = pos + Point(rng.Gaussian(0.4, 1.0), rng.Gaussian(0.0, 1.0));
+    traj.Append(pos.x, pos.y, static_cast<Tick>(i));
+  }
+  return traj;
+}
+
+// ----------------------------------------------------------- basic cases --
+
+TEST(DouglasPeuckerTest, StraightLineCollapsesToEndpoints) {
+  Trajectory traj(0);
+  for (Tick t = 0; t < 20; ++t) {
+    traj.Append(static_cast<double>(t), 2.0 * static_cast<double>(t), t);
+  }
+  const SimplifiedTrajectory simp = DouglasPeucker(traj, 0.1);
+  EXPECT_EQ(simp.NumVertices(), 2u);
+  EXPECT_EQ(simp.NumSegments(), 1u);
+  EXPECT_DOUBLE_EQ(simp.MaxTolerance(), 0.0);
+}
+
+TEST(DouglasPeuckerTest, ZeroToleranceKeepsNonCollinearPoints) {
+  const Trajectory traj = ZigZag(0, 9, 5.0);
+  const SimplifiedTrajectory simp = DouglasPeucker(traj, 0.0);
+  EXPECT_EQ(simp.NumVertices(), 9u);
+}
+
+TEST(DouglasPeuckerTest, LargeToleranceKeepsOnlyEndpoints) {
+  const Trajectory traj = ZigZag(0, 9, 5.0);
+  const SimplifiedTrajectory simp = DouglasPeucker(traj, 100.0);
+  EXPECT_EQ(simp.NumVertices(), 2u);
+  EXPECT_EQ(simp.vertices().front().t, 0);
+  EXPECT_EQ(simp.vertices().back().t, 8);
+  // Actual tolerance records the real max deviation, not the given delta.
+  EXPECT_NEAR(simp.MaxTolerance(), 5.0, 1e-9);
+}
+
+TEST(DouglasPeuckerTest, TinyInputsPassThrough) {
+  Trajectory one(0);
+  one.Append(1, 1, 0);
+  EXPECT_EQ(DouglasPeucker(one, 1.0).NumVertices(), 1u);
+  EXPECT_EQ(DouglasPeucker(one, 1.0).NumSegments(), 0u);
+
+  Trajectory two(0);
+  two.Append(1, 1, 0);
+  two.Append(2, 2, 1);
+  const SimplifiedTrajectory simp = DouglasPeucker(two, 1.0);
+  EXPECT_EQ(simp.NumVertices(), 2u);
+  EXPECT_DOUBLE_EQ(simp.SegmentTolerance(0), 0.0);
+}
+
+TEST(DouglasPeuckerTest, EmptyTrajectory) {
+  const SimplifiedTrajectory simp = DouglasPeucker(Trajectory(0), 1.0);
+  EXPECT_TRUE(simp.Empty());
+  EXPECT_EQ(simp.NumSegments(), 0u);
+}
+
+// Paper Figure 3: a point with small perpendicular deviation but large
+// time-synchronized deviation is dropped by DP yet kept by DP*.
+TEST(DpVsDpStarTest, PaperFigure3TemporalDifference) {
+  // p1=(0,0,t=1), p3=(10,0,t=3); p2 lies spatially near the line p1p3 but
+  // at time 2 it "should" be at x=5 while it actually is at x=9.
+  Trajectory traj(0);
+  traj.Append(0, 0, 1);
+  traj.Append(9, 0.5, 2);
+  traj.Append(10, 0, 3);
+
+  const double delta = 1.0;
+  const SimplifiedTrajectory dp = DouglasPeucker(traj, delta);
+  EXPECT_EQ(dp.NumVertices(), 2u);  // perpendicular deviation ~0.5 <= 1
+
+  const SimplifiedTrajectory dpstar = DpStar(traj, delta);
+  EXPECT_EQ(dpstar.NumVertices(), 3u);  // time-sync deviation ~4 > 1
+}
+
+// Paper Figure 10: DP splits at the farthest point (p6); DP+ splits at the
+// exceeding point nearest the middle (p4).
+TEST(DpPlusTest, SplitsAtMiddleMostExceedingPoint) {
+  Trajectory traj(0);
+  traj.Append(0, 0, 0);    // p1
+  traj.Append(1, 0.1, 1);  // p2 within delta
+  traj.Append(2, 0.1, 2);  // p3 within delta
+  traj.Append(3, 2.0, 3);  // p4 exceeds delta, middle-most
+  traj.Append(4, 0.1, 4);  // p5 within delta
+  traj.Append(5, 3.0, 5);  // p6 exceeds delta, farthest
+  traj.Append(6, 0, 6);    // p7
+
+  const double delta = 1.0;
+  const SimplifiedTrajectory dp = DouglasPeucker(traj, delta);
+  const SimplifiedTrajectory dpp = DpPlus(traj, delta);
+
+  // DP keeps p6 as its first split; DP+ keeps p4.
+  const auto has_tick = [](const SimplifiedTrajectory& s, Tick t) {
+    return std::any_of(s.vertices().begin(), s.vertices().end(),
+                       [t](const TimedPoint& v) { return v.t == t; });
+  };
+  EXPECT_TRUE(has_tick(dp, 5));
+  EXPECT_TRUE(has_tick(dpp, 3));
+}
+
+TEST(CollectSplitDeviationsTest, SortedAndCompleteForSmallInput) {
+  const Trajectory traj = ZigZag(0, 5, 2.0);
+  const std::vector<double> devs = CollectSplitDeviations(traj);
+  EXPECT_TRUE(std::is_sorted(devs.begin(), devs.end()));
+  EXPECT_FALSE(devs.empty());
+  // All recorded deviations are achievable perpendicular distances >= 0.
+  for (const double d : devs) EXPECT_GE(d, 0.0);
+}
+
+TEST(CollectSplitDeviationsTest, TrivialInputsYieldNothing) {
+  Trajectory two(0);
+  two.Append(0, 0, 0);
+  two.Append(1, 1, 1);
+  EXPECT_TRUE(CollectSplitDeviations(two).empty());
+}
+
+// ------------------------------------------------------ dispatch helpers --
+
+TEST(SimplifierTest, ToStringNames) {
+  EXPECT_EQ(ToString(SimplifierKind::kDp), "DP");
+  EXPECT_EQ(ToString(SimplifierKind::kDpPlus), "DP+");
+  EXPECT_EQ(ToString(SimplifierKind::kDpStar), "DP*");
+}
+
+TEST(SimplifierTest, DispatchMatchesDirectCalls) {
+  Rng rng(5);
+  const Trajectory traj = RandomWalk(rng, 0, 100);
+  const double delta = 1.5;
+  EXPECT_EQ(Simplify(traj, delta, SimplifierKind::kDp).NumVertices(),
+            DouglasPeucker(traj, delta).NumVertices());
+  EXPECT_EQ(Simplify(traj, delta, SimplifierKind::kDpPlus).NumVertices(),
+            DpPlus(traj, delta).NumVertices());
+  EXPECT_EQ(Simplify(traj, delta, SimplifierKind::kDpStar).NumVertices(),
+            DpStar(traj, delta).NumVertices());
+}
+
+TEST(SimplifierTest, VertexReductionPercent) {
+  TrajectoryDatabase db;
+  Trajectory traj(0);
+  for (Tick t = 0; t < 10; ++t) {
+    traj.Append(static_cast<double>(t), 0.0, t);
+  }
+  db.Add(std::move(traj));
+  const auto simp = SimplifyDatabase(db, 0.5, SimplifierKind::kDp);
+  // Straight line: 10 points -> 2 points = 80% reduction.
+  EXPECT_DOUBLE_EQ(VertexReductionPercent(db, simp), 80.0);
+}
+
+// ------------------------------------------------- property-based sweeps --
+
+class SimplifyInvariantTest
+    : public ::testing::TestWithParam<std::tuple<SimplifierKind, double, int>> {
+};
+
+// The fundamental simplification contract (Definition 4): every original
+// sample deviates from its covering simplified segment by at most the
+// segment's recorded actual tolerance, which never exceeds delta; endpoints
+// are preserved; vertices are a subsequence of the samples.
+TEST_P(SimplifyInvariantTest, ToleranceContractHolds) {
+  const auto [kind, delta, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const Trajectory traj = RandomWalk(rng, 0, 300);
+  const SimplifiedTrajectory simp = Simplify(traj, delta, kind);
+
+  ASSERT_GE(simp.NumVertices(), 2u);
+  EXPECT_EQ(simp.vertices().front(), traj.samples().front());
+  EXPECT_EQ(simp.vertices().back(), traj.samples().back());
+  EXPECT_LE(simp.MaxTolerance(), delta + 1e-9);
+
+  // Vertices must be actual samples, in order.
+  size_t cursor = 0;
+  for (const TimedPoint& v : simp.vertices()) {
+    while (cursor < traj.Size() && !(traj[cursor] == v)) ++cursor;
+    ASSERT_LT(cursor, traj.Size()) << "vertex is not an original sample";
+  }
+
+  for (const TimedPoint& sample : traj.samples()) {
+    const auto seg_idx = simp.SegmentCovering(sample.t);
+    ASSERT_TRUE(seg_idx.has_value());
+    const TimedSegment seg = simp.GetSegment(*seg_idx);
+    const double tolerance = simp.SegmentTolerance(*seg_idx);
+    double deviation;
+    if (kind == SimplifierKind::kDpStar) {
+      deviation = D(sample.pos, seg.PositionAt(static_cast<double>(sample.t)));
+    } else {
+      deviation = DPL(sample.pos, seg.Spatial());
+    }
+    // Samples at segment boundaries may belong to the neighbor segment with
+    // its own tolerance; accept either bound.
+    double limit = tolerance;
+    if (seg.BeginTick() == sample.t && *seg_idx > 0) {
+      limit = std::max(limit, simp.SegmentTolerance(*seg_idx - 1));
+    }
+    if (seg.EndTick() == sample.t && *seg_idx + 1 < simp.NumSegments()) {
+      limit = std::max(limit, simp.SegmentTolerance(*seg_idx + 1));
+    }
+    EXPECT_LE(deviation, limit + 1e-9)
+        << ToString(kind) << " delta=" << delta << " tick=" << sample.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsDeltasSeeds, SimplifyInvariantTest,
+    ::testing::Combine(::testing::Values(SimplifierKind::kDp,
+                                         SimplifierKind::kDpPlus,
+                                         SimplifierKind::kDpStar),
+                       ::testing::Values(0.5, 2.0, 8.0),
+                       ::testing::Values(1, 2, 3, 4)));
+
+class ReductionOrderTest : public ::testing::TestWithParam<int> {};
+
+// Shape properties the paper reports in Figure 15(a): DP reduces at least
+// as much as DP* (perpendicular deviation <= time-sync deviation), and
+// larger tolerances never reduce less.
+TEST_P(ReductionOrderTest, DpReducesAtLeastAsMuchAsDpStar) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const Trajectory traj = RandomWalk(rng, 0, 400);
+  for (const double delta : {0.5, 1.0, 4.0}) {
+    EXPECT_LE(DouglasPeucker(traj, delta).NumVertices(),
+              DpStar(traj, delta).NumVertices());
+  }
+}
+
+TEST_P(ReductionOrderTest, LargerDeltaNeverKeepsMoreVerticesDp) {
+  Rng rng(static_cast<uint64_t>(GetParam() + 100));
+  const Trajectory traj = RandomWalk(rng, 0, 400);
+  size_t prev = std::numeric_limits<size_t>::max();
+  for (const double delta : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const size_t kept = DouglasPeucker(traj, delta).NumVertices();
+    EXPECT_LE(kept, prev);
+    prev = kept;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionOrderTest,
+                         ::testing::Range(10, 16));
+
+// ---------------------------------------------- SegmentCovering behavior --
+
+TEST(SimplifiedTrajectoryTest, SegmentCoveringAndIntersecting) {
+  Rng rng(3);
+  const Trajectory traj = RandomWalk(rng, 0, 50);
+  const SimplifiedTrajectory simp = DouglasPeucker(traj, 1.0);
+  ASSERT_GE(simp.NumSegments(), 1u);
+
+  // Every in-lifetime tick is covered by a segment whose interval holds it.
+  for (Tick t = simp.BeginTick(); t <= simp.EndTick(); ++t) {
+    const auto idx = simp.SegmentCovering(t);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_TRUE(simp.GetSegment(*idx).CoversTick(t));
+  }
+  EXPECT_FALSE(simp.SegmentCovering(simp.BeginTick() - 1).has_value());
+  EXPECT_FALSE(simp.SegmentCovering(simp.EndTick() + 1).has_value());
+
+  const auto range = simp.SegmentsIntersecting(simp.BeginTick(),
+                                               simp.EndTick());
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, 0u);
+  EXPECT_EQ(range->second, simp.NumSegments() - 1);
+
+  EXPECT_FALSE(simp.SegmentsIntersecting(simp.EndTick() + 1,
+                                         simp.EndTick() + 10)
+                   .has_value());
+}
+
+TEST(SimplifiedTrajectoryTest, DegenerateAccessors) {
+  SimplifiedTrajectory empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.NumSegments(), 0u);
+  EXPECT_FALSE(empty.SegmentCovering(0).has_value());
+  EXPECT_FALSE(empty.SegmentsIntersecting(0, 10).has_value());
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,118 @@
+#include "cluster/str_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+Box RandomBox(Rng& rng, double world, double max_side) {
+  const Point lo(rng.Uniform(0, world), rng.Uniform(0, world));
+  return Box(lo, lo + Point(rng.Uniform(0, max_side),
+                            rng.Uniform(0, max_side)));
+}
+
+TEST(StrTreeTest, EmptyTree) {
+  const StrTree tree({});
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_TRUE(tree.WithinDistance(Box(Point(0, 0), Point(1, 1)), 10.0)
+                  .empty());
+}
+
+TEST(StrTreeTest, SingleEntry) {
+  const StrTree tree({{Box(Point(0, 0), Point(1, 1)), 7}});
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Height(), 1u);
+  const auto far_probe = Box(Point(100, 100), Point(101, 101));
+  EXPECT_TRUE(tree.WithinDistance(far_probe, 10.0).empty());
+  const auto hits = tree.WithinDistance(far_probe, 200.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+}
+
+TEST(StrTreeTest, ZeroDistanceMeansIntersection) {
+  const StrTree tree({{Box(Point(0, 0), Point(10, 10)), 1},
+                      {Box(Point(20, 20), Point(30, 30)), 2}});
+  const auto hits = tree.WithinDistance(Box(Point(5, 5), Point(25, 25)), 0.0);
+  EXPECT_EQ(hits.size(), 2u);  // probe overlaps both
+  const auto only_first =
+      tree.WithinDistance(Box(Point(0, 0), Point(1, 1)), 0.0);
+  ASSERT_EQ(only_first.size(), 1u);
+  EXPECT_EQ(only_first[0], 1u);
+}
+
+TEST(StrTreeTest, HeightGrowsLogarithmically) {
+  std::vector<StrTree::Entry> entries;
+  Rng rng(5);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    entries.push_back({RandomBox(rng, 100.0, 2.0), i});
+  }
+  const StrTree tree(std::move(entries), /*node_capacity=*/16);
+  EXPECT_EQ(tree.Size(), 1000u);
+  // 1000 entries at fan-out 16: 63 leaves -> 4 inner -> 1 root = height 3.
+  EXPECT_LE(tree.Height(), 4u);
+  EXPECT_GE(tree.Height(), 2u);
+}
+
+TEST(StrTreeTest, MatchesBruteForceOnRandomData) {
+  Rng rng(99);
+  for (int iter = 0; iter < 25; ++iter) {
+    const size_t n = 20 + static_cast<size_t>(rng.UniformInt(0, 400));
+    std::vector<StrTree::Entry> entries;
+    std::vector<Box> boxes;
+    for (uint32_t i = 0; i < n; ++i) {
+      const Box box = RandomBox(rng, 200.0, 10.0);
+      entries.push_back({box, i});
+      boxes.push_back(box);
+    }
+    const size_t cap = 2 + static_cast<size_t>(rng.UniformInt(0, 14));
+    const StrTree tree(std::move(entries), cap);
+
+    for (int probe_i = 0; probe_i < 10; ++probe_i) {
+      const Box probe = RandomBox(rng, 200.0, 20.0);
+      const double dist = rng.Uniform(0.0, 30.0);
+      std::vector<uint32_t> got = tree.WithinDistance(probe, dist);
+      std::sort(got.begin(), got.end());
+      std::vector<uint32_t> want;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (Dmin(boxes[i], probe) <= dist) want.push_back(i);
+      }
+      EXPECT_EQ(got, want) << "iter=" << iter << " cap=" << cap;
+    }
+  }
+}
+
+TEST(StrTreeTest, DegenerateCapacityClamped) {
+  std::vector<StrTree::Entry> entries;
+  for (uint32_t i = 0; i < 10; ++i) {
+    entries.push_back({Box(Point(i, 0), Point(i + 0.5, 0.5)), i});
+  }
+  const StrTree tree(std::move(entries), /*node_capacity=*/0);  // -> 2
+  EXPECT_EQ(tree.WithinDistance(Box(Point(0, 0), Point(10, 1)), 0.0).size(),
+            10u);
+}
+
+TEST(StrTreeTest, PointBoxes) {
+  // Zero-area boxes (points) are the GridIndex case; the tree must handle
+  // them too.
+  std::vector<StrTree::Entry> entries;
+  for (uint32_t i = 0; i < 50; ++i) {
+    const Point p(static_cast<double>(i), static_cast<double>(i % 7));
+    entries.push_back({Box(p, p), i});
+  }
+  const StrTree tree(std::move(entries));
+  const Box probe(Point(10, 0), Point(10, 0));
+  const auto hits = tree.WithinDistance(probe, 3.0);
+  for (const uint32_t id : hits) {
+    const Point p(static_cast<double>(id), static_cast<double>(id % 7));
+    EXPECT_LE(D(p, Point(10, 0)), 3.0 + 1e-12);
+  }
+  EXPECT_FALSE(hits.empty());
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,175 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cmc.h"
+#include "tests/test_util.h"
+#include "traj/interpolate.h"
+
+namespace convoy {
+namespace {
+
+using testutil::FromXRows;
+using testutil::RandomClumpyDb;
+
+// Feeds a database tick by tick (with the same interpolated virtual points
+// CMC would use) and collects everything the stream emits.
+std::vector<Convoy> RunStream(const TrajectoryDatabase& db,
+                              const ConvoyQuery& query,
+                              StreamingCmc::Options options = {}) {
+  StreamingCmc stream(query, options);
+  std::vector<Convoy> out;
+  for (Tick t = db.BeginTick(); t <= db.EndTick(); ++t) {
+    stream.BeginTick(t);
+    for (const Trajectory& traj : db.trajectories()) {
+      const auto pos = InterpolateAt(traj, t);
+      if (pos.has_value()) stream.Report(traj.id(), *pos);
+    }
+    for (Convoy& c : stream.EndTick()) out.push_back(std::move(c));
+  }
+  for (Convoy& c : stream.Finish()) out.push_back(std::move(c));
+  return RemoveDominated(std::move(out));
+}
+
+TEST(StreamingCmcTest, EmptyStream) {
+  StreamingCmc stream(ConvoyQuery{2, 2, 1.0});
+  EXPECT_TRUE(stream.Finish().empty());
+}
+
+TEST(StreamingCmcTest, SimpleConvoyEmittedAtFinish) {
+  StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
+  for (Tick t = 0; t < 5; ++t) {
+    stream.BeginTick(t);
+    stream.Report(0, Point(static_cast<double>(t), 0.0));
+    stream.Report(1, Point(static_cast<double>(t), 0.5));
+    EXPECT_TRUE(stream.EndTick().empty());  // still alive
+  }
+  const auto result = stream.Finish();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].objects, (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(result[0].start_tick, 0);
+  EXPECT_EQ(result[0].end_tick, 4);
+}
+
+TEST(StreamingCmcTest, ConvoyEmittedWhenGroupDisperses) {
+  StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
+  for (Tick t = 0; t < 4; ++t) {
+    stream.BeginTick(t);
+    stream.Report(0, Point(static_cast<double>(t), 0.0));
+    stream.Report(1, Point(static_cast<double>(t), 0.5));
+    stream.EndTick();
+  }
+  // Tick 4: they split; the convoy closes *now*, not at Finish.
+  stream.BeginTick(4);
+  stream.Report(0, Point(4, 0));
+  stream.Report(1, Point(400, 0));
+  const auto closed = stream.EndTick();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].end_tick, 3);
+  EXPECT_TRUE(stream.Finish().empty());
+}
+
+TEST(StreamingCmcTest, SkippedTicksBreakConsecutiveness) {
+  StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
+  for (const Tick t : {0, 1, 2}) {
+    stream.BeginTick(t);
+    stream.Report(0, Point(0, 0));
+    stream.Report(1, Point(0, 0.5));
+    stream.EndTick();
+  }
+  // Jump to tick 5: ticks 3 and 4 are processed as empty, closing the
+  // 3-tick convoy.
+  stream.BeginTick(5);
+  stream.Report(0, Point(0, 0));
+  stream.Report(1, Point(0, 0.5));
+  const auto closed = stream.EndTick();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].start_tick, 0);
+  EXPECT_EQ(closed[0].end_tick, 2);
+  // The restarted pair has only 1 tick so far.
+  EXPECT_TRUE(stream.Finish().empty());
+}
+
+TEST(StreamingCmcTest, SilentObjectVanishesWithoutCarry) {
+  StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
+  for (const Tick t : {0, 1}) {
+    stream.BeginTick(t);
+    stream.Report(0, Point(0, 0));
+    stream.Report(1, Point(0, 0.5));
+    stream.EndTick();
+  }
+  stream.BeginTick(2);
+  stream.Report(0, Point(0, 0));  // object 1 silent -> pair broken
+  stream.EndTick();
+  EXPECT_TRUE(stream.Finish().empty());  // lifetime 2 < k
+}
+
+TEST(StreamingCmcTest, CarryForwardBridgesSilence) {
+  StreamingCmc::Options options;
+  options.carry_forward_ticks = 2;
+  StreamingCmc stream(ConvoyQuery{2, 4, 1.0}, options);
+  for (const Tick t : {0, 1}) {
+    stream.BeginTick(t);
+    stream.Report(0, Point(0, 0));
+    stream.Report(1, Point(0, 0.5));
+    stream.EndTick();
+  }
+  stream.BeginTick(2);
+  stream.Report(0, Point(0, 0));  // 1 carried forward at (0, 0.5)
+  stream.EndTick();
+  stream.BeginTick(3);
+  stream.Report(0, Point(0, 0));
+  stream.Report(1, Point(0, 0.5));
+  stream.EndTick();
+  const auto result = stream.Finish();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].Lifetime(), 4);
+}
+
+TEST(StreamingCmcTest, LastReportPerTickWins) {
+  StreamingCmc stream(ConvoyQuery{2, 1, 1.0});
+  stream.BeginTick(0);
+  stream.Report(0, Point(500, 500));
+  stream.Report(0, Point(0, 0));  // corrected fix
+  stream.Report(1, Point(0, 0.5));
+  stream.EndTick();
+  const auto result = stream.Finish();
+  ASSERT_EQ(result.size(), 1u);
+}
+
+TEST(StreamingCmcTest, LiveCandidatesVisible) {
+  StreamingCmc stream(ConvoyQuery{2, 10, 1.0});
+  stream.BeginTick(0);
+  stream.Report(0, Point(0, 0));
+  stream.Report(1, Point(0, 0.5));
+  stream.EndTick();
+  EXPECT_EQ(stream.LiveCandidates(), 1u);
+}
+
+// The headline property: streaming output == batch CMC output, when fed
+// the same virtual points.
+class StreamingEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingEquivalenceTest, MatchesBatchCmc) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 18, 50, 50.0, 0.8, 0.9);
+  const ConvoyQuery query{2, 5, 4.0};
+  const auto batch = Cmc(db, query);
+  const auto streamed = RunStream(db, query);
+  EXPECT_TRUE(SameResultSet(batch, streamed))
+      << "batch=" << batch.size() << " streamed=" << streamed.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalenceTest,
+                         ::testing::Range(700, 712));
+
+TEST(StreamingCmcTest, HandcraftedEquivalence) {
+  const auto db = FromXRows({{0, 1, 2, 3, 4, 5, 6},
+                             {50, 20, 2.2, 3.2, 4.2, 30, 60},
+                             {0.4, 1.4, 2.4, 3.4, 4.4, 5.4, 6.4}});
+  const ConvoyQuery query{2, 3, 1.0};
+  EXPECT_TRUE(SameResultSet(Cmc(db, query), RunStream(db, query)));
+}
+
+}  // namespace
+}  // namespace convoy

@@ -1,0 +1,105 @@
+#include "traj/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace convoy {
+namespace {
+
+Trajectory MakeTraj() {
+  Trajectory traj(7);
+  traj.Append(0.0, 0.0, 10);
+  traj.Append(1.0, 1.0, 12);  // tick 11 missing
+  traj.Append(2.0, 4.0, 13);
+  return traj;
+}
+
+TEST(TrajectoryTest, EmptyState) {
+  Trajectory traj(1);
+  EXPECT_TRUE(traj.Empty());
+  EXPECT_EQ(traj.Size(), 0u);
+  EXPECT_EQ(traj.DurationTicks(), 0);
+  EXPECT_FALSE(traj.CoversTick(0));
+  EXPECT_FALSE(traj.LocationAt(0).has_value());
+  EXPECT_FALSE(traj.IndexAtOrBefore(0).has_value());
+}
+
+TEST(TrajectoryTest, AppendKeepsOrder) {
+  Trajectory traj = MakeTraj();
+  EXPECT_EQ(traj.Size(), 3u);
+  EXPECT_EQ(traj.BeginTick(), 10);
+  EXPECT_EQ(traj.EndTick(), 13);
+  EXPECT_EQ(traj.DurationTicks(), 4);
+}
+
+TEST(TrajectoryTest, AppendRejectsOutOfOrder) {
+  Trajectory traj = MakeTraj();
+  EXPECT_FALSE(traj.Append(9.0, 9.0, 12));  // not after EndTick
+  EXPECT_FALSE(traj.Append(9.0, 9.0, 13));  // duplicate tick
+  EXPECT_EQ(traj.Size(), 3u);
+  EXPECT_TRUE(traj.Append(9.0, 9.0, 14));
+}
+
+TEST(TrajectoryTest, LocationAtExactSamplesOnly) {
+  const Trajectory traj = MakeTraj();
+  ASSERT_TRUE(traj.LocationAt(10).has_value());
+  EXPECT_EQ(*traj.LocationAt(10), Point(0, 0));
+  ASSERT_TRUE(traj.LocationAt(12).has_value());
+  EXPECT_EQ(*traj.LocationAt(12), Point(1, 1));
+  EXPECT_FALSE(traj.LocationAt(11).has_value());  // missing sample
+  EXPECT_FALSE(traj.LocationAt(9).has_value());
+  EXPECT_FALSE(traj.LocationAt(14).has_value());
+}
+
+TEST(TrajectoryTest, CoversTickIsLifetimeInclusive) {
+  const Trajectory traj = MakeTraj();
+  EXPECT_TRUE(traj.CoversTick(10));
+  EXPECT_TRUE(traj.CoversTick(11));  // inside lifetime though unsampled
+  EXPECT_TRUE(traj.CoversTick(13));
+  EXPECT_FALSE(traj.CoversTick(9));
+  EXPECT_FALSE(traj.CoversTick(14));
+}
+
+TEST(TrajectoryTest, IndexAtOrBefore) {
+  const Trajectory traj = MakeTraj();
+  EXPECT_EQ(traj.IndexAtOrBefore(10).value(), 0u);
+  EXPECT_EQ(traj.IndexAtOrBefore(11).value(), 0u);
+  EXPECT_EQ(traj.IndexAtOrBefore(12).value(), 1u);
+  EXPECT_EQ(traj.IndexAtOrBefore(13).value(), 2u);
+  EXPECT_EQ(traj.IndexAtOrBefore(100).value(), 2u);
+  EXPECT_FALSE(traj.IndexAtOrBefore(9).has_value());
+}
+
+TEST(TrajectoryTest, BulkConstructorSortsSamples) {
+  const Trajectory traj(3, {TimedPoint(2, 2, 20), TimedPoint(0, 0, 5),
+                            TimedPoint(1, 1, 10)});
+  EXPECT_EQ(traj.Size(), 3u);
+  EXPECT_EQ(traj.BeginTick(), 5);
+  EXPECT_EQ(traj.EndTick(), 20);
+  EXPECT_EQ(traj[1].t, 10);
+}
+
+TEST(TrajectoryTest, BulkConstructorCollapsesDuplicateTicks) {
+  const Trajectory traj(3, {TimedPoint(1, 1, 10), TimedPoint(2, 2, 10),
+                            TimedPoint(3, 3, 20)});
+  EXPECT_EQ(traj.Size(), 2u);
+  // Last occurrence wins.
+  EXPECT_EQ(*traj.LocationAt(10), Point(2, 2));
+}
+
+TEST(TrajectoryTest, IdRoundTrip) {
+  Trajectory traj(42);
+  EXPECT_EQ(traj.id(), 42u);
+  traj.set_id(7);
+  EXPECT_EQ(traj.id(), 7u);
+}
+
+TEST(TrajectoryTest, SingleSample) {
+  Trajectory traj(1);
+  traj.Append(5.0, 5.0, 100);
+  EXPECT_EQ(traj.DurationTicks(), 1);
+  EXPECT_TRUE(traj.CoversTick(100));
+  EXPECT_EQ(*traj.LocationAt(100), Point(5, 5));
+}
+
+}  // namespace
+}  // namespace convoy

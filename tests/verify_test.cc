@@ -1,0 +1,88 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace convoy {
+namespace {
+
+using testutil::FromXRows;
+
+TEST(VerifyTest, AcceptsTrueConvoy) {
+  const auto db = FromXRows({{0, 1, 2, 3}, {0, 1, 2, 3}}, 0.5);
+  EXPECT_TRUE(VerifyConvoy(db, ConvoyQuery{2, 3, 1.0}, Convoy{{0, 1}, 0, 3}));
+}
+
+TEST(VerifyTest, RejectsTooFewObjects) {
+  const auto db = FromXRows({{0, 1, 2, 3}, {0, 1, 2, 3}}, 0.5);
+  EXPECT_FALSE(VerifyConvoy(db, ConvoyQuery{3, 3, 1.0}, Convoy{{0, 1}, 0, 3}));
+}
+
+TEST(VerifyTest, RejectsTooShortInterval) {
+  const auto db = FromXRows({{0, 1, 2, 3}, {0, 1, 2, 3}}, 0.5);
+  EXPECT_FALSE(VerifyConvoy(db, ConvoyQuery{2, 5, 1.0}, Convoy{{0, 1}, 0, 3}));
+}
+
+TEST(VerifyTest, RejectsDisconnectedTick) {
+  // Objects far apart at tick 2.
+  const auto db = FromXRows({{0, 1, 2, 3}, {0.4, 1.4, 50.0, 3.4}});
+  EXPECT_FALSE(VerifyConvoy(db, ConvoyQuery{2, 4, 1.0}, Convoy{{0, 1}, 0, 3}));
+}
+
+TEST(VerifyTest, RejectsObjectOutsideLifetime) {
+  TrajectoryDatabase db;
+  Trajectory a(0);
+  for (Tick t = 0; t <= 5; ++t) a.Append(static_cast<double>(t), 0, t);
+  Trajectory b(1);
+  for (Tick t = 2; t <= 5; ++t) b.Append(static_cast<double>(t), 0.4, t);
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+  EXPECT_FALSE(
+      VerifyConvoy(db, ConvoyQuery{2, 3, 1.0}, Convoy{{0, 1}, 0, 5}));
+  EXPECT_TRUE(VerifyConvoy(db, ConvoyQuery{2, 3, 1.0}, Convoy{{0, 1}, 2, 5}));
+}
+
+TEST(VerifyTest, AcceptsChainConnection) {
+  // 0 and 2 are 2.0 apart but chained through 1 (density connection).
+  const auto db = FromXRows({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, 1.0);
+  EXPECT_TRUE(
+      VerifyConvoy(db, ConvoyQuery{3, 3, 1.1}, Convoy{{0, 1, 2}, 0, 2}));
+}
+
+TEST(VerifyTest, ConnectionMayUseOutsideObjects) {
+  // The queried pair {0,2} is connected through object 1, which is not part
+  // of the convoy: Definition 2's chain ranges over all points.
+  const auto db = FromXRows({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, 1.0);
+  EXPECT_TRUE(VerifyConvoy(db, ConvoyQuery{2, 3, 1.1}, Convoy{{0, 2}, 0, 2}));
+}
+
+TEST(VerifyTest, RejectsSplitAcrossClusters) {
+  const auto db = FromXRows({{0, 1, 2}, {0, 1, 2}, {50, 51, 52},
+                             {50, 51, 52}},
+                            0.4);
+  EXPECT_FALSE(
+      VerifyConvoy(db, ConvoyQuery{2, 3, 1.0}, Convoy{{0, 2}, 0, 2}));
+}
+
+TEST(ObjectsConnectedAtTest, InterpolatedPositionsUsed) {
+  TrajectoryDatabase db;
+  Trajectory a(0);
+  a.Append(0, 0, 0);
+  a.Append(4, 0, 4);  // ticks 1-3 interpolated
+  Trajectory b(1);
+  for (Tick t = 0; t <= 4; ++t) b.Append(static_cast<double>(t), 0.4, t);
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+  for (Tick t = 0; t <= 4; ++t) {
+    EXPECT_TRUE(ObjectsConnectedAt(db, ConvoyQuery{2, 2, 1.0}, {0, 1}, t));
+  }
+}
+
+TEST(ObjectsConnectedAtTest, NoiseObjectNotConnected) {
+  const auto db = FromXRows({{0, 1}, {0.4, 1.4}, {90, 91}});
+  EXPECT_FALSE(ObjectsConnectedAt(db, ConvoyQuery{2, 2, 1.0}, {0, 2}, 0));
+}
+
+}  // namespace
+}  // namespace convoy

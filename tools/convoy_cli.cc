@@ -1,0 +1,252 @@
+// convoy_cli — command-line convoy discovery over CSV trajectory data.
+//
+// Usage:
+//   convoy_cli --input data.csv --m 3 --k 180 --e 8.0 [--algo cuts*]
+//              [--delta D] [--lambda L] [--stats] [--verify]
+//   convoy_cli --generate trucklike --output data.csv [--seed 7] [--scale S]
+//
+// Input format: CSV rows `object_id,tick,x,y` (header optional).
+// Output: one line per convoy, `objects...  [start,end]`.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "convoy/convoy.h"
+
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::string output;
+  std::string generate;
+  std::string results_out;  // write convoys here (.json => JSON, else CSV)
+  std::string algo = "cuts*";
+  convoy::ConvoyQuery query{3, 180, 8.0};
+  double delta = -1.0;
+  convoy::Tick lambda = -1;
+  double scale = 0.25;
+  uint64_t seed = 7;
+  bool print_stats = false;
+  bool verify = false;
+  bool use_rtree = false;
+  bool exact_refine = false;
+  // Cleaning (applied before discovery when any option is set).
+  double clean_max_speed = -1.0;
+  convoy::Tick clean_max_gap = -1;
+  bool clean_stationary = false;
+};
+
+void PrintUsage() {
+  std::cout <<
+      "convoy_cli — convoy discovery in trajectory databases (VLDB'08)\n\n"
+      "Discover convoys in a CSV file:\n"
+      "  convoy_cli --input data.csv --m 3 --k 180 --e 8.0\n"
+      "             [--algo cmc|cuts|cuts+|cuts*|mc2] [--delta D]\n"
+      "             [--lambda L] [--theta T] [--stats] [--verify]\n"
+      "             [--rtree] [--exact-refine] [--results out.csv|out.json]\n"
+      "             [--clean-max-speed V] [--clean-max-gap G]\n"
+      "             [--clean-stationary]\n\n"
+      "Generate a synthetic dataset:\n"
+      "  convoy_cli --generate trucklike|cattlelike|carlike|taxilike\n"
+      "             --output data.csv [--seed N] [--scale S]\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return false;
+    const char* value = nullptr;
+    if (arg == "--input" && (value = next())) {
+      opts->input = value;
+    } else if (arg == "--output" && (value = next())) {
+      opts->output = value;
+    } else if (arg == "--generate" && (value = next())) {
+      opts->generate = value;
+    } else if (arg == "--algo" && (value = next())) {
+      opts->algo = value;
+    } else if (arg == "--m" && (value = next())) {
+      opts->query.m = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--k" && (value = next())) {
+      opts->query.k = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--e" && (value = next())) {
+      opts->query.e = std::strtod(value, nullptr);
+    } else if (arg == "--delta" && (value = next())) {
+      opts->delta = std::strtod(value, nullptr);
+    } else if (arg == "--lambda" && (value = next())) {
+      opts->lambda = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--theta" && (value = next())) {
+      *theta = std::strtod(value, nullptr);
+    } else if (arg == "--scale" && (value = next())) {
+      opts->scale = std::strtod(value, nullptr);
+    } else if (arg == "--seed" && (value = next())) {
+      opts->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--results" && (value = next())) {
+      opts->results_out = value;
+    } else if (arg == "--clean-max-speed" && (value = next())) {
+      opts->clean_max_speed = std::strtod(value, nullptr);
+    } else if (arg == "--clean-max-gap" && (value = next())) {
+      opts->clean_max_gap = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--clean-stationary") {
+      opts->clean_stationary = true;
+    } else if (arg == "--rtree") {
+      opts->use_rtree = true;
+    } else if (arg == "--exact-refine") {
+      opts->exact_refine = true;
+    } else if (arg == "--stats") {
+      opts->print_stats = true;
+    } else if (arg == "--verify") {
+      opts->verify = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+    const bool flag_arg = arg == "--stats" || arg == "--verify" ||
+                          arg == "--rtree" || arg == "--exact-refine" ||
+                          arg == "--clean-stationary";
+    if (value == nullptr && arg.rfind("--", 0) == 0 && !flag_arg) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Generate(const CliOptions& opts) {
+  std::map<std::string, convoy::ScenarioConfig> presets = {
+      {"trucklike", convoy::TruckLikeConfig(opts.scale)},
+      {"cattlelike", convoy::CattleLikeConfig(opts.scale)},
+      {"carlike", convoy::CarLikeConfig(opts.scale)},
+      {"taxilike", convoy::TaxiLikeConfig(opts.scale)},
+  };
+  const auto it = presets.find(opts.generate);
+  if (it == presets.end()) {
+    std::cerr << "unknown preset: " << opts.generate << "\n";
+    return 1;
+  }
+  const convoy::ScenarioData data =
+      convoy::GenerateScenario(it->second, opts.seed);
+  convoy::PrintDatasetReport(data.db, data.name, std::cout);
+  std::cout << "  planted convoys:            " << data.planted.size() << "\n";
+  if (opts.output.empty()) {
+    std::cerr << "--output required with --generate\n";
+    return 1;
+  }
+  if (!convoy::SaveTrajectoriesCsv(data.db, opts.output)) {
+    std::cerr << "cannot write " << opts.output << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << opts.output << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  double theta = 0.8;
+  if (!ParseArgs(argc, argv, &opts, &theta) ||
+      (opts.input.empty() && opts.generate.empty())) {
+    PrintUsage();
+    return argc > 1 ? 1 : 0;
+  }
+
+  if (!opts.generate.empty()) return Generate(opts);
+
+  const convoy::CsvLoadResult loaded = convoy::LoadTrajectoriesCsv(opts.input);
+  if (!loaded.ok) {
+    std::cerr << loaded.error << "\n";
+    return 1;
+  }
+  if (loaded.lines_skipped > 0) {
+    std::cerr << "warning: skipped " << loaded.lines_skipped
+              << " malformed rows\n";
+  }
+
+  convoy::TrajectoryDatabase db = loaded.db;
+  if (opts.clean_max_speed > 0 || opts.clean_max_gap > 0 ||
+      opts.clean_stationary) {
+    convoy::CleaningOptions cleaning;
+    cleaning.max_speed = opts.clean_max_speed;
+    cleaning.max_gap_ticks = opts.clean_max_gap;
+    cleaning.drop_stationary_duplicates = opts.clean_stationary;
+    convoy::CleaningReport report;
+    db = convoy::CleanDatabase(db, cleaning, &report);
+    std::cerr << "cleaning: " << report.spikes_removed << " spike(s), "
+              << report.duplicates_removed << " duplicate(s) removed, "
+              << report.trajectories_split << " split(s), "
+              << report.trajectories_dropped << " fragment(s) dropped\n";
+  }
+
+  convoy::DiscoveryStats stats;
+  std::vector<convoy::Convoy> result;
+  convoy::CutsFilterOptions filter_options;
+  filter_options.delta = opts.delta;
+  filter_options.lambda = opts.lambda;
+  filter_options.use_rtree = opts.use_rtree;
+  if (opts.exact_refine) {
+    filter_options.refine_mode = convoy::RefineMode::kFullWindow;
+  }
+
+  if (opts.algo == "cmc") {
+    result = convoy::Cmc(db, opts.query, {}, &stats);
+  } else if (opts.algo == "cuts") {
+    result = convoy::Cuts(db, opts.query, convoy::CutsVariant::kCuts,
+                          filter_options, &stats);
+  } else if (opts.algo == "cuts+") {
+    result = convoy::Cuts(db, opts.query,
+                          convoy::CutsVariant::kCutsPlus, filter_options,
+                          &stats);
+  } else if (opts.algo == "cuts*") {
+    result = convoy::Cuts(db, opts.query,
+                          convoy::CutsVariant::kCutsStar, filter_options,
+                          &stats);
+  } else if (opts.algo == "mc2") {
+    convoy::Mc2Options mc2_options;
+    mc2_options.theta = theta;
+    result = convoy::Mc2(db, opts.query, mc2_options);
+  } else {
+    std::cerr << "unknown algorithm: " << opts.algo << "\n";
+    return 1;
+  }
+
+  std::cout << result.size() << " convoy(s)\n";
+  for (const convoy::Convoy& c : result) {
+    std::cout << "  " << convoy::ToString(c);
+    if (opts.verify) {
+      std::cout << (convoy::VerifyConvoy(db, opts.query, c)
+                        ? "  [verified]"
+                        : "  [FAILED VERIFICATION]");
+    }
+    std::cout << "\n";
+  }
+  if (opts.print_stats) std::cout << stats << "\n";
+
+  if (!opts.results_out.empty()) {
+    const bool json = opts.results_out.size() >= 5 &&
+                      opts.results_out.rfind(".json") ==
+                          opts.results_out.size() - 5;
+    std::ofstream out(opts.results_out);
+    if (!out) {
+      std::cerr << "cannot write " << opts.results_out << "\n";
+      return 1;
+    }
+    if (json) {
+      convoy::SaveConvoysJson(result, out);
+    } else {
+      convoy::SaveConvoysCsv(result, out);
+    }
+    std::cout << "wrote " << result.size() << " convoy(s) to "
+              << opts.results_out << "\n";
+  }
+  return 0;
+}
