@@ -8,6 +8,8 @@
 //   --full        paper-scale time domains (slower; default is scaled down)
 //   --scale X     multiply the default time-domain scales by X
 //   --seed N      dataset generation seed (default 42)
+//   --threads N   worker threads for parallelizable phases (default 1;
+//                 0 = all hardware threads; results are identical)
 
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +27,7 @@ struct BenchOptions {
   bool full = false;
   double scale = 1.0;
   uint64_t seed = 42;
+  size_t threads = 1;  ///< 0 = all hardware threads
 };
 
 inline BenchOptions ParseArgs(int argc, char** argv) {
@@ -36,8 +39,10 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       opts.scale = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "flags: --full | --scale X | --seed N\n";
+      std::cout << "flags: --full | --scale X | --seed N | --threads N\n";
       std::exit(0);
     }
   }
@@ -98,6 +103,17 @@ inline CutsFilterOptions FilterOptionsFor(const BenchDataset& ds) {
   CutsFilterOptions options;
   options.delta = ds.delta;
   options.lambda = ds.lambda;
+  return options;
+}
+
+/// FilterOptionsFor with a worker-thread count applied to both the filter
+/// and refinement phases (results are identical at any thread count;
+/// 0 = all hardware threads).
+inline CutsFilterOptions FilterOptionsFor(const BenchDataset& ds,
+                                          size_t threads) {
+  CutsFilterOptions options = FilterOptionsFor(ds);
+  options.num_threads = ResolveThreadCount(threads);
+  options.refine_threads = options.num_threads;
   return options;
 }
 

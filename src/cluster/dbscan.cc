@@ -8,11 +8,16 @@ namespace convoy {
 
 Clustering Dbscan(const std::vector<Point>& points, double eps,
                   size_t min_pts) {
+  if (points.empty()) return Clustering{};
+  const GridIndex index(points, eps);
+  return Dbscan(points, index, eps, min_pts);
+}
+
+Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
+                  double eps, size_t min_pts) {
   Clustering result;
   const size_t n = points.size();
   if (n == 0) return result;
-
-  const GridIndex index(points, eps);
 
   constexpr uint32_t kUnvisited = 0xFFFFFFFF;
   constexpr uint32_t kNoise = 0xFFFFFFFE;

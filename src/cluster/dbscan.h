@@ -37,6 +37,15 @@ struct Clustering {
 Clustering Dbscan(const std::vector<Point>& points, double eps,
                   size_t min_pts);
 
+/// Variant taking a prebuilt GridIndex over the same `points` (built with a
+/// cell size >= eps). SnapshotClusters — the per-tick unit of work of CMC —
+/// builds the index itself and feeds it in, so under ParallelCmc the index
+/// builds run concurrently across snapshots; results are identical to the
+/// index-less overload.
+class GridIndex;
+Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
+                  double eps, size_t min_pts);
+
 }  // namespace convoy
 
 #endif  // CONVOY_CLUSTER_DBSCAN_H_

@@ -45,6 +45,9 @@
 #include "geom/point.h"
 #include "geom/segment.h"
 #include "io/csv.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_runner.h"
+#include "parallel/thread_pool.h"
 #include "io/dataset_report.h"
 #include "io/result_io.h"
 #include "simplify/douglas_peucker.h"

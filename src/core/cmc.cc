@@ -3,11 +3,61 @@
 #include <algorithm>
 
 #include "cluster/dbscan.h"
-#include "core/candidate.h"
+#include "cluster/grid_index.h"
 #include "traj/interpolate.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
+
+std::vector<std::vector<ObjectId>> SnapshotClusters(
+    const TrajectoryDatabase& db, Tick t, const ConvoyQuery& query,
+    bool* clustered, SnapshotScratch* scratch) {
+  SnapshotScratch local;
+  if (scratch == nullptr) scratch = &local;
+  std::vector<Point>& snapshot = scratch->points;
+  std::vector<ObjectId>& snapshot_ids = scratch->ids;
+  snapshot.clear();
+  snapshot_ids.clear();
+
+  // O_t: every object alive at t contributes its (possibly virtual,
+  // linearly interpolated) location.
+  for (const Trajectory& traj : db.trajectories()) {
+    const auto pos = InterpolateAt(traj, t);
+    if (!pos.has_value()) continue;
+    snapshot.push_back(*pos);
+    snapshot_ids.push_back(traj.id());
+  }
+
+  std::vector<std::vector<ObjectId>> cluster_objects;
+  if (clustered != nullptr) *clustered = false;
+  if (snapshot.size() >= query.m) {
+    const GridIndex index(snapshot, query.e);
+    const Clustering clustering = Dbscan(snapshot, index, query.e, query.m);
+    if (clustered != nullptr) *clustered = true;
+    cluster_objects.reserve(clustering.clusters.size());
+    for (const std::vector<size_t>& cluster : clustering.clusters) {
+      std::vector<ObjectId> ids;
+      ids.reserve(cluster.size());
+      for (const size_t idx : cluster) ids.push_back(snapshot_ids[idx]);
+      std::sort(ids.begin(), ids.end());
+      cluster_objects.push_back(std::move(ids));
+    }
+  }
+  return cluster_objects;
+}
+
+std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
+                                      const CmcOptions& options) {
+  std::vector<Convoy> result;
+  result.reserve(completed.size());
+  for (const Candidate& cand : completed) result.push_back(cand.ToConvoy());
+  if (options.remove_dominated) {
+    result = RemoveDominated(std::move(result));
+  } else {
+    Canonicalize(&result);
+  }
+  return result;
+}
 
 std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              const ConvoyQuery& query, Tick begin_tick,
@@ -17,35 +67,12 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
   CandidateTracker tracker(query.m, query.k);
   std::vector<Candidate> completed;
 
-  std::vector<Point> snapshot;
-  std::vector<ObjectId> snapshot_ids;
-  std::vector<std::vector<ObjectId>> cluster_objects;
-
+  SnapshotScratch scratch;
   for (Tick t = begin_tick; t <= end_tick; ++t) {
-    // O_t: every object alive at t contributes its (possibly virtual,
-    // linearly interpolated) location.
-    snapshot.clear();
-    snapshot_ids.clear();
-    for (const Trajectory& traj : db.trajectories()) {
-      const auto pos = InterpolateAt(traj, t);
-      if (!pos.has_value()) continue;
-      snapshot.push_back(*pos);
-      snapshot_ids.push_back(traj.id());
-    }
-
-    cluster_objects.clear();
-    if (snapshot.size() >= query.m) {
-      const Clustering clustering = Dbscan(snapshot, query.e, query.m);
-      if (stats != nullptr) ++stats->num_clusterings;
-      cluster_objects.reserve(clustering.clusters.size());
-      for (const std::vector<size_t>& cluster : clustering.clusters) {
-        std::vector<ObjectId> ids;
-        ids.reserve(cluster.size());
-        for (const size_t idx : cluster) ids.push_back(snapshot_ids[idx]);
-        std::sort(ids.begin(), ids.end());
-        cluster_objects.push_back(std::move(ids));
-      }
-    }
+    bool clustered = false;
+    const std::vector<std::vector<ObjectId>> cluster_objects =
+        SnapshotClusters(db, t, query, &clustered, &scratch);
+    if (clustered && stats != nullptr) ++stats->num_clusterings;
     // Advancing with an empty cluster list retires every live candidate,
     // which is exactly what a tick with < m alive objects must do: the
     // "consecutive time points" requirement breaks there.
@@ -53,14 +80,7 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
   }
   tracker.Flush(&completed);
 
-  std::vector<Convoy> result;
-  result.reserve(completed.size());
-  for (const Candidate& cand : completed) result.push_back(cand.ToConvoy());
-  if (options.remove_dominated) {
-    result = RemoveDominated(std::move(result));
-  } else {
-    Canonicalize(&result);
-  }
+  std::vector<Convoy> result = FinalizeCmcResult(completed, options);
 
   if (stats != nullptr) {
     stats->total_seconds += total.ElapsedSeconds();

@@ -3,8 +3,10 @@
 
 #include <vector>
 
+#include "core/candidate.h"
 #include "core/convoy_set.h"
 #include "core/discovery_stats.h"
+#include "geom/point.h"
 #include "traj/database.h"
 
 namespace convoy {
@@ -36,6 +38,31 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options = {},
                              DiscoveryStats* stats = nullptr);
+
+/// Scratch buffers a caller may reuse across SnapshotClusters calls so the
+/// serial per-tick loop does not reallocate the snapshot every iteration.
+struct SnapshotScratch {
+  std::vector<Point> points;
+  std::vector<ObjectId> ids;
+};
+
+/// The per-tick unit of work of CMC, shared by the serial loop above and
+/// the snapshot-parallel runner (parallel/parallel_runner.h): every object
+/// alive at `t` contributes its (possibly interpolated) position, the
+/// snapshot is clustered with DBSCAN(query.e, query.m) over a per-snapshot
+/// grid index, and each cluster comes back as a sorted object-id list.
+/// Snapshots with fewer than m alive objects return an empty list without
+/// clustering. `clustered` (optional) reports whether DBSCAN actually ran,
+/// for stats accounting; `scratch` (optional) supplies reusable snapshot
+/// buffers.
+std::vector<std::vector<ObjectId>> SnapshotClusters(
+    const TrajectoryDatabase& db, Tick t, const ConvoyQuery& query,
+    bool* clustered = nullptr, SnapshotScratch* scratch = nullptr);
+
+/// The shared tail of CMC: converts completed candidates to convoys and
+/// applies dominance pruning (or mere canonicalization, per `options`).
+std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
+                                      const CmcOptions& options);
 
 }  // namespace convoy
 

@@ -17,6 +17,14 @@ struct ConvoyQuery {
   size_t m = 2;   ///< minimum number of objects in a convoy
   Tick k = 2;     ///< minimum lifetime in consecutive ticks
   double e = 1.0; ///< neighborhood range for density connection
+
+  /// Default worker-thread count for the discovery phases that can run in
+  /// parallel (snapshot clustering in ParallelCmc, partition clustering in
+  /// the CuTS filter, candidate refinement). Per-phase knobs
+  /// (CutsFilterOptions::num_threads / refine_threads) override it when
+  /// set; 0 means "all hardware threads". Results are identical for every
+  /// value — parallelism never changes the output.
+  size_t num_threads = 1;
 };
 
 /// One discovered convoy: a set of objects together with the maximal time

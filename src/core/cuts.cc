@@ -45,7 +45,7 @@ std::vector<Convoy> Cuts(const TrajectoryDatabase& db,
   const CutsFilterResult filtered = CutsFilter(db, query, options, stats);
   std::vector<Convoy> result =
       CutsRefine(db, query, filtered.candidates, options.refine_mode, stats,
-                 options.refine_threads);
+                 ResolveWorkerThreads(options.refine_threads, query));
   if (stats != nullptr) {
     stats->total_seconds = total.ElapsedSeconds();
     stats->num_convoys = result.size();

@@ -1,11 +1,93 @@
 #include "core/cuts_filter.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/params.h"
+#include "parallel/parallel_for.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
+
+size_t ResolveWorkerThreads(size_t phase_threads, const ConvoyQuery& query) {
+  if (phase_threads > 0) return phase_threads;
+  return ResolveThreadCount(query.num_threads);
+}
+
+std::vector<PartitionPolyline> BuildPartitionPolylines(
+    const std::vector<SimplifiedTrajectory>& simplified, Tick part_start,
+    Tick part_end, bool use_actual_tolerance, double delta_used) {
+  std::vector<PartitionPolyline> polylines;
+  for (const SimplifiedTrajectory& simp : simplified) {
+    PartitionPolyline poly;
+    poly.object = simp.id();
+    if (simp.NumSegments() == 0) {
+      // Single-sample trajectory: represent it as a degenerate zero-
+      // length segment so the filter can still see the object (a
+      // one-tick convoy through it must not be dismissed).
+      if (simp.NumVertices() != 1) continue;
+      const TimedPoint& v = simp.vertices().front();
+      if (v.t < part_start || v.t > part_end) continue;
+      poly.segments.push_back(TimedSegment(v, v));
+      poly.tolerances.push_back(0.0);
+    } else {
+      const auto range = simp.SegmentsIntersecting(part_start, part_end);
+      if (!range.has_value()) continue;
+      for (size_t s = range->first; s <= range->second; ++s) {
+        poly.segments.push_back(simp.GetSegment(s));
+        poly.tolerances.push_back(use_actual_tolerance
+                                      ? simp.SegmentTolerance(s)
+                                      : delta_used);
+      }
+    }
+    poly.FinalizeBounds();
+    polylines.push_back(std::move(poly));
+  }
+  return polylines;
+}
+
+namespace {
+
+// The result of clustering one time partition: the cluster object-id lists
+// the tracker consumes, plus per-partition stats so parallel runs can
+// aggregate them deterministically (in partition order).
+struct PartitionClusters {
+  std::vector<std::vector<ObjectId>> cluster_objects;
+  PolylineClusterStats cluster_stats;
+  bool clustered = false;
+};
+
+PartitionClusters ClusterPartition(
+    const std::vector<SimplifiedTrajectory>& simplified, Tick part_start,
+    Tick part_end, const ConvoyQuery& query, const CutsFilterOptions& options,
+    double delta_used) {
+  PartitionClusters out;
+  const std::vector<PartitionPolyline> polylines = BuildPartitionPolylines(
+      simplified, part_start, part_end, options.use_actual_tolerance,
+      delta_used);
+  if (polylines.size() < query.m) return out;
+
+  PolylineDbscanOptions cluster_options;
+  cluster_options.eps = query.e;
+  cluster_options.min_pts = query.m;
+  cluster_options.distance = options.distance;
+  cluster_options.use_box_pruning = options.use_box_pruning;
+  cluster_options.use_rtree = options.use_rtree;
+
+  const Clustering clustering =
+      PolylineDbscan(polylines, cluster_options, &out.cluster_stats);
+  out.clustered = true;
+  for (const std::vector<size_t>& cluster : clustering.clusters) {
+    std::vector<ObjectId> ids;
+    ids.reserve(cluster.size());
+    for (const size_t idx : cluster) ids.push_back(polylines[idx].object);
+    std::sort(ids.begin(), ids.end());
+    out.cluster_objects.push_back(std::move(ids));
+  }
+  return out;
+}
+
+}  // namespace
 
 CutsFilterResult CutsFilter(const TrajectoryDatabase& db,
                             const ConvoyQuery& query,
@@ -17,7 +99,8 @@ CutsFilterResult CutsFilter(const TrajectoryDatabase& db,
   const double delta =
       options.delta > 0.0 ? options.delta : ComputeDelta(db, query.e);
   std::vector<SimplifiedTrajectory> simplified =
-      SimplifyDatabase(db, delta, options.simplifier);
+      SimplifyDatabase(db, delta, options.simplifier,
+                       ResolveWorkerThreads(options.num_threads, query));
   if (stats != nullptr) stats->simplify_seconds += phase.ElapsedSeconds();
 
   return CutsFilterPresimplified(db, query, options, std::move(simplified),
@@ -50,72 +133,65 @@ CutsFilterResult CutsFilterPresimplified(
   const Tick end = db.EndTick();
   const Tick lambda = std::max<Tick>(result.lambda_used, 1);
 
+  std::vector<std::pair<Tick, Tick>> partitions;
+  for (Tick part_start = begin; part_start <= end; part_start += lambda) {
+    partitions.emplace_back(part_start,
+                            std::min<Tick>(part_start + lambda - 1, end));
+  }
+
+  // Cluster the partitions (concurrently when asked to — partitions are
+  // independent), then advance the candidate tracker sequentially in
+  // partition order. The sequential tracker pass is what makes the
+  // parallel filter bit-identical to the serial one.
+  const size_t threads =
+      std::min(ResolveWorkerThreads(options.num_threads, query),
+               partitions.size());
   CandidateTracker tracker(query.m, query.k);
   PolylineClusterStats cluster_stats;
-  PolylineDbscanOptions cluster_options;
-  cluster_options.eps = query.e;
-  cluster_options.min_pts = query.m;
-  cluster_options.distance = options.distance;
-  cluster_options.use_box_pruning = options.use_box_pruning;
-  cluster_options.use_rtree = options.use_rtree;
-
-  std::vector<PartitionPolyline> polylines;
-  std::vector<std::vector<ObjectId>> cluster_objects;
-
-  for (Tick part_start = begin; part_start <= end; part_start += lambda) {
-    const Tick part_end = std::min<Tick>(part_start + lambda - 1, end);
-
-    // Gather each object's sub-polyline: the simplified segments whose time
-    // intervals intersect the partition (a segment spanning a boundary goes
-    // into both partitions, as in Figure 9(b)).
-    polylines.clear();
-    for (const SimplifiedTrajectory& simp : result.simplified) {
-      PartitionPolyline poly;
-      poly.object = simp.id();
-      if (simp.NumSegments() == 0) {
-        // Single-sample trajectory: represent it as a degenerate zero-
-        // length segment so the filter can still see the object (a
-        // one-tick convoy through it must not be dismissed).
-        if (simp.NumVertices() != 1) continue;
-        const TimedPoint& v = simp.vertices().front();
-        if (v.t < part_start || v.t > part_end) continue;
-        poly.segments.push_back(TimedSegment(v, v));
-        poly.tolerances.push_back(0.0);
-      } else {
-        const auto range = simp.SegmentsIntersecting(part_start, part_end);
-        if (!range.has_value()) continue;
-        for (size_t s = range->first; s <= range->second; ++s) {
-          poly.segments.push_back(simp.GetSegment(s));
-          poly.tolerances.push_back(options.use_actual_tolerance
-                                        ? simp.SegmentTolerance(s)
-                                        : result.delta_used);
-        }
-      }
-      poly.FinalizeBounds();
-      polylines.push_back(std::move(poly));
-    }
-
-    cluster_objects.clear();
-    if (polylines.size() >= query.m) {
-      const Clustering clustering =
-          PolylineDbscan(polylines, cluster_options, &cluster_stats);
-      if (stats != nullptr) ++stats->num_clusterings;
-      for (const std::vector<size_t>& cluster : clustering.clusters) {
-        std::vector<ObjectId> ids;
-        ids.reserve(cluster.size());
-        for (const size_t idx : cluster) ids.push_back(polylines[idx].object);
-        std::sort(ids.begin(), ids.end());
-        cluster_objects.push_back(std::move(ids));
+  size_t num_clusterings = 0;
+  const auto consume = [&](size_t i, const PartitionClusters& part) {
+    if (part.clustered) ++num_clusterings;
+    cluster_stats.pair_tests += part.cluster_stats.pair_tests;
+    cluster_stats.box_pruned += part.cluster_stats.box_pruned;
+    cluster_stats.segment_tests += part.cluster_stats.segment_tests;
+    tracker.Advance(part.cluster_objects, partitions[i].first,
+                    partitions[i].second, /*step_weight=*/lambda,
+                    &result.candidates);
+  };
+  if (threads > 1) {
+    // Blocks bound peak memory to O(block) buffered partition results
+    // instead of the whole time domain (mirroring ParallelCmcRange).
+    ThreadPool pool(threads);
+    const size_t block = std::max<size_t>(threads * 16, 256);
+    for (size_t block_begin = 0; block_begin < partitions.size();
+         block_begin += block) {
+      const size_t block_size =
+          std::min(block, partitions.size() - block_begin);
+      const std::vector<PartitionClusters> per_partition =
+          ParallelMap(&pool, block_size, [&](size_t i) {
+            const auto& part = partitions[block_begin + i];
+            return ClusterPartition(result.simplified, part.first,
+                                    part.second, query, options,
+                                    result.delta_used);
+          });
+      for (size_t i = 0; i < block_size; ++i) {
+        consume(block_begin + i, per_partition[i]);
       }
     }
-    tracker.Advance(cluster_objects, part_start, part_end,
-                    /*step_weight=*/lambda, &result.candidates);
+  } else {
+    // Serial path streams one partition at a time — no buffering.
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      consume(i, ClusterPartition(result.simplified, partitions[i].first,
+                                  partitions[i].second, query, options,
+                                  result.delta_used));
+    }
   }
   tracker.Flush(&result.candidates);
 
   if (stats != nullptr) {
     stats->filter_seconds += phase.ElapsedSeconds();
     stats->num_candidates = result.candidates.size();
+    stats->num_clusterings += num_clusterings;
     stats->polyline_pair_tests += cluster_stats.pair_tests;
     stats->polyline_box_pruned += cluster_stats.box_pruned;
     stats->segment_distance_tests += cluster_stats.segment_tests;

@@ -47,11 +47,23 @@ struct CutsFilterOptions {
   /// kFullWindow guarantees exact equality with CMC on every input.
   RefineMode refine_mode = RefineMode::kProjected;
 
+  /// Worker threads for the filter phase: database simplification and the
+  /// per-partition TRAJ-DBSCAN run concurrently (partitions are balanced
+  /// chunks of the time domain) while candidate tracking stays sequential
+  /// in partition order, so results are identical for every value.
+  /// 0 = inherit ConvoyQuery::num_threads.
+  size_t num_threads = 0;
+
   /// Worker threads for the refinement step (candidates / windows are
-  /// independent units of work). 1 = sequential; results are identical
-  /// regardless.
-  size_t refine_threads = 1;
+  /// independent units of work). Results are identical regardless.
+  /// 0 = inherit ConvoyQuery::num_threads.
+  size_t refine_threads = 0;
 };
+
+/// Resolves a per-phase thread knob against the query-wide default: a
+/// positive per-phase value wins, 0 falls back to query.num_threads, where
+/// a final 0 means "all hardware threads". Never returns 0.
+size_t ResolveWorkerThreads(size_t phase_threads, const ConvoyQuery& query);
 
 /// Output of the filter step: candidate convoys (object sets with the tick
 /// span of the partitions that produced them) plus the simplified
@@ -72,6 +84,15 @@ CutsFilterResult CutsFilter(const TrajectoryDatabase& db,
                             const ConvoyQuery& query,
                             const CutsFilterOptions& options,
                             DiscoveryStats* stats = nullptr);
+
+/// Gathers each object's sub-polyline for the partition
+/// [part_start, part_end]: the simplified segments whose time intervals
+/// intersect the partition (a segment spanning a boundary goes into both
+/// partitions, as in paper Figure 9(b)). The per-partition unit of work
+/// shared by the serial and parallel filter paths.
+std::vector<PartitionPolyline> BuildPartitionPolylines(
+    const std::vector<SimplifiedTrajectory>& simplified, Tick part_start,
+    Tick part_end, bool use_actual_tolerance, double delta_used);
 
 /// Variant that reuses already-simplified trajectories (index-aligned with
 /// `db`, produced with `delta_used` and the simplifier matching

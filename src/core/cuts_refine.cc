@@ -1,40 +1,29 @@
 #include "core/cuts_refine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "core/cmc.h"
+#include "parallel/parallel_for.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
 
 namespace {
 
-// Runs `work(i)` for i in [0, n) on up to `threads` workers. Each worker
-// owns a result slot, so no synchronization beyond the work-stealing
-// counter is needed.
+// Runs `work(i)` for i in [0, n) on up to `threads` workers via the shared
+// chunk-based pool; slot i always holds work(i), so output order is
+// deterministic.
 template <typename WorkFn>
-std::vector<std::vector<Convoy>> ParallelMap(size_t n, size_t threads,
-                                             WorkFn work) {
+std::vector<std::vector<Convoy>> RefineMap(size_t n, size_t threads,
+                                           WorkFn work) {
   threads = std::max<size_t>(1, std::min(threads, n == 0 ? 1 : n));
-  std::vector<std::vector<Convoy>> results(n);
   if (threads <= 1) {
+    std::vector<std::vector<Convoy>> results(n);
     for (size_t i = 0; i < n; ++i) results[i] = work(i);
     return results;
   }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t w = 0; w < threads; ++w) {
-    pool.emplace_back([&]() {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        results[i] = work(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  return results;
+  ThreadPool pool(threads);
+  return ParallelMap(&pool, n, work);
 }
 
 std::vector<Convoy> Flatten(std::vector<std::vector<Convoy>> parts) {
@@ -54,7 +43,7 @@ std::vector<Convoy> RefineProjected(const TrajectoryDatabase& db,
   cmc_options.remove_dominated = false;  // pruned globally by the caller
   // Stats are only threadable when single-threaded; CmcRange mutates them.
   DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
-  auto parts = ParallelMap(
+  auto parts = RefineMap(
       candidates.size(), threads, [&](size_t i) {
         const Candidate& cand = candidates[i];
         const TrajectoryDatabase subset = db.Project(cand.objects);
@@ -88,7 +77,7 @@ std::vector<Convoy> RefineFullWindow(const TrajectoryDatabase& db,
   CmcOptions cmc_options;
   cmc_options.remove_dominated = false;
   DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
-  auto parts = ParallelMap(windows.size(), threads, [&](size_t i) {
+  auto parts = RefineMap(windows.size(), threads, [&](size_t i) {
     return CmcRange(db, query, windows[i].first, windows[i].second,
                     cmc_options, per_run_stats);
   });

@@ -6,6 +6,7 @@
 #include "core/cmc.h"
 #include "core/cuts_refine.h"
 #include "core/params.h"
+#include "parallel/parallel_runner.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
@@ -21,20 +22,33 @@ std::vector<Convoy> ConvoyEngine::Discover(const ConvoyQuery& query,
 
   const CacheKey key{options.simplifier,
                      static_cast<int64_t>(std::llround(delta * 1e6))};
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    Stopwatch simplify;
-    std::vector<SimplifiedTrajectory> simplified =
-        SimplifyDatabase(db_, delta, options.simplifier);
-    if (stats != nullptr) stats->simplify_seconds += simplify.ElapsedSeconds();
-    it = cache_.emplace(key, std::move(simplified)).first;
+  std::vector<SimplifiedTrajectory> simplified;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      // Simplify outside the lock so concurrent queries with other keys
+      // (or CMC runs) are not serialized behind this one. A racing miss on
+      // the same key recomputes; the first emplace wins.
+      lock.unlock();
+      Stopwatch simplify;
+      std::vector<SimplifiedTrajectory> computed =
+          SimplifyDatabase(db_, delta, options.simplifier,
+                           ResolveWorkerThreads(options.num_threads, query));
+      if (stats != nullptr) {
+        stats->simplify_seconds += simplify.ElapsedSeconds();
+      }
+      lock.lock();
+      it = cache_.emplace(key, std::move(computed)).first;
+    }
+    simplified = it->second;  // copied under the lock; entries never mutate
   }
 
   const CutsFilterResult filtered = CutsFilterPresimplified(
-      db_, query, options, it->second, delta, stats);
+      db_, query, options, std::move(simplified), delta, stats);
   std::vector<Convoy> result =
       CutsRefine(db_, query, filtered.candidates, options.refine_mode, stats,
-                 options.refine_threads);
+                 ResolveWorkerThreads(options.refine_threads, query));
   if (stats != nullptr) {
     stats->total_seconds = total.ElapsedSeconds();
     stats->num_convoys = result.size();
@@ -44,7 +58,9 @@ std::vector<Convoy> ConvoyEngine::Discover(const ConvoyQuery& query,
 
 std::vector<Convoy> ConvoyEngine::DiscoverExact(const ConvoyQuery& query,
                                                 DiscoveryStats* stats) const {
-  return Cmc(db_, query, {}, stats);
+  // ParallelCmc degenerates to the serial CMC loop for num_threads == 1 and
+  // is result-identical for every other value.
+  return ParallelCmc(db_, query, {}, stats);
 }
 
 std::optional<Convoy> ConvoyEngine::LongestConvoy(

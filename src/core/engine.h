@@ -2,6 +2,7 @@
 #define CONVOY_CORE_ENGINE_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -23,9 +24,14 @@ namespace convoy {
 /// across such sweeps, and offers small conveniences over the raw result
 /// vectors.
 ///
-/// Thread-compatibility: const after construction except for the internal
-/// simplification cache; concurrent Discover calls require external
-/// synchronization.
+/// Thread-safety: const after construction except for the internal
+/// simplification cache, which is mutex-guarded, so concurrent Discover /
+/// DiscoverExact calls from different threads are safe without external
+/// synchronization. Two threads missing the same cache key may both compute
+/// the simplification; the first insert wins and the duplicate work is
+/// discarded (benign, and only on the first query of a sweep). Simplified
+/// trajectories are handed to the filter by value (copied out under the
+/// lock), so cache entries are never mutated after insertion.
 class ConvoyEngine {
  public:
   explicit ConvoyEngine(TrajectoryDatabase db) : db_(std::move(db)) {}
@@ -60,11 +66,15 @@ class ConvoyEngine {
                                     Tick from, Tick to);
 
   /// Number of cached simplification sets (for tests / monitoring).
-  size_t CacheSize() const { return cache_.size(); }
+  size_t CacheSize() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+  }
 
  private:
   using CacheKey = std::pair<SimplifierKind, int64_t>;  // delta in micro-units
   TrajectoryDatabase db_;
+  mutable std::mutex cache_mu_;  ///< guards cache_ (see class comment)
   std::map<CacheKey, std::vector<SimplifiedTrajectory>> cache_;
 };
 

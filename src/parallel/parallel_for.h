@@ -1,0 +1,41 @@
+#ifndef CONVOY_PARALLEL_PARALLEL_FOR_H_
+#define CONVOY_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace convoy {
+
+/// Resolves a thread-count knob: 0 means "all hardware threads", any other
+/// value is taken literally.
+inline size_t ResolveThreadCount(size_t requested) {
+  return requested == 0 ? ThreadPool::HardwareThreads() : requested;
+}
+
+/// Maps [0, n) through `fn` on `pool` and returns the results in index
+/// order: slot i always holds fn(i), independent of which worker ran which
+/// chunk. A null pool, a single-thread pool, or a trivial range degenerates
+/// to a plain serial loop on the calling thread. The result type must be
+/// default-constructible and movable. Exceptions propagate per
+/// ThreadPool::ParallelFor.
+template <typename Fn>
+auto ParallelMap(ThreadPool* pool, size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  using Result = decltype(fn(size_t{0}));
+  std::vector<Result> results(n);
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  pool->ParallelFor(n, [&results, &fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) results[i] = fn(i);
+  });
+  return results;
+}
+
+}  // namespace convoy
+
+#endif  // CONVOY_PARALLEL_PARALLEL_FOR_H_

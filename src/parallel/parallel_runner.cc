@@ -1,0 +1,100 @@
+#include "parallel/parallel_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/candidate.h"
+#include "parallel/parallel_for.h"
+#include "util/stopwatch.h"
+
+namespace convoy {
+
+std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
+                                     const ConvoyQuery& query, Tick begin_tick,
+                                     Tick end_tick, const CmcOptions& options,
+                                     DiscoveryStats* stats,
+                                     size_t num_threads) {
+  const size_t threads = ResolveWorkerThreads(num_threads, query);
+  if (threads <= 1 || begin_tick > end_tick) {
+    return CmcRange(db, query, begin_tick, end_tick, options, stats);
+  }
+
+  Stopwatch total;
+  ThreadPool pool(threads);
+  CandidateTracker tracker(query.m, query.k);
+  std::vector<Candidate> completed;
+
+  struct TickClusters {
+    std::vector<std::vector<ObjectId>> clusters;
+    bool clustered = false;
+  };
+
+  // Cluster snapshots in blocks: within a block every tick is clustered
+  // concurrently, then the tracker advances sequentially in tick order —
+  // that sequential pass is what makes the output bit-identical to serial
+  // CMC. Blocks bound peak memory to O(block * clusters-per-tick) instead
+  // of the whole time domain.
+  const size_t total_ticks =
+      static_cast<size_t>(end_tick - begin_tick) + 1;
+  const size_t block = std::max<size_t>(threads * 16, 256);
+  size_t num_clusterings = 0;
+  for (size_t block_begin = 0; block_begin < total_ticks;
+       block_begin += block) {
+    const size_t block_size = std::min(block, total_ticks - block_begin);
+    std::vector<TickClusters> per_tick =
+        ParallelMap(&pool, block_size, [&](size_t i) {
+          const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
+          TickClusters out;
+          out.clusters = SnapshotClusters(db, t, query, &out.clustered);
+          return out;
+        });
+    for (size_t i = 0; i < block_size; ++i) {
+      const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
+      if (per_tick[i].clustered) ++num_clusterings;
+      tracker.Advance(per_tick[i].clusters, t, t, /*step_weight=*/1,
+                      &completed);
+    }
+  }
+  tracker.Flush(&completed);
+
+  std::vector<Convoy> result = FinalizeCmcResult(completed, options);
+
+  if (stats != nullptr) {
+    stats->num_clusterings += num_clusterings;
+    stats->total_seconds += total.ElapsedSeconds();
+    stats->num_convoys = result.size();
+  }
+  return result;
+}
+
+std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
+                                const ConvoyQuery& query,
+                                const CmcOptions& options,
+                                DiscoveryStats* stats, size_t num_threads) {
+  if (db.Empty()) return {};
+  return ParallelCmcRange(db, query, db.BeginTick(), db.EndTick(), options,
+                          stats, num_threads);
+}
+
+CutsFilterResult ParallelCutsFilter(const TrajectoryDatabase& db,
+                                    const ConvoyQuery& query,
+                                    CutsFilterOptions options,
+                                    DiscoveryStats* stats,
+                                    size_t num_threads) {
+  options.num_threads = ResolveWorkerThreads(
+      num_threads > 0 ? num_threads : options.num_threads, query);
+  return CutsFilter(db, query, options, stats);
+}
+
+std::vector<Convoy> ParallelCuts(const TrajectoryDatabase& db,
+                                 const ConvoyQuery& query, CutsVariant variant,
+                                 CutsFilterOptions options,
+                                 DiscoveryStats* stats, size_t num_threads) {
+  const size_t threads = ResolveWorkerThreads(
+      num_threads > 0 ? num_threads : options.num_threads, query);
+  options.num_threads = threads;
+  if (options.refine_threads == 0) options.refine_threads = threads;
+  return Cuts(db, query, variant, options, stats);
+}
+
+}  // namespace convoy

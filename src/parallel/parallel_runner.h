@@ -1,0 +1,65 @@
+#ifndef CONVOY_PARALLEL_PARALLEL_RUNNER_H_
+#define CONVOY_PARALLEL_PARALLEL_RUNNER_H_
+
+#include <vector>
+
+#include "core/cmc.h"
+#include "core/cuts.h"
+#include "core/cuts_filter.h"
+#include "core/discovery_stats.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Parallel convoy-discovery runners. Every function here produces results
+/// identical to its serial counterpart for every thread count (enforced by
+/// tests/parallel_equivalence_test.cc): parallelism is confined to the
+/// embarrassingly parallel phases — per-snapshot DBSCAN for CMC,
+/// per-partition TRAJ-DBSCAN and per-candidate refinement for CuTS — while
+/// the order-sensitive candidate extension stays sequential over
+/// deterministically ordered per-snapshot / per-partition results.
+///
+/// Thread-count resolution everywhere: an explicit `num_threads` argument
+/// wins; 0 falls back to query.num_threads; a final 0 means "all hardware
+/// threads"; 1 runs the plain serial code path.
+
+/// Snapshot-parallel CMC (paper Algorithm 1): the per-tick snapshots are
+/// interpolated and clustered concurrently in blocks, then candidates are
+/// extended sequentially over the tick-ordered cluster lists, so the output
+/// is bit-identical to Cmc().
+std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
+                                const ConvoyQuery& query,
+                                const CmcOptions& options = {},
+                                DiscoveryStats* stats = nullptr,
+                                size_t num_threads = 0);
+
+/// Range-restricted variant, mirroring CmcRange().
+std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
+                                     const ConvoyQuery& query, Tick begin_tick,
+                                     Tick end_tick,
+                                     const CmcOptions& options = {},
+                                     DiscoveryStats* stats = nullptr,
+                                     size_t num_threads = 0);
+
+/// Partition-parallel CuTS filter (paper Algorithm 2): simplification and
+/// the per-partition polyline clustering run concurrently in balanced
+/// chunks; candidate tracking stays sequential in partition order, so the
+/// candidate list comes out exactly as CutsFilter() emits it.
+CutsFilterResult ParallelCutsFilter(const TrajectoryDatabase& db,
+                                    const ConvoyQuery& query,
+                                    CutsFilterOptions options,
+                                    DiscoveryStats* stats = nullptr,
+                                    size_t num_threads = 0);
+
+/// End-to-end parallel CuTS: ParallelCutsFilter plus multi-threaded
+/// refinement. Identical results to Cuts() on every input.
+std::vector<Convoy> ParallelCuts(const TrajectoryDatabase& db,
+                                 const ConvoyQuery& query,
+                                 CutsVariant variant = CutsVariant::kCutsStar,
+                                 CutsFilterOptions options = {},
+                                 DiscoveryStats* stats = nullptr,
+                                 size_t num_threads = 0);
+
+}  // namespace convoy
+
+#endif  // CONVOY_PARALLEL_PARALLEL_RUNNER_H_

@@ -1,5 +1,8 @@
 #include "simplify/simplifier.h"
 
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
 #include "simplify/douglas_peucker.h"
 #include "simplify/dp_plus.h"
 #include "simplify/dp_star.h"
@@ -40,6 +43,19 @@ std::vector<SimplifiedTrajectory> SimplifyDatabase(const TrajectoryDatabase& db,
     out.push_back(Simplify(traj, delta, kind));
   }
   return out;
+}
+
+std::vector<SimplifiedTrajectory> SimplifyDatabase(const TrajectoryDatabase& db,
+                                                   double delta,
+                                                   SimplifierKind kind,
+                                                   size_t num_threads) {
+  const size_t threads =
+      std::min(ResolveThreadCount(num_threads), db.Size());
+  if (threads <= 1) return SimplifyDatabase(db, delta, kind);
+  ThreadPool pool(threads);
+  return ParallelMap(&pool, db.Size(), [&](size_t i) {
+    return Simplify(db[i], delta, kind);
+  });
 }
 
 double VertexReductionPercent(const TrajectoryDatabase& db,

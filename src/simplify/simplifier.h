@@ -28,6 +28,14 @@ SimplifiedTrajectory Simplify(const Trajectory& traj, double delta,
 std::vector<SimplifiedTrajectory> SimplifyDatabase(
     const TrajectoryDatabase& db, double delta, SimplifierKind kind);
 
+/// SimplifyDatabase with the per-trajectory work spread over `num_threads`
+/// workers (0 = all hardware threads; <= 1 = the serial loop). Trajectories
+/// are independent and results come back index-ordered, so the output is
+/// identical to the serial overload.
+std::vector<SimplifiedTrajectory> SimplifyDatabase(
+    const TrajectoryDatabase& db, double delta, SimplifierKind kind,
+    size_t num_threads);
+
 /// Vertex reduction ratio in percent, 100 * (1 - |simplified| / |original|),
 /// aggregated over a whole database (paper Figure 15(a)'s y-axis).
 double VertexReductionPercent(const TrajectoryDatabase& db,

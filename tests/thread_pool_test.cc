@@ -1,0 +1,156 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace convoy {
+namespace {
+
+TEST(ThreadPoolTest, SpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::vector<int> out(1, 0);
+  pool.ParallelFor(1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = 7;
+  });
+  EXPECT_EQ(out[0], 7);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t begin, size_t) {
+                         if (begin == 0) {
+                           throw std::runtime_error("chunk failure");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ExceptionFromEveryChunkStillRethrowsOne) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t, size_t) { throw std::logic_error("all"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(8, [&](size_t begin, size_t end) {
+    for (size_t outer = begin; outer < end; ++outer) {
+      // Re-entrant use of the same pool: must run inline on this worker
+      // (or the caller) rather than deadlocking the fixed-size pool.
+      pool.ParallelFor(8, [&, outer](size_t b, size_t e) {
+        for (size_t inner = b; inner < e; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_ran{0};
+  std::future<void> inner;
+  pool.Submit([&] { inner = pool.Submit([&] { inner_ran.fetch_add(1); }); })
+      .wait();
+  inner.wait();
+  EXPECT_EQ(inner_ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task failure"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.OnWorkerThread());
+  bool a_sees_a = false;
+  bool a_sees_b = true;
+  a.Submit([&] {
+     a_sees_a = a.OnWorkerThread();
+     a_sees_b = b.OnWorkerThread();
+   }).wait();
+  EXPECT_TRUE(a_sees_a);
+  EXPECT_FALSE(a_sees_b);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto squares =
+      ParallelMap(&pool, 257, [](size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPoolTest, ParallelMapNullPoolRunsSerially) {
+  const auto doubled =
+      ParallelMap(nullptr, 10, [](size_t i) { return 2 * i; });
+  ASSERT_EQ(doubled.size(), 10u);
+  for (size_t i = 0; i < doubled.size(); ++i) EXPECT_EQ(doubled[i], 2 * i);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(8), 8u);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsStress) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 136u);  // 0 + 1 + ... + 16
+  }
+}
+
+}  // namespace
+}  // namespace convoy

@@ -46,8 +46,9 @@ void PrintUsage() {
       "Discover convoys in a CSV file:\n"
       "  convoy_cli --input data.csv --m 3 --k 180 --e 8.0\n"
       "             [--algo cmc|cuts|cuts+|cuts*|mc2] [--delta D]\n"
-      "             [--lambda L] [--theta T] [--stats] [--verify]\n"
-      "             [--rtree] [--exact-refine] [--results out.csv|out.json]\n"
+      "             [--lambda L] [--theta T] [--threads N] [--stats]\n"
+      "             [--verify] [--rtree] [--exact-refine]\n"
+      "             [--results out.csv|out.json]\n"
       "             [--clean-max-speed V] [--clean-max-gap G]\n"
       "             [--clean-stationary]\n\n"
       "Generate a synthetic dataset:\n"
@@ -87,6 +88,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->lambda = std::strtoll(value, nullptr, 10);
     } else if (arg == "--theta" && (value = next())) {
       *theta = std::strtod(value, nullptr);
+    } else if (arg == "--threads" && (value = next())) {
+      // Worker threads for every parallelizable phase (0 = all hardware
+      // threads). Results are identical for any value.
+      opts->query.num_threads =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
     } else if (arg == "--scale" && (value = next())) {
       opts->scale = std::strtod(value, nullptr);
     } else if (arg == "--seed" && (value = next())) {
@@ -198,7 +204,7 @@ int main(int argc, char** argv) {
   }
 
   if (opts.algo == "cmc") {
-    result = convoy::Cmc(db, opts.query, {}, &stats);
+    result = convoy::ParallelCmc(db, opts.query, {}, &stats);
   } else if (opts.algo == "cuts") {
     result = convoy::Cuts(db, opts.query, convoy::CutsVariant::kCuts,
                           filter_options, &stats);

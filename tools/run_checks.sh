@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a threading determinism smoke — the sequence a CI
+# step should run on every push.
+#
+#   tools/run_checks.sh [build-dir]
+#
+# 1. configure + build + ctest (the repo's tier-1 verify command);
+# 2. generate a small synthetic dataset with convoy_cli;
+# 3. run CuTS* and CMC discovery with 1 and 2 worker threads and require
+#    byte-identical results (the parallel subsystem's core guarantee).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== threading determinism smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+CLI="${BUILD_DIR}/convoy_cli"
+
+"${CLI}" --generate carlike --scale 0.1 --seed 99 \
+         --output "${SMOKE_DIR}/data.csv" > /dev/null
+
+for algo in "cuts*" cmc; do
+  "${CLI}" --input "${SMOKE_DIR}/data.csv" --m 3 --k 60 --e 8.0 \
+           --algo "${algo}" --threads 1 --results "${SMOKE_DIR}/t1.csv" \
+           > /dev/null
+  "${CLI}" --input "${SMOKE_DIR}/data.csv" --m 3 --k 60 --e 8.0 \
+           --algo "${algo}" --threads 2 --results "${SMOKE_DIR}/t2.csv" \
+           > /dev/null
+  if ! diff -q "${SMOKE_DIR}/t1.csv" "${SMOKE_DIR}/t2.csv" > /dev/null; then
+    echo "FAIL: ${algo} results differ between --threads 1 and --threads 2"
+    exit 1
+  fi
+  echo "ok: ${algo} identical for --threads 1 and --threads 2"
+done
+
+echo "== all checks passed =="
