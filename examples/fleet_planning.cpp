@@ -26,6 +26,11 @@ int main(int argc, char** argv) {
   std::cout << "\nquery: m=" << query.m << " k=" << query.k
             << " e=" << query.e << "\n\n";
 
+  // The engine caches simplifications across the variant sweep, and its
+  // validating TryDiscover entry point rejects an out-of-contract query
+  // (say, planner input with e = 0) up front instead of computing garbage.
+  convoy::ConvoyEngine engine(data.db);
+
   // Run every variant; they must agree, and the stats show the trade-offs
   // the paper's Section 7.3 discusses.
   std::vector<convoy::Convoy> result;
@@ -38,7 +43,13 @@ int main(int argc, char** argv) {
        {convoy::CutsVariant::kCuts, convoy::CutsVariant::kCutsPlus,
         convoy::CutsVariant::kCutsStar}) {
     convoy::DiscoveryStats stats;
-    result = convoy::Cuts(data.db, query, variant, {}, &stats);
+    convoy::StatusOr<std::vector<convoy::Convoy>> discovered =
+        engine.TryDiscover(query, variant, {}, &stats);
+    if (!discovered.ok()) {
+      std::cerr << "query rejected: " << discovered.status() << "\n";
+      return 1;
+    }
+    result = *std::move(discovered);
     std::cout << std::left << std::setw(8) << convoy::ToString(variant)
               << std::right << std::fixed << std::setprecision(1)
               << std::setw(12) << stats.total_seconds * 1e3 << std::setw(12)

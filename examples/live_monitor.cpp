@@ -32,23 +32,30 @@ int main(int argc, char** argv) {
   size_t reports = 0;
   convoy::Stopwatch watch;
   for (convoy::Tick t = data.db.BeginTick(); t <= data.db.EndTick(); ++t) {
-    stream.BeginTick(t);
+    // A real feed can replay or reorder ticks; the stream rejects those
+    // with a recoverable Status instead of corrupting its candidates, so a
+    // dispatch center just logs and keeps serving.
+    if (const convoy::Status s = stream.BeginTick(t); !s.ok()) {
+      std::cerr << "dropping tick " << t << ": " << s << "\n";
+      continue;
+    }
     for (const convoy::Trajectory& taxi : data.db.trajectories()) {
       // Only actual transmissions reach the center (no interpolation —
       // carry-forward covers short silences).
       const auto pos = taxi.LocationAt(t);
       if (pos.has_value()) {
-        stream.Report(taxi.id(), *pos);
-        ++reports;
+        // A garbage transponder report (e.g. NaN coordinates) is dropped
+        // by Report; the rest of the snapshot is unaffected.
+        if (stream.Report(taxi.id(), *pos).ok()) ++reports;
       }
     }
-    for (const convoy::Convoy& c : stream.EndTick()) {
+    for (const convoy::Convoy& c : stream.EndTick().value()) {
       ++alerts;
       std::cout << "[tick " << std::setw(4) << t << "] convoy closed: "
                 << convoy::ToString(c) << "\n";
     }
   }
-  for (const convoy::Convoy& c : stream.Finish()) {
+  for (const convoy::Convoy& c : stream.Finish().value()) {
     ++alerts;
     std::cout << "[end of stream] convoy still active: "
               << convoy::ToString(c) << "\n";

@@ -1,6 +1,6 @@
 #include "cluster/grid_index.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
 
 namespace convoy {
@@ -17,7 +17,10 @@ uint64_t PackCell(int32_t cx, int32_t cy) {
 
 GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
     : points_(points), cell_size_(cell_size) {
-  assert(cell_size_ > 0.0);
+  // Degenerate cell sizes (eps = 0 queries, corrupted options) fall back to
+  // a unit grid: correctness only needs *some* positive cell side, since
+  // WithinRadiusInto widens its scan to cover any radius.
+  if (!std::isfinite(cell_size_) || cell_size_ <= 0.0) cell_size_ = 1.0;
   cells_.reserve(points_.size());
   for (size_t i = 0; i < points_.size(); ++i) {
     cells_[KeyFor(points_[i].x, points_[i].y)].push_back(
@@ -25,10 +28,20 @@ GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
   }
 }
 
+int32_t GridIndex::CellCoord(double v) const {
+  const double c = std::floor(v / cell_size_);
+  // Saturate instead of invoking the UB float->int cast on out-of-range or
+  // NaN values: coordinates this far out (beyond ~2^31 cells) all collapse
+  // onto the boundary cell together with any probe near them, so queries
+  // remain exhaustive; NaN deterministically saturates low and is then
+  // rejected by the distance test (NaN compares false).
+  if (!(c >= static_cast<double>(INT32_MIN))) return INT32_MIN;
+  if (c >= static_cast<double>(INT32_MAX)) return INT32_MAX;
+  return static_cast<int32_t>(c);
+}
+
 GridIndex::CellKey GridIndex::KeyFor(double x, double y) const {
-  const int32_t cx = static_cast<int32_t>(std::floor(x / cell_size_));
-  const int32_t cy = static_cast<int32_t>(std::floor(y / cell_size_));
-  return PackCell(cx, cy);
+  return PackCell(CellCoord(x), CellCoord(y));
 }
 
 std::vector<size_t> GridIndex::WithinRadius(const Point& probe,
@@ -40,14 +53,32 @@ std::vector<size_t> GridIndex::WithinRadius(const Point& probe,
 
 void GridIndex::WithinRadiusInto(const Point& probe, double radius,
                                  std::vector<size_t>* out) const {
-  assert(radius <= cell_size_ + 1e-12);
   out->clear();
+  if (cells_.empty() || !(radius >= 0.0)) return;  // NaN/negative: no hits
   const double r2 = radius * radius;
-  const int32_t cx = static_cast<int32_t>(std::floor(probe.x / cell_size_));
-  const int32_t cy = static_cast<int32_t>(std::floor(probe.y / cell_size_));
-  for (int32_t dx = -1; dx <= 1; ++dx) {
-    for (int32_t dy = -1; dy <= 1; ++dy) {
-      const auto it = cells_.find(PackCell(cx + dx, cy + dy));
+  // Reach 1 (the 3x3 block) covers radius <= cell_size; larger radii scan
+  // proportionally more rings so the result stays exhaustive for every
+  // radius. When the block would visit at least as many keys as the grid
+  // has occupied cells (huge radii — e.g. "group everything" queries with
+  // e = 1e9 — or tiny grids), scanning the occupied cells directly is both
+  // cheaper and trivially exhaustive.
+  const double rings = std::max(1.0, std::ceil(radius / cell_size_));
+  const double block_cells = (2.0 * rings + 1.0) * (2.0 * rings + 1.0);
+  if (!(block_cells < static_cast<double>(cells_.size()))) {
+    for (const auto& [key, bucket] : cells_) {
+      for (const uint32_t idx : bucket) {
+        if (D2(points_[idx], probe) <= r2) out->push_back(idx);
+      }
+    }
+    return;
+  }
+  const int64_t reach = static_cast<int64_t>(rings);
+  const int32_t cx = CellCoord(probe.x);
+  const int32_t cy = CellCoord(probe.y);
+  for (int64_t dx = -reach; dx <= reach; ++dx) {
+    for (int64_t dy = -reach; dy <= reach; ++dy) {
+      const auto it = cells_.find(PackCell(static_cast<int32_t>(cx + dx),
+                                           static_cast<int32_t>(cy + dy)));
       if (it == cells_.end()) continue;
       for (const uint32_t idx : it->second) {
         if (D2(points_[idx], probe) <= r2) out->push_back(idx);

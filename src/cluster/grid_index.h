@@ -19,12 +19,18 @@ namespace convoy {
 /// build cost matters as much as query cost.
 class GridIndex {
  public:
-  /// Builds the index over `points` with cell side `cell_size` (> 0).
+  /// Builds the index over `points` with cell side `cell_size`. A
+  /// non-positive or non-finite `cell_size` (e.g. a DBSCAN eps of 0, which
+  /// "exact coincidence" queries legitimately use) falls back to a unit
+  /// cell — queries stay exhaustive, only their cost changes.
   GridIndex(const std::vector<Point>& points, double cell_size);
 
   /// Returns the indices of all points within distance `radius` of `probe`
-  /// (inclusive). `radius` must be <= cell_size for the 3x3 scan to be
-  /// exhaustive; this is asserted in debug builds.
+  /// (inclusive). Radii up to cell_size scan the 3x3 block around the
+  /// probe; larger radii automatically widen to the multi-ring block of
+  /// ceil(radius / cell_size) cells, so the result is exhaustive for every
+  /// radius — a radius > cell_size costs more, it is never silently
+  /// incomplete.
   std::vector<size_t> WithinRadius(const Point& probe, double radius) const;
 
   /// Appends the result of WithinRadius to `out` (no allocation churn in
@@ -37,6 +43,7 @@ class GridIndex {
  private:
   using CellKey = uint64_t;
   CellKey KeyFor(double x, double y) const;
+  int32_t CellCoord(double v) const;
 
   std::vector<Point> points_;
   double cell_size_;

@@ -35,6 +35,7 @@
 #include "core/mc2.h"
 #include "core/params.h"
 #include "core/streaming.h"
+#include "core/validate.h"
 #include "core/verify.h"
 #include "datagen/convoy_planter.h"
 #include "datagen/movement.h"
@@ -61,6 +62,7 @@
 #include "traj/trajectory.h"
 #include "util/random.h"
 #include "util/stats.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 
 #endif  // CONVOY_CONVOY_H_

@@ -6,6 +6,7 @@
 #include "core/cmc.h"
 #include "core/cuts_refine.h"
 #include "core/params.h"
+#include "core/validate.h"
 #include "parallel/parallel_runner.h"
 #include "util/stopwatch.h"
 
@@ -61,6 +62,22 @@ std::vector<Convoy> ConvoyEngine::DiscoverExact(const ConvoyQuery& query,
   // ParallelCmc degenerates to the serial CMC loop for num_threads == 1 and
   // is result-identical for every other value.
   return ParallelCmc(db_, query, {}, stats);
+}
+
+StatusOr<std::vector<Convoy>> ConvoyEngine::TryDiscover(
+    const ConvoyQuery& query, CutsVariant variant, CutsFilterOptions options,
+    DiscoveryStats* stats) {
+  CONVOY_RETURN_IF_ERROR(ValidateQuery(query).WithContext("TryDiscover"));
+  CONVOY_RETURN_IF_ERROR(
+      ValidateFilterOptions(options).WithContext("TryDiscover"));
+  return Discover(query, variant, options, stats);
+}
+
+StatusOr<std::vector<Convoy>> ConvoyEngine::TryDiscoverExact(
+    const ConvoyQuery& query, DiscoveryStats* stats) const {
+  CONVOY_RETURN_IF_ERROR(
+      ValidateQuery(query).WithContext("TryDiscoverExact"));
+  return DiscoverExact(query, stats);
 }
 
 std::optional<Convoy> ConvoyEngine::LongestConvoy(

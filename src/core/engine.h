@@ -12,6 +12,7 @@
 #include "core/discovery_stats.h"
 #include "simplify/simplifier.h"
 #include "traj/database.h"
+#include "util/status.h"
 
 namespace convoy {
 
@@ -43,6 +44,10 @@ class ConvoyEngine {
   /// when the (simplifier, delta) pair repeats. A non-positive
   /// options.delta is resolved once per query.e via ComputeDelta and then
   /// cached the same way.
+  ///
+  /// Like the free functions, this trusts its inputs (degenerate queries
+  /// get their degenerate-but-defined answers). Servers handling untrusted
+  /// query parameters should call TryDiscover, which validates first.
   std::vector<Convoy> Discover(const ConvoyQuery& query,
                                CutsVariant variant = CutsVariant::kCutsStar,
                                CutsFilterOptions options = {},
@@ -51,6 +56,20 @@ class ConvoyEngine {
   /// Runs the exact CMC baseline (no caching to exploit).
   std::vector<Convoy> DiscoverExact(const ConvoyQuery& query,
                                     DiscoveryStats* stats = nullptr) const;
+
+  /// Validating form of Discover: rejects out-of-contract queries and
+  /// filter options (ValidateQuery / ValidateFilterOptions — m < 2, k < 1,
+  /// non-positive or non-finite e, NaN delta, ...) with a descriptive
+  /// kInvalidArgument Status instead of computing a garbage answer. This is
+  /// the entry point for untrusted parameters (HTTP handlers, CLIs);
+  /// enforced in every build type, including NDEBUG.
+  StatusOr<std::vector<Convoy>> TryDiscover(
+      const ConvoyQuery& query, CutsVariant variant = CutsVariant::kCutsStar,
+      CutsFilterOptions options = {}, DiscoveryStats* stats = nullptr);
+
+  /// Validating form of DiscoverExact.
+  StatusOr<std::vector<Convoy>> TryDiscoverExact(
+      const ConvoyQuery& query, DiscoveryStats* stats = nullptr) const;
 
   /// The convoy with the longest lifetime in `result` (ties: more objects,
   /// then canonical order). nullopt for an empty result.

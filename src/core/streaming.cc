@@ -1,17 +1,34 @@
 #include "core/streaming.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "core/validate.h"
 
 namespace convoy {
 
 StreamingCmc::StreamingCmc(const ConvoyQuery& query, const Options& options)
-    : query_(query), options_(options), tracker_(query.m, query.k) {}
+    : query_(query),
+      options_(options),
+      query_status_(ValidateQuery(query)),
+      tracker_(query.m, query.k) {}
 
-void StreamingCmc::BeginTick(Tick t) {
-  assert(!current_tick_.has_value() && "EndTick() missing");
-  assert((!last_processed_.has_value() || t > *last_processed_) &&
-         "ticks must increase");
+Status StreamingCmc::BeginTick(Tick t) {
+  if (!query_status_.ok()) {
+    return query_status_.WithContext("StreamingCmc has an invalid query");
+  }
+  if (current_tick_.has_value()) {
+    return Status::FailedPrecondition(
+        "BeginTick(" + std::to_string(t) + ") while tick " +
+        std::to_string(*current_tick_) + " is still open (EndTick() missing)");
+  }
+  if (last_processed_.has_value() && t <= *last_processed_) {
+    return Status::InvalidArgument(
+        "BeginTick(" + std::to_string(t) + ") is not after the last " +
+        "processed tick " + std::to_string(*last_processed_) +
+        "; ticks must be fed in strictly increasing order");
+  }
   // Process skipped ticks as empty snapshots so that candidate lifetimes
   // remain strictly consecutive.
   if (last_processed_.has_value()) {
@@ -19,19 +36,34 @@ void StreamingCmc::BeginTick(Tick t) {
   }
   current_tick_ = t;
   snapshot_.clear();
+  return Status::Ok();
 }
 
-void StreamingCmc::Report(ObjectId id, const Point& position) {
-  assert(current_tick_.has_value() && "BeginTick() missing");
+Status StreamingCmc::Report(ObjectId id, const Point& position) {
+  if (!current_tick_.has_value()) {
+    return Status::FailedPrecondition(
+        "Report(" + std::to_string(id) + ") outside a tick "
+        "(BeginTick() missing)");
+  }
+  if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
+    return Status::InvalidArgument(
+        "Report(" + std::to_string(id) + ") at tick " +
+        std::to_string(*current_tick_) + ": non-finite position (" +
+        std::to_string(position.x) + ", " + std::to_string(position.y) + ")");
+  }
   snapshot_[id] = position;
+  return Status::Ok();
 }
 
 void StreamingCmc::AdvanceEmpty(Tick t) {
   tracker_.Advance({}, t, t, /*step_weight=*/1, &completed_);
 }
 
-std::vector<Convoy> StreamingCmc::EndTick() {
-  assert(current_tick_.has_value() && "BeginTick() missing");
+StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
+  if (!current_tick_.has_value()) {
+    return Status::FailedPrecondition(
+        "EndTick() outside a tick (BeginTick() missing)");
+  }
   const Tick t = *current_tick_;
 
   // Carry forward recently seen objects that stayed silent this tick.
@@ -73,8 +105,12 @@ std::vector<Convoy> StreamingCmc::EndTick() {
   return DrainCompleted();
 }
 
-std::vector<Convoy> StreamingCmc::Finish() {
-  assert(!current_tick_.has_value() && "EndTick() missing");
+StatusOr<std::vector<Convoy>> StreamingCmc::Finish() {
+  if (current_tick_.has_value()) {
+    return Status::FailedPrecondition(
+        "Finish() while tick " + std::to_string(*current_tick_) +
+        " is still open (EndTick() missing)");
+  }
   tracker_.Flush(&completed_);
   last_seen_.clear();
   return DrainCompleted();

@@ -9,6 +9,7 @@
 #include "core/candidate.h"
 #include "core/convoy_set.h"
 #include "traj/trajectory.h"
+#include "util/status.h"
 
 namespace convoy {
 
@@ -22,6 +23,13 @@ namespace convoy {
 /// points for missing samples — its output equals batch CMC's
 /// (property-tested in streaming_test.cc).
 ///
+/// Live feeds are messy, so every protocol violation is a *recoverable
+/// error*, not an assert: out-of-order or duplicate ticks, reports outside
+/// a tick, and invalid queries return a non-OK Status (enforced in every
+/// build type, including NDEBUG ones) and leave the stream's state exactly
+/// as it was — the caller can drop the offending input and continue the
+/// stream. See README "Error handling" for the conventions.
+///
 /// Unlike batch CMC it cannot interpolate a gap it has not seen yet; the
 /// caller decides how to handle missing reports:
 ///  * feed every live object's position each tick (e.g. from a tracker
@@ -33,11 +41,13 @@ namespace convoy {
 ///
 ///   StreamingCmc stream(query);
 ///   for (Tick t = ...; ...; ++t) {
-///     stream.BeginTick(t);
-///     for (auto& [id, pos] : live_positions) stream.Report(id, pos);
-///     for (const Convoy& c : stream.EndTick()) alert(c);
+///     if (!stream.BeginTick(t).ok()) continue;  // e.g. replayed tick
+///     for (auto& [id, pos] : live_positions) {
+///       stream.Report(id, pos).IgnoreError();   // or log it
+///     }
+///     for (const Convoy& c : stream.EndTick().value()) alert(c);
 ///   }
-///   for (const Convoy& c : stream.Finish()) alert(c);
+///   for (const Convoy& c : stream.Finish().value()) alert(c);
 class StreamingCmc {
  public:
   struct Options {
@@ -58,18 +68,28 @@ class StreamingCmc {
   /// Starts tick `t`. Ticks must be fed in strictly increasing order;
   /// skipped ticks are processed as empty snapshots (every candidate's
   /// consecutiveness breaks there, as the definition requires).
-  void BeginTick(Tick t);
+  ///
+  /// Errors (state unchanged): kInvalidArgument when `t` is not greater
+  /// than the last processed tick or the query failed ValidateQuery;
+  /// kFailedPrecondition when the previous tick is still open.
+  Status BeginTick(Tick t);
 
   /// Reports the position of `id` at the current tick. At most one report
   /// per object per tick; the last one wins.
-  void Report(ObjectId id, const Point& position);
+  ///
+  /// Errors (report dropped): kFailedPrecondition when no tick is open;
+  /// kInvalidArgument for a non-finite position (NaN coordinates would
+  /// poison every DBSCAN distance comparison of the snapshot).
+  Status Report(ObjectId id, const Point& position);
 
   /// Finishes the current tick: clusters the snapshot, advances the
   /// candidate algebra, and returns every convoy that closed at this tick.
-  std::vector<Convoy> EndTick();
+  /// kFailedPrecondition when no tick is open.
+  StatusOr<std::vector<Convoy>> EndTick();
 
   /// Ends the stream and returns the convoys still alive (lifetime >= k).
-  std::vector<Convoy> Finish();
+  /// kFailedPrecondition while a tick is open (EndTick() missing).
+  StatusOr<std::vector<Convoy>> Finish();
 
   /// Number of convoy candidates currently alive.
   size_t LiveCandidates() const { return tracker_.LiveCount(); }
@@ -88,6 +108,7 @@ class StreamingCmc {
 
   ConvoyQuery query_;
   Options options_;
+  Status query_status_;  ///< ValidateQuery result, reported by BeginTick
   CandidateTracker tracker_;
   std::optional<Tick> current_tick_;
   std::optional<Tick> last_processed_;

@@ -1,0 +1,37 @@
+#include "core/validate.h"
+
+#include <cmath>
+#include <string>
+
+namespace convoy {
+
+Status ValidateQuery(const ConvoyQuery& query) {
+  if (query.m < 2) {
+    return Status::InvalidArgument(
+        "query.m = " + std::to_string(query.m) +
+        "; a convoy needs at least 2 objects (Definition 3)");
+  }
+  if (query.k < 1) {
+    return Status::InvalidArgument(
+        "query.k = " + std::to_string(query.k) +
+        "; the minimum lifetime must be at least 1 tick");
+  }
+  if (!std::isfinite(query.e) || query.e <= 0.0) {
+    return Status::InvalidArgument(
+        "query.e = " + std::to_string(query.e) +
+        "; the density range must be a finite positive distance");
+  }
+  return Status::Ok();
+}
+
+Status ValidateFilterOptions(const CutsFilterOptions& options) {
+  if (std::isnan(options.delta) || std::isinf(options.delta)) {
+    return Status::InvalidArgument(
+        "options.delta = " + std::to_string(options.delta) +
+        "; the simplification tolerance must be finite (<= 0 means "
+        "derive it with ComputeDelta)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace convoy

@@ -1,6 +1,7 @@
 #include "io/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -53,6 +54,14 @@ std::string_view Trim(std::string_view s) {
   return s;
 }
 
+void Reject(CsvLoadResult* result, size_t line_number, std::string reason) {
+  ++result->lines_skipped;
+  if (result->diagnostics.size() < CsvLoadResult::kMaxDiagnostics) {
+    result->diagnostics.push_back(
+        CsvLineDiagnostic{line_number, std::move(reason)});
+  }
+}
+
 }  // namespace
 
 CsvLoadResult LoadTrajectoriesCsv(std::istream& in) {
@@ -60,8 +69,10 @@ CsvLoadResult LoadTrajectoriesCsv(std::istream& in) {
   std::map<ObjectId, std::vector<TimedPoint>> rows;
 
   std::string line;
+  size_t line_number = 0;
   bool first_line = true;
   while (std::getline(in, line)) {
+    ++line_number;
     std::string_view view = Trim(line);
     if (view.empty()) continue;
     std::string_view fields[4];
@@ -71,16 +82,32 @@ CsvLoadResult LoadTrajectoriesCsv(std::istream& in) {
         first_line = false;  // header
         continue;
       }
-      ++result.lines_skipped;
+      Reject(&result, line_number,
+             "expected `object_id,tick,x,y` with a numeric object_id");
       continue;
     }
     first_line = false;
     int64_t tick = 0;
     double x = 0.0;
     double y = 0.0;
-    if (id < 0 || !ParseInt(Trim(fields[1]), &tick) ||
-        !ParseDouble(Trim(fields[2]), &x) || !ParseDouble(Trim(fields[3]), &y)) {
-      ++result.lines_skipped;
+    if (id < 0) {
+      Reject(&result, line_number, "negative object_id");
+      continue;
+    }
+    if (!ParseInt(Trim(fields[1]), &tick)) {
+      Reject(&result, line_number, "unparsable tick");
+      continue;
+    }
+    if (!ParseDouble(Trim(fields[2]), &x) ||
+        !ParseDouble(Trim(fields[3]), &y)) {
+      Reject(&result, line_number, "unparsable coordinate");
+      continue;
+    }
+    // from_chars happily parses "nan" and "inf"; a single NaN coordinate
+    // poisons every distance comparison DBSCAN makes downstream, so
+    // non-finite rows are data errors, not data.
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      Reject(&result, line_number, "non-finite coordinate");
       continue;
     }
     rows[static_cast<ObjectId>(id)].emplace_back(x, y, tick);
@@ -88,7 +115,13 @@ CsvLoadResult LoadTrajectoriesCsv(std::istream& in) {
   }
 
   for (auto& [id, samples] : rows) {
-    result.db.Add(Trajectory(id, std::move(samples)));
+    // Trajectory's constructor collapses repeated (id, tick) rows to their
+    // last occurrence; the size difference makes the collapse *counted*
+    // and reportable instead of silent.
+    const size_t raw_samples = samples.size();
+    Trajectory traj(id, std::move(samples));
+    result.duplicates_collapsed += raw_samples - traj.Size();
+    result.db.Add(std::move(traj));
   }
   result.ok = true;
   return result;

@@ -6,17 +6,24 @@ namespace convoy {
 
 Trajectory::Trajectory(ObjectId id, std::vector<TimedPoint> samples)
     : id_(id), samples_(std::move(samples)) {
+  CollapseDuplicateTicks(&samples_);
+}
+
+size_t Trajectory::CollapseDuplicateTicks(std::vector<TimedPoint>* samples) {
   std::stable_sort(
-      samples_.begin(), samples_.end(),
+      samples->begin(), samples->end(),
       [](const TimedPoint& a, const TimedPoint& b) { return a.t < b.t; });
   // Collapse duplicate ticks, keeping the last reported location.
-  auto out = samples_.begin();
-  for (auto it = samples_.begin(); it != samples_.end(); ++it) {
+  auto out = samples->begin();
+  for (auto it = samples->begin(); it != samples->end(); ++it) {
     auto next = std::next(it);
-    if (next != samples_.end() && next->t == it->t) continue;
+    if (next != samples->end() && next->t == it->t) continue;
     *out++ = *it;
   }
-  samples_.erase(out, samples_.end());
+  const size_t collapsed =
+      static_cast<size_t>(std::distance(out, samples->end()));
+  samples->erase(out, samples->end());
+  return collapsed;
 }
 
 bool Trajectory::Append(const TimedPoint& p) {

@@ -30,6 +30,13 @@ class Trajectory {
   /// duplicate ticks collapse to the last occurrence.
   Trajectory(ObjectId id, std::vector<TimedPoint> samples);
 
+  /// Sorts `samples` by tick (stably) and collapses duplicate ticks to
+  /// their last occurrence — the canonicalization the constructor applies.
+  /// Returns the number of samples collapsed away. (Loaders that need to
+  /// report the count can also construct and compare sizes; see
+  /// CsvLoadResult::duplicates_collapsed.)
+  static size_t CollapseDuplicateTicks(std::vector<TimedPoint>* samples);
+
   /// Appends a sample. Ticks must be strictly increasing; out-of-order
   /// appends are rejected (returns false) to keep the invariant cheap.
   bool Append(const TimedPoint& p);

@@ -1,0 +1,64 @@
+#include "util/status.h"
+
+#include <cstdio>
+
+namespace convoy {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kDataError:
+      return "DATA_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+Status Status::WithContext(std::string_view context) const& {
+  if (ok()) return *this;
+  std::string message(context);
+  message += ": ";
+  message += message_;
+  return Status(code_, std::move(message));
+}
+
+Status Status::WithContext(std::string_view context) && {
+  if (ok()) return std::move(*this);
+  message_.insert(0, ": ");
+  message_.insert(0, context);
+  return std::move(*this);
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void DieOnBadAccess(const Status& status, const char* what) {
+  std::fprintf(stderr, "fatal: %s on error status [%s]\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+
+}  // namespace convoy

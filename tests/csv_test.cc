@@ -62,6 +62,63 @@ TEST(CsvTest, NegativeIdSkipped) {
   EXPECT_EQ(result.lines_skipped, 1u);
 }
 
+TEST(CsvTest, NonFiniteCoordinatesRejected) {
+  // std::from_chars happily parses "nan"/"inf"; the loader must not let
+  // them through — one NaN poisons every DBSCAN distance comparison.
+  std::istringstream in(
+      "0,0,1,1\n"
+      "0,1,nan,1\n"
+      "0,2,1,inf\n"
+      "0,3,-inf,1\n"
+      "0,4,2,2\n");
+  const CsvLoadResult result = LoadTrajectoriesCsv(in);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.lines_parsed, 2u);
+  EXPECT_EQ(result.lines_skipped, 3u);
+  ASSERT_EQ(result.diagnostics.size(), 3u);
+  EXPECT_EQ(result.diagnostics[0].line_number, 2u);
+  EXPECT_EQ(result.diagnostics[0].reason, "non-finite coordinate");
+  ASSERT_EQ(result.db.Size(), 1u);
+  EXPECT_EQ(result.db[0].Size(), 2u);
+}
+
+TEST(CsvTest, DuplicateIdTickRowsCollapseToLastAndAreCounted) {
+  std::istringstream in(
+      "0,0,1,1\n"
+      "0,1,5,5\n"
+      "0,1,6,6\n"   // duplicate of (0,1)
+      "0,1,7,7\n"   // last occurrence of (0,1): this one wins
+      "1,3,9,9\n"
+      "1,3,8,8\n");
+  const CsvLoadResult result = LoadTrajectoriesCsv(in);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.lines_parsed, 6u);  // every row parsed fine...
+  EXPECT_EQ(result.duplicates_collapsed, 3u);  // ...three then collapsed
+  ASSERT_EQ(result.db.Size(), 2u);
+  ASSERT_EQ(result.db[0].Size(), 2u);
+  EXPECT_EQ(*result.db[0].LocationAt(1), Point(7, 7));
+  ASSERT_EQ(result.db[1].Size(), 1u);
+  EXPECT_EQ(*result.db[1].LocationAt(3), Point(8, 8));
+  // The resulting trajectories have strictly increasing ticks.
+  for (size_t i = 0; i < result.db.Size(); ++i) {
+    const auto& samples = result.db[i].samples();
+    for (size_t j = 1; j < samples.size(); ++j) {
+      EXPECT_LT(samples[j - 1].t, samples[j].t);
+    }
+  }
+}
+
+TEST(CsvTest, DiagnosticsAreCappedButCountsAreNot) {
+  std::ostringstream feed;
+  feed << "0,0,1,1\n";
+  for (int i = 0; i < 100; ++i) feed << "garbage line " << i << "\n";
+  std::istringstream in(feed.str());
+  const CsvLoadResult result = LoadTrajectoriesCsv(in);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.lines_skipped, 100u);
+  EXPECT_EQ(result.diagnostics.size(), CsvLoadResult::kMaxDiagnostics);
+}
+
 TEST(CsvTest, MissingFileReportsError) {
   const CsvLoadResult result =
       LoadTrajectoriesCsv("/nonexistent/path/data.csv");

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+#include <string>
+
 #include "convoy/convoy.h"
 #include "tests/test_util.h"
 
@@ -173,12 +177,83 @@ TEST(EdgeCaseTest, DisjointLifetimesNeverMeet) {
 
 TEST(EdgeCaseTest, StreamingSingleTick) {
   StreamingCmc stream(ConvoyQuery{2, 1, 1.0});
-  stream.BeginTick(0);
-  stream.Report(0, Point(0, 0));
-  stream.Report(1, Point(0, 0.5));
-  const auto closed = stream.EndTick();
-  const auto finished = stream.Finish();
+  ASSERT_TRUE(stream.BeginTick(0).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  const auto closed = stream.EndTick().value();
+  const auto finished = stream.Finish().value();
   EXPECT_EQ(closed.size() + finished.size(), 1u);
+}
+
+// ----------------------------------------------------------- bad input ----
+
+// Malformed-CSV fuzz table: every row is hostile in a different way. The
+// loader must never crash, never produce a non-finite coordinate, and must
+// account for every line as parsed, skipped, or collapsed — in release
+// builds, where no assert is watching.
+TEST(EdgeCaseTest, MalformedCsvFuzzTable) {
+  struct Case {
+    const char* name;
+    const char* line;
+    bool accepted;  // does the row survive into the database?
+  };
+  const Case kCases[] = {
+      {"plain garbage", "complete garbage", false},
+      {"too few fields", "1,2,3", false},
+      {"too many fields", "1,2,3,4,5", false},
+      {"empty fields", ",,,", false},
+      {"nan x", "1,0,nan,2", false},
+      {"nan y", "1,0,2,NaN", false},
+      {"inf x", "1,0,inf,2", false},
+      {"negative inf y", "1,0,2,-inf", false},
+      {"infinity spelled out", "1,0,infinity,2", false},
+      {"overflow double", "1,0,1e999,2", false},
+      {"overflow tick", "1,99999999999999999999,1,2", false},
+      {"negative id", "-7,0,1,2", false},
+      {"float id", "1.5,0,1,2", false},
+      {"float tick", "1,0.5,1,2", false},
+      {"hex number", "1,0,0x10,2", false},
+      {"trailing junk on number", "1,0,3.5abc,2", false},
+      {"embedded null-ish", "1,0,,2", false},
+      {"semicolon separators", "1;0;1;2", false},
+      {"huge but finite", "1,0,1e300,-1e300", true},
+      {"scientific notation", "1,0,1.5e-3,2.5E+2", true},
+      {"whitespace everywhere", " 1 ,\t0 , 1.0 ,\t2.0 ", true},
+      {"negative tick", "1,-5,1,2", true},
+  };
+  for (const Case& c : kCases) {
+    // A valid first row pins the header heuristic so every fuzz line is
+    // judged as data, not as a tolerated header.
+    std::istringstream in(std::string("0,0,0,0\n") + c.line + "\n");
+    const CsvLoadResult result = LoadTrajectoriesCsv(in);
+    ASSERT_TRUE(result.ok) << c.name;
+    EXPECT_EQ(result.lines_parsed, c.accepted ? 2u : 1u) << c.name;
+    EXPECT_EQ(result.lines_skipped, c.accepted ? 0u : 1u) << c.name;
+    if (!c.accepted) {
+      ASSERT_EQ(result.diagnostics.size(), 1u) << c.name;
+      EXPECT_EQ(result.diagnostics[0].line_number, 2u) << c.name;
+    }
+    for (const Trajectory& traj : result.db.trajectories()) {
+      for (const TimedPoint& p : traj.samples()) {
+        EXPECT_TRUE(std::isfinite(p.pos.x) && std::isfinite(p.pos.y))
+            << c.name;
+      }
+    }
+  }
+}
+
+// A file that is nothing but garbage must load as ok (the *file* was
+// readable) with an empty database and full accounting — and running a
+// discovery over that empty database must return no convoys, not crash.
+TEST(EdgeCaseTest, AllGarbageCsvYieldsEmptyDatabase) {
+  std::istringstream in("header,line,is,fine\njunk\n1,2\nnan,nan,nan,nan\n");
+  const CsvLoadResult result = LoadTrajectoriesCsv(in);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.lines_parsed, 0u);
+  EXPECT_EQ(result.lines_skipped, 3u);  // header tolerated, rest rejected
+  EXPECT_TRUE(result.db.Empty());
+  EXPECT_TRUE(Cmc(result.db, ConvoyQuery{2, 2, 1.0}).empty());
+  EXPECT_TRUE(Cuts(result.db, ConvoyQuery{2, 2, 1.0}).empty());
 }
 
 // ------------------------------------------------------------ simplify ----

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/random.h"
 
@@ -78,6 +79,54 @@ TEST(GridIndexTest, SmallerQueryRadiusThanCellSize) {
   }
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, want);
+}
+
+// Regression for the NDEBUG contract gap: radius > cell_size used to be an
+// assert (compiled out in release builds, silently returning the 3x3 subset
+// of the true neighborhood). The index now widens to a multi-ring scan and
+// must stay exhaustive for any radius/cell_size ratio.
+TEST(GridIndexTest, LargerQueryRadiusThanCellSizeIsExhaustive) {
+  Rng rng(31);
+  std::vector<Point> points;
+  for (int i = 0; i < 400; ++i) {
+    points.emplace_back(rng.Uniform(-40, 40), rng.Uniform(-40, 40));
+  }
+  const GridIndex index(points, 2.0);
+  for (const double radius : {2.5, 5.0, 13.7, 60.0, 1e9}) {
+    for (int probe_i = 0; probe_i < 5; ++probe_i) {
+      const Point probe(rng.Uniform(-40, 40), rng.Uniform(-40, 40));
+      std::vector<size_t> got = index.WithinRadius(probe, radius);
+      std::vector<size_t> want;
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (D(points[i], probe) <= radius) want.push_back(i);
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "radius " << radius;
+    }
+  }
+}
+
+TEST(GridIndexTest, DegenerateCellSizeStillExhaustive) {
+  // eps = 0 queries ("exact coincidence") legitimately build a zero-sized
+  // grid; it must behave, not divide by zero.
+  const GridIndex zero({Point(1, 1), Point(1, 1), Point(2, 2)}, 0.0);
+  EXPECT_EQ(zero.WithinRadius(Point(1, 1), 0.0).size(), 2u);
+  EXPECT_EQ(zero.WithinRadius(Point(1, 1), 5.0).size(), 3u);
+  const GridIndex nan_cell({Point(0, 0)}, std::nan(""));
+  EXPECT_EQ(nan_cell.WithinRadius(Point(0, 0), 1.0).size(), 1u);
+}
+
+TEST(GridIndexTest, HostileQueriesReturnNoFalsePositives) {
+  const GridIndex index({Point(0, 0), Point(1, 0)}, 1.0);
+  // NaN / negative radii: no hits, no crash.
+  EXPECT_TRUE(index.WithinRadius(Point(0, 0), std::nan("")).empty());
+  EXPECT_TRUE(index.WithinRadius(Point(0, 0), -1.0).empty());
+  // A NaN probe matches nothing (distance comparisons are false).
+  EXPECT_TRUE(index.WithinRadius(Point(std::nan(""), 0.0), 10.0).empty());
+  // Astronomical coordinates saturate onto boundary cells instead of
+  // invoking UB; nothing nearby, nothing returned.
+  EXPECT_TRUE(index.WithinRadius(Point(1e300, -1e300), 1.0).empty());
 }
 
 TEST(GridIndexTest, WithinRadiusIntoClearsOutput) {

@@ -20,31 +20,31 @@ std::vector<Convoy> RunStream(const TrajectoryDatabase& db,
   StreamingCmc stream(query, options);
   std::vector<Convoy> out;
   for (Tick t = db.BeginTick(); t <= db.EndTick(); ++t) {
-    stream.BeginTick(t);
+    EXPECT_TRUE(stream.BeginTick(t).ok());
     for (const Trajectory& traj : db.trajectories()) {
       const auto pos = InterpolateAt(traj, t);
-      if (pos.has_value()) stream.Report(traj.id(), *pos);
+      if (pos.has_value()) EXPECT_TRUE(stream.Report(traj.id(), *pos).ok());
     }
-    for (Convoy& c : stream.EndTick()) out.push_back(std::move(c));
+    for (Convoy& c : stream.EndTick().value()) out.push_back(std::move(c));
   }
-  for (Convoy& c : stream.Finish()) out.push_back(std::move(c));
+  for (Convoy& c : stream.Finish().value()) out.push_back(std::move(c));
   return RemoveDominated(std::move(out));
 }
 
 TEST(StreamingCmcTest, EmptyStream) {
   StreamingCmc stream(ConvoyQuery{2, 2, 1.0});
-  EXPECT_TRUE(stream.Finish().empty());
+  EXPECT_TRUE(stream.Finish().value().empty());
 }
 
 TEST(StreamingCmcTest, SimpleConvoyEmittedAtFinish) {
   StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
   for (Tick t = 0; t < 5; ++t) {
-    stream.BeginTick(t);
-    stream.Report(0, Point(static_cast<double>(t), 0.0));
-    stream.Report(1, Point(static_cast<double>(t), 0.5));
-    EXPECT_TRUE(stream.EndTick().empty());  // still alive
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(static_cast<double>(t), 0.0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(static_cast<double>(t), 0.5)).ok());
+    EXPECT_TRUE(stream.EndTick().value().empty());  // still alive
   }
-  const auto result = stream.Finish();
+  const auto result = stream.Finish().value();
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].objects, (std::vector<ObjectId>{0, 1}));
   EXPECT_EQ(result[0].start_tick, 0);
@@ -54,54 +54,54 @@ TEST(StreamingCmcTest, SimpleConvoyEmittedAtFinish) {
 TEST(StreamingCmcTest, ConvoyEmittedWhenGroupDisperses) {
   StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
   for (Tick t = 0; t < 4; ++t) {
-    stream.BeginTick(t);
-    stream.Report(0, Point(static_cast<double>(t), 0.0));
-    stream.Report(1, Point(static_cast<double>(t), 0.5));
-    stream.EndTick();
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(static_cast<double>(t), 0.0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(static_cast<double>(t), 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
   }
   // Tick 4: they split; the convoy closes *now*, not at Finish.
-  stream.BeginTick(4);
-  stream.Report(0, Point(4, 0));
-  stream.Report(1, Point(400, 0));
-  const auto closed = stream.EndTick();
+  ASSERT_TRUE(stream.BeginTick(4).ok());
+  ASSERT_TRUE(stream.Report(0, Point(4, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(400, 0)).ok());
+  const auto closed = stream.EndTick().value();
   ASSERT_EQ(closed.size(), 1u);
   EXPECT_EQ(closed[0].end_tick, 3);
-  EXPECT_TRUE(stream.Finish().empty());
+  EXPECT_TRUE(stream.Finish().value().empty());
 }
 
 TEST(StreamingCmcTest, SkippedTicksBreakConsecutiveness) {
   StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
   for (const Tick t : {0, 1, 2}) {
-    stream.BeginTick(t);
-    stream.Report(0, Point(0, 0));
-    stream.Report(1, Point(0, 0.5));
-    stream.EndTick();
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
   }
   // Jump to tick 5: ticks 3 and 4 are processed as empty, closing the
   // 3-tick convoy.
-  stream.BeginTick(5);
-  stream.Report(0, Point(0, 0));
-  stream.Report(1, Point(0, 0.5));
-  const auto closed = stream.EndTick();
+  ASSERT_TRUE(stream.BeginTick(5).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  const auto closed = stream.EndTick().value();
   ASSERT_EQ(closed.size(), 1u);
   EXPECT_EQ(closed[0].start_tick, 0);
   EXPECT_EQ(closed[0].end_tick, 2);
   // The restarted pair has only 1 tick so far.
-  EXPECT_TRUE(stream.Finish().empty());
+  EXPECT_TRUE(stream.Finish().value().empty());
 }
 
 TEST(StreamingCmcTest, SilentObjectVanishesWithoutCarry) {
   StreamingCmc stream(ConvoyQuery{2, 3, 1.0});
   for (const Tick t : {0, 1}) {
-    stream.BeginTick(t);
-    stream.Report(0, Point(0, 0));
-    stream.Report(1, Point(0, 0.5));
-    stream.EndTick();
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
   }
-  stream.BeginTick(2);
-  stream.Report(0, Point(0, 0));  // object 1 silent -> pair broken
-  stream.EndTick();
-  EXPECT_TRUE(stream.Finish().empty());  // lifetime 2 < k
+  ASSERT_TRUE(stream.BeginTick(2).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());  // object 1 silent -> pair broken
+  ASSERT_TRUE(stream.EndTick().ok());
+  EXPECT_TRUE(stream.Finish().value().empty());  // lifetime 2 < k
 }
 
 TEST(StreamingCmcTest, CarryForwardBridgesSilence) {
@@ -109,40 +109,40 @@ TEST(StreamingCmcTest, CarryForwardBridgesSilence) {
   options.carry_forward_ticks = 2;
   StreamingCmc stream(ConvoyQuery{2, 4, 1.0}, options);
   for (const Tick t : {0, 1}) {
-    stream.BeginTick(t);
-    stream.Report(0, Point(0, 0));
-    stream.Report(1, Point(0, 0.5));
-    stream.EndTick();
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
   }
-  stream.BeginTick(2);
-  stream.Report(0, Point(0, 0));  // 1 carried forward at (0, 0.5)
-  stream.EndTick();
-  stream.BeginTick(3);
-  stream.Report(0, Point(0, 0));
-  stream.Report(1, Point(0, 0.5));
-  stream.EndTick();
-  const auto result = stream.Finish();
+  ASSERT_TRUE(stream.BeginTick(2).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());  // 1 carried forward at (0, 0.5)
+  ASSERT_TRUE(stream.EndTick().ok());
+  ASSERT_TRUE(stream.BeginTick(3).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  ASSERT_TRUE(stream.EndTick().ok());
+  const auto result = stream.Finish().value();
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].Lifetime(), 4);
 }
 
 TEST(StreamingCmcTest, LastReportPerTickWins) {
   StreamingCmc stream(ConvoyQuery{2, 1, 1.0});
-  stream.BeginTick(0);
-  stream.Report(0, Point(500, 500));
-  stream.Report(0, Point(0, 0));  // corrected fix
-  stream.Report(1, Point(0, 0.5));
-  stream.EndTick();
-  const auto result = stream.Finish();
+  ASSERT_TRUE(stream.BeginTick(0).ok());
+  ASSERT_TRUE(stream.Report(0, Point(500, 500)).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());  // corrected fix
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  ASSERT_TRUE(stream.EndTick().ok());
+  const auto result = stream.Finish().value();
   ASSERT_EQ(result.size(), 1u);
 }
 
 TEST(StreamingCmcTest, LiveCandidatesVisible) {
   StreamingCmc stream(ConvoyQuery{2, 10, 1.0});
-  stream.BeginTick(0);
-  stream.Report(0, Point(0, 0));
-  stream.Report(1, Point(0, 0.5));
-  stream.EndTick();
+  ASSERT_TRUE(stream.BeginTick(0).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  ASSERT_TRUE(stream.EndTick().ok());
   EXPECT_EQ(stream.LiveCandidates(), 1u);
 }
 
@@ -162,6 +162,57 @@ TEST_P(StreamingEquivalenceTest, MatchesBatchCmc) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalenceTest,
                          ::testing::Range(700, 712));
+
+// Regression for the NDEBUG contract gap: a non-increasing tick used to be
+// an assert (compiled out in release builds, silently corrupting candidate
+// lifetimes). It must be a recoverable error that leaves the stream intact.
+TEST(StreamingCmcTest, OutOfOrderTicksRejectedAndRecoverable) {
+  StreamingCmc stream(ConvoyQuery{2, 2, 1.0});
+  for (const Tick t : {0, 1}) {
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
+  }
+
+  // A replayed tick and a tick from the past are both rejected...
+  const Status replay = stream.BeginTick(1);
+  EXPECT_EQ(replay.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(replay.message().find("increasing"), std::string::npos);
+  EXPECT_EQ(stream.BeginTick(-5).code(), StatusCode::kInvalidArgument);
+  // ...without opening a tick or corrupting state.
+  EXPECT_FALSE(stream.CurrentTick().has_value());
+  EXPECT_EQ(stream.EndTick().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // The stream continues as if the bad input never arrived.
+  ASSERT_TRUE(stream.BeginTick(2).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  ASSERT_TRUE(stream.EndTick().ok());
+  const auto result = stream.Finish().value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].start_tick, 0);
+  EXPECT_EQ(result[0].end_tick, 2);
+}
+
+TEST(StreamingCmcTest, ProtocolViolationsAreStatusErrors) {
+  StreamingCmc stream(ConvoyQuery{2, 2, 1.0});
+  // Report/EndTick outside a tick.
+  EXPECT_EQ(stream.Report(0, Point(0, 0)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.EndTick().status().code(),
+            StatusCode::kFailedPrecondition);
+  // Double BeginTick and Finish with a tick still open.
+  ASSERT_TRUE(stream.BeginTick(0).ok());
+  EXPECT_EQ(stream.BeginTick(1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.Finish().status().code(),
+            StatusCode::kFailedPrecondition);
+  // The open tick is still usable after the rejected calls.
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.EndTick().ok());
+  EXPECT_TRUE(stream.Finish().ok());
+}
 
 TEST(StreamingCmcTest, HandcraftedEquivalence) {
   const auto db = FromXRows({{0, 1, 2, 3, 4, 5, 6},

@@ -7,6 +7,13 @@
 //
 // Input format: CSV rows `object_id,tick,x,y` (header optional).
 // Output: one line per convoy, `objects...  [start,end]`.
+//
+// Exit codes (diagnostics go to stderr — see README "Error handling"):
+//   0  success
+//   1  usage error (unknown flag/algorithm/preset, missing value)
+//   2  I/O error (cannot open input / write output)
+//   3  invalid query or filter options (ValidateQuery rejected them)
+//   4  data error (the input parsed to an empty database)
 
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +25,13 @@
 #include "convoy/convoy.h"
 
 namespace {
+
+// Exit codes — keep in sync with the file comment and README.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitInvalidQuery = 3;
+constexpr int kExitDataError = 4;
 
 struct CliOptions {
   std::string input;
@@ -137,7 +151,7 @@ int Generate(const CliOptions& opts) {
   const auto it = presets.find(opts.generate);
   if (it == presets.end()) {
     std::cerr << "unknown preset: " << opts.generate << "\n";
-    return 1;
+    return kExitUsage;
   }
   const convoy::ScenarioData data =
       convoy::GenerateScenario(it->second, opts.seed);
@@ -145,14 +159,14 @@ int Generate(const CliOptions& opts) {
   std::cout << "  planted convoys:            " << data.planted.size() << "\n";
   if (opts.output.empty()) {
     std::cerr << "--output required with --generate\n";
-    return 1;
+    return kExitUsage;
   }
   if (!convoy::SaveTrajectoriesCsv(data.db, opts.output)) {
     std::cerr << "cannot write " << opts.output << "\n";
-    return 1;
+    return kExitIo;
   }
   std::cout << "wrote " << opts.output << "\n";
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -163,19 +177,59 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opts, &theta) ||
       (opts.input.empty() && opts.generate.empty())) {
     PrintUsage();
-    return argc > 1 ? 1 : 0;
+    return argc > 1 ? kExitUsage : kExitOk;
   }
 
   if (!opts.generate.empty()) return Generate(opts);
 
+  convoy::CutsFilterOptions filter_options;
+  filter_options.delta = opts.delta;
+  filter_options.lambda = opts.lambda;
+  filter_options.use_rtree = opts.use_rtree;
+  if (opts.exact_refine) {
+    filter_options.refine_mode = convoy::RefineMode::kFullWindow;
+  }
+
+  // Reject out-of-contract parameters before touching the input — they are
+  // knowable from argv alone, and a release build must fail loudly here,
+  // not return silently wrong convoys after minutes of parsing.
+  if (const convoy::Status s = convoy::ValidateQuery(opts.query); !s.ok()) {
+    std::cerr << "invalid query: " << s << "\n";
+    return kExitInvalidQuery;
+  }
+  if (const convoy::Status s = convoy::ValidateFilterOptions(filter_options);
+      !s.ok()) {
+    std::cerr << "invalid filter options: " << s << "\n";
+    return kExitInvalidQuery;
+  }
+
   const convoy::CsvLoadResult loaded = convoy::LoadTrajectoriesCsv(opts.input);
   if (!loaded.ok) {
     std::cerr << loaded.error << "\n";
-    return 1;
+    return kExitIo;
   }
   if (loaded.lines_skipped > 0) {
     std::cerr << "warning: skipped " << loaded.lines_skipped
-              << " malformed rows\n";
+              << " malformed row(s):\n";
+    for (const convoy::CsvLineDiagnostic& diag : loaded.diagnostics) {
+      std::cerr << "  line " << diag.line_number << ": " << diag.reason
+                << "\n";
+    }
+    if (loaded.lines_skipped > loaded.diagnostics.size()) {
+      std::cerr << "  ... and "
+                << loaded.lines_skipped - loaded.diagnostics.size()
+                << " more\n";
+    }
+  }
+  if (loaded.duplicates_collapsed > 0) {
+    std::cerr << "warning: collapsed " << loaded.duplicates_collapsed
+              << " duplicate (object_id, tick) row(s) to their last "
+                 "occurrence\n";
+  }
+  if (loaded.db.Empty()) {
+    std::cerr << "error: " << opts.input
+              << " contains no usable trajectory rows\n";
+    return kExitDataError;
   }
 
   convoy::TrajectoryDatabase db = loaded.db;
@@ -195,13 +249,6 @@ int main(int argc, char** argv) {
 
   convoy::DiscoveryStats stats;
   std::vector<convoy::Convoy> result;
-  convoy::CutsFilterOptions filter_options;
-  filter_options.delta = opts.delta;
-  filter_options.lambda = opts.lambda;
-  filter_options.use_rtree = opts.use_rtree;
-  if (opts.exact_refine) {
-    filter_options.refine_mode = convoy::RefineMode::kFullWindow;
-  }
 
   if (opts.algo == "cmc") {
     result = convoy::ParallelCmc(db, opts.query, {}, &stats);
@@ -222,7 +269,7 @@ int main(int argc, char** argv) {
     result = convoy::Mc2(db, opts.query, mc2_options);
   } else {
     std::cerr << "unknown algorithm: " << opts.algo << "\n";
-    return 1;
+    return kExitUsage;
   }
 
   std::cout << result.size() << " convoy(s)\n";
@@ -244,7 +291,7 @@ int main(int argc, char** argv) {
     std::ofstream out(opts.results_out);
     if (!out) {
       std::cerr << "cannot write " << opts.results_out << "\n";
-      return 1;
+      return kExitIo;
     }
     if (json) {
       convoy::SaveConvoysJson(result, out);
@@ -254,5 +301,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << result.size() << " convoy(s) to "
               << opts.results_out << "\n";
   }
-  return 0;
+  return kExitOk;
 }

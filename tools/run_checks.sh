@@ -1,27 +1,44 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a threading determinism smoke — the sequence a CI
-# step should run on every push.
+# Tier-1 verification plus smoke tests — the sequence a CI step should run
+# on every push.
 #
 #   tools/run_checks.sh [build-dir]
 #
-# 1. configure + build + ctest (the repo's tier-1 verify command);
-# 2. generate a small synthetic dataset with convoy_cli;
-# 3. run CuTS* and CMC discovery with 1 and 2 worker threads and require
-#    byte-identical results (the parallel subsystem's core guarantee).
+# 1. configure + build + ctest in the default RelWithDebInfo configuration
+#    (the repo's tier-1 verify command);
+# 2. configure + build + ctest again in Debug — RelWithDebInfo defines
+#    NDEBUG, so running BOTH build types ensures the recoverable error
+#    model is exercised with and without asserts and an assert-only
+#    regression can never hide;
+# 3. generate a small synthetic dataset with convoy_cli;
+# 4. run CuTS* and CMC discovery with 1 and 2 worker threads and require
+#    byte-identical results (the parallel subsystem's core guarantee);
+# 5. drive convoy_cli's error paths and require the documented exit codes
+#    (1 usage, 2 I/O, 3 invalid query, 4 data error).
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
+DEBUG_BUILD_DIR="${BUILD_DIR}-debug"
 
-echo "== configure =="
+echo "== configure (RelWithDebInfo) =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 
-echo "== build =="
+echo "== build (RelWithDebInfo) =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== ctest =="
+echo "== ctest (RelWithDebInfo — NDEBUG, asserts compiled out) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== configure (Debug) =="
+cmake -B "${DEBUG_BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Debug
+
+echo "== build (Debug) =="
+cmake --build "${DEBUG_BUILD_DIR}" -j "$(nproc)"
+
+echo "== ctest (Debug — asserts live) =="
+ctest --test-dir "${DEBUG_BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo "== threading determinism smoke =="
 SMOKE_DIR="$(mktemp -d)"
@@ -44,5 +61,34 @@ for algo in "cuts*" cmc; do
   fi
   echo "ok: ${algo} identical for --threads 1 and --threads 2"
 done
+
+echo "== CLI error-path smoke (documented exit codes) =="
+expect_exit() {
+  local want="$1"
+  local label="$2"
+  shift 2
+  local got=0
+  "$@" > /dev/null 2>&1 || got=$?
+  if [[ "${got}" != "${want}" ]]; then
+    echo "FAIL: ${label}: expected exit ${want}, got ${got}"
+    exit 1
+  fi
+  echo "ok: ${label} -> exit ${want}"
+}
+
+expect_exit 1 "unknown algorithm" \
+  "${CLI}" --input "${SMOKE_DIR}/data.csv" --algo nonsense
+expect_exit 2 "missing input file" \
+  "${CLI}" --input "${SMOKE_DIR}/does_not_exist.csv"
+expect_exit 3 "invalid query (m = 1)" \
+  "${CLI}" --input "${SMOKE_DIR}/data.csv" --m 1 --k 60 --e 8.0
+expect_exit 3 "invalid query (e = 0)" \
+  "${CLI}" --input "${SMOKE_DIR}/data.csv" --m 3 --k 60 --e 0
+printf 'garbage\nmore,garbage\n' > "${SMOKE_DIR}/garbage.csv"
+expect_exit 4 "garbage-only input" \
+  "${CLI}" --input "${SMOKE_DIR}/garbage.csv" --m 3 --k 60 --e 8.0
+printf '0,0,nan,1\n0,1,1,1\n0,2,2,2\n1,0,0,0\n' > "${SMOKE_DIR}/nanrow.csv"
+expect_exit 0 "NaN row skipped, rest discovered" \
+  "${CLI}" --input "${SMOKE_DIR}/nanrow.csv" --m 2 --k 2 --e 8.0
 
 echo "== all checks passed =="
