@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cmc_vs_cuts.dir/bench/fig12_cmc_vs_cuts.cc.o"
+  "CMakeFiles/bench_fig12_cmc_vs_cuts.dir/bench/fig12_cmc_vs_cuts.cc.o.d"
+  "bench/fig12_cmc_vs_cuts"
+  "bench/fig12_cmc_vs_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cmc_vs_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

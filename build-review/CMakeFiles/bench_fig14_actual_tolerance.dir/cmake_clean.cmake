@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_actual_tolerance.dir/bench/fig14_actual_tolerance.cc.o"
+  "CMakeFiles/bench_fig14_actual_tolerance.dir/bench/fig14_actual_tolerance.cc.o.d"
+  "bench/fig14_actual_tolerance"
+  "bench/fig14_actual_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_actual_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

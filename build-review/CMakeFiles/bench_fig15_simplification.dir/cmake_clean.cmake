@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_simplification.dir/bench/fig15_simplification.cc.o"
+  "CMakeFiles/bench_fig15_simplification.dir/bench/fig15_simplification.cc.o.d"
+  "bench/fig15_simplification"
+  "bench/fig15_simplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_simplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

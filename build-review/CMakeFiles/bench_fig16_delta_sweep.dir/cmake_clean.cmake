@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_delta_sweep.dir/bench/fig16_delta_sweep.cc.o"
+  "CMakeFiles/bench_fig16_delta_sweep.dir/bench/fig16_delta_sweep.cc.o.d"
+  "bench/fig16_delta_sweep"
+  "bench/fig16_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

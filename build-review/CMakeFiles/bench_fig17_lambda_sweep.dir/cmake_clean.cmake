@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_lambda_sweep.dir/bench/fig17_lambda_sweep.cc.o"
+  "CMakeFiles/bench_fig17_lambda_sweep.dir/bench/fig17_lambda_sweep.cc.o.d"
+  "bench/fig17_lambda_sweep"
+  "bench/fig17_lambda_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_lambda_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_mc2_accuracy.dir/bench/fig19_mc2_accuracy.cc.o"
+  "CMakeFiles/bench_fig19_mc2_accuracy.dir/bench/fig19_mc2_accuracy.cc.o.d"
+  "bench/fig19_mc2_accuracy"
+  "bench/fig19_mc2_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_mc2_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

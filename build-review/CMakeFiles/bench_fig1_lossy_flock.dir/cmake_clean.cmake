@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_lossy_flock.dir/bench/fig1_lossy_flock.cc.o"
+  "CMakeFiles/bench_fig1_lossy_flock.dir/bench/fig1_lossy_flock.cc.o.d"
+  "bench/fig1_lossy_flock"
+  "bench/fig1_lossy_flock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_lossy_flock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

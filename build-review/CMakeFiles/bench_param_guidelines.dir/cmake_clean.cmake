@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_guidelines.dir/bench/param_guidelines.cc.o"
+  "CMakeFiles/bench_param_guidelines.dir/bench/param_guidelines.cc.o.d"
+  "bench/param_guidelines"
+  "bench/param_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_test.dir/tests/candidate_test.cc.o"
+  "CMakeFiles/candidate_test.dir/tests/candidate_test.cc.o.d"
+  "tests/candidate_test"
+  "tests/candidate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool.dir/examples/carpool.cpp.o"
+  "CMakeFiles/carpool.dir/examples/carpool.cpp.o.d"
+  "examples/carpool"
+  "examples/carpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

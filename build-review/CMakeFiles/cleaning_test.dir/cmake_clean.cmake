@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_test.dir/tests/cleaning_test.cc.o"
+  "CMakeFiles/cleaning_test.dir/tests/cleaning_test.cc.o.d"
+  "tests/cleaning_test"
+  "tests/cleaning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

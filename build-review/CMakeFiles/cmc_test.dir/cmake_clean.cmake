@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_test.dir/tests/cmc_test.cc.o"
+  "CMakeFiles/cmc_test.dir/tests/cmc_test.cc.o.d"
+  "tests/cmc_test"
+  "tests/cmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_cli.dir/tools/convoy_cli.cc.o"
+  "CMakeFiles/convoy_cli.dir/tools/convoy_cli.cc.o.d"
+  "convoy_cli"
+  "convoy_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dbscan.cc" "CMakeFiles/convoy_lib.dir/src/cluster/dbscan.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/grid_index.cc" "CMakeFiles/convoy_lib.dir/src/cluster/grid_index.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/cluster/grid_index.cc.o.d"
+  "/root/repo/src/cluster/polyline_dbscan.cc" "CMakeFiles/convoy_lib.dir/src/cluster/polyline_dbscan.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/cluster/polyline_dbscan.cc.o.d"
+  "/root/repo/src/cluster/str_tree.cc" "CMakeFiles/convoy_lib.dir/src/cluster/str_tree.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/cluster/str_tree.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "CMakeFiles/convoy_lib.dir/src/core/candidate.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/candidate.cc.o.d"
+  "/root/repo/src/core/cmc.cc" "CMakeFiles/convoy_lib.dir/src/core/cmc.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/cmc.cc.o.d"
+  "/root/repo/src/core/convoy_set.cc" "CMakeFiles/convoy_lib.dir/src/core/convoy_set.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/convoy_set.cc.o.d"
+  "/root/repo/src/core/cuts.cc" "CMakeFiles/convoy_lib.dir/src/core/cuts.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/cuts.cc.o.d"
+  "/root/repo/src/core/cuts_filter.cc" "CMakeFiles/convoy_lib.dir/src/core/cuts_filter.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/cuts_filter.cc.o.d"
+  "/root/repo/src/core/cuts_refine.cc" "CMakeFiles/convoy_lib.dir/src/core/cuts_refine.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/cuts_refine.cc.o.d"
+  "/root/repo/src/core/discovery_stats.cc" "CMakeFiles/convoy_lib.dir/src/core/discovery_stats.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/discovery_stats.cc.o.d"
+  "/root/repo/src/core/engine.cc" "CMakeFiles/convoy_lib.dir/src/core/engine.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/engine.cc.o.d"
+  "/root/repo/src/core/flock.cc" "CMakeFiles/convoy_lib.dir/src/core/flock.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/flock.cc.o.d"
+  "/root/repo/src/core/mc2.cc" "CMakeFiles/convoy_lib.dir/src/core/mc2.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/mc2.cc.o.d"
+  "/root/repo/src/core/params.cc" "CMakeFiles/convoy_lib.dir/src/core/params.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/params.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "CMakeFiles/convoy_lib.dir/src/core/streaming.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/streaming.cc.o.d"
+  "/root/repo/src/core/validate.cc" "CMakeFiles/convoy_lib.dir/src/core/validate.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/validate.cc.o.d"
+  "/root/repo/src/core/verify.cc" "CMakeFiles/convoy_lib.dir/src/core/verify.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/core/verify.cc.o.d"
+  "/root/repo/src/datagen/convoy_planter.cc" "CMakeFiles/convoy_lib.dir/src/datagen/convoy_planter.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/datagen/convoy_planter.cc.o.d"
+  "/root/repo/src/datagen/movement.cc" "CMakeFiles/convoy_lib.dir/src/datagen/movement.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/datagen/movement.cc.o.d"
+  "/root/repo/src/datagen/road_network.cc" "CMakeFiles/convoy_lib.dir/src/datagen/road_network.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/datagen/road_network.cc.o.d"
+  "/root/repo/src/datagen/scenarios.cc" "CMakeFiles/convoy_lib.dir/src/datagen/scenarios.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/datagen/scenarios.cc.o.d"
+  "/root/repo/src/geom/box.cc" "CMakeFiles/convoy_lib.dir/src/geom/box.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/geom/box.cc.o.d"
+  "/root/repo/src/geom/distance.cc" "CMakeFiles/convoy_lib.dir/src/geom/distance.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/geom/distance.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "CMakeFiles/convoy_lib.dir/src/geom/segment.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/geom/segment.cc.o.d"
+  "/root/repo/src/io/csv.cc" "CMakeFiles/convoy_lib.dir/src/io/csv.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/io/csv.cc.o.d"
+  "/root/repo/src/io/dataset_report.cc" "CMakeFiles/convoy_lib.dir/src/io/dataset_report.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/io/dataset_report.cc.o.d"
+  "/root/repo/src/io/result_io.cc" "CMakeFiles/convoy_lib.dir/src/io/result_io.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/io/result_io.cc.o.d"
+  "/root/repo/src/parallel/parallel_runner.cc" "CMakeFiles/convoy_lib.dir/src/parallel/parallel_runner.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/parallel/parallel_runner.cc.o.d"
+  "/root/repo/src/parallel/thread_pool.cc" "CMakeFiles/convoy_lib.dir/src/parallel/thread_pool.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/parallel/thread_pool.cc.o.d"
+  "/root/repo/src/simplify/douglas_peucker.cc" "CMakeFiles/convoy_lib.dir/src/simplify/douglas_peucker.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/simplify/douglas_peucker.cc.o.d"
+  "/root/repo/src/simplify/dp_plus.cc" "CMakeFiles/convoy_lib.dir/src/simplify/dp_plus.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/simplify/dp_plus.cc.o.d"
+  "/root/repo/src/simplify/dp_star.cc" "CMakeFiles/convoy_lib.dir/src/simplify/dp_star.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/simplify/dp_star.cc.o.d"
+  "/root/repo/src/simplify/simplified_trajectory.cc" "CMakeFiles/convoy_lib.dir/src/simplify/simplified_trajectory.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/simplify/simplified_trajectory.cc.o.d"
+  "/root/repo/src/simplify/simplifier.cc" "CMakeFiles/convoy_lib.dir/src/simplify/simplifier.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/simplify/simplifier.cc.o.d"
+  "/root/repo/src/traj/cleaning.cc" "CMakeFiles/convoy_lib.dir/src/traj/cleaning.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/traj/cleaning.cc.o.d"
+  "/root/repo/src/traj/database.cc" "CMakeFiles/convoy_lib.dir/src/traj/database.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/traj/database.cc.o.d"
+  "/root/repo/src/traj/interpolate.cc" "CMakeFiles/convoy_lib.dir/src/traj/interpolate.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/traj/interpolate.cc.o.d"
+  "/root/repo/src/traj/resample.cc" "CMakeFiles/convoy_lib.dir/src/traj/resample.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/traj/resample.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "CMakeFiles/convoy_lib.dir/src/traj/trajectory.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/traj/trajectory.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/convoy_lib.dir/src/util/random.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/convoy_lib.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/convoy_lib.dir/src/util/status.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "CMakeFiles/convoy_lib.dir/src/util/stopwatch.cc.o" "gcc" "CMakeFiles/convoy_lib.dir/src/util/stopwatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

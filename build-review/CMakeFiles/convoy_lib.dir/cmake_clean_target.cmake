@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconvoy_lib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_set_test.dir/tests/convoy_set_test.cc.o"
+  "CMakeFiles/convoy_set_test.dir/tests/convoy_set_test.cc.o.d"
+  "tests/convoy_set_test"
+  "tests/convoy_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuts_test.dir/tests/cuts_test.cc.o"
+  "CMakeFiles/cuts_test.dir/tests/cuts_test.cc.o.d"
+  "tests/cuts_test"
+  "tests/cuts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

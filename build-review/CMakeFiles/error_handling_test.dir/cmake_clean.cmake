@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_handling_test.dir/tests/error_handling_test.cc.o"
+  "CMakeFiles/error_handling_test.dir/tests/error_handling_test.cc.o.d"
+  "tests/error_handling_test"
+  "tests/error_handling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_handling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_box_test.dir/tests/geom_box_test.cc.o"
+  "CMakeFiles/geom_box_test.dir/tests/geom_box_test.cc.o.d"
+  "tests/geom_box_test"
+  "tests/geom_box_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

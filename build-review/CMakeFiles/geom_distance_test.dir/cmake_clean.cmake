@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_distance_test.dir/tests/geom_distance_test.cc.o"
+  "CMakeFiles/geom_distance_test.dir/tests/geom_distance_test.cc.o.d"
+  "tests/geom_distance_test"
+  "tests/geom_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

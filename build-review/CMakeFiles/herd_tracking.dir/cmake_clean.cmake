@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_tracking.dir/examples/herd_tracking.cpp.o"
+  "CMakeFiles/herd_tracking.dir/examples/herd_tracking.cpp.o.d"
+  "examples/herd_tracking"
+  "examples/herd_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

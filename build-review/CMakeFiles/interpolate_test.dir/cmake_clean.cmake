@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolate_test.dir/tests/interpolate_test.cc.o"
+  "CMakeFiles/interpolate_test.dir/tests/interpolate_test.cc.o.d"
+  "tests/interpolate_test"
+  "tests/interpolate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

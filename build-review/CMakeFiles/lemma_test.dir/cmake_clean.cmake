@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma_test.dir/tests/lemma_test.cc.o"
+  "CMakeFiles/lemma_test.dir/tests/lemma_test.cc.o.d"
+  "tests/lemma_test"
+  "tests/lemma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc2_test.dir/tests/mc2_test.cc.o"
+  "CMakeFiles/mc2_test.dir/tests/mc2_test.cc.o.d"
+  "tests/mc2_test"
+  "tests/mc2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

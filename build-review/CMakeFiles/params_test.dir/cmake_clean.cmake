@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_test.dir/tests/params_test.cc.o"
+  "CMakeFiles/params_test.dir/tests/params_test.cc.o.d"
+  "tests/params_test"
+  "tests/params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

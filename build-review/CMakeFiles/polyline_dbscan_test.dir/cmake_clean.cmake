@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyline_dbscan_test.dir/tests/polyline_dbscan_test.cc.o"
+  "CMakeFiles/polyline_dbscan_test.dir/tests/polyline_dbscan_test.cc.o.d"
+  "tests/polyline_dbscan_test"
+  "tests/polyline_dbscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyline_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

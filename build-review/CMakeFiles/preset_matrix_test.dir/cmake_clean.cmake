@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preset_matrix_test.dir/tests/preset_matrix_test.cc.o"
+  "CMakeFiles/preset_matrix_test.dir/tests/preset_matrix_test.cc.o.d"
+  "tests/preset_matrix_test"
+  "tests/preset_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preset_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

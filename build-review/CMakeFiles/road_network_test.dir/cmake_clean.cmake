@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_test.dir/tests/road_network_test.cc.o"
+  "CMakeFiles/road_network_test.dir/tests/road_network_test.cc.o.d"
+  "tests/road_network_test"
+  "tests/road_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

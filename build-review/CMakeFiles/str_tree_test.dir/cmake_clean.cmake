@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/str_tree_test.dir/tests/str_tree_test.cc.o"
+  "CMakeFiles/str_tree_test.dir/tests/str_tree_test.cc.o.d"
+  "tests/str_tree_test"
+  "tests/str_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/str_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_test.dir/tests/trajectory_test.cc.o"
+  "CMakeFiles/trajectory_test.dir/tests/trajectory_test.cc.o.d"
+  "tests/trajectory_test"
+  "tests/trajectory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
