@@ -105,6 +105,56 @@ int main(int argc, char** argv) {
               {Fmt(stats.refine_seconds, 3), 11},
               {std::to_string(result.size()), 9}});
   }
+  // ------------------------------------------------------------------------
+  // Planner overhead: the v2 Prepare+Execute path vs. the legacy Discover
+  // shim on the same engine and seeded database, simplification cache warm
+  // for both, so the difference is pure planner/executor machinery. Tracked
+  // across PRs to keep the shim path effectively free.
+  PrintHeader("Planner overhead (cache warm, ms/query, " +
+              std::string("N = 96, T = 800)"));
+  const BenchDataset pds = PrepareDataset(BaseConfig(96, 800), opts.seed + 123);
+  const ConvoyEngine engine(pds.data.db);
+  const ConvoyQuery pq = pds.data.query;
+  (void)engine.Discover(pq);  // prime the simplification cache
+  const int iters = opts.full ? 20 : 8;
+
+  Stopwatch legacy_watch;
+  size_t legacy_convoys = 0;
+  for (int i = 0; i < iters; ++i) {
+    legacy_convoys = engine.Discover(pq).size();
+  }
+  const double legacy_ms = legacy_watch.ElapsedSeconds() * 1e3 / iters;
+
+  Stopwatch prepare_watch;
+  size_t planned_convoys = 0;
+  for (int i = 0; i < iters; ++i) {
+    const auto plan = engine.Prepare(pq);
+    const auto result = engine.Execute(plan.value());
+    planned_convoys = result.value().Count();
+  }
+  const double planned_ms = prepare_watch.ElapsedSeconds() * 1e3 / iters;
+
+  // Re-executing one prepared plan is the sweep-style usage Prepare exists
+  // for: planning cost paid once, execution repeated.
+  const auto reused_plan = engine.Prepare(pq);
+  Stopwatch execute_watch;
+  for (int i = 0; i < iters; ++i) {
+    (void)engine.Execute(reused_plan.value());
+  }
+  const double execute_ms = execute_watch.ElapsedSeconds() * 1e3 / iters;
+
+  PrintRow({{"path", 24}, {"ms/query", 12}, {"overhead", 12},
+            {"convoys", 9}});
+  PrintRule(57);
+  PrintRow({{"legacy Discover", 24}, {Fmt(legacy_ms, 3), 12}, {"-", 12},
+            {std::to_string(legacy_convoys), 9}});
+  PrintRow({{"Prepare+Execute", 24}, {Fmt(planned_ms, 3), 12},
+            {Fmt(planned_ms - legacy_ms, 3), 12},
+            {std::to_string(planned_convoys), 9}});
+  PrintRow({{"Execute (plan reused)", 24}, {Fmt(execute_ms, 3), 12},
+            {Fmt(execute_ms - legacy_ms, 3), 12},
+            {std::to_string(planned_convoys), 9}});
+
   std::cout << "\nshape: CuTS*'s advantage over CMC grows with N (snapshot "
                "clustering cost)\nand stays roughly constant in T (both "
                "scale linearly). Snapshot clustering,\npartition filtering, "

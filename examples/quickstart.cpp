@@ -1,5 +1,5 @@
 // Quickstart: build a tiny trajectory database by hand, run a convoy query
-// with CuTS*, and print the result.
+// through the ConvoyEngine planner/executor, and print the result.
 //
 //   $ ./build/examples/quickstart
 //
@@ -35,25 +35,38 @@ int main() {
   // Query: at least 2 objects within range 10, for at least 5 ticks.
   const convoy::ConvoyQuery query{/*m=*/2, /*k=*/5, /*e=*/10.0};
 
-  // CuTS* is the recommended algorithm: exact results, fastest filter.
-  convoy::DiscoveryStats stats;
-  const std::vector<convoy::Convoy> convoys =
-      convoy::Cuts(db, query, convoy::CutsVariant::kCutsStar, {}, &stats);
+  // Prepare validates the query and picks the physical algorithm (this
+  // database is tiny, so the planner chooses exact CMC; pass an explicit
+  // AlgorithmChoice to override). The plan is inspectable before running.
+  convoy::ConvoyEngine engine(std::move(db));
+  const auto plan = engine.Prepare(query);
+  if (!plan.ok()) {
+    std::cerr << "bad query: " << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << plan->Explain() << "\n";
 
-  std::cout << "found " << convoys.size() << " convoy(s)\n";
-  for (const convoy::Convoy& c : convoys) {
+  const auto result = engine.Execute(*plan);
+  if (!result.ok()) {  // only possible with a CancelToken installed
+    std::cerr << "execution failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "found " << result->Count() << " convoy(s)\n";
+  for (const convoy::Convoy& c : *result) {
     std::cout << "  objects ";
     for (const convoy::ObjectId id : c.objects) std::cout << id << " ";
     std::cout << "traveled together during ticks [" << c.start_tick << ", "
               << c.end_tick << "]\n";
   }
-  std::cout << "discovery took " << stats.total_seconds * 1e3 << " ms ("
-            << stats.num_candidates << " candidate(s) after the filter)\n";
+  std::cout << "discovery took " << result->stats().total_seconds * 1e3
+            << " ms\n";
 
-  // The same result, computed by the exact baseline:
-  const auto reference = convoy::Cmc(db, query);
+  // The same result, computed by the free-function baseline:
+  const auto reference = convoy::Cmc(engine.db(), query);
   std::cout << "CMC agrees: "
-            << (convoy::SameResultSet(reference, convoys) ? "yes" : "NO")
+            << (convoy::SameResultSet(reference, result->convoys()) ? "yes"
+                                                                    : "NO")
             << "\n";
   return 0;
 }

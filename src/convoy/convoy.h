@@ -6,19 +6,24 @@
 /// "Discovery of Convoys in Trajectory Databases" (Jeung, Yiu, Zhou, Jensen,
 /// Shen; VLDB 2008).
 ///
-/// Typical use:
+/// Typical use (the planner/executor query API):
 ///
 ///   #include "convoy/convoy.h"
 ///
 ///   convoy::TrajectoryDatabase db = ...;            // load or generate
+///   convoy::ConvoyEngine engine(std::move(db));
 ///   convoy::ConvoyQuery query{.m = 3, .k = 180, .e = 8.0};
-///   std::vector<convoy::Convoy> result =
-///       convoy::Cuts(db, query, convoy::CutsVariant::kCutsStar);
+///   auto plan = engine.Prepare(query);              // validate + plan
+///   if (!plan.ok()) { /* handle plan.status() */ }
+///   auto result = engine.Execute(*plan);            // ConvoyResultSet
 ///
-/// `Cuts` (the CuTS* variant by default) is the recommended entry point; it
-/// returns exactly the convoys the CMC baseline returns, typically several
-/// times faster. `Cmc` is available as the exact reference algorithm, and
-/// `Mc2` as the moving-cluster baseline the paper contrasts in Appendix B.
+/// The planner picks the physical algorithm (exact CMC for tiny inputs,
+/// CuTS* otherwise — or any explicit AlgorithmChoice) and resolves the
+/// Section 7.4 tunables; `plan->Explain()` shows the decision. For one-off
+/// library use without an engine, the free functions remain: `Cuts` (the
+/// CuTS* variant by default) returns exactly the convoys the CMC baseline
+/// returns, typically several times faster; `Cmc` is the exact reference
+/// algorithm, and `Mc2` the moving-cluster baseline of Appendix B.
 
 #include "cluster/dbscan.h"
 #include "cluster/grid_index.h"
@@ -31,6 +36,7 @@
 #include "core/cuts_refine.h"
 #include "core/discovery_stats.h"
 #include "core/engine.h"
+#include "core/exec_hooks.h"
 #include "core/flock.h"
 #include "core/mc2.h"
 #include "core/params.h"
@@ -51,6 +57,10 @@
 #include "parallel/thread_pool.h"
 #include "io/dataset_report.h"
 #include "io/result_io.h"
+#include "query/algorithm.h"
+#include "query/exec_context.h"
+#include "query/planner.h"
+#include "query/result_set.h"
 #include "simplify/douglas_peucker.h"
 #include "simplify/dp_plus.h"
 #include "simplify/dp_star.h"
@@ -60,6 +70,7 @@
 #include "traj/database.h"
 #include "traj/interpolate.h"
 #include "traj/trajectory.h"
+#include "util/cancel.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"

@@ -59,16 +59,40 @@ std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
   return result;
 }
 
+namespace {
+
+// Converts completed candidates [from, end) to convoys and hands them to the
+// sink — the shared incremental-emission tail of the serial and parallel CMC
+// loops. Returns the new emission watermark.
+size_t EmitCompletedSince(const std::vector<Candidate>& completed, size_t from,
+                          const ExecHooks* hooks) {
+  if (hooks == nullptr || !hooks->sink) return completed.size();
+  std::vector<Convoy> batch;
+  batch.reserve(completed.size() - from);
+  for (size_t i = from; i < completed.size(); ++i) {
+    batch.push_back(completed[i].ToConvoy());
+  }
+  EmitConvoys(hooks, std::move(batch));
+  return completed.size();
+}
+
+}  // namespace
+
 std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options,
-                             DiscoveryStats* stats) {
+                             DiscoveryStats* stats, const ExecHooks* hooks) {
   Stopwatch total;
   CandidateTracker tracker(query.m, query.k);
   std::vector<Candidate> completed;
+  const size_t total_ticks =
+      begin_tick <= end_tick ? static_cast<size_t>(end_tick - begin_tick) + 1
+                             : 0;
+  size_t emitted = 0;
 
   SnapshotScratch scratch;
   for (Tick t = begin_tick; t <= end_tick; ++t) {
+    CheckCancelled(hooks);
     bool clustered = false;
     const std::vector<std::vector<ObjectId>> cluster_objects =
         SnapshotClusters(db, t, query, &clustered, &scratch);
@@ -77,8 +101,12 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
     // which is exactly what a tick with < m alive objects must do: the
     // "consecutive time points" requirement breaks there.
     tracker.Advance(cluster_objects, t, t, /*step_weight=*/1, &completed);
+    emitted = EmitCompletedSince(completed, emitted, hooks);
+    ReportProgress(hooks, "cmc",
+                   static_cast<size_t>(t - begin_tick) + 1, total_ticks);
   }
   tracker.Flush(&completed);
+  EmitCompletedSince(completed, emitted, hooks);
 
   std::vector<Convoy> result = FinalizeCmcResult(completed, options);
 
@@ -90,9 +118,11 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
 }
 
 std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
-                        const CmcOptions& options, DiscoveryStats* stats) {
+                        const CmcOptions& options, DiscoveryStats* stats,
+                        const ExecHooks* hooks) {
   if (db.Empty()) return {};
-  return CmcRange(db, query, db.BeginTick(), db.EndTick(), options, stats);
+  return CmcRange(db, query, db.BeginTick(), db.EndTick(), options, stats,
+                  hooks);
 }
 
 }  // namespace convoy

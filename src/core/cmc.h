@@ -6,6 +6,7 @@
 #include "core/candidate.h"
 #include "core/convoy_set.h"
 #include "core/discovery_stats.h"
+#include "core/exec_hooks.h"
 #include "geom/point.h"
 #include "traj/database.h"
 
@@ -26,10 +27,13 @@ struct CmcOptions {
 /// from the previous tick; candidates that survive k consecutive ticks are
 /// convoys.
 ///
-/// Runs over the database's full time domain.
+/// Runs over the database's full time domain. `hooks` (optional) adds
+/// per-tick cancellation checks, progress reports, and incremental convoy
+/// emission — see core/exec_hooks.h; results are unaffected.
 std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
                         const CmcOptions& options = {},
-                        DiscoveryStats* stats = nullptr);
+                        DiscoveryStats* stats = nullptr,
+                        const ExecHooks* hooks = nullptr);
 
 /// CMC restricted to ticks [begin_tick, end_tick] — the refinement step of
 /// CuTS runs this on each candidate's objects and time interval
@@ -37,7 +41,8 @@ std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
 std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options = {},
-                             DiscoveryStats* stats = nullptr);
+                             DiscoveryStats* stats = nullptr,
+                             const ExecHooks* hooks = nullptr);
 
 /// Scratch buffers a caller may reuse across SnapshotClusters calls so the
 /// serial per-tick loop does not reallocate the snapshot every iteration.

@@ -111,7 +111,7 @@ CutsFilterResult CutsFilterPresimplified(
     const TrajectoryDatabase& db, const ConvoyQuery& query,
     const CutsFilterOptions& options,
     std::vector<SimplifiedTrajectory> simplified, double delta_used,
-    DiscoveryStats* stats) {
+    DiscoveryStats* stats, const ExecHooks* hooks) {
   CutsFilterResult result;
   if (db.Empty()) return result;
   result.delta_used = delta_used;
@@ -150,6 +150,7 @@ CutsFilterResult CutsFilterPresimplified(
   PolylineClusterStats cluster_stats;
   size_t num_clusterings = 0;
   const auto consume = [&](size_t i, const PartitionClusters& part) {
+    CheckCancelled(hooks);
     if (part.clustered) ++num_clusterings;
     cluster_stats.pair_tests += part.cluster_stats.pair_tests;
     cluster_stats.box_pruned += part.cluster_stats.box_pruned;
@@ -157,6 +158,7 @@ CutsFilterResult CutsFilterPresimplified(
     tracker.Advance(part.cluster_objects, partitions[i].first,
                     partitions[i].second, /*step_weight=*/lambda,
                     &result.candidates);
+    ReportProgress(hooks, "filter", i + 1, partitions.size());
   };
   if (threads > 1) {
     // Blocks bound peak memory to O(block) buffered partition results
@@ -169,6 +171,7 @@ CutsFilterResult CutsFilterPresimplified(
           std::min(block, partitions.size() - block_begin);
       const std::vector<PartitionClusters> per_partition =
           ParallelMap(&pool, block_size, [&](size_t i) {
+            CheckCancelled(hooks);
             const auto& part = partitions[block_begin + i];
             return ClusterPartition(result.simplified, part.first,
                                     part.second, query, options,
@@ -181,6 +184,7 @@ CutsFilterResult CutsFilterPresimplified(
   } else {
     // Serial path streams one partition at a time — no buffering.
     for (size_t i = 0; i < partitions.size(); ++i) {
+      CheckCancelled(hooks);
       consume(i, ClusterPartition(result.simplified, partitions[i].first,
                                   partitions[i].second, query, options,
                                   result.delta_used));

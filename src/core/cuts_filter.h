@@ -8,6 +8,7 @@
 #include "core/convoy_set.h"
 #include "core/cuts_refine.h"
 #include "core/discovery_stats.h"
+#include "core/exec_hooks.h"
 #include "simplify/simplifier.h"
 #include "traj/database.h"
 
@@ -97,12 +98,15 @@ std::vector<PartitionPolyline> BuildPartitionPolylines(
 /// Variant that reuses already-simplified trajectories (index-aligned with
 /// `db`, produced with `delta_used` and the simplifier matching
 /// `options.simplifier`). `ConvoyEngine` uses this to amortize the
-/// simplification cost across repeated queries.
+/// simplification cost across repeated queries. `hooks` (optional) adds a
+/// cancellation check per time partition — in the parallel clustering
+/// lambda and the sequential tracker pass — plus per-partition "filter"
+/// progress reports; results are unaffected (core/exec_hooks.h).
 CutsFilterResult CutsFilterPresimplified(
     const TrajectoryDatabase& db, const ConvoyQuery& query,
     const CutsFilterOptions& options,
     std::vector<SimplifiedTrajectory> simplified, double delta_used,
-    DiscoveryStats* stats = nullptr);
+    DiscoveryStats* stats = nullptr, const ExecHooks* hooks = nullptr);
 
 }  // namespace convoy
 

@@ -1,6 +1,7 @@
 #include "core/cuts_refine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/cmc.h"
 #include "parallel/parallel_for.h"
@@ -12,18 +13,58 @@ namespace {
 
 // Runs `work(i)` for i in [0, n) on up to `threads` workers via the shared
 // chunk-based pool; slot i always holds work(i), so output order is
-// deterministic.
+// deterministic. Units are processed in blocks so the sequential pass after
+// each block can emit every finished unit's convoys to the sink and report
+// progress *while later blocks are still refining* — that bounded emission
+// latency is the incremental execution mode, and because the pass runs in
+// index order the sink sequence is deterministic at every thread count.
 template <typename WorkFn>
 std::vector<std::vector<Convoy>> RefineMap(size_t n, size_t threads,
-                                           WorkFn work) {
+                                           WorkFn work,
+                                           const ExecHooks* hooks) {
   threads = std::max<size_t>(1, std::min(threads, n == 0 ? 1 : n));
-  if (threads <= 1) {
-    std::vector<std::vector<Convoy>> results(n);
-    for (size_t i = 0; i < n; ++i) results[i] = work(i);
-    return results;
+  // Without live hooks (the free functions, benches, shims without a
+  // token) the blocked machinery below buys nothing — keep the plain
+  // single-pass paths and their performance.
+  const bool live_hooks =
+      hooks != nullptr && (hooks->sink || hooks->progress ||
+                           hooks->cancel.CanBeCancelled());
+  if (!live_hooks) {
+    if (threads <= 1) {
+      std::vector<std::vector<Convoy>> results(n);
+      for (size_t i = 0; i < n; ++i) results[i] = work(i);
+      return results;
+    }
+    ThreadPool pool(threads);
+    return ParallelMap(&pool, n, work);
   }
-  ThreadPool pool(threads);
-  return ParallelMap(&pool, n, work);
+
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  // Serial refinement emits after every unit; parallel refinement after
+  // every block of a few units per worker.
+  const size_t block = pool ? std::max<size_t>(threads * 8, 64) : 1;
+  std::vector<std::vector<Convoy>> results(n);
+  for (size_t block_begin = 0; block_begin < n; block_begin += block) {
+    const size_t block_size = std::min(block, n - block_begin);
+    std::vector<std::vector<Convoy>> part =
+        ParallelMap(pool ? &*pool : nullptr, block_size, [&](size_t i) {
+          CheckCancelled(hooks);
+          return work(block_begin + i);
+        });
+    for (size_t i = 0; i < block_size; ++i) {
+      CheckCancelled(hooks);
+      results[block_begin + i] = std::move(part[i]);
+      if (hooks != nullptr && hooks->sink) {
+        // The caller still needs the unit's convoys for the merged result,
+        // so the sink gets a copy (only when a sink is installed).
+        EmitConvoys(hooks,
+                    std::vector<Convoy>(results[block_begin + i]));
+      }
+      ReportProgress(hooks, "refine", block_begin + i + 1, n);
+    }
+  }
+  return results;
 }
 
 std::vector<Convoy> Flatten(std::vector<std::vector<Convoy>> parts) {
@@ -38,25 +79,29 @@ std::vector<Convoy> Flatten(std::vector<std::vector<Convoy>> parts) {
 std::vector<Convoy> RefineProjected(const TrajectoryDatabase& db,
                                     const ConvoyQuery& query,
                                     const std::vector<Candidate>& candidates,
-                                    DiscoveryStats* stats, size_t threads) {
+                                    DiscoveryStats* stats, size_t threads,
+                                    const ExecHooks* hooks) {
   CmcOptions cmc_options;
   cmc_options.remove_dominated = false;  // pruned globally by the caller
   // Stats are only threadable when single-threaded; CmcRange mutates them.
   DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
   auto parts = RefineMap(
-      candidates.size(), threads, [&](size_t i) {
+      candidates.size(), threads,
+      [&](size_t i) {
         const Candidate& cand = candidates[i];
         const TrajectoryDatabase subset = db.Project(cand.objects);
         return CmcRange(subset, query, cand.start_tick, cand.end_tick,
                         cmc_options, per_run_stats);
-      });
+      },
+      hooks);
   return Flatten(std::move(parts));
 }
 
 std::vector<Convoy> RefineFullWindow(const TrajectoryDatabase& db,
                                      const ConvoyQuery& query,
                                      const std::vector<Candidate>& candidates,
-                                     DiscoveryStats* stats, size_t threads) {
+                                     DiscoveryStats* stats, size_t threads,
+                                     const ExecHooks* hooks) {
   // Merge candidate intervals into disjoint windows; every true convoy is
   // contained in some candidate's interval, hence in some window.
   std::vector<std::pair<Tick, Tick>> intervals;
@@ -77,10 +122,13 @@ std::vector<Convoy> RefineFullWindow(const TrajectoryDatabase& db,
   CmcOptions cmc_options;
   cmc_options.remove_dominated = false;
   DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
-  auto parts = RefineMap(windows.size(), threads, [&](size_t i) {
-    return CmcRange(db, query, windows[i].first, windows[i].second,
-                    cmc_options, per_run_stats);
-  });
+  auto parts = RefineMap(
+      windows.size(), threads,
+      [&](size_t i) {
+        return CmcRange(db, query, windows[i].first, windows[i].second,
+                        cmc_options, per_run_stats);
+      },
+      hooks);
   return Flatten(std::move(parts));
 }
 
@@ -90,12 +138,12 @@ std::vector<Convoy> CutsRefine(const TrajectoryDatabase& db,
                                const ConvoyQuery& query,
                                const std::vector<Candidate>& candidates,
                                RefineMode mode, DiscoveryStats* stats,
-                               size_t threads) {
+                               size_t threads, const ExecHooks* hooks) {
   Stopwatch phase;
   std::vector<Convoy> all =
       mode == RefineMode::kProjected
-          ? RefineProjected(db, query, candidates, stats, threads)
-          : RefineFullWindow(db, query, candidates, stats, threads);
+          ? RefineProjected(db, query, candidates, stats, threads, hooks)
+          : RefineFullWindow(db, query, candidates, stats, threads, hooks);
   std::vector<Convoy> result = RemoveDominated(std::move(all));
   if (stats != nullptr) {
     stats->refine_seconds += phase.ElapsedSeconds();

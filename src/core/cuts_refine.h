@@ -6,6 +6,7 @@
 #include "core/candidate.h"
 #include "core/convoy_set.h"
 #include "core/discovery_stats.h"
+#include "core/exec_hooks.h"
 #include "traj/database.h"
 
 namespace convoy {
@@ -34,12 +35,20 @@ enum class RefineMode {
 /// `threads` > 1 refines candidates (projected mode) or merged windows
 /// (full-window mode) concurrently; each unit of work is independent, so
 /// the merged result is identical to the sequential one (property-tested).
+///
+/// `hooks` (optional, core/exec_hooks.h) adds a cancellation check per
+/// refinement unit, per-unit "refine" progress, and incremental emission:
+/// each unit's verified convoys are handed to the sink in unit order as
+/// soon as the unit completes — callers consume convoys while later units
+/// are still refining instead of waiting for full materialization. The
+/// returned (materialized) result is unaffected.
 std::vector<Convoy> CutsRefine(const TrajectoryDatabase& db,
                                const ConvoyQuery& query,
                                const std::vector<Candidate>& candidates,
                                RefineMode mode = RefineMode::kProjected,
                                DiscoveryStats* stats = nullptr,
-                               size_t threads = 1);
+                               size_t threads = 1,
+                               const ExecHooks* hooks = nullptr);
 
 }  // namespace convoy
 

@@ -1,72 +1,169 @@
 #include "core/engine.h"
 
-#include <algorithm>
-#include <cmath>
+#include <bit>
+#include <utility>
 
-#include "core/cmc.h"
-#include "core/cuts_refine.h"
-#include "core/params.h"
+#include "core/cuts_filter.h"
 #include "core/validate.h"
-#include "parallel/parallel_runner.h"
+#include "query/algorithm.h"
+#include "util/cancel.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
 
+namespace {
+
+AlgorithmChoice ChoiceFor(CutsVariant variant) {
+  switch (variant) {
+    case CutsVariant::kCuts:
+      return AlgorithmChoice::kCuts;
+    case CutsVariant::kCutsPlus:
+      return AlgorithmChoice::kCutsPlus;
+    case CutsVariant::kCutsStar:
+      return AlgorithmChoice::kCutsStar;
+  }
+  return AlgorithmChoice::kCutsStar;
+}
+
+}  // namespace
+
+std::vector<SimplifiedTrajectory> ConvoyEngine::SimplifiedFor(
+    SimplifierKind kind, double delta, size_t threads,
+    bool* cache_hit) const {
+  const CacheKey key{kind, std::bit_cast<uint64_t>(delta)};
+  if (cache_hit != nullptr) *cache_hit = false;
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    // Simplify outside the lock so concurrent queries with other keys
+    // (or CMC runs) are not serialized behind this one. A racing miss on
+    // the same key recomputes; the first emplace wins.
+    lock.unlock();
+    std::vector<SimplifiedTrajectory> computed =
+        SimplifyDatabase(db_, delta, kind, threads);
+    lock.lock();
+    it = cache_.emplace(key, std::move(computed)).first;
+  } else if (cache_hit != nullptr) {
+    *cache_hit = true;
+  }
+  return it->second;  // copied under the lock; entries never mutate
+}
+
+const DatabaseStats& ConvoyEngine::CachedStats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!db_stats_.has_value()) db_stats_ = db_.Stats();
+  return *db_stats_;
+}
+
+QueryPlan ConvoyEngine::MakePlan(const ConvoyQuery& query,
+                                 AlgorithmChoice choice,
+                                 const CutsFilterOptions& options,
+                                 const Mc2Options& mc2) const {
+  PlannerOptions planner_options;
+  planner_options.db_stats = &CachedStats();
+  planner_options.simplify = [this, &query, &options](
+                                 SimplifierKind kind, double delta,
+                                 bool* hit) {
+    return SimplifiedFor(kind, delta,
+                         ResolveWorkerThreads(options.num_threads, query),
+                         hit);
+  };
+  const QueryPlanner planner(db_, std::move(planner_options));
+  return planner.Plan(query, choice, options, mc2);
+}
+
+StatusOr<QueryPlan> ConvoyEngine::Prepare(const ConvoyQuery& query,
+                                          AlgorithmChoice choice,
+                                          const CutsFilterOptions& options,
+                                          const Mc2Options& mc2) const {
+  CONVOY_RETURN_IF_ERROR(ValidateQuery(query).WithContext("Prepare"));
+  CONVOY_RETURN_IF_ERROR(
+      ValidateFilterOptions(options).WithContext("Prepare"));
+  return MakePlan(query, choice, options, mc2);
+}
+
+ConvoyResultSet ConvoyEngine::RunPlan(const QueryPlan& plan,
+                                      const ExecHooks& hooks,
+                                      DiscoveryStats* external_stats) const {
+  Stopwatch total;
+  hooks.cancel.ThrowIfCancelled();
+
+  // The legacy shims pass the caller's DiscoveryStats straight through so
+  // the algorithms' historical accumulate-vs-assign behavior per field is
+  // preserved exactly (phase times +=, num_convoys/num_candidates =, ...);
+  // the v2 Execute path uses a fresh struct reporting this execution only —
+  // a reused plan's one-time planning cost is not re-charged per run.
+  DiscoveryStats local;
+  DiscoveryStats* stats = external_stats != nullptr ? external_stats : &local;
+
+  ExecContext ctx;
+  ctx.db = &db_;
+  ctx.plan = &plan;
+  ctx.num_threads = ResolveWorkerThreads(0, plan.query);
+  ctx.hooks = hooks;
+  ctx.stats = stats;
+  ctx.simplified = [this, &plan, stats](SimplifierKind kind, double delta,
+                                        bool* hit) {
+    // Normally a cache hit (Prepare primed the entry); on a miss — a
+    // hand-built plan, or an engine whose cache was raced — the time is
+    // real simplification work of this execution.
+    bool local_hit = false;
+    Stopwatch simplify_watch;
+    std::vector<SimplifiedTrajectory> result = SimplifiedFor(
+        kind, delta,
+        ResolveWorkerThreads(plan.filter.num_threads, plan.query),
+        &local_hit);
+    if (!local_hit) stats->simplify_seconds += simplify_watch.ElapsedSeconds();
+    if (hit != nullptr) *hit = local_hit;
+    return result;
+  };
+
+  std::vector<Convoy> convoys = GetAlgorithm(plan.algorithm).Run(ctx);
+
+  if (external_stats == nullptr) {
+    stats->num_convoys = convoys.size();
+    stats->total_seconds = total.ElapsedSeconds();
+  }
+  return ConvoyResultSet(std::move(convoys), *stats, plan);
+}
+
+StatusOr<ConvoyResultSet> ConvoyEngine::Execute(const QueryPlan& plan,
+                                                ExecHooks hooks) const {
+  try {
+    return RunPlan(plan, hooks);
+  } catch (const CancelledError&) {
+    return Status::Cancelled("query cancelled by CancelToken (" +
+                             std::string(ToString(plan.algorithm)) + ")");
+  }
+}
+
 std::vector<Convoy> ConvoyEngine::Discover(const ConvoyQuery& query,
                                            CutsVariant variant,
                                            CutsFilterOptions options,
-                                           DiscoveryStats* stats) {
+                                           DiscoveryStats* stats) const {
   Stopwatch total;
-  options = MakeFilterOptions(variant, options);
-  const double delta =
-      options.delta > 0.0 ? options.delta : ComputeDelta(db_, query.e);
-
-  const CacheKey key{options.simplifier,
-                     static_cast<int64_t>(std::llround(delta * 1e6))};
-  std::vector<SimplifiedTrajectory> simplified;
-  {
-    std::unique_lock<std::mutex> lock(cache_mu_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      // Simplify outside the lock so concurrent queries with other keys
-      // (or CMC runs) are not serialized behind this one. A racing miss on
-      // the same key recomputes; the first emplace wins.
-      lock.unlock();
-      Stopwatch simplify;
-      std::vector<SimplifiedTrajectory> computed =
-          SimplifyDatabase(db_, delta, options.simplifier,
-                           ResolveWorkerThreads(options.num_threads, query));
-      if (stats != nullptr) {
-        stats->simplify_seconds += simplify.ElapsedSeconds();
-      }
-      lock.lock();
-      it = cache_.emplace(key, std::move(computed)).first;
-    }
-    simplified = it->second;  // copied under the lock; entries never mutate
-  }
-
-  const CutsFilterResult filtered = CutsFilterPresimplified(
-      db_, query, options, std::move(simplified), delta, stats);
-  std::vector<Convoy> result =
-      CutsRefine(db_, query, filtered.candidates, options.refine_mode, stats,
-                 ResolveWorkerThreads(options.refine_threads, query));
+  const QueryPlan plan = MakePlan(query, ChoiceFor(variant), options, {});
+  // Planning did the simplification (cache miss only): charge it to the
+  // caller's stats the way the old single-call body did.
+  if (stats != nullptr) stats->simplify_seconds += plan.simplify_seconds;
+  ConvoyResultSet result = RunPlan(plan, {}, stats);
   if (stats != nullptr) {
     stats->total_seconds = total.ElapsedSeconds();
-    stats->num_convoys = result.size();
+    stats->num_convoys = result.Count();
   }
-  return result;
+  return std::move(result).TakeConvoys();
 }
 
 std::vector<Convoy> ConvoyEngine::DiscoverExact(const ConvoyQuery& query,
                                                 DiscoveryStats* stats) const {
-  // ParallelCmc degenerates to the serial CMC loop for num_threads == 1 and
-  // is result-identical for every other value.
-  return ParallelCmc(db_, query, {}, stats);
+  const QueryPlan plan = MakePlan(query, AlgorithmChoice::kCmc, {}, {});
+  ConvoyResultSet result = RunPlan(plan, {}, stats);
+  return std::move(result).TakeConvoys();
 }
 
 StatusOr<std::vector<Convoy>> ConvoyEngine::TryDiscover(
     const ConvoyQuery& query, CutsVariant variant, CutsFilterOptions options,
-    DiscoveryStats* stats) {
+    DiscoveryStats* stats) const {
   CONVOY_RETURN_IF_ERROR(ValidateQuery(query).WithContext("TryDiscover"));
   CONVOY_RETURN_IF_ERROR(
       ValidateFilterOptions(options).WithContext("TryDiscover"));
@@ -82,33 +179,17 @@ StatusOr<std::vector<Convoy>> ConvoyEngine::TryDiscoverExact(
 
 std::optional<Convoy> ConvoyEngine::LongestConvoy(
     const std::vector<Convoy>& result) {
-  if (result.empty()) return std::nullopt;
-  const auto best = std::max_element(
-      result.begin(), result.end(), [](const Convoy& a, const Convoy& b) {
-        if (a.Lifetime() != b.Lifetime()) return a.Lifetime() < b.Lifetime();
-        return a.objects.size() < b.objects.size();
-      });
-  return *best;
+  return LongestConvoyOf(result);
 }
 
 std::vector<Convoy> ConvoyEngine::Involving(const std::vector<Convoy>& result,
                                             ObjectId id) {
-  std::vector<Convoy> out;
-  for (const Convoy& c : result) {
-    if (std::binary_search(c.objects.begin(), c.objects.end(), id)) {
-      out.push_back(c);
-    }
-  }
-  return out;
+  return ConvoysInvolving(result, id);
 }
 
 std::vector<Convoy> ConvoyEngine::During(const std::vector<Convoy>& result,
                                          Tick from, Tick to) {
-  std::vector<Convoy> out;
-  for (const Convoy& c : result) {
-    if (c.start_tick <= to && from <= c.end_tick) out.push_back(c);
-  }
-  return out;
+  return ConvoysDuring(result, from, to);
 }
 
 }  // namespace convoy

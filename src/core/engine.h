@@ -1,6 +1,7 @@
 #ifndef CONVOY_CORE_ENGINE_H_
 #define CONVOY_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,10 @@
 #include "core/convoy_set.h"
 #include "core/cuts.h"
 #include "core/discovery_stats.h"
+#include "core/exec_hooks.h"
+#include "core/mc2.h"
+#include "query/planner.h"
+#include "query/result_set.h"
 #include "simplify/simplifier.h"
 #include "traj/database.h"
 #include "util/status.h"
@@ -18,42 +23,84 @@ namespace convoy {
 
 /// High-level convoy query interface over a fixed trajectory database.
 ///
+/// The primary API is the planner/executor pair:
+///
+///   ConvoyEngine engine(std::move(db));
+///   StatusOr<QueryPlan> plan = engine.Prepare(query);   // validate + plan
+///   std::cout << plan->Explain();                       // inspect (EXPLAIN)
+///   StatusOr<ConvoyResultSet> result = engine.Execute(*plan);
+///
+/// Prepare validates the query, picks a physical algorithm (exact CMC,
+/// CuTS/CuTS+/CuTS*, or — explicitly only — approximate MC2), and resolves
+/// the Section 7.4 tunables; Execute runs the plan and returns a
+/// ConvoyResultSet owning convoys + stats + plan. Execute optionally takes
+/// ExecHooks: a cooperative CancelToken (a fired token aborts the run with
+/// StatusCode::kCancelled), a progress callback, and an incremental sink
+/// that receives verified convoys while the query still runs.
+///
 /// Analysts rarely run one query: they sweep `e`, `m`, and `k` until the
 /// result set is meaningful (the paper tunes e per dataset until 1-100
 /// convoys appear). The engine amortizes the query-independent work — the
 /// trajectory simplifications, which depend only on (simplifier, delta) —
-/// across such sweeps, and offers small conveniences over the raw result
-/// vectors.
+/// across such sweeps.
+///
+/// The pre-v2 entry points (Discover, DiscoverExact, Try*) remain as thin
+/// forwarding shims over Prepare/Execute with bit-identical results
+/// (enforced by tests/query_exec_test.cc); prefer the v2 API in new code.
 ///
 /// Thread-safety: const after construction except for the internal
-/// simplification cache, which is mutex-guarded, so concurrent Discover /
-/// DiscoverExact calls from different threads are safe without external
-/// synchronization. Two threads missing the same cache key may both compute
-/// the simplification; the first insert wins and the duplicate work is
-/// discarded (benign, and only on the first query of a sweep). Simplified
-/// trajectories are handed to the filter by value (copied out under the
-/// lock), so cache entries are never mutated after insertion.
+/// simplification cache and memoized database statistics, which are
+/// mutex-guarded, so concurrent Prepare / Execute / Discover calls from
+/// different threads are safe without external synchronization. Two threads
+/// missing the same cache key may both compute the simplification; the
+/// first insert wins and the duplicate work is discarded (benign, and only
+/// on the first query of a sweep). Simplified trajectories are handed to
+/// the filter by value (copied out under the lock), so cache entries are
+/// never mutated after insertion.
 class ConvoyEngine {
  public:
   explicit ConvoyEngine(TrajectoryDatabase db) : db_(std::move(db)) {}
 
   const TrajectoryDatabase& db() const { return db_; }
 
-  /// Runs a convoy query with the given CuTS variant. Equivalent to
-  /// `Cuts(db, query, variant, options)` but reuses cached simplifications
-  /// when the (simplifier, delta) pair repeats. A non-positive
-  /// options.delta is resolved once per query.e via ComputeDelta and then
-  /// cached the same way.
-  ///
-  /// Like the free functions, this trusts its inputs (degenerate queries
-  /// get their degenerate-but-defined answers). Servers handling untrusted
-  /// query parameters should call TryDiscover, which validates first.
+  // ----------------------------------------------------------- v2 API ----
+
+  /// Validates the query and filter options (ValidateQuery /
+  /// ValidateFilterOptions; kInvalidArgument on violation) and resolves
+  /// them into an executable QueryPlan: the physical algorithm (the
+  /// QueryPlanner's auto-policy for kAuto, otherwise the explicit choice),
+  /// delta/lambda via the ComputeDelta/ComputeLambda guidelines (priming
+  /// the simplification cache — the plan records hit/miss), and work
+  /// estimates from database statistics. The plan is inspectable via
+  /// QueryPlan::Explain() and reusable across Execute calls.
+  StatusOr<QueryPlan> Prepare(const ConvoyQuery& query,
+                              AlgorithmChoice choice = AlgorithmChoice::kAuto,
+                              const CutsFilterOptions& options = {},
+                              const Mc2Options& mc2 = {}) const;
+
+  /// Runs a prepared plan. Returns the materialized ConvoyResultSet, or
+  /// kCancelled when `hooks.cancel` fired mid-run (the query unwinds at its
+  /// next per-tick/per-partition cancellation point; no partial state
+  /// escapes — the engine cache only ever publishes complete entries and a
+  /// later re-Execute returns the full, correct result). `hooks.progress`
+  /// and `hooks.sink` deliver progress and incremental convoys on the
+  /// calling thread; see core/exec_hooks.h.
+  StatusOr<ConvoyResultSet> Execute(const QueryPlan& plan,
+                                    ExecHooks hooks = {}) const;
+
+  // -------------------------------------------- legacy API (shims) ------
+
+  /// Runs a convoy query with the given CuTS variant. Thin forwarding shim
+  /// over Prepare/Execute (minus validation: like the free functions, it
+  /// trusts its inputs, and degenerate queries get their
+  /// degenerate-but-defined answers). Servers handling untrusted query
+  /// parameters should call TryDiscover or Prepare, which validate first.
   std::vector<Convoy> Discover(const ConvoyQuery& query,
                                CutsVariant variant = CutsVariant::kCutsStar,
                                CutsFilterOptions options = {},
-                               DiscoveryStats* stats = nullptr);
+                               DiscoveryStats* stats = nullptr) const;
 
-  /// Runs the exact CMC baseline (no caching to exploit).
+  /// Runs the exact CMC baseline. Shim over the kCmc plan.
   std::vector<Convoy> DiscoverExact(const ConvoyQuery& query,
                                     DiscoveryStats* stats = nullptr) const;
 
@@ -65,22 +112,18 @@ class ConvoyEngine {
   /// enforced in every build type, including NDEBUG.
   StatusOr<std::vector<Convoy>> TryDiscover(
       const ConvoyQuery& query, CutsVariant variant = CutsVariant::kCutsStar,
-      CutsFilterOptions options = {}, DiscoveryStats* stats = nullptr);
+      CutsFilterOptions options = {}, DiscoveryStats* stats = nullptr) const;
 
   /// Validating form of DiscoverExact.
   StatusOr<std::vector<Convoy>> TryDiscoverExact(
       const ConvoyQuery& query, DiscoveryStats* stats = nullptr) const;
 
-  /// The convoy with the longest lifetime in `result` (ties: more objects,
-  /// then canonical order). nullopt for an empty result.
+  /// Legacy statics, forwarding to the query/result_set.h free helpers
+  /// (ConvoyResultSet offers the same operations as methods, plus TopK).
   static std::optional<Convoy> LongestConvoy(
       const std::vector<Convoy>& result);
-
-  /// Convoys of `result` that involve the given object.
   static std::vector<Convoy> Involving(const std::vector<Convoy>& result,
                                        ObjectId id);
-
-  /// Convoys of `result` whose interval intersects [from, to].
   static std::vector<Convoy> During(const std::vector<Convoy>& result,
                                     Tick from, Tick to);
 
@@ -91,10 +134,42 @@ class ConvoyEngine {
   }
 
  private:
-  using CacheKey = std::pair<SimplifierKind, int64_t>;  // delta in micro-units
+  /// Keyed on the simplifier and the *exact bit pattern* of delta. An
+  /// earlier version truncated delta to integer micro-units, which aliased
+  /// any two deltas within 1e-6 of each other (and every delta below 1e-6
+  /// to zero) onto one entry, returning the wrong simplification for the
+  /// second query; the bit pattern makes distinct doubles distinct keys
+  /// (regression-tested in engine_test.cc).
+  using CacheKey = std::pair<SimplifierKind, uint64_t>;
+
+  /// The database simplified with (kind, delta), served from cache_ when
+  /// present; computes with `threads` workers and inserts on miss.
+  /// `cache_hit` (optional out) reports which happened.
+  std::vector<SimplifiedTrajectory> SimplifiedFor(SimplifierKind kind,
+                                                  double delta, size_t threads,
+                                                  bool* cache_hit) const;
+
+  /// db_.Stats(), computed once and memoized (guarded by cache_mu_).
+  const DatabaseStats& CachedStats() const;
+
+  /// Prepare without validation — the permissive planning path the legacy
+  /// shims use.
+  QueryPlan MakePlan(const ConvoyQuery& query, AlgorithmChoice choice,
+                     const CutsFilterOptions& options,
+                     const Mc2Options& mc2) const;
+
+  /// Execute's body; throws CancelledError instead of returning a Status
+  /// (Execute converts, the non-cancellable shims call it directly).
+  /// `external_stats` (legacy shims) routes the algorithms' instrumentation
+  /// into the caller's struct with the historical accumulate-vs-assign
+  /// semantics; null (v2 Execute) reports this execution in a fresh struct.
+  ConvoyResultSet RunPlan(const QueryPlan& plan, const ExecHooks& hooks,
+                          DiscoveryStats* external_stats = nullptr) const;
+
   TrajectoryDatabase db_;
-  mutable std::mutex cache_mu_;  ///< guards cache_ (see class comment)
-  std::map<CacheKey, std::vector<SimplifiedTrajectory>> cache_;
+  mutable std::mutex cache_mu_;  ///< guards cache_ and db_stats_
+  mutable std::map<CacheKey, std::vector<SimplifiedTrajectory>> cache_;
+  mutable std::optional<DatabaseStats> db_stats_;
 };
 
 }  // namespace convoy

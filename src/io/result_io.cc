@@ -102,4 +102,54 @@ void SaveConvoysJson(const std::vector<Convoy>& convoys, std::ostream& out) {
   out << (convoys.empty() ? "]" : "\n]") << "\n";
 }
 
+void SaveResultSetJson(const ConvoyResultSet& result, std::ostream& out) {
+  const QueryPlan& plan = result.plan();
+  const DiscoveryStats& stats = result.stats();
+  const ConvoyAlgorithm& algo = GetAlgorithm(plan.algorithm);
+  const AlgorithmCapabilities caps = algo.Capabilities();
+
+  out << "{\n\"plan\":{";
+  out << "\"algorithm\":\"" << algo.Name() << "\"";
+  out << ",\"requested\":\"" << ToString(plan.requested) << "\"";
+  out << ",\"query\":{\"m\":" << plan.query.m << ",\"k\":" << plan.query.k
+      << ",\"e\":" << plan.query.e
+      << ",\"threads\":" << plan.query.num_threads << "}";
+  if (caps.uses_simplification) {
+    out << ",\"delta\":" << plan.delta
+        << ",\"delta_derived\":" << (plan.delta_derived ? "true" : "false");
+    out << ",\"lambda\":" << plan.lambda
+        << ",\"lambda_derived\":" << (plan.lambda_derived ? "true" : "false");
+  }
+  out << ",\"cache\":\"" << ToString(plan.cache) << "\"";
+  out << ",\"exact\":" << (caps.exact ? "true" : "false");
+  out << ",\"database\":{\"objects\":" << plan.db_stats.num_objects
+      << ",\"ticks\":" << plan.db_stats.time_domain_length
+      << ",\"points\":" << plan.db_stats.total_points << "}";
+  out << ",\"estimated_clusterings\":" << plan.estimated_clusterings
+      << ",\"estimated_work\":" << plan.estimated_work;
+  out << "},\n";
+
+  out << "\"stats\":{";
+  out << "\"total_seconds\":" << stats.total_seconds
+      << ",\"simplify_seconds\":" << stats.simplify_seconds
+      << ",\"filter_seconds\":" << stats.filter_seconds
+      << ",\"refine_seconds\":" << stats.refine_seconds
+      << ",\"num_candidates\":" << stats.num_candidates
+      << ",\"num_clusterings\":" << stats.num_clusterings
+      << ",\"num_convoys\":" << stats.num_convoys;
+  out << "},\n";
+
+  out << "\"convoys\":";
+  SaveConvoysJson(result.convoys(), out);
+  out << "}\n";
+}
+
+bool SaveResultSetJson(const ConvoyResultSet& result,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveResultSetJson(result, out);
+  return out.good();
+}
+
 }  // namespace convoy

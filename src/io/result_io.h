@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/convoy_set.h"
+#include "query/result_set.h"
 
 namespace convoy {
 
@@ -25,6 +26,18 @@ std::vector<Convoy> LoadConvoysCsv(std::istream& in,
 ///   [{"objects":[1,2,3],"start":0,"end":9}, ...]
 /// Stable field order; no external JSON dependency needed for output.
 void SaveConvoysJson(const std::vector<Convoy>& convoys, std::ostream& out);
+
+/// Writes an executed query's full answer — the resolved plan (algorithm,
+/// requested choice, delta/lambda with provenance, cache status, database
+/// statistics, work estimate), the run's DiscoveryStats, and the convoys —
+/// as one JSON object:
+///   {"plan":{...},"stats":{...},"convoys":[...]}
+/// The convoys array is exactly SaveConvoysJson's format, so existing
+/// consumers can read `.convoys` unchanged. Stable field order; the CLI's
+/// --report writes this.
+void SaveResultSetJson(const ConvoyResultSet& result, std::ostream& out);
+bool SaveResultSetJson(const ConvoyResultSet& result,
+                       const std::string& path);
 
 }  // namespace convoy
 

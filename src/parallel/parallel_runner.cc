@@ -12,11 +12,11 @@ namespace convoy {
 std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
                                      const ConvoyQuery& query, Tick begin_tick,
                                      Tick end_tick, const CmcOptions& options,
-                                     DiscoveryStats* stats,
-                                     size_t num_threads) {
+                                     DiscoveryStats* stats, size_t num_threads,
+                                     const ExecHooks* hooks) {
   const size_t threads = ResolveWorkerThreads(num_threads, query);
   if (threads <= 1 || begin_tick > end_tick) {
-    return CmcRange(db, query, begin_tick, end_tick, options, stats);
+    return CmcRange(db, query, begin_tick, end_tick, options, stats, hooks);
   }
 
   Stopwatch total;
@@ -38,24 +38,41 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
       static_cast<size_t>(end_tick - begin_tick) + 1;
   const size_t block = std::max<size_t>(threads * 16, 256);
   size_t num_clusterings = 0;
+  size_t emitted = 0;
+  // Converts completed candidates past the watermark to convoys for the
+  // incremental sink (no-op without one).
+  const auto emit_completed = [&]() {
+    if (hooks == nullptr || !hooks->sink) return;
+    std::vector<Convoy> batch;
+    for (size_t i = emitted; i < completed.size(); ++i) {
+      batch.push_back(completed[i].ToConvoy());
+    }
+    emitted = completed.size();
+    EmitConvoys(hooks, std::move(batch));
+  };
   for (size_t block_begin = 0; block_begin < total_ticks;
        block_begin += block) {
     const size_t block_size = std::min(block, total_ticks - block_begin);
     std::vector<TickClusters> per_tick =
         ParallelMap(&pool, block_size, [&](size_t i) {
+          CheckCancelled(hooks);
           const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
           TickClusters out;
           out.clusters = SnapshotClusters(db, t, query, &out.clustered);
           return out;
         });
     for (size_t i = 0; i < block_size; ++i) {
+      CheckCancelled(hooks);
       const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
       if (per_tick[i].clustered) ++num_clusterings;
       tracker.Advance(per_tick[i].clusters, t, t, /*step_weight=*/1,
                       &completed);
+      emit_completed();
+      ReportProgress(hooks, "cmc", block_begin + i + 1, total_ticks);
     }
   }
   tracker.Flush(&completed);
+  emit_completed();
 
   std::vector<Convoy> result = FinalizeCmcResult(completed, options);
 
@@ -70,10 +87,11 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
 std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
                                 const ConvoyQuery& query,
                                 const CmcOptions& options,
-                                DiscoveryStats* stats, size_t num_threads) {
+                                DiscoveryStats* stats, size_t num_threads,
+                                const ExecHooks* hooks) {
   if (db.Empty()) return {};
   return ParallelCmcRange(db, query, db.BeginTick(), db.EndTick(), options,
-                          stats, num_threads);
+                          stats, num_threads, hooks);
 }
 
 CutsFilterResult ParallelCutsFilter(const TrajectoryDatabase& db,

@@ -26,12 +26,15 @@ namespace convoy {
 /// Snapshot-parallel CMC (paper Algorithm 1): the per-tick snapshots are
 /// interpolated and clustered concurrently in blocks, then candidates are
 /// extended sequentially over the tick-ordered cluster lists, so the output
-/// is bit-identical to Cmc().
+/// is bit-identical to Cmc(). `hooks` (optional) adds cancellation checks in
+/// both the parallel clustering lambda and the sequential tracker pass,
+/// per-tick progress, and incremental convoy emission (core/exec_hooks.h).
 std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
                                 const ConvoyQuery& query,
                                 const CmcOptions& options = {},
                                 DiscoveryStats* stats = nullptr,
-                                size_t num_threads = 0);
+                                size_t num_threads = 0,
+                                const ExecHooks* hooks = nullptr);
 
 /// Range-restricted variant, mirroring CmcRange().
 std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
@@ -39,7 +42,8 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
                                      Tick end_tick,
                                      const CmcOptions& options = {},
                                      DiscoveryStats* stats = nullptr,
-                                     size_t num_threads = 0);
+                                     size_t num_threads = 0,
+                                     const ExecHooks* hooks = nullptr);
 
 /// Partition-parallel CuTS filter (paper Algorithm 2): simplification and
 /// the per-partition polyline clustering run concurrently in balanced

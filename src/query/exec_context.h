@@ -1,0 +1,51 @@
+#ifndef CONVOY_QUERY_EXEC_CONTEXT_H_
+#define CONVOY_QUERY_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/discovery_stats.h"
+#include "core/exec_hooks.h"
+#include "simplify/simplifier.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+struct QueryPlan;
+
+/// Supplies the database simplified with (kind, delta). The engine binds its
+/// mutex-guarded simplification cache here so repeated plans amortize the
+/// simplification cost; `cache_hit` (optional out) reports whether the call
+/// was served from cache. A planner constructed without a provider
+/// simplifies directly (uncached).
+using SimplificationProvider = std::function<std::vector<SimplifiedTrajectory>(
+    SimplifierKind kind, double delta, bool* cache_hit)>;
+
+/// Everything a ConvoyAlgorithm::Run needs: the database, the resolved
+/// physical plan, the worker-thread count, execution hooks (cooperative
+/// CancelToken, optional progress callback, optional incremental convoy
+/// sink), per-run DiscoveryStats, and the engine's simplification cache.
+///
+/// Built by ConvoyEngine::Execute; algorithms treat it as read-only apart
+/// from `stats`.
+struct ExecContext {
+  const TrajectoryDatabase* db = nullptr;
+  const QueryPlan* plan = nullptr;
+
+  /// Resolved worker-thread count (never 0; 1 = serial).
+  size_t num_threads = 1;
+
+  /// Cancellation, progress, incremental delivery (core/exec_hooks.h).
+  ExecHooks hooks;
+
+  /// Per-run instrumentation; may be null.
+  DiscoveryStats* stats = nullptr;
+
+  /// Simplification source for the CuTS family; unused by CMC / MC2.
+  SimplificationProvider simplified;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_QUERY_EXEC_CONTEXT_H_

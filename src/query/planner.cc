@@ -1,0 +1,184 @@
+#include "query/planner.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/cuts.h"
+#include "core/params.h"
+#include "util/stopwatch.h"
+
+namespace convoy {
+
+namespace {
+
+bool IsCutsFamily(AlgorithmId id) {
+  return id == AlgorithmId::kCuts || id == AlgorithmId::kCutsPlus ||
+         id == AlgorithmId::kCutsStar;
+}
+
+CutsVariant VariantFor(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kCuts:
+      return CutsVariant::kCuts;
+    case AlgorithmId::kCutsPlus:
+      return CutsVariant::kCutsPlus;
+    default:
+      return CutsVariant::kCutsStar;
+  }
+}
+
+AlgorithmId IdFor(AlgorithmChoice choice, const DatabaseStats& stats) {
+  switch (choice) {
+    case AlgorithmChoice::kAuto:
+      return QueryPlanner::ChooseAuto(stats);
+    case AlgorithmChoice::kCmc:
+      return AlgorithmId::kCmc;
+    case AlgorithmChoice::kCuts:
+      return AlgorithmId::kCuts;
+    case AlgorithmChoice::kCutsPlus:
+      return AlgorithmId::kCutsPlus;
+    case AlgorithmChoice::kCutsStar:
+      return AlgorithmId::kCutsStar;
+    case AlgorithmChoice::kMc2:
+      return AlgorithmId::kMc2;
+  }
+  return AlgorithmId::kCutsStar;
+}
+
+}  // namespace
+
+std::string_view ToString(PlanCacheStatus status) {
+  switch (status) {
+    case PlanCacheStatus::kNotApplicable:
+      return "n/a";
+    case PlanCacheStatus::kHit:
+      return "hit";
+    case PlanCacheStatus::kMiss:
+      return "miss";
+  }
+  return "?";
+}
+
+AlgorithmId QueryPlanner::ChooseAuto(const DatabaseStats& stats) {
+  // Tiny inputs: the CuTS machinery (simplification, partitioning,
+  // refinement bookkeeping) costs more than the snapshot clustering it
+  // avoids — run the exact baseline directly. Everything else: CuTS*, the
+  // paper's recommended variant (tightest filter, exact after refinement).
+  return stats.total_points <= kAutoExactMaxPoints ? AlgorithmId::kCmc
+                                                   : AlgorithmId::kCutsStar;
+}
+
+QueryPlanner::QueryPlanner(const TrajectoryDatabase& db,
+                           PlannerOptions options)
+    : db_(db), simplify_(std::move(options.simplify)) {
+  db_stats_ = options.db_stats != nullptr ? *options.db_stats : db.Stats();
+}
+
+QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
+                             const CutsFilterOptions& base_options,
+                             const Mc2Options& mc2) const {
+  QueryPlan plan;
+  plan.query = query;
+  plan.requested = choice;
+  plan.db_stats = db_stats_;
+  plan.mc2 = mc2;
+  plan.algorithm = IdFor(choice, db_stats_);
+
+  const double n = static_cast<double>(db_stats_.num_objects);
+  const Tick domain = db_stats_.time_domain_length;
+
+  if (!IsCutsFamily(plan.algorithm)) {
+    // CMC and MC2 cluster one snapshot per tick; no tunables to resolve.
+    plan.estimated_clusterings = static_cast<size_t>(domain);
+    plan.estimated_work = static_cast<double>(domain) * n;
+    return plan;
+  }
+
+  // Resolve the variant's filter configuration, then the two Section 7.4
+  // tunables. Resolution order matches the legacy Discover path exactly:
+  // delta first (ComputeDelta, unless given), then the simplification (via
+  // the cache when one is bound), then lambda over the simplified
+  // trajectories (ComputeLambda, unless given) — so a plan's execution is
+  // bit-identical to the legacy single-call path.
+  plan.filter = MakeFilterOptions(VariantFor(plan.algorithm), base_options);
+  plan.delta_derived = !(plan.filter.delta > 0.0);
+  plan.delta = plan.delta_derived ? ComputeDelta(db_, query.e)
+                                  : plan.filter.delta;
+  plan.filter.delta = plan.delta;
+
+  Stopwatch simplify_watch;
+  std::vector<SimplifiedTrajectory> simplified;
+  bool cache_hit = false;
+  if (simplify_) {
+    simplified = simplify_(plan.filter.simplifier, plan.delta, &cache_hit);
+    plan.cache = cache_hit ? PlanCacheStatus::kHit : PlanCacheStatus::kMiss;
+  } else {
+    simplified =
+        SimplifyDatabase(db_, plan.delta, plan.filter.simplifier,
+                         ResolveWorkerThreads(plan.filter.num_threads, query));
+  }
+  if (!cache_hit) plan.simplify_seconds = simplify_watch.ElapsedSeconds();
+
+  plan.lambda_derived = plan.filter.lambda <= 0;
+  plan.lambda = plan.lambda_derived
+                    ? ComputeLambda(db_, simplified, query.k)
+                    : plan.filter.lambda;
+  plan.filter.lambda = plan.lambda;
+
+  const Tick lambda = std::max<Tick>(plan.lambda, 1);
+  const size_t partitions =
+      domain > 0 ? static_cast<size_t>((domain + lambda - 1) / lambda) : 0;
+  plan.estimated_clusterings = partitions;
+  plan.estimated_work = static_cast<double>(partitions) * n;
+  return plan;
+}
+
+std::string QueryPlan::Explain() const {
+  const ConvoyAlgorithm& algo = GetAlgorithm(algorithm);
+  const AlgorithmCapabilities caps = algo.Capabilities();
+  std::ostringstream out;
+
+  out << "plan\n";
+  out << "  algorithm:   " << algo.Name();
+  if (requested == AlgorithmChoice::kAuto) {
+    out << " (auto: " << db_stats.total_points
+        << (db_stats.total_points <= kAutoExactMaxPoints ? " points <= "
+                                                         : " points > ")
+        << kAutoExactMaxPoints << ")";
+  } else {
+    out << " (explicit)";
+  }
+  out << "\n";
+  out << "  query:       m=" << query.m << " k=" << query.k << " e=" << query.e
+      << " threads=" << query.num_threads << "\n";
+  out << "  database:    N=" << db_stats.num_objects << " T="
+      << db_stats.time_domain_length << " points=" << db_stats.total_points
+      << "\n";
+  if (caps.uses_simplification) {
+    out << "  delta:       " << delta
+        << (delta_derived ? " (derived, Sec. 7.4 guideline)" : " (given)")
+        << "\n";
+    out << "  lambda:      " << lambda
+        << (lambda_derived ? " (derived, Sec. 7.4 guideline)" : " (given)")
+        << "\n";
+    out << "  simplification cache: " << ToString(cache) << "\n";
+    out << "  estimated work: " << estimated_clusterings
+        << " partition clustering(s), ~" << estimated_work
+        << " object-clustering units (refinement excluded)\n";
+  } else {
+    out << "  delta:       n/a\n  lambda:      n/a\n";
+    out << "  estimated work: " << estimated_clusterings
+        << " snapshot clustering(s), ~" << estimated_work
+        << " object-clustering units\n";
+  }
+  out << "  capabilities: " << (caps.exact ? "exact" : "approximate");
+  if (caps.uses_simplification) out << ", simplification";
+  if (caps.supports_cancel) out << ", cancel";
+  if (caps.supports_progress) out << ", progress";
+  if (caps.supports_incremental) out << ", incremental";
+  if (caps.supports_threads) out << ", threads";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace convoy

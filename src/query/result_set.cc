@@ -1,0 +1,55 @@
+#include "query/result_set.h"
+
+#include <algorithm>
+
+namespace convoy {
+
+std::optional<Convoy> LongestConvoyOf(const std::vector<Convoy>& result) {
+  if (result.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      result.begin(), result.end(), [](const Convoy& a, const Convoy& b) {
+        if (a.Lifetime() != b.Lifetime()) return a.Lifetime() < b.Lifetime();
+        return a.objects.size() < b.objects.size();
+      });
+  return *best;
+}
+
+std::vector<Convoy> ConvoysInvolving(const std::vector<Convoy>& result,
+                                     ObjectId id) {
+  std::vector<Convoy> out;
+  for (const Convoy& c : result) {
+    if (std::binary_search(c.objects.begin(), c.objects.end(), id)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<Convoy> ConvoysDuring(const std::vector<Convoy>& result,
+                                  Tick from, Tick to) {
+  std::vector<Convoy> out;
+  for (const Convoy& c : result) {
+    if (c.start_tick <= to && from <= c.end_tick) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Convoy> TopKConvoys(const std::vector<Convoy>& result, size_t k) {
+  std::vector<Convoy> ranked = result;
+  // Same ranking LongestConvoyOf uses to pick its winner, extended with the
+  // canonical order as a total tie-break so TopK is deterministic for any
+  // input order.
+  std::sort(ranked.begin(), ranked.end(), [](const Convoy& a, const Convoy& b) {
+    if (a.Lifetime() != b.Lifetime()) return a.Lifetime() > b.Lifetime();
+    if (a.objects.size() != b.objects.size()) {
+      return a.objects.size() > b.objects.size();
+    }
+    if (a.start_tick != b.start_tick) return a.start_tick < b.start_tick;
+    if (a.end_tick != b.end_tick) return a.end_tick < b.end_tick;
+    return a.objects < b.objects;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace convoy

@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DATA_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotFound,            ///< a named resource (file, preset) does not exist
   kDataError,           ///< input data violates the format it claims to have
   kInternal,            ///< an invariant the library itself maintains broke
+  kCancelled,           ///< the caller's CancelToken aborted the operation
 };
 
 /// Short stable name of a code ("OK", "INVALID_ARGUMENT", ...).
@@ -65,6 +66,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -50,6 +50,30 @@ TEST(EngineTest, CacheReusedAcrossQueriesWithSameDelta) {
   EXPECT_EQ(engine.CacheSize(), 3u);
 }
 
+TEST(EngineTest, CacheKeySeparatesDeltasWithinOneMicroUnit) {
+  // Regression: the cache key used to truncate delta to integer micro-units
+  // (llround(delta * 1e6)), so two distinct deltas within 1e-6 of each
+  // other — or any two below 1e-6 — aliased to one entry and the second
+  // query silently reused the first query's simplification. The key is now
+  // the exact bit pattern of delta.
+  ConvoyEngine engine = MakeEngine(6);
+  const ConvoyQuery query{3, 6, 4.0};
+  CutsFilterOptions options;
+
+  options.delta = 0.5;
+  (void)engine.Discover(query, CutsVariant::kCutsStar, options);
+  options.delta = 0.5000004;  // same micro-unit bucket as 0.5
+  (void)engine.Discover(query, CutsVariant::kCutsStar, options);
+  EXPECT_EQ(engine.CacheSize(), 2u);
+
+  // Sub-micro-unit deltas used to collapse onto bucket 0 too.
+  options.delta = 1e-7;
+  (void)engine.Discover(query, CutsVariant::kCutsStar, options);
+  options.delta = 2e-7;
+  (void)engine.Discover(query, CutsVariant::kCutsStar, options);
+  EXPECT_EQ(engine.CacheSize(), 4u);
+}
+
 TEST(EngineTest, CachedRunSkipsSimplifyTime) {
   ConvoyEngine engine = MakeEngine(4);
   CutsFilterOptions options;

@@ -1,9 +1,15 @@
 // convoy_cli — command-line convoy discovery over CSV trajectory data.
 //
 // Usage:
-//   convoy_cli --input data.csv --m 3 --k 180 --e 8.0 [--algo cuts*]
-//              [--delta D] [--lambda L] [--stats] [--verify]
+//   convoy_cli --input data.csv --m 3 --k 180 --e 8.0 [--algo auto|cuts*|...]
+//              [--delta D] [--lambda L] [--explain] [--stats] [--verify]
+//              [--report out.json]
 //   convoy_cli --generate trucklike --output data.csv [--seed 7] [--scale S]
+//
+// Queries run through the ConvoyEngine planner/executor: --algo auto lets
+// the QueryPlanner pick the physical algorithm from database statistics,
+// and --explain prints the resolved QueryPlan (chosen algorithm, resolved
+// delta/lambda, cache status, work estimate) before execution.
 //
 // Input format: CSV rows `object_id,tick,x,y` (header optional).
 // Output: one line per convoy, `objects...  [start,end]`.
@@ -20,7 +26,9 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "convoy/convoy.h"
 
@@ -38,6 +46,7 @@ struct CliOptions {
   std::string output;
   std::string generate;
   std::string results_out;  // write convoys here (.json => JSON, else CSV)
+  std::string report_out;   // write the full ResultSet + plan JSON here
   std::string algo = "cuts*";
   convoy::ConvoyQuery query{3, 180, 8.0};
   double delta = -1.0;
@@ -45,6 +54,7 @@ struct CliOptions {
   double scale = 0.25;
   uint64_t seed = 7;
   bool print_stats = false;
+  bool explain = false;
   bool verify = false;
   bool use_rtree = false;
   bool exact_refine = false;
@@ -59,12 +69,14 @@ void PrintUsage() {
       "convoy_cli — convoy discovery in trajectory databases (VLDB'08)\n\n"
       "Discover convoys in a CSV file:\n"
       "  convoy_cli --input data.csv --m 3 --k 180 --e 8.0\n"
-      "             [--algo cmc|cuts|cuts+|cuts*|mc2] [--delta D]\n"
-      "             [--lambda L] [--theta T] [--threads N] [--stats]\n"
-      "             [--verify] [--rtree] [--exact-refine]\n"
-      "             [--results out.csv|out.json]\n"
+      "             [--algo auto|cmc|cuts|cuts+|cuts*|mc2] [--delta D]\n"
+      "             [--lambda L] [--theta T] [--threads N] [--explain]\n"
+      "             [--stats] [--verify] [--rtree] [--exact-refine]\n"
+      "             [--results out.csv|out.json] [--report out.json]\n"
       "             [--clean-max-speed V] [--clean-max-gap G]\n"
       "             [--clean-stationary]\n\n"
+      "--algo auto lets the planner pick (exact CMC for tiny inputs,\n"
+      "CuTS* otherwise); --explain prints the resolved query plan.\n\n"
       "Generate a synthetic dataset:\n"
       "  convoy_cli --generate trucklike|cattlelike|carlike|taxilike\n"
       "             --output data.csv [--seed N] [--scale S]\n";
@@ -113,6 +125,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->seed = std::strtoull(value, nullptr, 10);
     } else if (arg == "--results" && (value = next())) {
       opts->results_out = value;
+    } else if (arg == "--report" && (value = next())) {
+      opts->report_out = value;
     } else if (arg == "--clean-max-speed" && (value = next())) {
       opts->clean_max_speed = std::strtod(value, nullptr);
     } else if (arg == "--clean-max-gap" && (value = next())) {
@@ -125,6 +139,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->exact_refine = true;
     } else if (arg == "--stats") {
       opts->print_stats = true;
+    } else if (arg == "--explain") {
+      opts->explain = true;
     } else if (arg == "--verify") {
       opts->verify = true;
     } else {
@@ -132,7 +148,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       return false;
     }
     const bool flag_arg = arg == "--stats" || arg == "--verify" ||
-                          arg == "--rtree" || arg == "--exact-refine" ||
+                          arg == "--explain" || arg == "--rtree" ||
+                          arg == "--exact-refine" ||
                           arg == "--clean-stationary";
     if (value == nullptr && arg.rfind("--", 0) == 0 && !flag_arg) {
       return false;
@@ -247,42 +264,55 @@ int main(int argc, char** argv) {
               << report.trajectories_dropped << " fragment(s) dropped\n";
   }
 
-  convoy::DiscoveryStats stats;
-  std::vector<convoy::Convoy> result;
-
-  if (opts.algo == "cmc") {
-    result = convoy::ParallelCmc(db, opts.query, {}, &stats);
-  } else if (opts.algo == "cuts") {
-    result = convoy::Cuts(db, opts.query, convoy::CutsVariant::kCuts,
-                          filter_options, &stats);
-  } else if (opts.algo == "cuts+") {
-    result = convoy::Cuts(db, opts.query,
-                          convoy::CutsVariant::kCutsPlus, filter_options,
-                          &stats);
-  } else if (opts.algo == "cuts*") {
-    result = convoy::Cuts(db, opts.query,
-                          convoy::CutsVariant::kCutsStar, filter_options,
-                          &stats);
-  } else if (opts.algo == "mc2") {
-    convoy::Mc2Options mc2_options;
-    mc2_options.theta = theta;
-    result = convoy::Mc2(db, opts.query, mc2_options);
-  } else {
+  // Plan, optionally explain, then execute — the v2 planner/executor path.
+  const std::optional<convoy::AlgorithmChoice> choice =
+      convoy::ParseAlgorithmChoice(opts.algo);
+  if (!choice.has_value()) {
     std::cerr << "unknown algorithm: " << opts.algo << "\n";
     return kExitUsage;
   }
+  convoy::Mc2Options mc2_options;
+  mc2_options.theta = theta;
 
-  std::cout << result.size() << " convoy(s)\n";
+  convoy::ConvoyEngine engine(std::move(db));
+  const convoy::StatusOr<convoy::QueryPlan> plan =
+      engine.Prepare(opts.query, *choice, filter_options, mc2_options);
+  if (!plan.ok()) {
+    // Unreachable in practice: parameters were validated above, before the
+    // input was parsed. Kept for belt and braces.
+    std::cerr << "invalid query: " << plan.status() << "\n";
+    return kExitInvalidQuery;
+  }
+  if (opts.explain) std::cout << plan->Explain();
+
+  const convoy::StatusOr<convoy::ConvoyResultSet> executed =
+      engine.Execute(*plan);
+  if (!executed.ok()) {
+    std::cerr << "execution failed: " << executed.status() << "\n";
+    return kExitInvalidQuery;
+  }
+  const convoy::ConvoyResultSet& result = *executed;
+
+  std::cout << result.Count() << " convoy(s)\n";
   for (const convoy::Convoy& c : result) {
     std::cout << "  " << convoy::ToString(c);
     if (opts.verify) {
-      std::cout << (convoy::VerifyConvoy(db, opts.query, c)
+      std::cout << (convoy::VerifyConvoy(engine.db(), opts.query, c)
                         ? "  [verified]"
                         : "  [FAILED VERIFICATION]");
     }
     std::cout << "\n";
   }
-  if (opts.print_stats) std::cout << stats << "\n";
+  if (opts.print_stats) std::cout << result.stats() << "\n";
+
+  if (!opts.report_out.empty()) {
+    if (!convoy::SaveResultSetJson(result, opts.report_out)) {
+      std::cerr << "cannot write " << opts.report_out << "\n";
+      return kExitIo;
+    }
+    std::cout << "wrote plan + stats + " << result.Count()
+              << " convoy(s) to " << opts.report_out << "\n";
+  }
 
   if (!opts.results_out.empty()) {
     const bool json = opts.results_out.size() >= 5 &&
@@ -294,11 +324,11 @@ int main(int argc, char** argv) {
       return kExitIo;
     }
     if (json) {
-      convoy::SaveConvoysJson(result, out);
+      convoy::SaveConvoysJson(result.convoys(), out);
     } else {
-      convoy::SaveConvoysCsv(result, out);
+      convoy::SaveConvoysCsv(result.convoys(), out);
     }
-    std::cout << "wrote " << result.size() << " convoy(s) to "
+    std::cout << "wrote " << result.Count() << " convoy(s) to "
               << opts.results_out << "\n";
   }
   return kExitOk;

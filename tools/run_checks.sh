@@ -14,13 +14,30 @@
 # 4. run CuTS* and CMC discovery with 1 and 2 worker threads and require
 #    byte-identical results (the parallel subsystem's core guarantee);
 # 5. drive convoy_cli's error paths and require the documented exit codes
-#    (1 usage, 2 I/O, 3 invalid query, 4 data error).
+#    (1 usage, 2 I/O, 3 invalid query, 4 data error);
+# 6. smoke the planner: --algo auto --explain must print the chosen
+#    algorithm and the resolved delta/lambda.
+#
+# Before any of that: refuse to run if build artifacts are tracked by git
+# (a PR once committed 688 of them; .gitignore's build*/ plus this guard
+# keep it from recurring).
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 DEBUG_BUILD_DIR="${BUILD_DIR}-debug"
+
+echo "== tracked-build-artifact guard =="
+# Anchored to build*/ *directories* so a legitimate build.sh/buildspec.yml
+# at the root would not trip it.
+if git -C "${REPO_ROOT}" ls-files | grep -q '^build[^/]*/'; then
+  echo "FAIL: build artifacts are tracked by git:"
+  git -C "${REPO_ROOT}" ls-files | grep '^build[^/]*/' | head -10
+  echo "(git rm -r --cached them; .gitignore covers build*/)"
+  exit 1
+fi
+echo "ok: no tracked build artifacts"
 
 echo "== configure (RelWithDebInfo) =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
@@ -90,5 +107,17 @@ expect_exit 4 "garbage-only input" \
 printf '0,0,nan,1\n0,1,1,1\n0,2,2,2\n1,0,0,0\n' > "${SMOKE_DIR}/nanrow.csv"
 expect_exit 0 "NaN row skipped, rest discovered" \
   "${CLI}" --input "${SMOKE_DIR}/nanrow.csv" --m 2 --k 2 --e 8.0
+
+echo "== planner EXPLAIN smoke =="
+EXPLAIN_OUT="$("${CLI}" --input "${SMOKE_DIR}/data.csv" --m 3 --k 60 --e 8.0 \
+                        --algo auto --explain)"
+for needle in "algorithm:" "delta:" "lambda:"; do
+  if ! grep -q "${needle}" <<< "${EXPLAIN_OUT}"; then
+    echo "FAIL: --algo auto --explain output lacks '${needle}':"
+    echo "${EXPLAIN_OUT}"
+    exit 1
+  fi
+done
+echo "ok: --algo auto --explain prints the chosen algorithm and parameters"
 
 echo "== all checks passed =="
