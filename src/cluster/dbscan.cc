@@ -6,6 +6,17 @@
 
 namespace convoy {
 
+namespace {
+
+// The classic label-propagation DBSCAN, generic over how probe point i is
+// fetched (row-oriented Point vector or the store's coordinate columns) so
+// both overloads share one expansion order — and therefore one result.
+template <typename PointAt>
+Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
+                      size_t min_pts, PointAt&& point_at);
+
+}  // namespace
+
 Clustering Dbscan(const std::vector<Point>& points, double eps,
                   size_t min_pts) {
   if (points.empty()) return Clustering{};
@@ -15,8 +26,22 @@ Clustering Dbscan(const std::vector<Point>& points, double eps,
 
 Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
                   double eps, size_t min_pts) {
+  return DbscanImpl(points.size(), index, eps, min_pts,
+                    [&points](size_t i) -> const Point& { return points[i]; });
+}
+
+Clustering Dbscan(const double* xs, const double* ys, size_t n,
+                  const GridIndex& index, double eps, size_t min_pts) {
+  return DbscanImpl(n, index, eps, min_pts,
+                    [xs, ys](size_t i) { return Point(xs[i], ys[i]); });
+}
+
+namespace {
+
+template <typename PointAt>
+Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
+                      size_t min_pts, PointAt&& point_at) {
   Clustering result;
-  const size_t n = points.size();
   if (n == 0) return result;
 
   constexpr uint32_t kUnvisited = 0xFFFFFFFF;
@@ -28,7 +53,7 @@ Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
 
   for (size_t seed = 0; seed < n; ++seed) {
     if (label[seed] != kUnvisited) continue;
-    index.WithinRadiusInto(points[seed], eps, &neighbors);
+    index.WithinRadiusInto(point_at(seed), eps, &neighbors);
     if (neighbors.size() < min_pts) {
       label[seed] = kNoise;  // may be claimed later as a border point
       continue;
@@ -52,7 +77,7 @@ Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
       if (label[p] != kUnvisited) continue;
       label[p] = cluster_id;
       result.clusters.back().push_back(p);
-      index.WithinRadiusInto(points[p], eps, &neighbors);
+      index.WithinRadiusInto(point_at(p), eps, &neighbors);
       if (neighbors.size() >= min_pts) {
         // p is core: its whole neighborhood is density-reachable.
         for (const size_t q : neighbors) {
@@ -65,5 +90,7 @@ Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace convoy

@@ -46,6 +46,14 @@ class GridIndex;
 Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
                   double eps, size_t min_pts);
 
+/// Columnar overload over parallel coordinate arrays — the SnapshotStore's
+/// per-tick structure-of-arrays layout — with a prebuilt index over the
+/// same coordinates in the same order (e.g. SnapshotStore::GridFor).
+/// Results are identical to the Point-vector overloads: the probe points
+/// are bitwise the same and expansion order depends only on index order.
+Clustering Dbscan(const double* xs, const double* ys, size_t n,
+                  const GridIndex& index, double eps, size_t min_pts);
+
 }  // namespace convoy
 
 #endif  // CONVOY_CLUSTER_DBSCAN_H_

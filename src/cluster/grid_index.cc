@@ -15,8 +15,8 @@ uint64_t PackCell(int32_t cx, int32_t cy) {
 
 }  // namespace
 
-GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
-    : points_(points), cell_size_(cell_size) {
+void GridIndex::Init(double cell_size) {
+  cell_size_ = cell_size;
   // Degenerate cell sizes (eps = 0 queries, corrupted options) fall back to
   // a unit grid: correctness only needs *some* positive cell side, since
   // WithinRadiusInto widens its scan to cover any radius.
@@ -26,6 +26,18 @@ GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
     cells_[KeyFor(points_[i].x, points_[i].y)].push_back(
         static_cast<uint32_t>(i));
   }
+}
+
+GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
+    : points_(points) {
+  Init(cell_size);
+}
+
+GridIndex::GridIndex(const double* xs, const double* ys, size_t n,
+                     double cell_size) {
+  points_.reserve(n);
+  for (size_t i = 0; i < n; ++i) points_.emplace_back(xs[i], ys[i]);
+  Init(cell_size);
 }
 
 int32_t GridIndex::CellCoord(double v) const {

@@ -25,6 +25,13 @@ class GridIndex {
   /// cell — queries stay exhaustive, only their cost changes.
   GridIndex(const std::vector<Point>& points, double cell_size);
 
+  /// Columnar overload: the same index built from parallel coordinate
+  /// arrays (the SnapshotStore's per-tick layout). Internal state — and
+  /// therefore every query answer, including result order — is identical
+  /// to the Point-vector constructor over the same coordinates in the
+  /// same order.
+  GridIndex(const double* xs, const double* ys, size_t n, double cell_size);
+
   /// Returns the indices of all points within distance `radius` of `probe`
   /// (inclusive). Radii up to cell_size scan the 3x3 block around the
   /// probe; larger radii automatically widen to the multi-ring block of
@@ -42,6 +49,11 @@ class GridIndex {
 
  private:
   using CellKey = uint64_t;
+  /// Shared constructor tail: applies the degenerate-cell-size fallback
+  /// and fills the cell buckets from points_, so the row-oriented and
+  /// columnar constructors cannot drift apart (their identical internal
+  /// state is what the store-vs-legacy parity contract rests on).
+  void Init(double cell_size);
   CellKey KeyFor(double x, double y) const;
   int32_t CellCoord(double v) const;
 

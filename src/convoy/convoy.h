@@ -69,6 +69,7 @@
 #include "traj/resample.h"
 #include "traj/database.h"
 #include "traj/interpolate.h"
+#include "traj/snapshot_store.h"
 #include "traj/trajectory.h"
 #include "util/cancel.h"
 #include "util/random.h"

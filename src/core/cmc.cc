@@ -9,6 +9,37 @@
 
 namespace convoy {
 
+namespace {
+
+// Maps a clustering's point indices to sorted object-id lists — the shape
+// the candidate tracker consumes.
+std::vector<std::vector<ObjectId>> ClustersToObjectIds(
+    const Clustering& clustering, const ObjectId* ids) {
+  std::vector<std::vector<ObjectId>> cluster_objects;
+  cluster_objects.reserve(clustering.clusters.size());
+  for (const std::vector<size_t>& cluster : clustering.clusters) {
+    std::vector<ObjectId> members;
+    members.reserve(cluster.size());
+    for (const size_t idx : cluster) members.push_back(ids[idx]);
+    std::sort(members.begin(), members.end());
+    cluster_objects.push_back(std::move(members));
+  }
+  return cluster_objects;
+}
+
+}  // namespace
+
+std::vector<std::vector<ObjectId>> ClusterSnapshot(
+    const std::vector<Point>& points, const std::vector<ObjectId>& ids,
+    const ConvoyQuery& query, bool* clustered) {
+  if (clustered != nullptr) *clustered = false;
+  if (points.size() < query.m) return {};
+  const GridIndex index(points, query.e);
+  const Clustering clustering = Dbscan(points, index, query.e, query.m);
+  if (clustered != nullptr) *clustered = true;
+  return ClustersToObjectIds(clustering, ids.data());
+}
+
 std::vector<std::vector<ObjectId>> SnapshotClusters(
     const TrajectoryDatabase& db, Tick t, const ConvoyQuery& query,
     bool* clustered, SnapshotScratch* scratch) {
@@ -27,23 +58,23 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(
     snapshot.push_back(*pos);
     snapshot_ids.push_back(traj.id());
   }
+  return ClusterSnapshot(snapshot, snapshot_ids, query, clustered);
+}
 
-  std::vector<std::vector<ObjectId>> cluster_objects;
+std::vector<std::vector<ObjectId>> SnapshotClusters(const SnapshotStore& store,
+                                                    Tick t,
+                                                    const ConvoyQuery& query,
+                                                    bool* clustered) {
   if (clustered != nullptr) *clustered = false;
-  if (snapshot.size() >= query.m) {
-    const GridIndex index(snapshot, query.e);
-    const Clustering clustering = Dbscan(snapshot, index, query.e, query.m);
-    if (clustered != nullptr) *clustered = true;
-    cluster_objects.reserve(clustering.clusters.size());
-    for (const std::vector<size_t>& cluster : clustering.clusters) {
-      std::vector<ObjectId> ids;
-      ids.reserve(cluster.size());
-      for (const size_t idx : cluster) ids.push_back(snapshot_ids[idx]);
-      std::sort(ids.begin(), ids.end());
-      cluster_objects.push_back(std::move(ids));
-    }
-  }
-  return cluster_objects;
+  const SnapshotView view = store.At(t);
+  if (view.size < query.m) return {};
+  // Hold the shared_ptr across the scan: the store may evict the grid
+  // from its cache mid-query (eps-sweep bound), never from under us.
+  const std::shared_ptr<const GridIndex> grid = store.GridFor(t, query.e);
+  const Clustering clustering =
+      Dbscan(view.xs, view.ys, view.size, *grid, query.e, query.m);
+  if (clustered != nullptr) *clustered = true;
+  return ClustersToObjectIds(clustering, view.ids);
 }
 
 std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
@@ -59,11 +90,6 @@ std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
   return result;
 }
 
-namespace {
-
-// Converts completed candidates [from, end) to convoys and hands them to the
-// sink — the shared incremental-emission tail of the serial and parallel CMC
-// loops. Returns the new emission watermark.
 size_t EmitCompletedSince(const std::vector<Candidate>& completed, size_t from,
                           const ExecHooks* hooks) {
   if (hooks == nullptr || !hooks->sink) return completed.size();
@@ -76,12 +102,17 @@ size_t EmitCompletedSince(const std::vector<Candidate>& completed, size_t from,
   return completed.size();
 }
 
-}  // namespace
+namespace {
 
-std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
-                             const ConvoyQuery& query, Tick begin_tick,
-                             Tick end_tick, const CmcOptions& options,
-                             DiscoveryStats* stats, const ExecHooks* hooks) {
+// The serial CMC loop, generic over how a tick's clusters are produced
+// (row-oriented re-derivation or the SnapshotStore's columnar views): the
+// candidate algebra is identical either way, so the two entry points can
+// never diverge. `cluster_at(t, &clustered)` returns the tick's clusters.
+template <typename ClusterAt>
+std::vector<Convoy> CmcRangeImpl(const ConvoyQuery& query, Tick begin_tick,
+                                 Tick end_tick, const CmcOptions& options,
+                                 DiscoveryStats* stats, const ExecHooks* hooks,
+                                 ClusterAt&& cluster_at) {
   Stopwatch total;
   CandidateTracker tracker(query.m, query.k);
   std::vector<Candidate> completed;
@@ -90,12 +121,11 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              : 0;
   size_t emitted = 0;
 
-  SnapshotScratch scratch;
   for (Tick t = begin_tick; t <= end_tick; ++t) {
     CheckCancelled(hooks);
     bool clustered = false;
     const std::vector<std::vector<ObjectId>> cluster_objects =
-        SnapshotClusters(db, t, query, &clustered, &scratch);
+        cluster_at(t, &clustered);
     if (clustered && stats != nullptr) ++stats->num_clusterings;
     // Advancing with an empty cluster list retires every live candidate,
     // which is exactly what a tick with < m alive objects must do: the
@@ -117,12 +147,44 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
   return result;
 }
 
+}  // namespace
+
+std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
+                             const ConvoyQuery& query, Tick begin_tick,
+                             Tick end_tick, const CmcOptions& options,
+                             DiscoveryStats* stats, const ExecHooks* hooks) {
+  SnapshotScratch scratch;
+  return CmcRangeImpl(query, begin_tick, end_tick, options, stats, hooks,
+                      [&](Tick t, bool* clustered) {
+                        return SnapshotClusters(db, t, query, clustered,
+                                                &scratch);
+                      });
+}
+
 std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
                         const CmcOptions& options, DiscoveryStats* stats,
                         const ExecHooks* hooks) {
   if (db.Empty()) return {};
   return CmcRange(db, query, db.BeginTick(), db.EndTick(), options, stats,
                   hooks);
+}
+
+std::vector<Convoy> CmcRange(const SnapshotStore& store,
+                             const ConvoyQuery& query, Tick begin_tick,
+                             Tick end_tick, const CmcOptions& options,
+                             DiscoveryStats* stats, const ExecHooks* hooks) {
+  return CmcRangeImpl(query, begin_tick, end_tick, options, stats, hooks,
+                      [&](Tick t, bool* clustered) {
+                        return SnapshotClusters(store, t, query, clustered);
+                      });
+}
+
+std::vector<Convoy> Cmc(const SnapshotStore& store, const ConvoyQuery& query,
+                        const CmcOptions& options, DiscoveryStats* stats,
+                        const ExecHooks* hooks) {
+  if (store.Empty()) return {};
+  return CmcRange(store, query, store.begin_tick(), store.end_tick(), options,
+                  stats, hooks);
 }
 
 }  // namespace convoy

@@ -9,6 +9,7 @@
 #include "core/exec_hooks.h"
 #include "geom/point.h"
 #include "traj/database.h"
+#include "traj/snapshot_store.h"
 
 namespace convoy {
 
@@ -44,6 +45,24 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              DiscoveryStats* stats = nullptr,
                              const ExecHooks* hooks = nullptr);
 
+/// Store-backed CMC: identical to Cmc(db, ...) over the database the store
+/// was built from — the store's per-tick columnar views reproduce the
+/// row-oriented snapshot gather bit for bit — but skips all per-tick
+/// re-derivation (interpolation, alive-object scans) and reuses the
+/// store's cached per-tick grid indexes at query.e instead of rebuilding
+/// them every call.
+std::vector<Convoy> Cmc(const SnapshotStore& store, const ConvoyQuery& query,
+                        const CmcOptions& options = {},
+                        DiscoveryStats* stats = nullptr,
+                        const ExecHooks* hooks = nullptr);
+
+/// Store-backed range-restricted CMC, mirroring CmcRange(db, ...).
+std::vector<Convoy> CmcRange(const SnapshotStore& store,
+                             const ConvoyQuery& query, Tick begin_tick,
+                             Tick end_tick, const CmcOptions& options = {},
+                             DiscoveryStats* stats = nullptr,
+                             const ExecHooks* hooks = nullptr);
+
 /// Scratch buffers a caller may reuse across SnapshotClusters calls so the
 /// serial per-tick loop does not reallocate the snapshot every iteration.
 struct SnapshotScratch {
@@ -64,10 +83,34 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(
     const TrajectoryDatabase& db, Tick t, const ConvoyQuery& query,
     bool* clustered = nullptr, SnapshotScratch* scratch = nullptr);
 
+/// Store-backed per-tick unit of work: clusters the store's columnar view
+/// of tick `t` over the store's cached grid index at query.e. Identical
+/// output to SnapshotClusters(db, t, ...) on the source database.
+std::vector<std::vector<ObjectId>> SnapshotClusters(const SnapshotStore& store,
+                                                    Tick t,
+                                                    const ConvoyQuery& query,
+                                                    bool* clustered = nullptr);
+
+/// Clusters one already-materialized snapshot (`points` with aligned
+/// `ids`): DBSCAN(query.e, query.m) over a fresh grid index, clusters
+/// returned as sorted object-id lists, snapshots smaller than m skipped.
+/// The snapshot path shared by batch CMC, MC2, and StreamingCmc — one
+/// implementation, so their per-tick semantics can never drift apart.
+std::vector<std::vector<ObjectId>> ClusterSnapshot(
+    const std::vector<Point>& points, const std::vector<ObjectId>& ids,
+    const ConvoyQuery& query, bool* clustered = nullptr);
+
 /// The shared tail of CMC: converts completed candidates to convoys and
 /// applies dominance pruning (or mere canonicalization, per `options`).
 std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
                                       const CmcOptions& options);
+
+/// Converts completed candidates [from, end) to convoys and hands them to
+/// the hooks' incremental sink (no-op without one) — the emission tail
+/// shared by the serial and parallel CMC loops, so their sink streams
+/// cannot diverge. Returns the new emission watermark.
+size_t EmitCompletedSince(const std::vector<Candidate>& completed, size_t from,
+                          const ExecHooks* hooks);
 
 }  // namespace convoy
 

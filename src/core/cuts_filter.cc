@@ -5,6 +5,7 @@
 
 #include "core/params.h"
 #include "parallel/parallel_for.h"
+#include "traj/snapshot_store.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
@@ -111,7 +112,8 @@ CutsFilterResult CutsFilterPresimplified(
     const TrajectoryDatabase& db, const ConvoyQuery& query,
     const CutsFilterOptions& options,
     std::vector<SimplifiedTrajectory> simplified, double delta_used,
-    DiscoveryStats* stats, const ExecHooks* hooks) {
+    DiscoveryStats* stats, const ExecHooks* hooks,
+    const SnapshotStore* store) {
   CutsFilterResult result;
   if (db.Empty()) return result;
   result.delta_used = delta_used;
@@ -129,8 +131,10 @@ CutsFilterResult CutsFilterPresimplified(
                            : ComputeLambda(db, result.simplified, query.k);
   if (stats != nullptr) stats->lambda_used = result.lambda_used;
 
-  const Tick begin = db.BeginTick();
-  const Tick end = db.EndTick();
+  // The store materializes the time domain at build; without one, the
+  // bounds cost a full trajectory scan each.
+  const Tick begin = store != nullptr ? store->begin_tick() : db.BeginTick();
+  const Tick end = store != nullptr ? store->end_tick() : db.EndTick();
   const Tick lambda = std::max<Tick>(result.lambda_used, 1);
 
   std::vector<std::pair<Tick, Tick>> partitions;

@@ -101,12 +101,17 @@ std::vector<PartitionPolyline> BuildPartitionPolylines(
 /// simplification cost across repeated queries. `hooks` (optional) adds a
 /// cancellation check per time partition — in the parallel clustering
 /// lambda and the sequential tracker pass — plus per-partition "filter"
-/// progress reports; results are unaffected (core/exec_hooks.h).
+/// progress reports; results are unaffected (core/exec_hooks.h). `store`
+/// (optional; must be built from `db`) supplies the precomputed time
+/// domain, so partitioning skips the O(N) BeginTick/EndTick rescans;
+/// partition boundaries — and results — are identical either way.
+class SnapshotStore;
 CutsFilterResult CutsFilterPresimplified(
     const TrajectoryDatabase& db, const ConvoyQuery& query,
     const CutsFilterOptions& options,
     std::vector<SimplifiedTrajectory> simplified, double delta_used,
-    DiscoveryStats* stats = nullptr, const ExecHooks* hooks = nullptr);
+    DiscoveryStats* stats = nullptr, const ExecHooks* hooks = nullptr,
+    const SnapshotStore* store = nullptr);
 
 }  // namespace convoy
 

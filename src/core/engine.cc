@@ -27,9 +27,9 @@ AlgorithmChoice ChoiceFor(CutsVariant variant) {
 
 }  // namespace
 
-std::vector<SimplifiedTrajectory> ConvoyEngine::SimplifiedFor(
-    SimplifierKind kind, double delta, size_t threads,
-    bool* cache_hit) const {
+std::shared_ptr<const std::vector<SimplifiedTrajectory>>
+ConvoyEngine::SimplifiedFor(SimplifierKind kind, double delta, size_t threads,
+                            bool* cache_hit) const {
   const CacheKey key{kind, std::bit_cast<uint64_t>(delta)};
   if (cache_hit != nullptr) *cache_hit = false;
   std::unique_lock<std::mutex> lock(cache_mu_);
@@ -39,20 +39,58 @@ std::vector<SimplifiedTrajectory> ConvoyEngine::SimplifiedFor(
     // (or CMC runs) are not serialized behind this one. A racing miss on
     // the same key recomputes; the first emplace wins.
     lock.unlock();
-    std::vector<SimplifiedTrajectory> computed =
-        SimplifyDatabase(db_, delta, kind, threads);
+    auto computed = std::make_shared<const std::vector<SimplifiedTrajectory>>(
+        SimplifyDatabase(db_, delta, kind, threads));
     lock.lock();
     it = cache_.emplace(key, std::move(computed)).first;
   } else if (cache_hit != nullptr) {
     *cache_hit = true;
   }
-  return it->second;  // copied under the lock; entries never mutate
+  return it->second;  // entries are immutable; a hit is a pointer copy
 }
 
 const DatabaseStats& ConvoyEngine::CachedStats() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  if (!db_stats_.has_value()) db_stats_ = db_.Stats();
+  if (!db_stats_.has_value() || db_stats_generation_ != db_.generation()) {
+    db_stats_ = db_.Stats();
+    db_stats_generation_ = db_.generation();
+  }
   return *db_stats_;
+}
+
+std::shared_ptr<const SnapshotStore> ConvoyEngine::Store(size_t num_threads,
+                                                         bool* reused) const {
+  if (reused != nullptr) *reused = false;
+  std::unique_lock<std::mutex> lock(cache_mu_);
+  if (store_ != nullptr && !store_->IsStaleFor(db_)) {
+    if (reused != nullptr) *reused = true;
+    return store_;
+  }
+  if (store_declined_generation_ == db_.generation()) return nullptr;
+  lock.unlock();
+  // Over-budget databases (sparse feeds whose domain dwarfs their sample
+  // count) decline the store rather than OOM-ing the build; callers fall
+  // back to the row-oriented path, which needs per-tick scratch only.
+  // The decision is remembered per generation so later queries skip the
+  // O(N) estimate.
+  if (SnapshotStore::EstimateColumnarSlots(db_) > kSnapshotStoreSlotBudget) {
+    lock.lock();
+    store_declined_generation_ = db_.generation();
+    return nullptr;
+  }
+  // Build outside the lock (the pass touches every trajectory) so
+  // concurrent queries already holding a store are not serialized behind
+  // it. Racing misses both build; the first publish wins.
+  auto built = std::make_shared<const SnapshotStore>(
+      SnapshotStore::Build(db_, num_threads));
+  lock.lock();
+  if (store_ == nullptr || store_->IsStaleFor(db_)) store_ = built;
+  return store_;
+}
+
+std::shared_ptr<const SnapshotStore> ConvoyEngine::PeekStore() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return store_ != nullptr && !store_->IsStaleFor(db_) ? store_ : nullptr;
 }
 
 QueryPlan ConvoyEngine::MakePlan(const ConvoyQuery& query,
@@ -67,6 +105,15 @@ QueryPlan ConvoyEngine::MakePlan(const ConvoyQuery& query,
     return SimplifiedFor(kind, delta,
                          ResolveWorkerThreads(options.num_threads, query),
                          hit);
+  };
+  planner_options.store = [this, &query, &options](bool build_if_missing,
+                                                   bool* reused) {
+    if (build_if_missing) {
+      return Store(ResolveWorkerThreads(options.num_threads, query), reused);
+    }
+    std::shared_ptr<const SnapshotStore> peeked = PeekStore();
+    if (reused != nullptr) *reused = peeked != nullptr;
+    return peeked;
   };
   const QueryPlanner planner(db_, std::move(planner_options));
   return planner.Plan(query, choice, options, mc2);
@@ -102,6 +149,12 @@ ConvoyResultSet ConvoyEngine::RunPlan(const QueryPlan& plan,
   ctx.num_threads = ResolveWorkerThreads(0, plan.query);
   ctx.hooks = hooks;
   ctx.stats = stats;
+  // Snapshot-consuming algorithms get the store built (a cache hit in the
+  // steady state — Prepare already did it; a hand-built plan pays here);
+  // the CuTS family only borrows an existing one for its time domain.
+  ctx.store = GetAlgorithm(plan.algorithm).Capabilities().uses_snapshot_store
+                  ? Store(ctx.num_threads)
+                  : PeekStore();
   ctx.simplified = [this, &plan, stats](SimplifierKind kind, double delta,
                                         bool* hit) {
     // Normally a cache hit (Prepare primed the entry); on a miss — a
@@ -109,10 +162,11 @@ ConvoyResultSet ConvoyEngine::RunPlan(const QueryPlan& plan,
     // real simplification work of this execution.
     bool local_hit = false;
     Stopwatch simplify_watch;
-    std::vector<SimplifiedTrajectory> result = SimplifiedFor(
-        kind, delta,
-        ResolveWorkerThreads(plan.filter.num_threads, plan.query),
-        &local_hit);
+    std::shared_ptr<const std::vector<SimplifiedTrajectory>> result =
+        SimplifiedFor(
+            kind, delta,
+            ResolveWorkerThreads(plan.filter.num_threads, plan.query),
+            &local_hit);
     if (!local_hit) stats->simplify_seconds += simplify_watch.ElapsedSeconds();
     if (hit != nullptr) *hit = local_hit;
     return result;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "query/result_set.h"
 #include "simplify/simplifier.h"
 #include "traj/database.h"
+#include "traj/snapshot_store.h"
 #include "util/status.h"
 
 namespace convoy {
@@ -54,9 +56,9 @@ namespace convoy {
 /// different threads are safe without external synchronization. Two threads
 /// missing the same cache key may both compute the simplification; the
 /// first insert wins and the duplicate work is discarded (benign, and only
-/// on the first query of a sweep). Simplified trajectories are handed to
-/// the filter by value (copied out under the lock), so cache entries are
-/// never mutated after insertion.
+/// on the first query of a sweep). Cache entries are immutable shared
+/// snapshots: readers hold a shared_ptr, and consumers that need ownership
+/// (the filter) copy the vector themselves.
 class ConvoyEngine {
  public:
   explicit ConvoyEngine(TrajectoryDatabase db) : db_(std::move(db)) {}
@@ -133,6 +135,22 @@ class ConvoyEngine {
     return cache_.size();
   }
 
+  /// The engine's cached SnapshotStore: built on first use (any Prepare,
+  /// Execute, or legacy Discover), then shared by every later query until
+  /// the database generation changes. `reused` (optional out) reports
+  /// whether the call was served from cache; `num_threads` sizes the build
+  /// pass on a miss (0 = all hardware threads). Thread-safe; the returned
+  /// pointer stays valid across a concurrent rebuild. Returns null — and
+  /// every query runs the legacy row-oriented path — when materializing
+  /// the database would exceed kSnapshotStoreSlotBudget.
+  std::shared_ptr<const SnapshotStore> Store(size_t num_threads = 0,
+                                             bool* reused = nullptr) const;
+
+  /// The cached store if one is already built and fresh, else null —
+  /// never triggers a build. Non-snapshot-consuming plans (CuTS) use this
+  /// to borrow an existing store's time domain without paying for one.
+  std::shared_ptr<const SnapshotStore> PeekStore() const;
+
  private:
   /// Keyed on the simplifier and the *exact bit pattern* of delta. An
   /// earlier version truncated delta to integer micro-units, which aliased
@@ -142,14 +160,19 @@ class ConvoyEngine {
   /// (regression-tested in engine_test.cc).
   using CacheKey = std::pair<SimplifierKind, uint64_t>;
 
-  /// The database simplified with (kind, delta), served from cache_ when
-  /// present; computes with `threads` workers and inserts on miss.
-  /// `cache_hit` (optional out) reports which happened.
-  std::vector<SimplifiedTrajectory> SimplifiedFor(SimplifierKind kind,
-                                                  double delta, size_t threads,
-                                                  bool* cache_hit) const;
+  /// The database simplified with (kind, delta) as an immutable shared
+  /// snapshot, served from cache_ when present; computes with `threads`
+  /// workers and inserts on miss. `cache_hit` (optional out) reports
+  /// which happened. A hit costs a map lookup and a shared_ptr copy —
+  /// consumers needing ownership copy the vector themselves.
+  std::shared_ptr<const std::vector<SimplifiedTrajectory>> SimplifiedFor(
+      SimplifierKind kind, double delta, size_t threads,
+      bool* cache_hit) const;
 
-  /// db_.Stats(), computed once and memoized (guarded by cache_mu_).
+  /// db_.Stats(), memoized and keyed on the database generation counter —
+  /// the same counter the SnapshotStore uses — so repeated Prepare calls
+  /// on an unchanged database never rescan the trajectories (guarded by
+  /// cache_mu_).
   const DatabaseStats& CachedStats() const;
 
   /// Prepare without validation — the permissive planning path the legacy
@@ -167,9 +190,23 @@ class ConvoyEngine {
                           DiscoveryStats* external_stats = nullptr) const;
 
   TrajectoryDatabase db_;
-  mutable std::mutex cache_mu_;  ///< guards cache_ and db_stats_
-  mutable std::map<CacheKey, std::vector<SimplifiedTrajectory>> cache_;
+  /// Guards cache_, db_stats_ (+ generation), and store_.
+  mutable std::mutex cache_mu_;
+  mutable std::map<CacheKey,
+                   std::shared_ptr<const std::vector<SimplifiedTrajectory>>>
+      cache_;
   mutable std::optional<DatabaseStats> db_stats_;
+  mutable uint64_t db_stats_generation_ = 0;
+  /// The tick-partitioned store, built lazily and invalidated when its
+  /// built_generation falls behind db_.generation() (impossible through
+  /// the engine's own const surface — belt and braces for future mutable
+  /// entry points). shared_ptr so in-flight executions keep their store
+  /// alive across a rebuild.
+  mutable std::shared_ptr<const SnapshotStore> store_;
+  /// Generation at which the store was last declined as over budget, so
+  /// repeated queries against an over-budget database do not re-pay the
+  /// O(N) estimate on every Prepare/Execute.
+  mutable std::optional<uint64_t> store_declined_generation_;
 };
 
 }  // namespace convoy

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <map>
 
-#include "cluster/dbscan.h"
 #include "core/candidate.h"
+#include "core/cmc.h"
 #include "core/verify.h"
 #include "traj/interpolate.h"
 
@@ -29,16 +29,15 @@ double Jaccard(const std::vector<ObjectId>& a,
   return static_cast<double>(common) / static_cast<double>(uni);
 }
 
-}  // namespace
-
-std::vector<Convoy> Mc2(const TrajectoryDatabase& db, const ConvoyQuery& query,
-                        const Mc2Options& options) {
+// The moving-cluster chaining loop, generic over how a tick's clusters are
+// produced so the row-oriented and store-backed entry points share one
+// implementation (and the same snapshot path as CMC — ClusterSnapshot /
+// the store's cached grid indexes).
+template <typename ClusterAt>
+std::vector<Convoy> Mc2Impl(Tick begin_tick, Tick end_tick,
+                            const Mc2Options& options, ClusterAt&& cluster_at) {
   std::vector<Convoy> reports;
-  if (db.Empty()) return reports;
-
   std::vector<Chain> live;
-  std::vector<Point> snapshot;
-  std::vector<ObjectId> snapshot_ids;
 
   const auto finish = [&](const Chain& chain) {
     if (chain.end_tick - chain.start_tick + 1 < options.min_duration) return;
@@ -46,26 +45,8 @@ std::vector<Convoy> Mc2(const TrajectoryDatabase& db, const ConvoyQuery& query,
     reports.push_back(Convoy{chain.common, chain.start_tick, chain.end_tick});
   };
 
-  for (Tick t = db.BeginTick(); t <= db.EndTick(); ++t) {
-    snapshot.clear();
-    snapshot_ids.clear();
-    for (const Trajectory& traj : db.trajectories()) {
-      const auto pos = InterpolateAt(traj, t);
-      if (!pos.has_value()) continue;
-      snapshot.push_back(*pos);
-      snapshot_ids.push_back(traj.id());
-    }
-
-    std::vector<std::vector<ObjectId>> clusters;
-    if (snapshot.size() >= query.m) {
-      const Clustering clustering = Dbscan(snapshot, query.e, query.m);
-      for (const std::vector<size_t>& cluster : clustering.clusters) {
-        std::vector<ObjectId> ids;
-        for (const size_t idx : cluster) ids.push_back(snapshot_ids[idx]);
-        std::sort(ids.begin(), ids.end());
-        clusters.push_back(std::move(ids));
-      }
-    }
+  for (Tick t = begin_tick; t <= end_tick; ++t) {
+    const std::vector<std::vector<ObjectId>> clusters = cluster_at(t);
 
     // Extend chains whose previous cluster overlaps a current cluster by at
     // least theta; like the convoy tracker, splits spawn one successor per
@@ -112,6 +93,34 @@ std::vector<Convoy> Mc2(const TrajectoryDatabase& db, const ConvoyQuery& query,
 
   Canonicalize(&reports);
   return reports;
+}
+
+}  // namespace
+
+std::vector<Convoy> Mc2(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const Mc2Options& options) {
+  if (db.Empty()) return {};
+  std::vector<Point> snapshot;
+  std::vector<ObjectId> snapshot_ids;
+  return Mc2Impl(db.BeginTick(), db.EndTick(), options, [&](Tick t) {
+    snapshot.clear();
+    snapshot_ids.clear();
+    for (const Trajectory& traj : db.trajectories()) {
+      const auto pos = InterpolateAt(traj, t);
+      if (!pos.has_value()) continue;
+      snapshot.push_back(*pos);
+      snapshot_ids.push_back(traj.id());
+    }
+    return ClusterSnapshot(snapshot, snapshot_ids, query);
+  });
+}
+
+std::vector<Convoy> Mc2(const SnapshotStore& store, const ConvoyQuery& query,
+                        const Mc2Options& options) {
+  if (store.Empty()) return {};
+  return Mc2Impl(store.begin_tick(), store.end_tick(), options, [&](Tick t) {
+    return SnapshotClusters(store, t, query);
+  });
 }
 
 Mc2Accuracy MeasureMc2Accuracy(const TrajectoryDatabase& db,

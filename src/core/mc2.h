@@ -5,6 +5,7 @@
 
 #include "core/convoy_set.h"
 #include "traj/database.h"
+#include "traj/snapshot_store.h"
 
 namespace convoy {
 
@@ -33,6 +34,12 @@ struct Mc2Options {
 /// DBSCAN with the query's e and m) is used so that the comparison isolates
 /// the semantic difference, not data preparation.
 std::vector<Convoy> Mc2(const TrajectoryDatabase& db, const ConvoyQuery& query,
+                        const Mc2Options& options = {});
+
+/// Store-backed MC2: identical reports over the database the store was
+/// built from, reading the columnar per-tick views and cached grid
+/// indexes instead of re-deriving every snapshot.
+std::vector<Convoy> Mc2(const SnapshotStore& store, const ConvoyQuery& query,
                         const Mc2Options& options = {});
 
 /// Accuracy of MC2 against the exact convoy result, as plotted in

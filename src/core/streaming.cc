@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "core/cmc.h"
 #include "core/validate.h"
 
 namespace convoy {
@@ -79,7 +80,11 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
     last_seen_[id] = LastSeen{pos, t};
   }
 
-  std::vector<std::vector<ObjectId>> cluster_objects;
+  // The snapshot path shared with batch CMC / MC2 (ClusterSnapshot): the
+  // stream differs only in where the positions come from, never in how a
+  // snapshot is clustered. Under-m ticks skip the gather entirely — on a
+  // sparse stream most ticks end here.
+  std::vector<std::vector<ObjectId>> clusters;
   if (snapshot_.size() >= query_.m) {
     std::vector<Point> points;
     std::vector<ObjectId> ids;
@@ -89,16 +94,9 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
       ids.push_back(id);
       points.push_back(pos);
     }
-    const Clustering clustering = Dbscan(points, query_.e, query_.m);
-    for (const std::vector<size_t>& cluster : clustering.clusters) {
-      std::vector<ObjectId> members;
-      members.reserve(cluster.size());
-      for (const size_t idx : cluster) members.push_back(ids[idx]);
-      std::sort(members.begin(), members.end());
-      cluster_objects.push_back(std::move(members));
-    }
+    clusters = ClusterSnapshot(points, ids, query_);
   }
-  tracker_.Advance(cluster_objects, t, t, /*step_weight=*/1, &completed_);
+  tracker_.Advance(clusters, t, t, /*step_weight=*/1, &completed_);
 
   last_processed_ = t;
   current_tick_.reset();

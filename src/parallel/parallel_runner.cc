@@ -9,16 +9,21 @@
 
 namespace convoy {
 
-std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
-                                     const ConvoyQuery& query, Tick begin_tick,
-                                     Tick end_tick, const CmcOptions& options,
-                                     DiscoveryStats* stats, size_t num_threads,
-                                     const ExecHooks* hooks) {
-  const size_t threads = ResolveWorkerThreads(num_threads, query);
-  if (threads <= 1 || begin_tick > end_tick) {
-    return CmcRange(db, query, begin_tick, end_tick, options, stats, hooks);
-  }
+namespace {
 
+// The block-parallel CMC loop shared by the row-oriented and store-backed
+// entry points, generic over the per-tick clustering `cluster_at(t,
+// &clustered)`: ticks are clustered concurrently in blocks, candidates
+// extended sequentially in tick order — the sequential pass is what makes
+// every variant bit-identical to serial CMC.
+template <typename ClusterAt>
+std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
+                                         Tick begin_tick, Tick end_tick,
+                                         const CmcOptions& options,
+                                         DiscoveryStats* stats,
+                                         size_t threads,
+                                         const ExecHooks* hooks,
+                                         ClusterAt&& cluster_at) {
   Stopwatch total;
   ThreadPool pool(threads);
   CandidateTracker tracker(query.m, query.k);
@@ -39,17 +44,6 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
   const size_t block = std::max<size_t>(threads * 16, 256);
   size_t num_clusterings = 0;
   size_t emitted = 0;
-  // Converts completed candidates past the watermark to convoys for the
-  // incremental sink (no-op without one).
-  const auto emit_completed = [&]() {
-    if (hooks == nullptr || !hooks->sink) return;
-    std::vector<Convoy> batch;
-    for (size_t i = emitted; i < completed.size(); ++i) {
-      batch.push_back(completed[i].ToConvoy());
-    }
-    emitted = completed.size();
-    EmitConvoys(hooks, std::move(batch));
-  };
   for (size_t block_begin = 0; block_begin < total_ticks;
        block_begin += block) {
     const size_t block_size = std::min(block, total_ticks - block_begin);
@@ -58,7 +52,7 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
           CheckCancelled(hooks);
           const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
           TickClusters out;
-          out.clusters = SnapshotClusters(db, t, query, &out.clustered);
+          out.clusters = cluster_at(t, &out.clustered);
           return out;
         });
     for (size_t i = 0; i < block_size; ++i) {
@@ -67,12 +61,12 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
       if (per_tick[i].clustered) ++num_clusterings;
       tracker.Advance(per_tick[i].clusters, t, t, /*step_weight=*/1,
                       &completed);
-      emit_completed();
+      emitted = EmitCompletedSince(completed, emitted, hooks);
       ReportProgress(hooks, "cmc", block_begin + i + 1, total_ticks);
     }
   }
   tracker.Flush(&completed);
-  emit_completed();
+  EmitCompletedSince(completed, emitted, hooks);
 
   std::vector<Convoy> result = FinalizeCmcResult(completed, options);
 
@@ -84,6 +78,24 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
   return result;
 }
 
+}  // namespace
+
+std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
+                                     const ConvoyQuery& query, Tick begin_tick,
+                                     Tick end_tick, const CmcOptions& options,
+                                     DiscoveryStats* stats, size_t num_threads,
+                                     const ExecHooks* hooks) {
+  const size_t threads = ResolveWorkerThreads(num_threads, query);
+  if (threads <= 1 || begin_tick > end_tick) {
+    return CmcRange(db, query, begin_tick, end_tick, options, stats, hooks);
+  }
+  return ParallelCmcRangeImpl(query, begin_tick, end_tick, options, stats,
+                              threads, hooks, [&](Tick t, bool* clustered) {
+                                return SnapshotClusters(db, t, query,
+                                                        clustered);
+                              });
+}
+
 std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
                                 const ConvoyQuery& query,
                                 const CmcOptions& options,
@@ -92,6 +104,33 @@ std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
   if (db.Empty()) return {};
   return ParallelCmcRange(db, query, db.BeginTick(), db.EndTick(), options,
                           stats, num_threads, hooks);
+}
+
+std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
+                                     const ConvoyQuery& query, Tick begin_tick,
+                                     Tick end_tick, const CmcOptions& options,
+                                     DiscoveryStats* stats, size_t num_threads,
+                                     const ExecHooks* hooks) {
+  const size_t threads = ResolveWorkerThreads(num_threads, query);
+  if (threads <= 1 || begin_tick > end_tick) {
+    return CmcRange(store, query, begin_tick, end_tick, options, stats,
+                    hooks);
+  }
+  return ParallelCmcRangeImpl(query, begin_tick, end_tick, options, stats,
+                              threads, hooks, [&](Tick t, bool* clustered) {
+                                return SnapshotClusters(store, t, query,
+                                                        clustered);
+                              });
+}
+
+std::vector<Convoy> ParallelCmc(const SnapshotStore& store,
+                                const ConvoyQuery& query,
+                                const CmcOptions& options,
+                                DiscoveryStats* stats, size_t num_threads,
+                                const ExecHooks* hooks) {
+  if (store.Empty()) return {};
+  return ParallelCmcRange(store, query, store.begin_tick(), store.end_tick(),
+                          options, stats, num_threads, hooks);
 }
 
 CutsFilterResult ParallelCutsFilter(const TrajectoryDatabase& db,

@@ -45,6 +45,26 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
                                      size_t num_threads = 0,
                                      const ExecHooks* hooks = nullptr);
 
+/// Store-backed snapshot-parallel CMC: per-tick clustering reads the
+/// SnapshotStore's columnar views and cached grid indexes instead of
+/// re-deriving snapshots, with output bit-identical to every other CMC
+/// entry point over the store's source database at any thread count.
+std::vector<Convoy> ParallelCmc(const SnapshotStore& store,
+                                const ConvoyQuery& query,
+                                const CmcOptions& options = {},
+                                DiscoveryStats* stats = nullptr,
+                                size_t num_threads = 0,
+                                const ExecHooks* hooks = nullptr);
+
+/// Store-backed range-restricted variant.
+std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
+                                     const ConvoyQuery& query, Tick begin_tick,
+                                     Tick end_tick,
+                                     const CmcOptions& options = {},
+                                     DiscoveryStats* stats = nullptr,
+                                     size_t num_threads = 0,
+                                     const ExecHooks* hooks = nullptr);
+
 /// Partition-parallel CuTS filter (paper Algorithm 2): simplification and
 /// the per-partition polyline clustering run concurrently in balanced
 /// chunks; candidate tracking stays sequential in partition order, so the

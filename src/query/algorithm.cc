@@ -26,6 +26,7 @@ class CmcAlgorithm final : public ConvoyAlgorithm {
     AlgorithmCapabilities caps;
     caps.exact = true;
     caps.uses_simplification = false;
+    caps.uses_snapshot_store = true;
     caps.supports_cancel = true;
     caps.supports_progress = true;
     caps.supports_incremental = true;
@@ -33,6 +34,14 @@ class CmcAlgorithm final : public ConvoyAlgorithm {
     return caps;
   }
   std::vector<Convoy> Run(const ExecContext& ctx) const override {
+    // The store-backed path reuses the engine's columnar snapshots and
+    // cached per-tick grid indexes; without a store (planner-only
+    // contexts) the row-oriented derivation runs. Bit-identical results
+    // either way (tests/store_parity_test.cc).
+    if (ctx.store != nullptr) {
+      return ParallelCmc(*ctx.store, ctx.plan->query, CmcOptions{}, ctx.stats,
+                         ctx.num_threads, &ctx.hooks);
+    }
     return ParallelCmc(*ctx.db, ctx.plan->query, CmcOptions{}, ctx.stats,
                        ctx.num_threads, &ctx.hooks);
   }
@@ -55,6 +64,7 @@ class CutsAlgorithm final : public ConvoyAlgorithm {
     AlgorithmCapabilities caps;
     caps.exact = true;  // refinement removes every false hit
     caps.uses_simplification = true;
+    caps.uses_snapshot_store = false;  // polylines, not snapshots
     caps.supports_cancel = true;
     caps.supports_progress = true;
     caps.supports_incremental = true;
@@ -64,12 +74,14 @@ class CutsAlgorithm final : public ConvoyAlgorithm {
   std::vector<Convoy> Run(const ExecContext& ctx) const override {
     const QueryPlan& plan = *ctx.plan;
     const CutsFilterOptions& options = plan.filter;
+    // The filter takes ownership of its copy (it returns the simplified
+    // set in its result); the cache entry itself stays immutable.
     std::vector<SimplifiedTrajectory> simplified =
-        ctx.simplified(options.simplifier, plan.delta, nullptr);
+        *ctx.simplified(options.simplifier, plan.delta, nullptr);
     CheckCancelled(&ctx.hooks);
     const CutsFilterResult filtered = CutsFilterPresimplified(
         *ctx.db, plan.query, options, std::move(simplified), plan.delta,
-        ctx.stats, &ctx.hooks);
+        ctx.stats, &ctx.hooks, ctx.store.get());
     return CutsRefine(*ctx.db, plan.query, filtered.candidates,
                       options.refine_mode, ctx.stats,
                       ResolveWorkerThreads(options.refine_threads, plan.query),
@@ -92,6 +104,7 @@ class Mc2Algorithm final : public ConvoyAlgorithm {
     AlgorithmCapabilities caps;
     caps.exact = false;  // false positives and negatives by design
     caps.uses_simplification = false;
+    caps.uses_snapshot_store = true;
     caps.supports_cancel = false;  // single uninterruptible pass
     caps.supports_progress = false;
     caps.supports_incremental = false;
@@ -100,7 +113,8 @@ class Mc2Algorithm final : public ConvoyAlgorithm {
   }
   std::vector<Convoy> Run(const ExecContext& ctx) const override {
     std::vector<Convoy> result =
-        Mc2(*ctx.db, ctx.plan->query, ctx.plan->mc2);
+        ctx.store != nullptr ? Mc2(*ctx.store, ctx.plan->query, ctx.plan->mc2)
+                             : Mc2(*ctx.db, ctx.plan->query, ctx.plan->mc2);
     if (ctx.stats != nullptr) ctx.stats->num_convoys = result.size();
     return result;
   }

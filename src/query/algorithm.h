@@ -40,6 +40,11 @@ enum class AlgorithmChoice {
 struct AlgorithmCapabilities {
   bool exact = true;                 ///< result set == CMC's on every input
   bool uses_simplification = false;  ///< consumes the (simplifier, delta) cache
+  /// Reads per-tick snapshots, so the engine materializes the columnar
+  /// SnapshotStore for it (CMC, MC2). Algorithms without it (the CuTS
+  /// family clusters simplified polylines, not snapshots) never trigger a
+  /// store build — they only reuse an already-built store's time domain.
+  bool uses_snapshot_store = false;
   bool supports_cancel = false;      ///< honours ExecHooks::cancel
   bool supports_progress = false;    ///< honours ExecHooks::progress
   bool supports_incremental = false; ///< honours ExecHooks::sink

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/discovery_stats.h"
@@ -13,14 +14,32 @@
 namespace convoy {
 
 struct QueryPlan;
+class SnapshotStore;
 
-/// Supplies the database simplified with (kind, delta). The engine binds its
+/// Supplies the database simplified with (kind, delta) as an immutable
+/// shared snapshot — consumers that need ownership (the filter) copy it;
+/// read-only consumers (lambda resolution in the planner) just dereference,
+/// so a cache hit costs a map lookup, not a deep copy. The engine binds its
 /// mutex-guarded simplification cache here so repeated plans amortize the
 /// simplification cost; `cache_hit` (optional out) reports whether the call
 /// was served from cache. A planner constructed without a provider
-/// simplifies directly (uncached).
-using SimplificationProvider = std::function<std::vector<SimplifiedTrajectory>(
-    SimplifierKind kind, double delta, bool* cache_hit)>;
+/// simplifies directly (uncached). Never returns null.
+using SimplificationProvider =
+    std::function<std::shared_ptr<const std::vector<SimplifiedTrajectory>>(
+        SimplifierKind kind, double delta, bool* cache_hit)>;
+
+/// Supplies the tick-partitioned SnapshotStore for the database — the
+/// engine binds its generation-keyed store cache here. `build_if_missing`
+/// carries the algorithm's AlgorithmCapabilities::uses_snapshot_store:
+/// snapshot-consuming plans (CMC, MC2) build on a miss and reuse ever
+/// after; other plans (the CuTS family) only *peek*, reusing a store some
+/// earlier query built without ever triggering the materialization
+/// themselves. May return null (nothing built / over budget / no engine);
+/// algorithms then fall back to the legacy row-oriented per-tick
+/// derivation — results are bit-identical either way
+/// (tests/store_parity_test.cc).
+using SnapshotStoreProvider = std::function<std::shared_ptr<
+    const SnapshotStore>(bool build_if_missing, bool* reused)>;
 
 /// Everything a ConvoyAlgorithm::Run needs: the database, the resolved
 /// physical plan, the worker-thread count, execution hooks (cooperative
@@ -44,6 +63,12 @@ struct ExecContext {
 
   /// Simplification source for the CuTS family; unused by CMC / MC2.
   SimplificationProvider simplified;
+
+  /// The engine's cached SnapshotStore for `db` (null: algorithms use the
+  /// legacy row-oriented path). CMC / MC2 read per-tick columnar views and
+  /// cached grid indexes from it; the CuTS filter takes its precomputed
+  /// time domain.
+  std::shared_ptr<const SnapshotStore> store;
 };
 
 }  // namespace convoy

@@ -5,6 +5,7 @@
 
 #include "core/cuts.h"
 #include "core/params.h"
+#include "traj/snapshot_store.h"
 #include "util/stopwatch.h"
 
 namespace convoy {
@@ -70,7 +71,9 @@ AlgorithmId QueryPlanner::ChooseAuto(const DatabaseStats& stats) {
 
 QueryPlanner::QueryPlanner(const TrajectoryDatabase& db,
                            PlannerOptions options)
-    : db_(db), simplify_(std::move(options.simplify)) {
+    : db_(db),
+      simplify_(std::move(options.simplify)),
+      store_(std::move(options.store)) {
   db_stats_ = options.db_stats != nullptr ? *options.db_stats : db.Stats();
 }
 
@@ -83,6 +86,28 @@ QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
   plan.db_stats = db_stats_;
   plan.mc2 = mc2;
   plan.algorithm = IdFor(choice, db_stats_);
+
+  // Resolve the snapshot store first. Only snapshot-consuming algorithms
+  // (CMC, MC2 — per their capability row) trigger the materialization;
+  // building it at Prepare is what makes re-Execute of such a plan free
+  // of per-tick re-derivation. CuTS-family plans cluster simplified
+  // polylines, not snapshots, so they merely peek: an already-built store
+  // lends them its precomputed time domain, but a CuTS-only workload
+  // never pays the columnar build.
+  if (store_) {
+    const bool consumes_snapshots =
+        GetAlgorithm(plan.algorithm).Capabilities().uses_snapshot_store;
+    Stopwatch store_watch;
+    bool reused = false;
+    if (const std::shared_ptr<const SnapshotStore> store =
+            store_(consumes_snapshots, &reused)) {
+      plan.store_cache =
+          reused ? PlanCacheStatus::kHit : PlanCacheStatus::kMiss;
+      if (!reused) plan.store_build_seconds = store_watch.ElapsedSeconds();
+      plan.store_ticks = store->NumTicks();
+      plan.store_points = store->TotalPoints();
+    }
+  }
 
   const double n = static_cast<double>(db_stats_.num_objects);
   const Tick domain = db_stats_.time_domain_length;
@@ -107,21 +132,24 @@ QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
   plan.filter.delta = plan.delta;
 
   Stopwatch simplify_watch;
-  std::vector<SimplifiedTrajectory> simplified;
+  std::shared_ptr<const std::vector<SimplifiedTrajectory>> simplified;
   bool cache_hit = false;
   if (simplify_) {
+    // Shared, immutable: a cache hit is a pointer copy, and lambda
+    // resolution below reads through it without duplicating the set.
     simplified = simplify_(plan.filter.simplifier, plan.delta, &cache_hit);
     plan.cache = cache_hit ? PlanCacheStatus::kHit : PlanCacheStatus::kMiss;
   } else {
-    simplified =
+    simplified = std::make_shared<const std::vector<SimplifiedTrajectory>>(
         SimplifyDatabase(db_, plan.delta, plan.filter.simplifier,
-                         ResolveWorkerThreads(plan.filter.num_threads, query));
+                         ResolveWorkerThreads(plan.filter.num_threads,
+                                              query)));
   }
   if (!cache_hit) plan.simplify_seconds = simplify_watch.ElapsedSeconds();
 
   plan.lambda_derived = plan.filter.lambda <= 0;
   plan.lambda = plan.lambda_derived
-                    ? ComputeLambda(db_, simplified, query.k)
+                    ? ComputeLambda(db_, *simplified, query.k)
                     : plan.filter.lambda;
   plan.filter.lambda = plan.lambda;
 
@@ -154,6 +182,16 @@ std::string QueryPlan::Explain() const {
   out << "  database:    N=" << db_stats.num_objects << " T="
       << db_stats.time_domain_length << " points=" << db_stats.total_points
       << "\n";
+  // Store provenance: "built" = this plan paid the one-time columnar
+  // build, "reused" = served from the engine's generation-keyed cache.
+  out << "  snapshot store: ";
+  if (store_cache == PlanCacheStatus::kNotApplicable) {
+    out << "n/a (row-oriented path)\n";
+  } else {
+    out << (store_cache == PlanCacheStatus::kHit ? "reused" : "built")
+        << " (" << store_ticks << " ticks, " << store_points
+        << " columnar points)\n";
+  }
   if (caps.uses_simplification) {
     out << "  delta:       " << delta
         << (delta_derived ? " (derived, Sec. 7.4 guideline)" : " (given)")

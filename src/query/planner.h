@@ -63,6 +63,21 @@ struct QueryPlan {
   /// Did parameter resolution hit the engine's simplification cache?
   PlanCacheStatus cache = PlanCacheStatus::kNotApplicable;
 
+  /// Snapshot-store provenance: kMiss when planning built the
+  /// tick-partitioned store for this database, kHit when a previously
+  /// built store was reused (the build-once-query-many steady state),
+  /// kNotApplicable when planning ran without an engine-bound store.
+  /// Execute attaches the same store, so a re-Execute of a prepared plan
+  /// performs no per-tick re-derivation at all.
+  PlanCacheStatus store_cache = PlanCacheStatus::kNotApplicable;
+
+  /// Store build cost paid by this plan in seconds (0 on reuse), and the
+  /// store's shape for EXPLAIN (ticks in the domain, stored points across
+  /// all ticks — virtual points included).
+  double store_build_seconds = 0.0;
+  size_t store_ticks = 0;
+  size_t store_points = 0;
+
   /// Planning-time simplification cost in seconds (0 on a cache hit). The
   /// legacy single-call shims fold it into their DiscoveryStats; a v2
   /// Execute reports only work done during that execution, so re-running a
@@ -92,6 +107,11 @@ struct PlannerOptions {
   /// Simplification source for delta/lambda resolution. Empty: simplify
   /// directly (uncached) and report PlanCacheStatus::kNotApplicable.
   SimplificationProvider simplify;
+
+  /// SnapshotStore source (the engine's generation-keyed cache). Empty:
+  /// plans report store_cache = kNotApplicable and execution falls back
+  /// to the legacy row-oriented path.
+  SnapshotStoreProvider store;
 
   /// Precomputed database statistics; null: computed on construction.
   const DatabaseStats* db_stats = nullptr;
@@ -124,6 +144,7 @@ class QueryPlanner {
  private:
   const TrajectoryDatabase& db_;
   SimplificationProvider simplify_;
+  SnapshotStoreProvider store_;
   DatabaseStats db_stats_;
 };
 

@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_set>
 
 namespace convoy {
 
 TrajectoryDatabase::TrajectoryDatabase(std::vector<Trajectory> trajectories)
-    : trajectories_(std::move(trajectories)) {}
+    : trajectories_(std::move(trajectories)) {
+  id_index_.reserve(trajectories_.size());
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    id_index_.try_emplace(trajectories_[i].id(), i);
+  }
+  generation_ = trajectories_.size();
+}
+
+void TrajectoryDatabase::Add(Trajectory traj) {
+  id_index_.try_emplace(traj.id(), trajectories_.size());
+  trajectories_.push_back(std::move(traj));
+  ++generation_;
+}
+
+std::optional<size_t> TrajectoryDatabase::IndexOf(ObjectId id) const {
+  const auto it = id_index_.find(id);
+  if (it == id_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Trajectory* TrajectoryDatabase::Find(ObjectId id) const {
+  const auto idx = IndexOf(id);
+  return idx.has_value() ? &trajectories_[*idx] : nullptr;
+}
 
 Tick TrajectoryDatabase::BeginTick() const {
   Tick lo = std::numeric_limits<Tick>::max();
@@ -52,11 +74,20 @@ DatabaseStats TrajectoryDatabase::Stats() const {
 
 TrajectoryDatabase TrajectoryDatabase::Project(
     const std::vector<ObjectId>& ids) const {
-  std::unordered_set<ObjectId> keep(ids.begin(), ids.end());
-  TrajectoryDatabase out;
-  for (const Trajectory& traj : trajectories_) {
-    if (keep.count(traj.id()) > 0) out.Add(traj);
+  // Resolve through the id map instead of scanning all N trajectories:
+  // the CuTS refinement projects once per candidate, and candidates carry
+  // a handful of ids against databases of thousands of objects. Sorting
+  // the resolved indices preserves the historical database-order output.
+  std::vector<size_t> indices;
+  indices.reserve(ids.size());
+  for (const ObjectId id : ids) {
+    const auto idx = IndexOf(id);
+    if (idx.has_value()) indices.push_back(*idx);
   }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  TrajectoryDatabase out;
+  for (const size_t idx : indices) out.Add(trajectories_[idx]);
   return out;
 }
 

@@ -2,6 +2,9 @@
 #define CONVOY_TRAJ_DATABASE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "traj/trajectory.h"
@@ -34,14 +37,28 @@ class TrajectoryDatabase {
   explicit TrajectoryDatabase(std::vector<Trajectory> trajectories);
 
   /// Adds a trajectory; empty trajectories are stored too (harmless, but
-  /// they never participate in clustering).
-  void Add(Trajectory traj) { trajectories_.push_back(std::move(traj)); }
+  /// they never participate in clustering). Bumps the generation counter.
+  void Add(Trajectory traj);
 
   size_t Size() const { return trajectories_.size(); }
   bool Empty() const { return trajectories_.empty(); }
 
   const std::vector<Trajectory>& trajectories() const { return trajectories_; }
   const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+
+  /// Mutation counter: bumped by every Add, so derived structures
+  /// (SnapshotStore, the engine's memoized DatabaseStats) can detect a
+  /// stale snapshot of *this instance* cheaply. Copies carry the counter
+  /// along; two independently built databases are not comparable by it.
+  uint64_t generation() const { return generation_; }
+
+  /// Index of the trajectory with the given object id, or nullopt. O(1)
+  /// via the id map maintained by Add; if several trajectories share an id
+  /// (out of contract — ids are documented unique) the first one wins.
+  std::optional<size_t> IndexOf(ObjectId id) const;
+
+  /// The trajectory with the given object id, or nullptr.
+  const Trajectory* Find(ObjectId id) const;
 
   /// Earliest tick across all trajectories (0 when empty).
   Tick BeginTick() const;
@@ -53,12 +70,16 @@ class TrajectoryDatabase {
   /// Computes Table 3-style statistics in one pass.
   DatabaseStats Stats() const;
 
-  /// Returns the subset database containing only the given objects.
-  /// Order of `ids` is irrelevant; unknown ids are ignored.
+  /// Returns the subset database containing only the given objects, in
+  /// database order. Order of `ids` is irrelevant; unknown and duplicate
+  /// ids are ignored. O(|ids| log |ids|) via the id map — refinement calls
+  /// this once per candidate, so it must not rescan all N trajectories.
   TrajectoryDatabase Project(const std::vector<ObjectId>& ids) const;
 
  private:
   std::vector<Trajectory> trajectories_;
+  std::unordered_map<ObjectId, size_t> id_index_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace convoy

@@ -1,0 +1,251 @@
+#include "traj/snapshot_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "parallel/parallel_for.h"
+
+namespace convoy {
+
+SnapshotStore::SnapshotStore() : grid_cache_(std::make_unique<GridCache>()) {}
+
+size_t SnapshotStore::EstimateColumnarSlots(const TrajectoryDatabase& db) {
+  const Tick begin = db.BeginTick();
+  const Tick end = db.EndTick();
+  if (db.Empty() || end < begin) return 0;
+  // Unsigned arithmetic with saturation: adversarial tick values (epoch
+  // nanoseconds, INT64_MIN sentinels) must report "too big", not overflow.
+  const auto saturating_add = [](uint64_t a, uint64_t b) {
+    const uint64_t sum = a + b;
+    return sum < a ? std::numeric_limits<uint64_t>::max() : sum;
+  };
+  uint64_t slots = saturating_add(
+      static_cast<uint64_t>(end) - static_cast<uint64_t>(begin), 1);
+  for (const Trajectory& traj : db.trajectories()) {
+    if (traj.Empty()) continue;
+    slots = saturating_add(
+        slots, saturating_add(static_cast<uint64_t>(traj.EndTick()) -
+                                  static_cast<uint64_t>(traj.BeginTick()),
+                              1));
+  }
+  return slots > std::numeric_limits<size_t>::max()
+             ? std::numeric_limits<size_t>::max()
+             : static_cast<size_t>(slots);
+}
+
+SnapshotStore SnapshotStore::Build(const TrajectoryDatabase& db,
+                                   size_t num_threads) {
+  SnapshotStore store;
+  store.built_generation_ = db.generation();
+
+  const Tick begin = db.BeginTick();
+  const Tick end = db.EndTick();
+  if (db.Empty() || end < begin) return store;  // no nonempty trajectory
+  store.begin_tick_ = begin;
+  store.end_tick_ = end;
+  const size_t num_ticks = store.NumTicks();
+
+  // Pass 1 — per-tick alive counts via a difference array: a trajectory
+  // alive over [b, e] contributes one point to every tick of that range
+  // (its samples plus the interpolated virtual points between them).
+  std::vector<int64_t> diff(num_ticks + 1, 0);
+  for (const Trajectory& traj : db.trajectories()) {
+    if (traj.Empty()) continue;
+    ++diff[static_cast<size_t>(traj.BeginTick() - begin)];
+    --diff[static_cast<size_t>(traj.EndTick() - begin) + 1];
+  }
+  store.offsets_.assign(num_ticks + 1, 0);
+  int64_t alive = 0;
+  for (size_t s = 0; s < num_ticks; ++s) {
+    alive += diff[s];
+    store.offsets_[s + 1] = store.offsets_[s] + static_cast<size_t>(alive);
+  }
+
+  const size_t total = store.offsets_[num_ticks];
+  store.xs_.resize(total);
+  store.ys_.resize(total);
+  store.ids_.resize(total);
+  // Byte-per-point during the fill (bytes are distinct objects, so
+  // concurrent blocks cannot race on a shared bitmap word); packed into
+  // the bitmap afterwards.
+  std::vector<uint8_t> virtual_flags(total, 0);
+
+  // Pass 2 — fill, parallelized over disjoint tick blocks. Within a block
+  // the trajectories are visited in database order and each appends its
+  // block overlap tick by tick, so every tick's points come out in
+  // database order — the exact sequence the legacy row-oriented gather
+  // (and therefore DBSCAN downstream) sees. The interpolation below
+  // mirrors InterpolateAt step for step: identical operations on
+  // identical samples give bit-identical virtual points.
+  const auto fill_block = [&](Tick block_begin, Tick block_end) {
+    std::vector<size_t> cursor(
+        static_cast<size_t>(block_end - block_begin) + 1);
+    for (size_t s = 0; s < cursor.size(); ++s) {
+      cursor[s] = store.offsets_[store.TickSlot(block_begin) + s];
+    }
+    for (const Trajectory& traj : db.trajectories()) {
+      if (traj.Empty()) continue;
+      const Tick from = std::max(traj.BeginTick(), block_begin);
+      const Tick to = std::min(traj.EndTick(), block_end);
+      if (from > to) continue;
+      const std::vector<TimedPoint>& samples = traj.samples();
+      size_t idx = *traj.IndexAtOrBefore(from);
+      for (Tick t = from; t <= to; ++t) {
+        while (idx + 1 < samples.size() && samples[idx + 1].t <= t) ++idx;
+        const TimedPoint& before = samples[idx];
+        const size_t slot = cursor[static_cast<size_t>(t - block_begin)]++;
+        if (before.t == t) {
+          store.xs_[slot] = before.pos.x;
+          store.ys_[slot] = before.pos.y;
+        } else {
+          const TimedPoint& after = samples[idx + 1];
+          const double frac = static_cast<double>(t - before.t) /
+                              static_cast<double>(after.t - before.t);
+          const Point p = before.pos + (after.pos - before.pos) * frac;
+          store.xs_[slot] = p.x;
+          store.ys_[slot] = p.y;
+          virtual_flags[slot] = 1;
+        }
+        store.ids_[slot] = traj.id();
+      }
+    }
+  };
+
+  const size_t threads =
+      std::min(ResolveThreadCount(num_threads), num_ticks);
+  if (threads > 1) {
+    const size_t block =
+        std::max<size_t>(64, (num_ticks + threads * 8 - 1) / (threads * 8));
+    const size_t num_blocks = (num_ticks + block - 1) / block;
+    ThreadPool pool(threads);
+    ParallelMap(&pool, num_blocks, [&](size_t b) {
+      const Tick block_begin = begin + static_cast<Tick>(b * block);
+      const Tick block_end =
+          std::min(end, block_begin + static_cast<Tick>(block) - 1);
+      fill_block(block_begin, block_end);
+      return 0;
+    });
+  } else {
+    fill_block(begin, end);
+  }
+
+  store.virtual_bits_.assign((total + 63) / 64, 0);
+  for (size_t i = 0; i < total; ++i) {
+    if (virtual_flags[i] != 0) {
+      store.virtual_bits_[i / 64] |= uint64_t{1} << (i % 64);
+      ++store.num_virtual_;
+    }
+  }
+  return store;
+}
+
+SnapshotView SnapshotStore::At(Tick t) const {
+  SnapshotView view;
+  if (t < begin_tick_ || t > end_tick_) return view;
+  const size_t s = TickSlot(t);
+  const size_t lo = offsets_[s];
+  view.xs = xs_.data() + lo;
+  view.ys = ys_.data() + lo;
+  view.ids = ids_.data() + lo;
+  view.size = offsets_[s + 1] - lo;
+  return view;
+}
+
+bool SnapshotStore::IsVirtual(Tick t, size_t i) const {
+  const size_t slot = offsets_[TickSlot(t)] + i;
+  return (virtual_bits_[slot / 64] >> (slot % 64)) & 1;
+}
+
+std::shared_ptr<const GridIndex> SnapshotStore::GridFor(Tick t,
+                                                        double eps) const {
+  const uint64_t eps_bits = std::bit_cast<uint64_t>(eps);
+  const std::pair<Tick, uint64_t> key{t, eps_bits};
+  std::unique_lock<std::mutex> lock(grid_cache_->mu);
+  const auto it = grid_cache_->grids.find(key);
+  if (it != grid_cache_->grids.end()) return it->second;
+  // Build outside the lock so concurrent misses on *other* ticks are not
+  // serialized behind this one; a racing miss on the same key recomputes
+  // and the first insert wins. Eviction is safe because callers hold the
+  // grid through the shared_ptr, never a raw reference into the map.
+  lock.unlock();
+  const SnapshotView view = At(t);
+  auto built = std::make_shared<const GridIndex>(view.xs, view.ys, view.size,
+                                                 eps);
+  lock.lock();
+  GridCache& cache = *grid_cache_;
+  const auto raced = cache.grids.find(key);
+  if (raced != cache.grids.end()) return raced->second;
+  // Retires every grid of the oldest cached eps. Safe while references
+  // are in flight: callers hold shared_ptrs, never map iterators.
+  const auto evict_oldest_eps = [&cache] {
+    const uint64_t evicted = cache.eps_order.front();
+    cache.eps_order.erase(cache.eps_order.begin());
+    for (auto entry = cache.grids.begin(); entry != cache.grids.end();) {
+      if (entry->first.second == evicted) {
+        cache.cached_points -= entry->second->NumPoints();
+        entry = cache.grids.erase(entry);
+      } else {
+        entry = std::next(entry);
+      }
+    }
+  };
+  if (std::find(cache.eps_order.begin(), cache.eps_order.end(), eps_bits) ==
+      cache.eps_order.end()) {
+    // An eps sweep holds at most kMaxCachedEpsValues point-set copies
+    // instead of one per value ever tried.
+    if (cache.eps_order.size() >= kMaxCachedEpsValues) evict_oldest_eps();
+    cache.eps_order.push_back(eps_bits);
+  }
+  // Total cached grid points stay within the same slot budget as the
+  // store itself, so the cache cannot multiply a near-budget store's
+  // footprint. The current eps is never evicted — one full sweep of a
+  // budgeted store fits by construction (grids hold TotalPoints entries).
+  while (cache.cached_points + built->NumPoints() >
+             kSnapshotStoreSlotBudget &&
+         cache.eps_order.size() > 1 && cache.eps_order.front() != eps_bits) {
+    evict_oldest_eps();
+  }
+  cache.cached_points += built->NumPoints();
+  cache.grids.emplace(key, built);
+  return built;
+}
+
+size_t SnapshotStore::GridCacheSize() const {
+  std::lock_guard<std::mutex> lock(grid_cache_->mu);
+  return grid_cache_->grids.size();
+}
+
+void SnapshotStoreBuilder::AddRow(ObjectId id, Tick t, double x, double y) {
+  rows_[id].emplace_back(x, y, t);
+  ++num_rows_;
+}
+
+SnapshotStore SnapshotStoreBuilder::Finish(TrajectoryDatabase* db_out,
+                                           size_t num_threads,
+                                           size_t* duplicates_collapsed,
+                                           size_t max_slots) {
+  TrajectoryDatabase db;
+  size_t dups = 0;
+  for (auto& [id, samples] : rows_) {
+    // Trajectory's constructor sorts by tick and collapses duplicates to
+    // the last occurrence — the canonicalization the CSV loader counts.
+    const size_t raw = samples.size();
+    Trajectory traj(id, std::move(samples));
+    dups += raw - traj.Size();
+    db.Add(std::move(traj));
+  }
+  rows_.clear();
+  num_rows_ = 0;
+  if (duplicates_collapsed != nullptr) *duplicates_collapsed = dups;
+  // Estimate before materializing: the rows are untrusted and a huge
+  // tick span must degrade to "no store", never to an OOM.
+  SnapshotStore store;
+  if (SnapshotStore::EstimateColumnarSlots(db) <= max_slots) {
+    store = SnapshotStore::Build(db, num_threads);
+  }
+  if (db_out != nullptr) *db_out = std::move(db);
+  return store;
+}
+
+}  // namespace convoy

@@ -1,0 +1,217 @@
+#ifndef CONVOY_TRAJ_SNAPSHOT_STORE_H_
+#define CONVOY_TRAJ_SNAPSHOT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "cluster/grid_index.h"
+#include "geom/point.h"
+#include "traj/database.h"
+
+namespace convoy {
+
+/// Upper bound on the columnar slots (stored points + tick offsets, ~20
+/// bytes each) the budgeted store entry points will materialize.
+/// Interpolation can expand a sparse feed far beyond its sample count —
+/// ticks in epoch seconds with per-day samples mean millions of virtual
+/// points per object — and past this budget the store would trade an
+/// O(samples) row scan for an out-of-memory build. Over-budget databases
+/// run the row-oriented path instead (bit-identical results). Applied by
+/// ConvoyEngine::Store and SnapshotStoreBuilder::Finish; direct
+/// SnapshotStore::Build calls are unbudgeted.
+inline constexpr size_t kSnapshotStoreSlotBudget = size_t{1} << 24;
+
+/// One tick's snapshot in the store's columnar layout: parallel coordinate
+/// arrays plus the aligned object ids, in database (trajectory) order — the
+/// exact sequence the legacy row-oriented gather produces for that tick.
+/// Borrowed from a SnapshotStore; valid while the store lives.
+struct SnapshotView {
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  const ObjectId* ids = nullptr;
+  size_t size = 0;
+
+  bool Empty() const { return size == 0; }
+  Point At(size_t i) const { return Point(xs[i], ys[i]); }
+};
+
+/// SnapshotStore — a tick-partitioned, structure-of-arrays materialization
+/// of "the set of objects at time t", the unit every convoy algorithm in
+/// the paper iterates.
+///
+/// The row-oriented TrajectoryDatabase stores one polyline per object, so
+/// each discovery call re-derives every per-tick snapshot: interpolate the
+/// virtual points (paper Section 4), gather alive objects, and build a
+/// throw-away GridIndex — per tick, per query. The store pays that
+/// derivation once, in a single (optionally parallel) build pass:
+///
+///  * per tick, contiguous `xs[]` / `ys[]` / `ids[]` arrays (CSR layout
+///    over the whole time domain), holding every object alive at the tick
+///    with its possibly-interpolated position — bit-identical to
+///    InterpolateAt, since the build applies the same arithmetic to the
+///    same samples;
+///  * a presence bitmap marking which stored points are *virtual*
+///    (interpolated) rather than recorded samples — the interpolation
+///    policy, materialized;
+///  * per-tick GridIndex instances built lazily at a requested eps and
+///    cached (thread-safe), so repeated queries at the same eps reuse
+///    indexes instead of rebuilding them every call.
+///
+/// Staleness: the store remembers the database's generation() at build
+/// time; IsStaleFor detects mutation of the same database instance. The
+/// engine keys its cached store on this (see ConvoyEngine).
+///
+/// Thread-safety: immutable after Build apart from the mutex-guarded grid
+/// cache, so concurrent readers (ParallelCmc workers, concurrent engine
+/// queries) need no external synchronization.
+class SnapshotStore {
+ public:
+  /// Empty store (no ticks); assign from Build to populate.
+  SnapshotStore();
+  SnapshotStore(SnapshotStore&&) noexcept = default;
+  SnapshotStore& operator=(SnapshotStore&&) noexcept = default;
+
+  /// Builds the store from `db` in one pass over the trajectories,
+  /// parallelized over tick blocks (0 = all hardware threads; any value
+  /// yields bit-identical contents).
+  static SnapshotStore Build(const TrajectoryDatabase& db,
+                             size_t num_threads = 1);
+
+  /// Columnar slots Build would allocate for `db`: one per tick of the
+  /// domain (CSR offset) plus one per alive object per tick (stored
+  /// point, virtual points included). O(N); lets callers bound the
+  /// materialization cost *before* paying it — a sparse feed whose ticks
+  /// are epoch seconds can expand samples by orders of magnitude (see
+  /// ConvoyEngine::Store's budget).
+  static size_t EstimateColumnarSlots(const TrajectoryDatabase& db);
+
+  /// Time domain covered, matching TrajectoryDatabase::BeginTick/EndTick
+  /// of the source database ([0, -1] when empty).
+  Tick begin_tick() const { return begin_tick_; }
+  Tick end_tick() const { return end_tick_; }
+
+  /// Number of ticks in the domain (0 when empty).
+  size_t NumTicks() const {
+    return begin_tick_ <= end_tick_
+               ? static_cast<size_t>(end_tick_ - begin_tick_) + 1
+               : 0;
+  }
+  bool Empty() const { return NumTicks() == 0; }
+
+  /// Total stored points across all ticks — alive objects summed over the
+  /// domain, virtual points included (>= the database's total_points).
+  size_t TotalPoints() const { return ids_.size(); }
+
+  /// The snapshot at tick t; an empty view outside the domain.
+  SnapshotView At(Tick t) const;
+
+  /// True if point i of tick t is a virtual (interpolated) point rather
+  /// than a recorded sample. Precondition: i < At(t).size.
+  bool IsVirtual(Tick t, size_t i) const;
+
+  /// Number of virtual points across the whole store.
+  size_t NumVirtualPoints() const { return num_virtual_; }
+
+  /// The grid cache keeps indexes for at most this many distinct eps
+  /// values at a time (each cached GridIndex copies its tick's points, so
+  /// an unbounded eps sweep would otherwise grow memory linearly in the
+  /// number of eps values tried). Exceeding it — or exceeding
+  /// kSnapshotStoreSlotBudget total cached grid points, so the cache can
+  /// never dwarf the store it serves — evicts every grid of the oldest
+  /// cached eps; in-flight users keep theirs alive through the returned
+  /// shared_ptr. One full eps sweep always fits: its grids hold exactly
+  /// TotalPoints() entries, which a budgeted store keeps within the same
+  /// budget.
+  static constexpr size_t kMaxCachedEpsValues = 4;
+
+  /// The grid index over tick t's points with cell side `eps`, built on
+  /// first request and cached per (tick, eps) — identical to
+  /// `GridIndex(points, eps)` over the tick's snapshot, so DBSCAN results
+  /// are unchanged. Thread-safe; two threads missing the same key may
+  /// both build, the first insert wins. Never null.
+  std::shared_ptr<const GridIndex> GridFor(Tick t, double eps) const;
+
+  /// Number of cached grid indexes (for tests / monitoring).
+  size_t GridCacheSize() const;
+
+  /// The database generation this store was built from.
+  uint64_t built_generation() const { return built_generation_; }
+
+  /// True when `db` has been mutated since this store was built from it.
+  /// Only meaningful for the same database instance (or copies sharing its
+  /// mutation history) the store was built from.
+  bool IsStaleFor(const TrajectoryDatabase& db) const {
+    return built_generation_ != db.generation();
+  }
+
+ private:
+  size_t TickSlot(Tick t) const { return static_cast<size_t>(t - begin_tick_); }
+
+  Tick begin_tick_ = 0;
+  Tick end_tick_ = -1;
+  /// CSR offsets: tick slot s covers [offsets_[s], offsets_[s + 1]).
+  std::vector<size_t> offsets_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<ObjectId> ids_;
+  /// 1 bit per stored point (CSR-aligned): set = virtual point.
+  std::vector<uint64_t> virtual_bits_;
+  size_t num_virtual_ = 0;
+  uint64_t built_generation_ = 0;
+
+  /// Lazily built per-(tick, eps) grid indexes, bounded to the
+  /// kMaxCachedEpsValues most recently introduced eps values (FIFO over
+  /// eps bit patterns). Behind a unique_ptr so the store stays movable
+  /// despite the mutex.
+  struct GridCache {
+    mutable std::mutex mu;
+    std::map<std::pair<Tick, uint64_t>, std::shared_ptr<const GridIndex>>
+        grids;
+    std::vector<uint64_t> eps_order;  ///< distinct eps, oldest first
+    size_t cached_points = 0;  ///< sum of NumPoints over cached grids
+  };
+  std::unique_ptr<GridCache> grid_cache_;
+};
+
+/// Accumulates (id, tick, x, y) rows — in any order — and finishes into a
+/// canonical TrajectoryDatabase plus the SnapshotStore built over it, so
+/// loaders (io/csv) can stream rows straight into the storage layer
+/// without materializing the database twice.
+class SnapshotStoreBuilder {
+ public:
+  /// Adds one sample row. Rows for one object may arrive in any order;
+  /// duplicate (id, tick) rows collapse to the last occurrence at Finish.
+  void AddRow(ObjectId id, Tick t, double x, double y);
+
+  /// Number of rows accumulated so far.
+  size_t NumRows() const { return num_rows_; }
+
+  /// Canonicalizes the accumulated rows into `db_out` (ids ascending,
+  /// samples tick-sorted, duplicates collapsed — exactly what the CSV
+  /// loader historically produced) and builds the store over it.
+  /// `duplicates_collapsed` (optional out) reports the number of dropped
+  /// duplicate rows. The builder is left empty.
+  ///
+  /// Rows are untrusted input (a two-line CSV with epoch-second ticks
+  /// implies a multi-gigabyte materialization), so the build is budgeted:
+  /// when the database would exceed `max_slots` columnar slots the store
+  /// comes back *empty* — detectable via store.IsStaleFor(db), which is
+  /// true exactly when the store was declined — while the database is
+  /// produced normally.
+  SnapshotStore Finish(TrajectoryDatabase* db_out, size_t num_threads = 1,
+                       size_t* duplicates_collapsed = nullptr,
+                       size_t max_slots = kSnapshotStoreSlotBudget);
+
+ private:
+  std::map<ObjectId, std::vector<TimedPoint>> rows_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_TRAJ_SNAPSHOT_STORE_H_

@@ -82,5 +82,61 @@ TEST(DatabaseTest, StatsSkipEmptyTrajectoriesForAverages) {
   EXPECT_DOUBLE_EQ(stats.avg_trajectory_length, 2.0);
 }
 
+TEST(DatabaseTest, IndexOfAndFindResolveById) {
+  const TrajectoryDatabase db = MakeDb();
+  EXPECT_EQ(db.IndexOf(0), std::optional<size_t>(0));
+  EXPECT_EQ(db.IndexOf(1), std::optional<size_t>(1));
+  EXPECT_EQ(db.IndexOf(99), std::nullopt);
+  ASSERT_NE(db.Find(1), nullptr);
+  EXPECT_EQ(db.Find(1)->id(), 1u);
+  EXPECT_EQ(db.Find(99), nullptr);
+}
+
+TEST(DatabaseTest, GenerationBumpsOnEveryAdd) {
+  TrajectoryDatabase db;
+  const uint64_t g0 = db.generation();
+  db.Add(Trajectory(0));
+  EXPECT_GT(db.generation(), g0);
+  const uint64_t g1 = db.generation();
+  db.Add(Trajectory(1));
+  EXPECT_GT(db.generation(), g1);
+}
+
+// Regression for the O(ids x N)-shaped projection: on a large database,
+// projecting a handful of ids must return exactly the same subset (in
+// database order) the old full-scan implementation produced.
+TEST(DatabaseTest, ProjectOnLargeDatabaseMatchesFullScan) {
+  TrajectoryDatabase db;
+  constexpr size_t kObjects = 2000;
+  for (size_t i = 0; i < kObjects; ++i) {
+    // Non-monotonic ids so database order != id order.
+    const ObjectId id = static_cast<ObjectId>((i * 7919) % 30011);
+    Trajectory traj(id);
+    traj.Append(static_cast<double>(i), 0.0, 0);
+    traj.Append(static_cast<double>(i), 1.0, 5);
+    db.Add(std::move(traj));
+  }
+  const std::vector<ObjectId> wanted = {db[1500].id(), db[3].id(),
+                                        db[999].id(), db[3].id(),  // dup
+                                        4294967295u};              // unknown
+  const TrajectoryDatabase sub = db.Project(wanted);
+
+  // Reference: the old implementation — scan everything, keep members.
+  std::vector<ObjectId> expected_order;
+  for (const Trajectory& traj : db.trajectories()) {
+    for (const ObjectId id : wanted) {
+      if (traj.id() == id) {
+        expected_order.push_back(traj.id());
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(sub.Size(), expected_order.size());
+  for (size_t i = 0; i < sub.Size(); ++i) {
+    EXPECT_EQ(sub[i].id(), expected_order[i]);
+    EXPECT_EQ(sub[i].Size(), 2u);
+  }
+}
+
 }  // namespace
 }  // namespace convoy

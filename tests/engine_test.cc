@@ -74,6 +74,25 @@ TEST(EngineTest, CacheKeySeparatesDeltasWithinOneMicroUnit) {
   EXPECT_EQ(engine.CacheSize(), 4u);
 }
 
+TEST(EngineTest, SnapshotStoreBuiltOnceAndShared) {
+  ConvoyEngine engine = MakeEngine(8);
+  bool reused = true;
+  const auto first = engine.Store(1, &reused);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(reused);  // first call pays the build
+  EXPECT_FALSE(first->IsStaleFor(engine.db()));
+
+  const auto second = engine.Store(1, &reused);
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(first.get(), second.get());  // same instance, not a rebuild
+
+  // Every query path attaches the same store: a Prepare after the manual
+  // Store() call reports a cache hit.
+  const auto plan = engine.Prepare(ConvoyQuery{3, 6, 4.0});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->store_cache, PlanCacheStatus::kHit);
+}
+
 TEST(EngineTest, CachedRunSkipsSimplifyTime) {
   ConvoyEngine engine = MakeEngine(4);
   CutsFilterOptions options;

@@ -53,6 +53,7 @@ struct CliOptions {
   convoy::Tick lambda = -1;
   double scale = 0.25;
   uint64_t seed = 7;
+  size_t repeat = 1;  // re-execute the prepared plan this many times
   bool print_stats = false;
   bool explain = false;
   bool verify = false;
@@ -72,11 +73,14 @@ void PrintUsage() {
       "             [--algo auto|cmc|cuts|cuts+|cuts*|mc2] [--delta D]\n"
       "             [--lambda L] [--theta T] [--threads N] [--explain]\n"
       "             [--stats] [--verify] [--rtree] [--exact-refine]\n"
-      "             [--results out.csv|out.json] [--report out.json]\n"
-      "             [--clean-max-speed V] [--clean-max-gap G]\n"
-      "             [--clean-stationary]\n\n"
+      "             [--repeat N] [--results out.csv|out.json]\n"
+      "             [--report out.json] [--clean-max-speed V]\n"
+      "             [--clean-max-gap G] [--clean-stationary]\n\n"
       "--algo auto lets the planner pick (exact CMC for tiny inputs,\n"
-      "CuTS* otherwise); --explain prints the resolved query plan.\n\n"
+      "CuTS* otherwise); --explain prints the resolved query plan.\n"
+      "--repeat N re-executes the prepared plan N times and reports\n"
+      "first-run vs warm-run latency (the snapshot store and cached\n"
+      "grid indexes make warm runs cheaper).\n\n"
       "Generate a synthetic dataset:\n"
       "  convoy_cli --generate trucklike|cattlelike|carlike|taxilike\n"
       "             --output data.csv [--seed N] [--scale S]\n";
@@ -123,6 +127,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->scale = std::strtod(value, nullptr);
     } else if (arg == "--seed" && (value = next())) {
       opts->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--repeat" && (value = next())) {
+      opts->repeat = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+      if (opts->repeat == 0) opts->repeat = 1;
     } else if (arg == "--results" && (value = next())) {
       opts->results_out = value;
     } else if (arg == "--report" && (value = next())) {
@@ -285,13 +292,45 @@ int main(int argc, char** argv) {
   }
   if (opts.explain) std::cout << plan->Explain();
 
+  convoy::Stopwatch first_watch;
   const convoy::StatusOr<convoy::ConvoyResultSet> executed =
       engine.Execute(*plan);
+  const double first_seconds = first_watch.ElapsedSeconds();
   if (!executed.ok()) {
     std::cerr << "execution failed: " << executed.status() << "\n";
     return kExitInvalidQuery;
   }
   const convoy::ConvoyResultSet& result = *executed;
+
+  if (opts.repeat > 1) {
+    // Warm re-executions of the same prepared plan: the snapshot store,
+    // its cached grid indexes, and the simplification cache are all hot,
+    // so this is the per-query cost of the build-once-query-many shape.
+    convoy::Stopwatch warm_watch;
+    for (size_t i = 1; i < opts.repeat; ++i) {
+      const auto warm = engine.Execute(*plan);
+      if (!warm.ok() || warm->Count() != result.Count()) {
+        std::cerr << "warm re-execution diverged\n";
+        return kExitInvalidQuery;
+      }
+    }
+    const double warm_avg =
+        warm_watch.ElapsedSeconds() / static_cast<double>(opts.repeat - 1);
+    std::cout << "timing: ";
+    // Attribute the breakdown to the snapshot store only when the plan
+    // actually runs on one; CuTS-family warm runs are faster because of
+    // the simplification cache, not grid caching.
+    if (plan->store_cache != convoy::PlanCacheStatus::kNotApplicable) {
+      std::cout << "store build " << plan->store_build_seconds * 1e3
+                << " ms (at prepare), first run " << first_seconds * 1e3
+                << " ms (cold grid cache), ";
+    } else {
+      std::cout << "first run " << first_seconds * 1e3
+                << " ms (row-oriented path), ";
+    }
+    std::cout << "warm avg " << warm_avg * 1e3 << " ms over "
+              << opts.repeat - 1 << " re-execution(s)\n";
+  }
 
   std::cout << result.Count() << " convoy(s)\n";
   for (const convoy::Convoy& c : result) {
