@@ -28,6 +28,9 @@ struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 42;
   size_t threads = 1;  ///< 0 = all hardware threads
+  /// Where bench/scalability writes its machine-readable hot-path results
+  /// (ignored by the other binaries). Empty disables the file.
+  std::string json_path = "BENCH_hotpath.json";
 };
 
 inline BenchOptions ParseArgs(int argc, char** argv) {
@@ -41,8 +44,11 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       opts.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "flags: --full | --scale X | --seed N | --threads N\n";
+      std::cout << "flags: --full | --scale X | --seed N | --threads N | "
+                   "--json PATH\n";
       std::exit(0);
     }
   }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "convoy/convoy.h"
+#include "tests/reference_impl.h"
 
 namespace {
 
@@ -95,6 +96,149 @@ void BM_GridIndexQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GridIndexQuery)->Arg(1000)->Arg(10000);
+
+// --- hot-path shapes, old (reference_impl.h) vs new (flat CSR) -----------
+// Three distributions bound the grid's behaviour: uniform scatter (the
+// nominal regime), every point in one cell (bucket pile-up; the CSR scan
+// degenerates to one interval), and exactly one point per cell (maximum
+// cell count, minimum bucket size).
+
+enum GridShape { kUniform = 0, kOneCell = 1, kDenseCells = 2 };
+
+std::vector<Point> ShapePoints(GridShape shape, size_t n) {
+  Rng rng(13);
+  std::vector<Point> points;
+  points.reserve(n);
+  switch (shape) {
+    case kUniform:
+      for (size_t i = 0; i < n; ++i) {
+        points.emplace_back(rng.Uniform(0, 300), rng.Uniform(0, 300));
+      }
+      break;
+    case kOneCell:
+      for (size_t i = 0; i < n; ++i) {
+        points.emplace_back(rng.Uniform(0, 9.5), rng.Uniform(0, 9.5));
+      }
+      break;
+    case kDenseCells: {
+      const size_t side = static_cast<size_t>(std::sqrt(double(n))) + 1;
+      for (size_t i = 0; i < n; ++i) {
+        points.emplace_back((i % side) * 10.0 + 0.5,
+                            (i / side) * 10.0 + 0.5);
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+void BM_GridBuildReference(benchmark::State& state) {
+  const auto points =
+      ShapePoints(static_cast<GridShape>(state.range(0)), 1000);
+  for (auto _ : state) {
+    reference::ReferenceGridIndex index(points, 10.0);
+    benchmark::DoNotOptimize(index.NumPoints());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_GridBuildReference)->Arg(kUniform)->Arg(kOneCell)
+    ->Arg(kDenseCells);
+
+void BM_GridBuildCsr(benchmark::State& state) {
+  const auto points =
+      ShapePoints(static_cast<GridShape>(state.range(0)), 1000);
+  GridIndex index;  // arena: Assign reuses capacity, as the hot loops do
+  for (auto _ : state) {
+    index.Assign(points, 10.0);
+    benchmark::DoNotOptimize(index.NumPoints());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_GridBuildCsr)->Arg(kUniform)->Arg(kOneCell)->Arg(kDenseCells);
+
+void BM_GridQueryReference(benchmark::State& state) {
+  const auto points =
+      ShapePoints(static_cast<GridShape>(state.range(0)), 1000);
+  const reference::ReferenceGridIndex index(points, 10.0);
+  std::vector<size_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    index.WithinRadiusInto(points[i], 10.0, &out);
+    benchmark::DoNotOptimize(out.size());
+    i = (i + 1) % points.size();
+  }
+}
+BENCHMARK(BM_GridQueryReference)->Arg(kUniform)->Arg(kOneCell)
+    ->Arg(kDenseCells);
+
+void BM_GridQueryCsr(benchmark::State& state) {
+  // The DBSCAN query shape: the probe is an indexed point, answered from
+  // the precomputed 3x3 block intervals.
+  const auto points =
+      ShapePoints(static_cast<GridShape>(state.range(0)), 1000);
+  const GridIndex index(points, 10.0);
+  std::vector<size_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    index.NeighborsOfInto(i, points[i], 10.0, &out);
+    benchmark::DoNotOptimize(out.size());
+    i = (i + 1) % points.size();
+  }
+}
+BENCHMARK(BM_GridQueryCsr)->Arg(kUniform)->Arg(kOneCell)->Arg(kDenseCells);
+
+// --------------------------------------------------------- candidate step --
+
+std::vector<std::vector<ObjectId>> AdvanceClusters(Tick t, size_t universe,
+                                                   size_t cluster_size) {
+  // Disjoint clusters drifting one member per step — a convoy-rich tick.
+  std::vector<std::vector<ObjectId>> clusters;
+  std::vector<bool> seen(universe, false);
+  for (size_t c = 0; c * cluster_size < universe; ++c) {
+    std::vector<ObjectId> members;
+    for (size_t j = 0; j < cluster_size; ++j) {
+      const ObjectId id = static_cast<ObjectId>(
+          (c * cluster_size + j + (j == 0 ? t : 0)) % universe);
+      if (!seen[id]) {
+        seen[id] = true;
+        members.push_back(id);
+      }
+    }
+    std::sort(members.begin(), members.end());
+    clusters.push_back(std::move(members));
+  }
+  return clusters;
+}
+
+template <typename Tracker>
+void RunAdvanceBench(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  // Pre-generate the stream: only Advance may sit inside the timed loop,
+  // or the synthetic-cluster generator floors the old-vs-new comparison.
+  std::vector<std::vector<std::vector<ObjectId>>> step_clusters;
+  for (Tick t = 0; t < 30; ++t) {
+    step_clusters.push_back(AdvanceClusters(t, universe, 20));
+  }
+  for (auto _ : state) {
+    Tracker tracker(3, 10);
+    std::vector<Candidate> done;
+    for (Tick t = 0; t < 30; ++t) {
+      tracker.Advance(step_clusters[static_cast<size_t>(t)], t, t, 1, &done);
+    }
+    benchmark::DoNotOptimize(done.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 30);
+}
+
+void BM_CandidateAdvanceReference(benchmark::State& state) {
+  RunAdvanceBench<reference::ReferenceCandidateTracker>(state);
+}
+BENCHMARK(BM_CandidateAdvanceReference)->Arg(200)->Arg(1000);
+
+void BM_CandidateAdvanceLabel(benchmark::State& state) {
+  RunAdvanceBench<CandidateTracker>(state);
+}
+BENCHMARK(BM_CandidateAdvanceLabel)->Arg(200)->Arg(1000);
 
 // ------------------------------------------------------------ clustering --
 

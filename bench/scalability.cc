@@ -2,10 +2,21 @@
 // with population size N and time-domain length T on a controlled workload,
 // and what parallel refinement buys. The paper's evaluation fixes its four
 // datasets; a library release needs the growth curves.
+//
+// Also emits BENCH_hotpath.json (override with --json PATH): the
+// machine-readable hot-path numbers — per-snapshot clustering and the
+// candidate step, reference vs optimized shapes, plus end-to-end CMC at
+// N = 1000 — so the perf trajectory is tracked across PRs. Schema:
+//   { "schema": "convoy-bench-hotpath-v1",
+//     "results": [ {"bench": str, "n": int, "threads": int,
+//                   "ns_per_op": float}, ... ] }
 
+#include <fstream>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "tests/reference_impl.h"
+#include "traj/interpolate.h"
 
 namespace {
 
@@ -19,6 +30,304 @@ convoy::ScenarioConfig BaseConfig(size_t n, convoy::Tick t) {
   c.group_duration_min = 150;
   c.group_duration_max = 400;
   return c;
+}
+
+/// Accumulates (bench, n, threads, ns/op) rows and writes the JSON file.
+struct HotpathReport {
+  struct Row {
+    std::string bench;
+    size_t n;
+    size_t threads;
+    double ns_per_op;
+  };
+  std::vector<Row> rows;
+
+  void Add(const std::string& bench, size_t n, size_t threads,
+           double ns_per_op) {
+    rows.push_back(Row{bench, n, threads, ns_per_op});
+  }
+
+  double NsOf(const std::string& bench) const {
+    for (const Row& r : rows) {
+      if (r.bench == bench) return r.ns_per_op;
+    }
+    return 0.0;
+  }
+
+  bool Write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"schema\": \"convoy-bench-hotpath-v1\",\n  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"bench\": \"" << rows[i].bench << "\", \"n\": "
+          << rows[i].n << ", \"threads\": " << rows[i].threads
+          << ", \"ns_per_op\": " << rows[i].ns_per_op << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+};
+
+/// The pre-PR-5 per-snapshot clustering shape, mirrored from the retained
+/// reference pieces: hash-grid DBSCAN with per-call allocations, clusters
+/// out as sorted object-id lists (exactly what ClusterSnapshot produces).
+std::vector<std::vector<convoy::ObjectId>> ReferenceClusterSnapshot(
+    const std::vector<convoy::Point>& points,
+    const std::vector<convoy::ObjectId>& ids, const convoy::ConvoyQuery& q) {
+  using namespace convoy;
+  if (points.size() < q.m) return {};
+  const Clustering clustering =
+      reference::ReferenceDbscan(points, q.e, q.m);
+  std::vector<std::vector<ObjectId>> out;
+  out.reserve(clustering.clusters.size());
+  for (const std::vector<size_t>& cluster : clustering.clusters) {
+    std::vector<ObjectId> members;
+    members.reserve(cluster.size());
+    for (const size_t idx : cluster) members.push_back(ids[idx]);
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+/// End-to-end CMC built on the reference pieces only (hash grid, deque
+/// DBSCAN, ordered-map candidate step) — the pre-PR-5 execution shape.
+std::vector<convoy::Convoy> ReferenceCmcRun(const convoy::TrajectoryDatabase& db,
+                                            const convoy::ConvoyQuery& query) {
+  using namespace convoy;
+  reference::ReferenceCandidateTracker tracker(query.m, query.k);
+  std::vector<Candidate> completed;
+  std::vector<Point> snapshot;
+  std::vector<ObjectId> ids;
+  for (Tick t = db.BeginTick(); t <= db.EndTick(); ++t) {
+    snapshot.clear();
+    ids.clear();
+    for (const Trajectory& traj : db.trajectories()) {
+      const auto pos = InterpolateAt(traj, t);
+      if (!pos.has_value()) continue;
+      snapshot.push_back(*pos);
+      ids.push_back(traj.id());
+    }
+    tracker.Advance(ReferenceClusterSnapshot(snapshot, ids, query), t, t, 1,
+                    &completed);
+  }
+  tracker.Flush(&completed);
+  return FinalizeCmcResult(completed, CmcOptions{});
+}
+
+void RunHotpathSection(const convoy::bench::BenchOptions& opts) {
+  using namespace convoy;
+  using namespace convoy::bench;
+  HotpathReport report;
+  const int mult = opts.full ? 3 : 1;
+
+  // ---- per-snapshot clustering, N = 1000 --------------------------------
+  {
+    Rng rng(7);
+    std::vector<Point> points;
+    std::vector<ObjectId> ids;
+    for (size_t i = 0; i < 1000; ++i) {
+      points.emplace_back(rng.Uniform(0, 300), rng.Uniform(0, 300));
+      ids.push_back(static_cast<ObjectId>(i));
+    }
+    ConvoyQuery q;
+    q.m = 3;
+    q.k = 2;
+    q.e = 10.0;
+
+    size_t sink = 0;
+    const int ref_iters = 100 * mult;
+    Stopwatch ref_watch;
+    for (int i = 0; i < ref_iters; ++i) {
+      sink += ReferenceClusterSnapshot(points, ids, q).size();
+    }
+    report.Add("snapshot_cluster_reference", 1000, 1,
+               ref_watch.ElapsedSeconds() * 1e9 / ref_iters);
+
+    DbscanScratch scratch;
+    const int opt_iters = 200 * mult;
+    Stopwatch opt_watch;
+    for (int i = 0; i < opt_iters; ++i) {
+      sink += ClusterSnapshot(points, ids, q, nullptr, &scratch).size();
+    }
+    report.Add("snapshot_cluster_csr_arena", 1000, 1,
+               opt_watch.ElapsedSeconds() * 1e9 / opt_iters);
+    if (sink == 0) std::cout << "";  // keep the loops observable
+
+    // ---- grid build alone, same snapshot --------------------------------
+    const int grid_iters = 400 * mult;
+    Stopwatch ref_grid;
+    for (int i = 0; i < grid_iters; ++i) {
+      reference::ReferenceGridIndex g(points, q.e);
+      sink += g.NumPoints();
+    }
+    report.Add("grid_build_reference", 1000, 1,
+               ref_grid.ElapsedSeconds() * 1e9 / grid_iters);
+    Stopwatch opt_grid;
+    for (int i = 0; i < grid_iters; ++i) {
+      scratch.grid.Assign(points, q.e);
+      sink += scratch.grid.NumPoints();
+    }
+    report.Add("grid_build_csr_arena", 1000, 1,
+               opt_grid.ElapsedSeconds() * 1e9 / grid_iters);
+  }
+
+  // ---- candidate step, synthetic 1000-object stream ---------------------
+  {
+    // 50 disjoint clusters of 20 objects, drifting one object per step —
+    // the live set stays saturated, the shape CMC's tracker sees on a
+    // large convoy-rich tick.
+    const size_t universe = 1000;
+    const auto clusters_at = [&](Tick t) {
+      std::vector<std::vector<ObjectId>> clusters;
+      for (size_t c = 0; c < 50; ++c) {
+        std::vector<ObjectId> members;
+        for (size_t j = 0; j < 20; ++j) {
+          members.push_back(static_cast<ObjectId>(
+              (c * 20 + j + (j == 0 ? t : 0)) % universe));
+        }
+        std::sort(members.begin(), members.end());
+        members.erase(std::unique(members.begin(), members.end()),
+                      members.end());
+        clusters.push_back(std::move(members));
+      }
+      return clusters;
+    };
+    // The drifted member can collide with another cluster's range; keep
+    // the step's clusters disjoint the way DBSCAN guarantees.
+    const auto disjoint_clusters_at = [&](Tick t) {
+      auto clusters = clusters_at(t);
+      std::vector<bool> seen(universe, false);
+      for (auto& cluster : clusters) {
+        std::vector<ObjectId> kept;
+        for (ObjectId id : cluster) {
+          if (!seen[id]) {
+            seen[id] = true;
+            kept.push_back(id);
+          }
+        }
+        cluster = std::move(kept);
+      }
+      return clusters;
+    };
+
+    // Generate every step's clusters up front: the timed region must
+    // contain Advance and nothing else, or the generator cost floors the
+    // cross-PR metric and dampens real tracker regressions.
+    const Tick steps = 60;
+    std::vector<std::vector<std::vector<ObjectId>>> step_clusters;
+    for (Tick t = 0; t < steps; ++t) {
+      step_clusters.push_back(disjoint_clusters_at(t));
+    }
+    const int adv_iters = 3 * mult;
+    Stopwatch ref_watch;
+    for (int i = 0; i < adv_iters; ++i) {
+      reference::ReferenceCandidateTracker tracker(3, 10);
+      std::vector<Candidate> done;
+      for (Tick t = 0; t < steps; ++t) {
+        tracker.Advance(step_clusters[static_cast<size_t>(t)], t, t, 1,
+                        &done);
+      }
+    }
+    report.Add("candidate_advance_reference", 1000, 1,
+               ref_watch.ElapsedSeconds() * 1e9 /
+                   (adv_iters * static_cast<int>(steps)));
+    Stopwatch opt_watch;
+    for (int i = 0; i < adv_iters; ++i) {
+      CandidateTracker tracker(3, 10);
+      std::vector<Candidate> done;
+      for (Tick t = 0; t < steps; ++t) {
+        tracker.Advance(step_clusters[static_cast<size_t>(t)], t, t, 1,
+                        &done);
+      }
+    }
+    report.Add("candidate_advance_label", 1000, 1,
+               opt_watch.ElapsedSeconds() * 1e9 /
+                   (adv_iters * static_cast<int>(steps)));
+  }
+
+  // ---- end-to-end CMC, N = 1000 -----------------------------------------
+  {
+    ScenarioConfig c = CarLikeConfig(1.0);
+    c.num_objects = 1000;
+    c.time_domain = 300;
+    c.lifetime_fraction = 1.0;
+    c.num_groups = 25;
+    c.query.k = 60;
+    c.group_duration_min = 80;
+    c.group_duration_max = 200;
+    const ScenarioData data = GenerateScenario(c, opts.seed);
+
+    const int iters = 2 * mult;
+    size_t ref_convoys = 0;
+    Stopwatch ref_watch;
+    for (int i = 0; i < iters; ++i) {
+      ref_convoys = ReferenceCmcRun(data.db, data.query).size();
+    }
+    report.Add("cmc_e2e_reference", 1000, 1,
+               ref_watch.ElapsedSeconds() * 1e9 / iters);
+
+    size_t opt_convoys = 0;
+    Stopwatch opt_watch;
+    for (int i = 0; i < iters; ++i) {
+      opt_convoys = Cmc(data.db, data.query).size();
+    }
+    report.Add("cmc_e2e_optimized", 1000, 1,
+               opt_watch.ElapsedSeconds() * 1e9 / iters);
+    if (ref_convoys != opt_convoys) {
+      std::cout << "WARNING: reference and optimized CMC disagree ("
+                << ref_convoys << " vs " << opt_convoys << " convoys)\n";
+    }
+
+    // CuTS* end-to-end on the same dataset. No in-binary reference pair —
+    // a faithful pre-rewrite CuTS would mean retaining the whole filter —
+    // so this row is the absolute number the cross-PR trajectory tracks
+    // (the filter's candidate step and the refinement's CmcRange both sit
+    // on the rebuilt hot path).
+    Stopwatch cuts_watch;
+    size_t cuts_convoys = 0;
+    for (int i = 0; i < iters; ++i) {
+      cuts_convoys = Cuts(data.db, data.query).size();
+    }
+    report.Add("cuts_star_e2e_optimized", 1000, 1,
+               cuts_watch.ElapsedSeconds() * 1e9 / iters);
+    if (cuts_convoys == 0 && opt_convoys != 0) {
+      std::cout << "WARNING: CuTS* found no convoys where CMC did\n";
+    }
+  }
+
+  PrintHeader("Hot path: reference vs optimized (PR 5; ns/op)");
+  PrintRow({{"bench", 30}, {"reference", 14}, {"optimized", 14},
+            {"speedup", 9}});
+  PrintRule(67);
+  const auto print_pair = [&](const std::string& label,
+                              const std::string& ref_key,
+                              const std::string& opt_key) {
+    const double ref = report.NsOf(ref_key);
+    const double opt = report.NsOf(opt_key);
+    PrintRow({{label, 30},
+              {Fmt(ref, 0), 14},
+              {Fmt(opt, 0), 14},
+              {Fmt(ref / std::max(1.0, opt), 2) + "x", 9}});
+  };
+  print_pair("snapshot cluster (N=1000)", "snapshot_cluster_reference",
+             "snapshot_cluster_csr_arena");
+  print_pair("grid build (N=1000)", "grid_build_reference",
+             "grid_build_csr_arena");
+  print_pair("candidate advance (1k obj)", "candidate_advance_reference",
+             "candidate_advance_label");
+  print_pair("CMC end-to-end (N=1000)", "cmc_e2e_reference",
+             "cmc_e2e_optimized");
+
+  if (!opts.json_path.empty()) {
+    if (report.Write(opts.json_path)) {
+      std::cout << "\nwrote " << opts.json_path << " ("
+                << report.rows.size() << " results)\n";
+    } else {
+      std::cout << "\nWARNING: could not write " << opts.json_path << "\n";
+    }
+  }
 }
 
 }  // namespace
@@ -206,6 +515,8 @@ int main(int argc, char** argv) {
   PrintRow({{"Execute warm (store + grids)", 30}, {Fmt(warm_ms, 3), 12},
             {Fmt(rowpath_ms / std::max(1e-9, warm_ms), 2) + "x", 12},
             {std::to_string(store_convoys), 9}});
+
+  RunHotpathSection(opts);
 
   std::cout << "\nshape: CuTS*'s advantage over CMC grows with N (snapshot "
                "clustering cost)\nand stays roughly constant in T (both "

@@ -1,9 +1,5 @@
 #include "cluster/dbscan.h"
 
-#include <deque>
-
-#include "cluster/grid_index.h"
-
 namespace convoy {
 
 namespace {
@@ -11,49 +7,29 @@ namespace {
 // The classic label-propagation DBSCAN, generic over how probe point i is
 // fetched (row-oriented Point vector or the store's coordinate columns) so
 // both overloads share one expansion order — and therefore one result.
+// All working state lives in `scratch` and is fully reset here, so arena
+// reuse across snapshots cannot leak information between calls.
 template <typename PointAt>
 Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
-                      size_t min_pts, PointAt&& point_at);
-
-}  // namespace
-
-Clustering Dbscan(const std::vector<Point>& points, double eps,
-                  size_t min_pts) {
-  if (points.empty()) return Clustering{};
-  const GridIndex index(points, eps);
-  return Dbscan(points, index, eps, min_pts);
-}
-
-Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
-                  double eps, size_t min_pts) {
-  return DbscanImpl(points.size(), index, eps, min_pts,
-                    [&points](size_t i) -> const Point& { return points[i]; });
-}
-
-Clustering Dbscan(const double* xs, const double* ys, size_t n,
-                  const GridIndex& index, double eps, size_t min_pts) {
-  return DbscanImpl(n, index, eps, min_pts,
-                    [xs, ys](size_t i) { return Point(xs[i], ys[i]); });
-}
-
-namespace {
-
-template <typename PointAt>
-Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
-                      size_t min_pts, PointAt&& point_at) {
+                      size_t min_pts, DbscanScratch& scratch,
+                      PointAt&& point_at) {
   Clustering result;
   if (n == 0) return result;
 
   constexpr uint32_t kUnvisited = 0xFFFFFFFF;
   constexpr uint32_t kNoise = 0xFFFFFFFE;
-  std::vector<uint32_t> label(n, kUnvisited);
+  std::vector<uint32_t>& label = scratch.labels;
+  label.assign(n, kUnvisited);
 
-  std::vector<size_t> neighbors;
-  std::deque<size_t> frontier;
+  std::vector<size_t>& neighbors = scratch.neighbors;
+  // FIFO frontier as a vector with a read cursor: push_back / read `head`
+  // visits nodes in exactly the order the historical deque did, minus the
+  // deque's chunked allocations.
+  std::vector<size_t>& frontier = scratch.frontier;
 
   for (size_t seed = 0; seed < n; ++seed) {
     if (label[seed] != kUnvisited) continue;
-    index.WithinRadiusInto(point_at(seed), eps, &neighbors);
+    index.NeighborsOfInto(seed, point_at(seed), eps, &neighbors);
     if (neighbors.size() < min_pts) {
       label[seed] = kNoise;  // may be claimed later as a border point
       continue;
@@ -65,9 +41,8 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
     result.clusters.back().push_back(seed);
 
     frontier.assign(neighbors.begin(), neighbors.end());
-    while (!frontier.empty()) {
-      const size_t p = frontier.front();
-      frontier.pop_front();
+    for (size_t head = 0; head < frontier.size(); ++head) {
+      const size_t p = frontier[head];
       if (label[p] == kNoise) {
         // Border point: joins the cluster but is not expanded.
         label[p] = cluster_id;
@@ -77,7 +52,7 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
       if (label[p] != kUnvisited) continue;
       label[p] = cluster_id;
       result.clusters.back().push_back(p);
-      index.WithinRadiusInto(point_at(p), eps, &neighbors);
+      index.NeighborsOfInto(p, point_at(p), eps, &neighbors);
       if (neighbors.size() >= min_pts) {
         // p is core: its whole neighborhood is density-reachable.
         for (const size_t q : neighbors) {
@@ -92,5 +67,29 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
 }
 
 }  // namespace
+
+Clustering Dbscan(const std::vector<Point>& points, double eps,
+                  size_t min_pts) {
+  if (points.empty()) return Clustering{};
+  const GridIndex index(points, eps);
+  return Dbscan(points, index, eps, min_pts);
+}
+
+Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
+                  double eps, size_t min_pts, DbscanScratch* scratch) {
+  DbscanScratch local;
+  return DbscanImpl(points.size(), index, eps, min_pts,
+                    scratch != nullptr ? *scratch : local,
+                    [&points](size_t i) -> const Point& { return points[i]; });
+}
+
+Clustering Dbscan(const double* xs, const double* ys, size_t n,
+                  const GridIndex& index, double eps, size_t min_pts,
+                  DbscanScratch* scratch) {
+  DbscanScratch local;
+  return DbscanImpl(n, index, eps, min_pts,
+                    scratch != nullptr ? *scratch : local,
+                    [xs, ys](size_t i) { return Point(xs[i], ys[i]); });
+}
 
 }  // namespace convoy

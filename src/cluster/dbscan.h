@@ -2,8 +2,10 @@
 #define CONVOY_CLUSTER_DBSCAN_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "cluster/grid_index.h"
 #include "geom/point.h"
 
 namespace convoy {
@@ -19,6 +21,21 @@ struct Clustering {
     for (const auto& c : clusters) n += c.size();
     return n;
   }
+};
+
+/// Reusable working set for Dbscan: the label array, the neighbor buffer,
+/// and the BFS frontier (a vector drained front-to-back — FIFO order, same
+/// expansion as the historical deque, without its per-node allocation).
+/// Also carries a GridIndex arena for callers that build a fresh index per
+/// snapshot (ClusterSnapshot). A default-constructed instance is ready to
+/// use; contents carry no information between calls — every run fully
+/// resets what it reads — so reuse can never change results, only spare
+/// the per-snapshot allocations that dominate small-snapshot ticks.
+struct DbscanScratch {
+  std::vector<uint32_t> labels;
+  std::vector<size_t> neighbors;
+  std::vector<size_t> frontier;
+  GridIndex grid;
 };
 
 /// DBSCAN (Ester et al. 1996), the snapshot clustering the paper's density
@@ -41,10 +58,11 @@ Clustering Dbscan(const std::vector<Point>& points, double eps,
 /// cell size >= eps). SnapshotClusters — the per-tick unit of work of CMC —
 /// builds the index itself and feeds it in, so under ParallelCmc the index
 /// builds run concurrently across snapshots; results are identical to the
-/// index-less overload.
-class GridIndex;
+/// index-less overload. `scratch` (optional) supplies the reusable working
+/// set; without one, a call-local arena is used.
 Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
-                  double eps, size_t min_pts);
+                  double eps, size_t min_pts,
+                  DbscanScratch* scratch = nullptr);
 
 /// Columnar overload over parallel coordinate arrays — the SnapshotStore's
 /// per-tick structure-of-arrays layout — with a prebuilt index over the
@@ -52,7 +70,8 @@ Clustering Dbscan(const std::vector<Point>& points, const GridIndex& index,
 /// Results are identical to the Point-vector overloads: the probe points
 /// are bitwise the same and expansion order depends only on index order.
 Clustering Dbscan(const double* xs, const double* ys, size_t n,
-                  const GridIndex& index, double eps, size_t min_pts);
+                  const GridIndex& index, double eps, size_t min_pts,
+                  DbscanScratch* scratch = nullptr);
 
 }  // namespace convoy
 

@@ -2,6 +2,8 @@
 #define CONVOY_CORE_CANDIDATE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/convoy_set.h"
@@ -22,6 +24,59 @@ struct Candidate {
   Convoy ToConvoy() const { return Convoy{objects, start_tick, end_tick}; }
 };
 
+/// Dense object -> cluster-label map over one step's clusters. The clusters
+/// a snapshot DBSCAN produces are disjoint, so "which cluster holds object
+/// o" is a single label per object — which turns intersecting a candidate
+/// against *all* clusters of a step into one O(|candidate|) pass instead of
+/// one set_intersection per cluster. Object ids map to dense slots that
+/// persist across steps (database order for dense id spaces, a hash map for
+/// adversarial ones), and labels are epoch-stamped so relabeling a step is
+/// O(members), never O(universe).
+///
+/// Shared by CandidateTracker (CMC / the CuTS filter) and the MC2 chain
+/// overlap test.
+class ClusterLabeler {
+ public:
+  static constexpr uint32_t kNoLabel = 0xFFFFFFFFu;
+
+  /// Labels every member of `clusters` with its cluster index. Returns
+  /// false when the clusters are not disjoint (an object appears twice) —
+  /// labels are then meaningless and the caller must fall back to pairwise
+  /// intersection; every algorithmic producer (DBSCAN partitions) is
+  /// disjoint, so the fallback only guards direct API callers.
+  bool Label(const std::vector<std::vector<ObjectId>>& clusters);
+
+  /// The cluster index `id` belongs to in the step most recently passed to
+  /// Label, or kNoLabel when it is in no cluster.
+  uint32_t LabelOf(ObjectId id) const {
+    const uint32_t slot = LookupSlot(id);
+    if (slot == kNoSlot || epoch_of_[slot] != epoch_) return kNoLabel;
+    return label_[slot];
+  }
+
+ private:
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+  /// Ids below this index a flat array directly (the expected dense-id
+  /// regime, per ObjectId's contract); larger ids — 64 MB of slots would
+  /// otherwise be charged to one stray id — go through the overflow map.
+  static constexpr ObjectId kDenseIdCap = ObjectId{1} << 24;
+
+  uint32_t LookupSlot(ObjectId id) const {
+    if (id < kDenseIdCap) {
+      return id < dense_.size() ? dense_[id] : kNoSlot;
+    }
+    const auto it = overflow_.find(id);
+    return it == overflow_.end() ? kNoSlot : it->second;
+  }
+  uint32_t EnsureSlot(ObjectId id);
+
+  std::vector<uint32_t> dense_;  ///< id -> slot for ids < kDenseIdCap
+  std::unordered_map<ObjectId, uint32_t> overflow_;
+  std::vector<uint32_t> label_;     ///< slot -> cluster index
+  std::vector<uint32_t> epoch_of_;  ///< slot -> epoch label_ was written at
+  uint32_t epoch_ = 0;
+};
+
 /// The candidate bookkeeping shared by Algorithm 1 (CMC) and the filter step
 /// of Algorithm 2 (CuTS): at every step, snapshot clusters are intersected
 /// with live candidates; intersections with at least m objects continue,
@@ -35,6 +90,14 @@ struct Candidate {
 ///    convoy may begin at this step inside a cluster that happens to extend
 ///    an unrelated older candidate. Successor deduplication (by object set,
 ///    keeping the earliest start) keeps the candidate set small.
+///
+/// Hot path: because a step's clusters are disjoint, each live candidate is
+/// intersected against all of them in one labeled pass (see ClusterLabeler),
+/// and successors dedup through an open-addressing table keyed on the object
+/// set instead of an ordered map of vectors. Results — content and order —
+/// are identical to the historical set_intersection/std::map implementation
+/// (the live set is kept in its lexicographic order), which tests retain as
+/// a reference (tests/reference_impl.h).
 class CandidateTracker {
  public:
   /// `m` and `k` are the convoy query parameters.
@@ -57,9 +120,25 @@ class CandidateTracker {
   size_t LiveCount() const { return live_.size(); }
 
  private:
+  void Offer(Candidate&& cand);
+  void GrowTable();
+
   size_t m_;
   Tick k_;
-  std::vector<Candidate> live_;
+  std::vector<Candidate> live_;  ///< lexicographic by object set
+
+  ClusterLabeler labeler_;
+  /// Per-cluster intersection buffers for the labeled pass (cleared after
+  /// each candidate; sized to the step's cluster count).
+  std::vector<std::vector<ObjectId>> buckets_;
+  std::vector<uint32_t> touched_;
+
+  /// Successor dedup: open addressing over `pool_` keyed on the object
+  /// set. `table_` holds pool indices + 1 (0 = empty slot); `hash_` caches
+  /// each pooled successor's object-set hash so growth never re-hashes.
+  std::vector<Candidate> pool_;
+  std::vector<uint64_t> hash_;
+  std::vector<uint32_t> table_;
 };
 
 /// Sorted-vector intersection helper shared with the MC2 baseline.

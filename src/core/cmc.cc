@@ -31,11 +31,19 @@ std::vector<std::vector<ObjectId>> ClustersToObjectIds(
 
 std::vector<std::vector<ObjectId>> ClusterSnapshot(
     const std::vector<Point>& points, const std::vector<ObjectId>& ids,
-    const ConvoyQuery& query, bool* clustered) {
+    const ConvoyQuery& query, bool* clustered, DbscanScratch* scratch) {
   if (clustered != nullptr) *clustered = false;
   if (points.size() < query.m) return {};
-  const GridIndex index(points, query.e);
-  const Clustering clustering = Dbscan(points, index, query.e, query.m);
+  Clustering clustering;
+  if (scratch != nullptr) {
+    // Arena path: rebuild the scratch grid in place (identical state to a
+    // fresh index) and run DBSCAN out of the same working set.
+    scratch->grid.Assign(points, query.e);
+    clustering = Dbscan(points, scratch->grid, query.e, query.m, scratch);
+  } else {
+    const GridIndex index(points, query.e);
+    clustering = Dbscan(points, index, query.e, query.m);
+  }
   if (clustered != nullptr) *clustered = true;
   return ClustersToObjectIds(clustering, ids.data());
 }
@@ -58,13 +66,15 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(
     snapshot.push_back(*pos);
     snapshot_ids.push_back(traj.id());
   }
-  return ClusterSnapshot(snapshot, snapshot_ids, query, clustered);
+  return ClusterSnapshot(snapshot, snapshot_ids, query, clustered,
+                         &scratch->dbscan);
 }
 
 std::vector<std::vector<ObjectId>> SnapshotClusters(const SnapshotStore& store,
                                                     Tick t,
                                                     const ConvoyQuery& query,
-                                                    bool* clustered) {
+                                                    bool* clustered,
+                                                    DbscanScratch* scratch) {
   if (clustered != nullptr) *clustered = false;
   const SnapshotView view = store.At(t);
   if (view.size < query.m) return {};
@@ -72,7 +82,7 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(const SnapshotStore& store,
   // from its cache mid-query (eps-sweep bound), never from under us.
   const std::shared_ptr<const GridIndex> grid = store.GridFor(t, query.e);
   const Clustering clustering =
-      Dbscan(view.xs, view.ys, view.size, *grid, query.e, query.m);
+      Dbscan(view.xs, view.ys, view.size, *grid, query.e, query.m, scratch);
   if (clustered != nullptr) *clustered = true;
   return ClustersToObjectIds(clustering, view.ids);
 }
@@ -152,39 +162,45 @@ std::vector<Convoy> CmcRangeImpl(const ConvoyQuery& query, Tick begin_tick,
 std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options,
-                             DiscoveryStats* stats, const ExecHooks* hooks) {
-  SnapshotScratch scratch;
+                             DiscoveryStats* stats, const ExecHooks* hooks,
+                             SnapshotScratch* scratch) {
+  SnapshotScratch local;
+  if (scratch == nullptr) scratch = &local;
   return CmcRangeImpl(query, begin_tick, end_tick, options, stats, hooks,
                       [&](Tick t, bool* clustered) {
                         return SnapshotClusters(db, t, query, clustered,
-                                                &scratch);
+                                                scratch);
                       });
 }
 
 std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
                         const CmcOptions& options, DiscoveryStats* stats,
-                        const ExecHooks* hooks) {
+                        const ExecHooks* hooks, SnapshotScratch* scratch) {
   if (db.Empty()) return {};
   return CmcRange(db, query, db.BeginTick(), db.EndTick(), options, stats,
-                  hooks);
+                  hooks, scratch);
 }
 
 std::vector<Convoy> CmcRange(const SnapshotStore& store,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options,
-                             DiscoveryStats* stats, const ExecHooks* hooks) {
+                             DiscoveryStats* stats, const ExecHooks* hooks,
+                             SnapshotScratch* scratch) {
+  SnapshotScratch local;
+  if (scratch == nullptr) scratch = &local;
   return CmcRangeImpl(query, begin_tick, end_tick, options, stats, hooks,
                       [&](Tick t, bool* clustered) {
-                        return SnapshotClusters(store, t, query, clustered);
+                        return SnapshotClusters(store, t, query, clustered,
+                                                &scratch->dbscan);
                       });
 }
 
 std::vector<Convoy> Cmc(const SnapshotStore& store, const ConvoyQuery& query,
                         const CmcOptions& options, DiscoveryStats* stats,
-                        const ExecHooks* hooks) {
+                        const ExecHooks* hooks, SnapshotScratch* scratch) {
   if (store.Empty()) return {};
   return CmcRange(store, query, store.begin_tick(), store.end_tick(), options,
-                  stats, hooks);
+                  stats, hooks, scratch);
 }
 
 }  // namespace convoy

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "cluster/dbscan.h"
 #include "core/candidate.h"
 #include "core/convoy_set.h"
 #include "core/discovery_stats.h"
@@ -21,6 +22,18 @@ struct CmcOptions {
   bool remove_dominated = true;
 };
 
+/// Scratch buffers a caller may reuse across SnapshotClusters calls so the
+/// per-tick loops do not reallocate the snapshot, the grid index, or the
+/// DBSCAN working set every iteration. Serial loops hold one; the parallel
+/// runners hold one per worker chunk; the query executor carries one in its
+/// ExecContext. Contents never carry information between ticks (everything
+/// is reset per use), so reuse cannot change results.
+struct SnapshotScratch {
+  std::vector<Point> points;
+  std::vector<ObjectId> ids;
+  DbscanScratch dbscan;
+};
+
 /// CMC — Coherent Moving Cluster (paper Algorithm 1, Section 4): the exact
 /// baseline convoy-discovery algorithm. For every tick it interpolates
 /// virtual points for objects with missing samples, clusters the snapshot
@@ -30,11 +43,14 @@ struct CmcOptions {
 ///
 /// Runs over the database's full time domain. `hooks` (optional) adds
 /// per-tick cancellation checks, progress reports, and incremental convoy
-/// emission — see core/exec_hooks.h; results are unaffected.
+/// emission — see core/exec_hooks.h; results are unaffected. `scratch`
+/// (optional) supplies the per-tick arena; without one a call-local arena
+/// is used, so passing it only moves the allocation, never the result.
 std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
                         const CmcOptions& options = {},
                         DiscoveryStats* stats = nullptr,
-                        const ExecHooks* hooks = nullptr);
+                        const ExecHooks* hooks = nullptr,
+                        SnapshotScratch* scratch = nullptr);
 
 /// CMC restricted to ticks [begin_tick, end_tick] — the refinement step of
 /// CuTS runs this on each candidate's objects and time interval
@@ -43,7 +59,8 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options = {},
                              DiscoveryStats* stats = nullptr,
-                             const ExecHooks* hooks = nullptr);
+                             const ExecHooks* hooks = nullptr,
+                             SnapshotScratch* scratch = nullptr);
 
 /// Store-backed CMC: identical to Cmc(db, ...) over the database the store
 /// was built from — the store's per-tick columnar views reproduce the
@@ -54,21 +71,16 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
 std::vector<Convoy> Cmc(const SnapshotStore& store, const ConvoyQuery& query,
                         const CmcOptions& options = {},
                         DiscoveryStats* stats = nullptr,
-                        const ExecHooks* hooks = nullptr);
+                        const ExecHooks* hooks = nullptr,
+                        SnapshotScratch* scratch = nullptr);
 
 /// Store-backed range-restricted CMC, mirroring CmcRange(db, ...).
 std::vector<Convoy> CmcRange(const SnapshotStore& store,
                              const ConvoyQuery& query, Tick begin_tick,
                              Tick end_tick, const CmcOptions& options = {},
                              DiscoveryStats* stats = nullptr,
-                             const ExecHooks* hooks = nullptr);
-
-/// Scratch buffers a caller may reuse across SnapshotClusters calls so the
-/// serial per-tick loop does not reallocate the snapshot every iteration.
-struct SnapshotScratch {
-  std::vector<Point> points;
-  std::vector<ObjectId> ids;
-};
+                             const ExecHooks* hooks = nullptr,
+                             SnapshotScratch* scratch = nullptr);
 
 /// The per-tick unit of work of CMC, shared by the serial loop above and
 /// the snapshot-parallel runner (parallel/parallel_runner.h): every object
@@ -86,19 +98,22 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(
 /// Store-backed per-tick unit of work: clusters the store's columnar view
 /// of tick `t` over the store's cached grid index at query.e. Identical
 /// output to SnapshotClusters(db, t, ...) on the source database.
-std::vector<std::vector<ObjectId>> SnapshotClusters(const SnapshotStore& store,
-                                                    Tick t,
-                                                    const ConvoyQuery& query,
-                                                    bool* clustered = nullptr);
+/// `scratch` (optional) supplies the reusable DBSCAN working set.
+std::vector<std::vector<ObjectId>> SnapshotClusters(
+    const SnapshotStore& store, Tick t, const ConvoyQuery& query,
+    bool* clustered = nullptr, DbscanScratch* scratch = nullptr);
 
 /// Clusters one already-materialized snapshot (`points` with aligned
 /// `ids`): DBSCAN(query.e, query.m) over a fresh grid index, clusters
 /// returned as sorted object-id lists, snapshots smaller than m skipped.
 /// The snapshot path shared by batch CMC, MC2, and StreamingCmc — one
 /// implementation, so their per-tick semantics can never drift apart.
+/// With `scratch`, the grid index and DBSCAN working set build into the
+/// caller's arena instead of allocating per snapshot.
 std::vector<std::vector<ObjectId>> ClusterSnapshot(
     const std::vector<Point>& points, const std::vector<ObjectId>& ids,
-    const ConvoyQuery& query, bool* clustered = nullptr);
+    const ConvoyQuery& query, bool* clustered = nullptr,
+    DbscanScratch* scratch = nullptr);
 
 /// The shared tail of CMC: converts completed candidates to convoys and
 /// applies dominance pruning (or mere canonicalization, per `options`).

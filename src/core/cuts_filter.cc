@@ -78,6 +78,10 @@ PartitionClusters ClusterPartition(
   const Clustering clustering =
       PolylineDbscan(polylines, cluster_options, &out.cluster_stats);
   out.clustered = true;
+  // One polyline per object and DBSCAN partitions are disjoint, so the
+  // partition's object-id clusters are disjoint sorted sets — the invariant
+  // CandidateTracker::Advance's labeled single-pass intersection relies on
+  // (overlap would silently demote it to the pairwise fallback).
   for (const std::vector<size_t>& cluster : clustering.clusters) {
     std::vector<ObjectId> ids;
     ids.reserve(cluster.size());

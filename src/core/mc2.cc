@@ -38,6 +38,9 @@ std::vector<Convoy> Mc2Impl(Tick begin_tick, Tick end_tick,
                             const Mc2Options& options, ClusterAt&& cluster_at) {
   std::vector<Convoy> reports;
   std::vector<Chain> live;
+  ClusterLabeler labeler;
+  std::vector<size_t> overlap_count;
+  std::vector<uint32_t> touched;
 
   const auto finish = [&](const Chain& chain) {
     if (chain.end_tick - chain.start_tick + 1 < options.min_duration) return;
@@ -59,19 +62,58 @@ std::vector<Convoy> Mc2Impl(Tick begin_tick, Tick end_tick,
       }
     };
 
+    // Snapshot clusters are disjoint, so every |chain.current ∩ cluster|
+    // of the tick falls out of one labeled pass over chain.current — and
+    // the Jaccard screen needs only those counts. Clusters the chain never
+    // touches have overlap 0 and a Jaccard of 0, so they qualify only for
+    // theta <= 0, where (like the overlapping-cluster API edge) the
+    // pairwise loop below handles them instead.
+    const bool labeled = options.theta > 0.0 && labeler.Label(clusters);
+    if (overlap_count.size() < clusters.size()) {
+      overlap_count.resize(clusters.size(), 0);
+    }
+
+    const auto extend = [&](const Chain& chain, size_t ci, bool* extended,
+                            std::vector<bool>* cluster_used) {
+      *extended = true;
+      (*cluster_used)[ci] = true;
+      Chain successor;
+      successor.current = clusters[ci];
+      successor.common = IntersectSorted(chain.common, clusters[ci]);
+      successor.start_tick = chain.start_tick;
+      successor.end_tick = t;
+      offer(std::move(successor));
+    };
+
     std::vector<bool> cluster_used(clusters.size(), false);
     for (const Chain& chain : live) {
       bool extended = false;
-      for (size_t ci = 0; ci < clusters.size(); ++ci) {
-        if (Jaccard(chain.current, clusters[ci]) < options.theta) continue;
-        extended = true;
-        cluster_used[ci] = true;
-        Chain successor;
-        successor.current = clusters[ci];
-        successor.common = IntersectSorted(chain.common, clusters[ci]);
-        successor.start_tick = chain.start_tick;
-        successor.end_tick = t;
-        offer(std::move(successor));
+      if (labeled) {
+        touched.clear();
+        for (const ObjectId id : chain.current) {
+          const uint32_t c = labeler.LabelOf(id);
+          if (c == ClusterLabeler::kNoLabel) continue;
+          if (overlap_count[c] == 0) touched.push_back(c);
+          ++overlap_count[c];
+        }
+        std::sort(touched.begin(), touched.end());
+        for (const uint32_t ci : touched) {
+          // The same arithmetic Jaccard() applies, fed by the counted
+          // intersection size instead of a materialized intersection.
+          const size_t common = overlap_count[ci];
+          overlap_count[ci] = 0;
+          const size_t uni =
+              chain.current.size() + clusters[ci].size() - common;
+          const double jaccard =
+              static_cast<double>(common) / static_cast<double>(uni);
+          if (jaccard < options.theta) continue;
+          extend(chain, ci, &extended, &cluster_used);
+        }
+      } else {
+        for (size_t ci = 0; ci < clusters.size(); ++ci) {
+          if (Jaccard(chain.current, clusters[ci]) < options.theta) continue;
+          extend(chain, ci, &extended, &cluster_used);
+        }
       }
       if (!extended) finish(chain);
     }

@@ -86,15 +86,16 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
   // sparse stream most ticks end here.
   std::vector<std::vector<ObjectId>> clusters;
   if (snapshot_.size() >= query_.m) {
-    std::vector<Point> points;
-    std::vector<ObjectId> ids;
-    points.reserve(snapshot_.size());
-    ids.reserve(snapshot_.size());
+    gather_points_.clear();
+    gather_ids_.clear();
+    gather_points_.reserve(snapshot_.size());
+    gather_ids_.reserve(snapshot_.size());
     for (const auto& [id, pos] : snapshot_) {
-      ids.push_back(id);
-      points.push_back(pos);
+      gather_ids_.push_back(id);
+      gather_points_.push_back(pos);
     }
-    clusters = ClusterSnapshot(points, ids, query_);
+    clusters = ClusterSnapshot(gather_points_, gather_ids_, query_,
+                               /*clustered=*/nullptr, &dbscan_scratch_);
   }
   tracker_.Advance(clusters, t, t, /*step_weight=*/1, &completed_);
 

@@ -115,6 +115,12 @@ class StreamingCmc {
   std::unordered_map<ObjectId, Point> snapshot_;
   std::unordered_map<ObjectId, LastSeen> last_seen_;
   std::vector<Candidate> completed_;
+  /// Snapshot gather + DBSCAN arena reused across EndTick calls (a stream
+  /// clusters one snapshot per tick for its whole lifetime; per-tick
+  /// allocations would dominate sparse feeds). Reset every use.
+  std::vector<Point> gather_points_;
+  std::vector<ObjectId> gather_ids_;
+  DbscanScratch dbscan_scratch_;
 };
 
 }  // namespace convoy

@@ -1,7 +1,6 @@
 #include "core/verify.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "cluster/dbscan.h"
 #include "traj/interpolate.h"
@@ -19,18 +18,34 @@ bool ObjectsConnectedAt(const TrajectoryDatabase& db, const ConvoyQuery& query,
     snapshot_ids.push_back(traj.id());
   }
 
+  // Two sorted vectors replace the per-(convoy, tick) unordered_sets the
+  // checker used to rebuild: convoy object lists arrive sorted (candidates
+  // are sorted unique — re-sorted here only if a direct caller passed an
+  // unsorted list), and the snapshot ids sort once per tick. Membership is
+  // then a binary search — no hashing, no node allocations.
+  std::vector<ObjectId> wanted = objects;
+  if (!std::is_sorted(wanted.begin(), wanted.end())) {
+    std::sort(wanted.begin(), wanted.end());
+  }
+  // Dedupe to keep the hits == wanted.size() test meaning "all distinct
+  // queried objects", exactly as the old set semantics had it.
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+  std::vector<ObjectId> alive = snapshot_ids;
+  std::sort(alive.begin(), alive.end());
+
   // Every queried object must be alive at t.
-  std::unordered_set<ObjectId> alive(snapshot_ids.begin(), snapshot_ids.end());
-  for (const ObjectId id : objects) {
-    if (alive.count(id) == 0) return false;
+  for (const ObjectId id : wanted) {
+    if (!std::binary_search(alive.begin(), alive.end(), id)) return false;
   }
 
   const Clustering clustering = Dbscan(snapshot, query.e, query.m);
-  const std::unordered_set<ObjectId> wanted(objects.begin(), objects.end());
   for (const std::vector<size_t>& cluster : clustering.clusters) {
     size_t hits = 0;
     for (const size_t idx : cluster) {
-      if (wanted.count(snapshot_ids[idx]) > 0) ++hits;
+      if (std::binary_search(wanted.begin(), wanted.end(),
+                             snapshot_ids[idx])) {
+        ++hits;
+      }
     }
     if (hits == wanted.size()) return true;
     if (hits > 0) return false;  // split across clusters (or partly noise)

@@ -13,9 +13,9 @@ namespace {
 
 // The block-parallel CMC loop shared by the row-oriented and store-backed
 // entry points, generic over the per-tick clustering `cluster_at(t,
-// &clustered)`: ticks are clustered concurrently in blocks, candidates
-// extended sequentially in tick order — the sequential pass is what makes
-// every variant bit-identical to serial CMC.
+// &clustered, &scratch)`: ticks are clustered concurrently in blocks,
+// candidates extended sequentially in tick order — the sequential pass is
+// what makes every variant bit-identical to serial CMC.
 template <typename ClusterAt>
 std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
                                          Tick begin_tick, Tick end_tick,
@@ -47,14 +47,21 @@ std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
   for (size_t block_begin = 0; block_begin < total_ticks;
        block_begin += block) {
     const size_t block_size = std::min(block, total_ticks - block_begin);
-    std::vector<TickClusters> per_tick =
-        ParallelMap(&pool, block_size, [&](size_t i) {
-          CheckCancelled(hooks);
-          const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
-          TickClusters out;
-          out.clusters = cluster_at(t, &out.clustered);
-          return out;
-        });
+    // One snapshot/DBSCAN arena per contiguous chunk: each worker chunk
+    // reuses its arena across its ticks (chunk boundaries are
+    // deterministic, and scratch contents never affect results), so the
+    // parallel path sheds the same per-tick allocations the serial loop
+    // does. Writes land in per-tick slots, keeping tick order.
+    std::vector<TickClusters> per_tick(block_size);
+    pool.ParallelFor(block_size, [&](size_t chunk_begin, size_t chunk_end) {
+      SnapshotScratch scratch;
+      for (size_t i = chunk_begin; i < chunk_end; ++i) {
+        CheckCancelled(hooks);
+        const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
+        per_tick[i].clusters =
+            cluster_at(t, &per_tick[i].clustered, &scratch);
+      }
+    });
     for (size_t i = 0; i < block_size; ++i) {
       CheckCancelled(hooks);
       const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
@@ -84,53 +91,59 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
                                      const ConvoyQuery& query, Tick begin_tick,
                                      Tick end_tick, const CmcOptions& options,
                                      DiscoveryStats* stats, size_t num_threads,
-                                     const ExecHooks* hooks) {
+                                     const ExecHooks* hooks,
+                                     SnapshotScratch* scratch) {
   const size_t threads = ResolveWorkerThreads(num_threads, query);
   if (threads <= 1 || begin_tick > end_tick) {
-    return CmcRange(db, query, begin_tick, end_tick, options, stats, hooks);
+    return CmcRange(db, query, begin_tick, end_tick, options, stats, hooks,
+                    scratch);
   }
-  return ParallelCmcRangeImpl(query, begin_tick, end_tick, options, stats,
-                              threads, hooks, [&](Tick t, bool* clustered) {
-                                return SnapshotClusters(db, t, query,
-                                                        clustered);
-                              });
+  return ParallelCmcRangeImpl(
+      query, begin_tick, end_tick, options, stats, threads, hooks,
+      [&](Tick t, bool* clustered, SnapshotScratch* scratch) {
+        return SnapshotClusters(db, t, query, clustered, scratch);
+      });
 }
 
 std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
                                 const ConvoyQuery& query,
                                 const CmcOptions& options,
                                 DiscoveryStats* stats, size_t num_threads,
-                                const ExecHooks* hooks) {
+                                const ExecHooks* hooks,
+                                SnapshotScratch* scratch) {
   if (db.Empty()) return {};
   return ParallelCmcRange(db, query, db.BeginTick(), db.EndTick(), options,
-                          stats, num_threads, hooks);
+                          stats, num_threads, hooks, scratch);
 }
 
 std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
                                      const ConvoyQuery& query, Tick begin_tick,
                                      Tick end_tick, const CmcOptions& options,
                                      DiscoveryStats* stats, size_t num_threads,
-                                     const ExecHooks* hooks) {
+                                     const ExecHooks* hooks,
+                                     SnapshotScratch* scratch) {
   const size_t threads = ResolveWorkerThreads(num_threads, query);
   if (threads <= 1 || begin_tick > end_tick) {
     return CmcRange(store, query, begin_tick, end_tick, options, stats,
-                    hooks);
+                    hooks, scratch);
   }
-  return ParallelCmcRangeImpl(query, begin_tick, end_tick, options, stats,
-                              threads, hooks, [&](Tick t, bool* clustered) {
-                                return SnapshotClusters(store, t, query,
-                                                        clustered);
-                              });
+  return ParallelCmcRangeImpl(
+      query, begin_tick, end_tick, options, stats, threads, hooks,
+      [&](Tick t, bool* clustered, SnapshotScratch* scratch) {
+        return SnapshotClusters(store, t, query, clustered,
+                                &scratch->dbscan);
+      });
 }
 
 std::vector<Convoy> ParallelCmc(const SnapshotStore& store,
                                 const ConvoyQuery& query,
                                 const CmcOptions& options,
                                 DiscoveryStats* stats, size_t num_threads,
-                                const ExecHooks* hooks) {
+                                const ExecHooks* hooks,
+                                SnapshotScratch* scratch) {
   if (store.Empty()) return {};
   return ParallelCmcRange(store, query, store.begin_tick(), store.end_tick(),
-                          options, stats, num_threads, hooks);
+                          options, stats, num_threads, hooks, scratch);
 }
 
 CutsFilterResult ParallelCutsFilter(const TrajectoryDatabase& db,

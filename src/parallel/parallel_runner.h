@@ -29,12 +29,15 @@ namespace convoy {
 /// is bit-identical to Cmc(). `hooks` (optional) adds cancellation checks in
 /// both the parallel clustering lambda and the sequential tracker pass,
 /// per-tick progress, and incremental convoy emission (core/exec_hooks.h).
+/// `scratch` (optional) is used only when the call degenerates to the
+/// serial loop; parallel runs pool one arena per worker chunk internally.
 std::vector<Convoy> ParallelCmc(const TrajectoryDatabase& db,
                                 const ConvoyQuery& query,
                                 const CmcOptions& options = {},
                                 DiscoveryStats* stats = nullptr,
                                 size_t num_threads = 0,
-                                const ExecHooks* hooks = nullptr);
+                                const ExecHooks* hooks = nullptr,
+                                SnapshotScratch* scratch = nullptr);
 
 /// Range-restricted variant, mirroring CmcRange().
 std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
@@ -43,7 +46,8 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
                                      const CmcOptions& options = {},
                                      DiscoveryStats* stats = nullptr,
                                      size_t num_threads = 0,
-                                     const ExecHooks* hooks = nullptr);
+                                     const ExecHooks* hooks = nullptr,
+                                     SnapshotScratch* scratch = nullptr);
 
 /// Store-backed snapshot-parallel CMC: per-tick clustering reads the
 /// SnapshotStore's columnar views and cached grid indexes instead of
@@ -54,7 +58,8 @@ std::vector<Convoy> ParallelCmc(const SnapshotStore& store,
                                 const CmcOptions& options = {},
                                 DiscoveryStats* stats = nullptr,
                                 size_t num_threads = 0,
-                                const ExecHooks* hooks = nullptr);
+                                const ExecHooks* hooks = nullptr,
+                                SnapshotScratch* scratch = nullptr);
 
 /// Store-backed range-restricted variant.
 std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
@@ -63,7 +68,8 @@ std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
                                      const CmcOptions& options = {},
                                      DiscoveryStats* stats = nullptr,
                                      size_t num_threads = 0,
-                                     const ExecHooks* hooks = nullptr);
+                                     const ExecHooks* hooks = nullptr,
+                                     SnapshotScratch* scratch = nullptr);
 
 /// Partition-parallel CuTS filter (paper Algorithm 2): simplification and
 /// the per-partition polyline clustering run concurrently in balanced

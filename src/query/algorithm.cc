@@ -40,10 +40,10 @@ class CmcAlgorithm final : public ConvoyAlgorithm {
     // either way (tests/store_parity_test.cc).
     if (ctx.store != nullptr) {
       return ParallelCmc(*ctx.store, ctx.plan->query, CmcOptions{}, ctx.stats,
-                         ctx.num_threads, &ctx.hooks);
+                         ctx.num_threads, &ctx.hooks, &ctx.scratch);
     }
     return ParallelCmc(*ctx.db, ctx.plan->query, CmcOptions{}, ctx.stats,
-                       ctx.num_threads, &ctx.hooks);
+                       ctx.num_threads, &ctx.hooks, &ctx.scratch);
   }
 };
 

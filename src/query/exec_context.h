@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cmc.h"
 #include "core/discovery_stats.h"
 #include "core/exec_hooks.h"
 #include "simplify/simplifier.h"
@@ -69,6 +70,14 @@ struct ExecContext {
   /// cached grid indexes from it; the CuTS filter takes its precomputed
   /// time domain.
   std::shared_ptr<const SnapshotStore> store;
+
+  /// Per-execution snapshot/DBSCAN arena (labels, neighbor buffer,
+  /// frontier, grid-build buffers). Algorithms whose serial loops run on
+  /// the executor's thread reuse it across their ticks instead of
+  /// allocating per call; mutable because a context is handed to Run()
+  /// const while the arena is by nature written to. Contents never affect
+  /// results (fully reset per use).
+  mutable SnapshotScratch scratch;
 };
 
 }  // namespace convoy

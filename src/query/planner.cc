@@ -115,7 +115,13 @@ QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
   if (!IsCutsFamily(plan.algorithm)) {
     // CMC and MC2 cluster one snapshot per tick; no tunables to resolve.
     plan.estimated_clusterings = static_cast<size_t>(domain);
-    plan.estimated_work = static_cast<double>(domain) * n;
+    // A bound store has already materialized every per-tick alive count,
+    // so the work unit is exact — the sum of snapshot sizes the hot path
+    // will actually cluster and label-intersect; without one, N * T is
+    // the upper bound (every object alive at every tick).
+    plan.estimated_work = plan.store_points > 0
+                              ? static_cast<double>(plan.store_points)
+                              : static_cast<double>(domain) * n;
     return plan;
   }
 
@@ -207,7 +213,10 @@ std::string QueryPlan::Explain() const {
     out << "  delta:       n/a\n  lambda:      n/a\n";
     out << "  estimated work: " << estimated_clusterings
         << " snapshot clustering(s), ~" << estimated_work
-        << " object-clustering units\n";
+        << " object-clustering units"
+        << (store_points > 0 ? " (exact columnar alive counts)"
+                             : " (N*T upper bound)")
+        << "\n";
   }
   out << "  capabilities: " << (caps.exact ? "exact" : "approximate");
   if (caps.uses_simplification) out << ", simplification";

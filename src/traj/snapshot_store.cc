@@ -183,7 +183,7 @@ std::shared_ptr<const GridIndex> SnapshotStore::GridFor(Tick t,
     cache.eps_order.erase(cache.eps_order.begin());
     for (auto entry = cache.grids.begin(); entry != cache.grids.end();) {
       if (entry->first.second == evicted) {
-        cache.cached_points -= entry->second->NumPoints();
+        cache.cached_slots -= entry->second->FootprintSlots();
         entry = cache.grids.erase(entry);
       } else {
         entry = std::next(entry);
@@ -197,16 +197,18 @@ std::shared_ptr<const GridIndex> SnapshotStore::GridFor(Tick t,
     if (cache.eps_order.size() >= kMaxCachedEpsValues) evict_oldest_eps();
     cache.eps_order.push_back(eps_bits);
   }
-  // Total cached grid points stay within the same slot budget as the
-  // store itself, so the cache cannot multiply a near-budget store's
-  // footprint. The current eps is never evicted — one full sweep of a
-  // budgeted store fits by construction (grids hold TotalPoints entries).
-  while (cache.cached_points + built->NumPoints() >
+  // Total cached grid slots stay within the same slot budget as the store
+  // itself, so the cache cannot multiply a near-budget store's footprint.
+  // Charged at the grids' actual CSR footprint (coordinate copies + index
+  // + cell arrays, ~3.5 slots per point) rather than a per-point proxy.
+  // Grids of the current eps are never evicted — in-flight sweeps keep
+  // their working set; older eps values go first.
+  while (cache.cached_slots + built->FootprintSlots() >
              kSnapshotStoreSlotBudget &&
          cache.eps_order.size() > 1 && cache.eps_order.front() != eps_bits) {
     evict_oldest_eps();
   }
-  cache.cached_points += built->NumPoints();
+  cache.cached_slots += built->FootprintSlots();
   cache.grids.emplace(key, built);
   return built;
 }

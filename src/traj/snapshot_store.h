@@ -121,12 +121,12 @@ class SnapshotStore {
   /// values at a time (each cached GridIndex copies its tick's points, so
   /// an unbounded eps sweep would otherwise grow memory linearly in the
   /// number of eps values tried). Exceeding it — or exceeding
-  /// kSnapshotStoreSlotBudget total cached grid points, so the cache can
-  /// never dwarf the store it serves — evicts every grid of the oldest
-  /// cached eps; in-flight users keep theirs alive through the returned
-  /// shared_ptr. One full eps sweep always fits: its grids hold exactly
-  /// TotalPoints() entries, which a budgeted store keeps within the same
-  /// budget.
+  /// kSnapshotStoreSlotBudget total cached grid slots, charged at each
+  /// grid's actual CSR footprint (GridIndex::FootprintSlots — coordinate
+  /// copies, index array, cell keys/offsets), so the cache can never
+  /// dwarf the store it serves — evicts every grid of the oldest cached
+  /// eps; in-flight users keep theirs alive through the returned
+  /// shared_ptr, and the current eps is never evicted.
   static constexpr size_t kMaxCachedEpsValues = 4;
 
   /// The grid index over tick t's points with cell side `eps`, built on
@@ -173,7 +173,7 @@ class SnapshotStore {
     std::map<std::pair<Tick, uint64_t>, std::shared_ptr<const GridIndex>>
         grids;
     std::vector<uint64_t> eps_order;  ///< distinct eps, oldest first
-    size_t cached_points = 0;  ///< sum of NumPoints over cached grids
+    size_t cached_slots = 0;  ///< sum of FootprintSlots over cached grids
   };
   std::unique_ptr<GridCache> grid_cache_;
 };

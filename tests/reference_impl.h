@@ -1,0 +1,228 @@
+#ifndef CONVOY_TESTS_REFERENCE_IMPL_H_
+#define CONVOY_TESTS_REFERENCE_IMPL_H_
+
+// Retained reference implementations of the hot-path structures that PR 5
+// rebuilt (flat-CSR GridIndex, arena DBSCAN, label-intersection
+// CandidateTracker): the pre-rewrite unordered_map-of-buckets grid, the
+// deque-frontier DBSCAN with per-call allocations, and the
+// set_intersection + std::map candidate step. They are deliberately the
+// old code, kept verbatim where possible, so
+//
+//  * tests/hotpath_parity_test.cc can assert the optimized paths are
+//    bit-identical to first-principles implementations on adversarial
+//    inputs, and
+//  * bench/micro_components.cc and the BENCH_hotpath.json section of
+//    bench/scalability can report old-vs-new shape speedups from inside
+//    one binary.
+//
+// Header-only on purpose: it is test/bench scaffolding, not part of the
+// library.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "core/candidate.h"
+#include "geom/point.h"
+
+namespace convoy::reference {
+
+/// The pre-PR-5 uniform-grid index: unordered_map from packed cell key to
+/// a bucket of point indices, 3x3 / multi-ring block probing with one hash
+/// lookup per cell.
+class ReferenceGridIndex {
+ public:
+  ReferenceGridIndex(const std::vector<Point>& points, double cell_size)
+      : points_(points), cell_size_(cell_size) {
+    if (!std::isfinite(cell_size_) || cell_size_ <= 0.0) cell_size_ = 1.0;
+    cells_.reserve(points_.size());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      cells_[KeyFor(points_[i].x, points_[i].y)].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+
+  std::vector<size_t> WithinRadius(const Point& probe, double radius) const {
+    std::vector<size_t> out;
+    WithinRadiusInto(probe, radius, &out);
+    return out;
+  }
+
+  void WithinRadiusInto(const Point& probe, double radius,
+                        std::vector<size_t>* out) const {
+    out->clear();
+    if (cells_.empty() || !(radius >= 0.0)) return;
+    const double r2 = radius * radius;
+    const double rings = std::max(1.0, std::ceil(radius / cell_size_));
+    const double block_cells = (2.0 * rings + 1.0) * (2.0 * rings + 1.0);
+    if (!(block_cells < static_cast<double>(cells_.size()))) {
+      for (const auto& [key, bucket] : cells_) {
+        for (const uint32_t idx : bucket) {
+          if (D2(points_[idx], probe) <= r2) out->push_back(idx);
+        }
+      }
+      return;
+    }
+    const int64_t reach = static_cast<int64_t>(rings);
+    const int32_t cx = CellCoord(probe.x);
+    const int32_t cy = CellCoord(probe.y);
+    for (int64_t dx = -reach; dx <= reach; ++dx) {
+      for (int64_t dy = -reach; dy <= reach; ++dy) {
+        const auto it = cells_.find(PackCell(static_cast<int32_t>(cx + dx),
+                                             static_cast<int32_t>(cy + dy)));
+        if (it == cells_.end()) continue;
+        for (const uint32_t idx : it->second) {
+          if (D2(points_[idx], probe) <= r2) out->push_back(idx);
+        }
+      }
+    }
+  }
+
+  size_t NumPoints() const { return points_.size(); }
+
+ private:
+  static uint64_t PackCell(int32_t cx, int32_t cy) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  }
+  int32_t CellCoord(double v) const {
+    const double c = std::floor(v / cell_size_);
+    if (!(c >= static_cast<double>(INT32_MIN))) return INT32_MIN;
+    if (c >= static_cast<double>(INT32_MAX)) return INT32_MAX;
+    return static_cast<int32_t>(c);
+  }
+  uint64_t KeyFor(double x, double y) const {
+    return PackCell(CellCoord(x), CellCoord(y));
+  }
+
+  std::vector<Point> points_;
+  double cell_size_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+};
+
+/// The pre-PR-5 DBSCAN: fresh label array and deque frontier per call,
+/// neighborhoods from the reference grid. Same expansion order as the
+/// production DbscanImpl, so over the same grid answers the Clustering is
+/// identical.
+inline Clustering ReferenceDbscan(const std::vector<Point>& points,
+                                  double eps, size_t min_pts) {
+  Clustering result;
+  const size_t n = points.size();
+  if (n == 0) return result;
+  const ReferenceGridIndex index(points, eps);
+
+  constexpr uint32_t kUnvisited = 0xFFFFFFFF;
+  constexpr uint32_t kNoise = 0xFFFFFFFE;
+  std::vector<uint32_t> label(n, kUnvisited);
+
+  std::vector<size_t> neighbors;
+  std::deque<size_t> frontier;
+
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (label[seed] != kUnvisited) continue;
+    index.WithinRadiusInto(points[seed], eps, &neighbors);
+    if (neighbors.size() < min_pts) {
+      label[seed] = kNoise;
+      continue;
+    }
+    const uint32_t cluster_id = static_cast<uint32_t>(result.clusters.size());
+    result.clusters.emplace_back();
+    label[seed] = cluster_id;
+    result.clusters.back().push_back(seed);
+
+    frontier.assign(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const size_t p = frontier.front();
+      frontier.pop_front();
+      if (label[p] == kNoise) {
+        label[p] = cluster_id;
+        result.clusters.back().push_back(p);
+        continue;
+      }
+      if (label[p] != kUnvisited) continue;
+      label[p] = cluster_id;
+      result.clusters.back().push_back(p);
+      index.WithinRadiusInto(points[p], eps, &neighbors);
+      if (neighbors.size() >= min_pts) {
+        for (const size_t q : neighbors) {
+          if (label[q] == kUnvisited || label[q] == kNoise) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+/// The pre-PR-5 candidate step: one set_intersection per (candidate,
+/// cluster) pair, successors deduped through an ordered map keyed on the
+/// object vector. Drop-in shape-compatible with CandidateTracker.
+class ReferenceCandidateTracker {
+ public:
+  ReferenceCandidateTracker(size_t m, Tick k) : m_(m), k_(k) {}
+
+  void Advance(const std::vector<std::vector<ObjectId>>& clusters,
+               Tick step_start, Tick step_end, Tick step_weight,
+               std::vector<Candidate>* completed) {
+    std::map<std::vector<ObjectId>, Candidate> next;
+    const auto offer = [&next](Candidate cand) {
+      auto [it, inserted] = next.try_emplace(cand.objects, cand);
+      if (!inserted && cand.lifetime > it->second.lifetime) it->second = cand;
+    };
+
+    for (const Candidate& v : live_) {
+      bool continued_intact = false;
+      for (const std::vector<ObjectId>& c : clusters) {
+        std::vector<ObjectId> common = IntersectSorted(v.objects, c);
+        if (common.size() < m_) continue;
+        continued_intact |= common.size() == v.objects.size();
+        Candidate successor;
+        successor.objects = std::move(common);
+        successor.start_tick = v.start_tick;
+        successor.end_tick = step_end;
+        successor.lifetime = v.lifetime + step_weight;
+        offer(std::move(successor));
+      }
+      if (!continued_intact && v.lifetime >= k_) completed->push_back(v);
+    }
+
+    for (const std::vector<ObjectId>& c : clusters) {
+      if (c.size() < m_) continue;
+      Candidate fresh;
+      fresh.objects = c;
+      fresh.start_tick = step_start;
+      fresh.end_tick = step_end;
+      fresh.lifetime = step_weight;
+      offer(std::move(fresh));
+    }
+
+    live_.clear();
+    live_.reserve(next.size());
+    for (auto& [objects, cand] : next) live_.push_back(std::move(cand));
+  }
+
+  void Flush(std::vector<Candidate>* completed) {
+    for (Candidate& v : live_) {
+      if (v.lifetime >= k_) completed->push_back(std::move(v));
+    }
+    live_.clear();
+  }
+
+  size_t LiveCount() const { return live_.size(); }
+  const std::vector<Candidate>& live() const { return live_; }
+
+ private:
+  size_t m_;
+  Tick k_;
+  std::vector<Candidate> live_;
+};
+
+}  // namespace convoy::reference
+
+#endif  // CONVOY_TESTS_REFERENCE_IMPL_H_

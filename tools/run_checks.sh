@@ -10,12 +10,18 @@
 #    NDEBUG, so running BOTH build types ensures the recoverable error
 #    model is exercised with and without asserts and an assert-only
 #    regression can never hide;
-# 3. generate a small synthetic dataset with convoy_cli;
-# 4. run CuTS* and CMC discovery with 1 and 2 worker threads and require
+# 3. configure + build + ctest a third time in Release (-O3 -DNDEBUG) —
+#    the configuration the performance claims are made in; hot-path
+#    parity must hold under full optimization too;
+# 4. bench smoke: run the Release bench/scalability and require it to
+#    produce a well-formed BENCH_hotpath.json (the machine-readable perf
+#    trajectory tracked across PRs);
+# 5. generate a small synthetic dataset with convoy_cli;
+# 6. run CuTS* and CMC discovery with 1 and 2 worker threads and require
 #    byte-identical results (the parallel subsystem's core guarantee);
-# 5. drive convoy_cli's error paths and require the documented exit codes
+# 7. drive convoy_cli's error paths and require the documented exit codes
 #    (1 usage, 2 I/O, 3 invalid query, 4 data error);
-# 6. smoke the planner: --algo auto --explain must print the chosen
+# 8. smoke the planner: --algo auto --explain must print the chosen
 #    algorithm and the resolved delta/lambda.
 #
 # Before any of that: refuse to run if build artifacts are tracked by git
@@ -27,6 +33,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 DEBUG_BUILD_DIR="${BUILD_DIR}-debug"
+RELEASE_BUILD_DIR="${BUILD_DIR}-release"
 
 echo "== tracked-build-artifact guard =="
 # Anchored to build*/ *directories* so a legitimate build.sh/buildspec.yml
@@ -57,10 +64,50 @@ cmake --build "${DEBUG_BUILD_DIR}" -j "$(nproc)"
 echo "== ctest (Debug — asserts live) =="
 ctest --test-dir "${DEBUG_BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+echo "== configure (Release — the configuration perf claims are made in) =="
+cmake -B "${RELEASE_BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+
+echo "== build (Release) =="
+cmake --build "${RELEASE_BUILD_DIR}" -j "$(nproc)"
+
+echo "== ctest (Release — -O3 -DNDEBUG) =="
+ctest --test-dir "${RELEASE_BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
 echo "== threading determinism smoke =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 CLI="${BUILD_DIR}/convoy_cli"
+
+echo "== bench smoke (BENCH_hotpath.json produced and well-formed) =="
+BENCH_JSON="${SMOKE_DIR}/BENCH_hotpath.json"
+"${RELEASE_BUILD_DIR}/bench/scalability" --json "${BENCH_JSON}" > /dev/null
+if [[ ! -s "${BENCH_JSON}" ]]; then
+  echo "FAIL: bench/scalability did not produce ${BENCH_JSON}"
+  exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${BENCH_JSON}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "convoy-bench-hotpath-v1", doc.get("schema")
+results = doc["results"]
+assert results, "no results"
+for row in results:
+    assert {"bench", "n", "threads", "ns_per_op"} <= set(row), row
+names = {row["bench"] for row in results}
+for needed in ("snapshot_cluster_reference", "snapshot_cluster_csr_arena",
+               "cmc_e2e_reference", "cmc_e2e_optimized"):
+    assert needed in names, f"missing bench entry: {needed}"
+print(f"ok: {len(results)} well-formed results")
+PYEOF
+else
+  # No python3: at least require the schema marker and one result row.
+  grep -q '"schema": "convoy-bench-hotpath-v1"' "${BENCH_JSON}"
+  grep -q '"ns_per_op"' "${BENCH_JSON}"
+  echo "ok: schema marker and result rows present (python3 unavailable)"
+fi
+echo "ok: BENCH_hotpath.json produced and well-formed"
 
 "${CLI}" --generate carlike --scale 0.1 --seed 99 \
          --output "${SMOKE_DIR}/data.csv" > /dev/null
