@@ -6,10 +6,13 @@
 // Also emits BENCH_hotpath.json (override with --json PATH): the
 // machine-readable hot-path numbers — per-snapshot clustering and the
 // candidate step, reference vs optimized shapes, plus end-to-end CMC at
-// N = 1000 — so the perf trajectory is tracked across PRs. Schema:
-//   { "schema": "convoy-bench-hotpath-v1",
+// N = 1000 (untraced and with a full TraceSession attached, so tracing
+// overhead is tracked across PRs) — and the per-phase wall-clock breakdown
+// of a traced CuTS* engine run from the obs/ span aggregates. Schema:
+//   { "schema": "convoy-bench-hotpath-v2",
 //     "results": [ {"bench": str, "n": int, "threads": int,
-//                   "ns_per_op": float}, ... ] }
+//                   "ns_per_op": float}, ... ],
+//     "phases": [ {"name": str, "count": int, "total_ms": float}, ... ] }
 
 #include <fstream>
 #include <thread>
@@ -41,6 +44,9 @@ struct HotpathReport {
     double ns_per_op;
   };
   std::vector<Row> rows;
+  /// Span aggregates of the traced CuTS* engine run (wall-clock; not a
+  /// cross-PR regression signal, a where-does-the-time-go map).
+  std::vector<convoy::QueryMetrics::SpanAggregate> phases;
 
   void Add(const std::string& bench, size_t n, size_t threads,
            double ns_per_op) {
@@ -57,12 +63,18 @@ struct HotpathReport {
   bool Write(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
-    out << "{\n  \"schema\": \"convoy-bench-hotpath-v1\",\n  \"results\": [\n";
+    out << "{\n  \"schema\": \"convoy-bench-hotpath-v2\",\n  \"results\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
       out << "    {\"bench\": \"" << rows[i].bench << "\", \"n\": "
           << rows[i].n << ", \"threads\": " << rows[i].threads
           << ", \"ns_per_op\": " << rows[i].ns_per_op << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"phases\": [\n";
+    for (size_t i = 0; i < phases.size(); ++i) {
+      out << "    {\"name\": \"" << phases[i].name << "\", \"count\": "
+          << phases[i].count << ", \"total_ms\": " << phases[i].total_ms
+          << "}" << (i + 1 < phases.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     return static_cast<bool>(out);
@@ -295,6 +307,43 @@ void RunHotpathSection(const convoy::bench::BenchOptions& opts) {
     if (cuts_convoys == 0 && opt_convoys != 0) {
       std::cout << "WARNING: CuTS* found no convoys where CMC did\n";
     }
+
+    // ---- tracing overhead + per-phase breakdown ------------------------
+    // Same CMC workload with a full TraceSession attached: the delta vs
+    // cmc_e2e_optimized is the all-in instrumentation cost (acceptance:
+    // within a few percent — counters fold once per tick, never per
+    // point). One session spans all iterations; span aggregates only grow.
+    {
+      TraceSession cmc_trace;
+      ExecHooks traced_hooks;
+      traced_hooks.trace = &cmc_trace;
+      size_t traced_convoys = 0;
+      Stopwatch traced_watch;
+      for (int i = 0; i < iters; ++i) {
+        traced_convoys =
+            Cmc(data.db, data.query, {}, nullptr, &traced_hooks).size();
+      }
+      report.Add("cmc_e2e_traced", 1000, 1,
+                 traced_watch.ElapsedSeconds() * 1e9 / iters);
+      if (traced_convoys != opt_convoys) {
+        std::cout << "WARNING: traced and untraced CMC disagree ("
+                  << traced_convoys << " vs " << opt_convoys
+                  << " convoys)\n";
+      }
+    }
+    // A traced CuTS* run through the engine covers every instrumented
+    // phase (prepare, simplify, filter, refine, finalize) — the span
+    // aggregates become the "phases" section of the JSON report.
+    {
+      ConvoyEngine engine(data.db);
+      TraceSession trace;
+      const auto plan = engine.Prepare(data.query, AlgorithmChoice::kCutsStar,
+                                       {}, {}, &trace);
+      ExecHooks hooks;
+      hooks.trace = &trace;
+      const auto traced = engine.Execute(plan.value(), hooks);
+      report.phases = traced.value().metrics().spans;
+    }
   }
 
   PrintHeader("Hot path: reference vs optimized (PR 5; ns/op)");
@@ -319,6 +368,20 @@ void RunHotpathSection(const convoy::bench::BenchOptions& opts) {
              "candidate_advance_label");
   print_pair("CMC end-to-end (N=1000)", "cmc_e2e_reference",
              "cmc_e2e_optimized");
+
+  const double untraced = report.NsOf("cmc_e2e_optimized");
+  const double traced = report.NsOf("cmc_e2e_traced");
+  std::cout << "\ntracing overhead (CMC e2e, N=1000, full TraceSession): "
+            << Fmt((traced / std::max(1.0, untraced) - 1.0) * 100.0, 1)
+            << "%\n";
+
+  PrintHeader("Per-phase breakdown (traced CuTS* engine run, N = 1000)");
+  PrintRow({{"phase", 24}, {"count", 10}, {"total ms", 12}});
+  PrintRule(46);
+  for (const auto& phase : report.phases) {
+    PrintRow({{phase.name, 24}, {std::to_string(phase.count), 10},
+              {Fmt(phase.total_ms, 2), 12}});
+  }
 
   if (!opts.json_path.empty()) {
     if (report.Write(opts.json_path)) {

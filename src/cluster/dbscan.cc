@@ -14,7 +14,13 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
                       size_t min_pts, DbscanScratch& scratch,
                       PointAt&& point_at) {
   Clustering result;
+  scratch.tally = DbscanTally{};
   if (n == 0) return result;
+  // Local accumulators, stored into the scratch tally once at the end —
+  // the observability counters cost two adds per neighborhood query, with
+  // no branch on any trace state inside the scan.
+  uint64_t neighbor_queries = 0;
+  uint64_t neighbors_visited = 0;
 
   constexpr uint32_t kUnvisited = 0xFFFFFFFF;
   constexpr uint32_t kNoise = 0xFFFFFFFE;
@@ -30,6 +36,8 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
   for (size_t seed = 0; seed < n; ++seed) {
     if (label[seed] != kUnvisited) continue;
     index.NeighborsOfInto(seed, point_at(seed), eps, &neighbors);
+    ++neighbor_queries;
+    neighbors_visited += neighbors.size();
     if (neighbors.size() < min_pts) {
       label[seed] = kNoise;  // may be claimed later as a border point
       continue;
@@ -53,6 +61,8 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
       label[p] = cluster_id;
       result.clusters.back().push_back(p);
       index.NeighborsOfInto(p, point_at(p), eps, &neighbors);
+      ++neighbor_queries;
+      neighbors_visited += neighbors.size();
       if (neighbors.size() >= min_pts) {
         // p is core: its whole neighborhood is density-reachable.
         for (const size_t q : neighbors) {
@@ -63,6 +73,10 @@ Clustering DbscanImpl(size_t n, const GridIndex& index, double eps,
       }
     }
   }
+  scratch.tally.points_scanned = n;
+  scratch.tally.neighbor_queries = neighbor_queries;
+  scratch.tally.neighbors_visited = neighbors_visited;
+  scratch.tally.clusters_formed = result.clusters.size();
   return result;
 }
 

@@ -23,6 +23,20 @@ struct Clustering {
   }
 };
 
+/// Work tallies of the most recent Dbscan run through a scratch arena —
+/// the raw material for the observability layer's deterministic counters
+/// (obs/trace.h). Derived purely from the input and the expansion order,
+/// so for a given snapshot the tally is identical at every thread count.
+/// Maintained as plain local accumulators inside the scan (two integer
+/// adds per neighborhood query — far below measurement noise) and stored
+/// once per run, so no per-point branch on any trace state is ever paid.
+struct DbscanTally {
+  uint64_t points_scanned = 0;    ///< n — points labeled this run
+  uint64_t neighbor_queries = 0;  ///< grid neighborhood lookups issued
+  uint64_t neighbors_visited = 0; ///< neighbor list entries returned
+  uint64_t clusters_formed = 0;   ///< clusters in the result
+};
+
 /// Reusable working set for Dbscan: the label array, the neighbor buffer,
 /// and the BFS frontier (a vector drained front-to-back — FIFO order, same
 /// expansion as the historical deque, without its per-node allocation).
@@ -36,6 +50,9 @@ struct DbscanScratch {
   std::vector<size_t> neighbors;
   std::vector<size_t> frontier;
   GridIndex grid;
+  /// Overwritten by every run through this scratch; callers that trace
+  /// read it right after the call (core/cmc.cc, core/streaming.cc).
+  DbscanTally tally;
 };
 
 /// DBSCAN (Ester et al. 1996), the snapshot clustering the paper's density

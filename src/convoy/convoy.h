@@ -52,6 +52,8 @@
 #include "geom/point.h"
 #include "geom/segment.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_runner.h"
 #include "parallel/thread_pool.h"

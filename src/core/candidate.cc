@@ -82,12 +82,15 @@ void CandidateTracker::Offer(Candidate&& cand) {
   // first offer — the same tie-break the ordered-map implementation's
   // try_emplace applied, and offers arrive in the same order.
   if ((pool_.size() + 1) * 4 >= table_.size() * 3) GrowTable();
+  ++tally_.candidates_offered;
   const uint64_t h = HashObjects(cand.objects);
   const size_t mask = table_.size() - 1;
   size_t at = static_cast<size_t>(h) & mask;
   while (table_[at] != 0) {
+    ++tally_.dedup_probes;
     Candidate& existing = pool_[table_[at] - 1];
     if (hash_[table_[at] - 1] == h && existing.objects == cand.objects) {
+      ++tally_.dedup_hits;
       if (cand.lifetime > existing.lifetime) existing = std::move(cand);
       return;
     }
@@ -101,6 +104,8 @@ void CandidateTracker::Offer(Candidate&& cand) {
 void CandidateTracker::Advance(
     const std::vector<std::vector<ObjectId>>& clusters, Tick step_start,
     Tick step_end, Tick step_weight, std::vector<Candidate>* completed) {
+  ++tally_.steps;
+  const size_t completed_before = completed->size();
   pool_.clear();
   hash_.clear();
   std::fill(table_.begin(), table_.end(), 0);
@@ -181,12 +186,16 @@ void CandidateTracker::Advance(
             [](const Candidate& a, const Candidate& b) {
               return a.objects < b.objects;
             });
+  tally_.completed += completed->size() - completed_before;
+  tally_.live_max = std::max<uint64_t>(tally_.live_max, live_.size());
 }
 
 void CandidateTracker::Flush(std::vector<Candidate>* completed) {
+  const size_t completed_before = completed->size();
   for (Candidate& v : live_) {
     if (v.lifetime >= k_) completed->push_back(std::move(v));
   }
+  tally_.completed += completed->size() - completed_before;
   live_.clear();
 }
 

@@ -77,6 +77,21 @@ class ClusterLabeler {
   uint32_t epoch_ = 0;
 };
 
+/// Accumulated work tallies of a CandidateTracker — the observability
+/// layer's view into the candidate algebra (obs/trace.h). Maintained
+/// unconditionally (a handful of integer adds per step, noise next to the
+/// intersections themselves); the sequential consumer reads it once per
+/// run, so totals are deterministic at every thread count (the tracker
+/// only ever advances on the sequential pass).
+struct TrackerTally {
+  uint64_t steps = 0;              ///< Advance calls
+  uint64_t candidates_offered = 0; ///< successors + fresh candidates offered
+  uint64_t dedup_probes = 0;       ///< open-addressing probe steps
+  uint64_t dedup_hits = 0;         ///< offers collapsing onto an existing set
+  uint64_t completed = 0;          ///< candidates retired with lifetime >= k
+  uint64_t live_max = 0;           ///< high water mark of the live set
+};
+
 /// The candidate bookkeeping shared by Algorithm 1 (CMC) and the filter step
 /// of Algorithm 2 (CuTS): at every step, snapshot clusters are intersected
 /// with live candidates; intersections with at least m objects continue,
@@ -119,6 +134,9 @@ class CandidateTracker {
   /// Number of currently live candidates.
   size_t LiveCount() const { return live_.size(); }
 
+  /// Work tallies accumulated since construction (see TrackerTally).
+  const TrackerTally& tally() const { return tally_; }
+
  private:
   void Offer(Candidate&& cand);
   void GrowTable();
@@ -139,6 +157,8 @@ class CandidateTracker {
   std::vector<Candidate> pool_;
   std::vector<uint64_t> hash_;
   std::vector<uint32_t> table_;
+
+  TrackerTally tally_;
 };
 
 /// Sorted-vector intersection helper shared with the MC2 baseline.

@@ -4,6 +4,7 @@
 
 #include "cluster/dbscan.h"
 #include "cluster/grid_index.h"
+#include "obs/trace.h"
 #include "traj/interpolate.h"
 #include "util/stopwatch.h"
 
@@ -70,17 +71,16 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(
                          &scratch->dbscan);
 }
 
-std::vector<std::vector<ObjectId>> SnapshotClusters(const SnapshotStore& store,
-                                                    Tick t,
-                                                    const ConvoyQuery& query,
-                                                    bool* clustered,
-                                                    DbscanScratch* scratch) {
+std::vector<std::vector<ObjectId>> SnapshotClusters(
+    const SnapshotStore& store, Tick t, const ConvoyQuery& query,
+    bool* clustered, DbscanScratch* scratch, bool* grid_cache_hit) {
   if (clustered != nullptr) *clustered = false;
   const SnapshotView view = store.At(t);
   if (view.size < query.m) return {};
   // Hold the shared_ptr across the scan: the store may evict the grid
   // from its cache mid-query (eps-sweep bound), never from under us.
-  const std::shared_ptr<const GridIndex> grid = store.GridFor(t, query.e);
+  const std::shared_ptr<const GridIndex> grid =
+      store.GridFor(t, query.e, grid_cache_hit);
   const Clustering clustering =
       Dbscan(view.xs, view.ys, view.size, *grid, query.e, query.m, scratch);
   if (clustered != nullptr) *clustered = true;
@@ -112,6 +112,26 @@ size_t EmitCompletedSince(const std::vector<Candidate>& completed, size_t from,
   return completed.size();
 }
 
+void TraceDbscanRun(TraceSession* trace, const DbscanTally& tally) {
+  if (trace == nullptr) return;
+  trace->Count(TraceCounter::kDbscanPointsScanned, tally.points_scanned);
+  trace->Count(TraceCounter::kDbscanNeighborQueries, tally.neighbor_queries);
+  trace->Count(TraceCounter::kDbscanNeighborsVisited,
+               tally.neighbors_visited);
+  trace->Count(TraceCounter::kDbscanClustersFormed, tally.clusters_formed);
+}
+
+void TraceTrackerTally(TraceSession* trace, const TrackerTally& tally) {
+  if (trace == nullptr) return;
+  trace->Count(TraceCounter::kTrackerSteps, tally.steps);
+  trace->Count(TraceCounter::kTrackerCandidatesOffered,
+               tally.candidates_offered);
+  trace->Count(TraceCounter::kTrackerDedupProbes, tally.dedup_probes);
+  trace->Count(TraceCounter::kTrackerDedupHits, tally.dedup_hits);
+  trace->Count(TraceCounter::kTrackerCompleted, tally.completed);
+  trace->CountMax(TraceCounter::kTrackerLiveMax, tally.live_max);
+}
+
 namespace {
 
 // The serial CMC loop, generic over how a tick's clusters are produced
@@ -124,6 +144,7 @@ std::vector<Convoy> CmcRangeImpl(const ConvoyQuery& query, Tick begin_tick,
                                  DiscoveryStats* stats, const ExecHooks* hooks,
                                  ClusterAt&& cluster_at) {
   Stopwatch total;
+  TraceSession* const trace = TraceOf(hooks);
   CandidateTracker tracker(query.m, query.k);
   std::vector<Candidate> completed;
   const size_t total_ticks =
@@ -136,7 +157,10 @@ std::vector<Convoy> CmcRangeImpl(const ConvoyQuery& query, Tick begin_tick,
     bool clustered = false;
     const std::vector<std::vector<ObjectId>> cluster_objects =
         cluster_at(t, &clustered);
-    if (clustered && stats != nullptr) ++stats->num_clusterings;
+    if (clustered) {
+      if (stats != nullptr) ++stats->num_clusterings;
+      TraceCount(trace, TraceCounter::kSnapshotsClustered, 1);
+    }
     // Advancing with an empty cluster list retires every live candidate,
     // which is exactly what a tick with < m alive objects must do: the
     // "consecutive time points" requirement breaks there.
@@ -147,8 +171,13 @@ std::vector<Convoy> CmcRangeImpl(const ConvoyQuery& query, Tick begin_tick,
   }
   tracker.Flush(&completed);
   EmitCompletedSince(completed, emitted, hooks);
+  TraceTrackerTally(trace, tracker.tally());
 
-  std::vector<Convoy> result = FinalizeCmcResult(completed, options);
+  std::vector<Convoy> result;
+  {
+    ScopedSpan finalize_span(trace, "cmc.finalize");
+    result = FinalizeCmcResult(completed, options);
+  }
 
   if (stats != nullptr) {
     stats->total_seconds += total.ElapsedSeconds();
@@ -166,11 +195,16 @@ std::vector<Convoy> CmcRange(const TrajectoryDatabase& db,
                              SnapshotScratch* scratch) {
   SnapshotScratch local;
   if (scratch == nullptr) scratch = &local;
-  return CmcRangeImpl(query, begin_tick, end_tick, options, stats, hooks,
-                      [&](Tick t, bool* clustered) {
-                        return SnapshotClusters(db, t, query, clustered,
-                                                scratch);
-                      });
+  TraceSession* const trace = TraceOf(hooks);
+  return CmcRangeImpl(
+      query, begin_tick, end_tick, options, stats, hooks,
+      [&](Tick t, bool* clustered) {
+        ScopedSpan span(trace, "snapshot.cluster");
+        std::vector<std::vector<ObjectId>> clusters =
+            SnapshotClusters(db, t, query, clustered, scratch);
+        if (*clustered) TraceDbscanRun(trace, scratch->dbscan.tally);
+        return clusters;
+      });
 }
 
 std::vector<Convoy> Cmc(const TrajectoryDatabase& db, const ConvoyQuery& query,
@@ -188,11 +222,23 @@ std::vector<Convoy> CmcRange(const SnapshotStore& store,
                              SnapshotScratch* scratch) {
   SnapshotScratch local;
   if (scratch == nullptr) scratch = &local;
-  return CmcRangeImpl(query, begin_tick, end_tick, options, stats, hooks,
-                      [&](Tick t, bool* clustered) {
-                        return SnapshotClusters(store, t, query, clustered,
-                                                &scratch->dbscan);
-                      });
+  TraceSession* const trace = TraceOf(hooks);
+  return CmcRangeImpl(
+      query, begin_tick, end_tick, options, stats, hooks,
+      [&](Tick t, bool* clustered) {
+        ScopedSpan span(trace, "snapshot.cluster");
+        bool grid_hit = false;
+        std::vector<std::vector<ObjectId>> clusters = SnapshotClusters(
+            store, t, query, clustered, &scratch->dbscan, &grid_hit);
+        if (*clustered) {
+          TraceDbscanRun(trace, scratch->dbscan.tally);
+          TraceCount(trace,
+                     grid_hit ? TraceCounter::kGridCacheHits
+                              : TraceCounter::kGridCacheMisses,
+                     1);
+        }
+        return clusters;
+      });
 }
 
 std::vector<Convoy> Cmc(const SnapshotStore& store, const ConvoyQuery& query,

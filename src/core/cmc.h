@@ -14,6 +14,8 @@
 
 namespace convoy {
 
+class TraceSession;
+
 /// Options for the Coherent Moving Cluster algorithm.
 struct CmcOptions {
   /// When true (default) the raw candidate output is dominance-pruned so
@@ -99,9 +101,13 @@ std::vector<std::vector<ObjectId>> SnapshotClusters(
 /// of tick `t` over the store's cached grid index at query.e. Identical
 /// output to SnapshotClusters(db, t, ...) on the source database.
 /// `scratch` (optional) supplies the reusable DBSCAN working set.
+/// `grid_cache_hit` (optional out) reports whether the store served the
+/// grid from its cache (meaningful only when `clustered` comes back true —
+/// under-m ticks never consult the cache).
 std::vector<std::vector<ObjectId>> SnapshotClusters(
     const SnapshotStore& store, Tick t, const ConvoyQuery& query,
-    bool* clustered = nullptr, DbscanScratch* scratch = nullptr);
+    bool* clustered = nullptr, DbscanScratch* scratch = nullptr,
+    bool* grid_cache_hit = nullptr);
 
 /// Clusters one already-materialized snapshot (`points` with aligned
 /// `ids`): DBSCAN(query.e, query.m) over a fresh grid index, clusters
@@ -126,6 +132,17 @@ std::vector<Convoy> FinalizeCmcResult(const std::vector<Candidate>& completed,
 /// cannot diverge. Returns the new emission watermark.
 size_t EmitCompletedSince(const std::vector<Candidate>& completed, size_t from,
                           const ExecHooks* hooks);
+
+/// Folds one clustering run's DBSCAN tally into the trace — the shared
+/// counting step of the serial loop, the parallel runner, and the stream
+/// (one call per clustered tick, so a disabled trace costs one branch per
+/// tick). No-op on a null trace.
+void TraceDbscanRun(TraceSession* trace, const DbscanTally& tally);
+
+/// Folds a tracker's lifetime tally into the trace, once per run on the
+/// sequential pass — which is what keeps the totals bit-identical at every
+/// thread count. No-op on a null trace.
+void TraceTrackerTally(TraceSession* trace, const TrackerTally& tally);
 
 }  // namespace convoy
 

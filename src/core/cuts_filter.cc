@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/cmc.h"
 #include "core/params.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "traj/snapshot_store.h"
 #include "util/stopwatch.h"
@@ -154,11 +156,13 @@ CutsFilterResult CutsFilterPresimplified(
   const size_t threads =
       std::min(ResolveWorkerThreads(options.num_threads, query),
                partitions.size());
+  TraceSession* const trace = TraceOf(hooks);
   CandidateTracker tracker(query.m, query.k);
   PolylineClusterStats cluster_stats;
   size_t num_clusterings = 0;
   const auto consume = [&](size_t i, const PartitionClusters& part) {
     CheckCancelled(hooks);
+    TraceCount(trace, TraceCounter::kFilterPartitions, 1);
     if (part.clustered) ++num_clusterings;
     cluster_stats.pair_tests += part.cluster_stats.pair_tests;
     cluster_stats.box_pruned += part.cluster_stats.box_pruned;
@@ -180,6 +184,7 @@ CutsFilterResult CutsFilterPresimplified(
       const std::vector<PartitionClusters> per_partition =
           ParallelMap(&pool, block_size, [&](size_t i) {
             CheckCancelled(hooks);
+            ScopedSpan span(trace, "filter.partition");
             const auto& part = partitions[block_begin + i];
             return ClusterPartition(result.simplified, part.first,
                                     part.second, query, options,
@@ -193,12 +198,19 @@ CutsFilterResult CutsFilterPresimplified(
     // Serial path streams one partition at a time — no buffering.
     for (size_t i = 0; i < partitions.size(); ++i) {
       CheckCancelled(hooks);
-      consume(i, ClusterPartition(result.simplified, partitions[i].first,
-                                  partitions[i].second, query, options,
-                                  result.delta_used));
+      PartitionClusters part;
+      {
+        ScopedSpan span(trace, "filter.partition");
+        part = ClusterPartition(result.simplified, partitions[i].first,
+                                partitions[i].second, query, options,
+                                result.delta_used);
+      }
+      consume(i, part);
     }
   }
   tracker.Flush(&result.candidates);
+  // Read once after the sequential consume pass — thread-count invariant.
+  TraceTrackerTally(trace, tracker.tally());
 
   if (stats != nullptr) {
     stats->filter_seconds += phase.ElapsedSeconds();

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/cmc.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/stopwatch.h"
 
@@ -85,13 +86,23 @@ std::vector<Convoy> RefineProjected(const TrajectoryDatabase& db,
   cmc_options.remove_dominated = false;  // pruned globally by the caller
   // Stats are only threadable when single-threaded; CmcRange mutates them.
   DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
+  TraceSession* const trace = TraceOf(hooks);
+  // Trace-only hooks for the nested CMC runs: counters and spans flow, but
+  // the outer sink / progress / cancellation stay exclusively with the
+  // refine loop (a nested emit would double-report every convoy).
+  ExecHooks trace_hooks;
+  trace_hooks.trace = trace;
+  const ExecHooks* nested =
+      trace != nullptr ? &trace_hooks : nullptr;
   auto parts = RefineMap(
       candidates.size(), threads,
       [&](size_t i) {
+        ScopedSpan span(trace, "refine.unit");
+        TraceCount(trace, TraceCounter::kRefineUnits, 1);
         const Candidate& cand = candidates[i];
         const TrajectoryDatabase subset = db.Project(cand.objects);
         return CmcRange(subset, query, cand.start_tick, cand.end_tick,
-                        cmc_options, per_run_stats);
+                        cmc_options, per_run_stats, nested);
       },
       hooks);
   return Flatten(std::move(parts));
@@ -122,11 +133,18 @@ std::vector<Convoy> RefineFullWindow(const TrajectoryDatabase& db,
   CmcOptions cmc_options;
   cmc_options.remove_dominated = false;
   DiscoveryStats* per_run_stats = threads <= 1 ? stats : nullptr;
+  TraceSession* const trace = TraceOf(hooks);
+  ExecHooks trace_hooks;
+  trace_hooks.trace = trace;
+  const ExecHooks* nested =
+      trace != nullptr ? &trace_hooks : nullptr;
   auto parts = RefineMap(
       windows.size(), threads,
       [&](size_t i) {
+        ScopedSpan span(trace, "refine.unit");
+        TraceCount(trace, TraceCounter::kRefineUnits, 1);
         return CmcRange(db, query, windows[i].first, windows[i].second,
-                        cmc_options, per_run_stats);
+                        cmc_options, per_run_stats, nested);
       },
       hooks);
   return Flatten(std::move(parts));

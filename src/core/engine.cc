@@ -5,6 +5,7 @@
 
 #include "core/cuts_filter.h"
 #include "core/validate.h"
+#include "obs/trace.h"
 #include "query/algorithm.h"
 #include "util/cancel.h"
 #include "util/stopwatch.h"
@@ -25,6 +26,24 @@ AlgorithmChoice ChoiceFor(CutsVariant variant) {
   return AlgorithmChoice::kCutsStar;
 }
 
+// Span name for the execution of one physical algorithm (string literals —
+// TraceEvent never copies names).
+const char* AlgorithmSpanName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kCmc:
+      return "algorithm.cmc";
+    case AlgorithmId::kCuts:
+      return "algorithm.cuts";
+    case AlgorithmId::kCutsPlus:
+      return "algorithm.cuts+";
+    case AlgorithmId::kCutsStar:
+      return "algorithm.cuts*";
+    case AlgorithmId::kMc2:
+      return "algorithm.mc2";
+  }
+  return "algorithm";
+}
+
 }  // namespace
 
 std::shared_ptr<const std::vector<SimplifiedTrajectory>>
@@ -43,8 +62,10 @@ ConvoyEngine::SimplifiedFor(SimplifierKind kind, double delta, size_t threads,
         SimplifyDatabase(db_, delta, kind, threads));
     lock.lock();
     it = cache_.emplace(key, std::move(computed)).first;
-  } else if (cache_hit != nullptr) {
-    *cache_hit = true;
+    simplify_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (cache_hit != nullptr) *cache_hit = true;
+    simplify_cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;  // entries are immutable; a hit is a pointer copy
 }
@@ -93,12 +114,29 @@ std::shared_ptr<const SnapshotStore> ConvoyEngine::PeekStore() const {
   return store_ != nullptr && !store_->IsStaleFor(db_) ? store_ : nullptr;
 }
 
+EngineStoreMetrics ConvoyEngine::StoreMetrics() const {
+  EngineStoreMetrics m;
+  // Any fresh-enough store, even mid-build races: the counters live in the
+  // store itself, so whichever instance the engine currently publishes
+  // carries the traffic it has served.
+  if (const std::shared_ptr<const SnapshotStore> store = PeekStore()) {
+    m.store = store->CacheMetrics();
+  }
+  m.simplify_cache_hits =
+      simplify_cache_hits_.load(std::memory_order_relaxed);
+  m.simplify_cache_misses =
+      simplify_cache_misses_.load(std::memory_order_relaxed);
+  return m;
+}
+
 QueryPlan ConvoyEngine::MakePlan(const ConvoyQuery& query,
                                  AlgorithmChoice choice,
                                  const CutsFilterOptions& options,
-                                 const Mc2Options& mc2) const {
+                                 const Mc2Options& mc2,
+                                 TraceSession* trace) const {
   PlannerOptions planner_options;
   planner_options.db_stats = &CachedStats();
+  planner_options.trace = trace;
   planner_options.simplify = [this, &query, &options](
                                  SimplifierKind kind, double delta,
                                  bool* hit) {
@@ -122,11 +160,12 @@ QueryPlan ConvoyEngine::MakePlan(const ConvoyQuery& query,
 StatusOr<QueryPlan> ConvoyEngine::Prepare(const ConvoyQuery& query,
                                           AlgorithmChoice choice,
                                           const CutsFilterOptions& options,
-                                          const Mc2Options& mc2) const {
+                                          const Mc2Options& mc2,
+                                          TraceSession* trace) const {
   CONVOY_RETURN_IF_ERROR(ValidateQuery(query).WithContext("Prepare"));
   CONVOY_RETURN_IF_ERROR(
       ValidateFilterOptions(options).WithContext("Prepare"));
-  return MakePlan(query, choice, options, mc2);
+  return MakePlan(query, choice, options, mc2, trace);
 }
 
 ConvoyResultSet ConvoyEngine::RunPlan(const QueryPlan& plan,
@@ -143,12 +182,37 @@ ConvoyResultSet ConvoyEngine::RunPlan(const QueryPlan& plan,
   DiscoveryStats local;
   DiscoveryStats* stats = external_stats != nullptr ? external_stats : &local;
 
+  TraceSession* const trace = hooks.trace;
   ExecContext ctx;
   ctx.db = &db_;
   ctx.plan = &plan;
   ctx.num_threads = ResolveWorkerThreads(0, plan.query);
   ctx.hooks = hooks;
   ctx.stats = stats;
+  ctx.trace = trace;
+  if (trace != nullptr && ctx.hooks.sink) {
+    // Wrap the caller's sink with emission telemetry: time-to-first-convoy
+    // and inter-emission delay (both measured from the execution, on the
+    // sequential emission pass), plus the emitted-convoy counter. Batch
+    // counts are deterministic — emission order is — but the delays are
+    // wall-clock like every Observe'd series.
+    ctx.hooks.sink = [trace, inner = std::move(ctx.hooks.sink),
+                      start_ns = trace->NowNs(),
+                      last_ns = std::make_shared<std::optional<uint64_t>>()](
+                         std::vector<Convoy>&& batch) {
+      trace->Count(TraceCounter::kConvoysEmitted, batch.size());
+      const uint64_t now = trace->NowNs();
+      if (!last_ns->has_value()) {
+        trace->Observe("sink.time_to_first_convoy_ms",
+                       static_cast<double>(now - start_ns) / 1e6);
+      } else {
+        trace->Observe("sink.inter_emission_ms",
+                       static_cast<double>(now - **last_ns) / 1e6);
+      }
+      *last_ns = now;
+      inner(std::move(batch));
+    };
+  }
   // Snapshot-consuming algorithms get the store built (a cache hit in the
   // steady state — Prepare already did it; a hand-built plan pays here);
   // the CuTS family only borrows an existing one for its time domain.
@@ -172,13 +236,23 @@ ConvoyResultSet ConvoyEngine::RunPlan(const QueryPlan& plan,
     return result;
   };
 
-  std::vector<Convoy> convoys = GetAlgorithm(plan.algorithm).Run(ctx);
+  std::vector<Convoy> convoys;
+  {
+    ScopedSpan execute_span(trace, "execute");
+    ScopedSpan algo_span(trace, AlgorithmSpanName(plan.algorithm));
+    convoys = GetAlgorithm(plan.algorithm).Run(ctx);
+  }
 
   if (external_stats == nullptr) {
     stats->num_convoys = convoys.size();
     stats->total_seconds = total.ElapsedSeconds();
   }
-  return ConvoyResultSet(std::move(convoys), *stats, plan);
+  ConvoyResultSet result(std::move(convoys), *stats, plan);
+  // Snapshot the whole session — planning spans included when the caller
+  // traced Prepare with the same session. The algorithm's workers have
+  // joined by here, so the merge sees complete, quiescent buffers.
+  if (trace != nullptr) result.set_metrics(trace->Metrics());
+  return result;
 }
 
 StatusOr<ConvoyResultSet> ConvoyEngine::Execute(const QueryPlan& plan,

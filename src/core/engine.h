@@ -1,6 +1,7 @@
 #ifndef CONVOY_CORE_ENGINE_H_
 #define CONVOY_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,6 +23,19 @@
 #include "util/status.h"
 
 namespace convoy {
+
+/// Engine-lifetime cache counters, accumulated across every query the
+/// engine has served — available without an active trace (the per-query
+/// view of the same events lives in ConvoyResultSet::metrics). Snapshot
+/// via ConvoyEngine::StoreMetrics.
+struct EngineStoreMetrics {
+  /// Grid-cache traffic of the engine's SnapshotStore (zero while no
+  /// store has been built).
+  StoreCacheMetrics store;
+  /// Simplification-cache hits/misses across Prepare/Execute/Discover.
+  uint64_t simplify_cache_hits = 0;
+  uint64_t simplify_cache_misses = 0;
+};
 
 /// High-level convoy query interface over a fixed trajectory database.
 ///
@@ -75,10 +89,15 @@ class ConvoyEngine {
   /// the simplification cache — the plan records hit/miss), and work
   /// estimates from database statistics. The plan is inspectable via
   /// QueryPlan::Explain() and reusable across Execute calls.
+  /// `trace` (optional) records planning spans ("prepare",
+  /// "prepare.simplify") and cache/store counters into a TraceSession
+  /// (obs/trace.h); pass the same session to Execute via ExecHooks::trace
+  /// for a single merged timeline.
   StatusOr<QueryPlan> Prepare(const ConvoyQuery& query,
                               AlgorithmChoice choice = AlgorithmChoice::kAuto,
                               const CutsFilterOptions& options = {},
-                              const Mc2Options& mc2 = {}) const;
+                              const Mc2Options& mc2 = {},
+                              TraceSession* trace = nullptr) const;
 
   /// Runs a prepared plan. Returns the materialized ConvoyResultSet, or
   /// kCancelled when `hooks.cancel` fired mid-run (the query unwinds at its
@@ -151,6 +170,12 @@ class ConvoyEngine {
   /// to borrow an existing store's time domain without paying for one.
   std::shared_ptr<const SnapshotStore> PeekStore() const;
 
+  /// Engine-lifetime cache counters: the store's grid-cache traffic plus
+  /// the simplification cache's hits/misses, accumulated across every
+  /// query since construction. Always maintained (relaxed atomics — no
+  /// trace required); exact once concurrent queries have returned.
+  EngineStoreMetrics StoreMetrics() const;
+
  private:
   /// Keyed on the simplifier and the *exact bit pattern* of delta. An
   /// earlier version truncated delta to integer micro-units, which aliased
@@ -178,8 +203,8 @@ class ConvoyEngine {
   /// Prepare without validation — the permissive planning path the legacy
   /// shims use.
   QueryPlan MakePlan(const ConvoyQuery& query, AlgorithmChoice choice,
-                     const CutsFilterOptions& options,
-                     const Mc2Options& mc2) const;
+                     const CutsFilterOptions& options, const Mc2Options& mc2,
+                     TraceSession* trace = nullptr) const;
 
   /// Execute's body; throws CancelledError instead of returning a Status
   /// (Execute converts, the non-cancellable shims call it directly).
@@ -207,6 +232,11 @@ class ConvoyEngine {
   /// repeated queries against an over-budget database do not re-pay the
   /// O(N) estimate on every Prepare/Execute.
   mutable std::optional<uint64_t> store_declined_generation_;
+  /// Engine-lifetime simplification-cache counters (see StoreMetrics).
+  /// Atomic rather than cache_mu_-guarded: SimplifiedFor counts its result
+  /// after dropping the lock.
+  mutable std::atomic<uint64_t> simplify_cache_hits_{0};
+  mutable std::atomic<uint64_t> simplify_cache_misses_{0};
 };
 
 }  // namespace convoy

@@ -11,6 +11,8 @@
 
 namespace convoy {
 
+class TraceSession;
+
 /// A progress report from a running discovery. `done`/`total` count the
 /// algorithm's sequential consumption units — ticks for CMC, time
 /// partitions for the CuTS filter, refinement units (candidates or merged
@@ -45,6 +47,14 @@ struct ExecHooks {
   /// set — cross-unit deduplication and dominance pruning happen only in
   /// the materialized result — but every emitted convoy is a true convoy.
   std::function<void(std::vector<Convoy>&&)> sink;
+
+  /// Optional per-execution trace (obs/trace.h). Null — the default —
+  /// disables all instrumentation at a cost of one branch per phase.
+  /// Counters recorded through it are deterministic at any thread count;
+  /// span timings are wall-clock. The engine mirrors this into
+  /// ExecContext::trace; deeper layers reached only through hooks read it
+  /// via TraceOf below.
+  TraceSession* trace = nullptr;
 };
 
 /// Cancellation point guarded for a null hooks pointer (the default
@@ -64,6 +74,11 @@ inline void EmitConvoys(const ExecHooks* hooks, std::vector<Convoy> batch) {
   if (hooks != nullptr && hooks->sink && !batch.empty()) {
     hooks->sink(std::move(batch));
   }
+}
+
+/// The hooks' trace session, null-guarded like the helpers above.
+inline TraceSession* TraceOf(const ExecHooks* hooks) {
+  return hooks != nullptr ? hooks->trace : nullptr;
 }
 
 }  // namespace convoy

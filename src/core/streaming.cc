@@ -6,6 +6,7 @@
 
 #include "core/cmc.h"
 #include "core/validate.h"
+#include "obs/trace.h"
 
 namespace convoy {
 
@@ -66,6 +67,8 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
         "EndTick() outside a tick (BeginTick() missing)");
   }
   const Tick t = *current_tick_;
+  // One trace branch per tick; the clock only runs with a trace attached.
+  const uint64_t tick_start = trace_ != nullptr ? trace_->NowNs() : 0;
 
   // Carry forward recently seen objects that stayed silent this tick.
   if (options_.carry_forward_ticks > 0) {
@@ -85,6 +88,7 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
   // snapshot is clustered. Under-m ticks skip the gather entirely — on a
   // sparse stream most ticks end here.
   std::vector<std::vector<ObjectId>> clusters;
+  bool clustered = false;
   if (snapshot_.size() >= query_.m) {
     gather_points_.clear();
     gather_ids_.clear();
@@ -95,12 +99,22 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
       gather_points_.push_back(pos);
     }
     clusters = ClusterSnapshot(gather_points_, gather_ids_, query_,
-                               /*clustered=*/nullptr, &dbscan_scratch_);
+                               &clustered, &dbscan_scratch_);
   }
   tracker_.Advance(clusters, t, t, /*step_weight=*/1, &completed_);
 
   last_processed_ = t;
   current_tick_.reset();
+  if (trace_ != nullptr) {
+    if (clustered) {
+      trace_->Count(TraceCounter::kSnapshotsClustered, 1);
+      TraceDbscanRun(trace_, dbscan_scratch_.tally);
+    }
+    const uint64_t tick_end = trace_->NowNs();
+    trace_->RecordSpan("stream.tick", tick_start, tick_end);
+    trace_->Observe("stream.tick_ms",
+                    static_cast<double>(tick_end - tick_start) / 1e6);
+  }
   return DrainCompleted();
 }
 
@@ -112,6 +126,7 @@ StatusOr<std::vector<Convoy>> StreamingCmc::Finish() {
   }
   tracker_.Flush(&completed_);
   last_seen_.clear();
+  TraceTrackerTally(trace_, tracker_.tally());
   return DrainCompleted();
 }
 

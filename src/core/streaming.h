@@ -13,6 +13,8 @@
 
 namespace convoy {
 
+class TraceSession;
+
 /// Online convoy discovery over a live position stream.
 ///
 /// `StreamingCmc` is the incremental form of CMC (paper Algorithm 1): feed
@@ -97,6 +99,14 @@ class StreamingCmc {
   /// The current tick, if a stream is in progress.
   std::optional<Tick> CurrentTick() const { return current_tick_; }
 
+  /// Attaches a trace (obs/trace.h) — every subsequent EndTick records a
+  /// "stream.tick" span, a "stream.tick_ms" latency sample, and the tick's
+  /// DBSCAN counters; Finish folds the tracker tally. Pass nullptr to
+  /// detach (the default: one branch per tick, nothing recorded). The
+  /// session must outlive the stream or the next detach.
+  void set_trace(TraceSession* trace) { trace_ = trace; }
+  TraceSession* trace() const { return trace_; }
+
  private:
   struct LastSeen {
     Point position;
@@ -121,6 +131,7 @@ class StreamingCmc {
   std::vector<Point> gather_points_;
   std::vector<ObjectId> gather_ids_;
   DbscanScratch dbscan_scratch_;
+  TraceSession* trace_ = nullptr;
 };
 
 }  // namespace convoy

@@ -139,6 +139,13 @@ void SaveResultSetJson(const ConvoyResultSet& result, std::ostream& out) {
       << ",\"num_convoys\":" << stats.num_convoys;
   out << "},\n";
 
+  // Observability block: present (with "enabled":false) even for untraced
+  // runs so consumers can key on it unconditionally. Counters are
+  // deterministic; spans/series are wall-clock.
+  out << "\"metrics\":";
+  result.metrics().WriteJson(out);
+  out << ",\n";
+
   out << "\"convoys\":";
   SaveConvoysJson(result.convoys(), out);
   out << "}\n";

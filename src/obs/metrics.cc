@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace convoy {
+
+std::string QueryMetrics::ToText() const {
+  std::ostringstream out;
+  if (!enabled) {
+    out << "analyze\n  (no trace attached — pass a TraceSession via "
+           "ExecHooks::trace)\n";
+    return out.str();
+  }
+  out << "analyze\n";
+  out << "  counters:\n";
+  for (size_t i = 0; i < kQueryMetricsCounters; ++i) {
+    if (counters[i] == 0) continue;  // the catalog is long; show work done
+    out << "    " << ToString(static_cast<TraceCounter>(i)) << ": "
+        << counters[i] << "\n";
+  }
+  if (!spans.empty()) {
+    out << "  spans (wall-clock):\n";
+    for (const SpanAggregate& s : spans) {
+      out << "    " << s.name << ": " << s.count << " x, " << s.total_ms
+          << " ms total\n";
+    }
+  }
+  if (!series.empty()) {
+    out << "  series (wall-clock):\n";
+    for (const SeriesSummary& s : series) {
+      out << "    " << s.name << ": n=" << s.count << " min=" << s.min
+          << " mean=" << s.mean << " p50=" << s.p50 << " p90=" << s.p90
+          << " p99=" << s.p99 << " max=" << s.max << "\n";
+    }
+  }
+  return out.str();
+}
+
+void QueryMetrics::WriteJson(std::ostream& out) const {
+  out << "{\"enabled\":" << (enabled ? "true" : "false");
+  out << ",\"counters\":{";
+  for (size_t i = 0; i < kQueryMetricsCounters; ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << ToString(static_cast<TraceCounter>(i))
+        << "\":" << counters[i];
+  }
+  out << "},\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanAggregate& s = spans[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << s.name << "\",\"count\":" << s.count
+        << ",\"total_ms\":" << s.total_ms << "}";
+  }
+  out << "],\"series\":[";
+  for (size_t i = 0; i < series.size(); ++i) {
+    const SeriesSummary& s = series[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << s.name << "\",\"count\":" << s.count
+        << ",\"min\":" << s.min << ",\"mean\":" << s.mean
+        << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+        << ",\"p90\":" << s.p90 << ",\"p99\":" << s.p99 << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace convoy

@@ -1,0 +1,200 @@
+#ifndef CONVOY_OBS_TRACE_H_
+#define CONVOY_OBS_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace convoy {
+
+/// The deterministic counter catalog — every named counter the execution
+/// layers increment. Counters are *logical work measures* (points scanned,
+/// probes performed, candidates created): their totals are bit-identical at
+/// any worker-thread count, because every increment is attributable to a
+/// deterministic work unit (a tick, a partition, a refinement unit) and
+/// integer sums are order-independent. Wall-clock data goes into spans and
+/// value series instead, which are explicitly excluded from determinism.
+///
+/// kTrackerLiveMax is a *max* counter (merged by max, not sum): the high
+/// water mark of live candidates across the run.
+enum class TraceCounter : uint32_t {
+  kSnapshotsClustered = 0,   ///< ticks/partitions where DBSCAN actually ran
+  kDbscanPointsScanned,      ///< points labeled across all clusterings
+  kDbscanNeighborQueries,    ///< grid neighborhood lookups issued
+  kDbscanNeighborsVisited,   ///< neighbor list entries returned in total
+  kDbscanClustersFormed,     ///< clusters produced across all clusterings
+  kTrackerSteps,             ///< CandidateTracker::Advance calls
+  kTrackerCandidatesOffered, ///< successor/fresh candidates offered
+  kTrackerDedupProbes,       ///< open-addressing probe steps in the dedup
+  kTrackerDedupHits,         ///< offers that collapsed onto an existing set
+  kTrackerCompleted,         ///< candidates retired with lifetime >= k
+  kTrackerLiveMax,           ///< max live candidates after any step (max)
+  kGridCacheHits,            ///< SnapshotStore::GridFor served from cache
+  kGridCacheMisses,          ///< SnapshotStore::GridFor built a grid
+  kSimplifyCacheHits,        ///< engine simplification cache hits
+  kSimplifyCacheMisses,      ///< engine simplification cache misses
+  kStoreTicksBuilt,          ///< ticks materialized by a store build
+  kStorePointsBuilt,         ///< columnar points materialized by a build
+  kFilterPartitions,         ///< CuTS filter partitions clustered
+  kRefineUnits,              ///< CuTS refinement units run
+  kConvoysEmitted,           ///< convoys handed to the incremental sink
+  kNumTraceCounters          ///< sentinel, not a counter
+};
+
+inline constexpr size_t kNumTraceCounters =
+    static_cast<size_t>(TraceCounter::kNumTraceCounters);
+
+/// Stable snake_case name of a counter (the key used in metrics JSON and
+/// EXPLAIN ANALYZE output; see README "Observability" for the catalog).
+const char* ToString(TraceCounter c);
+
+/// True for counters merged across threads by max instead of sum.
+bool IsMaxCounter(TraceCounter c);
+
+/// One completed span: a named wall-clock interval on one thread's track.
+/// Names must be string literals (or otherwise outlive the session) — spans
+/// never copy them, so recording one allocates at most a vector slot.
+struct TraceEvent {
+  const char* name = "";
+  uint64_t start_ns = 0;  ///< steady-clock ns since the session's origin
+  uint64_t dur_ns = 0;
+  uint32_t track = 0;  ///< per-thread track id (registration order)
+};
+
+/// Sets/reads a thread-role label attached to this thread's trace track
+/// ("main" by default; the ThreadPool labels its workers "pool-worker").
+/// The pointer must outlive every session the thread records into — pass
+/// string literals.
+void SetTraceThreadLabel(const char* label);
+const char* GetTraceThreadLabel();
+
+/// TraceSession — a per-execution recorder of spans, counters, and value
+/// series, built for a near-zero disabled cost: every instrumentation point
+/// in the engine takes a `TraceSession*` that is null when tracing is off,
+/// and the null check is hoisted to once per *phase* (per tick, partition,
+/// or refinement unit), never per point.
+///
+/// Thread model: each recording thread lazily registers a private buffer
+/// (spans + counter array + series), so recording from ThreadPool workers
+/// is lock-free after the first touch; buffers are merged under a mutex
+/// when a sink (Metrics / events / Chrome trace export) reads them. Do not
+/// read a session concurrently with recording — the engine only snapshots
+/// after the algorithm's workers have joined.
+///
+/// Determinism: counter totals are bit-identical at 1/2/8 threads (integer
+/// sums over deterministic per-unit tallies); span timings and Observe()d
+/// values are wall-clock and carry no determinism guarantee.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Adds `delta` to a sum counter (thread-safe; lock-free after the
+  /// calling thread's first record into this session).
+  void Count(TraceCounter c, uint64_t delta);
+
+  /// Raises a max counter to at least `value`.
+  void CountMax(TraceCounter c, uint64_t value);
+
+  /// Appends one observation to the named value series (histogram source:
+  /// per-tick latencies, inter-emission delays, ...). `series` must be a
+  /// string literal or otherwise outlive the session.
+  void Observe(const char* series, double value);
+
+  /// Records a completed span. Prefer ScopedSpan below.
+  void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+  /// Steady-clock nanoseconds since the session was created.
+  uint64_t NowNs() const;
+
+  /// Merged totals (sum counters) / high water marks (max counters).
+  uint64_t counter(TraceCounter c) const;
+
+  /// All recorded spans, merged across threads (per-track order preserved;
+  /// tracks concatenated in registration order).
+  std::vector<TraceEvent> Events() const;
+
+  /// Number of per-thread tracks registered so far.
+  size_t NumTracks() const;
+
+  /// Snapshot of counters, series summaries (count/min/mean/max/p50/p90/
+  /// p99 via util/stats.h), and per-name span aggregates — the payload of
+  /// every sink (EXPLAIN ANALYZE, metrics JSON, bench phase breakdown).
+  QueryMetrics Metrics() const;
+
+  /// Chrome trace-event JSON (the "JSON Array Format"): one complete "X"
+  /// event per span, one track (tid) per recording thread with a
+  /// thread_name metadata record — loads in Perfetto / chrome://tracing.
+  void WriteChromeTrace(std::ostream& out) const;
+
+ private:
+  struct ThreadBuf {
+    std::array<uint64_t, kNumTraceCounters> counts{};
+    std::array<uint64_t, kNumTraceCounters> maxes{};
+    std::vector<TraceEvent> events;
+    std::vector<std::pair<const char*, std::vector<double>>> series;
+    uint32_t track = 0;
+    const char* label = "main";
+  };
+
+  ThreadBuf* LocalBuf();
+  std::vector<double>* SeriesSlot(ThreadBuf* buf, const char* name);
+
+  const uint64_t session_id_;  ///< process-unique, keys the thread cache
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;  ///< guards bufs_ registration and merged reads
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+/// RAII span guarded for a null session — the one-branch-per-phase idiom:
+///
+///   ScopedSpan span(trace, "filter.partition");   // no-op when trace==null
+///
+/// Zero allocation and two branches total when disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession* session, const char* name) : session_(session) {
+    if (session_ != nullptr) {
+      name_ = name;
+      start_ns_ = session_->NowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (session_ != nullptr) {
+      session_->RecordSpan(name_, start_ns_, session_->NowNs());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_ = "";
+  uint64_t start_ns_ = 0;
+};
+
+/// Null-guarded free helpers, mirroring CheckCancelled/ReportProgress in
+/// core/exec_hooks.h: a disabled trace costs exactly one branch.
+inline void TraceCount(TraceSession* t, TraceCounter c, uint64_t delta) {
+  if (t != nullptr) t->Count(c, delta);
+}
+
+inline void TraceCountMax(TraceSession* t, TraceCounter c, uint64_t value) {
+  if (t != nullptr) t->CountMax(c, value);
+}
+
+inline void TraceObserve(TraceSession* t, const char* series, double value) {
+  if (t != nullptr) t->Observe(series, value);
+}
+
+}  // namespace convoy
+
+#endif  // CONVOY_OBS_TRACE_H_

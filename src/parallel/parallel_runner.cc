@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/candidate.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/stopwatch.h"
 
@@ -25,6 +26,7 @@ std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
                                          const ExecHooks* hooks,
                                          ClusterAt&& cluster_at) {
   Stopwatch total;
+  TraceSession* const trace = TraceOf(hooks);
   ThreadPool pool(threads);
   CandidateTracker tracker(query.m, query.k);
   std::vector<Candidate> completed;
@@ -58,6 +60,11 @@ std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
       for (size_t i = chunk_begin; i < chunk_end; ++i) {
         CheckCancelled(hooks);
         const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
+        // Worker-side spans land on the worker's own trace track; the
+        // counters folded inside cluster_at are per-tick integer tallies,
+        // so their totals are independent of the chunking (and therefore
+        // of the thread count).
+        ScopedSpan span(trace, "snapshot.cluster");
         per_tick[i].clusters =
             cluster_at(t, &per_tick[i].clustered, &scratch);
       }
@@ -65,7 +72,10 @@ std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
     for (size_t i = 0; i < block_size; ++i) {
       CheckCancelled(hooks);
       const Tick t = begin_tick + static_cast<Tick>(block_begin + i);
-      if (per_tick[i].clustered) ++num_clusterings;
+      if (per_tick[i].clustered) {
+        ++num_clusterings;
+        TraceCount(trace, TraceCounter::kSnapshotsClustered, 1);
+      }
       tracker.Advance(per_tick[i].clusters, t, t, /*step_weight=*/1,
                       &completed);
       emitted = EmitCompletedSince(completed, emitted, hooks);
@@ -74,8 +84,15 @@ std::vector<Convoy> ParallelCmcRangeImpl(const ConvoyQuery& query,
   }
   tracker.Flush(&completed);
   EmitCompletedSince(completed, emitted, hooks);
+  // The tracker only ever advances on this sequential pass, so its tally
+  // is read once here — bit-identical at every thread count.
+  TraceTrackerTally(trace, tracker.tally());
 
-  std::vector<Convoy> result = FinalizeCmcResult(completed, options);
+  std::vector<Convoy> result;
+  {
+    ScopedSpan finalize_span(trace, "cmc.finalize");
+    result = FinalizeCmcResult(completed, options);
+  }
 
   if (stats != nullptr) {
     stats->num_clusterings += num_clusterings;
@@ -98,10 +115,14 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
     return CmcRange(db, query, begin_tick, end_tick, options, stats, hooks,
                     scratch);
   }
+  TraceSession* const trace = TraceOf(hooks);
   return ParallelCmcRangeImpl(
       query, begin_tick, end_tick, options, stats, threads, hooks,
       [&](Tick t, bool* clustered, SnapshotScratch* scratch) {
-        return SnapshotClusters(db, t, query, clustered, scratch);
+        std::vector<std::vector<ObjectId>> clusters =
+            SnapshotClusters(db, t, query, clustered, scratch);
+        if (*clustered) TraceDbscanRun(trace, scratch->dbscan.tally);
+        return clusters;
       });
 }
 
@@ -127,11 +148,21 @@ std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
     return CmcRange(store, query, begin_tick, end_tick, options, stats,
                     hooks, scratch);
   }
+  TraceSession* const trace = TraceOf(hooks);
   return ParallelCmcRangeImpl(
       query, begin_tick, end_tick, options, stats, threads, hooks,
       [&](Tick t, bool* clustered, SnapshotScratch* scratch) {
-        return SnapshotClusters(store, t, query, clustered,
-                                &scratch->dbscan);
+        bool grid_hit = false;
+        std::vector<std::vector<ObjectId>> clusters = SnapshotClusters(
+            store, t, query, clustered, &scratch->dbscan, &grid_hit);
+        if (*clustered) {
+          TraceDbscanRun(trace, scratch->dbscan.tally);
+          TraceCount(trace,
+                     grid_hit ? TraceCounter::kGridCacheHits
+                              : TraceCounter::kGridCacheMisses,
+                     1);
+        }
+        return clusters;
       });
 }
 

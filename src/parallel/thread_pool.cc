@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace convoy {
 
 namespace {
@@ -44,6 +46,9 @@ bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
 
 void ThreadPool::WorkerLoop() {
   current_pool = this;
+  // Trace spans recorded on this thread land on a track labeled with the
+  // worker role (one Chrome-trace track per worker thread).
+  SetTraceThreadLabel("pool-worker");
   for (;;) {
     std::function<void()> task;
     {

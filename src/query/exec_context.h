@@ -62,6 +62,12 @@ struct ExecContext {
   /// Per-run instrumentation; may be null.
   DiscoveryStats* stats = nullptr;
 
+  /// The execution's TraceSession (obs/trace.h), mirroring hooks.trace so
+  /// algorithms can record spans and counters without reaching through the
+  /// hooks struct. Null — the default — disables tracing at one branch per
+  /// phase.
+  TraceSession* trace = nullptr;
+
   /// Simplification source for the CuTS family; unused by CMC / MC2.
   SimplificationProvider simplified;
 

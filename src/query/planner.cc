@@ -5,6 +5,7 @@
 
 #include "core/cuts.h"
 #include "core/params.h"
+#include "obs/trace.h"
 #include "traj/snapshot_store.h"
 #include "util/stopwatch.h"
 
@@ -73,13 +74,15 @@ QueryPlanner::QueryPlanner(const TrajectoryDatabase& db,
                            PlannerOptions options)
     : db_(db),
       simplify_(std::move(options.simplify)),
-      store_(std::move(options.store)) {
+      store_(std::move(options.store)),
+      trace_(options.trace) {
   db_stats_ = options.db_stats != nullptr ? *options.db_stats : db.Stats();
 }
 
 QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
                              const CutsFilterOptions& base_options,
                              const Mc2Options& mc2) const {
+  ScopedSpan prepare_span(trace_, "prepare");
   QueryPlan plan;
   plan.query = query;
   plan.requested = choice;
@@ -103,7 +106,12 @@ QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
             store_(consumes_snapshots, &reused)) {
       plan.store_cache =
           reused ? PlanCacheStatus::kHit : PlanCacheStatus::kMiss;
-      if (!reused) plan.store_build_seconds = store_watch.ElapsedSeconds();
+      if (!reused) {
+        plan.store_build_seconds = store_watch.ElapsedSeconds();
+        TraceCount(trace_, TraceCounter::kStoreTicksBuilt, store->NumTicks());
+        TraceCount(trace_, TraceCounter::kStorePointsBuilt,
+                   store->TotalPoints());
+      }
       plan.store_ticks = store->NumTicks();
       plan.store_points = store->TotalPoints();
     }
@@ -140,16 +148,23 @@ QueryPlan QueryPlanner::Plan(const ConvoyQuery& query, AlgorithmChoice choice,
   Stopwatch simplify_watch;
   std::shared_ptr<const std::vector<SimplifiedTrajectory>> simplified;
   bool cache_hit = false;
-  if (simplify_) {
-    // Shared, immutable: a cache hit is a pointer copy, and lambda
-    // resolution below reads through it without duplicating the set.
-    simplified = simplify_(plan.filter.simplifier, plan.delta, &cache_hit);
-    plan.cache = cache_hit ? PlanCacheStatus::kHit : PlanCacheStatus::kMiss;
-  } else {
-    simplified = std::make_shared<const std::vector<SimplifiedTrajectory>>(
-        SimplifyDatabase(db_, plan.delta, plan.filter.simplifier,
-                         ResolveWorkerThreads(plan.filter.num_threads,
-                                              query)));
+  {
+    ScopedSpan simplify_span(trace_, "prepare.simplify");
+    if (simplify_) {
+      // Shared, immutable: a cache hit is a pointer copy, and lambda
+      // resolution below reads through it without duplicating the set.
+      simplified = simplify_(plan.filter.simplifier, plan.delta, &cache_hit);
+      plan.cache = cache_hit ? PlanCacheStatus::kHit : PlanCacheStatus::kMiss;
+      TraceCount(trace_,
+                 cache_hit ? TraceCounter::kSimplifyCacheHits
+                           : TraceCounter::kSimplifyCacheMisses,
+                 1);
+    } else {
+      simplified = std::make_shared<const std::vector<SimplifiedTrajectory>>(
+          SimplifyDatabase(db_, plan.delta, plan.filter.simplifier,
+                           ResolveWorkerThreads(plan.filter.num_threads,
+                                                query)));
+    }
   }
   if (!cache_hit) plan.simplify_seconds = simplify_watch.ElapsedSeconds();
 

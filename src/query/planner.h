@@ -14,6 +14,8 @@
 
 namespace convoy {
 
+class TraceSession;
+
 /// Auto-selection threshold: databases with at most this many stored points
 /// run exact CMC directly — at that size the CuTS filter's simplification +
 /// partition machinery costs more than it saves (the paper's speedups need
@@ -115,6 +117,11 @@ struct PlannerOptions {
 
   /// Precomputed database statistics; null: computed on construction.
   const DatabaseStats* db_stats = nullptr;
+
+  /// Optional trace (obs/trace.h): Plan() records "prepare" /
+  /// "prepare.simplify" spans and the simplification-cache + store-build
+  /// counters into it. Null = planning is untraced (the default).
+  TraceSession* trace = nullptr;
 };
 
 /// Resolves a (ConvoyQuery, AlgorithmChoice) pair into a QueryPlan:
@@ -146,6 +153,7 @@ class QueryPlanner {
   SimplificationProvider simplify_;
   SnapshotStoreProvider store_;
   DatabaseStats db_stats_;
+  TraceSession* trace_ = nullptr;
 };
 
 }  // namespace convoy

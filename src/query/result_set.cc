@@ -52,4 +52,8 @@ std::vector<Convoy> TopKConvoys(const std::vector<Convoy>& result, size_t k) {
   return ranked;
 }
 
+std::string ConvoyResultSet::ExplainAnalyze() const {
+  return plan_.Explain() + metrics_.ToText();
+}
+
 }  // namespace convoy

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/convoy_set.h"
 #include "core/discovery_stats.h"
+#include "obs/metrics.h"
 #include "query/planner.h"
 
 namespace convoy {
@@ -80,10 +82,25 @@ class ConvoyResultSet {
   /// legacy Discover shims). The result set is left empty.
   std::vector<Convoy> TakeConvoys() && { return std::move(convoys_); }
 
+  /// Observability snapshot of the execution that produced this result:
+  /// counters, span aggregates, and series summaries, captured from the
+  /// TraceSession attached via ExecHooks::trace. `metrics().enabled` is
+  /// false when the query ran untraced (the default — nothing was
+  /// recorded, nothing was paid).
+  const QueryMetrics& metrics() const { return metrics_; }
+  void set_metrics(QueryMetrics metrics) { metrics_ = std::move(metrics); }
+
+  /// EXPLAIN ANALYZE: the plan rendering (QueryPlan::Explain) followed by
+  /// the measured execution metrics — what actually happened next to what
+  /// the planner predicted. Without an attached trace the metrics block
+  /// says how to enable one.
+  std::string ExplainAnalyze() const;
+
  private:
   std::vector<Convoy> convoys_;
   DiscoveryStats stats_;
   QueryPlan plan_;
+  QueryMetrics metrics_;
 };
 
 }  // namespace convoy

@@ -157,13 +157,19 @@ bool SnapshotStore::IsVirtual(Tick t, size_t i) const {
   return (virtual_bits_[slot / 64] >> (slot % 64)) & 1;
 }
 
-std::shared_ptr<const GridIndex> SnapshotStore::GridFor(Tick t,
-                                                        double eps) const {
+std::shared_ptr<const GridIndex> SnapshotStore::GridFor(
+    Tick t, double eps, bool* cache_hit) const {
   const uint64_t eps_bits = std::bit_cast<uint64_t>(eps);
   const std::pair<Tick, uint64_t> key{t, eps_bits};
   std::unique_lock<std::mutex> lock(grid_cache_->mu);
   const auto it = grid_cache_->grids.find(key);
-  if (it != grid_cache_->grids.end()) return it->second;
+  if (it != grid_cache_->grids.end()) {
+    grid_cache_->hits.fetch_add(1, std::memory_order_relaxed);
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  grid_cache_->misses.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
   // Build outside the lock so concurrent misses on *other* ticks are not
   // serialized behind this one; a racing miss on the same key recomputes
   // and the first insert wins. Eviction is safe because callers hold the
@@ -185,6 +191,7 @@ std::shared_ptr<const GridIndex> SnapshotStore::GridFor(Tick t,
       if (entry->first.second == evicted) {
         cache.cached_slots -= entry->second->FootprintSlots();
         entry = cache.grids.erase(entry);
+        cache.evictions.fetch_add(1, std::memory_order_relaxed);
       } else {
         entry = std::next(entry);
       }
@@ -216,6 +223,14 @@ std::shared_ptr<const GridIndex> SnapshotStore::GridFor(Tick t,
 size_t SnapshotStore::GridCacheSize() const {
   std::lock_guard<std::mutex> lock(grid_cache_->mu);
   return grid_cache_->grids.size();
+}
+
+StoreCacheMetrics SnapshotStore::CacheMetrics() const {
+  StoreCacheMetrics m;
+  m.grid_cache_hits = grid_cache_->hits.load(std::memory_order_relaxed);
+  m.grid_cache_misses = grid_cache_->misses.load(std::memory_order_relaxed);
+  m.grid_evictions = grid_cache_->evictions.load(std::memory_order_relaxed);
+  return m;
 }
 
 void SnapshotStoreBuilder::AddRow(ObjectId id, Tick t, double x, double y) {

@@ -1,6 +1,7 @@
 #ifndef CONVOY_TRAJ_SNAPSHOT_STORE_H_
 #define CONVOY_TRAJ_SNAPSHOT_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -38,6 +39,16 @@ struct SnapshotView {
 
   bool Empty() const { return size == 0; }
   Point At(size_t i) const { return Point(xs[i], ys[i]); }
+};
+
+/// Lifetime counters of a SnapshotStore's grid cache, accumulated across
+/// every query the store has served (relaxed atomics — exact totals once
+/// readers are quiescent, monotone approximations while queries run).
+/// Surfaced by ConvoyEngine::StoreMetrics even when no trace is attached.
+struct StoreCacheMetrics {
+  uint64_t grid_cache_hits = 0;    ///< GridFor served from cache
+  uint64_t grid_cache_misses = 0;  ///< GridFor built a fresh index
+  uint64_t grid_evictions = 0;     ///< cached grids retired by the bounds
 };
 
 /// SnapshotStore — a tick-partitioned, structure-of-arrays materialization
@@ -133,11 +144,19 @@ class SnapshotStore {
   /// first request and cached per (tick, eps) — identical to
   /// `GridIndex(points, eps)` over the tick's snapshot, so DBSCAN results
   /// are unchanged. Thread-safe; two threads missing the same key may
-  /// both build, the first insert wins. Never null.
-  std::shared_ptr<const GridIndex> GridFor(Tick t, double eps) const;
+  /// both build, the first insert wins. Never null. `cache_hit` (optional
+  /// out) reports whether the grid came from the cache — per-execution
+  /// hit/miss counts are deterministic on a fresh store, where each
+  /// (tick, eps) key is first touched exactly once per run.
+  std::shared_ptr<const GridIndex> GridFor(Tick t, double eps,
+                                           bool* cache_hit = nullptr) const;
 
   /// Number of cached grid indexes (for tests / monitoring).
   size_t GridCacheSize() const;
+
+  /// Lifetime grid-cache counters (see StoreCacheMetrics). Always
+  /// maintained — three relaxed atomic adds per GridFor, no trace needed.
+  StoreCacheMetrics CacheMetrics() const;
 
   /// The database generation this store was built from.
   uint64_t built_generation() const { return built_generation_; }
@@ -174,6 +193,12 @@ class SnapshotStore {
         grids;
     std::vector<uint64_t> eps_order;  ///< distinct eps, oldest first
     size_t cached_slots = 0;  ///< sum of FootprintSlots over cached grids
+    /// Lifetime counters (StoreCacheMetrics). Atomic because hits are
+    /// counted after the lock drops; riding in the unique_ptr'd cache
+    /// keeps the store movable.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
   };
   std::unique_ptr<GridCache> grid_cache_;
 };

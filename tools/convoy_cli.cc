@@ -47,6 +47,7 @@ struct CliOptions {
   std::string generate;
   std::string results_out;  // write convoys here (.json => JSON, else CSV)
   std::string report_out;   // write the full ResultSet + plan JSON here
+  std::string trace_out;    // write a Chrome trace-event JSON here
   std::string algo = "cuts*";
   convoy::ConvoyQuery query{3, 180, 8.0};
   double delta = -1.0;
@@ -56,6 +57,7 @@ struct CliOptions {
   size_t repeat = 1;  // re-execute the prepared plan this many times
   bool print_stats = false;
   bool explain = false;
+  bool explain_analyze = false;
   bool verify = false;
   bool use_rtree = false;
   bool exact_refine = false;
@@ -72,12 +74,17 @@ void PrintUsage() {
       "  convoy_cli --input data.csv --m 3 --k 180 --e 8.0\n"
       "             [--algo auto|cmc|cuts|cuts+|cuts*|mc2] [--delta D]\n"
       "             [--lambda L] [--theta T] [--threads N] [--explain]\n"
-      "             [--stats] [--verify] [--rtree] [--exact-refine]\n"
+      "             [--explain-analyze] [--trace out.json] [--stats]\n"
+      "             [--verify] [--rtree] [--exact-refine]\n"
       "             [--repeat N] [--results out.csv|out.json]\n"
       "             [--report out.json] [--clean-max-speed V]\n"
       "             [--clean-max-gap G] [--clean-stationary]\n\n"
       "--algo auto lets the planner pick (exact CMC for tiny inputs,\n"
       "CuTS* otherwise); --explain prints the resolved query plan.\n"
+      "--explain-analyze runs the query with a trace attached and prints\n"
+      "the plan plus measured counters/spans; --trace out.json writes the\n"
+      "execution timeline as Chrome trace-event JSON (load it in Perfetto\n"
+      "or chrome://tracing). --report includes the same metrics as JSON.\n"
       "--repeat N re-executes the prepared plan N times and reports\n"
       "first-run vs warm-run latency (the snapshot store and cached\n"
       "grid indexes make warm runs cheaper).\n\n"
@@ -134,6 +141,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->results_out = value;
     } else if (arg == "--report" && (value = next())) {
       opts->report_out = value;
+    } else if (arg == "--trace" && (value = next())) {
+      opts->trace_out = value;
     } else if (arg == "--clean-max-speed" && (value = next())) {
       opts->clean_max_speed = std::strtod(value, nullptr);
     } else if (arg == "--clean-max-gap" && (value = next())) {
@@ -148,6 +157,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->print_stats = true;
     } else if (arg == "--explain") {
       opts->explain = true;
+    } else if (arg == "--explain-analyze") {
+      opts->explain_analyze = true;
     } else if (arg == "--verify") {
       opts->verify = true;
     } else {
@@ -155,8 +166,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       return false;
     }
     const bool flag_arg = arg == "--stats" || arg == "--verify" ||
-                          arg == "--explain" || arg == "--rtree" ||
-                          arg == "--exact-refine" ||
+                          arg == "--explain" || arg == "--explain-analyze" ||
+                          arg == "--rtree" || arg == "--exact-refine" ||
                           arg == "--clean-stationary";
     if (value == nullptr && arg.rfind("--", 0) == 0 && !flag_arg) {
       return false;
@@ -281,9 +292,18 @@ int main(int argc, char** argv) {
   convoy::Mc2Options mc2_options;
   mc2_options.theta = theta;
 
+  // Observability: --explain-analyze and --trace share one TraceSession
+  // spanning Prepare and the first Execute. Warm re-executions (--repeat)
+  // stay untraced so the reported warm latency is the untraced hot path.
+  const bool tracing = opts.explain_analyze || !opts.trace_out.empty();
+  std::optional<convoy::TraceSession> trace;
+  if (tracing) trace.emplace();
+  convoy::TraceSession* const trace_ptr = tracing ? &*trace : nullptr;
+
   convoy::ConvoyEngine engine(std::move(db));
   const convoy::StatusOr<convoy::QueryPlan> plan =
-      engine.Prepare(opts.query, *choice, filter_options, mc2_options);
+      engine.Prepare(opts.query, *choice, filter_options, mc2_options,
+                     trace_ptr);
   if (!plan.ok()) {
     // Unreachable in practice: parameters were validated above, before the
     // input was parsed. Kept for belt and braces.
@@ -292,9 +312,12 @@ int main(int argc, char** argv) {
   }
   if (opts.explain) std::cout << plan->Explain();
 
+  convoy::ExecHooks exec_hooks;
+  exec_hooks.trace = trace_ptr;
+
   convoy::Stopwatch first_watch;
   const convoy::StatusOr<convoy::ConvoyResultSet> executed =
-      engine.Execute(*plan);
+      engine.Execute(*plan, exec_hooks);
   const double first_seconds = first_watch.ElapsedSeconds();
   if (!executed.ok()) {
     std::cerr << "execution failed: " << executed.status() << "\n";
@@ -343,6 +366,17 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
   if (opts.print_stats) std::cout << result.stats() << "\n";
+  if (opts.explain_analyze) std::cout << result.ExplainAnalyze();
+
+  if (!opts.trace_out.empty()) {
+    std::ofstream out(opts.trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << opts.trace_out << "\n";
+      return kExitIo;
+    }
+    trace->WriteChromeTrace(out);
+    std::cout << "wrote Chrome trace to " << opts.trace_out << "\n";
+  }
 
   if (!opts.report_out.empty()) {
     if (!convoy::SaveResultSetJson(result, opts.report_out)) {

@@ -22,7 +22,11 @@
 # 7. drive convoy_cli's error paths and require the documented exit codes
 #    (1 usage, 2 I/O, 3 invalid query, 4 data error);
 # 8. smoke the planner: --algo auto --explain must print the chosen
-#    algorithm and the resolved delta/lambda.
+#    algorithm and the resolved delta/lambda;
+# 9. smoke the observability surface: --explain-analyze must print
+#    measured counters/spans, --trace must emit valid Chrome trace-event
+#    JSON (validated against the format with python3 when available), and
+#    --report must carry an enabled metrics block.
 #
 # Before any of that: refuse to run if build artifacts are tracked by git
 # (a PR once committed 688 of them; .gitignore's build*/ plus this guard
@@ -90,20 +94,28 @@ if command -v python3 > /dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc.get("schema") == "convoy-bench-hotpath-v1", doc.get("schema")
+assert doc.get("schema") == "convoy-bench-hotpath-v2", doc.get("schema")
 results = doc["results"]
 assert results, "no results"
 for row in results:
     assert {"bench", "n", "threads", "ns_per_op"} <= set(row), row
 names = {row["bench"] for row in results}
 for needed in ("snapshot_cluster_reference", "snapshot_cluster_csr_arena",
-               "cmc_e2e_reference", "cmc_e2e_optimized"):
+               "cmc_e2e_reference", "cmc_e2e_optimized", "cmc_e2e_traced"):
     assert needed in names, f"missing bench entry: {needed}"
-print(f"ok: {len(results)} well-formed results")
+phases = doc["phases"]
+assert phases, "no phases (traced run recorded no spans)"
+for row in phases:
+    assert {"name", "count", "total_ms"} <= set(row), row
+phase_names = {row["name"] for row in phases}
+for needed in ("prepare", "execute", "filter.partition", "refine.unit"):
+    assert needed in phase_names, f"missing phase: {needed}"
+print(f"ok: {len(results)} well-formed results, {len(phases)} phases")
 PYEOF
 else
   # No python3: at least require the schema marker and one result row.
-  grep -q '"schema": "convoy-bench-hotpath-v1"' "${BENCH_JSON}"
+  grep -q '"schema": "convoy-bench-hotpath-v2"' "${BENCH_JSON}"
+  grep -q '"phases"' "${BENCH_JSON}"
   grep -q '"ns_per_op"' "${BENCH_JSON}"
   echo "ok: schema marker and result rows present (python3 unavailable)"
 fi
@@ -166,5 +178,63 @@ for needle in "algorithm:" "delta:" "lambda:"; do
   fi
 done
 echo "ok: --algo auto --explain prints the chosen algorithm and parameters"
+
+echo "== observability smoke (EXPLAIN ANALYZE, --trace, --report metrics) =="
+ANALYZE_OUT="$("${CLI}" --input "${SMOKE_DIR}/data.csv" --m 3 --k 60 --e 8.0 \
+                        --algo "cuts*" --explain-analyze \
+                        --trace "${SMOKE_DIR}/trace.json" \
+                        --report "${SMOKE_DIR}/report.json")"
+for needle in "analyze" "dbscan.points_scanned" "filter.partition"; do
+  if ! grep -q "${needle}" <<< "${ANALYZE_OUT}"; then
+    echo "FAIL: --explain-analyze output lacks '${needle}':"
+    echo "${ANALYZE_OUT}"
+    exit 1
+  fi
+done
+echo "ok: --explain-analyze prints measured counters and spans"
+
+if [[ ! -s "${SMOKE_DIR}/trace.json" ]]; then
+  echo "FAIL: --trace did not produce trace.json"
+  exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${SMOKE_DIR}/trace.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+# Chrome trace-event JSON Object Format: {"traceEvents": [...]}. Each
+# event needs ph + pid/tid, "X" complete events need name/ts/dur, and
+# every recording thread gets an "M" thread_name metadata record.
+events = doc["traceEvents"] if isinstance(doc, dict) else doc
+assert isinstance(events, list) and events, "empty trace"
+complete = [e for e in events if e.get("ph") == "X"]
+meta = [e for e in events if e.get("ph") == "M"]
+assert complete, "no complete (ph=X) span events"
+assert any(e.get("name") == "thread_name" for e in meta), "no track names"
+for e in complete:
+    assert {"name", "ts", "dur", "pid", "tid"} <= set(e), e
+names = {e["name"] for e in complete}
+for needed in ("prepare", "execute"):
+    assert needed in names, f"missing span: {needed}"
+print(f"ok: {len(complete)} spans on"
+      f" {len({e['tid'] for e in complete})} track(s)")
+PYEOF
+  python3 - "${SMOKE_DIR}/report.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+metrics = doc["metrics"]
+assert metrics["enabled"] is True, "metrics block disabled despite --trace"
+assert metrics["counters"]["dbscan.points_scanned"] > 0, metrics["counters"]
+assert metrics["spans"], "no span aggregates in report"
+print("ok: --report carries an enabled metrics block")
+PYEOF
+else
+  grep -q '"ph":"X"' "${SMOKE_DIR}/trace.json"
+  grep -q '"thread_name"' "${SMOKE_DIR}/trace.json"
+  grep -q '"metrics":{"enabled":true' "${SMOKE_DIR}/report.json"
+  echo "ok: trace and report markers present (python3 unavailable)"
+fi
+echo "ok: --trace emits Perfetto-loadable Chrome trace-event JSON"
 
 echo "== all checks passed =="
