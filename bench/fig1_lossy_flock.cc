@@ -30,7 +30,8 @@ convoy::TrajectoryDatabase LinearFormation(size_t n, double gap, long ticks,
   for (size_t id = n; id < n + 4; ++id) {
     convoy::Trajectory traj(static_cast<convoy::ObjectId>(id));
     for (long t = 0; t < ticks; ++t) {
-      traj.Append(static_cast<double>(t) * 3.0, 500.0 + 100.0 * id, t);
+      traj.Append(static_cast<double>(t) * 3.0,
+                  500.0 + 100.0 * static_cast<double>(id), t);
     }
     db.Add(std::move(traj));
   }

@@ -123,8 +123,8 @@ std::vector<Point> ShapePoints(GridShape shape, size_t n) {
     case kDenseCells: {
       const size_t side = static_cast<size_t>(std::sqrt(double(n))) + 1;
       for (size_t i = 0; i < n; ++i) {
-        points.emplace_back((i % side) * 10.0 + 0.5,
-                            (i / side) * 10.0 + 0.5);
+        points.emplace_back(static_cast<double>(i % side) * 10.0 + 0.5,
+                            static_cast<double>(i / side) * 10.0 + 0.5);
       }
       break;
     }

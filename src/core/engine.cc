@@ -62,6 +62,9 @@ ConvoyEngine::SimplifiedFor(SimplifierKind kind, double delta, size_t threads,
         SimplifyDatabase(db_, delta, kind, threads));
     lock.lock();
     it = cache_.emplace(key, std::move(computed)).first;
+    // Relaxed (both counters): independent monotone tallies surfaced by
+    // StoreMetrics, which tolerates missing in-flight increments; they
+    // order nothing — the cache entry itself is published under cache_mu_.
     simplify_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   } else {
     if (cache_hit != nullptr) *cache_hit = true;
@@ -122,6 +125,8 @@ EngineStoreMetrics ConvoyEngine::StoreMetrics() const {
   if (const std::shared_ptr<const SnapshotStore> store = PeekStore()) {
     m.store = store->CacheMetrics();
   }
+  // Relaxed loads: tally reads need no ordering with the cache they
+  // describe (see the fetch_add sites in SimplifiedFor).
   m.simplify_cache_hits =
       simplify_cache_hits_.load(std::memory_order_relaxed);
   m.simplify_cache_misses =

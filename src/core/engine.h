@@ -215,23 +215,28 @@ class ConvoyEngine {
                           DiscoveryStats* external_stats = nullptr) const;
 
   TrajectoryDatabase db_;
-  /// Guards cache_, db_stats_ (+ generation), and store_.
+  /// Guards cache_, db_stats_ (+ generation), and store_. The GUARDED_BY
+  /// comments below are machine-checked by tools/lint (guarded-member):
+  /// mutating an annotated member in a function that never takes the
+  /// named mutex is a lint error.
   mutable std::mutex cache_mu_;
   mutable std::map<CacheKey,
                    std::shared_ptr<const std::vector<SimplifiedTrajectory>>>
-      cache_;
-  mutable std::optional<DatabaseStats> db_stats_;
-  mutable uint64_t db_stats_generation_ = 0;
+      cache_;                                  // GUARDED_BY(cache_mu_)
+  mutable std::optional<DatabaseStats> db_stats_;  // GUARDED_BY(cache_mu_)
+  mutable uint64_t db_stats_generation_ = 0;   // GUARDED_BY(cache_mu_)
   /// The tick-partitioned store, built lazily and invalidated when its
   /// built_generation falls behind db_.generation() (impossible through
   /// the engine's own const surface — belt and braces for future mutable
   /// entry points). shared_ptr so in-flight executions keep their store
   /// alive across a rebuild.
-  mutable std::shared_ptr<const SnapshotStore> store_;
+  mutable std::shared_ptr<const SnapshotStore>
+      store_;                                  // GUARDED_BY(cache_mu_)
   /// Generation at which the store was last declined as over budget, so
   /// repeated queries against an over-budget database do not re-pay the
   /// O(N) estimate on every Prepare/Execute.
-  mutable std::optional<uint64_t> store_declined_generation_;
+  mutable std::optional<uint64_t>
+      store_declined_generation_;              // GUARDED_BY(cache_mu_)
   /// Engine-lifetime simplification-cache counters (see StoreMetrics).
   /// Atomic rather than cache_mu_-guarded: SimplifiedFor counts its result
   /// after dropping the lock.

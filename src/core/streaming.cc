@@ -72,6 +72,9 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
 
   // Carry forward recently seen objects that stayed silent this tick.
   if (options_.carry_forward_ticks > 0) {
+    // Keyed inserts into snapshot_; the resulting map contents are
+    // iteration-order-free.
+    // convoy-lint: allow-line(unordered-iter)
     for (const auto& [id, seen] : last_seen_) {
       if (snapshot_.count(id) > 0) continue;
       if (t - seen.tick <= options_.carry_forward_ticks) {
@@ -79,6 +82,9 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
       }
     }
   }
+  // Keyed upsert per id; the resulting last_seen_ contents are
+  // iteration-order-free.
+  // convoy-lint: allow-line(unordered-iter)
   for (const auto& [id, pos] : snapshot_) {
     last_seen_[id] = LastSeen{pos, t};
   }
@@ -94,9 +100,17 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
     gather_ids_.clear();
     gather_points_.reserve(snapshot_.size());
     gather_ids_.reserve(snapshot_.size());
-    for (const auto& [id, pos] : snapshot_) {
-      gather_ids_.push_back(id);
-      gather_points_.push_back(pos);
+    // Gather in ascending id order, never hash-map order: DBSCAN assigns
+    // a border point to whichever core point reaches it first, so the
+    // cluster input order must be a pure function of the reported
+    // (id, position) set. unordered_map iteration order depends on
+    // bucket history (and standard-library version) — feeding it to the
+    // clusterer made identical ticks potentially cluster differently.
+    // convoy-lint: allow-line(unordered-iter) — keys only; sorted below.
+    for (const auto& [id, pos] : snapshot_) gather_ids_.push_back(id);
+    std::sort(gather_ids_.begin(), gather_ids_.end());
+    for (const ObjectId id : gather_ids_) {
+      gather_points_.push_back(snapshot_.find(id)->second);
     }
     clusters = ClusterSnapshot(gather_points_, gather_ids_, query_,
                                &clustered, &dbscan_scratch_);

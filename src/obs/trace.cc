@@ -64,6 +64,8 @@ void SetTraceThreadLabel(const char* label) { trace_thread_label = label; }
 const char* GetTraceThreadLabel() { return trace_thread_label; }
 
 TraceSession::TraceSession()
+    // Relaxed: the counter only needs uniqueness (atomic RMW guarantees
+    // distinct values); it orders nothing and nobody reads it back.
     : session_id_(next_session_id.fetch_add(1, std::memory_order_relaxed)),
       origin_(std::chrono::steady_clock::now()) {}
 
@@ -95,33 +97,50 @@ TraceSession::ThreadBuf* TraceSession::LocalBuf() {
 }
 
 void TraceSession::Count(TraceCounter c, uint64_t delta) {
-  LocalBuf()->counts[static_cast<size_t>(c)] += delta;
+  // Relaxed: this cell's only writer is the calling thread, and readers
+  // merging mid-run accept a monotone approximation (see ThreadBuf).
+  LocalBuf()->counts[static_cast<size_t>(c)].fetch_add(
+      delta, std::memory_order_relaxed);
 }
 
 void TraceSession::CountMax(TraceCounter c, uint64_t value) {
-  uint64_t& slot = LocalBuf()->maxes[static_cast<size_t>(c)];
-  slot = std::max(slot, value);
+  std::atomic<uint64_t>& slot = LocalBuf()->maxes[static_cast<size_t>(c)];
+  // Single-writer max: a plain load-compare-store would suffice for the
+  // owning thread, but the CAS keeps the cell's value transitions atomic
+  // for concurrent readers (relaxed for the same reasons as Count).
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<double>* TraceSession::SeriesSlot(ThreadBuf* buf,
                                               const char* name) {
+  // Precondition: the caller holds buf->buf_mu (sole caller is Observe).
   // Series are few (a handful of names, observed from one or two sites),
   // so a strcmp scan beats a map — and pointer identity alone would tie
   // correctness to string literal merging across translation units.
   for (auto& [existing, values] : buf->series) {
     if (existing == name || std::strcmp(existing, name) == 0) return &values;
   }
+  // convoy-lint: allow-line(guarded-member) — lock held by caller, above.
   buf->series.emplace_back(name, std::vector<double>{});
   return &buf->series.back().second;
 }
 
 void TraceSession::Observe(const char* series, double value) {
-  SeriesSlot(LocalBuf(), series)->push_back(value);
+  ThreadBuf* buf = LocalBuf();
+  // The buffer's own mutex, not the session's: uncontended unless a
+  // reader is merging this very buffer, and never shared between
+  // recording threads.
+  std::lock_guard<std::mutex> lock(buf->buf_mu);
+  SeriesSlot(buf, series)->push_back(value);
 }
 
 void TraceSession::RecordSpan(const char* name, uint64_t start_ns,
                               uint64_t end_ns) {
   ThreadBuf* buf = LocalBuf();
+  std::lock_guard<std::mutex> lock(buf->buf_mu);
   buf->events.push_back(TraceEvent{
       name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0,
       buf->track});
@@ -132,8 +151,12 @@ uint64_t TraceSession::counter(TraceCounter c) const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& buf : bufs_) {
-    total = IsMaxCounter(c) ? std::max(total, buf->maxes[i])
-                            : total + buf->counts[i];
+    // Relaxed loads: exact once recorders have joined (the join is the
+    // synchronization point); a monotone approximation while they run.
+    total = IsMaxCounter(c)
+                ? std::max(total,
+                           buf->maxes[i].load(std::memory_order_relaxed))
+                : total + buf->counts[i].load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -142,6 +165,7 @@ std::vector<TraceEvent> TraceSession::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> merged;
   for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->buf_mu);
     merged.insert(merged.end(), buf->events.begin(), buf->events.end());
   }
   return merged;
@@ -160,8 +184,11 @@ QueryMetrics TraceSession::Metrics() const {
   for (size_t i = 0; i < kNumTraceCounters; ++i) {
     uint64_t total = 0;
     for (const auto& buf : bufs_) {
-      total = kCounterInfo[i].is_max ? std::max(total, buf->maxes[i])
-                                     : total + buf->counts[i];
+      // Relaxed loads: see counter() — exact after recorders join.
+      const uint64_t cell =
+          (kCounterInfo[i].is_max ? buf->maxes[i] : buf->counts[i])
+              .load(std::memory_order_relaxed);
+      total = kCounterInfo[i].is_max ? std::max(total, cell) : total + cell;
     }
     m.counters[i] = total;
   }
@@ -169,6 +196,7 @@ QueryMetrics TraceSession::Metrics() const {
   // Span aggregates by name, map-sorted so the rendered order is stable.
   std::map<std::string, QueryMetrics::SpanAggregate> spans;
   for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->buf_mu);
     for (const TraceEvent& e : buf->events) {
       QueryMetrics::SpanAggregate& agg = spans[e.name];
       agg.name = e.name;
@@ -183,6 +211,7 @@ QueryMetrics TraceSession::Metrics() const {
   // concatenation order cannot change the summary.
   std::map<std::string, std::vector<double>> series;
   for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->buf_mu);
     for (const auto& [name, values] : buf->series) {
       std::vector<double>& merged = series[name];
       merged.insert(merged.end(), values.begin(), values.end());
@@ -224,6 +253,7 @@ void TraceSession::WriteChromeTrace(std::ostream& out) const {
         << buf->track << "\"}}";
   }
   for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->buf_mu);
     for (const TraceEvent& e : buf->events) {
       comma();
       // Complete ("X") events; ts/dur in microseconds per the trace-event

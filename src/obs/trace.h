@@ -2,6 +2,7 @@
 #define CONVOY_OBS_TRACE_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -81,11 +82,18 @@ const char* GetTraceThreadLabel();
 /// or refinement unit), never per point.
 ///
 /// Thread model: each recording thread lazily registers a private buffer
-/// (spans + counter array + series), so recording from ThreadPool workers
-/// is lock-free after the first touch; buffers are merged under a mutex
-/// when a sink (Metrics / events / Chrome trace export) reads them. Do not
-/// read a session concurrently with recording — the engine only snapshots
-/// after the algorithm's workers have joined.
+/// (spans + counter array + series), so counter recording from ThreadPool
+/// workers is lock-free after the first touch (relaxed atomics on cells
+/// owned by one writer); span/series recording takes the buffer's own
+/// mutex, uncontended in the steady state because spans are per-phase,
+/// never per-point. Reads (Metrics / counter / Events / Chrome trace
+/// export) merge the buffers under the session mutex plus each buffer's
+/// mutex, so reading WHILE recording is safe: a live read returns a
+/// monotone approximation (some in-flight tallies may be missing), and a
+/// read after the recording threads joined is exact — joining
+/// happens-before the read, so even relaxed counter cells are final.
+/// This is what lets a monitor thread poll Metrics() against a live
+/// StreamingCmc without stopping the stream.
 ///
 /// Determinism: counter totals are bit-identical at 1/2/8 threads (integer
 /// sums over deterministic per-unit tallies); span timings and Observe()d
@@ -137,21 +145,34 @@ class TraceSession {
 
  private:
   struct ThreadBuf {
-    std::array<uint64_t, kNumTraceCounters> counts{};
-    std::array<uint64_t, kNumTraceCounters> maxes{};
-    std::vector<TraceEvent> events;
-    std::vector<std::pair<const char*, std::vector<double>>> series;
+    /// Counter cells are relaxed atomics: each cell has exactly one
+    /// writer (the owning thread) and any number of merging readers.
+    /// The cells are independent monotone tallies — no cross-cell
+    /// ordering is meaningful — so relaxed is sufficient: a concurrent
+    /// read sees some valid earlier value (monotone approximation), and
+    /// the join of the recording threads before a final read supplies
+    /// the happens-before that makes quiescent totals exact.
+    std::array<std::atomic<uint64_t>, kNumTraceCounters> counts{};
+    std::array<std::atomic<uint64_t>, kNumTraceCounters> maxes{};
+    /// Guards this buffer's events and series only. Taken by the owning
+    /// thread per span/observation (rare — per phase, never per point)
+    /// and by readers during a merge, so live exports cannot race
+    /// recording.
+    std::mutex buf_mu;
+    std::vector<TraceEvent> events;  // GUARDED_BY(buf_mu)
+    std::vector<std::pair<const char*, std::vector<double>>>
+        series;                      // GUARDED_BY(buf_mu)
     uint32_t track = 0;
     const char* label = "main";
   };
 
   ThreadBuf* LocalBuf();
-  std::vector<double>* SeriesSlot(ThreadBuf* buf, const char* name);
+  static std::vector<double>* SeriesSlot(ThreadBuf* buf, const char* name);
 
   const uint64_t session_id_;  ///< process-unique, keys the thread cache
   const std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;  ///< guards bufs_ registration and merged reads
-  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;  // GUARDED_BY(mu_)
 };
 
 /// RAII span guarded for a null session — the one-branch-per-phase idiom:

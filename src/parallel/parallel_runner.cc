@@ -118,10 +118,10 @@ std::vector<Convoy> ParallelCmcRange(const TrajectoryDatabase& db,
   TraceSession* const trace = TraceOf(hooks);
   return ParallelCmcRangeImpl(
       query, begin_tick, end_tick, options, stats, threads, hooks,
-      [&](Tick t, bool* clustered, SnapshotScratch* scratch) {
+      [&](Tick t, bool* clustered, SnapshotScratch* worker_scratch) {
         std::vector<std::vector<ObjectId>> clusters =
-            SnapshotClusters(db, t, query, clustered, scratch);
-        if (*clustered) TraceDbscanRun(trace, scratch->dbscan.tally);
+            SnapshotClusters(db, t, query, clustered, worker_scratch);
+        if (*clustered) TraceDbscanRun(trace, worker_scratch->dbscan.tally);
         return clusters;
       });
 }
@@ -151,12 +151,12 @@ std::vector<Convoy> ParallelCmcRange(const SnapshotStore& store,
   TraceSession* const trace = TraceOf(hooks);
   return ParallelCmcRangeImpl(
       query, begin_tick, end_tick, options, stats, threads, hooks,
-      [&](Tick t, bool* clustered, SnapshotScratch* scratch) {
+      [&](Tick t, bool* clustered, SnapshotScratch* worker_scratch) {
         bool grid_hit = false;
         std::vector<std::vector<ObjectId>> clusters = SnapshotClusters(
-            store, t, query, clustered, &scratch->dbscan, &grid_hit);
+            store, t, query, clustered, &worker_scratch->dbscan, &grid_hit);
         if (*clustered) {
-          TraceDbscanRun(trace, scratch->dbscan.tally);
+          TraceDbscanRun(trace, worker_scratch->dbscan.tally);
           TraceCount(trace,
                      grid_hit ? TraceCounter::kGridCacheHits
                               : TraceCounter::kGridCacheMisses,

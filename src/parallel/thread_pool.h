@@ -69,11 +69,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Written only by the constructor / joined by the destructor; never
+  /// touched by workers, so no guard.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;  // GUARDED_BY(mu_)
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ = false;                        // GUARDED_BY(mu_)
 };
 
 }  // namespace convoy

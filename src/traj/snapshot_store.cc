@@ -164,6 +164,9 @@ std::shared_ptr<const GridIndex> SnapshotStore::GridFor(
   std::unique_lock<std::mutex> lock(grid_cache_->mu);
   const auto it = grid_cache_->grids.find(key);
   if (it != grid_cache_->grids.end()) {
+    // Relaxed (here and for misses/evictions below): independent monotone
+    // tallies read only by CacheMetrics, which documents that concurrent
+    // reads are approximations — no ordering with the cache state needed.
     grid_cache_->hits.fetch_add(1, std::memory_order_relaxed);
     if (cache_hit != nullptr) *cache_hit = true;
     return it->second;
@@ -227,6 +230,9 @@ size_t SnapshotStore::GridCacheSize() const {
 
 StoreCacheMetrics SnapshotStore::CacheMetrics() const {
   StoreCacheMetrics m;
+  // Relaxed loads: lifetime tallies, exact once queries are quiescent;
+  // a read racing GridFor may miss in-flight increments (documented in
+  // StoreCacheMetrics), which needs no cross-counter ordering.
   m.grid_cache_hits = grid_cache_->hits.load(std::memory_order_relaxed);
   m.grid_cache_misses = grid_cache_->misses.load(std::memory_order_relaxed);
   m.grid_evictions = grid_cache_->evictions.load(std::memory_order_relaxed);

@@ -190,9 +190,11 @@ class SnapshotStore {
   struct GridCache {
     mutable std::mutex mu;
     std::map<std::pair<Tick, uint64_t>, std::shared_ptr<const GridIndex>>
-        grids;
-    std::vector<uint64_t> eps_order;  ///< distinct eps, oldest first
-    size_t cached_slots = 0;  ///< sum of FootprintSlots over cached grids
+        grids;                        // GUARDED_BY(mu)
+    /// Distinct eps, oldest first.
+    std::vector<uint64_t> eps_order;  // GUARDED_BY(mu)
+    /// Sum of FootprintSlots over cached grids.
+    size_t cached_slots = 0;          // GUARDED_BY(mu)
     /// Lifetime counters (StoreCacheMetrics). Atomic because hits are
     /// counted after the lock drops; riding in the unique_ptr'd cache
     /// keeps the store movable.

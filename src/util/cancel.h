@@ -47,10 +47,15 @@ class CancelToken {
   /// Requests cancellation (no-op on an inert token). Thread-safe; calling
   /// it more than once is harmless.
   void RequestCancel() const {
+    // Relaxed: the flag is a monotone one-way latch carrying no payload —
+    // observers act on the flag alone, so no acquire/release pairing is
+    // needed, only eventual visibility (which atomicity provides).
     if (flag_) flag_->store(true, std::memory_order_relaxed);
   }
 
   bool IsCancelled() const {
+    // Relaxed: pure flag poll; a stale false only delays cancellation by
+    // one check, it cannot order any other memory access.
     return flag_ && flag_->load(std::memory_order_relaxed);
   }
 

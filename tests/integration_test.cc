@@ -87,8 +87,8 @@ std::vector<ScenarioCase> MakeCases() {
 
 INSTANTIATE_TEST_SUITE_P(Presets, ScenarioIntegrationTest,
                          ::testing::ValuesIn(MakeCases()),
-                         [](const auto& info) {
-                           return std::string(info.param.label);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.label);
                          });
 
 TEST(IntegrationTest, ProjectedRefinementFindsPlantedConvoysToo) {

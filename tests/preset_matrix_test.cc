@@ -87,8 +87,8 @@ std::vector<MatrixCase> MakeMatrix() {
 
 INSTANTIATE_TEST_SUITE_P(AllPresets, PresetMatrixTest,
                          ::testing::ValuesIn(MakeMatrix()),
-                         [](const auto& info) {
-                           return info.param.label;
+                         [](const auto& param_info) {
+                           return param_info.param.label;
                          });
 
 }  // namespace

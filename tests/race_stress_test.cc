@@ -1,0 +1,311 @@
+// Race-stress suite: hammers every documented concurrent entry point so a
+// ThreadSanitizer build (preset `tsan`, CI job `tsan`) can prove the
+// thread-safety contracts instead of taking the comments' word for them.
+// The tests also run — and must pass — in plain builds, where they check
+// the *results* of concurrent use (determinism across threads, exact
+// counter totals after joins); under TSan they additionally check the
+// synchronization itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cluster/grid_index.h"
+#include "core/engine.h"
+#include "core/streaming.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+#include "traj/snapshot_store.h"
+#include "util/random.h"
+
+namespace convoy {
+namespace {
+
+using testutil::RandomClumpyDb;
+
+// Serializes a convoy result into a comparable fingerprint.
+std::string Fingerprint(const std::vector<Convoy>& convoys) {
+  std::ostringstream out;
+  for (const Convoy& c : convoys) {
+    out << c.start_tick << ":" << c.end_tick << "[";
+    for (const ObjectId id : c.objects) out << id << ",";
+    out << "];";
+  }
+  return out.str();
+}
+
+// Many threads sharing one ConvoyEngine: concurrent Prepare/Execute and
+// legacy Discover calls race on the simplification cache, the memoized
+// stats, and the lazily built SnapshotStore. Every thread must get the
+// bit-identical result the engine produces single-threaded.
+TEST(RaceStressTest, ConcurrentPrepareExecuteDiscoverOneEngine) {
+  Rng rng(20260807);
+  ConvoyEngine engine(RandomClumpyDb(rng, 30, 24, 50.0, 1.0));
+  const ConvoyQuery query{3, 5, 4.0};
+
+  std::string expected_exec;
+  {
+    const auto plan = engine.Prepare(query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    const auto result = engine.Execute(*plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected_exec = Fingerprint(result->convoys());
+  }
+  const std::string expected_discover = Fingerprint(engine.Discover(query));
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 8;
+  std::vector<std::string> exec_prints(kThreads);
+  std::vector<std::string> discover_prints(kThreads);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kItersPerThread; ++i) {
+          const auto plan = engine.Prepare(query);
+          if (!plan.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          const auto result = engine.Execute(*plan);
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          exec_prints[static_cast<size_t>(t)] =
+              Fingerprint(result->convoys());
+          discover_prints[static_cast<size_t>(t)] =
+              Fingerprint(engine.Discover(query));
+          // Metrics reads racing the queries above (from sibling threads)
+          // must be safe and monotone-consistent.
+          const EngineStoreMetrics m = engine.StoreMetrics();
+          if (m.simplify_cache_hits + m.simplify_cache_misses == 0 &&
+              i > 0) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(exec_prints[static_cast<size_t>(t)], expected_exec)
+        << "thread " << t;
+    EXPECT_EQ(discover_prints[static_cast<size_t>(t)], expected_discover)
+        << "thread " << t;
+  }
+}
+
+// GridFor builders racing readers during eviction churn: more distinct eps
+// values than kMaxCachedEpsValues cycle through the cache while other
+// threads poll GridCacheSize / CacheMetrics. Returned grids must stay
+// usable even after their eps is evicted (shared_ptr keeps them alive).
+TEST(RaceStressTest, GridCacheEvictionVsConcurrentReaders) {
+  Rng rng(42);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 25, 20, 40.0, 1.0);
+  const SnapshotStore store = SnapshotStore::Build(db);
+  ASSERT_FALSE(store.Empty());
+
+  // Twice the cache bound, so steady-state request traffic keeps evicting.
+  const size_t num_eps = 2 * SnapshotStore::kMaxCachedEpsValues;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> gridfor_calls{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> builders;
+  for (int t = 0; t < 2; ++t) {
+    builders.emplace_back([&, t] {
+      for (int round = 0; round < 40; ++round) {
+        for (size_t e = 0; e < num_eps; ++e) {
+          const double eps = 2.0 + 0.5 * static_cast<double>(e);
+          const Tick tick =
+              store.begin_tick() +
+              static_cast<Tick>((round + t) % static_cast<int>(
+                                    std::max<size_t>(store.NumTicks(), 1)));
+          const std::shared_ptr<const GridIndex> grid =
+              store.GridFor(tick, eps);
+          gridfor_calls.fetch_add(1);
+          if (grid == nullptr) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)store.GridCacheSize();
+      const StoreCacheMetrics m = store.CacheMetrics();
+      if (m.grid_cache_hits + m.grid_cache_misses >
+          gridfor_calls.load() + 1000000) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  for (std::thread& th : builders) th.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const StoreCacheMetrics final_metrics = store.CacheMetrics();
+  // Quiescent totals are exact: every GridFor was either a hit or a miss.
+  EXPECT_EQ(final_metrics.grid_cache_hits + final_metrics.grid_cache_misses,
+            gridfor_calls.load());
+  EXPECT_GT(final_metrics.grid_evictions, 0u);
+  EXPECT_LE(store.GridCacheSize(),
+            SnapshotStore::kMaxCachedEpsValues * store.NumTicks());
+}
+
+// TraceSession merged reads racing the recording threads: recorders spin
+// on Count/CountMax/Observe/RecordSpan while readers concurrently pull
+// Metrics(), counter(), Events() and the Chrome trace export. Totals must
+// be exact after the join; live reads must be safe and monotone.
+TEST(RaceStressTest, TraceSessionLiveReadsVsRecorders) {
+  TraceSession trace;
+  constexpr int kRecorders = 3;
+  constexpr uint64_t kIncrementsPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kRecorders; ++t) {
+    recorders.emplace_back([&, t] {
+      SetTraceThreadLabel("stress-recorder");
+      for (uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+        trace.Count(TraceCounter::kTrackerSteps, 1);
+        trace.CountMax(TraceCounter::kTrackerLiveMax,
+                       static_cast<uint64_t>(t) * kIncrementsPerThread + i);
+        if (i % 64 == 0) {
+          trace.Observe("stress.series", static_cast<double>(i));
+          const uint64_t now = trace.NowNs();
+          trace.RecordSpan("stress.span", now, now + 10);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_total = 0;
+      while (!stop.load()) {
+        const uint64_t total = trace.counter(TraceCounter::kTrackerSteps);
+        if (total < last_total) failures.fetch_add(1);  // must be monotone
+        last_total = total;
+        const QueryMetrics m = trace.Metrics();
+        if (m.counters[static_cast<size_t>(TraceCounter::kTrackerSteps)] <
+            last_total / 2) {
+          // Heuristic staleness check only — the real assertion is TSan's.
+          (void)m;
+        }
+        (void)trace.Events();
+        std::ostringstream sink;
+        trace.WriteChromeTrace(sink);
+      }
+    });
+  }
+  for (std::thread& th : recorders) th.join();
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // After the join the relaxed counter cells are exact.
+  EXPECT_EQ(trace.counter(TraceCounter::kTrackerSteps),
+            kRecorders * kIncrementsPerThread);
+  EXPECT_EQ(trace.counter(TraceCounter::kTrackerLiveMax),
+            (kRecorders - 1) * kIncrementsPerThread +
+                (kIncrementsPerThread - 1));
+  const QueryMetrics metrics = trace.Metrics();
+  EXPECT_EQ(
+      metrics.counters[static_cast<size_t>(TraceCounter::kTrackerSteps)],
+      kRecorders * kIncrementsPerThread);
+}
+
+// A live StreamingCmc ticking away while a monitor thread polls the
+// attached trace — the monitoring pattern the TraceSession thread-model
+// comment promises is safe.
+TEST(RaceStressTest, StreamingTicksVsTraceReads) {
+  TraceSession trace;
+  StreamingCmc stream(ConvoyQuery{2, 3, 3.0});
+  stream.set_trace(&trace);
+
+  std::atomic<bool> stop{false};
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      (void)trace.Metrics();
+      (void)trace.counter(TraceCounter::kSnapshotsClustered);
+      std::ostringstream sink;
+      trace.WriteChromeTrace(sink);
+    }
+  });
+
+  constexpr Tick kTicks = 150;
+  size_t total_convoys = 0;
+  for (Tick t = 0; t < kTicks; ++t) {
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    for (ObjectId id = 0; id < 6; ++id) {
+      const double x = static_cast<double>(t) +
+                       (id < 3 ? 0.0 : 40.0) +
+                       0.1 * static_cast<double>(id % 3);
+      ASSERT_TRUE(stream.Report(id, Point(x, 0.0)).ok());
+    }
+    const auto out = stream.EndTick();
+    ASSERT_TRUE(out.ok());
+    total_convoys += out->size();
+  }
+  const auto rest = stream.Finish();
+  ASSERT_TRUE(rest.ok());
+  total_convoys += rest->size();
+  stop.store(true);
+  monitor.join();
+
+  EXPECT_GT(total_convoys, 0u);
+  EXPECT_EQ(trace.counter(TraceCounter::kSnapshotsClustered),
+            static_cast<uint64_t>(kTicks));
+}
+
+// StoreMetrics readers racing first-use store construction: the very
+// first Discover builds the SnapshotStore while other threads poll the
+// engine's metrics surface and PeekStore.
+TEST(RaceStressTest, StoreMetricsVsFirstDiscover) {
+  Rng rng(7);
+  ConvoyEngine engine(RandomClumpyDb(rng, 25, 20, 40.0, 1.0));
+  const ConvoyQuery query{3, 4, 4.0};
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const EngineStoreMetrics m = engine.StoreMetrics();
+      if (m.store.grid_cache_hits > 0 && m.store.grid_cache_misses == 0) {
+        failures.fetch_add(1);  // a hit without any prior miss is impossible
+      }
+      (void)engine.PeekStore();
+      (void)engine.CacheSize();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  std::vector<std::string> prints(3);
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      prints[static_cast<size_t>(t)] = Fingerprint(engine.Discover(query));
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(prints[1], prints[0]);
+  EXPECT_EQ(prints[2], prints[0]);
+}
+
+}  // namespace
+}  // namespace convoy

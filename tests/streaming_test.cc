@@ -23,7 +23,9 @@ std::vector<Convoy> RunStream(const TrajectoryDatabase& db,
     EXPECT_TRUE(stream.BeginTick(t).ok());
     for (const Trajectory& traj : db.trajectories()) {
       const auto pos = InterpolateAt(traj, t);
-      if (pos.has_value()) EXPECT_TRUE(stream.Report(traj.id(), *pos).ok());
+      if (pos.has_value()) {
+        EXPECT_TRUE(stream.Report(traj.id(), *pos).ok());
+      }
     }
     for (Convoy& c : stream.EndTick().value()) out.push_back(std::move(c));
   }

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""convoy_lint — repo-specific invariant checks clang-tidy cannot know.
+
+The repo's headline guarantee is *determinism*: bit-identical convoy
+results and trace counters at any thread count. That guarantee rests on
+project-specific contracts (no wall-clock or RNG in result-producing
+code, no iteration-order dependence on hash containers, every StatusOr
+checked before use, threads only via src/parallel, mutex-guarded members
+mutated only under their mutex). This linter machine-checks them with
+fast, AST-light text analysis: comments and string literals are stripped
+first, so the rules only ever see code.
+
+Usage:
+    tools/lint/convoy_lint.py [--root REPO_ROOT] [PATH ...]
+
+PATH defaults to `src`. Paths are checked recursively for *.h / *.cc.
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+
+Suppressions (always carry a justification comment next to them):
+  * file-level:  `// convoy-lint: allow(<rule>)` anywhere in the file
+                 disables <rule> for the whole file;
+  * line-level:  `// convoy-lint: allow-line(<rule>)` disables <rule> on
+                 that line and, when the directive is the only thing on
+                 its line, on the following line.
+
+Rules live in tools/lint/rules/ — one module per rule, registered in
+rules/__init__.py. Each module exposes RULE (metadata) and
+check(source) -> [Finding]. `tools/lint/lint_selftest.py` seeds one
+violation per rule and asserts it fires, so a rule that silently stops
+matching fails CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINT_DIR = Path(__file__).resolve().parent
+if str(LINT_DIR) not in sys.path:
+    sys.path.insert(0, str(LINT_DIR))
+
+import rules  # noqa: E402  (needs the sys.path fix-up above)
+from lintcommon import (  # noqa: E402
+    Finding,
+    SourceFile,
+    strip_comments_and_strings,
+)
+
+ALLOW_FILE_RE = re.compile(r"convoy-lint:\s*allow\(([\w\-, ]+)\)")
+ALLOW_LINE_RE = re.compile(r"convoy-lint:\s*allow-line\(([\w\-, ]+)\)")
+
+
+def parse_directives(source: SourceFile) -> None:
+    """Collects allow()/allow-line() suppressions from the raw lines."""
+    for idx, line in enumerate(source.lines, start=1):
+        comment = line.partition("//")[2]
+        if not comment:
+            continue
+        for m in ALLOW_FILE_RE.finditer(comment):
+            for rule in m.group(1).split(","):
+                source.file_allows.add(rule.strip())
+        for m in ALLOW_LINE_RE.finditer(comment):
+            names = {r.strip() for r in m.group(1).split(",")}
+            source.line_allows.setdefault(idx, set()).update(names)
+            # A directive-only line also suppresses the line after it, so
+            # the justification comment can sit above the code it excuses.
+            if line.partition("//")[0].strip() == "":
+                source.line_allows.setdefault(idx + 1, set()).update(names)
+
+
+def load_source(abs_path: Path, rel_path: str) -> SourceFile:
+    text = abs_path.read_text(encoding="utf-8", errors="replace")
+    source = SourceFile(path=rel_path, abs_path=abs_path)
+    source.lines = text.split("\n")
+    source.code_lines = strip_comments_and_strings(text).split("\n")
+    parse_directives(source)
+    return source
+
+
+def discover_files(root: Path, targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = (root / target).resolve()
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*"))
+                if p.suffix in (".h", ".cc") and p.is_file()
+            )
+        else:
+            raise FileNotFoundError(f"no such lint target: {target}")
+    return files
+
+
+def lint_paths(root: Path, targets: list[str]) -> list[Finding]:
+    """Lints `targets` (files or directories) under repo root `root`."""
+    findings: list[Finding] = []
+    for abs_path in discover_files(root, targets):
+        rel = abs_path.relative_to(root).as_posix()
+        source = load_source(abs_path, rel)
+        for module in rules.ALL_RULES:
+            rule_id = module.RULE.name
+            for finding in module.check(source):
+                if not source.allowed(rule_id, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint, relative to --root "
+        "(default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(LINT_DIR.parent.parent),
+        help="repository root rule scopes are resolved against",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for module in rules.ALL_RULES:
+            rule = module.RULE
+            print(f"{rule.name}: {rule.description} (scope: {rule.scope})")
+        return 0
+
+    try:
+        findings = lint_paths(Path(args.root).resolve(), args.paths)
+    except FileNotFoundError as err:
+        print(f"convoy_lint: {err}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"convoy_lint: {len(findings)} finding(s). Suppress a "
+            "justified exception with `// convoy-lint: allow-line(<rule>)`.",
+            file=sys.stderr,
+        )
+        return 1
+    print("convoy_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

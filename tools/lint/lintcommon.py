@@ -1,0 +1,205 @@
+"""Shared types and text-analysis helpers for convoy_lint rules.
+
+Rule modules import from here (never from convoy_lint, which imports the
+rule registry — keeping this a leaf module avoids the cycle).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Directories whose code produces query results — the determinism rules
+#: (wallclock / rng / unordered-iter) apply here. util/, obs/, datagen/,
+#: io/, simplify/, geom/ and parallel/ are out of scope: telemetry and
+#: seeded generation may use clocks and RNGs, and none of them decide
+#: which convoys a query returns.
+RESULT_DIRS = ("src/core/", "src/cluster/", "src/traj/", "src/query/")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Rule metadata: stable id, one-line rationale, path scope."""
+
+    name: str
+    description: str
+    scope: str  # human-readable scope note for --list-rules
+
+
+@dataclass
+class Finding:
+    """One rule violation: file, 1-based line, rule id, message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file as the rules see it.
+
+    `lines` is the raw text split into lines; `code_lines` is the same
+    text with comments and string/char literals blanked out (replaced by
+    spaces, so line numbers and columns survive). Rules match against
+    `code_lines` so commented-out code and words inside strings can never
+    trip them, and read `lines` only for annotations that intentionally
+    live in comments (GUARDED_BY, suppression directives).
+    """
+
+    path: str  # repo-root-relative, forward slashes
+    abs_path: Path
+    lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)
+    file_allows: set[str] = field(default_factory=set)
+    line_allows: dict[int, set[str]] = field(default_factory=dict)
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """True when `rule` is suppressed at 1-based `line`."""
+        return rule in self.file_allows or rule in self.line_allows.get(
+            line, set()
+        )
+
+    def in_result_dirs(self) -> bool:
+        return self.path.startswith(RESULT_DIRS)
+
+    def sibling_header_text(self) -> str:
+        """Stripped code of the paired .h for a .cc file ("" if none).
+
+        Member declarations usually live in the header while mutations
+        live in the .cc; rules that correlate the two (unordered-iter,
+        guarded-member) scan both.
+        """
+        if not self.path.endswith(".cc"):
+            return ""
+        header = self.abs_path.with_suffix(".h")
+        if not header.is_file():
+            return ""
+        return strip_comments_and_strings(
+            header.read_text(encoding="utf-8", errors="replace")
+        )
+
+    def sibling_header_raw(self) -> str:
+        """Raw text of the paired .h (comments intact, for annotations)."""
+        if not self.path.endswith(".cc"):
+            return ""
+        header = self.abs_path.with_suffix(".h")
+        if not header.is_file():
+            return ""
+        return header.read_text(encoding="utf-8", errors="replace")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving layout.
+
+    Handles //, /* */, "..." with escapes, '...' with escapes, and raw
+    strings R"delim(...)delim". Every stripped character becomes a space
+    (newlines are kept), so offsets in the result line up with the
+    original — rules report real line numbers.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                # R"delim( ... )delim" — the only string form that can
+                # contain unescaped quotes and newlines.
+                m = re.match(r'\AR"([^\s()\\]{0,16})\(', text[i - 1 : i + 20])
+                if i > 0 and text[i - 1] == "R" and m:
+                    state = RAW
+                    raw_terminator = ")" + m.group(1) + '"'
+                    i += 1
+                    continue
+                state = STRING
+                i += 1
+                continue
+            if c == "'":
+                # Digit separators (1'000'000) are not char literals.
+                if i > 0 and (text[i - 1].isdigit()):
+                    i += 1
+                    continue
+                state = CHAR
+                i += 1
+                continue
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and nxt:
+                out[i] = " "
+                if nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+        elif state == RAW:
+            if text.startswith(raw_terminator, i):
+                for j in range(len(raw_terminator)):
+                    out[i + j] = " "
+                i += len(raw_terminator)
+                state = NORMAL
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+    return "".join(out)
+
+
+def function_start_line(code_lines: list[str], at_line: int) -> int:
+    """1-based line where the function enclosing `at_line` begins.
+
+    Heuristic for clang-format'd code: function bodies are delimited by a
+    closing brace in column 0 (`}` alone, or `};` for classes). The
+    enclosing function of a line is everything after the most recent such
+    boundary. Lambdas nested inside a function stay inside its region —
+    exactly what the lock-before-mutation and checked-before-value scans
+    want.
+    """
+    for idx in range(at_line - 2, -1, -1):
+        stripped = code_lines[idx].rstrip()
+        if stripped in ("}", "};") and code_lines[idx].startswith("}"):
+            return idx + 2
+    return 1
+
+
+def iter_code(source: SourceFile):
+    """Yields (1-based line number, stripped code line)."""
+    yield from enumerate(source.code_lines, start=1)

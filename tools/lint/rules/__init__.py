@@ -1,0 +1,27 @@
+"""Rule registry for convoy_lint.
+
+Adding a rule: create a module here exposing `RULE` (lintcommon.Rule)
+and `check(source: SourceFile) -> list[Finding]`, append it to
+ALL_RULES, and add a seeded-violation case to lint_selftest.py — the
+self-test fails if any registered rule never fires.
+"""
+
+from rules import (
+    guarded_member,
+    naked_new,
+    raw_thread,
+    rng,
+    statusor_value,
+    unordered_iter,
+    wallclock,
+)
+
+ALL_RULES = [
+    wallclock,
+    rng,
+    unordered_iter,
+    statusor_value,
+    naked_new,
+    raw_thread,
+    guarded_member,
+]

@@ -1,0 +1,108 @@
+"""guarded-member — mutations of GUARDED_BY members need their lock.
+
+Members whose declaration carries a `// GUARDED_BY(mutex_name)` comment
+(the repo's lightweight stand-in for clang's thread-safety annotations,
+which plain comments keep toolchain-independent) may only be mutated in
+functions that visibly take that mutex first. The check is textual but
+catches the real mistake class: a new code path that writes a guarded
+member with no lock anywhere in sight.
+
+Detection: annotations are harvested from the file AND its paired
+header (declarations usually live in the .h, mutations in the .cc).
+A mutation is an assignment, compound assignment, increment, or a call
+of a known mutating container method on the member. It passes if,
+earlier in the same function region (clang-format function boundaries —
+see lintcommon.function_start_line), a lock_guard / unique_lock /
+scoped_lock / .lock() names the guarding mutex. Re-lock patterns
+(unique_lock released and re-acquired around a build) pass by
+construction: the lock statement still appears earlier in the region.
+
+Limitations (by design, kept honest by the self-test): a function that
+locks, unlocks, and then mutates passes the textual check — TSan owns
+that class; this rule owns the "no lock at all" class.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, function_start_line
+
+RULE = Rule(
+    name="guarded-member",
+    description="members annotated // GUARDED_BY(mu) may only be mutated "
+    "in functions that take `mu` (lock_guard/unique_lock/scoped_lock)",
+    scope="all linted files (annotations harvested from paired headers)",
+)
+
+# The declared name is the last identifier before the `;` (optionally
+# with an `= init` or `{init}`); multi-line declarations work because the
+# annotation goes on the line holding `name;`.
+ANNOTATION_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;{}]*\})?;.*//.*GUARDED_BY\((\w+)\)"
+)
+
+MUTATORS = (
+    "push_back|emplace_back|emplace|clear|erase|insert|resize|assign|"
+    "pop_back|pop_front|push_front|reserve|swap|reset|store|fetch_add|"
+    "fetch_sub"
+)
+
+
+def harvest_annotations(raw_text: str) -> dict[str, str]:
+    """member name -> mutex name, from GUARDED_BY comments."""
+    out = {}
+    for line in raw_text.split("\n"):
+        m = ANNOTATION_RE.search(line)
+        if m:
+            out[m.group(1)] = m.group(2)
+    return out
+
+
+def check(source: SourceFile) -> list[Finding]:
+    annotations = harvest_annotations("\n".join(source.lines))
+    annotations.update(harvest_annotations(source.sibling_header_raw()))
+    if not annotations:
+        return []
+    findings = []
+    for member, mutex in annotations.items():
+        esc = re.escape(member)
+        # `member = ...` / `member += ...` / `++member` / `member.clear()`
+        # — optionally reached through an object path (cache.grids, or
+        # ptr->grids). `member ==` and `member !=` are reads.
+        mutation_re = re.compile(
+            rf"(?:^|[^\w.])(?:[\w]+\s*(?:\.|->)\s*)*{esc}\s*"
+            rf"(?:=(?!=)|\+=|-=|\*=|/=|\+\+|--|(?:\.|->)\s*(?:{MUTATORS})"
+            rf"\s*\(|\[)"
+            rf"|(?:\+\+|--)\s*{esc}\b"
+        )
+        lock_re = re.compile(
+            rf"(?:lock_guard|unique_lock|scoped_lock)\s*(?:<[^>]*>)?\s*"
+            rf"\w*\s*[({{][^)}}]*\b{re.escape(mutex)}\b"
+            rf"|\b{re.escape(mutex)}\s*(?:\.|->)\s*lock\s*\(\)"
+        )
+        for lineno, code in enumerate(source.code_lines, start=1):
+            m = mutation_re.search(code)
+            if not m:
+                continue
+            # Skip the declaration itself (initialization needs no lock;
+            # neither do constructor bodies — but textual function-region
+            # scanning already treats ctors like any function, and ctors
+            # that lock are rare; declarations are identified by the
+            # annotation comment on the raw line).
+            if "GUARDED_BY" in source.lines[lineno - 1]:
+                continue
+            start = function_start_line(source.code_lines, lineno)
+            region = source.code_lines[start - 1 : lineno]
+            if any(lock_re.search(r) for r in region):
+                continue
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    f"`{member}` is GUARDED_BY({mutex}) but this function "
+                    f"region mutates it without taking `{mutex}` first",
+                )
+            )
+    return findings

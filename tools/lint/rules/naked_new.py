@@ -1,0 +1,50 @@
+"""naked-new — no raw `new` outside src/parallel.
+
+Ownership in this codebase is expressed with containers and
+make_unique/make_shared; a naked `new` is either a leak-in-waiting or a
+hidden ownership transfer a reviewer has to chase. src/parallel is the
+one sanctioned home for low-level lifetime tricks the pool might need
+(it currently needs none — the exemption simply mirrors raw-thread's).
+Placement new is allowed: arena code constructs in place by design.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, iter_code
+
+RULE = Rule(
+    name="naked-new",
+    description="no raw `new` expressions outside src/parallel "
+    "(use make_unique/make_shared or containers)",
+    scope="src/ except src/parallel",
+)
+
+# `new Type`, `new (std::nothrow) Type` — but not placement new into a
+# buffer (`new (ptr) Type`), not `operator new` declarations, and not
+# identifiers that merely end in "new".
+NEW_RE = re.compile(r"(?<![\w.])new\s+(?!\(\s*\w+\s*\)\s*\w)[\w:(<]")
+OPERATOR_NEW_RE = re.compile(r"operator\s+new")
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not source.path.startswith("src/") or source.path.startswith(
+        "src/parallel/"
+    ):
+        return []
+    findings = []
+    for lineno, code in iter_code(source):
+        if OPERATOR_NEW_RE.search(code):
+            continue
+        if NEW_RE.search(code):
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    "raw `new` expression; express ownership with "
+                    "make_unique/make_shared or a container",
+                )
+            )
+    return findings

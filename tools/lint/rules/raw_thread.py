@@ -1,0 +1,55 @@
+"""raw-thread — threads are created only by src/parallel.
+
+Every parallel result in this repo is bit-identical to serial because
+work is partitioned into deterministic, index-ordered chunks by ONE
+subsystem: src/parallel's ThreadPool / ParallelMap / ParallelFor. A
+std::thread spawned anywhere else bypasses the chunking discipline, the
+pool's "pool-worker" trace labeling, and the exception funneling — and
+is exactly how nondeterministic interleavings sneak into result paths
+(PR 3 already consolidated cuts_refine's hand-rolled threads onto the
+pool for this reason). Tests may spawn threads; they exist to create
+hostile interleavings.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, iter_code
+
+RULE = Rule(
+    name="raw-thread",
+    description="no std::thread/std::jthread/pthread_create outside "
+    "src/parallel (route work through ThreadPool/ParallelMap)",
+    scope="src/ except src/parallel",
+)
+
+PATTERN = re.compile(
+    r"std::thread\b|std::jthread\b|\bpthread_create\s*\("
+)
+# std::thread::hardware_concurrency() is a capability query, not a spawn.
+QUERY_RE = re.compile(r"std::thread::hardware_concurrency")
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not source.path.startswith("src/") or source.path.startswith(
+        "src/parallel/"
+    ):
+        return []
+    findings = []
+    for lineno, code in iter_code(source):
+        if QUERY_RE.search(code):
+            code = QUERY_RE.sub("", code)
+        m = PATTERN.search(code)
+        if m:
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    f"`{m.group(0).strip()}` outside src/parallel; spawn "
+                    "workers through ThreadPool/ParallelMap so chunked "
+                    "determinism and trace labeling hold",
+                )
+            )
+    return findings

@@ -1,0 +1,50 @@
+"""rng — no nondeterministically seeded randomness in result paths.
+
+A `rand()` / `std::random_device` / unseeded engine in
+src/core|cluster|traj|query makes two identical queries return different
+convoys. Sampling algorithms (MC2) must take an explicit seed and draw
+through util/random so a run can be reproduced bit-for-bit; datagen is
+out of scope because generated *inputs* are allowed (and required) to be
+seeded there.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, iter_code
+
+RULE = Rule(
+    name="rng",
+    description="no rand()/srand()/std::random_device/default_random_engine "
+    "in result-producing code (seeded util/random only)",
+    scope="src/core, src/cluster, src/traj, src/query",
+)
+
+PATTERN = re.compile(
+    r"\brand\s*\("
+    r"|\bsrand\s*\("
+    r"|std::random_device\b"
+    r"|\brandom_device\b"
+    r"|std::default_random_engine\b"
+)
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not source.in_result_dirs():
+        return []
+    findings = []
+    for lineno, code in iter_code(source):
+        m = PATTERN.search(code)
+        if m:
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    f"nondeterministic randomness `{m.group(0).strip()}` in "
+                    "result-producing code; draw from an explicitly seeded "
+                    "util/random engine instead",
+                )
+            )
+    return findings

@@ -1,0 +1,94 @@
+"""statusor-value — no unchecked StatusOr::value() in src/.
+
+PR 2's contract: library code surfaces recoverable errors as
+Status/StatusOr, and `.value()` on a non-ok StatusOr aborts in release
+builds. Tests and examples may call `.value()` freely (a crash there IS
+the failure report); inside src/ every StatusOr must be `.ok()`-checked
+(or pattern-returned via CONVOY_RETURN_IF_ERROR) before its value is
+taken.
+
+Detection, AST-light:
+  * a variable declared `StatusOr<...> v = ...` (or `auto v = fn(...)`
+    where fn matches the Try*/Prepare/Execute naming convention) whose
+    `.value()` is taken with no earlier `v.ok()` / `!v.ok()` /
+    `CONVOY_RETURN_IF_ERROR(v` in the same function region;
+  * a direct chained call `TrySomething(...).value()` /
+    `Prepare(...).value()` / `Execute(...).value()` — there is no way
+    to have checked a temporary.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, function_start_line
+
+RULE = Rule(
+    name="statusor-value",
+    description="no .value() on an unchecked StatusOr inside src/ "
+    "(check .ok() first; .value() aborts on error in release builds)",
+    scope="src/ (tests, tools and examples may .value() freely)",
+)
+
+DECL_RE = re.compile(r"\bStatusOr\s*<[^;{}]*>\s*(\w+)\s*[=({]")
+AUTO_TRY_RE = re.compile(
+    r"\bauto\s+(\w+)\s*=\s*[\w.\->:]*(?:Try\w*|Prepare|Execute)\s*\("
+)
+CHAINED_RE = re.compile(
+    r"[\w.\->:]*\b(?:Try\w+|Prepare|Execute)\s*\([^;]*\)\s*\.\s*value\s*\(\)"
+)
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not source.path.startswith("src/"):
+        return []
+    findings = []
+    statusor_vars: dict[str, int] = {}  # name -> declaration line (1-based)
+    collapsed = source.code_lines
+    for lineno, code in enumerate(collapsed, start=1):
+        for m in DECL_RE.finditer(code):
+            statusor_vars[m.group(1)] = lineno
+        for m in AUTO_TRY_RE.finditer(code):
+            statusor_vars[m.group(1)] = lineno
+        if CHAINED_RE.search(code):
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    ".value() chained onto a StatusOr-returning call; the "
+                    "temporary cannot have been .ok()-checked — bind it and "
+                    "check, or propagate with CONVOY_RETURN_IF_ERROR",
+                )
+            )
+    for name, decl_line in statusor_vars.items():
+        use_re = re.compile(
+            rf"(?:\b|std::move\s*\(\s*){re.escape(name)}\s*\)?"
+            rf"\s*\.\s*value\s*\(\)"
+        )
+        check_re = re.compile(
+            rf"\b{re.escape(name)}\s*\.\s*ok\s*\(\)"
+            rf"|CONVOY_RETURN_IF_ERROR\s*\(\s*{re.escape(name)}\b"
+            rf"|\bif\s*\(\s*!?\s*{re.escape(name)}\s*\)"
+        )
+        for lineno in range(decl_line, len(collapsed) + 1):
+            code = collapsed[lineno - 1]
+            if not use_re.search(code):
+                continue
+            region_start = max(
+                function_start_line(collapsed, lineno), decl_line
+            )
+            region = collapsed[region_start - 1 : lineno]
+            if any(check_re.search(line) for line in region):
+                continue
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    f"`{name}.value()` without a preceding `{name}.ok()` "
+                    "check in this function; non-ok aborts in release "
+                    "builds — check or propagate the status first",
+                )
+            )
+    return findings

@@ -1,0 +1,71 @@
+"""unordered-iter — no iteration over hash containers in result paths.
+
+`std::unordered_map` / `std::unordered_set` iteration order is
+unspecified and varies with insertion history and standard-library
+version. Feeding that order into anything that reaches a query result
+(cluster input order, candidate emission, convoy assembly) silently
+breaks the bit-identical-results guarantee — the exact failure class
+StreamingCmc had when it gathered its per-tick snapshot straight out of
+an unordered_map. Lookups (find/count/operator[]) are fine; iteration
+must either move to an ordered container, sort afterwards, or carry a
+justified allow-line (e.g. a fold whose result is order-independent).
+
+Detection: names declared as unordered containers in the file or its
+paired header, then range-for'd or .begin()-iterated anywhere in the
+file. Structured bindings over the container count.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, iter_code
+
+RULE = Rule(
+    name="unordered-iter",
+    description="no iteration over std::unordered_{map,set} in "
+    "result-producing code (unspecified order breaks determinism)",
+    scope="src/core, src/cluster, src/traj, src/query",
+)
+
+DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*"
+    r"(\w+)\s*[;={(]"
+)
+
+
+def declared_unordered_names(source: SourceFile) -> set[str]:
+    text = "\n".join(source.code_lines) + "\n" + source.sibling_header_text()
+    # Multi-line declarations: collapse whitespace so the template
+    # argument list and the declared name can span lines.
+    collapsed = re.sub(r"\s+", " ", text)
+    return {m.group(1) for m in DECL_RE.finditer(collapsed)}
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not source.in_result_dirs():
+        return []
+    names = declared_unordered_names(source)
+    if not names:
+        return []
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    range_for = re.compile(rf"for\s*\([^;()]*:\s*(?:\*?)({alt})\s*\)")
+    begin_iter = re.compile(rf"\b({alt})\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+    findings = []
+    for lineno, code in iter_code(source):
+        for pattern in (range_for, begin_iter):
+            m = pattern.search(code)
+            if m:
+                findings.append(
+                    Finding(
+                        source.path,
+                        lineno,
+                        RULE.name,
+                        f"iteration over unordered container `{m.group(1)}`"
+                        " in result-producing code; order is unspecified — "
+                        "sort first, use an ordered container, or justify "
+                        "with allow-line if the fold is order-independent",
+                    )
+                )
+                break
+    return findings

@@ -1,0 +1,56 @@
+"""wallclock — no wall-clock reads in result-producing code.
+
+Convoy results must be a pure function of (database, query, thread
+count). A clock read in src/core|cluster|traj|query is either dead code
+or a determinism bug waiting to branch on elapsed time (timeouts that
+change which candidates survive, time-bucketed caches, ...). Telemetry
+is the sanctioned exception and has its own abstractions: util/stopwatch
+(DiscoveryStats phase timings) and obs/trace (spans/series), both of
+which live outside the scoped directories and are excluded from the
+determinism guarantee by contract.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintcommon import Finding, Rule, SourceFile, iter_code
+
+RULE = Rule(
+    name="wallclock",
+    description="no std::chrono / C clock reads in result-producing code "
+    "(use util/stopwatch or obs/trace for telemetry)",
+    scope="src/core, src/cluster, src/traj, src/query",
+)
+
+PATTERN = re.compile(
+    r"std::chrono\b"
+    r"|\bsteady_clock\b"
+    r"|\bsystem_clock\b"
+    r"|\bhigh_resolution_clock\b"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\bclock\s*\(\s*\)"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not source.in_result_dirs():
+        return []
+    findings = []
+    for lineno, code in iter_code(source):
+        m = PATTERN.search(code)
+        if m:
+            findings.append(
+                Finding(
+                    source.path,
+                    lineno,
+                    RULE.name,
+                    f"wall-clock read `{m.group(0).strip()}` in "
+                    "result-producing code; results must not depend on "
+                    "time — route telemetry through obs/trace or "
+                    "util/stopwatch instead",
+                )
+            )
+    return findings

@@ -4,8 +4,13 @@
 #
 #   tools/run_checks.sh [build-dir]
 #
+# 0. lint: the convoy_lint self-test (every rule must fire on a seeded
+#    violation), a repo-wide convoy_lint pass over src/, and — when the
+#    binary is available — clang-tidy (.clang-tidy profile) on the .cc
+#    files changed vs origin/main;
 # 1. configure + build + ctest in the default RelWithDebInfo configuration
-#    (the repo's tier-1 verify command);
+#    (the repo's tier-1 verify command), with -DCONVOY_WERROR=ON — all
+#    three build types promote warnings to errors here and in CI;
 # 2. configure + build + ctest again in Debug — RelWithDebInfo defines
 #    NDEBUG, so running BOTH build types ensures the recoverable error
 #    model is exercised with and without asserts and an assert-only
@@ -13,6 +18,10 @@
 # 3. configure + build + ctest a third time in Release (-O3 -DNDEBUG) —
 #    the configuration the performance claims are made in; hot-path
 #    parity must hold under full optimization too;
+# 3b. TSan smoke: build the thread-focused tests (race_stress, trace,
+#    streaming) with -DCONVOY_SANITIZE=thread and run them — the dedicated
+#    CI job runs the whole suite under TSan, this leg catches the common
+#    races locally first;
 # 4. bench smoke: run the Release bench/scalability and require it to
 #    produce a well-formed BENCH_hotpath.json (the machine-readable perf
 #    trajectory tracked across PRs);
@@ -50,8 +59,17 @@ if git -C "${REPO_ROOT}" ls-files | grep -q '^build[^/]*/'; then
 fi
 echo "ok: no tracked build artifacts"
 
+echo "== lint (convoy_lint self-test + repo-wide pass) =="
+if command -v python3 > /dev/null 2>&1; then
+  python3 "${REPO_ROOT}/tools/lint/lint_selftest.py"
+  python3 "${REPO_ROOT}/tools/lint/convoy_lint.py" --root "${REPO_ROOT}" src
+else
+  echo "skip: python3 unavailable (CI runs the lint job with python3)"
+fi
+
 echo "== configure (RelWithDebInfo) =="
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCONVOY_WERROR=ON \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
 echo "== build (RelWithDebInfo) =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
@@ -59,8 +77,31 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 echo "== ctest (RelWithDebInfo — NDEBUG, asserts compiled out) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+echo "== clang-tidy (changed files; skipped when unavailable) =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # Changed .cc files vs the merge base with main (all of src/ when the
+  # base cannot be resolved — e.g. a shallow clone).
+  TIDY_BASE="$(git -C "${REPO_ROOT}" merge-base HEAD origin/main \
+               2> /dev/null || echo "")"
+  if [[ -n "${TIDY_BASE}" ]]; then
+    mapfile -t TIDY_FILES < <(git -C "${REPO_ROOT}" diff --name-only \
+        --diff-filter=d "${TIDY_BASE}" -- 'src/*.cc' 'tools/*.cc')
+  else
+    mapfile -t TIDY_FILES < <(cd "${REPO_ROOT}" && ls src/*/*.cc)
+  fi
+  if [[ "${#TIDY_FILES[@]}" -gt 0 ]]; then
+    (cd "${REPO_ROOT}" && clang-tidy -p "${BUILD_DIR}" "${TIDY_FILES[@]}")
+    echo "ok: clang-tidy clean on ${#TIDY_FILES[@]} file(s)"
+  else
+    echo "ok: no changed .cc files to tidy"
+  fi
+else
+  echo "skip: clang-tidy unavailable (CI runs it in the lint job)"
+fi
+
 echo "== configure (Debug) =="
-cmake -B "${DEBUG_BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Debug
+cmake -B "${DEBUG_BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Debug \
+      -DCONVOY_WERROR=ON
 
 echo "== build (Debug) =="
 cmake --build "${DEBUG_BUILD_DIR}" -j "$(nproc)"
@@ -69,13 +110,28 @@ echo "== ctest (Debug — asserts live) =="
 ctest --test-dir "${DEBUG_BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo "== configure (Release — the configuration perf claims are made in) =="
-cmake -B "${RELEASE_BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake -B "${RELEASE_BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
+      -DCONVOY_WERROR=ON
 
 echo "== build (Release) =="
 cmake --build "${RELEASE_BUILD_DIR}" -j "$(nproc)"
 
 echo "== ctest (Release — -O3 -DNDEBUG) =="
 ctest --test-dir "${RELEASE_BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== TSan smoke (race-stress + trace suites under ThreadSanitizer) =="
+# The full suite runs under TSan in the dedicated CI job; locally this leg
+# builds the thread-focused tests only, so the hot race surfaces (engine
+# caches, grid-cache eviction, live trace reads, streaming ticks) are
+# verified on every run without tripling the wall time.
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -DCONVOY_SANITIZE=thread \
+      -DCONVOY_WERROR=ON
+cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
+      --target race_stress_test trace_test streaming_test
+TSAN_OPTIONS="suppressions=${REPO_ROOT}/tools/tsan.supp" \
+  ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure \
+        -R 'race_stress_test|trace_test|streaming_test'
 
 echo "== threading determinism smoke =="
 SMOKE_DIR="$(mktemp -d)"
