@@ -47,6 +47,7 @@
 #include "datagen/movement.h"
 #include "datagen/road_network.h"
 #include "datagen/scenarios.h"
+#include "datagen/stream_feed.h"
 #include "geom/box.h"
 #include "geom/distance.h"
 #include "geom/point.h"
@@ -56,7 +57,13 @@
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_runner.h"
+#include "parallel/service_thread.h"
 #include "parallel/thread_pool.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/ring.h"
+#include "server/server.h"
+#include "server/session.h"
 #include "io/dataset_report.h"
 #include "io/result_io.h"
 #include "query/algorithm.h"

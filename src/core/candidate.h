@@ -134,6 +134,12 @@ class CandidateTracker {
   /// Number of currently live candidates.
   size_t LiveCount() const { return live_.size(); }
 
+  /// Read-only view of the live candidate set, in its canonical
+  /// lexicographic-by-object-set order. Used by StreamingCmc to expose the
+  /// convoys that are open (lifetime >= k but not yet closed) so the server
+  /// can emit new/extended subscription events between ticks.
+  const std::vector<Candidate>& live() const { return live_; }
+
   /// Work tallies accumulated since construction (see TrackerTally).
   const TrackerTally& tally() const { return tally_; }
 

@@ -70,6 +70,16 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
   // One trace branch per tick; the clock only runs with a trace attached.
   const uint64_t tick_start = trace_ != nullptr ? trace_->NowNs() : 0;
 
+  // Record last-seen for the objects actually reported this tick BEFORE
+  // carrying silent ones forward: a carried entry must keep the tick of
+  // its last real report, or one tick of carry allowance would refresh
+  // itself and bridge unbounded silence.
+  // Keyed upsert per id; the resulting last_seen_ contents are
+  // iteration-order-free.
+  // convoy-lint: allow-line(unordered-iter)
+  for (const auto& [id, pos] : snapshot_) {
+    last_seen_[id] = LastSeen{pos, t};
+  }
   // Carry forward recently seen objects that stayed silent this tick.
   if (options_.carry_forward_ticks > 0) {
     // Keyed inserts into snapshot_; the resulting map contents are
@@ -81,12 +91,6 @@ StatusOr<std::vector<Convoy>> StreamingCmc::EndTick() {
         snapshot_.emplace(id, seen.position);
       }
     }
-  }
-  // Keyed upsert per id; the resulting last_seen_ contents are
-  // iteration-order-free.
-  // convoy-lint: allow-line(unordered-iter)
-  for (const auto& [id, pos] : snapshot_) {
-    last_seen_[id] = LastSeen{pos, t};
   }
 
   // The snapshot path shared with batch CMC / MC2 (ClusterSnapshot): the
@@ -142,6 +146,14 @@ StatusOr<std::vector<Convoy>> StreamingCmc::Finish() {
   last_seen_.clear();
   TraceTrackerTally(trace_, tracker_.tally());
   return DrainCompleted();
+}
+
+std::vector<Convoy> StreamingCmc::OpenConvoys() const {
+  std::vector<Convoy> open;
+  for (const Candidate& cand : tracker_.live()) {
+    if (cand.lifetime >= query_.k) open.push_back(cand.ToConvoy());
+  }
+  return open;
 }
 
 std::vector<Convoy> StreamingCmc::DrainCompleted() {

@@ -96,6 +96,15 @@ class StreamingCmc {
   /// Number of convoy candidates currently alive.
   size_t LiveCandidates() const { return tracker_.LiveCount(); }
 
+  /// The convoys currently *open*: live candidates whose lifetime already
+  /// reached k, i.e. groups that are convoys as of the last processed tick
+  /// but have not closed yet. Sorted in the tracker's canonical
+  /// lexicographic order. A later EndTick may extend them (same objects,
+  /// larger end_tick), close them, or split them; the server's subscription
+  /// layer diffs consecutive snapshots of this set to emit new/extended
+  /// events.
+  std::vector<Convoy> OpenConvoys() const;
+
   /// The current tick, if a stream is in progress.
   std::optional<Tick> CurrentTick() const { return current_tick_; }
 

@@ -1,0 +1,118 @@
+#include "datagen/stream_feed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/random.h"
+
+namespace convoy {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+StreamFeed GenerateStreamFeed(const StreamFeedConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  // Transport effects (dropout, batch interleaving) draw from their own
+  // stream: the number of draws they consume depends on how many rows
+  // survive, and sharing one stream would let the dropout rate steer the
+  // movement draws of every later tick.
+  Rng transport_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const size_t ticks = config.ticks > 0 ? static_cast<size_t>(config.ticks) : 0;
+  const size_t grouped =
+      std::min(config.num_objects, config.num_groups * config.group_size);
+  const size_t num_groups =
+      config.group_size > 0 ? grouped / config.group_size : 0;
+
+  // Anchor paths: one waypoint walk per group; every member's "home" is a
+  // fixed formation offset around it, so the group is density-connected
+  // with any e above ~2 * group_spread.
+  std::vector<DensePath> anchors;
+  anchors.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    anchors.push_back(WaypointPathFrom(
+        rng, config.movement, RandomPointIn(rng, config.movement), ticks));
+  }
+
+  struct ObjectPlan {
+    bool grouped = false;
+    size_t group = 0;
+    Point offset;     ///< formation offset (grouped objects)
+    DensePath solo;   ///< independent walk (wanderers, and members away)
+  };
+  std::vector<ObjectPlan> plans(config.num_objects);
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    ObjectPlan& plan = plans[i];
+    if (num_groups > 0 && i < num_groups * config.group_size) {
+      plan.grouped = true;
+      plan.group = i / config.group_size;
+      const double angle = rng.Uniform(0.0, 2.0 * kPi);
+      const double radius = rng.Uniform(0.0, config.group_spread);
+      plan.offset = Point(radius * std::cos(angle), radius * std::sin(angle));
+    }
+    plan.solo = WaypointPathFrom(rng, config.movement,
+                                 RandomPointIn(rng, config.movement), ticks);
+  }
+
+  StreamFeed feed;
+  feed.query.m = std::max<size_t>(2, config.group_size);
+  feed.query.k = std::max<Tick>(2, config.ticks / 4);
+  feed.query.e = std::max(1.0, 3.0 * config.group_spread);
+
+  std::vector<bool> away(config.num_objects, false);
+  feed.ticks.reserve(ticks);
+  for (size_t t = 0; t < ticks; ++t) {
+    FeedTick out;
+    out.tick = static_cast<Tick>(t);
+
+    std::vector<FeedRow> rows;
+    rows.reserve(config.num_objects);
+    for (size_t i = 0; i < config.num_objects; ++i) {
+      const ObjectPlan& plan = plans[i];
+      if (plan.grouped) {
+        // Churn first, then report from wherever the object now is.
+        if (!away[i] && rng.Chance(config.leave_prob)) away[i] = true;
+        if (away[i] && rng.Chance(config.rejoin_prob)) away[i] = false;
+      }
+      Point pos;
+      if (plan.grouped && !away[i]) {
+        const Point& anchor = anchors[plan.group][t];
+        pos = Point(anchor.x + plan.offset.x +
+                        rng.Gaussian(0.0, config.group_spread * 0.1),
+                    anchor.y + plan.offset.y +
+                        rng.Gaussian(0.0, config.group_spread * 0.1));
+      } else {
+        pos = plan.solo[t];
+      }
+      // Dropout drawn from the transport stream after the position, so
+      // the movement state stays identical whether or not the report
+      // makes it out.
+      if (transport_rng.Chance(config.dropout)) continue;
+      rows.push_back(FeedRow{static_cast<ObjectId>(i), pos});
+    }
+
+    // Interleave reporters deterministically, then rate-shape into
+    // batches of at most batch_rows.
+    const std::vector<size_t> order = transport_rng.Permutation(rows.size());
+    const size_t cap = std::max<size_t>(1, config.batch_rows);
+    std::vector<FeedRow> batch;
+    batch.reserve(cap);
+    for (const size_t idx : order) {
+      batch.push_back(rows[idx]);
+      if (batch.size() == cap) {
+        out.batches.push_back(std::move(batch));
+        batch = {};
+        batch.reserve(cap);
+      }
+    }
+    if (!batch.empty()) out.batches.push_back(std::move(batch));
+    out.total_rows = rows.size();
+    feed.ticks.push_back(std::move(out));
+  }
+  return feed;
+}
+
+}  // namespace convoy

@@ -1,0 +1,75 @@
+#ifndef CONVOY_DATAGEN_STREAM_FEED_H_
+#define CONVOY_DATAGEN_STREAM_FEED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/convoy_set.h"
+#include "datagen/movement.h"
+#include "geom/point.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+
+/// Shape of a synthetic *live feed*: tick-ordered position batches, the
+/// input of the convoy server's ingest protocol (and of StreamingCmc
+/// directly). Where datagen/scenarios.h builds a finished database, this
+/// generator models how the data would have *arrived*: rows grouped into
+/// bounded batches, objects joining and leaving their groups (churn), and
+/// a configurable fraction of reports simply missing (dropout), so server
+/// and streaming tests exercise the carry-forward and recovery paths.
+struct StreamFeedConfig {
+  size_t num_objects = 40;  ///< total population (groups + wanderers)
+  Tick ticks = 60;          ///< feed length; ticks are 0..ticks-1
+  size_t batch_rows = 16;   ///< max rows per batch (rate shaping)
+
+  MovementConfig movement;
+
+  // Convoy-forming groups: each group follows one waypoint anchor path;
+  // members keep a fixed formation offset of at most group_spread around
+  // it (plus per-tick jitter), so group members stay density-connected.
+  size_t num_groups = 3;
+  size_t group_size = 4;
+  double group_spread = 5.0;
+
+  /// Object churn: an active member leaves its group with this chance per
+  /// tick (it keeps reporting, but from its own independent walk)...
+  double leave_prob = 0.0;
+  /// ...and a member that left returns to the formation with this chance
+  /// per tick — "objects that vanish from the group and come back".
+  double rejoin_prob = 0.0;
+
+  /// Chance that any individual report is never sent (sensor dropout).
+  /// The object's row is simply absent from that tick's batches.
+  double dropout = 0.0;
+};
+
+/// One position report of the feed.
+struct FeedRow {
+  ObjectId id = 0;
+  Point pos;
+};
+
+/// One tick of the feed: its rows, pre-split into batches of at most
+/// `batch_rows` in a deterministic shuffled order (batches interleave
+/// object ids the way independent reporters would).
+struct FeedTick {
+  Tick tick = 0;
+  std::vector<std::vector<FeedRow>> batches;
+  size_t total_rows = 0;
+};
+
+/// A generated feed plus the query parameters under which the planted
+/// groups form convoys (e sized from group_spread; m from group_size).
+struct StreamFeed {
+  std::vector<FeedTick> ticks;
+  ConvoyQuery query;
+};
+
+/// Generates a feed; deterministic in (config, seed) — the property the
+/// loadgen's bit-identical replay verification depends on.
+StreamFeed GenerateStreamFeed(const StreamFeedConfig& config, uint64_t seed);
+
+}  // namespace convoy
+
+#endif  // CONVOY_DATAGEN_STREAM_FEED_H_

@@ -44,6 +44,11 @@ constexpr CounterInfo kCounterInfo[kNumTraceCounters] = {
     {"filter.partitions", false},
     {"refine.units", false},
     {"sink.convoys_emitted", false},
+    {"server.batches_accepted", false},
+    {"server.batches_rejected", false},
+    {"server.ring_high_water", true},
+    {"server.events_emitted", false},
+    {"server.active_sessions_max", true},
 };
 
 static_assert(kNumTraceCounters == kQueryMetricsCounters,

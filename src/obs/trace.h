@@ -45,6 +45,11 @@ enum class TraceCounter : uint32_t {
   kFilterPartitions,         ///< CuTS filter partitions clustered
   kRefineUnits,              ///< CuTS refinement units run
   kConvoysEmitted,           ///< convoys handed to the incremental sink
+  kServerBatchesAccepted,    ///< ingest batches the stream workers processed
+  kServerBatchesRejected,    ///< batches NAKed (malformed/out-of-order/full)
+  kServerRingHighWater,      ///< max reader->worker ring depth seen (max)
+  kServerEventsEmitted,      ///< subscription events fanned out to clients
+  kServerActiveSessionsMax,  ///< max concurrently open ingest streams (max)
   kNumTraceCounters          ///< sentinel, not a counter
 };
 

@@ -1,0 +1,73 @@
+#ifndef CONVOY_PARALLEL_SERVICE_THREAD_H_
+#define CONVOY_PARALLEL_SERVICE_THREAD_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace convoy {
+
+/// A named, joinable thread for long-lived service loops — the second
+/// sanctioned way to create a thread in this repo, next to ThreadPool
+/// (machine-checked: the raw-thread lint rule confines thread creation to
+/// src/parallel).
+///
+/// ThreadPool is the right home for *bounded computations*: its chunking
+/// discipline is what makes parallel results bit-identical, and a blocking
+/// accept()/recv() loop parked on a pool worker would starve the pool
+/// instead of helping it. ServiceThread exists for exactly those loops —
+/// the convoy server's socket acceptor, per-connection readers, and
+/// per-stream CMC workers. It spawns one std::thread, labels the thread's
+/// trace track (so Chrome trace exports name server threads), and joins in
+/// the destructor.
+///
+/// Determinism note: service threads must never produce results whose
+/// order depends on scheduling. The server upholds this by routing all
+/// result-producing work through per-stream FIFO rings (src/server/ring.h)
+/// consumed by exactly one worker, so convoy output order is a pure
+/// function of the input stream — see README "Server".
+class ServiceThread {
+ public:
+  ServiceThread() = default;
+
+  /// Spawns a thread running `body`. `label` must be a string literal (or
+  /// otherwise outlive every TraceSession the thread records into) — it
+  /// becomes the thread's trace-track label.
+  ServiceThread(const char* label, std::function<void()> body)
+      : thread_([label, fn = std::move(body)]() mutable {
+          SetTraceThreadLabel(label);
+          fn();
+        }) {}
+
+  /// Joins, so a ServiceThread can never outlive the state its body
+  /// captured. Bodies must therefore be unblockable from outside (close
+  /// the socket, close the ring) before destruction.
+  ~ServiceThread() { Join(); }
+
+  ServiceThread(ServiceThread&&) = default;
+  ServiceThread& operator=(ServiceThread&& other) {
+    if (this != &other) {
+      Join();
+      thread_ = std::move(other.thread_);
+    }
+    return *this;
+  }
+  ServiceThread(const ServiceThread&) = delete;
+  ServiceThread& operator=(const ServiceThread&) = delete;
+
+  /// Blocks until the body returns. Idempotent.
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool Joinable() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace convoy
+
+#endif  // CONVOY_PARALLEL_SERVICE_THREAD_H_

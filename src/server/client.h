@@ -1,0 +1,111 @@
+#ifndef CONVOY_SERVER_CLIENT_H_
+#define CONVOY_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/convoy_set.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace convoy::server {
+
+/// A blocking client for the convoy server — the library behind
+/// tools/convoy_loadgen.cc, the CLI's remote mode, and the end-to-end
+/// tests. One instance drives one connection from one thread at a time
+/// (no internal locking); run several instances for concurrency.
+///
+/// Requests may be pipelined: every Send* returns immediately with the
+/// request's sequence number, and AwaitAck(seq) reads frames until that
+/// ack arrives, buffering out-of-order acks and any subscription events
+/// encountered along the way (drain events with NextEvent / PollEvent).
+class ConvoyClient {
+ public:
+  /// Connects and performs the kHello handshake. kInternal on socket
+  /// errors; kFailedPrecondition when the server rejects the handshake
+  /// (version mismatch), with the server's reason in the message.
+  static StatusOr<std::unique_ptr<ConvoyClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~ConvoyClient();
+  ConvoyClient(const ConvoyClient&) = delete;
+  ConvoyClient& operator=(const ConvoyClient&) = delete;
+
+  // ------------------------------------------------------------- ingest --
+
+  /// Opens the connection's ingest stream. Blocks for the ack.
+  Status IngestBegin(uint64_t stream_id, const ConvoyQuery& query,
+                     Tick carry_forward_ticks = 0);
+
+  /// Pipelined sends: each returns the frame's sequence number (kInternal
+  /// Status surfaces via the later AwaitAck when the socket died).
+  uint64_t SendBatch(Tick tick, const std::vector<PositionReport>& rows);
+  uint64_t SendEndTick(Tick tick);
+  uint64_t SendFinish();
+
+  /// Reads until the ack for `seq` arrives. Acks for other sequence
+  /// numbers and subscription events are buffered, so awaiting in any
+  /// order works. The returned ack may be a NAK — check `code` (and
+  /// `retryable` for flow control).
+  StatusOr<AckMsg> AwaitAck(uint64_t seq);
+
+  /// Convenience: send + await, resending up to `max_retries` times on a
+  /// retryable (flow control) NAK. Returns the final ack.
+  StatusOr<AckMsg> ReportBatch(Tick tick,
+                               const std::vector<PositionReport>& rows,
+                               int max_retries = 0);
+  StatusOr<AckMsg> EndTick(Tick tick, int max_retries = 0);
+  StatusOr<AckMsg> Finish(int max_retries = 0);
+
+  // ------------------------------------------------------ subscriptions --
+
+  /// Subscribes this connection to the events of `stream_id`.
+  Status Subscribe(uint64_t stream_id);
+
+  /// The next subscription event: buffered first, else blocks reading the
+  /// socket. kCancelled when the connection closes.
+  StatusOr<EventMsg> NextEvent();
+
+  // ------------------------------------------------------------ queries --
+
+  /// An ad-hoc planned query against the accepted rows of `stream_id`.
+  /// `algo` 0 = planner auto-choice; `explain` requests the plan text.
+  /// The result's `code` carries server-side errors (invalid query, no
+  /// such stream).
+  StatusOr<QueryResultMsg> Query(uint64_t stream_id, const ConvoyQuery& query,
+                                 uint8_t algo = 0, bool explain = false);
+
+  /// The server's metrics JSON ("/stats"-style dump).
+  StatusOr<std::string> Stats();
+
+  /// Half-closes the socket, waking any thread blocked in NextEvent /
+  /// AwaitAck with kCancelled. The only member safe to call from another
+  /// thread; the fd stays valid until destruction.
+  void ShutdownSocket();
+
+ private:
+  explicit ConvoyClient(int fd) : fd_(fd) {}
+
+  uint64_t NextSeq() { return next_seq_++; }
+  /// Sends one frame; a failed send poisons the connection (every later
+  /// Await returns the error).
+  void SendFrame(const std::string& payload);
+  /// Reads and classifies one frame into the ack/event/result buffers.
+  Status PumpOne();
+
+  int fd_ = -1;
+  uint64_t next_seq_ = 1;
+  Status io_status_;  ///< first socket error, sticky
+  std::map<uint64_t, AckMsg> pending_acks_;
+  std::deque<EventMsg> events_;
+  std::map<uint64_t, QueryResultMsg> query_results_;
+  std::map<uint64_t, StatsResultMsg> stats_results_;
+};
+
+}  // namespace convoy::server
+
+#endif  // CONVOY_SERVER_CLIENT_H_

@@ -1,0 +1,120 @@
+#ifndef CONVOY_SERVER_RING_H_
+#define CONVOY_SERVER_RING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace convoy::server {
+
+/// Bounded multi-producer single-consumer FIFO ring — the seam that
+/// decouples the server's network I/O from its compute: socket reader
+/// threads push parsed work items, one per-stream CMC worker pops them.
+///
+/// Backpressure is explicit and non-blocking by design: `TryPush` on a
+/// full ring returns false immediately — the caller answers the client
+/// with a flow-control NAK (retryable) instead of buffering unboundedly.
+/// The consumer side blocks in `Pop` until an item arrives or the ring is
+/// closed *and drained*, so closing never loses accepted work.
+///
+/// Built on the same mutex + condition-variable primitives as
+/// src/parallel/thread_pool.h rather than atomics: every item already
+/// costs a syscall-heavy socket read, so lock-free push buys nothing,
+/// while the mutex keeps the ring trivially TSan-clean and the FIFO
+/// order — which the bit-identical replay guarantee rests on — obvious.
+/// Items pushed by one producer are popped in that producer's push order
+/// (global FIFO).
+template <typename T>
+class BoundedRing {
+ public:
+  /// A ring with room for `capacity` in-flight items (floored at 1).
+  explicit BoundedRing(size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  /// Enqueues `item` unless the ring is full or closed; never blocks.
+  /// False means the item was NOT taken — flow-control the producer.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == slots_.size()) return false;
+      slots_[(head_ + size_) % slots_.size()] = std::move(item);
+      ++size_;
+      if (size_ > high_water_) high_water_ = size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returns it) or the ring is closed
+  /// and fully drained (returns nullopt — the consumer's exit signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return out;
+  }
+
+  /// Non-blocking Pop: nullopt when the ring is currently empty (whether
+  /// or not it is closed).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return out;
+  }
+
+  /// Rejects all future pushes and wakes the consumer; items already
+  /// accepted remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool Closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Items currently queued.
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  /// Highest queue depth ever observed — the ring's high-water mark,
+  /// surfaced as the server.ring_high_water max counter.
+  size_t HighWater() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  size_t Capacity() const { return slots_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Fixed circular storage; sized once in the constructor.
+  std::vector<T> slots_;   // GUARDED_BY(mu_)
+  size_t head_ = 0;        // GUARDED_BY(mu_)
+  size_t size_ = 0;        // GUARDED_BY(mu_)
+  size_t high_water_ = 0;  // GUARDED_BY(mu_)
+  bool closed_ = false;    // GUARDED_BY(mu_)
+};
+
+}  // namespace convoy::server
+
+#endif  // CONVOY_SERVER_RING_H_

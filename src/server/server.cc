@@ -1,0 +1,537 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/validate.h"
+#include "query/algorithm.h"
+
+namespace convoy::server {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ConvoyServer::ConvoyServer(ServerOptions options)
+    : options_(std::move(options)) {}
+
+ConvoyServer::~ConvoyServer() { Shutdown(); }
+
+Status ConvoyServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status = ErrnoStatus("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const Status status = ErrnoStatus("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true);
+  acceptor_ = ServiceThread("acceptor", [this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ConvoyServer::Shutdown() {
+  const bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocked accept(); close() releases the fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  acceptor_.Join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!was_running) return;
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns = connections_;
+  }
+  for (const auto& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);  // wakes the reader's blocked read
+  }
+  for (const auto& conn : conns) {
+    conn->reader.Join();
+    ::close(conn->fd);
+  }
+
+  std::map<uint64_t, std::shared_ptr<IngestStream>> streams;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    streams = streams_;
+  }
+  // Drain every worker: queued items still process (their acks hit dead
+  // sockets and are dropped), then the worker thread joins.
+  for (const auto& [id, stream] : streams) stream->Close();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+  subscribers_.clear();
+  stream_owner_.clear();
+  streams_.clear();
+}
+
+void ConvoyServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or a fatal accept error)
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    // Acks and events are small frames on a request/response cadence —
+    // Nagle + delayed ACK would add ~40ms per tick event on loopback.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Reap connections whose reader has already exited, so a long-lived
+    // daemon does not accumulate one Connection per historical client.
+    // Join outside the lock (the dying reader grabs mu_ to unsubscribe).
+    std::vector<std::shared_ptr<Connection>> dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto alive_end = connections_.begin();
+      for (auto& conn : connections_) {
+        if (conn->open.load()) {
+          *alive_end++ = conn;
+        } else {
+          dead.push_back(std::move(conn));
+        }
+      }
+      connections_.erase(alive_end, connections_.end());
+    }
+    for (const auto& conn : dead) {
+      conn->reader.Join();
+      ::close(conn->fd);
+    }
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(conn);
+    }
+    conn->reader =
+        ServiceThread("conn-reader", [this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void ConvoyServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  bool hello_done = false;
+  while (running_.load() && conn->open.load()) {
+    StatusOr<std::string> frame = ReadFrame(conn->fd);
+    if (!frame.ok()) break;  // EOF, peer reset, or a truncated frame
+    if (!Dispatch(conn, *frame, &hello_done)) break;
+  }
+  conn->open.store(false);
+  // The peer must observe EOF once this connection is done (rejected
+  // handshake or pre-handshake garbage both exit the loop with the
+  // client still reading); the fd itself is released in Shutdown after
+  // this thread joins.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  // Unsubscribe everywhere so event fan-out stops touching this socket.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, subs] : subscribers_) {
+    auto end = subs.begin();
+    for (auto& sub : subs) {
+      if (sub != conn) *end++ = sub;
+    }
+    subs.erase(end, subs.end());
+  }
+}
+
+bool ConvoyServer::Dispatch(const std::shared_ptr<Connection>& conn,
+                            const std::string& payload, bool* hello_done) {
+  const StatusOr<MsgType> type = PeekType(payload);
+  if (!type.ok()) {
+    if (!*hello_done) return false;  // garbage before the handshake
+    AckTo(conn, 0, type.status());
+    return true;
+  }
+  if (!*hello_done) {
+    if (*type != MsgType::kHello) return false;
+    const StatusOr<HelloMsg> hello = DecodeHello(payload);
+    HelloAckMsg ack;
+    if (!hello.ok() || hello->magic != kProtocolMagic) {
+      ack.accepted = 0;
+      ack.message = "bad magic: not a convoy-server client";
+    } else if (hello->version != kProtocolVersion) {
+      ack.accepted = 0;
+      ack.message = "protocol version mismatch: server speaks " +
+                    std::to_string(int{kProtocolVersion}) + ", client sent " +
+                    std::to_string(int{hello->version});
+    }
+    WriteTo(conn, Encode(ack));
+    if (ack.accepted == 0) return false;
+    *hello_done = true;
+    return true;
+  }
+  switch (*type) {
+    case MsgType::kIngestBegin: {
+      const StatusOr<IngestBeginMsg> msg = DecodeIngestBegin(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return true;
+      }
+      HandleIngestBegin(conn, *msg);
+      return true;
+    }
+    case MsgType::kReportBatch:
+    case MsgType::kEndTick:
+    case MsgType::kIngestFinish:
+      HandleStreamItem(conn, *type, payload);
+      return true;
+    case MsgType::kSubscribe: {
+      const StatusOr<SubscribeMsg> msg = DecodeSubscribe(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return true;
+      }
+      HandleSubscribe(conn, *msg);
+      return true;
+    }
+    case MsgType::kQuery: {
+      const StatusOr<QueryMsg> msg = DecodeQuery(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return true;
+      }
+      HandleQuery(conn, *msg);
+      return true;
+    }
+    case MsgType::kStatsRequest: {
+      const StatusOr<StatsRequestMsg> msg = DecodeStatsRequest(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return true;
+      }
+      HandleStats(conn, *msg);
+      return true;
+    }
+    case MsgType::kHello:
+      AckTo(conn, 0,
+            Status::FailedPrecondition("duplicate kHello after handshake"));
+      return true;
+    default:
+      AckTo(conn, 0,
+            Status::InvalidArgument("server-to-client message type " +
+                                    std::to_string(int{payload[0]}) +
+                                    " sent by a client"));
+      return true;
+  }
+}
+
+void ConvoyServer::HandleIngestBegin(const std::shared_ptr<Connection>& conn,
+                                     const IngestBeginMsg& msg) {
+  ConvoyQuery query;
+  query.m = msg.m;
+  query.k = msg.k;
+  query.e = msg.e;
+  const Status valid = ValidateQuery(query);
+  if (!valid.ok()) {
+    AckTo(conn, msg.seq, valid.WithContext("IngestBegin"));
+    return;
+  }
+  if (msg.carry_forward_ticks < 0) {
+    AckTo(conn, msg.seq,
+          Status::InvalidArgument("IngestBegin: carry_forward_ticks < 0"));
+    return;
+  }
+
+  std::shared_ptr<IngestStream> created;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One ingest stream per connection: batch frames carry no stream id,
+    // so the connection itself is the route.
+    for (const auto& [id, owner] : stream_owner_) {
+      if (owner == conn && id != msg.stream_id) {
+        AckTo(conn, msg.seq,
+              Status::FailedPrecondition(
+                  "connection already drives stream " + std::to_string(id) +
+                  "; open a new connection per ingest stream"));
+        return;
+      }
+    }
+    auto it = streams_.find(msg.stream_id);
+    if (it != streams_.end()) {
+      // A stream survives its producer: if the previous owner hung up, a
+      // new connection may adopt the stream (original query parameters
+      // stay in force). A live owner keeps exclusive write access.
+      auto owner = stream_owner_.find(msg.stream_id);
+      if (owner != stream_owner_.end() && owner->second->open.load() &&
+          owner->second != conn) {
+        AckTo(conn, msg.seq,
+              Status::FailedPrecondition(
+                  "stream " + std::to_string(msg.stream_id) +
+                  " is owned by a live connection"));
+        return;
+      }
+      stream_owner_[msg.stream_id] = conn;
+    } else {
+      created = std::make_shared<IngestStream>(msg, options_.ring_capacity,
+                                               this, &trace_);
+      streams_.emplace(msg.stream_id, created);
+      stream_owner_[msg.stream_id] = conn;
+      trace_.CountMax(TraceCounter::kServerActiveSessionsMax,
+                      streams_.size());
+    }
+  }
+  AckTo(conn, msg.seq, Status::Ok());
+}
+
+void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
+                                    MsgType type, const std::string& payload) {
+  WorkItem item;
+  uint64_t stream_id = 0;
+  switch (type) {
+    case MsgType::kReportBatch: {
+      StatusOr<ReportBatchMsg> msg = DecodeReportBatch(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return;
+      }
+      item.kind = WorkItem::Kind::kBatch;
+      item.seq = msg->seq;
+      item.tick = msg->tick;
+      item.rows = std::move(msg->rows);
+      break;
+    }
+    case MsgType::kEndTick: {
+      const StatusOr<EndTickMsg> msg = DecodeEndTick(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return;
+      }
+      item.kind = WorkItem::Kind::kEndTick;
+      item.seq = msg->seq;
+      item.tick = msg->tick;
+      break;
+    }
+    default: {
+      const StatusOr<IngestFinishMsg> msg = DecodeIngestFinish(payload);
+      if (!msg.ok()) {
+        AckTo(conn, 0, msg.status());
+        return;
+      }
+      item.kind = WorkItem::Kind::kFinish;
+      item.seq = msg->seq;
+      break;
+    }
+  }
+
+  std::shared_ptr<IngestStream> stream;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Batch/tick/finish frames carry no stream id: a connection drives at
+    // most one ingest stream (enforced in HandleIngestBegin), so the owner
+    // map resolves the route unambiguously.
+    for (const auto& [id, owner] : stream_owner_) {
+      if (owner == conn) {
+        auto it = streams_.find(id);
+        if (it != streams_.end()) {
+          stream = it->second;
+          stream_id = id;
+          break;
+        }
+      }
+    }
+  }
+  (void)stream_id;
+  if (stream == nullptr) {
+    AckTo(conn, item.seq,
+          Status::FailedPrecondition(
+              "no ingest stream on this connection (IngestBegin missing)"));
+    return;
+  }
+  const uint64_t seq = item.seq;
+  if (!stream->Submit(std::move(item))) {
+    AckTo(conn, seq,
+          Status::FailedPrecondition("ingest ring full: flow control"),
+          /*retryable=*/true);
+    trace_.Count(TraceCounter::kServerBatchesRejected, 1);
+  }
+}
+
+void ConvoyServer::HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                                   const SubscribeMsg& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (streams_.find(msg.stream_id) == streams_.end()) {
+      AckTo(conn, msg.seq,
+            Status::NotFound("no such stream: " +
+                             std::to_string(msg.stream_id)));
+      return;
+    }
+    std::vector<std::shared_ptr<Connection>>& subs =
+        subscribers_[msg.stream_id];
+    bool present = false;
+    for (const auto& sub : subs) present = present || sub == conn;
+    if (!present) subs.push_back(conn);
+  }
+  AckTo(conn, msg.seq, Status::Ok());
+}
+
+void ConvoyServer::HandleQuery(const std::shared_ptr<Connection>& conn,
+                               const QueryMsg& msg) {
+  QueryResultMsg result;
+  result.seq = msg.seq;
+
+  const std::shared_ptr<IngestStream> stream = FindStream(msg.stream_id);
+  if (stream == nullptr) {
+    result.code = static_cast<uint8_t>(StatusCode::kNotFound);
+    result.message = "no such stream: " + std::to_string(msg.stream_id);
+    WriteTo(conn, Encode(result));
+    return;
+  }
+  if (msg.algo > static_cast<uint8_t>(AlgorithmChoice::kMc2)) {
+    result.code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+    result.message = "unknown algorithm choice " + std::to_string(msg.algo);
+    WriteTo(conn, Encode(result));
+    return;
+  }
+
+  ConvoyQuery query;
+  query.m = msg.m;
+  query.k = msg.k;
+  query.e = msg.e;
+  query.num_threads = msg.threads == 0 ? 1 : msg.threads;
+
+  // Queries run on the reader thread against an engine snapshot of the
+  // stream's accepted rows — ingest keeps flowing through the worker while
+  // this executes.
+  const std::shared_ptr<const ConvoyEngine> engine = stream->SnapshotEngine();
+  const StatusOr<QueryPlan> plan =
+      engine->Prepare(query, static_cast<AlgorithmChoice>(msg.algo));
+  if (!plan.ok()) {
+    result.code = static_cast<uint8_t>(plan.status().code());
+    result.message = plan.status().message();
+    WriteTo(conn, Encode(result));
+    return;
+  }
+  StatusOr<ConvoyResultSet> executed = engine->Execute(*plan);
+  if (!executed.ok()) {
+    result.code = static_cast<uint8_t>(executed.status().code());
+    result.message = executed.status().message();
+    WriteTo(conn, Encode(result));
+    return;
+  }
+  if (msg.explain != 0) result.explain = plan->Explain();
+  result.convoys = std::move(*executed).TakeConvoys();
+  WriteTo(conn, Encode(result));
+}
+
+void ConvoyServer::HandleStats(const std::shared_ptr<Connection>& conn,
+                               const StatsRequestMsg& msg) {
+  StatsResultMsg result;
+  result.seq = msg.seq;
+  result.json = StatsJson();
+  WriteTo(conn, Encode(result));
+}
+
+void ConvoyServer::WriteTo(const std::shared_ptr<Connection>& conn,
+                           const std::string& payload) {
+  if (!conn->open.load()) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  const Status written = WriteFrame(conn->fd, payload);
+  if (!written.ok()) {
+    // Dead peer: stop writing and wake the reader so it can exit.
+    conn->open.store(false);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void ConvoyServer::AckTo(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                         const Status& status, bool retryable) {
+  AckMsg ack;
+  ack.seq = seq;
+  ack.code = static_cast<uint8_t>(status.code());
+  ack.retryable = retryable ? 1 : 0;
+  ack.message = status.message();
+  WriteTo(conn, Encode(ack));
+}
+
+std::shared_ptr<IngestStream> ConvoyServer::FindStream(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : it->second;
+}
+
+void ConvoyServer::SendAck(uint64_t stream_id, const AckMsg& ack) {
+  std::shared_ptr<Connection> owner;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stream_owner_.find(stream_id);
+    if (it != stream_owner_.end()) owner = it->second;
+  }
+  if (owner != nullptr) WriteTo(owner, Encode(ack));
+}
+
+void ConvoyServer::SendEvent(const EventMsg& event) {
+  std::vector<std::shared_ptr<Connection>> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subscribers_.find(event.stream_id);
+    if (it != subscribers_.end()) subs = it->second;
+  }
+  const std::string payload = Encode(event);
+  for (const auto& sub : subs) WriteTo(sub, payload);
+}
+
+std::string ConvoyServer::StatsJson() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"convoy-server-stats-v1\",\"metrics\":";
+  trace_.Metrics().WriteJson(out);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace convoy::server

@@ -1,0 +1,152 @@
+#ifndef CONVOY_SERVER_SERVER_H_
+#define CONVOY_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "parallel/service_thread.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "util/status.h"
+
+namespace convoy::server {
+
+struct ServerOptions {
+  /// Loopback by default: the daemon is a local-analysis tool, not an
+  /// internet-facing service. Bind elsewhere deliberately.
+  std::string host = "127.0.0.1";
+
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  uint16_t port = 0;
+
+  /// Capacity of each ingest stream's reader->worker ring. A full ring is
+  /// the backpressure signal (retryable NAK), so this bounds per-stream
+  /// memory: at most ring_capacity batches are queued, ever.
+  size_t ring_capacity = 64;
+};
+
+/// The convoy server: accepts TCP connections speaking the protocol.h
+/// framing, multiplexes any number of ingest sessions (one StreamingCmc
+/// worker each), subscription feeds, ad-hoc planned queries, and metrics
+/// dumps over them.
+///
+/// Thread architecture (every thread is a parallel/service_thread.h
+/// ServiceThread — the raw-thread lint confines thread creation there):
+///
+///   acceptor ──> per-connection reader ──TryPush──> per-stream worker
+///                     │    (decode, dispatch)            (StreamingCmc)
+///                     └── queries/stats run on the reader thread against
+///                         the stream's SnapshotEngine
+///
+/// Readers never block on compute and workers never touch sockets except
+/// through the sink (acks to the owning connection, events to subscribers,
+/// both serialized per connection by its write mutex). A full ring NAKs
+/// with retryable=1 instead of buffering — explicit flow control.
+///
+/// Streams outlive their ingest connection: a dropped producer leaves the
+/// accepted rows queryable (and the stream resumable by id from a new
+/// connection). Shutdown() closes the listener, wakes every reader via
+/// socket shutdown, drains and joins every stream worker, then joins the
+/// acceptor — after it returns no thread of the server is alive.
+class ConvoyServer : public StreamSink {
+ public:
+  explicit ConvoyServer(ServerOptions options = {});
+
+  /// Calls Shutdown().
+  ~ConvoyServer() override;
+
+  ConvoyServer(const ConvoyServer&) = delete;
+  ConvoyServer& operator=(const ConvoyServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor. kInternal with errno context
+  /// when the socket setup fails (port in use, bad host, ...).
+  Status Start();
+
+  /// Stops accepting, closes every connection, drains every stream worker,
+  /// and joins all threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// The bound port (resolves option port 0 to the ephemeral pick).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// {"schema":"convoy-server-stats-v1","metrics":{...}} — the server's
+  /// lifetime TraceSession rendered through QueryMetrics::WriteJson, i.e.
+  /// the same counter catalog every other execution path reports, plus the
+  /// server.* counters. Safe to call while the server runs (monotone
+  /// approximation; exact after Shutdown).
+  std::string StatsJson() const;
+
+  /// The server-lifetime trace (server.* counters, per-stream tick spans).
+  TraceSession& trace() { return trace_; }
+
+  // StreamSink: called by stream workers.
+  void SendAck(uint64_t stream_id, const AckMsg& ack) override;
+  void SendEvent(const EventMsg& event) override;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    /// Serializes frames onto the socket: the reader's replies, worker
+    /// acks, and subscription events interleave at frame granularity.
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    ServiceThread reader;  ///< joined at Shutdown
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  /// Dispatches one decoded frame; false ends the connection (handshake
+  /// rejection). Recoverable errors answer a NAK and keep reading.
+  bool Dispatch(const std::shared_ptr<Connection>& conn,
+                const std::string& payload, bool* hello_done);
+
+  void HandleIngestBegin(const std::shared_ptr<Connection>& conn,
+                         const IngestBeginMsg& msg);
+  void HandleStreamItem(const std::shared_ptr<Connection>& conn, MsgType type,
+                        const std::string& payload);
+  void HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                       const SubscribeMsg& msg);
+  void HandleQuery(const std::shared_ptr<Connection>& conn,
+                   const QueryMsg& msg);
+  void HandleStats(const std::shared_ptr<Connection>& conn,
+                   const StatsRequestMsg& msg);
+
+  /// Writes one frame under the connection's write mutex; a failed write
+  /// marks the connection closed (its reader notices on its next read).
+  void WriteTo(const std::shared_ptr<Connection>& conn,
+               const std::string& payload);
+  void AckTo(const std::shared_ptr<Connection>& conn, uint64_t seq,
+             const Status& status, bool retryable = false);
+
+  std::shared_ptr<IngestStream> FindStream(uint64_t stream_id);
+
+  ServerOptions options_;
+  TraceSession trace_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  ServiceThread acceptor_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;  // GUARDED_BY(mu_)
+  std::map<uint64_t, std::shared_ptr<IngestStream>>
+      streams_;  // GUARDED_BY(mu_)
+  /// stream_id -> connection that owns the ingest session (acks go here).
+  std::map<uint64_t, std::shared_ptr<Connection>>
+      stream_owner_;  // GUARDED_BY(mu_)
+  /// stream_id -> subscribed connections (events fan out here).
+  std::map<uint64_t, std::vector<std::shared_ptr<Connection>>>
+      subscribers_;  // GUARDED_BY(mu_)
+};
+
+}  // namespace convoy::server
+
+#endif  // CONVOY_SERVER_SERVER_H_

@@ -1,0 +1,264 @@
+#include "server/session.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace convoy::server {
+
+namespace {
+
+ConvoyQuery QueryFrom(const IngestBeginMsg& begin) {
+  ConvoyQuery q;
+  q.m = begin.m;
+  q.k = begin.k;
+  q.e = begin.e;
+  q.num_threads = 1;  // the stream worker is the unit of parallelism
+  return q;
+}
+
+StreamingCmc::Options StreamOptionsFrom(const IngestBeginMsg& begin) {
+  StreamingCmc::Options options;
+  options.carry_forward_ticks = begin.carry_forward_ticks;
+  return options;
+}
+
+}  // namespace
+
+IngestStream::IngestStream(const IngestBeginMsg& begin, size_t ring_capacity,
+                           StreamSink* sink, TraceSession* trace)
+    : stream_id_(begin.stream_id),
+      query_(QueryFrom(begin)),
+      sink_(sink),
+      trace_(trace),
+      ring_(ring_capacity),
+      stream_(query_, StreamOptionsFrom(begin)),
+      worker_("stream-worker", [this] { WorkerLoop(); }) {}
+
+IngestStream::~IngestStream() { Close(); }
+
+bool IngestStream::Submit(WorkItem item) { return ring_.TryPush(std::move(item)); }
+
+void IngestStream::Close() {
+  ring_.Close();
+  worker_.Join();
+}
+
+void IngestStream::WorkerLoop() {
+  while (std::optional<WorkItem> item = ring_.Pop()) {
+    TraceCountMax(trace_, TraceCounter::kServerRingHighWater,
+                  ring_.HighWater());
+    Process(*item);
+  }
+}
+
+void IngestStream::Process(WorkItem& item) {
+  switch (item.kind) {
+    case WorkItem::Kind::kBatch:
+      ProcessBatch(item);
+      return;
+    case WorkItem::Kind::kEndTick:
+      ProcessEndTick(item);
+      return;
+    case WorkItem::Kind::kFinish:
+      ProcessFinish(item);
+      return;
+  }
+}
+
+void IngestStream::Nak(uint64_t seq, const Status& status) {
+  AckMsg nak;
+  nak.seq = seq;
+  nak.code = static_cast<uint8_t>(status.code());
+  nak.retryable = 0;
+  nak.message = status.message();
+  TraceCount(trace_, TraceCounter::kServerBatchesRejected, 1);
+  sink_->SendAck(stream_id_, nak);
+}
+
+void IngestStream::ProcessBatch(const WorkItem& item) {
+  if (finished_) {
+    Nak(item.seq, Status::FailedPrecondition(
+                      "ReportBatch after IngestFinish: the stream is over"));
+    return;
+  }
+  if (!stream_.CurrentTick().has_value()) {
+    const Status began = stream_.BeginTick(item.tick);
+    if (!began.ok()) {
+      Nak(item.seq, began);
+      return;
+    }
+  } else if (*stream_.CurrentTick() != item.tick) {
+    Nak(item.seq,
+        Status::InvalidArgument(
+            "ReportBatch for tick " + std::to_string(item.tick) +
+            " while tick " + std::to_string(*stream_.CurrentTick()) +
+            " is open (EndTick missing)"));
+    return;
+  }
+
+  AckMsg ack;
+  ack.seq = item.seq;
+  for (const PositionReport& row : item.rows) {
+    const Status reported = stream_.Report(row.id, Point(row.x, row.y));
+    if (!reported.ok()) {
+      // Row-level rejection (non-finite position): the batch stays
+      // accepted, the bad row is dropped and counted.
+      ++ack.rejected;
+      continue;
+    }
+    ++ack.accepted;
+    std::lock_guard<std::mutex> lock(rows_mu_);
+    std::vector<TimedPoint>& samples = rows_[row.id];
+    if (!samples.empty() && samples.back().t == item.tick) {
+      samples.back().pos = Point(row.x, row.y);  // last report wins
+    } else {
+      samples.emplace_back(row.x, row.y, item.tick);
+    }
+    ++revision_;
+  }
+  TraceCount(trace_, TraceCounter::kServerBatchesAccepted, 1);
+  sink_->SendAck(stream_id_, ack);
+}
+
+void IngestStream::ProcessEndTick(const WorkItem& item) {
+  if (finished_) {
+    Nak(item.seq, Status::FailedPrecondition(
+                      "EndTick after IngestFinish: the stream is over"));
+    return;
+  }
+  if (!stream_.CurrentTick().has_value()) {
+    // A tick with zero reports: open it empty, then close it — the
+    // candidate algebra sees an empty snapshot at `tick`.
+    const Status began = stream_.BeginTick(item.tick);
+    if (!began.ok()) {
+      Nak(item.seq, began);
+      return;
+    }
+  } else if (*stream_.CurrentTick() != item.tick) {
+    Nak(item.seq,
+        Status::InvalidArgument(
+            "EndTick(" + std::to_string(item.tick) + ") does not match the " +
+            "open tick " + std::to_string(*stream_.CurrentTick())));
+    return;
+  }
+
+  StatusOr<std::vector<Convoy>> closed = stream_.EndTick();
+  if (!closed.ok()) {
+    Nak(item.seq, closed.status());
+    return;
+  }
+  EmitTickEvents(item.tick, *closed);
+
+  AckMsg ack;
+  ack.seq = item.seq;
+  ack.accepted = static_cast<uint32_t>(closed->size());
+  sink_->SendAck(stream_id_, ack);
+}
+
+void IngestStream::ProcessFinish(const WorkItem& item) {
+  if (finished_) {
+    Nak(item.seq,
+        Status::FailedPrecondition("IngestFinish: the stream is already over"));
+    return;
+  }
+  StatusOr<std::vector<Convoy>> closed = stream_.Finish();
+  if (!closed.ok()) {
+    // A tick is still open — recoverable: the client can EndTick and retry.
+    Nak(item.seq, closed.status());
+    return;
+  }
+  finished_ = true;
+  for (const Convoy& convoy : *closed) {
+    EventMsg ev;
+    ev.stream_id = stream_id_;
+    ev.kind = static_cast<uint8_t>(EventKind::kConvoyClosed);
+    ev.tick = convoy.end_tick;
+    ev.convoy = convoy;
+    sink_->SendEvent(ev);
+    TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+  }
+  prev_open_.clear();
+
+  EventMsg end;
+  end.stream_id = stream_id_;
+  end.kind = static_cast<uint8_t>(EventKind::kStreamEnd);
+  sink_->SendEvent(end);
+  TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+
+  AckMsg ack;
+  ack.seq = item.seq;
+  ack.accepted = static_cast<uint32_t>(closed->size());
+  sink_->SendAck(stream_id_, ack);
+}
+
+void IngestStream::EmitTickEvents(Tick tick,
+                                  const std::vector<Convoy>& closed) {
+  EventMsg summary;
+  summary.stream_id = stream_id_;
+  summary.kind = static_cast<uint8_t>(EventKind::kTick);
+  summary.tick = tick;
+  summary.live_candidates = static_cast<uint32_t>(stream_.LiveCandidates());
+  sink_->SendEvent(summary);
+  TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+
+  // Open convoys arrive in the tracker's canonical order; the diff against
+  // the previous tick's open set classifies each as new or extended, so a
+  // subscriber can maintain a live view without replaying the stream.
+  const std::vector<Convoy> open_now = stream_.OpenConvoys();
+  std::set<std::vector<ObjectId>> open_keys;
+  for (const Convoy& convoy : open_now) {
+    EventMsg ev;
+    ev.stream_id = stream_id_;
+    ev.kind = static_cast<uint8_t>(prev_open_.count(convoy.objects) > 0
+                                       ? EventKind::kConvoyExtended
+                                       : EventKind::kConvoyNew);
+    ev.tick = tick;
+    ev.live_candidates = summary.live_candidates;
+    ev.convoy = convoy;
+    sink_->SendEvent(ev);
+    TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+    open_keys.insert(convoy.objects);
+  }
+  prev_open_ = std::move(open_keys);
+
+  for (const Convoy& convoy : closed) {
+    EventMsg ev;
+    ev.stream_id = stream_id_;
+    ev.kind = static_cast<uint8_t>(EventKind::kConvoyClosed);
+    ev.tick = tick;
+    ev.live_candidates = summary.live_candidates;
+    ev.convoy = convoy;
+    sink_->SendEvent(ev);
+    TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+  }
+}
+
+std::shared_ptr<const ConvoyEngine> IngestStream::SnapshotEngine() {
+  std::map<ObjectId, std::vector<TimedPoint>> copy;
+  uint64_t revision = 0;
+  {
+    std::lock_guard<std::mutex> lock(rows_mu_);
+    revision = revision_;
+    copy = rows_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    if (engine_ != nullptr && engine_revision_ == revision) return engine_;
+  }
+  // Build outside both locks: the worker keeps accepting rows while a
+  // query materializes its snapshot. Two racing queries may both build;
+  // the later publish wins and the duplicate is dropped (benign).
+  TrajectoryDatabase db;
+  for (auto& [id, samples] : copy) {
+    db.Add(Trajectory(id, std::move(samples)));
+  }
+  auto built = std::make_shared<const ConvoyEngine>(std::move(db));
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_ = built;
+  engine_revision_ = revision;
+  return built;
+}
+
+}  // namespace convoy::server

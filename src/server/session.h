@@ -1,0 +1,148 @@
+#ifndef CONVOY_SERVER_SESSION_H_
+#define CONVOY_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/streaming.h"
+#include "parallel/service_thread.h"
+#include "server/protocol.h"
+#include "server/ring.h"
+#include "traj/trajectory.h"
+
+namespace convoy {
+class TraceSession;
+}  // namespace convoy
+
+namespace convoy::server {
+
+/// One unit of ingest work, moved from a connection reader thread to the
+/// stream's worker through the stream's BoundedRing. The reader never
+/// touches the StreamingCmc — it only decodes, enqueues, and NAKs when the
+/// ring is full — so convoy output order is a pure function of the input
+/// sequence, independent of socket scheduling.
+struct WorkItem {
+  enum class Kind : uint8_t { kBatch = 0, kEndTick, kFinish };
+  Kind kind = Kind::kBatch;
+  uint64_t seq = 0;  ///< client sequence, echoed in the ack
+  Tick tick = 0;     ///< meaningful for kBatch / kEndTick
+  std::vector<PositionReport> rows;  ///< meaningful for kBatch
+};
+
+/// Where a stream worker delivers its results: per-item acks (to the
+/// connection that owns the ingest session) and subscription events (fanned
+/// out to whoever subscribed). Implemented by ConvoyServer over sockets and
+/// by a recording stub in server_test.cc — the seam that lets the whole
+/// session state machine be tested without a network.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+
+  /// Acks (or NAKs) one processed WorkItem of stream `stream_id`.
+  virtual void SendAck(uint64_t stream_id, const AckMsg& ack) = 0;
+
+  /// Pushes one subscription event. Events of one stream arrive in
+  /// deterministic order: per processed tick, a kTick summary, then
+  /// new/extended convoys in canonical order, then closed convoys.
+  virtual void SendEvent(const EventMsg& event) = 0;
+};
+
+/// One live ingest session: a BoundedRing of WorkItems consumed by a
+/// dedicated ServiceThread that drives a StreamingCmc, emits subscription
+/// events through the StreamSink, and records every accepted report into a
+/// row table that ad-hoc queries snapshot into a ConvoyEngine.
+///
+/// Thread model:
+///  * `Submit` is called by connection reader threads (any number); it only
+///    touches the ring. A full ring returns false — the caller sends a
+///    retryable flow-control NAK and drops the item. Backpressure is
+///    explicit; nothing buffers without bound.
+///  * the worker thread owns the StreamingCmc and all event bookkeeping
+///    exclusively — no lock needed, FIFO order guaranteed by the ring.
+///  * `SnapshotEngine` (query threads) copies the row table under its lock
+///    and builds/caches an engine keyed on the table's revision, so
+///    repeated queries between batches reuse the build.
+///
+/// Protocol errors (batch for the wrong tick, finish with a tick open,
+/// anything after finish) are NAKed with the underlying recoverable Status
+/// and leave the stream exactly as it was — the StreamingCmc contract,
+/// surfaced per item.
+class IngestStream {
+ public:
+  /// `sink` and `trace` (nullable) must outlive the stream.
+  IngestStream(const IngestBeginMsg& begin, size_t ring_capacity,
+               StreamSink* sink, TraceSession* trace);
+
+  /// Closes the ring and joins the worker (drains queued items first).
+  ~IngestStream();
+
+  IngestStream(const IngestStream&) = delete;
+  IngestStream& operator=(const IngestStream&) = delete;
+
+  uint64_t stream_id() const { return stream_id_; }
+
+  /// Enqueues one item for the worker. False when the ring is full or the
+  /// stream is closed — the caller NAKs with retryable=1 (flow control)
+  /// and the client resends later.
+  bool Submit(WorkItem item);
+
+  /// Closes the ring and joins the worker after it drains. Idempotent.
+  /// Queued items are still processed (their acks may go to a dead
+  /// connection, which the sink tolerates).
+  void Close();
+
+  /// The query parameters the stream was opened with.
+  const ConvoyQuery& query() const { return query_; }
+
+  /// An engine over every report accepted so far (last write per
+  /// (object, tick) wins, mirroring StreamingCmc's snapshot semantics).
+  /// Cached per row-table revision: queries between batches share one
+  /// build. Never null; an empty stream yields an empty-database engine.
+  std::shared_ptr<const ConvoyEngine> SnapshotEngine();
+
+ private:
+  void WorkerLoop();
+  void Process(WorkItem& item);
+  void ProcessBatch(const WorkItem& item);
+  void ProcessEndTick(const WorkItem& item);
+  void ProcessFinish(const WorkItem& item);
+  /// kTick + new/extended/closed events for one processed tick.
+  void EmitTickEvents(Tick tick, const std::vector<Convoy>& closed);
+  void Nak(uint64_t seq, const Status& status);
+
+  const uint64_t stream_id_;
+  const ConvoyQuery query_;
+  StreamSink* const sink_;
+  TraceSession* const trace_;
+
+  BoundedRing<WorkItem> ring_;
+
+  // ---- worker-thread-only state (after construction, before Join) ----
+  StreamingCmc stream_;
+  bool finished_ = false;
+  /// Object sets of the convoys open after the previous processed tick,
+  /// diffed against the current open set to classify new vs extended.
+  std::set<std::vector<ObjectId>> prev_open_;
+
+  // ---- row table shared with query threads ----
+  mutable std::mutex rows_mu_;
+  std::map<ObjectId, std::vector<TimedPoint>> rows_;  // GUARDED_BY(rows_mu_)
+  uint64_t revision_ = 0;                             // GUARDED_BY(rows_mu_)
+
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<const ConvoyEngine> engine_;  // GUARDED_BY(engine_mu_)
+  uint64_t engine_revision_ = 0;                // GUARDED_BY(engine_mu_)
+
+  /// Last member: the worker must start after every field it touches is
+  /// constructed, and the destructor joins it before anything tears down.
+  ServiceThread worker_;
+};
+
+}  // namespace convoy::server
+
+#endif  // CONVOY_SERVER_SESSION_H_

@@ -19,8 +19,12 @@
 #include "cluster/grid_index.h"
 #include "core/engine.h"
 #include "core/streaming.h"
+#include "datagen/stream_feed.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/session.h"
 #include "tests/test_util.h"
 #include "traj/snapshot_store.h"
 #include "util/random.h"
@@ -305,6 +309,240 @@ TEST(RaceStressTest, StoreMetricsVsFirstDiscover) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(prints[1], prints[0]);
   EXPECT_EQ(prints[2], prints[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Server surfaces.
+
+// One IngestStream: its worker thread races ad-hoc SnapshotEngine queries
+// from two reader-style threads. The row table + engine cache are the
+// shared state; every snapshot must be internally consistent and queries
+// after the final ack must see every accepted row.
+TEST(RaceStressTest, IngestStreamSnapshotQueriesVsWorker) {
+  class CountingSink : public server::StreamSink {
+   public:
+    void SendAck(uint64_t, const server::AckMsg& ack) override {
+      if (ack.code == 0) oks.fetch_add(1);
+      acks.fetch_add(1);
+    }
+    void SendEvent(const server::EventMsg&) override {
+      events.fetch_add(1);
+    }
+    std::atomic<uint64_t> acks{0};
+    std::atomic<uint64_t> oks{0};
+    std::atomic<uint64_t> events{0};
+  };
+
+  server::IngestBeginMsg begin;
+  begin.stream_id = 1;
+  begin.m = 2;
+  begin.k = 2;
+  begin.e = 1.0;
+  CountingSink sink;
+  server::IngestStream stream(begin, /*ring_capacity=*/4, &sink, nullptr);
+
+  constexpr Tick kTicks = 40;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&] {
+      while (!done.load()) {
+        const std::shared_ptr<const ConvoyEngine> engine =
+            stream.SnapshotEngine();
+        if (engine == nullptr) {
+          failures.fetch_add(1);
+          return;
+        }
+        const auto plan = engine->Prepare(stream.query());
+        if (!plan.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (!engine->Execute(*plan).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+
+  uint64_t seq = 0;
+  uint64_t submitted = 0;
+  const auto submit = [&](server::WorkItem item) {
+    while (!stream.Submit(item)) std::this_thread::yield();
+    ++submitted;
+  };
+  for (Tick t = 0; t < kTicks; ++t) {
+    server::WorkItem batch;
+    batch.kind = server::WorkItem::Kind::kBatch;
+    batch.seq = ++seq;
+    batch.tick = t;
+    batch.rows = {{1, 0.0, 0.1 * static_cast<double>(t)},
+                  {2, 0.5, 0.1 * static_cast<double>(t)}};
+    submit(batch);
+    server::WorkItem end;
+    end.kind = server::WorkItem::Kind::kEndTick;
+    end.seq = ++seq;
+    end.tick = t;
+    submit(end);
+  }
+  server::WorkItem finish;
+  finish.kind = server::WorkItem::Kind::kFinish;
+  finish.seq = ++seq;
+  submit(finish);
+  stream.Close();  // drains + joins the worker
+  done.store(true);
+  for (std::thread& th : queriers) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(sink.acks.load(), submitted);
+  EXPECT_EQ(sink.oks.load(), submitted);
+  EXPECT_GT(sink.events.load(), 0u);
+
+  // Quiescent query sees the full stream: one convoy across every tick.
+  const auto engine = stream.SnapshotEngine();
+  const auto plan = engine->Prepare(stream.query());
+  ASSERT_TRUE(plan.ok());
+  auto result = engine->Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  const std::vector<Convoy> convoys = std::move(*result).TakeConvoys();
+  ASSERT_EQ(convoys.size(), 1u);
+  EXPECT_EQ(convoys[0].start_tick, 0);
+  EXPECT_EQ(convoys[0].end_tick, kTicks - 1);
+}
+
+// Whole-server stress over real sockets: concurrent ingest streams with
+// live subscribers and query clients, then a determinism check — each
+// subscriber's closed-convoy events must equal a local batch replay.
+TEST(RaceStressTest, ServerConcurrentIngestSubscribeQuery) {
+  server::ConvoyServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  StreamFeedConfig config;
+  config.num_objects = 12;
+  config.ticks = 8;
+  config.batch_rows = 4;
+  config.dropout = 0.1;
+  constexpr size_t kStreams = 3;
+
+  std::vector<StreamFeed> feeds;
+  for (size_t i = 0; i < kStreams; ++i) {
+    feeds.push_back(GenerateStreamFeed(config, 100 + i));
+  }
+
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::vector<Convoy>> closed(kStreams);
+
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kStreams; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = server::ConvoyClient::Connect("127.0.0.1", port);
+      auto subscriber = server::ConvoyClient::Connect("127.0.0.1", port);
+      if (!client.ok() || !subscriber.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const uint64_t stream_id = i + 1;
+      if (!(*client)->IngestBegin(stream_id, feeds[i].query).ok() ||
+          !(*subscriber)->Subscribe(stream_id).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::thread sub_thread([&, i] {
+        for (;;) {
+          const auto event = (*subscriber)->NextEvent();
+          if (!event.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          const auto kind = static_cast<server::EventKind>(event->kind);
+          if (kind == server::EventKind::kConvoyClosed) {
+            closed[i].push_back(event->convoy);
+          }
+          if (kind == server::EventKind::kStreamEnd) return;
+        }
+      });
+      bool ok = true;
+      for (const FeedTick& tick : feeds[i].ticks) {
+        for (const auto& batch : tick.batches) {
+          std::vector<server::PositionReport> rows;
+          for (const FeedRow& row : batch) {
+            rows.push_back({row.id, row.pos.x, row.pos.y});
+          }
+          const auto ack = (*client)->ReportBatch(tick.tick, rows, 1000);
+          if (!ack.ok() || ack->code != 0) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+        const auto ack = (*client)->EndTick(tick.tick, 1000);
+        if (!ack.ok() || ack->code != 0) ok = false;
+        if (!ok) break;
+      }
+      if (ok) {
+        const auto fin = (*client)->Finish(1000);
+        ok = fin.ok() && fin->code == 0;
+      }
+      if (!ok) {
+        failures.fetch_add(1);
+        (*subscriber)->ShutdownSocket();  // no kStreamEnd will come
+      }
+      sub_thread.join();
+    });
+  }
+  // Query clients hammering whichever streams exist yet.
+  std::vector<std::thread> query_threads;
+  for (int q = 0; q < 2; ++q) {
+    query_threads.emplace_back([&, q] {
+      auto client = server::ConvoyClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      size_t round = static_cast<size_t>(q);
+      while (!ingest_done.load()) {
+        const size_t i = round++ % kStreams;
+        const auto result = (*client)->Query(i + 1, feeds[i].query);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        // kNotFound races stream creation — benign. Anything else fatal.
+        if (result->code != 0 &&
+            result->code != static_cast<uint8_t>(StatusCode::kNotFound)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ingest_done.store(true);
+  for (std::thread& th : query_threads) th.join();
+  server.Shutdown();
+
+  ASSERT_EQ(failures.load(), 0);
+  for (size_t i = 0; i < kStreams; ++i) {
+    StreamingCmc replay(feeds[i].query);
+    std::vector<Convoy> expected;
+    for (const FeedTick& tick : feeds[i].ticks) {
+      ASSERT_TRUE(replay.BeginTick(tick.tick).ok());
+      for (const auto& batch : tick.batches) {
+        for (const FeedRow& row : batch) {
+          ASSERT_TRUE(replay.Report(row.id, row.pos).ok());
+        }
+      }
+      const auto out = replay.EndTick();
+      ASSERT_TRUE(out.ok());
+      expected.insert(expected.end(), out->begin(), out->end());
+    }
+    const auto rest = replay.Finish();
+    ASSERT_TRUE(rest.ok());
+    expected.insert(expected.end(), rest->begin(), rest->end());
+    EXPECT_EQ(closed[i], expected) << "stream " << i + 1;
+  }
 }
 
 }  // namespace

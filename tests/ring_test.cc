@@ -1,0 +1,139 @@
+#include "server/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parallel/service_thread.h"
+
+namespace convoy::server {
+namespace {
+
+TEST(BoundedRingTest, FifoOrder) {
+  BoundedRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto item = ring.TryPop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(BoundedRingTest, TryPushFailsWhenFullNeverBlocks) {
+  BoundedRing<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));  // full — flow control, not blocking
+  EXPECT_EQ(ring.Size(), 2u);
+  ASSERT_EQ(ring.TryPop().value(), 1);
+  EXPECT_TRUE(ring.TryPush(3));  // a pop frees a slot
+}
+
+TEST(BoundedRingTest, ZeroCapacityFloorsAtOne) {
+  BoundedRing<int> ring(0);
+  EXPECT_EQ(ring.Capacity(), 1u);
+  EXPECT_TRUE(ring.TryPush(7));
+  EXPECT_FALSE(ring.TryPush(8));
+}
+
+TEST(BoundedRingTest, HighWaterTracksDeepestQueue) {
+  BoundedRing<int> ring(4);
+  EXPECT_EQ(ring.HighWater(), 0u);
+  (void)ring.TryPush(1);
+  (void)ring.TryPush(2);
+  (void)ring.TryPush(3);
+  (void)ring.TryPop();
+  (void)ring.TryPop();
+  (void)ring.TryPop();
+  (void)ring.TryPush(4);
+  EXPECT_EQ(ring.HighWater(), 3u);  // depth peaked at 3, not current size
+}
+
+TEST(BoundedRingTest, CloseRejectsPushesButDrainsAcceptedItems) {
+  BoundedRing<int> ring(4);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  ring.Close();
+  ring.Close();  // idempotent
+  EXPECT_TRUE(ring.Closed());
+  EXPECT_FALSE(ring.TryPush(3));
+  // Accepted work survives the close...
+  EXPECT_EQ(ring.Pop().value(), 1);
+  EXPECT_EQ(ring.Pop().value(), 2);
+  // ...and a drained closed ring is the consumer's exit signal.
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(BoundedRingTest, PopBlocksUntilPush) {
+  BoundedRing<std::string> ring(2);
+  std::string got;
+  ServiceThread consumer("ring-test-consumer", [&] {
+    const auto item = ring.Pop();  // blocks: ring starts empty
+    if (item.has_value()) got = *item;
+  });
+  EXPECT_TRUE(ring.TryPush("hello"));
+  consumer.Join();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(BoundedRingTest, PopBlocksUntilClose) {
+  BoundedRing<int> ring(2);
+  bool exited_empty = false;
+  ServiceThread consumer("ring-test-consumer", [&] {
+    exited_empty = !ring.Pop().has_value();
+  });
+  ring.Close();
+  consumer.Join();
+  EXPECT_TRUE(exited_empty);
+}
+
+// Multi-producer / single-consumer under real concurrency: every accepted
+// item arrives exactly once, and each producer's items keep their order.
+TEST(BoundedRingTest, MpscDeliversEveryAcceptedItemInProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedRing<std::pair<int, int>> ring(8);
+
+  std::vector<std::vector<int>> received(kProducers);
+  ServiceThread consumer("ring-test-consumer", [&] {
+    for (;;) {
+      const auto item = ring.Pop();
+      if (!item.has_value()) return;
+      received[static_cast<size_t>(item->first)].push_back(item->second);
+    }
+  });
+
+  std::vector<int> accepted(kProducers, 0);
+  {
+    std::vector<ServiceThread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back("ring-test-producer", [&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          // Spin on flow control like the server's loadgen clients do.
+          while (!ring.TryPush({p, i})) {
+            std::this_thread::yield();
+          }
+          ++accepted[static_cast<size_t>(p)];
+        }
+      });
+    }
+  }
+  ring.Close();
+  consumer.Join();
+
+  for (int p = 0; p < kProducers; ++p) {
+    const auto& items = received[static_cast<size_t>(p)];
+    ASSERT_EQ(items.size(), static_cast<size_t>(kPerProducer));
+    EXPECT_EQ(accepted[static_cast<size_t>(p)], kPerProducer);
+    // Per-producer FIFO: the sequence 0..kPerProducer-1 in order.
+    for (int i = 0; i < kPerProducer; ++i) EXPECT_EQ(items[static_cast<size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace convoy::server

@@ -1,0 +1,584 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/streaming.h"
+#include "datagen/stream_feed.h"
+#include "parallel/service_thread.h"
+#include "server/client.h"
+#include "server/session.h"
+
+namespace convoy::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IngestStream against a recording StreamSink — the session state machine
+// without a network.
+
+class RecordingSink : public StreamSink {
+ public:
+  void SendAck(uint64_t, const AckMsg& ack) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    acks_.push_back(ack);
+    cv_.notify_all();
+  }
+
+  void SendEvent(const EventMsg& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  /// Blocks until `n` acks have arrived, then returns a copy.
+  std::vector<AckMsg> WaitForAcks(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return acks_.size() >= n; });
+    return acks_;
+  }
+
+  std::vector<EventMsg> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<AckMsg> acks_;
+  std::vector<EventMsg> events_;
+};
+
+IngestBeginMsg MakeBegin(uint64_t stream_id, uint32_t m, int64_t k, double e,
+                         int64_t carry_forward = 0) {
+  IngestBeginMsg begin;
+  begin.stream_id = stream_id;
+  begin.m = m;
+  begin.k = k;
+  begin.e = e;
+  begin.carry_forward_ticks = carry_forward;
+  return begin;
+}
+
+WorkItem BatchItem(uint64_t seq, Tick tick,
+                   std::vector<PositionReport> rows) {
+  WorkItem item;
+  item.kind = WorkItem::Kind::kBatch;
+  item.seq = seq;
+  item.tick = tick;
+  item.rows = std::move(rows);
+  return item;
+}
+
+WorkItem EndTickItem(uint64_t seq, Tick tick) {
+  WorkItem item;
+  item.kind = WorkItem::Kind::kEndTick;
+  item.seq = seq;
+  item.tick = tick;
+  return item;
+}
+
+WorkItem FinishItem(uint64_t seq) {
+  WorkItem item;
+  item.kind = WorkItem::Kind::kFinish;
+  item.seq = seq;
+  return item;
+}
+
+/// Submits with a spin on flow control — tests want every item accepted.
+void MustSubmit(IngestStream& stream, WorkItem item) {
+  while (!stream.Submit(item)) std::this_thread::yield();
+}
+
+/// Replays a feed through a local StreamingCmc and returns every closed
+/// convoy in emission order — the sequence the session's kConvoyClosed
+/// events must match bit-identically.
+std::vector<Convoy> LocalReplay(const StreamFeed& feed,
+                                Tick carry_forward = 0) {
+  StreamingCmc::Options options;
+  options.carry_forward_ticks = carry_forward;
+  StreamingCmc stream(feed.query, options);
+  std::vector<Convoy> closed;
+  for (const FeedTick& tick : feed.ticks) {
+    EXPECT_TRUE(stream.BeginTick(tick.tick).ok());
+    for (const auto& batch : tick.batches) {
+      for (const FeedRow& row : batch) {
+        EXPECT_TRUE(stream.Report(row.id, row.pos).ok());
+      }
+    }
+    const auto result = stream.EndTick();
+    EXPECT_TRUE(result.ok());
+    closed.insert(closed.end(), result->begin(), result->end());
+  }
+  const auto final_result = stream.Finish();
+  EXPECT_TRUE(final_result.ok());
+  closed.insert(closed.end(), final_result->begin(), final_result->end());
+  return closed;
+}
+
+std::vector<PositionReport> ToWire(const std::vector<FeedRow>& rows) {
+  std::vector<PositionReport> wire;
+  wire.reserve(rows.size());
+  for (const FeedRow& row : rows) {
+    wire.push_back(PositionReport{row.id, row.pos.x, row.pos.y});
+  }
+  return wire;
+}
+
+TEST(IngestStreamTest, EventsBitIdenticalToLocalReplay) {
+  StreamFeedConfig config;
+  config.num_objects = 18;
+  config.ticks = 12;
+  config.batch_rows = 5;
+  config.dropout = 0.1;
+  config.leave_prob = 0.05;
+  config.rejoin_prob = 0.4;
+  const StreamFeed feed = GenerateStreamFeed(config, 99);
+
+  RecordingSink sink;
+  size_t items = 0;
+  {
+    IngestStream stream(MakeBegin(1, static_cast<uint32_t>(feed.query.m),
+                                  feed.query.k, feed.query.e),
+                        /*ring_capacity=*/8, &sink, nullptr);
+    uint64_t seq = 0;
+    for (const FeedTick& tick : feed.ticks) {
+      for (const auto& batch : tick.batches) {
+        MustSubmit(stream, BatchItem(++seq, tick.tick, ToWire(batch)));
+        ++items;
+      }
+      MustSubmit(stream, EndTickItem(++seq, tick.tick));
+      ++items;
+    }
+    MustSubmit(stream, FinishItem(++seq));
+    ++items;
+    const std::vector<AckMsg> acks = sink.WaitForAcks(items);
+    for (const AckMsg& ack : acks) EXPECT_EQ(ack.code, 0) << ack.message;
+  }  // destructor drains + joins the worker
+
+  const std::vector<EventMsg> events = sink.events();
+  ASSERT_FALSE(events.empty());
+
+  // One kTick event per feed tick, in order; kStreamEnd is last.
+  std::vector<Tick> tick_events;
+  std::vector<Convoy> closed;
+  std::set<std::vector<ObjectId>> seen_new;
+  for (const EventMsg& event : events) {
+    switch (static_cast<EventKind>(event.kind)) {
+      case EventKind::kTick:
+        tick_events.push_back(event.tick);
+        break;
+      case EventKind::kConvoyNew:
+        seen_new.insert(event.convoy.objects);
+        break;
+      case EventKind::kConvoyExtended:
+        // An extension must extend a convoy previously announced as new.
+        EXPECT_TRUE(seen_new.count(event.convoy.objects))
+            << "extended before new";
+        break;
+      case EventKind::kConvoyClosed:
+        closed.push_back(event.convoy);
+        break;
+      case EventKind::kStreamEnd:
+        EXPECT_EQ(&event, &events.back()) << "kStreamEnd not last";
+        break;
+    }
+  }
+  ASSERT_EQ(tick_events.size(), feed.ticks.size());
+  for (size_t i = 0; i < feed.ticks.size(); ++i) {
+    EXPECT_EQ(tick_events[i], feed.ticks[i].tick);
+  }
+
+  // The acceptance bar: closed-convoy events match the batch replay
+  // bit-identically (same convoys, same emission order).
+  EXPECT_EQ(closed, LocalReplay(feed));
+}
+
+TEST(IngestStreamTest, WrongTickBatchNakedAndRecoverable) {
+  RecordingSink sink;
+  IngestStream stream(MakeBegin(1, 2, 2, 1.0), 8, &sink, nullptr);
+  MustSubmit(stream, BatchItem(1, 0, {{1, 0, 0}, {2, 0, 0.5}}));
+  MustSubmit(stream, EndTickItem(2, 0));
+  // Tick 0 is already processed — a batch for it must NAK (ticks are
+  // strictly increasing) without killing the session.
+  MustSubmit(stream, BatchItem(3, 0, {{1, 0, 0}}));
+  // A batch for an open tick must match that tick.
+  MustSubmit(stream, BatchItem(4, 1, {{1, 0, 0}, {2, 0, 0.5}}));
+  MustSubmit(stream, BatchItem(5, 2, {{1, 9, 9}}));
+  MustSubmit(stream, EndTickItem(6, 1));
+  MustSubmit(stream, FinishItem(7));
+  const std::vector<AckMsg> acks = sink.WaitForAcks(7);
+
+  EXPECT_EQ(acks[0].code, 0);
+  EXPECT_EQ(acks[0].accepted, 2u);
+  EXPECT_EQ(acks[1].code, 0);
+  EXPECT_NE(acks[2].code, 0);  // replayed tick
+  EXPECT_EQ(acks[2].retryable, 0);
+  EXPECT_EQ(acks[3].code, 0);
+  EXPECT_NE(acks[4].code, 0);  // tick 2 while tick 1 is open
+  EXPECT_EQ(acks[5].code, 0);
+  EXPECT_EQ(acks[6].code, 0);  // finish succeeds — session recovered
+
+  // The convoy over the two good ticks closed at Finish.
+  std::vector<Convoy> closed;
+  for (const EventMsg& event : sink.events()) {
+    if (static_cast<EventKind>(event.kind) == EventKind::kConvoyClosed) {
+      closed.push_back(event.convoy);
+    }
+  }
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].objects, (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(closed[0].start_tick, 0);
+  EXPECT_EQ(closed[0].end_tick, 1);
+}
+
+TEST(IngestStreamTest, ItemsAfterFinishNaked) {
+  RecordingSink sink;
+  IngestStream stream(MakeBegin(1, 2, 2, 1.0), 8, &sink, nullptr);
+  MustSubmit(stream, FinishItem(1));
+  MustSubmit(stream, BatchItem(2, 0, {{1, 0, 0}}));
+  MustSubmit(stream, EndTickItem(3, 0));
+  const std::vector<AckMsg> acks = sink.WaitForAcks(3);
+  EXPECT_EQ(acks[0].code, 0);
+  EXPECT_NE(acks[1].code, 0);
+  EXPECT_EQ(acks[1].retryable, 0);  // a real error, not flow control
+  EXPECT_NE(acks[2].code, 0);
+}
+
+TEST(IngestStreamTest, RowLevelRejectsCountedBatchStillAccepted) {
+  RecordingSink sink;
+  IngestStream stream(MakeBegin(1, 2, 2, 1.0), 8, &sink, nullptr);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  MustSubmit(stream,
+             BatchItem(1, 0, {{1, 0, 0}, {2, nan, 0.5}, {3, 0, 1.0}}));
+  const std::vector<AckMsg> acks = sink.WaitForAcks(1);
+  EXPECT_EQ(acks[0].code, 0);  // the batch is accepted...
+  EXPECT_EQ(acks[0].accepted, 2u);
+  EXPECT_EQ(acks[0].rejected, 1u);  // ...minus the non-finite row
+}
+
+/// A sink whose SendAck blocks until released — freezes the worker between
+/// ring pops so ring-full backpressure can be forced deterministically.
+class GateSink : public RecordingSink {
+ public:
+  void SendAck(uint64_t stream_id, const AckMsg& ack) override {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu_);
+      gate_cv_.wait(lock, [&] { return open_; });
+    }
+    RecordingSink::SendAck(stream_id, ack);
+  }
+
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(gate_mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+
+ private:
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool open_ = false;
+};
+
+TEST(IngestStreamTest, FullRingRefusesSubmitThenRecovers) {
+  GateSink sink;
+  IngestStream stream(MakeBegin(1, 2, 2, 1.0), /*ring_capacity=*/1, &sink,
+                      nullptr);
+  // Item 1: popped by the worker, which then blocks in the gated SendAck.
+  MustSubmit(stream, BatchItem(1, 0, {{1, 0, 0}}));
+  // Item 2: sits in the ring (capacity 1) once the worker holds item 1.
+  MustSubmit(stream, EndTickItem(2, 0));
+  // With the worker frozen and the ring full, Submit must refuse —
+  // this is the signal the server turns into a retryable NAK.
+  WorkItem overflow = FinishItem(3);
+  while (stream.Submit(overflow)) {
+    // Raced the worker between pops; it will block at the gate within two
+    // items, after which pushes must start failing. Re-arm and retry.
+    overflow = FinishItem(overflow.seq + 1);
+  }
+  sink.OpenGate();
+  stream.Close();
+}
+
+TEST(IngestStreamTest, SnapshotEngineMatchesAcceptedRows) {
+  RecordingSink sink;
+  IngestStream stream(MakeBegin(1, 2, 2, 1.0), 8, &sink, nullptr);
+  uint64_t seq = 0;
+  size_t items = 0;
+  for (Tick t = 0; t < 4; ++t) {
+    MustSubmit(stream,
+               BatchItem(++seq, t,
+                         {{1, 0, 0.1 * static_cast<double>(t)},
+                          {2, 0.5, 0.1 * static_cast<double>(t)},
+                          {7, 40.0 + static_cast<double>(t) * 5, 0}}));
+    MustSubmit(stream, EndTickItem(++seq, t));
+    items += 2;
+  }
+  sink.WaitForAcks(items);  // rows are in the table once acked
+
+  const std::shared_ptr<const ConvoyEngine> engine = stream.SnapshotEngine();
+  ASSERT_NE(engine, nullptr);
+  // Same snapshot again between batches: the cached build is reused.
+  EXPECT_EQ(engine.get(), stream.SnapshotEngine().get());
+
+  const auto plan = engine->Prepare(stream.query());
+  ASSERT_TRUE(plan.ok());
+  auto result = engine->Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  const std::vector<Convoy> convoys = std::move(*result).TakeConvoys();
+  ASSERT_EQ(convoys.size(), 1u);
+  EXPECT_EQ(convoys[0].objects, (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(convoys[0].start_tick, 0);
+  EXPECT_EQ(convoys[0].end_tick, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack tests over real sockets.
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    server_ = std::make_unique<ConvoyServer>(options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  std::unique_ptr<ConvoyClient> Connect() {
+    auto client = ConvoyClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  std::unique_ptr<ConvoyServer> server_;
+};
+
+TEST_F(ServerTest, EndToEndEventsMatchLocalReplay) {
+  StreamFeedConfig config;
+  config.num_objects = 16;
+  config.ticks = 10;
+  config.batch_rows = 6;
+  config.dropout = 0.05;
+  const StreamFeed feed = GenerateStreamFeed(config, 7);
+
+  auto ingest = Connect();
+  ASSERT_NE(ingest, nullptr);
+  ASSERT_TRUE(ingest->IngestBegin(5, feed.query).ok());
+
+  auto subscriber = Connect();
+  ASSERT_NE(subscriber, nullptr);
+  ASSERT_TRUE(subscriber->Subscribe(5).ok());
+
+  for (const FeedTick& tick : feed.ticks) {
+    for (const auto& batch : tick.batches) {
+      const auto ack =
+          ingest->ReportBatch(tick.tick, ToWire(batch), /*max_retries=*/100);
+      ASSERT_TRUE(ack.ok());
+      ASSERT_EQ(ack->code, 0) << ack->message;
+    }
+    const auto ack = ingest->EndTick(tick.tick, /*max_retries=*/100);
+    ASSERT_TRUE(ack.ok());
+    ASSERT_EQ(ack->code, 0) << ack->message;
+  }
+  const auto fin = ingest->Finish(/*max_retries=*/100);
+  ASSERT_TRUE(fin.ok());
+  ASSERT_EQ(fin->code, 0) << fin->message;
+
+  std::vector<Convoy> closed;
+  for (;;) {
+    const auto event = subscriber->NextEvent();
+    ASSERT_TRUE(event.ok()) << event.status();
+    if (static_cast<EventKind>(event->kind) == EventKind::kConvoyClosed) {
+      closed.push_back(event->convoy);
+    }
+    if (static_cast<EventKind>(event->kind) == EventKind::kStreamEnd) break;
+  }
+  EXPECT_EQ(closed, LocalReplay(feed));
+}
+
+TEST_F(ServerTest, QueryMatchesLocalEngineAndExplains) {
+  auto ingest = Connect();
+  ASSERT_NE(ingest, nullptr);
+  ConvoyQuery query{2, 3, 1.0};
+  ASSERT_TRUE(ingest->IngestBegin(1, query).ok());
+
+  TrajectoryDatabase local_db;
+  std::map<ObjectId, std::vector<TimedPoint>> rows;
+  for (Tick t = 0; t < 5; ++t) {
+    std::vector<PositionReport> batch;
+    for (ObjectId id = 1; id <= 3; ++id) {
+      const double x = static_cast<double>(id) * 0.4;
+      const double y = static_cast<double>(t);
+      batch.push_back({id, x, y});
+      rows[id].push_back(TimedPoint(x, y, t));
+    }
+    ASSERT_EQ(ingest->ReportBatch(t, batch, 100)->code, 0);
+    ASSERT_EQ(ingest->EndTick(t, 100)->code, 0);
+  }
+  for (auto& [id, samples] : rows) {
+    local_db.Add(Trajectory(id, std::move(samples)));
+  }
+
+  const auto result = ingest->Query(1, query, /*algo=*/0, /*explain=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->code, 0) << result->message;
+  EXPECT_FALSE(result->explain.empty());
+
+  ConvoyEngine local_engine(std::move(local_db));
+  const auto plan = local_engine.Prepare(query);
+  ASSERT_TRUE(plan.ok());
+  auto local = local_engine.Execute(*plan);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(result->convoys, std::move(*local).TakeConvoys());
+
+  // Unknown stream and out-of-range algo are typed errors, not closes.
+  EXPECT_EQ(ingest->Query(99, query)->code,
+            static_cast<uint8_t>(StatusCode::kNotFound));
+  EXPECT_NE(ingest->Query(1, query, /*algo=*/200)->code, 0);
+  // The connection still works afterwards.
+  EXPECT_EQ(ingest->Query(1, query)->code, 0);
+}
+
+TEST_F(ServerTest, OneIngestStreamPerConnection) {
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->IngestBegin(1, ConvoyQuery{2, 2, 1.0}).ok());
+  // A second stream on the same connection is refused (batch frames carry
+  // no stream id, so ownership must stay unambiguous)...
+  const Status second = client->IngestBegin(2, ConvoyQuery{2, 2, 1.0});
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  // ...and so is stealing a stream that a live connection owns.
+  auto thief = Connect();
+  ASSERT_NE(thief, nullptr);
+  EXPECT_EQ(thief->IngestBegin(1, ConvoyQuery{2, 2, 1.0}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServerTest, StreamSurvivesProducerAndIsAdoptable) {
+  ConvoyQuery query{2, 2, 1.0};
+  {
+    auto first = Connect();
+    ASSERT_NE(first, nullptr);
+    ASSERT_TRUE(first->IngestBegin(3, query).ok());
+    ASSERT_EQ(first->ReportBatch(0, {{1, 0, 0}, {2, 0, 0.5}}, 100)->code, 0);
+    ASSERT_EQ(first->EndTick(0, 100)->code, 0);
+  }  // producer drops without Finish
+
+  // The rows stay queryable from another connection...
+  auto second = Connect();
+  ASSERT_NE(second, nullptr);
+  for (int attempt = 0;; ++attempt) {
+    // The server reaps the dead owner lazily; adoption may need a retry
+    // while the old connection's teardown is still in flight.
+    const Status adopted = second->IngestBegin(3, query);
+    if (adopted.ok()) break;
+    ASSERT_LT(attempt, 100) << adopted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // ...and the adopted session continues where the stream left off.
+  ASSERT_EQ(second->ReportBatch(1, {{1, 0, 0}, {2, 0, 0.5}}, 100)->code, 0);
+  ASSERT_EQ(second->EndTick(1, 100)->code, 0);
+  ASSERT_EQ(second->Finish(100)->code, 0);
+
+  const auto result = second->Query(3, query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->code, 0) << result->message;
+  ASSERT_EQ(result->convoys.size(), 1u);
+  EXPECT_EQ(result->convoys[0].start_tick, 0);
+  EXPECT_EQ(result->convoys[0].end_tick, 1);
+}
+
+TEST_F(ServerTest, StatsJsonCarriesServerCounters) {
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->IngestBegin(1, ConvoyQuery{2, 2, 1.0}).ok());
+  ASSERT_EQ(client->ReportBatch(0, {{1, 0, 0}}, 100)->code, 0);
+  ASSERT_EQ(client->EndTick(0, 100)->code, 0);
+  ASSERT_EQ(client->Finish(100)->code, 0);
+
+  const auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"schema\":\"convoy-server-stats-v1\""),
+            std::string::npos);
+  EXPECT_NE(stats->find("server.batches_accepted"), std::string::npos);
+  EXPECT_NE(stats->find("server.events_emitted"), std::string::npos);
+  EXPECT_NE(stats->find("server.active_sessions_max"), std::string::npos);
+  // In-process view agrees on the schema line.
+  EXPECT_NE(server_->StatsJson().find("convoy-server-stats-v1"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, HandshakeVersionMismatchRejected) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  HelloMsg hello;
+  hello.version = 99;
+  ASSERT_TRUE(WriteFrame(fd, Encode(hello)).ok());
+  const auto frame = ReadFrame(fd);
+  ASSERT_TRUE(frame.ok());
+  const auto ack = DecodeHelloAck(*frame);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->accepted, 0);
+  EXPECT_EQ(ack->version, kProtocolVersion);
+  EXPECT_FALSE(ack->message.empty());
+  // The server closes the connection after a rejected handshake.
+  EXPECT_FALSE(ReadFrame(fd).ok());
+  ::close(fd);
+}
+
+TEST_F(ServerTest, RequestsBeforeHandshakeRejected) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // First frame is not kHello — the server must hang up, not crash.
+  ASSERT_TRUE(WriteFrame(fd, Encode(StatsRequestMsg{})).ok());
+  EXPECT_FALSE(ReadFrame(fd).ok());
+  ::close(fd);
+}
+
+TEST_F(ServerTest, ShutdownWithLiveClientsIsClean) {
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->IngestBegin(1, ConvoyQuery{2, 2, 1.0}).ok());
+  ASSERT_EQ(client->ReportBatch(0, {{1, 0, 0}}, 100)->code, 0);
+  // Shut down with an open tick and a connected client: must drain the
+  // worker and join every thread without hanging. TearDown verifies
+  // idempotence by shutting down again.
+  server_->Shutdown();
+}
+
+}  // namespace
+}  // namespace convoy::server

@@ -1,0 +1,238 @@
+#include "datagen/stream_feed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/streaming.h"
+
+namespace convoy {
+namespace {
+
+StreamFeedConfig SmallConfig() {
+  StreamFeedConfig config;
+  config.num_objects = 20;
+  config.ticks = 15;
+  config.batch_rows = 6;
+  config.num_groups = 2;
+  config.group_size = 4;
+  return config;
+}
+
+TEST(StreamFeedTest, DeterministicInConfigAndSeed) {
+  const StreamFeed a = GenerateStreamFeed(SmallConfig(), 42);
+  const StreamFeed b = GenerateStreamFeed(SmallConfig(), 42);
+  ASSERT_EQ(a.ticks.size(), b.ticks.size());
+  for (size_t t = 0; t < a.ticks.size(); ++t) {
+    ASSERT_EQ(a.ticks[t].batches.size(), b.ticks[t].batches.size());
+    for (size_t i = 0; i < a.ticks[t].batches.size(); ++i) {
+      const auto& ba = a.ticks[t].batches[i];
+      const auto& bb = b.ticks[t].batches[i];
+      ASSERT_EQ(ba.size(), bb.size());
+      for (size_t r = 0; r < ba.size(); ++r) {
+        EXPECT_EQ(ba[r].id, bb[r].id);
+        EXPECT_EQ(ba[r].pos.x, bb[r].pos.x);
+        EXPECT_EQ(ba[r].pos.y, bb[r].pos.y);
+      }
+    }
+  }
+  // A different seed actually varies the feed.
+  const StreamFeed c = GenerateStreamFeed(SmallConfig(), 43);
+  bool differs = false;
+  for (size_t t = 0; !differs && t < a.ticks.size(); ++t) {
+    if (a.ticks[t].total_rows != c.ticks[t].total_rows) {
+      differs = true;
+      break;
+    }
+    if (!a.ticks[t].batches.empty() && !c.ticks[t].batches.empty()) {
+      const FeedRow& ra = a.ticks[t].batches[0][0];
+      const FeedRow& rc = c.ticks[t].batches[0][0];
+      differs =
+          ra.id != rc.id || ra.pos.x != rc.pos.x || ra.pos.y != rc.pos.y;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(StreamFeedTest, ShapeInvariants) {
+  const StreamFeedConfig config = SmallConfig();
+  const StreamFeed feed = GenerateStreamFeed(config, 7);
+  ASSERT_EQ(feed.ticks.size(), static_cast<size_t>(config.ticks));
+  for (size_t t = 0; t < feed.ticks.size(); ++t) {
+    const FeedTick& tick = feed.ticks[t];
+    EXPECT_EQ(tick.tick, static_cast<Tick>(t));  // tick-ordered, no gaps
+    size_t rows = 0;
+    std::set<ObjectId> seen;
+    for (const auto& batch : tick.batches) {
+      EXPECT_FALSE(batch.empty());
+      EXPECT_LE(batch.size(), config.batch_rows);  // rate shaping
+      for (const FeedRow& row : batch) {
+        EXPECT_LT(row.id, config.num_objects);
+        EXPECT_TRUE(std::isfinite(row.pos.x));
+        EXPECT_TRUE(std::isfinite(row.pos.y));
+        EXPECT_TRUE(seen.insert(row.id).second)  // one report per object
+            << "object " << row.id << " reported twice in tick " << t;
+      }
+      rows += batch.size();
+    }
+    EXPECT_EQ(rows, tick.total_rows);
+    EXPECT_LE(rows, config.num_objects);
+  }
+  // The suggested query is valid for streaming use.
+  EXPECT_GE(feed.query.m, 2u);
+  EXPECT_GE(feed.query.k, 2);
+  EXPECT_GT(feed.query.e, 0.0);
+}
+
+TEST(StreamFeedTest, NoDropoutNoChurnReportsEveryObjectEveryTick) {
+  StreamFeedConfig config = SmallConfig();
+  config.dropout = 0.0;
+  config.leave_prob = 0.0;
+  const StreamFeed feed = GenerateStreamFeed(config, 3);
+  for (const FeedTick& tick : feed.ticks) {
+    EXPECT_EQ(tick.total_rows, config.num_objects);
+  }
+}
+
+TEST(StreamFeedTest, DropoutThinsReports) {
+  StreamFeedConfig config = SmallConfig();
+  config.dropout = 0.4;
+  const StreamFeed feed = GenerateStreamFeed(config, 3);
+  size_t total = 0;
+  for (const FeedTick& tick : feed.ticks) total += tick.total_rows;
+  const size_t max_possible =
+      config.num_objects * static_cast<size_t>(config.ticks);
+  // With 40% dropout the total must fall clearly below full attendance
+  // (and stay above an implausibly low floor).
+  EXPECT_LT(total, max_possible * 8 / 10);
+  EXPECT_GT(total, max_possible * 3 / 10);
+}
+
+TEST(StreamFeedTest, DropoutDoesNotPerturbMovement) {
+  // The dropout draw happens after the position draw, so the surviving
+  // rows of a lossy feed coincide exactly with the same rows of the
+  // lossless feed — dropping reports must not steer the objects.
+  StreamFeedConfig clean = SmallConfig();
+  clean.dropout = 0.0;
+  StreamFeedConfig lossy = clean;
+  lossy.dropout = 0.3;
+  const StreamFeed full = GenerateStreamFeed(clean, 11);
+  const StreamFeed thin = GenerateStreamFeed(lossy, 11);
+
+  for (size_t t = 0; t < full.ticks.size(); ++t) {
+    std::map<ObjectId, Point> full_pos;
+    for (const auto& batch : full.ticks[t].batches) {
+      for (const FeedRow& row : batch) full_pos[row.id] = row.pos;
+    }
+    for (const auto& batch : thin.ticks[t].batches) {
+      for (const FeedRow& row : batch) {
+        const auto it = full_pos.find(row.id);
+        ASSERT_NE(it, full_pos.end());
+        EXPECT_EQ(row.pos.x, it->second.x) << "tick " << t;
+        EXPECT_EQ(row.pos.y, it->second.y);
+      }
+    }
+  }
+}
+
+TEST(StreamFeedTest, PlantedGroupsFormConvoysUnderSuggestedQuery) {
+  StreamFeedConfig config = SmallConfig();
+  config.dropout = 0.0;
+  config.leave_prob = 0.0;
+  const StreamFeed feed = GenerateStreamFeed(config, 5);
+
+  StreamingCmc stream(feed.query);
+  std::vector<Convoy> closed;
+  for (const FeedTick& tick : feed.ticks) {
+    ASSERT_TRUE(stream.BeginTick(tick.tick).ok());
+    for (const auto& batch : tick.batches) {
+      for (const FeedRow& row : batch) {
+        ASSERT_TRUE(stream.Report(row.id, row.pos).ok());
+      }
+    }
+    const auto result = stream.EndTick();
+    ASSERT_TRUE(result.ok());
+    closed.insert(closed.end(), result->begin(), result->end());
+  }
+  const auto final_result = stream.Finish();
+  ASSERT_TRUE(final_result.ok());
+  closed.insert(closed.end(), final_result->begin(), final_result->end());
+
+  // Each planted group (ids g*group_size .. g*group_size+group_size-1)
+  // must appear inside some discovered convoy.
+  for (size_t g = 0; g < config.num_groups; ++g) {
+    bool found = false;
+    for (const Convoy& convoy : closed) {
+      bool all = true;
+      for (size_t member = 0; member < config.group_size; ++member) {
+        const ObjectId id =
+            static_cast<ObjectId>(g * config.group_size + member);
+        if (!std::binary_search(convoy.objects.begin(), convoy.objects.end(),
+                                id)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "group " << g << " never formed a convoy";
+  }
+}
+
+TEST(StreamFeedTest, ChurnProducesLeaversThatReturn) {
+  StreamFeedConfig config = SmallConfig();
+  config.ticks = 60;
+  config.leave_prob = 0.15;
+  config.rejoin_prob = 0.3;
+  config.dropout = 0.0;
+  const StreamFeed feed = GenerateStreamFeed(config, 9);
+
+  // With churn on, group members wander far from the anchor while away.
+  // Detect it via per-object displacement between consecutive reports of
+  // members vs the group anchor: an away member's distance to its group
+  // peers must exceed the in-formation bound at some tick, then return
+  // within it later (the vanish-and-return pattern carry_forward tests
+  // rely on).
+  const ObjectId member0 = 0;
+  const ObjectId member1 = 1;  // same group as member0
+  std::vector<double> gaps;
+  for (const FeedTick& tick : feed.ticks) {
+    Point p0{}, p1{};
+    bool s0 = false, s1 = false;
+    for (const auto& batch : tick.batches) {
+      for (const FeedRow& row : batch) {
+        if (row.id == member0) {
+          p0 = row.pos;
+          s0 = true;
+        } else if (row.id == member1) {
+          p1 = row.pos;
+          s1 = true;
+        }
+      }
+    }
+    if (s0 && s1) {
+      const double dx = p0.x - p1.x;
+      const double dy = p0.y - p1.y;
+      gaps.push_back(std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  ASSERT_GT(gaps.size(), 10u);
+  const double formation_bound = 3.0 * config.group_spread;
+  bool left = false;
+  bool returned_after_leaving = false;
+  for (const double gap : gaps) {
+    if (gap > formation_bound) left = true;
+    if (left && gap <= formation_bound) returned_after_leaving = true;
+  }
+  EXPECT_TRUE(left) << "no member ever left its formation";
+  EXPECT_TRUE(returned_after_leaving) << "no leaver ever rejoined";
+}
+
+}  // namespace
+}  // namespace convoy

@@ -216,6 +216,116 @@ TEST(StreamingCmcTest, ProtocolViolationsAreStatusErrors) {
   EXPECT_TRUE(stream.Finish().ok());
 }
 
+// ---------------------------------------------------------------------------
+// Session-lifecycle edges the server's ingest path relies on: every
+// misuse is a recoverable Status, never UB, and the documented behaviors
+// below are what src/server/session.cc builds its state machine on.
+
+TEST(StreamingCmcTest, ReportAfterFinishIsRecoverableError) {
+  StreamingCmc stream(ConvoyQuery{2, 2, 1.0});
+  for (const Tick t : {0, 1, 2}) {
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
+  }
+  ASSERT_EQ(stream.Finish().value().size(), 1u);
+
+  // Reports and EndTicks after Finish are rejected exactly like any
+  // no-tick-open misuse — kFailedPrecondition, state untouched.
+  EXPECT_EQ(stream.Report(0, Point(1, 1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.EndTick().status().code(),
+            StatusCode::kFailedPrecondition);
+  // A second Finish is harmless: the tracker was already flushed.
+  EXPECT_TRUE(stream.Finish().ok());
+  EXPECT_TRUE(stream.Finish().value().empty());
+
+  // Documented behavior (not an error): the stream may resume after
+  // Finish with a later tick — monotonicity still holds across the
+  // flush, and lifetimes restart from scratch.
+  ASSERT_TRUE(stream.BeginTick(1).code() == StatusCode::kInvalidArgument);
+  ASSERT_TRUE(stream.BeginTick(3).ok());
+  ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+  ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+  ASSERT_TRUE(stream.EndTick().ok());
+  EXPECT_TRUE(stream.Finish().value().empty());  // lifetime 1 < k
+}
+
+TEST(StreamingCmcTest, EndTickWithZeroReportsBreaksCandidates) {
+  StreamingCmc stream(ConvoyQuery{2, 2, 1.0});
+  for (const Tick t : {0, 1}) {
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    ASSERT_TRUE(stream.EndTick().ok());
+  }
+  // An explicitly empty tick is valid input (the server forwards ticks
+  // whose every report was dropped); it ends the running convoy.
+  ASSERT_TRUE(stream.BeginTick(2).ok());
+  const auto closed = stream.EndTick();
+  ASSERT_TRUE(closed.ok());
+  ASSERT_EQ(closed->size(), 1u);
+  EXPECT_EQ((*closed)[0].start_tick, 0);
+  EXPECT_EQ((*closed)[0].end_tick, 1);
+  EXPECT_EQ(stream.LiveCandidates(), 0u);
+  EXPECT_TRUE(stream.Finish().value().empty());
+}
+
+TEST(StreamingCmcTest, CarryForwardVanishAndReturn) {
+  // Object 1 goes silent for two ticks, then returns. With
+  // carry_forward_ticks = 2 the silence is bridged both times, so the
+  // convoy spans the whole feed as one group.
+  StreamingCmc::Options options;
+  options.carry_forward_ticks = 2;
+  StreamingCmc stream(ConvoyQuery{2, 2, 1.0}, options);
+  std::vector<Convoy> closed;
+  for (Tick t = 0; t < 7; ++t) {
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    const bool silent = t == 2 || t == 3;
+    if (!silent) {
+      ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    }
+    const auto result = stream.EndTick();
+    ASSERT_TRUE(result.ok());
+    closed.insert(closed.end(), result->begin(), result->end());
+  }
+  EXPECT_TRUE(closed.empty());
+  const auto final_result = stream.Finish().value();
+  ASSERT_EQ(final_result.size(), 1u);
+  EXPECT_EQ(final_result[0].objects, (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(final_result[0].start_tick, 0);
+  EXPECT_EQ(final_result[0].end_tick, 6);
+}
+
+TEST(StreamingCmcTest, CarryForwardExpiryEndsTheConvoy) {
+  // Same feed, but the silence (two ticks) outlives carry_forward = 1:
+  // the group breaks at the vanish and reforms at the return.
+  StreamingCmc::Options options;
+  options.carry_forward_ticks = 1;
+  StreamingCmc stream(ConvoyQuery{2, 3, 1.0}, options);
+  std::vector<Convoy> closed;
+  for (Tick t = 0; t < 8; ++t) {
+    ASSERT_TRUE(stream.BeginTick(t).ok());
+    ASSERT_TRUE(stream.Report(0, Point(0, 0)).ok());
+    const bool silent = t == 3 || t == 4;
+    if (!silent) {
+      ASSERT_TRUE(stream.Report(1, Point(0, 0.5)).ok());
+    }
+    const auto result = stream.EndTick();
+    ASSERT_TRUE(result.ok());
+    closed.insert(closed.end(), result->begin(), result->end());
+  }
+  const auto final_result = stream.Finish().value();
+  closed.insert(closed.end(), final_result.begin(), final_result.end());
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].start_tick, 0);
+  EXPECT_EQ(closed[0].end_tick, 3);  // tick 3 bridged by carry-forward
+  EXPECT_EQ(closed[1].start_tick, 5);
+  EXPECT_EQ(closed[1].end_tick, 7);
+}
+
 TEST(StreamingCmcTest, HandcraftedEquivalence) {
   const auto db = FromXRows({{0, 1, 2, 3, 4, 5, 6},
                              {50, 20, 2.2, 3.2, 4.2, 30, 60},

@@ -21,6 +21,8 @@
 //   3  invalid query or filter options (ValidateQuery rejected them)
 //   4  data error (the input parsed to an empty database)
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -28,6 +30,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "convoy/convoy.h"
@@ -65,6 +68,12 @@ struct CliOptions {
   double clean_max_speed = -1.0;
   convoy::Tick clean_max_gap = -1;
   bool clean_stationary = false;
+  // Server mode (--serve): run the convoy streaming server in-process.
+  bool serve = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t ring_capacity = 64;
+  double max_seconds = -1.0;  // < 0: run until signalled
 };
 
 void PrintUsage() {
@@ -90,7 +99,11 @@ void PrintUsage() {
       "grid indexes make warm runs cheaper).\n\n"
       "Generate a synthetic dataset:\n"
       "  convoy_cli --generate trucklike|cattlelike|carlike|taxilike\n"
-      "             --output data.csv [--seed N] [--scale S]\n";
+      "             --output data.csv [--seed N] [--scale S]\n\n"
+      "Serve the streaming ingest/subscription/query protocol over TCP\n"
+      "(same server as the convoy_serverd daemon; see README \"Server\"):\n"
+      "  convoy_cli --serve [--host H] [--port P] [--ring-capacity N]\n"
+      "             [--max-seconds S]\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
@@ -147,6 +160,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
       opts->clean_max_speed = std::strtod(value, nullptr);
     } else if (arg == "--clean-max-gap" && (value = next())) {
       opts->clean_max_gap = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--serve") {
+      opts->serve = true;
+    } else if (arg == "--host" && (value = next())) {
+      opts->host = value;
+    } else if (arg == "--port" && (value = next())) {
+      opts->port = static_cast<uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--ring-capacity" && (value = next())) {
+      opts->ring_capacity =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--max-seconds" && (value = next())) {
+      opts->max_seconds = std::strtod(value, nullptr);
     } else if (arg == "--clean-stationary") {
       opts->clean_stationary = true;
     } else if (arg == "--rtree") {
@@ -168,7 +192,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, double* theta) {
     const bool flag_arg = arg == "--stats" || arg == "--verify" ||
                           arg == "--explain" || arg == "--explain-analyze" ||
                           arg == "--rtree" || arg == "--exact-refine" ||
-                          arg == "--clean-stationary";
+                          arg == "--clean-stationary" || arg == "--serve";
     if (value == nullptr && arg.rfind("--", 0) == 0 && !flag_arg) {
       return false;
     }
@@ -204,17 +228,55 @@ int Generate(const CliOptions& opts) {
   return kExitOk;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+// --serve: the same ConvoyServer that convoy_serverd runs, embedded in the
+// CLI so a single binary covers batch discovery and the live protocol.
+int Serve(const CliOptions& opts) {
+  convoy::server::ServerOptions server_options;
+  server_options.host = opts.host;
+  server_options.port = opts.port;
+  server_options.ring_capacity =
+      opts.ring_capacity == 0 ? 1 : opts.ring_capacity;
+
+  convoy::server::ConvoyServer server(server_options);
+  if (const convoy::Status started = server.Start(); !started.ok()) {
+    std::cerr << "cannot start: " << started << "\n";
+    return kExitIo;
+  }
+  // Same scrapeable line as convoy_serverd — keep the format stable.
+  std::cout << "listening on " << server.host() << ":" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  convoy::Stopwatch uptime;
+  while (g_stop == 0) {
+    if (opts.max_seconds >= 0 &&
+        uptime.ElapsedSeconds() >= opts.max_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "shutting down\n";
+  server.Shutdown();
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions opts;
   double theta = 0.8;
   if (!ParseArgs(argc, argv, &opts, &theta) ||
-      (opts.input.empty() && opts.generate.empty())) {
+      (opts.input.empty() && opts.generate.empty() && !opts.serve)) {
     PrintUsage();
     return argc > 1 ? kExitUsage : kExitOk;
   }
 
+  if (opts.serve) return Serve(opts);
   if (!opts.generate.empty()) return Generate(opts);
 
   convoy::CutsFilterOptions filter_options;

@@ -1,0 +1,523 @@
+// convoy_loadgen — concurrent load generator for convoy_serverd.
+//
+// Usage:
+//   convoy_loadgen --port P [--host 127.0.0.1] [--ingest 8] [--query 4]
+//                  [--ticks 40] [--objects 32] [--batch-rows 12]
+//                  [--window 4] [--seed 7] [--carry-forward 2]
+//                  [--json BENCH_server.json] [--verify]
+//
+// Spawns N ingest clients (each: one connection driving one ingest stream
+// fed by datagen/stream_feed.h, plus one subscriber connection receiving
+// the stream's convoy events) and M query clients issuing ad-hoc planned
+// queries against the live streams. Batches are pipelined up to --window
+// unacked frames; a retryable flow-control NAK (ring full) backs off and
+// resends, so the accepted row set is exactly the generated feed.
+//
+// --verify replays every feed through a local StreamingCmc and requires
+// the subscriber's closed-convoy events to match bit-identically — the
+// server's network/ring/worker path must not change the answer.
+//
+// --json writes a BENCH_server.json ("convoy-bench-server-v1"): ingest
+// throughput, subscription latency quantiles, query latency quantiles,
+// and the verification verdict. Exit 0 on full success, 1 on usage
+// errors, 2 on connection failures, 3 on NAK/verify failures.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "convoy/convoy.h"
+
+namespace {
+
+using convoy::server::AckMsg;
+using convoy::server::ConvoyClient;
+using convoy::server::EventKind;
+using convoy::server::EventMsg;
+using convoy::server::PositionReport;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t ingest = 8;
+  size_t query = 4;
+  convoy::Tick ticks = 40;
+  size_t objects = 32;
+  size_t batch_rows = 12;
+  size_t window = 4;
+  uint64_t seed = 7;
+  convoy::Tick carry_forward = 2;
+  std::string json_out;
+  bool verify = false;
+};
+
+bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      opts->host = value;
+    } else if (arg == "--port" && (value = next())) {
+      opts->port = static_cast<uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--ingest" && (value = next())) {
+      opts->ingest = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--query" && (value = next())) {
+      opts->query = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--ticks" && (value = next())) {
+      opts->ticks = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--objects" && (value = next())) {
+      opts->objects = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--batch-rows" && (value = next())) {
+      opts->batch_rows =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--window" && (value = next())) {
+      opts->window = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--seed" && (value = next())) {
+      opts->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--carry-forward" && (value = next())) {
+      opts->carry_forward = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--json" && (value = next())) {
+      opts->json_out = value;
+    } else if (arg == "--verify") {
+      opts->verify = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+    if (value == nullptr && arg.rfind("--", 0) == 0 && arg != "--verify" &&
+        arg != "--help") {
+      return false;
+    }
+  }
+  return opts->port != 0;
+}
+
+std::vector<PositionReport> ToWire(const std::vector<convoy::FeedRow>& rows) {
+  std::vector<PositionReport> wire;
+  wire.reserve(rows.size());
+  for (const convoy::FeedRow& row : rows) {
+    wire.push_back(PositionReport{row.id, row.pos.x, row.pos.y});
+  }
+  return wire;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Everything one ingest stream produces, written by its ingest worker and
+/// subscriber thread, read by main after the joins.
+struct StreamRun {
+  uint64_t stream_id = 0;
+  convoy::StreamFeed feed;
+
+  // Written by the ingest thread right before SendEndTick(t); read by the
+  // subscriber when the kTick event for t arrives (which the send
+  // happens-before in real time; atomics keep the access race-free).
+  std::vector<std::atomic<int64_t>> endtick_send_us;
+
+  // Subscriber-thread results (read after join).
+  std::vector<double> sub_latency_ms;
+  std::vector<convoy::Convoy> closed_events;
+  size_t events_received = 0;
+  bool stream_end_seen = false;
+
+  // Ingest-thread results.
+  uint64_t rows_accepted = 0;
+  uint64_t batches_sent = 0;
+  uint64_t retry_naks = 0;
+  bool ok = true;
+  std::string error;
+
+  explicit StreamRun(size_t ticks) : endtick_send_us(ticks) {}
+};
+
+void SubscriberLoop(const LoadgenOptions& opts, StreamRun* run,
+                    ConvoyClient* client) {
+  for (;;) {
+    convoy::StatusOr<EventMsg> event = client->NextEvent();
+    if (!event.ok()) return;  // connection closed (normal after kStreamEnd)
+    ++run->events_received;
+    const auto kind = static_cast<EventKind>(event->kind);
+    if (kind == EventKind::kTick) {
+      const auto tick = static_cast<size_t>(event->tick);
+      if (tick < run->endtick_send_us.size()) {
+        const int64_t sent = run->endtick_send_us[tick].load();
+        if (sent > 0) {
+          run->sub_latency_ms.push_back(NowMs() -
+                                        static_cast<double>(sent) / 1000.0);
+        }
+      }
+    } else if (kind == EventKind::kConvoyClosed) {
+      run->closed_events.push_back(event->convoy);
+    } else if (kind == EventKind::kStreamEnd) {
+      run->stream_end_seen = true;
+      return;
+    }
+  }
+  (void)opts;
+}
+
+/// Sends one frame and awaits its ack, backing off and resending while the
+/// server NAKs with retryable=1 (ring full). Returns the final ack.
+template <typename SendFn>
+convoy::StatusOr<AckMsg> SendWithFlowControl(ConvoyClient& client,
+                                             SendFn send, StreamRun* run) {
+  for (;;) {
+    convoy::StatusOr<AckMsg> ack = client.AwaitAck(send());
+    if (!ack.ok()) return ack;
+    if (ack->code == 0 || ack->retryable == 0) return ack;
+    ++run->retry_naks;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void IngestLoop(const LoadgenOptions& opts, StreamRun* run) {
+  auto connected = ConvoyClient::Connect(opts.host, opts.port);
+  if (!connected.ok()) {
+    run->ok = false;
+    run->error = "connect: " + connected.status().ToString();
+    return;
+  }
+  std::unique_ptr<ConvoyClient> client = std::move(*connected);
+
+  const convoy::Status begun =
+      client->IngestBegin(run->stream_id, run->feed.query, opts.carry_forward);
+  if (!begun.ok()) {
+    run->ok = false;
+    run->error = "IngestBegin: " + begun.ToString();
+    return;
+  }
+
+  // The subscriber rides a second connection, subscribed before the first
+  // batch so it observes every event of the stream.
+  auto sub_connected = ConvoyClient::Connect(opts.host, opts.port);
+  if (!sub_connected.ok()) {
+    run->ok = false;
+    run->error = "subscriber connect: " + sub_connected.status().ToString();
+    return;
+  }
+  std::unique_ptr<ConvoyClient> subscriber = std::move(*sub_connected);
+  if (const convoy::Status s = subscriber->Subscribe(run->stream_id);
+      !s.ok()) {
+    run->ok = false;
+    run->error = "Subscribe: " + s.ToString();
+    return;
+  }
+  convoy::ServiceThread sub_thread("loadgen-subscriber", [&] {
+    SubscriberLoop(opts, run, subscriber.get());
+  });
+
+  for (const convoy::FeedTick& tick : run->feed.ticks) {
+    // Pipeline batches up to the window, then drain; a tick boundary is a
+    // barrier so a retried batch can never land after its EndTick.
+    std::vector<uint64_t> outstanding;
+    std::vector<size_t> outstanding_batch;
+    const auto await_front = [&]() -> bool {
+      convoy::StatusOr<AckMsg> ack = client->AwaitAck(outstanding.front());
+      const size_t batch_idx = outstanding_batch.front();
+      outstanding.erase(outstanding.begin());
+      outstanding_batch.erase(outstanding_batch.begin());
+      if (!ack.ok()) {
+        run->ok = false;
+        run->error = "AwaitAck: " + ack.status().ToString();
+        return false;
+      }
+      if (ack->code != 0 && ack->retryable != 0) {
+        // Flow control: resend the same batch (still before EndTick).
+        ++run->retry_naks;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        outstanding.push_back(
+            client->SendBatch(tick.tick, ToWire(tick.batches[batch_idx])));
+        outstanding_batch.push_back(batch_idx);
+        return true;
+      }
+      if (ack->code != 0) {
+        run->ok = false;
+        run->error = "batch NAK: " + ack->message;
+        return false;
+      }
+      run->rows_accepted += ack->accepted;
+      return true;
+    };
+
+    for (size_t b = 0; b < tick.batches.size(); ++b) {
+      outstanding.push_back(
+          client->SendBatch(tick.tick, ToWire(tick.batches[b])));
+      outstanding_batch.push_back(b);
+      ++run->batches_sent;
+      if (outstanding.size() >= std::max<size_t>(1, opts.window) &&
+          !await_front()) {
+        break;
+      }
+    }
+    while (run->ok && !outstanding.empty()) {
+      if (!await_front()) break;
+    }
+    if (!run->ok) break;
+
+    const auto t = static_cast<size_t>(tick.tick);
+    if (t < run->endtick_send_us.size()) {
+      run->endtick_send_us[t].store(
+          static_cast<int64_t>(NowMs() * 1000.0));
+    }
+    const convoy::StatusOr<AckMsg> ack = SendWithFlowControl(
+        *client, [&] { return client->SendEndTick(tick.tick); }, run);
+    if (!ack.ok() || ack->code != 0) {
+      run->ok = false;
+      run->error = "EndTick: " +
+                   (ack.ok() ? ack->message : ack.status().ToString());
+      break;
+    }
+  }
+
+  if (run->ok) {
+    const convoy::StatusOr<AckMsg> ack = SendWithFlowControl(
+        *client, [&] { return client->SendFinish(); }, run);
+    if (!ack.ok() || ack->code != 0) {
+      run->ok = false;
+      run->error = "Finish: " +
+                   (ack.ok() ? ack->message : ack.status().ToString());
+    }
+  }
+
+  if (!run->ok) {
+    // No kStreamEnd will ever come — wake the subscriber out of its read.
+    subscriber->ShutdownSocket();
+  }
+  sub_thread.Join();
+}
+
+void QueryLoop(const LoadgenOptions& opts,
+               const std::vector<std::unique_ptr<StreamRun>>& runs,
+               size_t worker, std::atomic<bool>* stop,
+               std::vector<double>* latencies_ms, std::atomic<bool>* ok) {
+  auto connected = ConvoyClient::Connect(opts.host, opts.port);
+  if (!connected.ok()) {
+    ok->store(false);
+    return;
+  }
+  std::unique_ptr<ConvoyClient> client = std::move(*connected);
+  size_t round = 0;
+  while (!stop->load()) {
+    const StreamRun& target = *runs[(worker + round) % runs.size()];
+    ++round;
+    const double start = NowMs();
+    const auto result =
+        client->Query(target.stream_id, target.feed.query, /*algo=*/0);
+    if (!result.ok()) {
+      ok->store(false);
+      return;
+    }
+    // kNotFound races with IngestBegin at startup — benign; any other
+    // error code is a real failure.
+    if (result->code != 0 &&
+        result->code != static_cast<uint8_t>(convoy::StatusCode::kNotFound)) {
+      ok->store(false);
+      return;
+    }
+    if (result->code == 0) latencies_ms->push_back(NowMs() - start);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Replays a feed through a local StreamingCmc; returns the closed convoys
+/// in emission order — the sequence the server's subscriber must match.
+std::vector<convoy::Convoy> LocalReplay(const convoy::StreamFeed& feed,
+                                        convoy::Tick carry_forward) {
+  convoy::StreamingCmc::Options options;
+  options.carry_forward_ticks = carry_forward;
+  convoy::StreamingCmc stream(feed.query, options);
+  std::vector<convoy::Convoy> closed;
+  for (const convoy::FeedTick& tick : feed.ticks) {
+    stream.BeginTick(tick.tick).IgnoreError();
+    for (const auto& batch : tick.batches) {
+      for (const convoy::FeedRow& row : batch) {
+        stream.Report(row.id, row.pos).IgnoreError();
+      }
+    }
+    auto result = stream.EndTick();
+    if (result.ok()) {
+      closed.insert(closed.end(), result->begin(), result->end());
+    }
+  }
+  auto final_result = stream.Finish();
+  if (final_result.ok()) {
+    closed.insert(closed.end(), final_result->begin(), final_result->end());
+  }
+  return closed;
+}
+
+void WriteQuantiles(std::ostream& out, std::vector<double> values) {
+  out << "{\"count\":" << values.size();
+  if (!values.empty()) {
+    out << ",\"p50\":" << convoy::Quantile(values, 0.50)
+        << ",\"p99\":" << convoy::Quantile(std::move(values), 0.99);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::cout
+        << "convoy_loadgen — load generator for convoy_serverd\n"
+           "  convoy_loadgen --port P [--host H] [--ingest N] [--query M]\n"
+           "                 [--ticks T] [--objects O] [--batch-rows B]\n"
+           "                 [--window W] [--seed S] [--carry-forward C]\n"
+           "                 [--json out.json] [--verify]\n";
+    return argc > 1 ? 1 : 0;
+  }
+  if (opts.ingest == 0) {
+    std::cerr << "--ingest must be >= 1\n";
+    return 1;
+  }
+
+  convoy::StreamFeedConfig config;
+  config.num_objects = opts.objects;
+  config.ticks = opts.ticks;
+  config.batch_rows = opts.batch_rows;
+  config.dropout = 0.05;
+  config.leave_prob = 0.02;
+  config.rejoin_prob = 0.3;
+
+  std::vector<std::unique_ptr<StreamRun>> runs;
+  runs.reserve(opts.ingest);
+  for (size_t i = 0; i < opts.ingest; ++i) {
+    auto run = std::make_unique<StreamRun>(
+        static_cast<size_t>(std::max<convoy::Tick>(opts.ticks, 0)));
+    run->stream_id = i + 1;
+    run->feed = convoy::GenerateStreamFeed(config, opts.seed + i);
+    runs.push_back(std::move(run));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> queries_ok{true};
+  std::vector<std::vector<double>> query_latencies(opts.query);
+
+  const double ingest_start = NowMs();
+  {
+    std::vector<convoy::ServiceThread> workers;
+    workers.reserve(opts.ingest + opts.query);
+    for (size_t i = 0; i < opts.ingest; ++i) {
+      StreamRun* run = runs[i].get();
+      workers.emplace_back("loadgen-ingest",
+                           [&opts, run] { IngestLoop(opts, run); });
+    }
+    for (size_t j = 0; j < opts.query; ++j) {
+      std::vector<double>* lat = &query_latencies[j];
+      workers.emplace_back("loadgen-query", [&, j, lat] {
+        QueryLoop(opts, runs, j, &stop, lat, &queries_ok);
+      });
+    }
+    // Ingest workers are the first opts.ingest entries; join them, then
+    // stop the query workers (joined by the vector's destructor).
+    for (size_t i = 0; i < opts.ingest; ++i) workers[i].Join();
+    stop.store(true);
+  }
+  const double ingest_seconds = (NowMs() - ingest_start) / 1000.0;
+
+  uint64_t rows_accepted = 0;
+  uint64_t batches = 0;
+  uint64_t retry_naks = 0;
+  size_t events = 0;
+  std::vector<double> sub_latency_ms;
+  bool ingest_ok = true;
+  for (const auto& run : runs) {
+    rows_accepted += run->rows_accepted;
+    batches += run->batches_sent;
+    retry_naks += run->retry_naks;
+    events += run->events_received;
+    sub_latency_ms.insert(sub_latency_ms.end(), run->sub_latency_ms.begin(),
+                          run->sub_latency_ms.end());
+    if (!run->ok || !run->stream_end_seen) {
+      ingest_ok = false;
+      std::cerr << "stream " << run->stream_id << " failed: "
+                << (run->error.empty() ? "no kStreamEnd event" : run->error)
+                << "\n";
+    }
+  }
+  std::vector<double> query_ms;
+  for (const auto& lat : query_latencies) {
+    query_ms.insert(query_ms.end(), lat.begin(), lat.end());
+  }
+
+  size_t verified_ok = 0;
+  if (opts.verify) {
+    for (const auto& run : runs) {
+      const std::vector<convoy::Convoy> expected =
+          LocalReplay(run->feed, opts.carry_forward);
+      if (expected == run->closed_events) {
+        ++verified_ok;
+      } else {
+        std::cerr << "verify FAILED for stream " << run->stream_id
+                  << ": expected " << expected.size()
+                  << " closed convoy event(s), got "
+                  << run->closed_events.size() << "\n";
+      }
+    }
+  }
+
+  const double rows_per_sec =
+      ingest_seconds > 0 ? static_cast<double>(rows_accepted) / ingest_seconds
+                         : 0.0;
+  std::cout << "ingest: " << rows_accepted << " rows in " << ingest_seconds
+            << " s (" << rows_per_sec << " rows/s), " << batches
+            << " batches, " << retry_naks << " flow-control retries\n"
+            << "subscription: " << events << " events, "
+            << sub_latency_ms.size() << " tick latency samples\n"
+            << "queries: " << query_ms.size() << " completed\n";
+  if (opts.verify) {
+    std::cout << "verify: " << verified_ok << "/" << runs.size()
+              << " streams bit-identical to local replay\n";
+  }
+
+  if (!opts.json_out.empty()) {
+    std::ofstream out(opts.json_out);
+    if (!out) {
+      std::cerr << "cannot write " << opts.json_out << "\n";
+      return 2;
+    }
+    out << "{\"schema\":\"convoy-bench-server-v1\","
+        << "\"config\":{\"ingest_clients\":" << opts.ingest
+        << ",\"query_clients\":" << opts.query << ",\"ticks\":" << opts.ticks
+        << ",\"objects\":" << opts.objects << ",\"batch_rows\":"
+        << opts.batch_rows << ",\"window\":" << opts.window
+        << ",\"seed\":" << opts.seed << "},"
+        << "\"ingest\":{\"rows_accepted\":" << rows_accepted
+        << ",\"batches\":" << batches << ",\"retryable_naks\":" << retry_naks
+        << ",\"seconds\":" << ingest_seconds
+        << ",\"rows_per_sec\":" << rows_per_sec << "},"
+        << "\"subscription\":{\"events\":" << events << ",\"latency_ms\":";
+    WriteQuantiles(out, sub_latency_ms);
+    out << "},\"query\":{\"latency_ms\":";
+    WriteQuantiles(out, query_ms);
+    out << "},\"verify\":{\"enabled\":" << (opts.verify ? "true" : "false")
+        << ",\"streams_ok\":" << verified_ok
+        << ",\"streams_total\":" << runs.size() << "}}\n";
+    std::cout << "wrote " << opts.json_out << "\n";
+  }
+
+  if (!ingest_ok || !queries_ok.load()) return 3;
+  if (opts.verify && verified_ok != runs.size()) return 3;
+  return 0;
+}

@@ -1,0 +1,129 @@
+// convoy_serverd — the convoy streaming server daemon.
+//
+// Usage:
+//   convoy_serverd [--host 127.0.0.1] [--port 0] [--ring-capacity 64]
+//                  [--stats-json out.json] [--max-seconds S]
+//
+// Binds a TCP listener (port 0 = ephemeral; the bound port is printed as
+// "listening on HOST:PORT" so scripts can scrape it), then serves the
+// length-prefixed binary protocol of src/server/protocol.h: streaming
+// ingest sessions, live convoy subscriptions, ad-hoc planned queries, and
+// metrics dumps. See README "Server".
+//
+// Runs until SIGINT/SIGTERM (clean shutdown: every stream worker drains
+// and joins) or until --max-seconds elapses (for smoke tests). On exit,
+// --stats-json writes the server's metrics JSON — the same payload the
+// in-band kStatsRequest returns.
+//
+// Exit codes: 0 clean shutdown, 1 usage error, 2 cannot bind/write.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "convoy/convoy.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t ring_capacity = 64;
+  std::string stats_json;
+  double max_seconds = -1.0;  // < 0: run until signalled
+};
+
+bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      opts->host = value;
+    } else if (arg == "--port" && (value = next())) {
+      opts->port = static_cast<uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--ring-capacity" && (value = next())) {
+      opts->ring_capacity =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--stats-json" && (value = next())) {
+      opts->stats_json = value;
+    } else if (arg == "--max-seconds" && (value = next())) {
+      opts->max_seconds = std::strtod(value, nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+    if (value == nullptr && arg.rfind("--", 0) == 0 && arg != "--help") {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::cout << "convoy_serverd — convoy streaming server\n"
+                 "  convoy_serverd [--host H] [--port P] [--ring-capacity N]\n"
+                 "                 [--stats-json out.json] [--max-seconds S]\n";
+    return argc > 1 ? 1 : 0;
+  }
+
+  convoy::server::ServerOptions server_options;
+  server_options.host = opts.host;
+  server_options.port = opts.port;
+  server_options.ring_capacity =
+      opts.ring_capacity == 0 ? 1 : opts.ring_capacity;
+
+  convoy::server::ConvoyServer server(server_options);
+  if (const convoy::Status started = server.Start(); !started.ok()) {
+    std::cerr << "cannot start: " << started << "\n";
+    return 2;
+  }
+  // Scraped by run_checks.sh and the e2e harness — keep the format stable.
+  std::cout << "listening on " << server.host() << ":" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  convoy::Stopwatch uptime;
+  while (g_stop == 0) {
+    if (opts.max_seconds >= 0 && uptime.ElapsedSeconds() >= opts.max_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "shutting down\n";
+  server.Shutdown();
+
+  if (!opts.stats_json.empty()) {
+    std::ofstream out(opts.stats_json);
+    if (!out) {
+      std::cerr << "cannot write " << opts.stats_json << "\n";
+      return 2;
+    }
+    out << server.StatsJson() << "\n";
+    std::cout << "wrote " << opts.stats_json << "\n";
+  }
+  return 0;
+}

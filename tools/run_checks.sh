@@ -128,10 +128,11 @@ TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
 cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -DCONVOY_SANITIZE=thread \
       -DCONVOY_WERROR=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
-      --target race_stress_test trace_test streaming_test
+      --target race_stress_test trace_test streaming_test ring_test \
+               server_test
 TSAN_OPTIONS="suppressions=${REPO_ROOT}/tools/tsan.supp" \
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure \
-        -R 'race_stress_test|trace_test|streaming_test'
+        -R 'race_stress_test|trace_test|streaming_test|ring_test|server_test'
 
 echo "== threading determinism smoke =="
 SMOKE_DIR="$(mktemp -d)"
@@ -292,5 +293,114 @@ else
   echo "ok: trace and report markers present (python3 unavailable)"
 fi
 echo "ok: --trace emits Perfetto-loadable Chrome trace-event JSON"
+
+echo "== server smoke (daemon + loadgen burst + BENCH_server.json) =="
+SERVER_LOG="${SMOKE_DIR}/serverd.log"
+SERVER_STATS="${SMOKE_DIR}/server_stats.json"
+BENCH_SERVER_JSON="${SMOKE_DIR}/BENCH_server.json"
+# --max-seconds is a watchdog only; the leg SIGTERMs the daemon long before.
+"${RELEASE_BUILD_DIR}/convoy_serverd" --port 0 --max-seconds 300 \
+    --stats-json "${SERVER_STATS}" > "${SERVER_LOG}" 2>&1 &
+SERVER_PID=$!
+SERVER_PORT=""
+for _ in $(seq 100); do
+  SERVER_PORT="$(grep -oE 'listening on 127\.0\.0\.1:[0-9]+' \
+                 "${SERVER_LOG}" 2> /dev/null | grep -oE '[0-9]+$' || true)"
+  [[ -n "${SERVER_PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${SERVER_PORT}" ]]; then
+  echo "FAIL: convoy_serverd never reported its port:"
+  cat "${SERVER_LOG}"
+  exit 1
+fi
+echo "ok: daemon listening on port ${SERVER_PORT}"
+
+# A bounded burst at the acceptance scale (8 ingest + 4 query clients),
+# with --verify: subscriber events must be bit-identical to a local
+# StreamingCmc replay of the same feed.
+"${RELEASE_BUILD_DIR}/convoy_loadgen" --port "${SERVER_PORT}" \
+    --ingest 8 --query 4 --ticks 12 --objects 24 --batch-rows 8 \
+    --verify --json "${BENCH_SERVER_JSON}"
+echo "ok: loadgen burst verified against local replay"
+
+kill -TERM "${SERVER_PID}"
+SERVER_EXIT=0
+wait "${SERVER_PID}" || SERVER_EXIT=$?
+if [[ "${SERVER_EXIT}" != 0 ]]; then
+  echo "FAIL: convoy_serverd exit ${SERVER_EXIT} on SIGTERM (want 0):"
+  cat "${SERVER_LOG}"
+  exit 1
+fi
+echo "ok: daemon shut down cleanly on SIGTERM"
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${BENCH_SERVER_JSON}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "convoy-bench-server-v1", doc.get("schema")
+config = doc["config"]
+assert config["ingest_clients"] >= 8 and config["query_clients"] >= 4
+ingest = doc["ingest"]
+assert ingest["rows_accepted"] > 0 and ingest["rows_per_sec"] > 0
+sub = doc["subscription"]
+assert sub["events"] > 0 and sub["latency_ms"]["count"] > 0
+assert "p50" in sub["latency_ms"] and "p99" in sub["latency_ms"]
+query = doc["query"]
+assert query["latency_ms"]["count"] > 0
+assert "p50" in query["latency_ms"] and "p99" in query["latency_ms"]
+verify = doc["verify"]
+assert verify["enabled"] is True
+assert verify["streams_ok"] == verify["streams_total"] == \
+    config["ingest_clients"]
+print(f"ok: {ingest['rows_accepted']} rows at"
+      f" {ingest['rows_per_sec']:.0f} rows/s,"
+      f" {verify['streams_ok']}/{verify['streams_total']} streams verified")
+PYEOF
+  python3 - "${SERVER_STATS}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "convoy-server-stats-v1", doc.get("schema")
+counters = doc["metrics"]["counters"]
+assert counters["server.batches_accepted"] > 0, counters
+assert counters["server.events_emitted"] > 0, counters
+assert counters["server.active_sessions_max"] >= 8, counters
+print("ok: stats dump carries the server.* counters")
+PYEOF
+else
+  grep -q '"schema":"convoy-bench-server-v1"' "${BENCH_SERVER_JSON}"
+  grep -q '"schema":"convoy-server-stats-v1"' "${SERVER_STATS}"
+  echo "ok: schema markers present (python3 unavailable)"
+fi
+
+echo "== CLI --serve smoke (same server embedded in convoy_cli) =="
+CLI_SERVE_LOG="${SMOKE_DIR}/cli_serve.log"
+"${CLI}" --serve --port 0 --max-seconds 300 > "${CLI_SERVE_LOG}" 2>&1 &
+CLI_SERVE_PID=$!
+CLI_SERVE_PORT=""
+for _ in $(seq 100); do
+  CLI_SERVE_PORT="$(grep -oE 'listening on 127\.0\.0\.1:[0-9]+' \
+                    "${CLI_SERVE_LOG}" 2> /dev/null \
+                    | grep -oE '[0-9]+$' || true)"
+  [[ -n "${CLI_SERVE_PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${CLI_SERVE_PORT}" ]]; then
+  echo "FAIL: convoy_cli --serve never reported its port:"
+  cat "${CLI_SERVE_LOG}"
+  exit 1
+fi
+"${RELEASE_BUILD_DIR}/convoy_loadgen" --port "${CLI_SERVE_PORT}" \
+    --ingest 2 --query 1 --ticks 6 --objects 12 --verify > /dev/null
+kill -TERM "${CLI_SERVE_PID}"
+CLI_SERVE_EXIT=0
+wait "${CLI_SERVE_PID}" || CLI_SERVE_EXIT=$?
+if [[ "${CLI_SERVE_EXIT}" != 0 ]]; then
+  echo "FAIL: convoy_cli --serve exit ${CLI_SERVE_EXIT} on SIGTERM (want 0)"
+  exit 1
+fi
+echo "ok: convoy_cli --serve serves the protocol and shuts down cleanly"
 
 echo "== all checks passed =="
