@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -524,7 +525,11 @@ Status WriteFrame(int fd, std::string_view payload) {
   frame.append(payload.data(), payload.size());
   size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not a
+    // process-wide SIGPIPE — the daemon writes acks and events to sockets
+    // whose clients disconnect at will.
+    const ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal("socket write failed: " +

@@ -204,9 +204,10 @@ StatusOr<StatsResultMsg> DecodeStatsResult(std::string_view payload);
 
 // ------------------------------------------------------------- frame I/O
 
-/// Writes one length-prefixed frame to `fd`, looping over partial sends.
-/// kDataError when the payload exceeds kMaxFramePayload; kInternal on a
-/// socket error (the connection is dead).
+/// Writes one length-prefixed frame to `fd` (a socket), looping over
+/// partial sends. kDataError when the payload exceeds kMaxFramePayload;
+/// kInternal on a socket error (the connection is dead). Sends with
+/// MSG_NOSIGNAL: a vanished peer is an EPIPE status, never a SIGPIPE.
 Status WriteFrame(int fd, std::string_view payload);
 
 /// Reads one frame from `fd`. kCancelled("connection closed") on a clean

@@ -10,13 +10,25 @@
 
 namespace convoy::server {
 
+/// Why a TryPush did not (or did) take an item. The distinction matters
+/// at the protocol layer: a full ring is transient flow control (NAK
+/// retryable — resend later), a closed ring is terminal (NAK
+/// non-retryable — the stream is shutting down and will never accept).
+enum class PushResult : uint8_t {
+  kAccepted = 0,  ///< item enqueued
+  kFull,          ///< no slot free right now — retry after the consumer pops
+  kClosed,        ///< ring closed — no push will ever succeed again
+};
+
 /// Bounded multi-producer single-consumer FIFO ring — the seam that
 /// decouples the server's network I/O from its compute: socket reader
 /// threads push parsed work items, one per-stream CMC worker pops them.
 ///
 /// Backpressure is explicit and non-blocking by design: `TryPush` on a
-/// full ring returns false immediately — the caller answers the client
-/// with a flow-control NAK (retryable) instead of buffering unboundedly.
+/// full ring returns `PushResult::kFull` immediately — the caller answers
+/// the client with a flow-control NAK (retryable) instead of buffering
+/// unboundedly — and on a closed ring `PushResult::kClosed`, which the
+/// caller must surface as non-retryable (the stream is gone for good).
 /// The consumer side blocks in `Pop` until an item arrives or the ring is
 /// closed *and drained*, so closing never loses accepted work.
 ///
@@ -38,17 +50,19 @@ class BoundedRing {
   BoundedRing& operator=(const BoundedRing&) = delete;
 
   /// Enqueues `item` unless the ring is full or closed; never blocks.
-  /// False means the item was NOT taken — flow-control the producer.
-  bool TryPush(T item) {
+  /// Anything but kAccepted means the item was NOT taken: kFull is
+  /// transient (flow-control the producer), kClosed is forever.
+  PushResult TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || size_ == slots_.size()) return false;
+      if (closed_) return PushResult::kClosed;
+      if (size_ == slots_.size()) return PushResult::kFull;
       slots_[(head_ + size_) % slots_.size()] = std::move(item);
       ++size_;
       if (size_ > high_water_) high_water_ = size_;
     }
     cv_.notify_one();
-    return true;
+    return PushResult::kAccepted;
   }
 
   /// Blocks until an item is available (returns it) or the ring is closed

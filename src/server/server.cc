@@ -22,6 +22,22 @@ Status ErrnoStatus(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
+/// Best-effort sequence number of an undecodable client frame. Every
+/// client request lays out `u8 type, u64 seq, ...`, so even a frame whose
+/// full decode fails usually carries a recoverable seq — NAKing with it
+/// lets a client blocked in AwaitAck(seq) surface the error instead of
+/// spinning until the connection drops. Returns 0 (never a real sequence:
+/// clients start at 1) when the frame is too short to hold one.
+uint64_t BestEffortSeq(const std::string& payload) {
+  if (payload.size() < 9) return 0;
+  uint64_t seq = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    seq |= static_cast<uint64_t>(static_cast<uint8_t>(payload[1 + i]))
+           << (8 * i);
+  }
+  return seq;
+}
+
 }  // namespace
 
 ConvoyServer::ConvoyServer(ServerOptions options)
@@ -95,11 +111,17 @@ void ConvoyServer::Shutdown() {
     conns = connections_;
   }
   for (const auto& conn : conns) {
-    ::shutdown(conn->fd, SHUT_RDWR);  // wakes the reader's blocked read
+    // Under write_mu: the acceptor's reap may be closing this same
+    // connection concurrently, and shutdown on a reused fd would hit an
+    // unrelated socket.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->fd >= 0) {
+      ::shutdown(conn->fd, SHUT_RDWR);  // wakes the reader's blocked read
+    }
   }
   for (const auto& conn : conns) {
     conn->reader.Join();
-    ::close(conn->fd);
+    CloseConnection(conn);
   }
 
   std::map<uint64_t, std::shared_ptr<IngestStream>> streams;
@@ -120,19 +142,19 @@ void ConvoyServer::Shutdown() {
 
 void ConvoyServer::AcceptLoop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener shut down (or a fatal accept error)
     }
     if (!running_.load()) {
-      ::close(fd);
+      ::close(client_fd);
       break;
     }
     // Acks and events are small frames on a request/response cadence —
     // Nagle + delayed ACK would add ~40ms per tick event on loopback.
     const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     // Reap connections whose reader has already exited, so a long-lived
     // daemon does not accumulate one Connection per historical client.
     // Join outside the lock (the dying reader grabs mu_ to unsubscribe).
@@ -151,11 +173,16 @@ void ConvoyServer::AcceptLoop() {
     }
     for (const auto& conn : dead) {
       conn->reader.Join();
-      ::close(conn->fd);
+      CloseConnection(conn);
     }
 
     auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
+    {
+      // No contention possible yet (the connection is unpublished); taken
+      // for the fd-under-write_mu invariant.
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      conn->fd = client_fd;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       connections_.push_back(conn);
@@ -219,7 +246,7 @@ bool ConvoyServer::Dispatch(const std::shared_ptr<Connection>& conn,
     case MsgType::kIngestBegin: {
       const StatusOr<IngestBeginMsg> msg = DecodeIngestBegin(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        AckTo(conn, BestEffortSeq(payload), msg.status());
         return true;
       }
       HandleIngestBegin(conn, *msg);
@@ -233,7 +260,7 @@ bool ConvoyServer::Dispatch(const std::shared_ptr<Connection>& conn,
     case MsgType::kSubscribe: {
       const StatusOr<SubscribeMsg> msg = DecodeSubscribe(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        AckTo(conn, BestEffortSeq(payload), msg.status());
         return true;
       }
       HandleSubscribe(conn, *msg);
@@ -242,7 +269,13 @@ bool ConvoyServer::Dispatch(const std::shared_ptr<Connection>& conn,
     case MsgType::kQuery: {
       const StatusOr<QueryMsg> msg = DecodeQuery(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        // Query errors travel in the result frame (the client awaits a
+        // kQueryResult for this seq, not a kAck), decode errors included.
+        QueryResultMsg result;
+        result.seq = BestEffortSeq(payload);
+        result.code = static_cast<uint8_t>(msg.status().code());
+        result.message = msg.status().message();
+        WriteTo(conn, Encode(result));
         return true;
       }
       HandleQuery(conn, *msg);
@@ -251,7 +284,7 @@ bool ConvoyServer::Dispatch(const std::shared_ptr<Connection>& conn,
     case MsgType::kStatsRequest: {
       const StatusOr<StatsRequestMsg> msg = DecodeStatsRequest(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        AckTo(conn, BestEffortSeq(payload), msg.status());
         return true;
       }
       HandleStats(conn, *msg);
@@ -336,7 +369,7 @@ void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
     case MsgType::kReportBatch: {
       StatusOr<ReportBatchMsg> msg = DecodeReportBatch(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        AckTo(conn, BestEffortSeq(payload), msg.status());
         return;
       }
       item.kind = WorkItem::Kind::kBatch;
@@ -348,7 +381,7 @@ void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
     case MsgType::kEndTick: {
       const StatusOr<EndTickMsg> msg = DecodeEndTick(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        AckTo(conn, BestEffortSeq(payload), msg.status());
         return;
       }
       item.kind = WorkItem::Kind::kEndTick;
@@ -359,7 +392,7 @@ void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
     default: {
       const StatusOr<IngestFinishMsg> msg = DecodeIngestFinish(payload);
       if (!msg.ok()) {
-        AckTo(conn, 0, msg.status());
+        AckTo(conn, BestEffortSeq(payload), msg.status());
         return;
       }
       item.kind = WorkItem::Kind::kFinish;
@@ -393,11 +426,24 @@ void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
     return;
   }
   const uint64_t seq = item.seq;
-  if (!stream->Submit(std::move(item))) {
-    AckTo(conn, seq,
-          Status::FailedPrecondition("ingest ring full: flow control"),
-          /*retryable=*/true);
-    trace_.Count(TraceCounter::kServerBatchesRejected, 1);
+  switch (stream->Submit(std::move(item))) {
+    case PushResult::kAccepted:
+      break;
+    case PushResult::kFull:
+      AckTo(conn, seq,
+            Status::FailedPrecondition("ingest ring full: flow control"),
+            /*retryable=*/true);
+      trace_.Count(TraceCounter::kServerBatchesRejected, 1);
+      break;
+    case PushResult::kClosed:
+      // Shutting-down stream: non-retryable, or the client's flow-control
+      // retry loop would resend forever against a ring that will never
+      // accept again.
+      AckTo(conn, seq,
+            Status::FailedPrecondition(
+                "stream closed: no longer accepting ingest"));
+      trace_.Count(TraceCounter::kServerBatchesRejected, 1);
+      break;
   }
 }
 
@@ -466,7 +512,21 @@ void ConvoyServer::HandleQuery(const std::shared_ptr<Connection>& conn,
   }
   if (msg.explain != 0) result.explain = plan->Explain();
   result.convoys = std::move(*executed).TakeConvoys();
-  WriteTo(conn, Encode(result));
+  std::string encoded = Encode(result);
+  if (encoded.size() > kMaxFramePayload) {
+    // WriteFrame refuses oversized frames and WriteTo would read that as a
+    // dead peer and drop the connection — answer in-band instead, so the
+    // "errors return in the result frame" contract holds at any size.
+    QueryResultMsg too_big;
+    too_big.seq = msg.seq;
+    too_big.code = static_cast<uint8_t>(StatusCode::kDataError);
+    too_big.message = "result of " + std::to_string(result.convoys.size()) +
+                      " convoys encodes to " + std::to_string(encoded.size()) +
+                      " bytes, over the " + std::to_string(kMaxFramePayload) +
+                      "-byte frame limit; narrow the query";
+    encoded = Encode(too_big);
+  }
+  WriteTo(conn, encoded);
 }
 
 void ConvoyServer::HandleStats(const std::shared_ptr<Connection>& conn,
@@ -479,13 +539,24 @@ void ConvoyServer::HandleStats(const std::shared_ptr<Connection>& conn,
 
 void ConvoyServer::WriteTo(const std::shared_ptr<Connection>& conn,
                            const std::string& payload) {
-  if (!conn->open.load()) return;
   std::lock_guard<std::mutex> lock(conn->write_mu);
+  // Both checks sit under write_mu: CloseConnection releases the fd under
+  // the same mutex, so a writer can never observe a closed (or reused) fd.
+  if (!conn->open.load() || conn->fd < 0) return;
   const Status written = WriteFrame(conn->fd, payload);
   if (!written.ok()) {
     // Dead peer: stop writing and wake the reader so it can exit.
     conn->open.store(false);
     ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void ConvoyServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  conn->open.store(false);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
   }
 }
 

@@ -92,12 +92,16 @@ class ConvoyServer : public StreamSink {
 
  private:
   struct Connection {
-    int fd = -1;
+    /// Set once before the reader spawns; -1 after CloseConnection. All
+    /// writes to the socket — and the ::close itself — happen under
+    /// write_mu, so no writer can hold the fd across its close (and a
+    /// kernel-reused descriptor can never receive a stale frame).
+    int fd = -1;  // GUARDED_BY(write_mu) once the reader is live
     /// Serializes frames onto the socket: the reader's replies, worker
     /// acks, and subscription events interleave at frame granularity.
     std::mutex write_mu;
     std::atomic<bool> open{true};
-    ServiceThread reader;  ///< joined at Shutdown
+    ServiceThread reader;  ///< joined before CloseConnection
   };
 
   void AcceptLoop();
@@ -122,6 +126,9 @@ class ConvoyServer : public StreamSink {
   /// marks the connection closed (its reader notices on its next read).
   void WriteTo(const std::shared_ptr<Connection>& conn,
                const std::string& payload);
+  /// Releases the connection's fd under its write mutex (idempotent).
+  /// Call only after the reader has been joined.
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
   void AckTo(const std::shared_ptr<Connection>& conn, uint64_t seq,
              const Status& status, bool retryable = false);
 

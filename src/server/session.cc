@@ -38,7 +38,9 @@ IngestStream::IngestStream(const IngestBeginMsg& begin, size_t ring_capacity,
 
 IngestStream::~IngestStream() { Close(); }
 
-bool IngestStream::Submit(WorkItem item) { return ring_.TryPush(std::move(item)); }
+PushResult IngestStream::Submit(WorkItem item) {
+  return ring_.TryPush(std::move(item));
+}
 
 void IngestStream::Close() {
   ring_.Close();

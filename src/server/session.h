@@ -59,7 +59,7 @@ class StreamSink {
 ///
 /// Thread model:
 ///  * `Submit` is called by connection reader threads (any number); it only
-///    touches the ring. A full ring returns false — the caller sends a
+///    touches the ring. A full ring returns kFull — the caller sends a
 ///    retryable flow-control NAK and drops the item. Backpressure is
 ///    explicit; nothing buffers without bound.
 ///  * the worker thread owns the StreamingCmc and all event bookkeeping
@@ -86,10 +86,11 @@ class IngestStream {
 
   uint64_t stream_id() const { return stream_id_; }
 
-  /// Enqueues one item for the worker. False when the ring is full or the
-  /// stream is closed — the caller NAKs with retryable=1 (flow control)
-  /// and the client resends later.
-  bool Submit(WorkItem item);
+  /// Enqueues one item for the worker. kFull means the ring has no slot —
+  /// the caller NAKs with retryable=1 (flow control) and the client
+  /// resends later. kClosed means the stream is shutting down and will
+  /// never accept again — the caller NAKs non-retryable.
+  PushResult Submit(WorkItem item);
 
   /// Closes the ring and joins the worker after it drains. Idempotent.
   /// Queued items are still processed (their acks may go to a dead

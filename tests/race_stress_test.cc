@@ -368,7 +368,9 @@ TEST(RaceStressTest, IngestStreamSnapshotQueriesVsWorker) {
   uint64_t seq = 0;
   uint64_t submitted = 0;
   const auto submit = [&](server::WorkItem item) {
-    while (!stream.Submit(item)) std::this_thread::yield();
+    while (stream.Submit(item) != server::PushResult::kAccepted) {
+      std::this_thread::yield();
+    }
     ++submitted;
   };
   for (Tick t = 0; t < kTicks; ++t) {

@@ -14,7 +14,9 @@ namespace {
 
 TEST(BoundedRingTest, FifoOrder) {
   BoundedRing<int> ring(8);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring.TryPush(i), PushResult::kAccepted);
+  }
   for (int i = 0; i < 5; ++i) {
     const auto item = ring.TryPop();
     ASSERT_TRUE(item.has_value());
@@ -25,19 +27,20 @@ TEST(BoundedRingTest, FifoOrder) {
 
 TEST(BoundedRingTest, TryPushFailsWhenFullNeverBlocks) {
   BoundedRing<int> ring(2);
-  EXPECT_TRUE(ring.TryPush(1));
-  EXPECT_TRUE(ring.TryPush(2));
-  EXPECT_FALSE(ring.TryPush(3));  // full — flow control, not blocking
+  EXPECT_EQ(ring.TryPush(1), PushResult::kAccepted);
+  EXPECT_EQ(ring.TryPush(2), PushResult::kAccepted);
+  // Full — flow control, not blocking (and not kClosed: this is transient).
+  EXPECT_EQ(ring.TryPush(3), PushResult::kFull);
   EXPECT_EQ(ring.Size(), 2u);
   ASSERT_EQ(ring.TryPop().value(), 1);
-  EXPECT_TRUE(ring.TryPush(3));  // a pop frees a slot
+  EXPECT_EQ(ring.TryPush(3), PushResult::kAccepted);  // a pop frees a slot
 }
 
 TEST(BoundedRingTest, ZeroCapacityFloorsAtOne) {
   BoundedRing<int> ring(0);
   EXPECT_EQ(ring.Capacity(), 1u);
-  EXPECT_TRUE(ring.TryPush(7));
-  EXPECT_FALSE(ring.TryPush(8));
+  EXPECT_EQ(ring.TryPush(7), PushResult::kAccepted);
+  EXPECT_EQ(ring.TryPush(8), PushResult::kFull);
 }
 
 TEST(BoundedRingTest, HighWaterTracksDeepestQueue) {
@@ -55,17 +58,26 @@ TEST(BoundedRingTest, HighWaterTracksDeepestQueue) {
 
 TEST(BoundedRingTest, CloseRejectsPushesButDrainsAcceptedItems) {
   BoundedRing<int> ring(4);
-  EXPECT_TRUE(ring.TryPush(1));
-  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.TryPush(1), PushResult::kAccepted);
+  EXPECT_EQ(ring.TryPush(2), PushResult::kAccepted);
   ring.Close();
   ring.Close();  // idempotent
   EXPECT_TRUE(ring.Closed());
-  EXPECT_FALSE(ring.TryPush(3));
+  EXPECT_EQ(ring.TryPush(3), PushResult::kClosed);
   // Accepted work survives the close...
   EXPECT_EQ(ring.Pop().value(), 1);
   EXPECT_EQ(ring.Pop().value(), 2);
   // ...and a drained closed ring is the consumer's exit signal.
   EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(BoundedRingTest, ClosedWinsOverFull) {
+  // A ring that is both full and closed must report kClosed: the producer
+  // turns kFull into "retry later", which would spin forever here.
+  BoundedRing<int> ring(1);
+  EXPECT_EQ(ring.TryPush(1), PushResult::kAccepted);
+  ring.Close();
+  EXPECT_EQ(ring.TryPush(2), PushResult::kClosed);
 }
 
 TEST(BoundedRingTest, PopBlocksUntilPush) {
@@ -75,7 +87,7 @@ TEST(BoundedRingTest, PopBlocksUntilPush) {
     const auto item = ring.Pop();  // blocks: ring starts empty
     if (item.has_value()) got = *item;
   });
-  EXPECT_TRUE(ring.TryPush("hello"));
+  EXPECT_EQ(ring.TryPush("hello"), PushResult::kAccepted);
   consumer.Join();
   EXPECT_EQ(got, "hello");
 }
@@ -115,7 +127,7 @@ TEST(BoundedRingTest, MpscDeliversEveryAcceptedItemInProducerOrder) {
       producers.emplace_back("ring-test-producer", [&, p] {
         for (int i = 0; i < kPerProducer; ++i) {
           // Spin on flow control like the server's loadgen clients do.
-          while (!ring.TryPush({p, i})) {
+          while (ring.TryPush({p, i}) != PushResult::kAccepted) {
             std::this_thread::yield();
           }
           ++accepted[static_cast<size_t>(p)];

@@ -101,7 +101,9 @@ WorkItem FinishItem(uint64_t seq) {
 
 /// Submits with a spin on flow control — tests want every item accepted.
 void MustSubmit(IngestStream& stream, WorkItem item) {
-  while (!stream.Submit(item)) std::this_thread::yield();
+  while (stream.Submit(item) != PushResult::kAccepted) {
+    std::this_thread::yield();
+  }
 }
 
 /// Replays a feed through a local StreamingCmc and returns every closed
@@ -305,16 +307,20 @@ TEST(IngestStreamTest, FullRingRefusesSubmitThenRecovers) {
   MustSubmit(stream, BatchItem(1, 0, {{1, 0, 0}}));
   // Item 2: sits in the ring (capacity 1) once the worker holds item 1.
   MustSubmit(stream, EndTickItem(2, 0));
-  // With the worker frozen and the ring full, Submit must refuse —
-  // this is the signal the server turns into a retryable NAK.
+  // With the worker frozen and the ring full, Submit must refuse with
+  // kFull — this is the signal the server turns into a retryable NAK.
   WorkItem overflow = FinishItem(3);
-  while (stream.Submit(overflow)) {
+  while (stream.Submit(overflow) == PushResult::kAccepted) {
     // Raced the worker between pops; it will block at the gate within two
     // items, after which pushes must start failing. Re-arm and retry.
     overflow = FinishItem(overflow.seq + 1);
   }
+  EXPECT_EQ(stream.Submit(overflow), PushResult::kFull);
   sink.OpenGate();
   stream.Close();
+  // A closed stream refuses with kClosed — the server NAKs this
+  // non-retryable so clients stop resending.
+  EXPECT_EQ(stream.Submit(FinishItem(99)), PushResult::kClosed);
 }
 
 TEST(IngestStreamTest, SnapshotEngineMatchesAcceptedRows) {
@@ -566,6 +572,71 @@ TEST_F(ServerTest, RequestsBeforeHandshakeRejected) {
   // First frame is not kHello — the server must hang up, not crash.
   ASSERT_TRUE(WriteFrame(fd, Encode(StatsRequestMsg{})).ok());
   EXPECT_FALSE(ReadFrame(fd).ok());
+  ::close(fd);
+}
+
+TEST_F(ServerTest, SubscriberVanishingMidStreamDoesNotKillServer) {
+  // Regression: event fan-out to a subscriber that hung up used to raise
+  // SIGPIPE on the second write after the peer's RST and terminate the
+  // whole process. With MSG_NOSIGNAL the dead peer is an EPIPE status and
+  // the ingest session keeps flowing.
+  auto ingest = Connect();
+  ASSERT_NE(ingest, nullptr);
+  ASSERT_TRUE(ingest->IngestBegin(7, ConvoyQuery{2, 2, 1.0}).ok());
+
+  {
+    auto subscriber = Connect();
+    ASSERT_NE(subscriber, nullptr);
+    ASSERT_TRUE(subscriber->Subscribe(7).ok());
+    ASSERT_EQ(ingest->ReportBatch(0, {{1, 0, 0}, {2, 0, 0.5}}, 100)->code, 0);
+    ASSERT_EQ(ingest->EndTick(0, 100)->code, 0);
+  }  // subscriber's socket closes abruptly, subscription still registered
+
+  // Every tick pushes several event frames at the dead subscriber; the
+  // stream must stay healthy through all of them.
+  for (Tick t = 1; t <= 20; ++t) {
+    ASSERT_EQ(ingest->ReportBatch(t, {{1, 0, 0}, {2, 0, 0.5}}, 100)->code, 0);
+    ASSERT_EQ(ingest->EndTick(t, 100)->code, 0);
+  }
+  ASSERT_EQ(ingest->Finish(100)->code, 0);
+  // The daemon as a whole is alive: a fresh connection still works.
+  auto prober = Connect();
+  ASSERT_NE(prober, nullptr);
+  EXPECT_TRUE(prober->Stats().ok());
+}
+
+TEST_F(ServerTest, TruncatedFrameNakCarriesItsSequenceNumber) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  ASSERT_TRUE(WriteFrame(fd, Encode(HelloMsg{})).ok());
+  ASSERT_TRUE(ReadFrame(fd).ok());  // kHelloAck
+
+  // A ReportBatch whose rows are chopped off decodes to kDataError; the
+  // NAK must still carry the frame's sequence number so a pipelined
+  // client blocked in AwaitAck(seq) surfaces the error instead of
+  // spinning until the connection drops.
+  ReportBatchMsg batch;
+  batch.seq = 42;
+  batch.tick = 0;
+  batch.rows = {{1, 0, 0}, {2, 0, 0.5}};
+  std::string truncated = Encode(batch);
+  truncated.resize(truncated.size() - 4);
+  ASSERT_TRUE(WriteFrame(fd, truncated).ok());
+
+  const auto frame = ReadFrame(fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  const auto nak = DecodeAck(*frame);
+  ASSERT_TRUE(nak.ok()) << nak.status();
+  EXPECT_EQ(nak->seq, 42u);
+  EXPECT_NE(nak->code, 0);
+  EXPECT_EQ(nak->retryable, 0);
   ::close(fd);
 }
 
