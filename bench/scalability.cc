@@ -5,11 +5,13 @@
 //
 // Also emits BENCH_hotpath.json (override with --json PATH): the
 // machine-readable hot-path numbers — per-snapshot clustering and the
-// candidate step, reference vs optimized shapes, plus end-to-end CMC at
-// N = 1000 (untraced and with a full TraceSession attached, so tracing
-// overhead is tracked across PRs) — and the per-phase wall-clock breakdown
-// of a traced CuTS* engine run from the obs/ span aggregates. Schema:
-//   { "schema": "convoy-bench-hotpath-v2",
+// candidate step, reference vs optimized shapes, the CuTS* filter phase in
+// isolation (reference merge scan vs SoA-scalar vs SoA+SIMD kernels), plus
+// end-to-end CMC and CuTS* at N = 1000 (untraced and with a full
+// TraceSession attached, so tracing overhead is tracked across PRs) — and
+// the per-phase wall-clock breakdown of a traced CuTS* engine run from the
+// obs/ span aggregates. Schema:
+//   { "schema": "convoy-bench-hotpath-v3",
 //     "results": [ {"bench": str, "n": int, "threads": int,
 //                   "ns_per_op": float}, ... ],
 //     "phases": [ {"name": str, "count": int, "total_ms": float}, ... ] }
@@ -63,7 +65,7 @@ struct HotpathReport {
   bool Write(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
-    out << "{\n  \"schema\": \"convoy-bench-hotpath-v2\",\n  \"results\": [\n";
+    out << "{\n  \"schema\": \"convoy-bench-hotpath-v3\",\n  \"results\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
       out << "    {\"bench\": \"" << rows[i].bench << "\", \"n\": "
           << rows[i].n << ", \"threads\": " << rows[i].threads
@@ -308,6 +310,92 @@ void RunHotpathSection(const convoy::bench::BenchOptions& opts) {
       std::cout << "WARNING: CuTS* found no convoys where CMC did\n";
     }
 
+    // ---- CuTS* filter phase alone: reference vs SoA vs SIMD -------------
+    // Isolates the filter rewrite. The reference row replays the
+    // pre-rewrite shape (vector-of-segments polylines + PolylineDbscan's
+    // merge scan, rebuilt per partition); the soa row runs the rewritten
+    // filter with the kernels forced scalar (SoA storage + arena scratch,
+    // no vectorization); the simd row lifts the force. All three produce
+    // the same candidate set.
+    {
+      CutsFilterOptions fopts = MakeFilterOptions(CutsVariant::kCutsStar);
+      fopts.num_threads = 1;
+      const double delta = ComputeDelta(data.db, data.query.e);
+      const std::vector<SimplifiedTrajectory> simplified =
+          SimplifyDatabase(data.db, delta, fopts.simplifier, 1);
+      const ConvoyQuery& q = data.query;
+      const Tick lambda =
+          std::max<Tick>(ComputeLambda(data.db, simplified, q.k), 1);
+      fopts.delta = delta;
+      fopts.lambda = lambda;
+
+      const auto reference_filter = [&]() {
+        CandidateTracker tracker(q.m, q.k);
+        std::vector<Candidate> candidates;
+        PolylineDbscanOptions copts;
+        copts.eps = q.e;
+        copts.min_pts = q.m;
+        copts.distance = fopts.distance;
+        copts.use_box_pruning = fopts.use_box_pruning;
+        copts.use_rtree = fopts.use_rtree;
+        for (Tick ps = data.db.BeginTick(); ps <= data.db.EndTick();
+             ps += lambda) {
+          const Tick pe = std::min<Tick>(ps + lambda - 1, data.db.EndTick());
+          const std::vector<PartitionPolyline> polylines =
+              BuildPartitionPolylines(simplified, ps, pe,
+                                      fopts.use_actual_tolerance, delta);
+          std::vector<std::vector<ObjectId>> clusters;
+          if (polylines.size() >= q.m) {
+            const Clustering clustering = PolylineDbscan(polylines, copts);
+            for (const std::vector<size_t>& cluster : clustering.clusters) {
+              std::vector<ObjectId> ids;
+              ids.reserve(cluster.size());
+              for (const size_t idx : cluster) {
+                ids.push_back(polylines[idx].object);
+              }
+              std::sort(ids.begin(), ids.end());
+              clusters.push_back(std::move(ids));
+            }
+          }
+          tracker.Advance(clusters, ps, pe, lambda, &candidates);
+        }
+        tracker.Flush(&candidates);
+        return candidates.size();
+      };
+      const auto rewritten_filter = [&]() {
+        return CutsFilterPresimplified(data.db, q, fopts, simplified, delta,
+                                       nullptr)
+            .candidates.size();
+      };
+
+      const int filter_iters = 5 * mult;
+      size_t ref_cands = 0;
+      Stopwatch fref;
+      for (int i = 0; i < filter_iters; ++i) ref_cands = reference_filter();
+      report.Add("cuts_filter_reference", 1000, 1,
+                 fref.ElapsedSeconds() * 1e9 / filter_iters);
+
+      simd::ForceScalar(true);
+      size_t soa_cands = 0;
+      Stopwatch fsoa;
+      for (int i = 0; i < filter_iters; ++i) soa_cands = rewritten_filter();
+      report.Add("cuts_filter_soa", 1000, 1,
+                 fsoa.ElapsedSeconds() * 1e9 / filter_iters);
+      simd::ForceScalar(false);
+
+      size_t simd_cands = 0;
+      Stopwatch fsimd;
+      for (int i = 0; i < filter_iters; ++i) simd_cands = rewritten_filter();
+      report.Add("cuts_filter_simd", 1000, 1,
+                 fsimd.ElapsedSeconds() * 1e9 / filter_iters);
+
+      if (ref_cands != soa_cands || soa_cands != simd_cands) {
+        std::cout << "WARNING: filter paths disagree on candidates ("
+                  << ref_cands << " ref vs " << soa_cands << " soa vs "
+                  << simd_cands << " simd)\n";
+      }
+    }
+
     // ---- tracing overhead + per-phase breakdown ------------------------
     // Same CMC workload with a full TraceSession attached: the delta vs
     // cmc_e2e_optimized is the all-in instrumentation cost (acceptance:
@@ -346,7 +434,7 @@ void RunHotpathSection(const convoy::bench::BenchOptions& opts) {
     }
   }
 
-  PrintHeader("Hot path: reference vs optimized (PR 5; ns/op)");
+  PrintHeader("Hot path: reference vs optimized (ns/op)");
   PrintRow({{"bench", 30}, {"reference", 14}, {"optimized", 14},
             {"speedup", 9}});
   PrintRule(67);
@@ -368,6 +456,14 @@ void RunHotpathSection(const convoy::bench::BenchOptions& opts) {
              "candidate_advance_label");
   print_pair("CMC end-to-end (N=1000)", "cmc_e2e_reference",
              "cmc_e2e_optimized");
+  print_pair("CuTS* filter: SoA+arena", "cuts_filter_reference",
+             "cuts_filter_soa");
+  print_pair("CuTS* filter: SoA+SIMD", "cuts_filter_reference",
+             "cuts_filter_simd");
+  std::cout << "\nactive distance-kernel ISA: " << simd::ActiveKernelIsa()
+            << " (CuTS* e2e at N=1000: "
+            << Fmt(report.NsOf("cuts_star_e2e_optimized") / 1e6, 1)
+            << " ms)\n";
 
   const double untraced = report.NsOf("cmc_e2e_optimized");
   const double traced = report.NsOf("cmc_e2e_traced");

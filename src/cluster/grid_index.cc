@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/dist_kernels.h"
+
 namespace convoy {
 
 namespace {
@@ -165,11 +167,10 @@ std::vector<size_t> GridIndex::WithinRadius(const Point& probe,
 
 void GridIndex::ScanRange(size_t lo, size_t hi, const Point& probe, double r2,
                           std::vector<size_t>* out) const {
-  for (size_t j = lo; j < hi; ++j) {
-    const double dx = sx_[j] - probe.x;
-    const double dy = sy_[j] - probe.y;
-    if (dx * dx + dy * dy <= r2) out->push_back(point_of_[j]);
-  }
+  // The SIMD kernel runs the exact compares of the old scalar loop here and
+  // appends the same indices in the same order (see simd/dist_kernels.h).
+  simd::RadiusScan(sx_.data(), sy_.data(), point_of_.data(), lo, hi, probe.x,
+                   probe.y, r2, out);
 }
 
 void GridIndex::NeighborsOfInto(size_t i, const Point& probe, double radius,

@@ -40,6 +40,9 @@ struct PolylineClusterStats {
   size_t pair_tests = 0;      ///< polyline pairs examined
   size_t box_pruned = 0;      ///< pairs rejected by the Lemma 2 box bound
   size_t segment_tests = 0;   ///< segment pairs whose distance was computed
+  size_t mbr_rejects = 0;     ///< segment pairs rejected by the MBR bound
+                              ///< (SoA path only; the reference scan has no
+                              ///< segment-level prune and leaves this 0)
 };
 
 /// Options for TRAJ-DBSCAN.

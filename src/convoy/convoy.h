@@ -70,6 +70,7 @@
 #include "query/exec_context.h"
 #include "query/planner.h"
 #include "query/result_set.h"
+#include "simd/dist_kernels.h"
 #include "simplify/douglas_peucker.h"
 #include "simplify/dp_plus.h"
 #include "simplify/dp_star.h"

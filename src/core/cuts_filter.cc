@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "cluster/polyline_soa.h"
 #include "core/cmc.h"
 #include "core/params.h"
 #include "obs/trace.h"
@@ -57,18 +58,22 @@ namespace {
 struct PartitionClusters {
   std::vector<std::vector<ObjectId>> cluster_objects;
   PolylineClusterStats cluster_stats;
+  size_t num_polylines = 0;
   bool clustered = false;
 };
 
+// `scratch` is the worker's arena: the SoA storage and every clustering
+// buffer live there and are reused across the partitions one worker
+// processes, so the steady-state hot path performs no allocations.
 PartitionClusters ClusterPartition(
     const std::vector<SimplifiedTrajectory>& simplified, Tick part_start,
     Tick part_end, const ConvoyQuery& query, const CutsFilterOptions& options,
-    double delta_used) {
+    double delta_used, PolylineDbscanScratch* scratch) {
   PartitionClusters out;
-  const std::vector<PartitionPolyline> polylines = BuildPartitionPolylines(
-      simplified, part_start, part_end, options.use_actual_tolerance,
-      delta_used);
-  if (polylines.size() < query.m) return out;
+  BuildPolylineSoa(simplified, part_start, part_end,
+                   options.use_actual_tolerance, delta_used, &scratch->soa);
+  out.num_polylines = scratch->soa.NumPolylines();
+  if (out.num_polylines < query.m) return out;
 
   PolylineDbscanOptions cluster_options;
   cluster_options.eps = query.e;
@@ -78,7 +83,7 @@ PartitionClusters ClusterPartition(
   cluster_options.use_rtree = options.use_rtree;
 
   const Clustering clustering =
-      PolylineDbscan(polylines, cluster_options, &out.cluster_stats);
+      PolylineDbscanSoa(cluster_options, scratch, &out.cluster_stats);
   out.clustered = true;
   // One polyline per object and DBSCAN partitions are disjoint, so the
   // partition's object-id clusters are disjoint sorted sets — the invariant
@@ -87,7 +92,7 @@ PartitionClusters ClusterPartition(
   for (const std::vector<size_t>& cluster : clustering.clusters) {
     std::vector<ObjectId> ids;
     ids.reserve(cluster.size());
-    for (const size_t idx : cluster) ids.push_back(polylines[idx].object);
+    for (const size_t idx : cluster) ids.push_back(scratch->soa.object[idx]);
     std::sort(ids.begin(), ids.end());
     out.cluster_objects.push_back(std::move(ids));
   }
@@ -163,10 +168,16 @@ CutsFilterResult CutsFilterPresimplified(
   const auto consume = [&](size_t i, const PartitionClusters& part) {
     CheckCancelled(hooks);
     TraceCount(trace, TraceCounter::kFilterPartitions, 1);
+    TraceCount(trace, TraceCounter::kFilterPolylines, part.num_polylines);
+    TraceCount(trace, TraceCounter::kFilterSegmentTests,
+               part.cluster_stats.segment_tests);
+    TraceCount(trace, TraceCounter::kFilterMbrRejects,
+               part.cluster_stats.mbr_rejects);
     if (part.clustered) ++num_clusterings;
     cluster_stats.pair_tests += part.cluster_stats.pair_tests;
     cluster_stats.box_pruned += part.cluster_stats.box_pruned;
     cluster_stats.segment_tests += part.cluster_stats.segment_tests;
+    cluster_stats.mbr_rejects += part.cluster_stats.mbr_rejects;
     tracker.Advance(part.cluster_objects, partitions[i].first,
                     partitions[i].second, /*step_weight=*/lambda,
                     &result.candidates);
@@ -177,25 +188,34 @@ CutsFilterResult CutsFilterPresimplified(
     // instead of the whole time domain (mirroring ParallelCmcRange).
     ThreadPool pool(threads);
     const size_t block = std::max<size_t>(threads * 16, 256);
+    std::vector<PartitionClusters> per_partition;
     for (size_t block_begin = 0; block_begin < partitions.size();
          block_begin += block) {
       const size_t block_size =
           std::min(block, partitions.size() - block_begin);
-      const std::vector<PartitionClusters> per_partition =
-          ParallelMap(&pool, block_size, [&](size_t i) {
-            CheckCancelled(hooks);
-            ScopedSpan span(trace, "filter.partition");
-            const auto& part = partitions[block_begin + i];
-            return ClusterPartition(result.simplified, part.first,
-                                    part.second, query, options,
-                                    result.delta_used);
-          });
+      per_partition.clear();
+      per_partition.resize(block_size);
+      // One scratch arena per contiguous chunk: a worker clusters its whole
+      // chunk out of a single reused allocation set.
+      pool.ParallelFor(block_size, [&](size_t chunk_begin, size_t chunk_end) {
+        PolylineDbscanScratch scratch;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          CheckCancelled(hooks);
+          ScopedSpan span(trace, "filter.partition");
+          const auto& part = partitions[block_begin + i];
+          per_partition[i] =
+              ClusterPartition(result.simplified, part.first, part.second,
+                               query, options, result.delta_used, &scratch);
+        }
+      });
       for (size_t i = 0; i < block_size; ++i) {
         consume(block_begin + i, per_partition[i]);
       }
     }
   } else {
-    // Serial path streams one partition at a time — no buffering.
+    // Serial path streams one partition at a time — no buffering; the
+    // scratch arena is hoisted so every partition reuses it.
+    PolylineDbscanScratch scratch;
     for (size_t i = 0; i < partitions.size(); ++i) {
       CheckCancelled(hooks);
       PartitionClusters part;
@@ -203,7 +223,7 @@ CutsFilterResult CutsFilterPresimplified(
         ScopedSpan span(trace, "filter.partition");
         part = ClusterPartition(result.simplified, partitions[i].first,
                                 partitions[i].second, query, options,
-                                result.delta_used);
+                                result.delta_used, &scratch);
       }
       consume(i, part);
     }
@@ -219,6 +239,7 @@ CutsFilterResult CutsFilterPresimplified(
     stats->polyline_pair_tests += cluster_stats.pair_tests;
     stats->polyline_box_pruned += cluster_stats.box_pruned;
     stats->segment_distance_tests += cluster_stats.segment_tests;
+    stats->segment_mbr_rejects += cluster_stats.mbr_rejects;
     for (const Candidate& cand : result.candidates) {
       const double n = static_cast<double>(cand.objects.size());
       const double lifetime =

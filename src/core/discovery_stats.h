@@ -41,6 +41,9 @@ struct DiscoveryStats {
   size_t polyline_box_pruned = 0;
   /// Segment-pair distance evaluations that survived pruning.
   size_t segment_distance_tests = 0;
+  /// Segment pairs the SoA filter's per-segment MBR bound rejected before
+  /// any distance was computed (subset of the merge-scan's candidate pairs).
+  size_t segment_mbr_rejects = 0;
 
   /// Vertex reduction achieved by the simplification step, in percent.
   double vertex_reduction_percent = 0.0;

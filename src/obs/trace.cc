@@ -49,6 +49,9 @@ constexpr CounterInfo kCounterInfo[kNumTraceCounters] = {
     {"server.ring_high_water", true},
     {"server.events_emitted", false},
     {"server.active_sessions_max", true},
+    {"filter.polylines", false},
+    {"filter.segment_tests", false},
+    {"filter.mbr_rejects", false},
 };
 
 static_assert(kNumTraceCounters == kQueryMetricsCounters,

@@ -50,6 +50,9 @@ enum class TraceCounter : uint32_t {
   kServerRingHighWater,      ///< max reader->worker ring depth seen (max)
   kServerEventsEmitted,      ///< subscription events fanned out to clients
   kServerActiveSessionsMax,  ///< max concurrently open ingest streams (max)
+  kFilterPolylines,          ///< partition polylines built by the filter
+  kFilterSegmentTests,       ///< segment pairs whose distance was computed
+  kFilterMbrRejects,         ///< segment pairs rejected by the MBR bound
   kNumTraceCounters          ///< sentinel, not a counter
 };
 

@@ -1,0 +1,154 @@
+#ifndef CONVOY_SIMD_KERNELS_DETAIL_H_
+#define CONVOY_SIMD_KERNELS_DETAIL_H_
+
+// Internal helpers shared by the scalar and AVX2 kernel TUs. Everything here
+// is scalar IEEE double arithmetic in a fixed evaluation order; both TUs are
+// compiled with -ffp-contract=off, so the helpers produce bit-identical
+// results no matter which TU inlines them — that is what makes the AVX2
+// tail lanes and the ambiguous-band fallbacks agree with the scalar kernel.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/distance.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+#include "simd/dist_kernels.h"
+
+namespace convoy::simd::detail {
+
+// Two-sided squared-compare margins for the polyline box prune. The
+// reference decision is fl(sqrt(d2)) > bound with d2 = fl(dx*dx + dy*dy) and
+// b2 = fl(bound*bound): when d2 clears fl(b2 * kBoxHi) the reference is
+// certainly true, when it falls below fl(b2 * kBoxLo) certainly false (a
+// +-8-ulp band absorbs the rounding of b2, the scaled thresholds, and the
+// sqrt); only the band between resolves via the exact sqrt formula.
+inline constexpr double kUlp = std::numeric_limits<double>::epsilon();
+inline constexpr double kBoxHi = 1.0 + 8.0 * kUlp;
+inline constexpr double kBoxLo = 1.0 - 8.0 * kUlp;
+
+// Absolute slack factor of the segment-MBR rejection: the exact DLL/D*
+// computation can underestimate the true distance by a few ulps *of the
+// coordinate magnitudes* (the rounded closest point sits off the segment by
+// that much), so an MBR reject is only sound when the MBR gap clears the
+// bound by 64 ulps of the largest participating coordinate.
+inline constexpr double kMbrSlack = 64.0 * kUlp;
+
+// Dmin(box_a, box_b) exactly as geom::Dmin computes it for non-empty boxes:
+// fl-identical (std::max over the initializer list associates left).
+inline double BoxDmin(double aminx, double amaxx, double aminy, double amaxy,
+                      double bminx, double bmaxx, double bminy, double bmaxy) {
+  const double dx = std::max(std::max(0.0, aminx - bmaxx), bminx - amaxx);
+  const double dy = std::max(std::max(0.0, aminy - bmaxy), bminy - amaxy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// The reference polyline box-prune decision, bit-for-bit:
+// Dmin(box_a, box_b) > bound (geom::Dmin never sees an empty box here —
+// every partition polyline holds at least one segment).
+inline bool BoxPrunedExact(double aminx, double amaxx, double aminy,
+                           double amaxy, double bminx, double bmaxx,
+                           double bminy, double bmaxy, double bound) {
+  return BoxDmin(aminx, amaxx, aminy, amaxy, bminx, bmaxx, bminy, bmaxy) >
+         bound;
+}
+
+// Segment-MBR rejection. Sound with respect to the computed exact distance
+// (see kMbrSlack); the AVX2 path mirrors the exact same operation sequence
+// per lane, so the decision is identical on both paths.
+inline bool MbrRejects(double aminx, double amaxx, double aminy, double amaxy,
+                       double bminx, double bmaxx, double bminy, double bmaxy,
+                       double bound) {
+  const double dx = std::max(std::max(0.0, aminx - bmaxx), bminx - amaxx);
+  const double dy = std::max(std::max(0.0, aminy - bmaxy), bminy - amaxy);
+  const double d2 = dx * dx + dy * dy;
+  const double m = std::max(
+      std::max(std::max(std::fabs(aminx), std::fabs(amaxx)),
+               std::max(std::fabs(bminx), std::fabs(bmaxx))),
+      std::max(std::max(std::fabs(aminy), std::fabs(amaxy)),
+               std::max(std::fabs(bminy), std::fabs(bmaxy))));
+  const double thr = bound + m * kMbrSlack;
+  return d2 > thr * thr;
+}
+
+// The exact reference distance of segment `a` vs segment `b`, computed by
+// the same geom functions the reference merge scan calls — the scalar
+// kernel is reference-identical by construction.
+inline double LaneDistance(const SegmentSoa& s, size_t a, size_t b,
+                           bool dstar) {
+  if (!dstar) {
+    return DLL(Segment(Point(s.x0[a], s.y0[a]), Point(s.x1[a], s.y1[a])),
+               Segment(Point(s.x0[b], s.y0[b]), Point(s.x1[b], s.y1[b])));
+  }
+  const TimedSegment sa(TimedPoint(s.x0[a], s.y0[a], static_cast<Tick>(s.t0[a])),
+                        TimedPoint(s.x1[a], s.y1[a], static_cast<Tick>(s.t1[a])));
+  const TimedSegment sb(TimedPoint(s.x0[b], s.y0[b], static_cast<Tick>(s.t0[b])),
+                        TimedPoint(s.x1[b], s.y1[b], static_cast<Tick>(s.t1[b])));
+  return DStar(sa, sb);
+}
+
+// One block of up to four candidate lanes of the qualify scan, evaluated
+// with the reference scalar math. Returns true if any active lane hits;
+// counter updates match the AVX2 block exactly (whole block tallied, no
+// intra-block early exit).
+inline bool QualifyBlockScalar(const SegmentSoa& segs, size_t a, double bound_base,
+                               size_t base, size_t lanes, bool dstar,
+                               bool mbr_prune, PairCounters* counters) {
+  bool hit = false;
+  for (size_t l = 0; l < lanes; ++l) {
+    const size_t b = base + l;
+    const double bound = bound_base + segs.tol[b];
+    if (mbr_prune &&
+        MbrRejects(segs.minx[a], segs.maxx[a], segs.miny[a], segs.maxy[a],
+                   segs.minx[b], segs.maxx[b], segs.miny[b], segs.maxy[b],
+                   bound)) {
+      ++counters->mbr_rejects;
+      continue;
+    }
+    ++counters->segment_tests;
+    if (LaneDistance(segs, a, b, dstar) <= bound) hit = true;
+  }
+  return hit;
+}
+
+// The shared merge structure of the qualify scan: a range-form replay of
+// the reference merge scan's pointer walk. The reference stays in query
+// segment a's "column" while candidates end before a does, examines the
+// first candidate ending at or after t1[a], then advances a — advancing
+// *both* pointers on an exact end-tick tie. That tie rule deliberately
+// skips pairs whose only shared tick is the boundary itself, so the column
+// ranges below (not the full time-overlap join) are the contract. Within a
+// column, candidates the walk passes over without a valid time overlap
+// (ended before a starts, or start after a ends) are excluded before
+// blocking, exactly like the reference's OverlapTicks guard. `block` is
+// called per (up to) four-lane block of testable candidates and returns
+// true on a hit; the scan returns right after the first hit block
+// (block-boundary early exit on both paths).
+template <typename BlockFn>
+bool QualifyScan(const SegmentSoa& segs, size_t a_begin, size_t a_end,
+                 size_t b_begin, size_t b_end, BlockFn&& block) {
+  size_t enter = b_begin;
+  for (size_t a = a_begin; a < a_end && enter < b_end; ++a) {
+    const double at0 = segs.t0[a];
+    const double at1 = segs.t1[a];
+    size_t exit = enter;
+    while (exit < b_end && segs.t1[exit] < at1) ++exit;
+    const size_t hi = exit < b_end ? exit + 1 : b_end;  // column, exclusive
+    size_t vlo = enter;
+    while (vlo < hi && segs.t1[vlo] < at0) ++vlo;
+    size_t vhi = hi;
+    if (vhi > vlo && segs.t0[vhi - 1] > at1) --vhi;
+    for (size_t base = vlo; base < vhi; base += 4) {
+      const size_t lanes = std::min<size_t>(4, vhi - base);
+      if (block(a, base, lanes)) return true;
+    }
+    if (exit >= b_end) break;  // candidate list exhausted mid-column
+    enter = segs.t1[exit] == at1 ? exit + 1 : exit;  // tie advances both
+  }
+  return false;
+}
+
+}  // namespace convoy::simd::detail
+
+#endif  // CONVOY_SIMD_KERNELS_DETAIL_H_

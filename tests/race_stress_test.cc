@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "cluster/grid_index.h"
+#include "core/cuts.h"
+#include "core/cuts_filter.h"
 #include "core/engine.h"
+#include "core/params.h"
 #include "core/streaming.h"
 #include "datagen/stream_feed.h"
 #include "obs/metrics.h"
@@ -107,6 +110,57 @@ TEST(RaceStressTest, ConcurrentPrepareExecuteDiscoverOneEngine) {
     EXPECT_EQ(discover_prints[static_cast<size_t>(t)], expected_discover)
         << "thread " << t;
   }
+}
+
+// Concurrent CutsFilterPresimplified calls over one shared database and
+// simplification — the sharing pattern ConvoyEngine sets up when parallel
+// Execute calls hit the CuTS* plan. The rewritten filter keeps all mutable
+// state call-local (the SoA arena scratch is per worker chunk, the SIMD
+// kernels are pure), and each call itself runs a multi-threaded partition
+// loop, so every caller must produce the identical candidate list.
+TEST(RaceStressTest, ConcurrentCutsFilterSharedSimplification) {
+  Rng rng(5150);
+  const TrajectoryDatabase db = RandomClumpyDb(rng, 40, 60, 60.0, 1.5);
+  const ConvoyQuery query{3, 10, 5.0};
+  CutsFilterOptions options = MakeFilterOptions(CutsVariant::kCutsStar);
+  const double delta = ComputeDelta(db, query.e);
+  const std::vector<SimplifiedTrajectory> simplified =
+      SimplifyDatabase(db, delta, options.simplifier);
+  options.num_threads = 2;
+
+  const CutsFilterResult expected =
+      CutsFilterPresimplified(db, query, options, simplified, delta);
+  ASSERT_FALSE(expected.candidates.empty());
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const CutsFilterResult got =
+            CutsFilterPresimplified(db, query, options, simplified, delta);
+        if (got.candidates.size() != expected.candidates.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t c = 0; c < got.candidates.size(); ++c) {
+          const Candidate& want = expected.candidates[c];
+          const Candidate& have = got.candidates[c];
+          if (have.objects != want.objects ||
+              have.start_tick != want.start_tick ||
+              have.end_tick != want.end_tick ||
+              have.lifetime != want.lifetime) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 // GridFor builders racing readers during eviction churn: more distinct eps

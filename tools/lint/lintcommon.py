@@ -15,7 +15,8 @@ from pathlib import Path
 #: io/, simplify/, geom/ and parallel/ are out of scope: telemetry and
 #: seeded generation may use clocks and RNGs, and none of them decide
 #: which convoys a query returns.
-RESULT_DIRS = ("src/core/", "src/cluster/", "src/traj/", "src/query/")
+RESULT_DIRS = ("src/core/", "src/cluster/", "src/traj/", "src/query/",
+               "src/simd/")
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,9 @@
 #    streaming) with -DCONVOY_SANITIZE=thread and run them — the dedicated
 #    CI job runs the whole suite under TSan, this leg catches the common
 #    races locally first;
+# 3c. scalar-kernel leg: build the distance-heavy suites with
+#    -DCONVOY_SIMD=OFF and run them — the kernels' compile-time scalar
+#    fallback must stay bit-identical to the AVX2 path;
 # 4. bench smoke: run the Release bench/scalability and require it to
 #    produce a well-formed BENCH_hotpath.json (the machine-readable perf
 #    trajectory tracked across PRs);
@@ -134,6 +137,19 @@ TSAN_OPTIONS="suppressions=${REPO_ROOT}/tools/tsan.supp" \
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure \
         -R 'race_stress_test|trace_test|streaming_test|ring_test|server_test'
 
+echo "== scalar-kernel leg (-DCONVOY_SIMD=OFF, compile-time fallback) =="
+# The distance kernels carry a compile-time scalar fallback that must stay
+# bit-identical to the AVX2 path; this leg builds the distance-heavy suites
+# without AVX2 codegen and runs them (CI mirrors it as a matrix entry).
+SCALAR_BUILD_DIR="${BUILD_DIR}-scalar"
+cmake -B "${SCALAR_BUILD_DIR}" -S "${REPO_ROOT}" -DCONVOY_SIMD=OFF \
+      -DCONVOY_WERROR=ON
+cmake --build "${SCALAR_BUILD_DIR}" -j "$(nproc)" \
+      --target polyline_parity_test polyline_dbscan_test cuts_test \
+               hotpath_parity_test grid_index_test
+ctest --test-dir "${SCALAR_BUILD_DIR}" --output-on-failure -R \
+  'polyline_parity_test|polyline_dbscan_test|cuts_test|hotpath_parity_test|grid_index_test'
+
 echo "== threading determinism smoke =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
@@ -151,14 +167,16 @@ if command -v python3 > /dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc.get("schema") == "convoy-bench-hotpath-v2", doc.get("schema")
+assert doc.get("schema") == "convoy-bench-hotpath-v3", doc.get("schema")
 results = doc["results"]
 assert results, "no results"
 for row in results:
     assert {"bench", "n", "threads", "ns_per_op"} <= set(row), row
 names = {row["bench"] for row in results}
 for needed in ("snapshot_cluster_reference", "snapshot_cluster_csr_arena",
-               "cmc_e2e_reference", "cmc_e2e_optimized", "cmc_e2e_traced"):
+               "cmc_e2e_reference", "cmc_e2e_optimized", "cmc_e2e_traced",
+               "cuts_filter_reference", "cuts_filter_soa",
+               "cuts_filter_simd", "cuts_star_e2e_optimized"):
     assert needed in names, f"missing bench entry: {needed}"
 phases = doc["phases"]
 assert phases, "no phases (traced run recorded no spans)"
@@ -171,7 +189,7 @@ print(f"ok: {len(results)} well-formed results, {len(phases)} phases")
 PYEOF
 else
   # No python3: at least require the schema marker and one result row.
-  grep -q '"schema": "convoy-bench-hotpath-v2"' "${BENCH_JSON}"
+  grep -q '"schema": "convoy-bench-hotpath-v3"' "${BENCH_JSON}"
   grep -q '"phases"' "${BENCH_JSON}"
   grep -q '"ns_per_op"' "${BENCH_JSON}"
   echo "ok: schema marker and result rows present (python3 unavailable)"
