@@ -86,5 +86,7 @@
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "wal/fault.h"
+#include "wal/wal.h"
 
 #endif  // CONVOY_CONVOY_H_

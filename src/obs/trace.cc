@@ -52,6 +52,15 @@ constexpr CounterInfo kCounterInfo[kNumTraceCounters] = {
     {"filter.polylines", false},
     {"filter.segment_tests", false},
     {"filter.mbr_rejects", false},
+    {"wal.records_appended", false},
+    {"wal.bytes_appended", false},
+    {"wal.fsyncs", false},
+    {"wal.segments_rotated", false},
+    {"wal.recovered_records", false},
+    {"wal.truncated_tails", false},
+    {"server.idle_reaped", false},
+    {"server.events_dropped", false},
+    {"server.load_shed", false},
 };
 
 static_assert(kNumTraceCounters == kQueryMetricsCounters,

@@ -53,6 +53,15 @@ enum class TraceCounter : uint32_t {
   kFilterPolylines,          ///< partition polylines built by the filter
   kFilterSegmentTests,       ///< segment pairs whose distance was computed
   kFilterMbrRejects,         ///< segment pairs rejected by the MBR bound
+  kWalRecordsAppended,       ///< WAL records written (accepted ingest items)
+  kWalBytesAppended,         ///< WAL bytes written (records + headers)
+  kWalFsyncs,                ///< fsync(2) calls issued by the WAL writer
+  kWalSegmentsRotated,       ///< WAL segment files rotated out
+  kWalRecoveredRecords,      ///< records replayed during crash recovery
+  kWalTruncatedTails,        ///< torn/corrupt WAL tails truncated on open
+  kServerIdleReaped,         ///< connections reaped by the idle read timeout
+  kServerEventsDropped,      ///< events dropped by the slow-subscriber policy
+  kServerLoadShed,           ///< ingest items NAKed kRetryAfter (high water)
   kNumTraceCounters          ///< sentinel, not a counter
 };
 

@@ -4,16 +4,44 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
 namespace convoy::server {
 
+namespace {
+
+/// splitmix64 — the jitter stream (seeded via ClientOptions, so retry
+/// timing is reproducible in tests).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void ArmReadTimeout(int fd, std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  long remaining_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+          .count();
+  // Never arm a zero timeout: that means "block forever" to SO_RCVTIMEO.
+  if (remaining_us < 1) remaining_us = 1;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(remaining_us / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(remaining_us % 1000000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<ConvoyClient>> ConvoyClient::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, ClientOptions options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -39,9 +67,13 @@ StatusOr<std::unique_ptr<ConvoyClient>> ConvoyClient::Connect(
 
   // make_unique cannot reach the private ctor; ownership is taken on the
   // same line.  convoy-lint: allow-line(naked-new)
-  std::unique_ptr<ConvoyClient> client(new ConvoyClient(fd));
+  std::unique_ptr<ConvoyClient> client(new ConvoyClient(fd, options));
   const Status sent = WriteFrame(fd, Encode(HelloMsg{}));
   if (!sent.ok()) return sent.WithContext("handshake");
+  if (options.deadline_ms > 0) {
+    ArmReadTimeout(fd, std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(options.deadline_ms));
+  }
   StatusOr<std::string> frame = ReadFrame(fd);
   if (!frame.ok()) return frame.status().WithContext("handshake");
   const StatusOr<HelloAckMsg> ack = DecodeHelloAck(*frame);
@@ -67,10 +99,42 @@ void ConvoyClient::SendFrame(const std::string& payload) {
   if (!sent.ok()) io_status_ = sent;
 }
 
-Status ConvoyClient::PumpOne() {
+std::optional<std::chrono::steady_clock::time_point> ConvoyClient::OpDeadline()
+    const {
+  if (options_.deadline_ms == 0) return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(options_.deadline_ms);
+}
+
+void ConvoyClient::Backoff(int attempt) {
+  const uint32_t shift = attempt > 20 ? 20u : static_cast<uint32_t>(attempt);
+  uint64_t delay_ms = static_cast<uint64_t>(options_.backoff_initial_ms)
+                      << shift;
+  delay_ms = std::min<uint64_t>(delay_ms, options_.backoff_max_ms);
+  if (delay_ms == 0) return;
+  // Jitter into [delay/2, delay]: staggered retries, bounded wait.
+  jitter_state_ = SplitMix64(jitter_state_);
+  const uint64_t half = delay_ms / 2;
+  const uint64_t jittered = half + jitter_state_ % (delay_ms - half + 1);
+  ::usleep(static_cast<useconds_t>(jittered * 1000));
+}
+
+Status ConvoyClient::PumpOne(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   if (!io_status_.ok()) return io_status_;
+  if (deadline.has_value()) {
+    if (std::chrono::steady_clock::now() >= *deadline) {
+      io_status_ = Status::DeadlineExceeded(
+          "client deadline expired awaiting a server frame");
+      return io_status_;
+    }
+    ArmReadTimeout(fd_, *deadline);
+  }
   StatusOr<std::string> frame = ReadFrame(fd_);
   if (!frame.ok()) {
+    // kDeadlineExceeded included: after a receive timeout the connection
+    // may sit mid-frame, so the deadline poisons it too — the documented
+    // recovery is reconnect-and-resume.
     io_status_ = frame.status();
     return io_status_;
   }
@@ -108,7 +172,8 @@ Status ConvoyClient::PumpOne() {
 }
 
 Status ConvoyClient::IngestBegin(uint64_t stream_id, const ConvoyQuery& query,
-                                 Tick carry_forward_ticks) {
+                                 Tick carry_forward_ticks,
+                                 uint64_t* resume_seq) {
   IngestBeginMsg msg;
   msg.seq = NextSeq();
   msg.stream_id = stream_id;
@@ -122,6 +187,10 @@ Status ConvoyClient::IngestBegin(uint64_t stream_id, const ConvoyQuery& query,
   if (ack->code != 0) {
     return Status(static_cast<StatusCode>(ack->code), ack->message);
   }
+  // Resume bookkeeping: never reuse a sequence number the server already
+  // applied, or fresh work would be absorbed as duplicates.
+  if (next_seq_ <= ack->resume_seq) next_seq_ = ack->resume_seq + 1;
+  if (resume_seq != nullptr) *resume_seq = ack->resume_seq;
   return Status::Ok();
 }
 
@@ -151,6 +220,7 @@ uint64_t ConvoyClient::SendFinish() {
 }
 
 StatusOr<AckMsg> ConvoyClient::AwaitAck(uint64_t seq) {
+  const auto deadline = OpDeadline();
   for (;;) {
     auto it = pending_acks_.find(seq);
     if (it != pending_acks_.end()) {
@@ -158,7 +228,7 @@ StatusOr<AckMsg> ConvoyClient::AwaitAck(uint64_t seq) {
       pending_acks_.erase(it);
       return ack;
     }
-    CONVOY_RETURN_IF_ERROR(PumpOne());
+    CONVOY_RETURN_IF_ERROR(PumpOne(deadline));
   }
 }
 
@@ -177,6 +247,7 @@ StatusOr<AckMsg> ConvoyClient::ReportBatch(
     if (!ack.ok() || !IsRetryableNak(*ack) || attempt >= max_retries) {
       return ack;
     }
+    Backoff(attempt);
   }
 }
 
@@ -186,6 +257,7 @@ StatusOr<AckMsg> ConvoyClient::EndTick(Tick tick, int max_retries) {
     if (!ack.ok() || !IsRetryableNak(*ack) || attempt >= max_retries) {
       return ack;
     }
+    Backoff(attempt);
   }
 }
 
@@ -195,13 +267,15 @@ StatusOr<AckMsg> ConvoyClient::Finish(int max_retries) {
     if (!ack.ok() || !IsRetryableNak(*ack) || attempt >= max_retries) {
       return ack;
     }
+    Backoff(attempt);
   }
 }
 
-Status ConvoyClient::Subscribe(uint64_t stream_id) {
+Status ConvoyClient::Subscribe(uint64_t stream_id, bool replay_closed) {
   SubscribeMsg msg;
   msg.seq = NextSeq();
   msg.stream_id = stream_id;
+  msg.replay_closed = replay_closed ? 1 : 0;
   SendFrame(Encode(msg));
   StatusOr<AckMsg> ack = AwaitAck(msg.seq);
   if (!ack.ok()) return ack.status();
@@ -212,8 +286,9 @@ Status ConvoyClient::Subscribe(uint64_t stream_id) {
 }
 
 StatusOr<EventMsg> ConvoyClient::NextEvent() {
+  const auto deadline = OpDeadline();
   while (events_.empty()) {
-    CONVOY_RETURN_IF_ERROR(PumpOne());
+    CONVOY_RETURN_IF_ERROR(PumpOne(deadline));
   }
   EventMsg event = std::move(events_.front());
   events_.pop_front();
@@ -233,6 +308,7 @@ StatusOr<QueryResultMsg> ConvoyClient::Query(uint64_t stream_id,
   msg.explain = explain ? 1 : 0;
   msg.threads = static_cast<uint32_t>(query.num_threads);
   SendFrame(Encode(msg));
+  const auto deadline = OpDeadline();
   for (;;) {
     auto it = query_results_.find(msg.seq);
     if (it != query_results_.end()) {
@@ -240,7 +316,7 @@ StatusOr<QueryResultMsg> ConvoyClient::Query(uint64_t stream_id,
       query_results_.erase(it);
       return result;
     }
-    CONVOY_RETURN_IF_ERROR(PumpOne());
+    CONVOY_RETURN_IF_ERROR(PumpOne(deadline));
   }
 }
 
@@ -248,6 +324,7 @@ StatusOr<std::string> ConvoyClient::Stats() {
   StatsRequestMsg msg;
   msg.seq = NextSeq();
   SendFrame(Encode(msg));
+  const auto deadline = OpDeadline();
   for (;;) {
     auto it = stats_results_.find(msg.seq);
     if (it != stats_results_.end()) {
@@ -255,7 +332,7 @@ StatusOr<std::string> ConvoyClient::Stats() {
       stats_results_.erase(it);
       return json;
     }
-    CONVOY_RETURN_IF_ERROR(PumpOne());
+    CONVOY_RETURN_IF_ERROR(PumpOne(deadline));
   }
 }
 

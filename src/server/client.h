@@ -1,10 +1,12 @@
 #ifndef CONVOY_SERVER_CLIENT_H_
 #define CONVOY_SERVER_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,24 @@
 #include "util/status.h"
 
 namespace convoy::server {
+
+struct ClientOptions {
+  /// Wall-clock budget of each blocking operation (AwaitAck, NextEvent,
+  /// Query, Stats, the connect handshake). 0 = block forever (PR 8
+  /// behavior). Expiry surfaces as kDeadlineExceeded and poisons the
+  /// connection — after a timeout the frame stream may be mid-frame, so
+  /// the recovery path is reconnect-and-resume, not retry-in-place.
+  uint32_t deadline_ms = 0;
+
+  /// Exponential backoff between resends of a retryable NAK (flow
+  /// control / load shed): attempt n sleeps ~initial*2^n, capped at max,
+  /// each delay jittered into [delay/2, delay] so a fleet of backed-off
+  /// producers does not retry in lockstep.
+  uint32_t backoff_initial_ms = 2;
+  uint32_t backoff_max_ms = 200;
+  /// Seed of the jitter stream — seeded, so runs are reproducible.
+  uint64_t jitter_seed = 1;
+};
 
 /// A blocking client for the convoy server — the library behind
 /// tools/convoy_loadgen.cc, the CLI's remote mode, and the end-to-end
@@ -23,13 +43,21 @@ namespace convoy::server {
 /// request's sequence number, and AwaitAck(seq) reads frames until that
 /// ack arrives, buffering out-of-order acks and any subscription events
 /// encountered along the way (drain events with NextEvent / PollEvent).
+///
+/// Resilience: deadlines and backoff come from ClientOptions. To survive
+/// a server restart, reconnect and call IngestBegin with the same
+/// stream_id — the ack's resume_seq reports the last item the server
+/// applied (WAL-recovered work included); this client then continues its
+/// sequence numbers after it, and any overlap it resends anyway is acked
+/// as a duplicate (kAckFlagDuplicate) without being re-applied.
 class ConvoyClient {
  public:
   /// Connects and performs the kHello handshake. kInternal on socket
   /// errors; kFailedPrecondition when the server rejects the handshake
-  /// (version mismatch), with the server's reason in the message.
+  /// (version mismatch), with the server's reason in the message;
+  /// kDeadlineExceeded when options.deadline_ms elapses first.
   static StatusOr<std::unique_ptr<ConvoyClient>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port, ClientOptions options = {});
 
   ~ConvoyClient();
   ConvoyClient(const ConvoyClient&) = delete;
@@ -37,9 +65,13 @@ class ConvoyClient {
 
   // ------------------------------------------------------------- ingest --
 
-  /// Opens the connection's ingest stream. Blocks for the ack.
+  /// Opens (or, after a reconnect, resumes) the connection's ingest
+  /// stream. Blocks for the ack. On success `resume_seq` (nullable)
+  /// receives the server's last applied item seq — 0 for a fresh stream —
+  /// and the client's own sequence numbering continues after it.
   Status IngestBegin(uint64_t stream_id, const ConvoyQuery& query,
-                     Tick carry_forward_ticks = 0);
+                     Tick carry_forward_ticks = 0,
+                     uint64_t* resume_seq = nullptr);
 
   /// Pipelined sends: each returns the frame's sequence number (kInternal
   /// Status surfaces via the later AwaitAck when the socket died).
@@ -50,11 +82,13 @@ class ConvoyClient {
   /// Reads until the ack for `seq` arrives. Acks for other sequence
   /// numbers and subscription events are buffered, so awaiting in any
   /// order works. The returned ack may be a NAK — check `code` (and
-  /// `retryable` for flow control).
+  /// `retryable` for flow control), or a duplicate-absorbed OK (flags &
+  /// kAckFlagDuplicate). kDeadlineExceeded when the deadline expires.
   StatusOr<AckMsg> AwaitAck(uint64_t seq);
 
   /// Convenience: send + await, resending up to `max_retries` times on a
-  /// retryable (flow control) NAK. Returns the final ack.
+  /// retryable (flow control / load shed) NAK with jittered exponential
+  /// backoff between attempts. Returns the final ack.
   StatusOr<AckMsg> ReportBatch(Tick tick,
                                const std::vector<PositionReport>& rows,
                                int max_retries = 0);
@@ -64,10 +98,14 @@ class ConvoyClient {
   // ------------------------------------------------------ subscriptions --
 
   /// Subscribes this connection to the events of `stream_id`.
-  Status Subscribe(uint64_t stream_id);
+  /// `replay_closed` first delivers every closed-convoy event recorded so
+  /// far (crash-recovered history included); dedup on event_index — the
+  /// catch-up may overlap the live feed.
+  Status Subscribe(uint64_t stream_id, bool replay_closed = false);
 
   /// The next subscription event: buffered first, else blocks reading the
-  /// socket. kCancelled when the connection closes.
+  /// socket. kCancelled when the connection closes; kDeadlineExceeded on
+  /// deadline expiry.
   StatusOr<EventMsg> NextEvent();
 
   // ------------------------------------------------------------ queries --
@@ -88,17 +126,27 @@ class ConvoyClient {
   void ShutdownSocket();
 
  private:
-  explicit ConvoyClient(int fd) : fd_(fd) {}
+  ConvoyClient(int fd, const ClientOptions& options)
+      : options_(options), fd_(fd), jitter_state_(options.jitter_seed) {}
 
   uint64_t NextSeq() { return next_seq_++; }
   /// Sends one frame; a failed send poisons the connection (every later
   /// Await returns the error).
   void SendFrame(const std::string& payload);
   /// Reads and classifies one frame into the ack/event/result buffers.
-  Status PumpOne();
+  /// With a deadline set, arms SO_RCVTIMEO with the remaining budget
+  /// first; expiry poisons the connection with kDeadlineExceeded.
+  Status PumpOne(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  /// This operation's absolute deadline (nullopt when deadlines are off).
+  std::optional<std::chrono::steady_clock::time_point> OpDeadline() const;
+  /// Sleeps the jittered exponential-backoff delay for retry `attempt`.
+  void Backoff(int attempt);
 
+  const ClientOptions options_;
   int fd_ = -1;
   uint64_t next_seq_ = 1;
+  uint64_t jitter_state_ = 1;
   Status io_status_;  ///< first socket error, sticky
   std::map<uint64_t, AckMsg> pending_acks_;
   std::deque<EventMsg> events_;

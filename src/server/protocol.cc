@@ -7,6 +7,8 @@
 #include <cstring>
 #include <utility>
 
+#include "wal/fault.h"
+
 namespace convoy::server {
 
 namespace {
@@ -242,6 +244,7 @@ std::string Encode(const SubscribeMsg& msg) {
   std::string out = Begin(MsgType::kSubscribe);
   PutU64(&out, msg.seq);
   PutU64(&out, msg.stream_id);
+  PutU8(&out, msg.replay_closed);
   return out;
 }
 
@@ -269,8 +272,10 @@ std::string Encode(const AckMsg& msg) {
   PutU64(&out, msg.seq);
   PutU8(&out, msg.code);
   PutU8(&out, msg.retryable);
+  PutU8(&out, msg.flags);
   PutU32(&out, msg.accepted);
   PutU32(&out, msg.rejected);
+  PutU64(&out, msg.resume_seq);
   PutString(&out, msg.message);
   return out;
 }
@@ -281,6 +286,7 @@ std::string Encode(const EventMsg& msg) {
   PutU8(&out, msg.kind);
   PutI64(&out, msg.tick);
   PutU32(&out, msg.live_candidates);
+  PutU64(&out, msg.event_index);
   PutConvoy(&out, msg.convoy);
   return out;
 }
@@ -416,6 +422,7 @@ StatusOr<SubscribeMsg> DecodeSubscribe(std::string_view payload) {
   SubscribeMsg msg;
   reader.GetU64(&msg.seq);
   reader.GetU64(&msg.stream_id);
+  reader.GetU8(&msg.replay_closed);
   CONVOY_RETURN_IF_ERROR(CheckEnd(reader, "Subscribe"));
   return msg;
 }
@@ -453,8 +460,10 @@ StatusOr<AckMsg> DecodeAck(std::string_view payload) {
   reader.GetU64(&msg.seq);
   reader.GetU8(&msg.code);
   reader.GetU8(&msg.retryable);
+  reader.GetU8(&msg.flags);
   reader.GetU32(&msg.accepted);
   reader.GetU32(&msg.rejected);
+  reader.GetU64(&msg.resume_seq);
   reader.GetString(&msg.message);
   CONVOY_RETURN_IF_ERROR(CheckEnd(reader, "Ack"));
   return msg;
@@ -468,6 +477,7 @@ StatusOr<EventMsg> DecodeEvent(std::string_view payload) {
   reader.GetU8(&msg.kind);
   reader.GetI64(&msg.tick);
   reader.GetU32(&msg.live_candidates);
+  reader.GetU64(&msg.event_index);
   reader.GetConvoy(&msg.convoy);
   CONVOY_RETURN_IF_ERROR(CheckEnd(reader, "Event"));
   return msg;
@@ -527,9 +537,10 @@ Status WriteFrame(int fd, std::string_view payload) {
   while (sent < frame.size()) {
     // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not a
     // process-wide SIGPIPE — the daemon writes acks and events to sockets
-    // whose clients disconnect at will.
-    const ssize_t n =
-        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    // whose clients disconnect at will. Routed through the fault hook so
+    // the chaos harness can shorten or kill sends (wal/fault.h).
+    const ssize_t n = wal::FaultSend(fd, frame.data() + sent,
+                                     frame.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal("socket write failed: " +
@@ -543,13 +554,18 @@ Status WriteFrame(int fd, std::string_view payload) {
 namespace {
 
 /// Reads exactly `len` bytes. `clean_eof_ok`: EOF before the first byte is
-/// an orderly close (kCancelled); mid-buffer EOF is always kDataError.
+/// an orderly close (kCancelled); mid-buffer EOF is always kDataError. An
+/// SO_RCVTIMEO expiry surfaces as kDeadlineExceeded — the signal behind
+/// both the server's idle reaping and the client's per-operation deadline.
 Status ReadExact(int fd, char* buf, size_t len, bool clean_eof_ok) {
   size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::read(fd, buf + got, len - got);
+    const ssize_t n = wal::FaultRead(fd, buf + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket read timed out");
+      }
       return Status::Internal("socket read failed: " +
                               std::string(std::strerror(errno)));
     }

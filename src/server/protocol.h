@@ -37,7 +37,11 @@ namespace convoy::server {
 /// session recoverable — the documented StreamingCmc error contract,
 /// carried over the wire.
 inline constexpr uint32_t kProtocolMagic = 0x43565953;  // "CVYS"
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2: AckMsg grew flags (duplicate bit) + resume_seq, SubscribeMsg grew
+/// replay_closed, EventMsg grew event_index, EventKind grew kGap — the
+/// durable-ingest/crash-recovery additions. v1 clients are rejected at the
+/// handshake rather than misparsed.
+inline constexpr uint8_t kProtocolVersion = 2;
 
 /// Hostile-input guard: frames above this are rejected before allocation.
 inline constexpr size_t kMaxFramePayload = 4u * 1024u * 1024u;
@@ -69,6 +73,8 @@ enum class EventKind : uint8_t {
   kConvoyExtended = 3,  ///< an already-open convoy survived another tick
   kConvoyClosed = 4,    ///< a convoy closed (group dispersed / stream end)
   kStreamEnd = 5,       ///< the stream finished (kIngestFinish processed)
+  kGap = 6,             ///< events were dropped for THIS subscriber (slow
+                        ///< consumer); live_candidates carries the count
 };
 
 /// One position report inside a kReportBatch.
@@ -118,6 +124,11 @@ struct IngestFinishMsg {
 struct SubscribeMsg {
   uint64_t seq = 0;
   uint64_t stream_id = 0;
+  /// 1 = first send every closed-convoy event recorded so far (recovery
+  /// replay included), then go live. A subscriber that dedups on
+  /// event_index then holds the complete closed sequence even when it
+  /// attached after a crash/restart.
+  uint8_t replay_closed = 0;
 };
 
 struct QueryMsg {
@@ -135,12 +146,20 @@ struct StatsRequestMsg {
   uint64_t seq = 0;
 };
 
+/// AckMsg.flags bit 0: the item's seq was already applied (a resent
+/// duplicate after reconnect) — acked OK without re-applying.
+inline constexpr uint8_t kAckFlagDuplicate = 0x1;
+
 struct AckMsg {
   uint64_t seq = 0;
   uint8_t code = 0;       ///< StatusCode as u8; 0 = OK, else a NAK
-  uint8_t retryable = 0;  ///< 1 = flow control (ring full) — resend later
+  uint8_t retryable = 0;  ///< 1 = flow control / load shed — resend later
+  uint8_t flags = 0;      ///< kAckFlag* bits
   uint32_t accepted = 0;  ///< rows accepted (batch) / convoys closed (tick)
   uint32_t rejected = 0;  ///< rows rejected inside an accepted batch
+  /// On an IngestBegin ack: the stream's last applied item seq (0 for a
+  /// fresh stream). A resuming producer continues from resume_seq + 1.
+  uint64_t resume_seq = 0;
   std::string message;    ///< Status message on a NAK
 };
 
@@ -148,7 +167,12 @@ struct EventMsg {
   uint64_t stream_id = 0;
   uint8_t kind = 0;  ///< EventKind
   Tick tick = 0;
-  uint32_t live_candidates = 0;
+  uint32_t live_candidates = 0;  ///< dropped-event count for kGap
+  /// Position of this event in the stream's closed-convoy sequence
+  /// (1-based, assigned at emission, stable across crash recovery); 0 for
+  /// non-closed kinds. Lets subscribers dedup a replay_closed catch-up
+  /// against live events.
+  uint64_t event_index = 0;
   Convoy convoy;  ///< meaningful for the kConvoy* kinds only
 };
 
@@ -208,12 +232,16 @@ StatusOr<StatsResultMsg> DecodeStatsResult(std::string_view payload);
 /// partial sends. kDataError when the payload exceeds kMaxFramePayload;
 /// kInternal on a socket error (the connection is dead). Sends with
 /// MSG_NOSIGNAL: a vanished peer is an EPIPE status, never a SIGPIPE.
+/// Socket I/O is routed through the wal/fault.h hooks, so the fault
+/// harness can shorten sends, raise EINTR, or cut the connection at a
+/// chosen frame boundary.
 Status WriteFrame(int fd, std::string_view payload);
 
 /// Reads one frame from `fd`. kCancelled("connection closed") on a clean
 /// EOF at a frame boundary — the reader loop's normal exit; kDataError on
-/// a truncated frame or an over-limit length prefix; kInternal on socket
-/// errors.
+/// a truncated frame or an over-limit length prefix; kDeadlineExceeded
+/// when an SO_RCVTIMEO receive timeout expires (the idle-reap / client
+/// deadline signal); kInternal on other socket errors.
 StatusOr<std::string> ReadFrame(int fd);
 
 }  // namespace convoy::server

@@ -4,10 +4,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -48,6 +51,21 @@ ConvoyServer::~ConvoyServer() { Shutdown(); }
 Status ConvoyServer::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("server already started");
+  }
+  if (!options_.wal_dir.empty()) {
+    wal::WalOptions wal_options;
+    wal_options.dir = options_.wal_dir;
+    wal_options.fsync = options_.fsync;
+    wal_options.fsync_interval_ms = options_.fsync_interval_ms;
+    wal_options.segment_bytes = options_.wal_segment_bytes;
+    // Open first: it truncates a torn tail in place, so the replay below
+    // reads a clean log and the truncation point is decided exactly once.
+    StatusOr<std::unique_ptr<wal::WalWriter>> writer =
+        wal::WalWriter::Open(wal_options, &trace_);
+    if (!writer.ok()) return writer.status().WithContext("wal open");
+    wal_ = std::move(*writer);
+    const Status recovered = RecoverStreams();
+    if (!recovered.ok()) return recovered.WithContext("wal recovery");
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return ErrnoStatus("socket");
@@ -92,6 +110,47 @@ Status ConvoyServer::Start() {
   return Status::Ok();
 }
 
+Status ConvoyServer::RecoverStreams() {
+  // Single-threaded phase: Start() has not spawned the acceptor yet, so
+  // streams_ needs no lock and every stream's worker is parked in its
+  // ring — ReplayRecord drives Process() on this thread, and the ring
+  // mutex orders the hand-off to the worker at the first live Submit.
+  std::vector<std::shared_ptr<IngestStream>> replayed;
+  wal::WalReadStats stats;
+  const Status read = wal::ReadWalDir(
+      options_.wal_dir,
+      [&](const wal::WalRecord& record) -> Status {
+        trace_.Count(TraceCounter::kWalRecoveredRecords, 1);
+        auto it = streams_.find(record.stream_id);
+        if (record.kind == wal::WalRecordKind::kBegin) {
+          if (it != streams_.end()) return Status::Ok();  // duplicate begin
+          IngestBeginMsg begin;
+          begin.seq = record.seq;
+          begin.stream_id = record.stream_id;
+          begin.m = record.m;
+          begin.k = record.k;
+          begin.e = record.e;
+          begin.carry_forward_ticks = record.carry_forward_ticks;
+          auto stream = std::make_shared<IngestStream>(
+              begin, options_.ring_capacity, this, &trace_, wal_.get(),
+              /*replaying=*/true);
+          // Single-threaded: no server thread has been spawned yet.
+          // convoy-lint: allow-line(guarded-member)
+          streams_.emplace(record.stream_id, stream);
+          replayed.push_back(std::move(stream));
+          return Status::Ok();
+        }
+        if (it == streams_.end()) return Status::Ok();  // orphan: skip
+        it->second->ReplayRecord(record);
+        return Status::Ok();
+      },
+      &stats);
+  if (!read.ok()) return read;
+  for (const auto& stream : replayed) stream->FinishReplay();
+  trace_.CountMax(TraceCounter::kServerActiveSessionsMax, streams_.size());
+  return Status::Ok();
+}
+
 void ConvoyServer::Shutdown() {
   const bool was_running = running_.exchange(false);
   if (listen_fd_ >= 0) {
@@ -120,7 +179,10 @@ void ConvoyServer::Shutdown() {
     }
   }
   for (const auto& conn : conns) {
+    // The reader closes the event queue on its way out, so the sender
+    // drains and exits before its join.
     conn->reader.Join();
+    conn->sender.Join();
     CloseConnection(conn);
   }
 
@@ -132,6 +194,12 @@ void ConvoyServer::Shutdown() {
   // Drain every worker: queued items still process (their acks hit dead
   // sockets and are dropped), then the worker thread joins.
   for (const auto& [id, stream] : streams) stream->Close();
+
+  if (wal_ != nullptr) {
+    // Best-effort durability on a clean shutdown, fsync=none included.
+    (void)wal_->Sync();
+    wal_.reset();
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   connections_.clear();
@@ -155,6 +223,15 @@ void ConvoyServer::AcceptLoop() {
     // Nagle + delayed ACK would add ~40ms per tick event on loopback.
     const int one = 1;
     ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.idle_timeout_ms > 0) {
+      // SO_RCVTIMEO turns a silent peer into a kDeadlineExceeded read —
+      // the idle-reap signal (lifted again if the connection subscribes).
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.idle_timeout_ms / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((options_.idle_timeout_ms % 1000) * 1000);
+      ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     // Reap connections whose reader has already exited, so a long-lived
     // daemon does not accumulate one Connection per historical client.
     // Join outside the lock (the dying reader grabs mu_ to unsubscribe).
@@ -173,6 +250,7 @@ void ConvoyServer::AcceptLoop() {
     }
     for (const auto& conn : dead) {
       conn->reader.Join();
+      conn->sender.Join();
       CloseConnection(conn);
     }
 
@@ -196,7 +274,15 @@ void ConvoyServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
   bool hello_done = false;
   while (running_.load() && conn->open.load()) {
     StatusOr<std::string> frame = ReadFrame(conn->fd);
-    if (!frame.ok()) break;  // EOF, peer reset, or a truncated frame
+    if (!frame.ok()) {
+      // EOF, peer reset, a truncated frame — or the idle timeout: a peer
+      // that went silent for idle_timeout_ms no longer pins this thread.
+      if (frame.status().code() == StatusCode::kDeadlineExceeded &&
+          !conn->subscriber.load()) {
+        trace_.Count(TraceCounter::kServerIdleReaped, 1);
+      }
+      break;
+    }
     if (!Dispatch(conn, *frame, &hello_done)) break;
   }
   conn->open.store(false);
@@ -206,14 +292,23 @@ void ConvoyServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
   // this thread joins.
   ::shutdown(conn->fd, SHUT_RDWR);
   // Unsubscribe everywhere so event fan-out stops touching this socket.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, subs] : subscribers_) {
-    auto end = subs.begin();
-    for (auto& sub : subs) {
-      if (sub != conn) *end++ = sub;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, subs] : subscribers_) {
+      auto end = subs.begin();
+      for (auto& sub : subs) {
+        if (sub != conn) *end++ = sub;
+      }
+      subs.erase(end, subs.end());
     }
-    subs.erase(end, subs.end());
   }
+  // Close the event queue (no enqueuer can see this connection anymore),
+  // so the sender drains what is left and exits for its join.
+  {
+    std::lock_guard<std::mutex> lock(conn->eq_mu);
+    conn->eq_closed = true;
+  }
+  conn->eq_cv.notify_all();
 }
 
 bool ConvoyServer::Dispatch(const std::shared_ptr<Connection>& conn,
@@ -320,7 +415,7 @@ void ConvoyServer::HandleIngestBegin(const std::shared_ptr<Connection>& conn,
     return;
   }
 
-  std::shared_ptr<IngestStream> created;
+  std::shared_ptr<IngestStream> stream;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // One ingest stream per connection: batch frames carry no stream id,
@@ -336,9 +431,10 @@ void ConvoyServer::HandleIngestBegin(const std::shared_ptr<Connection>& conn,
     }
     auto it = streams_.find(msg.stream_id);
     if (it != streams_.end()) {
-      // A stream survives its producer: if the previous owner hung up, a
-      // new connection may adopt the stream (original query parameters
-      // stay in force). A live owner keeps exclusive write access.
+      // A stream survives its producer — and, with a WAL, the process: if
+      // the previous owner hung up, a new connection may adopt the stream
+      // (original query parameters stay in force) and resume after the
+      // ack's resume_seq. A live owner keeps exclusive write access.
       auto owner = stream_owner_.find(msg.stream_id);
       if (owner != stream_owner_.end() && owner->second->open.load() &&
           owner->second != conn) {
@@ -348,23 +444,47 @@ void ConvoyServer::HandleIngestBegin(const std::shared_ptr<Connection>& conn,
                   " is owned by a live connection"));
         return;
       }
+      stream = it->second;
       stream_owner_[msg.stream_id] = conn;
     } else {
-      created = std::make_shared<IngestStream>(msg, options_.ring_capacity,
-                                               this, &trace_);
-      streams_.emplace(msg.stream_id, created);
+      if (wal_ != nullptr) {
+        // The kBegin record must be durable before the stream exists (and
+        // before the ack leaves): recovery needs the query parameters to
+        // rebuild the StreamingCmc.
+        wal::WalRecord record;
+        record.kind = wal::WalRecordKind::kBegin;
+        record.stream_id = msg.stream_id;
+        record.seq = msg.seq;
+        record.m = msg.m;
+        record.k = msg.k;
+        record.e = msg.e;
+        record.carry_forward_ticks = msg.carry_forward_ticks;
+        const Status logged = wal_->Append(record);
+        if (!logged.ok()) {
+          AckTo(conn, msg.seq, logged.WithContext("wal"));
+          return;
+        }
+      }
+      stream = std::make_shared<IngestStream>(msg, options_.ring_capacity,
+                                              this, &trace_, wal_.get());
+      streams_.emplace(msg.stream_id, stream);
       stream_owner_[msg.stream_id] = conn;
       trace_.CountMax(TraceCounter::kServerActiveSessionsMax,
                       streams_.size());
     }
   }
-  AckTo(conn, msg.seq, Status::Ok());
+  // The OK ack tells a resuming producer where to continue: everything at
+  // or below resume_seq is applied (resends of it would be absorbed as
+  // duplicates anyway).
+  AckMsg ack;
+  ack.seq = msg.seq;
+  ack.resume_seq = stream->LastAppliedSeq();
+  WriteTo(conn, Encode(ack));
 }
 
 void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
                                     MsgType type, const std::string& payload) {
   WorkItem item;
-  uint64_t stream_id = 0;
   switch (type) {
     case MsgType::kReportBatch: {
       StatusOr<ReportBatchMsg> msg = DecodeReportBatch(payload);
@@ -402,6 +522,7 @@ void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
   }
 
   std::shared_ptr<IngestStream> stream;
+  size_t queued = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Batch/tick/finish frames carry no stream id: a connection drives at
@@ -412,17 +533,30 @@ void ConvoyServer::HandleStreamItem(const std::shared_ptr<Connection>& conn,
         auto it = streams_.find(id);
         if (it != streams_.end()) {
           stream = it->second;
-          stream_id = id;
           break;
         }
       }
     }
+    if (options_.load_shed_high_water > 0) {
+      for (const auto& [id, s] : streams_) queued += s->QueueDepth();
+    }
   }
-  (void)stream_id;
   if (stream == nullptr) {
     AckTo(conn, item.seq,
           Status::FailedPrecondition(
               "no ingest stream on this connection (IngestBegin missing)"));
+    return;
+  }
+  if (options_.load_shed_high_water > 0 &&
+      queued >= options_.load_shed_high_water) {
+    // Load shedding at the door: above the high water the server is
+    // already behind across all streams — tell producers to back off
+    // before this item ties up a ring slot.
+    trace_.Count(TraceCounter::kServerLoadShed, 1);
+    AckTo(conn, item.seq,
+          Status::RetryAfter("server overloaded: " + std::to_string(queued) +
+                             " items queued across streams"),
+          /*retryable=*/true);
     return;
   }
   const uint64_t seq = item.seq;
@@ -463,7 +597,35 @@ void ConvoyServer::HandleSubscribe(const std::shared_ptr<Connection>& conn,
     for (const auto& sub : subs) present = present || sub == conn;
     if (!present) subs.push_back(conn);
   }
+  // Start the event sender (lazily, once): it drains this connection's
+  // bounded queue onto the socket. Only the connection's own reader
+  // thread reaches here, so the flag needs no lock.
+  if (!conn->sender_started) {
+    conn->sender_started = true;
+    conn->sender =
+        ServiceThread("event-sender", [this, conn] { SenderLoop(conn); });
+  }
+  // Subscribers legitimately go quiet — lift the idle read timeout.
+  conn->subscriber.store(true);
+  if (options_.idle_timeout_ms > 0) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->fd >= 0) {
+      timeval tv{};  // zero = block forever
+      ::setsockopt(conn->fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+  }
   AckTo(conn, msg.seq, Status::Ok());
+  if (msg.replay_closed != 0) {
+    // Catch-up after the live registration above: an event emitted in
+    // between may arrive twice (once live, once here) — subscribers
+    // dedup on event_index, which is stable across crash recovery.
+    const std::shared_ptr<IngestStream> stream = FindStream(msg.stream_id);
+    if (stream != nullptr) {
+      for (const EventMsg& ev : stream->ClosedEvents()) {
+        EnqueueEvent(conn, ev, Encode(ev));
+      }
+    }
+  }
 }
 
 void ConvoyServer::HandleQuery(const std::shared_ptr<Connection>& conn,
@@ -593,8 +755,58 @@ void ConvoyServer::SendEvent(const EventMsg& event) {
     auto it = subscribers_.find(event.stream_id);
     if (it != subscribers_.end()) subs = it->second;
   }
+  if (subs.empty()) return;
   const std::string payload = Encode(event);
-  for (const auto& sub : subs) WriteTo(sub, payload);
+  for (const auto& sub : subs) EnqueueEvent(sub, event, payload);
+}
+
+void ConvoyServer::EnqueueEvent(const std::shared_ptr<Connection>& conn,
+                                const EventMsg& event,
+                                const std::string& frame) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->eq_mu);
+    if (conn->eq_closed) return;
+    if (conn->event_queue.size() >= options_.subscriber_queue_capacity) {
+      // Slow subscriber: drop rather than stall the stream worker (the
+      // worker's SendEvent must never block on one consumer's socket).
+      ++conn->dropped_events;
+      trace_.Count(TraceCounter::kServerEventsDropped, 1);
+      return;
+    }
+    if (conn->dropped_events > 0) {
+      // First enqueue after a drop run: tell the subscriber how much it
+      // missed, in-band, before the stream resumes.
+      EventMsg gap;
+      gap.stream_id = event.stream_id;
+      gap.kind = static_cast<uint8_t>(EventKind::kGap);
+      gap.live_candidates = static_cast<uint32_t>(std::min<uint64_t>(
+          conn->dropped_events, std::numeric_limits<uint32_t>::max()));
+      conn->event_queue.push_back(Encode(gap));
+      conn->dropped_events = 0;
+    }
+    conn->event_queue.push_back(frame);
+    notify = true;
+  }
+  if (notify) conn->eq_cv.notify_one();
+}
+
+void ConvoyServer::SenderLoop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    std::string frame;
+    {
+      std::unique_lock<std::mutex> lock(conn->eq_mu);
+      conn->eq_cv.wait(lock, [&conn] {
+        return conn->eq_closed || !conn->event_queue.empty();
+      });
+      if (conn->event_queue.empty()) return;  // closed and drained
+      frame = std::move(conn->event_queue.front());
+      conn->event_queue.pop_front();
+    }
+    // Outside eq_mu: a slow socket must not block enqueuers (they shed
+    // into drops instead). WriteTo no-ops once the connection died.
+    WriteTo(conn, frame);
+  }
 }
 
 std::string ConvoyServer::StatsJson() const {

@@ -2,7 +2,9 @@
 #define CONVOY_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,6 +16,7 @@
 #include "server/protocol.h"
 #include "server/session.h"
 #include "util/status.h"
+#include "wal/wal.h"
 
 namespace convoy::server {
 
@@ -29,6 +32,34 @@ struct ServerOptions {
   /// the backpressure signal (retryable NAK), so this bounds per-stream
   /// memory: at most ring_capacity batches are queued, ever.
   size_t ring_capacity = 64;
+
+  // ------------------------------------------------------------ durability
+
+  /// Directory of the write-ahead log. Empty = no WAL: acks promise only
+  /// in-memory application (PR 8 behavior). Non-empty: every accepted item
+  /// is logged before its ack leaves, and Start() replays an existing log
+  /// so a restarted server resumes bit-identical to the uninterrupted run.
+  std::string wal_dir;
+  wal::FsyncPolicy fsync = wal::FsyncPolicy::kNone;
+  uint32_t fsync_interval_ms = 50;
+  size_t wal_segment_bytes = 64u * 1024u * 1024u;
+
+  // ------------------------------------------------------- fault tolerance
+
+  /// Reap a connection whose peer sends nothing for this long (leaked
+  /// half-open sockets no longer pin reader threads). 0 = never. Cleared
+  /// once a connection subscribes — subscribers legitimately go quiet.
+  uint32_t idle_timeout_ms = 0;
+
+  /// Bound of each subscriber connection's outgoing event queue. A slow
+  /// subscriber overflowing it loses events — replaced by one kGap event
+  /// carrying the dropped count — instead of stalling stream workers.
+  size_t subscriber_queue_capacity = 1024;
+
+  /// Load shedding: when the total item count queued across every stream
+  /// ring reaches this high water, new stream items are NAKed kRetryAfter
+  /// (retryable) before they are enqueued. 0 = disabled.
+  size_t load_shed_high_water = 0;
 };
 
 /// The convoy server: accepts TCP connections speaking the protocol.h
@@ -41,19 +72,27 @@ struct ServerOptions {
 ///
 ///   acceptor ──> per-connection reader ──TryPush──> per-stream worker
 ///                     │    (decode, dispatch)            (StreamingCmc)
-///                     └── queries/stats run on the reader thread against
-///                         the stream's SnapshotEngine
+///                     │── queries/stats run on the reader thread against
+///                     │   the stream's SnapshotEngine
+///                     └── per-connection event sender drains the bounded
+///                         subscription queue (slow subscribers shed, with
+///                         kGap markers, instead of stalling workers)
 ///
 /// Readers never block on compute and workers never touch sockets except
-/// through the sink (acks to the owning connection, events to subscribers,
-/// both serialized per connection by its write mutex). A full ring NAKs
-/// with retryable=1 instead of buffering — explicit flow control.
+/// through the sink (acks to the owning connection, events to subscribers'
+/// queues). A full ring NAKs with retryable=1 instead of buffering —
+/// explicit flow control.
 ///
 /// Streams outlive their ingest connection: a dropped producer leaves the
 /// accepted rows queryable (and the stream resumable by id from a new
-/// connection). Shutdown() closes the listener, wakes every reader via
-/// socket shutdown, drains and joins every stream worker, then joins the
-/// acceptor — after it returns no thread of the server is alive.
+/// connection; the IngestBegin ack's resume_seq tells the producer where
+/// to continue). With a WAL configured, streams also outlive the process:
+/// Start() replays the log through the same Process() path the live
+/// server runs, so recovered state — closed-convoy events and their
+/// indices included — is bit-identical to an uninterrupted run.
+/// Shutdown() closes the listener, wakes every reader via socket shutdown,
+/// drains and joins every stream worker, then joins the acceptor — after
+/// it returns no thread of the server is alive.
 class ConvoyServer : public StreamSink {
  public:
   explicit ConvoyServer(ServerOptions options = {});
@@ -64,12 +103,13 @@ class ConvoyServer : public StreamSink {
   ConvoyServer(const ConvoyServer&) = delete;
   ConvoyServer& operator=(const ConvoyServer&) = delete;
 
-  /// Binds, listens, and spawns the acceptor. kInternal with errno context
-  /// when the socket setup fails (port in use, bad host, ...).
+  /// Opens the WAL and replays it (when configured), then binds, listens,
+  /// and spawns the acceptor. kInternal with errno context when the socket
+  /// setup fails (port in use, bad host, ...) or the WAL dir is unusable.
   Status Start();
 
   /// Stops accepting, closes every connection, drains every stream worker,
-  /// and joins all threads. Idempotent; called by the destructor.
+  /// syncs the WAL, and joins all threads. Idempotent; destructor-called.
   void Shutdown();
 
   /// The bound port (resolves option port 0 to the ephemeral pick).
@@ -79,8 +119,8 @@ class ConvoyServer : public StreamSink {
   /// {"schema":"convoy-server-stats-v1","metrics":{...}} — the server's
   /// lifetime TraceSession rendered through QueryMetrics::WriteJson, i.e.
   /// the same counter catalog every other execution path reports, plus the
-  /// server.* counters. Safe to call while the server runs (monotone
-  /// approximation; exact after Shutdown).
+  /// server.* and wal.* counters. Safe to call while the server runs
+  /// (monotone approximation; exact after Shutdown).
   std::string StatsJson() const;
 
   /// The server-lifetime trace (server.* counters, per-stream tick spans).
@@ -101,7 +141,19 @@ class ConvoyServer : public StreamSink {
     /// acks, and subscription events interleave at frame granularity.
     std::mutex write_mu;
     std::atomic<bool> open{true};
+    /// Set once the connection subscribes: exempt from idle reaping.
+    std::atomic<bool> subscriber{false};
     ServiceThread reader;  ///< joined before CloseConnection
+
+    // ---- outgoing subscription events (bounded; see EnqueueEvent) ----
+    std::mutex eq_mu;
+    std::condition_variable eq_cv;
+    std::deque<std::string> event_queue;  // GUARDED_BY(eq_mu)
+    uint64_t dropped_events = 0;          // GUARDED_BY(eq_mu)
+    bool eq_closed = false;               // GUARDED_BY(eq_mu)
+    /// Touched only by the connection's own reader thread.
+    bool sender_started = false;
+    ServiceThread sender;  ///< drains event_queue; started on subscribe
   };
 
   void AcceptLoop();
@@ -122,6 +174,18 @@ class ConvoyServer : public StreamSink {
   void HandleStats(const std::shared_ptr<Connection>& conn,
                    const StatsRequestMsg& msg);
 
+  /// Re-creates every stream recorded in the WAL and replays the log
+  /// through it. Runs on the Start() thread before the acceptor exists.
+  Status RecoverStreams();
+
+  /// Pushes one encoded event onto the connection's bounded queue. A full
+  /// queue drops the event (counted); the first enqueue after a drop is
+  /// preceded by a kGap event carrying the dropped count.
+  void EnqueueEvent(const std::shared_ptr<Connection>& conn,
+                    const EventMsg& event, const std::string& frame);
+  /// The per-connection event sender body: drains the queue to the socket.
+  void SenderLoop(const std::shared_ptr<Connection>& conn);
+
   /// Writes one frame under the connection's write mutex; a failed write
   /// marks the connection closed (its reader notices on its next read).
   void WriteTo(const std::shared_ptr<Connection>& conn,
@@ -136,6 +200,11 @@ class ConvoyServer : public StreamSink {
 
   ServerOptions options_;
   TraceSession trace_;
+
+  /// Non-null iff options_.wal_dir is set; shared by every stream. Opened
+  /// (and the log replayed) in Start() before any socket exists, reset in
+  /// Shutdown() after the last worker drained.
+  std::unique_ptr<wal::WalWriter> wal_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

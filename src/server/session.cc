@@ -27,13 +27,16 @@ StreamingCmc::Options StreamOptionsFrom(const IngestBeginMsg& begin) {
 }  // namespace
 
 IngestStream::IngestStream(const IngestBeginMsg& begin, size_t ring_capacity,
-                           StreamSink* sink, TraceSession* trace)
+                           StreamSink* sink, TraceSession* trace,
+                           wal::WalWriter* wal, bool replaying)
     : stream_id_(begin.stream_id),
       query_(QueryFrom(begin)),
       sink_(sink),
       trace_(trace),
+      wal_(wal),
       ring_(ring_capacity),
       stream_(query_, StreamOptionsFrom(begin)),
+      replaying_(replaying),
       worker_("stream-worker", [this] { WorkerLoop(); }) {}
 
 IngestStream::~IngestStream() { Close(); }
@@ -55,7 +58,49 @@ void IngestStream::WorkerLoop() {
   }
 }
 
+void IngestStream::ReplayRecord(const wal::WalRecord& record) {
+  WorkItem item;
+  item.seq = record.seq;
+  item.tick = record.tick;
+  switch (record.kind) {
+    case wal::WalRecordKind::kBegin:
+      return;  // consumed by stream creation
+    case wal::WalRecordKind::kBatch:
+      item.kind = WorkItem::Kind::kBatch;
+      item.rows.reserve(record.rows.size());
+      for (const wal::WalRow& row : record.rows) {
+        item.rows.push_back(PositionReport{row.id, row.x, row.y});
+      }
+      break;
+    case wal::WalRecordKind::kEndTick:
+      item.kind = WorkItem::Kind::kEndTick;
+      break;
+    case wal::WalRecordKind::kFinish:
+      item.kind = WorkItem::Kind::kFinish;
+      break;
+  }
+  Process(item);
+}
+
 void IngestStream::Process(WorkItem& item) {
+  // Seq-dedup: a producer resending after a reconnect (or a duplicate WAL
+  // record from a crash between append and ack) is acked OK without
+  // re-applying — the crash-recovery idempotence guarantee. Only applied
+  // items advance last_applied_seq_, so a retried NAK is not mistaken for
+  // a duplicate unless a later item was applied in between.
+  if (item.seq != 0 &&
+      item.seq <= last_applied_seq_.load(std::memory_order_relaxed)) {
+    AckMsg ack;
+    ack.seq = item.seq;
+    ack.flags = kAckFlagDuplicate;
+    SendAckIfLive(ack);
+    return;
+  }
+  if (wal_broken_) {
+    Nak(item.seq, Status::Internal(
+                      "write-ahead log failed; the stream is closed"));
+    return;
+  }
   switch (item.kind) {
     case WorkItem::Kind::kBatch:
       ProcessBatch(item);
@@ -76,7 +121,40 @@ void IngestStream::Nak(uint64_t seq, const Status& status) {
   nak.retryable = 0;
   nak.message = status.message();
   TraceCount(trace_, TraceCounter::kServerBatchesRejected, 1);
-  sink_->SendAck(stream_id_, nak);
+  SendAckIfLive(nak);
+}
+
+void IngestStream::SendAckIfLive(const AckMsg& ack) {
+  if (replaying_) return;
+  sink_->SendAck(stream_id_, ack);
+}
+
+void IngestStream::SendEventIfLive(const EventMsg& event) {
+  if (replaying_) return;
+  sink_->SendEvent(event);
+  TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+}
+
+bool IngestStream::LogApplied(wal::WalRecordKind kind, const WorkItem& item,
+                              std::vector<wal::WalRow> rows) {
+  if (wal_ == nullptr || replaying_) return true;
+  wal::WalRecord record;
+  record.kind = kind;
+  record.stream_id = stream_id_;
+  record.seq = item.seq;
+  record.tick = item.tick;
+  record.rows = std::move(rows);
+  const Status appended = wal_->Append(record);
+  if (appended.ok()) return true;
+  // The item is applied in memory but not logged: anything applied after
+  // it would be logged over a gap and recovery would diverge from acked
+  // history. Poison the stream — this item and everything behind it in
+  // the ring are NAKed non-retryably (never acked, so "acked implies
+  // recoverable" still holds) and no new work is accepted.
+  wal_broken_ = true;
+  ring_.Close();
+  Nak(item.seq, appended);
+  return false;
 }
 
 void IngestStream::ProcessBatch(const WorkItem& item) {
@@ -102,6 +180,7 @@ void IngestStream::ProcessBatch(const WorkItem& item) {
 
   AckMsg ack;
   ack.seq = item.seq;
+  std::vector<wal::WalRow> accepted_rows;
   for (const PositionReport& row : item.rows) {
     const Status reported = stream_.Report(row.id, Point(row.x, row.y));
     if (!reported.ok()) {
@@ -111,6 +190,7 @@ void IngestStream::ProcessBatch(const WorkItem& item) {
       continue;
     }
     ++ack.accepted;
+    accepted_rows.push_back(wal::WalRow{row.id, row.x, row.y});
     std::lock_guard<std::mutex> lock(rows_mu_);
     std::vector<TimedPoint>& samples = rows_[row.id];
     if (!samples.empty() && samples.back().t == item.tick) {
@@ -120,8 +200,13 @@ void IngestStream::ProcessBatch(const WorkItem& item) {
     }
     ++revision_;
   }
+  // Only the rows that survived validation are logged — replay re-accepts
+  // exactly them, keeping the recovered row table bit-identical.
+  if (!LogApplied(wal::WalRecordKind::kBatch, item, std::move(accepted_rows)))
+    return;
+  last_applied_seq_.store(item.seq, std::memory_order_relaxed);
   TraceCount(trace_, TraceCounter::kServerBatchesAccepted, 1);
-  sink_->SendAck(stream_id_, ack);
+  SendAckIfLive(ack);
 }
 
 void IngestStream::ProcessEndTick(const WorkItem& item) {
@@ -151,12 +236,17 @@ void IngestStream::ProcessEndTick(const WorkItem& item) {
     Nak(item.seq, closed.status());
     return;
   }
+  // Log before the events fan out and before the ack: a crash after the
+  // append replays this tick to the same closed set; a crash before it
+  // leaves the tick unacked and the producer resends.
+  if (!LogApplied(wal::WalRecordKind::kEndTick, item, {})) return;
+  last_applied_seq_.store(item.seq, std::memory_order_relaxed);
   EmitTickEvents(item.tick, *closed);
 
   AckMsg ack;
   ack.seq = item.seq;
   ack.accepted = static_cast<uint32_t>(closed->size());
-  sink_->SendAck(stream_id_, ack);
+  SendAckIfLive(ack);
 }
 
 void IngestStream::ProcessFinish(const WorkItem& item) {
@@ -171,28 +261,46 @@ void IngestStream::ProcessFinish(const WorkItem& item) {
     Nak(item.seq, closed.status());
     return;
   }
+  if (!LogApplied(wal::WalRecordKind::kFinish, item, {})) return;
   finished_ = true;
+  last_applied_seq_.store(item.seq, std::memory_order_relaxed);
   for (const Convoy& convoy : *closed) {
-    EventMsg ev;
-    ev.stream_id = stream_id_;
-    ev.kind = static_cast<uint8_t>(EventKind::kConvoyClosed);
-    ev.tick = convoy.end_tick;
-    ev.convoy = convoy;
-    sink_->SendEvent(ev);
-    TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+    EmitClosed(convoy.end_tick, 0, convoy);
   }
   prev_open_.clear();
 
   EventMsg end;
   end.stream_id = stream_id_;
   end.kind = static_cast<uint8_t>(EventKind::kStreamEnd);
-  sink_->SendEvent(end);
-  TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+  SendEventIfLive(end);
 
   AckMsg ack;
   ack.seq = item.seq;
   ack.accepted = static_cast<uint32_t>(closed->size());
-  sink_->SendAck(stream_id_, ack);
+  SendAckIfLive(ack);
+}
+
+void IngestStream::EmitClosed(Tick tick, uint32_t live_candidates,
+                              const Convoy& convoy) {
+  EventMsg ev;
+  ev.stream_id = stream_id_;
+  ev.kind = static_cast<uint8_t>(EventKind::kConvoyClosed);
+  ev.tick = tick;
+  ev.live_candidates = live_candidates;
+  ev.event_index = ++next_event_index_;
+  ev.convoy = convoy;
+  {
+    // Recorded during replay too — that is how the closed sequence (and
+    // its indices) survive a crash for replay_closed subscribers.
+    std::lock_guard<std::mutex> lock(history_mu_);
+    closed_history_.push_back(ev);
+  }
+  SendEventIfLive(ev);
+}
+
+std::vector<EventMsg> IngestStream::ClosedEvents() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return closed_history_;
 }
 
 void IngestStream::EmitTickEvents(Tick tick,
@@ -202,8 +310,7 @@ void IngestStream::EmitTickEvents(Tick tick,
   summary.kind = static_cast<uint8_t>(EventKind::kTick);
   summary.tick = tick;
   summary.live_candidates = static_cast<uint32_t>(stream_.LiveCandidates());
-  sink_->SendEvent(summary);
-  TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+  SendEventIfLive(summary);
 
   // Open convoys arrive in the tracker's canonical order; the diff against
   // the previous tick's open set classifies each as new or extended, so a
@@ -219,21 +326,13 @@ void IngestStream::EmitTickEvents(Tick tick,
     ev.tick = tick;
     ev.live_candidates = summary.live_candidates;
     ev.convoy = convoy;
-    sink_->SendEvent(ev);
-    TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+    SendEventIfLive(ev);
     open_keys.insert(convoy.objects);
   }
   prev_open_ = std::move(open_keys);
 
   for (const Convoy& convoy : closed) {
-    EventMsg ev;
-    ev.stream_id = stream_id_;
-    ev.kind = static_cast<uint8_t>(EventKind::kConvoyClosed);
-    ev.tick = tick;
-    ev.live_candidates = summary.live_candidates;
-    ev.convoy = convoy;
-    sink_->SendEvent(ev);
-    TraceCount(trace_, TraceCounter::kServerEventsEmitted, 1);
+    EmitClosed(tick, summary.live_candidates, convoy);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef CONVOY_SERVER_SESSION_H_
 #define CONVOY_SERVER_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "server/protocol.h"
 #include "server/ring.h"
 #include "traj/trajectory.h"
+#include "wal/wal.h"
 
 namespace convoy {
 class TraceSession;
@@ -72,11 +74,31 @@ class StreamSink {
 /// anything after finish) are NAKed with the underlying recoverable Status
 /// and leave the stream exactly as it was — the StreamingCmc contract,
 /// surfaced per item.
+///
+/// Durability: with a WalWriter attached, every *accepted* item is appended
+/// to the WAL after it is applied and before its ack leaves — an acked item
+/// is always recoverable. A WAL append failure poisons the stream (the
+/// in-memory state now holds work the log does not): the failed item and
+/// everything after it are NAKed non-retryably and the ring is closed, so
+/// the log never develops a gap relative to acked work. Items whose seq is
+/// <= the last applied seq (a producer resending after reconnect, or a
+/// duplicate WAL record after a crash between append and ack) are absorbed:
+/// acked OK with kAckFlagDuplicate, not re-applied.
+///
+/// Recovery: the server re-creates the stream from its kBegin record with
+/// `replaying` = true, feeds the remaining records through ReplayRecord on
+/// the recovery thread (the worker is parked in ring_.Pop; the ring mutex
+/// orders the hand-off), then calls FinishReplay before the first Submit.
+/// Replay drives the exact Process() path — the rebuilt StreamingCmc, row
+/// table, and closed-convoy history are bit-identical to an uninterrupted
+/// run — with sink sends suppressed and WAL re-appends skipped.
 class IngestStream {
  public:
-  /// `sink` and `trace` (nullable) must outlive the stream.
+  /// `sink` and `trace` (nullable) must outlive the stream; `wal`
+  /// (nullable = no durability) is shared by every stream of the server.
   IngestStream(const IngestBeginMsg& begin, size_t ring_capacity,
-               StreamSink* sink, TraceSession* trace);
+               StreamSink* sink, TraceSession* trace,
+               wal::WalWriter* wal = nullptr, bool replaying = false);
 
   /// Closes the ring and joins the worker (drains queued items first).
   ~IngestStream();
@@ -100,11 +122,36 @@ class IngestStream {
   /// The query parameters the stream was opened with.
   const ConvoyQuery& query() const { return query_; }
 
+  /// Items currently queued for the worker (load-shedding input).
+  size_t QueueDepth() const { return ring_.Size(); }
+
   /// An engine over every report accepted so far (last write per
   /// (object, tick) wins, mirroring StreamingCmc's snapshot semantics).
   /// Cached per row-table revision: queries between batches share one
   /// build. Never null; an empty stream yields an empty-database engine.
   std::shared_ptr<const ConvoyEngine> SnapshotEngine();
+
+  // ------------------------------------------------------------ recovery
+
+  /// Applies one WAL record on the recovery thread (kBegin records are
+  /// consumed by stream creation and ignored here). Only valid while the
+  /// stream is in replay mode and before any Submit.
+  void ReplayRecord(const wal::WalRecord& record);
+
+  /// Leaves replay mode: subsequent items are logged, acked, and fanned
+  /// out normally. Must be called before the first Submit.
+  void FinishReplay() { replaying_ = false; }
+
+  /// The seq of the last applied (acked or WAL-recovered) stream item —
+  /// the resume_seq a reconnecting producer continues after.
+  uint64_t LastAppliedSeq() const {
+    return last_applied_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Every closed-convoy event recorded so far, in emission order with
+  /// 1-based event_index (stable across crash recovery). Powers the
+  /// replay_closed subscribe catch-up.
+  std::vector<EventMsg> ClosedEvents() const;
 
  private:
   void WorkerLoop();
@@ -114,21 +161,52 @@ class IngestStream {
   void ProcessFinish(const WorkItem& item);
   /// kTick + new/extended/closed events for one processed tick.
   void EmitTickEvents(Tick tick, const std::vector<Convoy>& closed);
+  /// Assigns the next event_index, records the event in the closed
+  /// history, and (when live) fans it out.
+  void EmitClosed(Tick tick, uint32_t live_candidates, const Convoy& convoy);
+  /// Appends the record for an applied item; on failure NAKs the item,
+  /// poisons the stream, and returns false (the caller must not ack).
+  bool LogApplied(wal::WalRecordKind kind, const WorkItem& item,
+                  std::vector<wal::WalRow> rows);
   void Nak(uint64_t seq, const Status& status);
+  /// Sink sends, suppressed during replay (there is nobody to talk to and
+  /// the counters must reflect live traffic only).
+  void SendAckIfLive(const AckMsg& ack);
+  void SendEventIfLive(const EventMsg& event);
 
   const uint64_t stream_id_;
   const ConvoyQuery query_;
   StreamSink* const sink_;
   TraceSession* const trace_;
+  wal::WalWriter* const wal_;
 
   BoundedRing<WorkItem> ring_;
 
-  // ---- worker-thread-only state (after construction, before Join) ----
+  // ---- worker-thread-only state (after construction, before Join;
+  //      touched by the recovery thread instead while replaying_) ----
   StreamingCmc stream_;
   bool finished_ = false;
+  /// True between construction-with-replaying and FinishReplay. Only read
+  /// on the thread currently driving Process (recovery, then worker — the
+  /// ring mutex orders the hand-off).
+  bool replaying_ = false;
+  /// Set when a WAL append failed: the log is now behind the in-memory
+  /// state, so no further item may be applied (it would be logged over a
+  /// gap and recovery would diverge from acked history).
+  bool wal_broken_ = false;
+  /// Next closed-convoy event_index to assign (1-based).
+  uint64_t next_event_index_ = 0;
   /// Object sets of the convoys open after the previous processed tick,
   /// diffed against the current open set to classify new vs extended.
   std::set<std::vector<ObjectId>> prev_open_;
+
+  /// Written by the processing thread, read by reader threads building
+  /// IngestBegin acks (resume_seq).
+  std::atomic<uint64_t> last_applied_seq_{0};
+
+  // ---- closed-convoy history shared with subscribe threads ----
+  mutable std::mutex history_mu_;
+  std::vector<EventMsg> closed_history_;  // GUARDED_BY(history_mu_)
 
   // ---- row table shared with query threads ----
   mutable std::mutex rows_mu_;

@@ -22,6 +22,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kRetryAfter:
+      return "RETRY_AFTER";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,8 @@ enum class StatusCode {
   kDataError,           ///< input data violates the format it claims to have
   kInternal,            ///< an invariant the library itself maintains broke
   kCancelled,           ///< the caller's CancelToken aborted the operation
+  kDeadlineExceeded,    ///< the caller's wall-clock deadline expired
+  kRetryAfter,          ///< overloaded: back off and retry the same request
 };
 
 /// Short stable name of a code ("OK", "INVALID_ARGUMENT", ...).
@@ -69,6 +71,12 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status RetryAfter(std::string message) {
+    return Status(StatusCode::kRetryAfter, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

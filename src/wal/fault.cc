@@ -1,0 +1,135 @@
+#include "wal/fault.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <sys/socket.h>
+
+namespace convoy::wal {
+
+namespace {
+
+/// The process-wide injector. Relaxed is sufficient: installation happens
+/// before traffic in every harness, and the hooks only dereference what
+/// they loaded (no cross-field ordering depends on the pointer).
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+/// splitmix64: tiny, seedable, and statistically fine for fault draws.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Options& options)
+    : options_(options), rng_state_(options.seed) {}
+
+double FaultInjector::NextUniform() {
+  // fetch_add gives every caller a distinct stream position; SplitMix64
+  // of the position is the draw. Thread-safe without a lock.
+  const uint64_t pos = rng_state_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t bits = SplitMix64(pos);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+ssize_t FaultInjector::Send(int fd, const void* buf, size_t len, int flags) {
+  const uint64_t call = write_calls_.fetch_add(1) + 1;
+  if (options_.fail_writes_after != 0 && call >= options_.fail_writes_after) {
+    writes_killed_.fetch_add(1);
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (options_.eintr_prob > 0.0 && NextUniform() < options_.eintr_prob) {
+    eintrs_.fetch_add(1);
+    errno = EINTR;
+    return -1;
+  }
+  size_t send_len = len;
+  if (len > 1 && options_.short_write_prob > 0.0 &&
+      NextUniform() < options_.short_write_prob) {
+    short_writes_.fetch_add(1);
+    // At least one byte goes out — a zero-byte send is not a short write,
+    // and frame boundaries must still make progress.
+    send_len = 1 + static_cast<size_t>(NextUniform() *
+                                       static_cast<double>(len - 1));
+  }
+  return ::send(fd, buf, send_len, flags);
+}
+
+ssize_t FaultInjector::Read(int fd, void* buf, size_t len) {
+  if (options_.eintr_prob > 0.0 && NextUniform() < options_.eintr_prob) {
+    eintrs_.fetch_add(1);
+    errno = EINTR;
+    return -1;
+  }
+  return ::read(fd, buf, len);
+}
+
+ssize_t FaultInjector::Write(int fd, const void* buf, size_t len) {
+  const uint64_t call = write_calls_.fetch_add(1) + 1;
+  if (options_.fail_writes_after != 0 && call >= options_.fail_writes_after) {
+    writes_killed_.fetch_add(1);
+    errno = EIO;
+    return -1;
+  }
+  if (options_.eintr_prob > 0.0 && NextUniform() < options_.eintr_prob) {
+    eintrs_.fetch_add(1);
+    errno = EINTR;
+    return -1;
+  }
+  size_t write_len = len;
+  if (len > 1 && options_.short_write_prob > 0.0 &&
+      NextUniform() < options_.short_write_prob) {
+    short_writes_.fetch_add(1);
+    write_len = 1 + static_cast<size_t>(NextUniform() *
+                                        static_cast<double>(len - 1));
+  }
+  return ::write(fd, buf, write_len);
+}
+
+int FaultInjector::Fsync(int fd) {
+  if (options_.fsync_delay_us > 0) {
+    ::usleep(options_.fsync_delay_us);
+  }
+  if (options_.fsync_fail_prob > 0.0 &&
+      NextUniform() < options_.fsync_fail_prob) {
+    fsync_failures_.fetch_add(1);
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+void SetFaultInjector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_relaxed);
+}
+
+FaultInjector* GetFaultInjector() {
+  return g_injector.load(std::memory_order_relaxed);
+}
+
+ssize_t FaultSend(int fd, const void* buf, size_t len, int flags) {
+  FaultInjector* fi = GetFaultInjector();
+  return fi != nullptr ? fi->Send(fd, buf, len, flags)
+                       : ::send(fd, buf, len, flags);
+}
+
+ssize_t FaultRead(int fd, void* buf, size_t len) {
+  FaultInjector* fi = GetFaultInjector();
+  return fi != nullptr ? fi->Read(fd, buf, len) : ::read(fd, buf, len);
+}
+
+ssize_t FaultWrite(int fd, const void* buf, size_t len) {
+  FaultInjector* fi = GetFaultInjector();
+  return fi != nullptr ? fi->Write(fd, buf, len) : ::write(fd, buf, len);
+}
+
+int FaultFsync(int fd) {
+  FaultInjector* fi = GetFaultInjector();
+  return fi != nullptr ? fi->Fsync(fd) : ::fsync(fd);
+}
+
+}  // namespace convoy::wal

@@ -1,0 +1,89 @@
+#ifndef CONVOY_WAL_FAULT_H_
+#define CONVOY_WAL_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace convoy::wal {
+
+/// Seeded syscall-level fault injection for the durability tests and the
+/// loadgen chaos mode. The server and WAL route every socket/file syscall
+/// through the hooks below; with no injector installed each hook is one
+/// relaxed atomic load plus a never-taken branch (zero-cost-when-disabled),
+/// and with one installed the injector deterministically (per seed)
+/// shortens writes, raises EINTR, fails or delays fsync, and kills chosen
+/// write calls with ECONNRESET — the failure modes a production daemon
+/// meets on real networks and disks, reproduced on loopback.
+///
+/// Probabilities are evaluated on a splitmix64 stream owned by the
+/// injector, so a given seed yields the same fault schedule regardless of
+/// wall clock; the atomic stream state makes concurrent callers safe (the
+/// per-thread interleaving of draws is scheduling-dependent, which is fine:
+/// the tests assert recovery invariants, not exact fault placement).
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Probability a Send/Write call transfers only a prefix (>= 1 byte)
+    /// of the buffer — exercises every partial-write loop.
+    double short_write_prob = 0.0;
+    /// Probability a Send/Read/Write call fails once with EINTR.
+    double eintr_prob = 0.0;
+    /// Probability an Fsync call fails with EIO.
+    double fsync_fail_prob = 0.0;
+    /// Fixed delay added to every Fsync call (slow-disk simulation).
+    uint32_t fsync_delay_us = 0;
+    /// Fail the Nth Write/Send call (1-based) and every later one with
+    /// ECONNRESET — a connection cut at a chosen frame boundary. 0 = off.
+    uint64_t fail_writes_after = 0;
+  };
+
+  explicit FaultInjector(const Options& options);
+
+  // Syscall wrappers: same contract as the underlying call (return value
+  // and errno), with faults injected per the options.
+  ssize_t Send(int fd, const void* buf, size_t len, int flags);
+  ssize_t Read(int fd, void* buf, size_t len);
+  ssize_t Write(int fd, const void* buf, size_t len);
+  int Fsync(int fd);
+
+  /// How many faults of each kind actually fired (tests assert > 0 so a
+  /// "passing" chaos run cannot silently be a fault-free run).
+  uint64_t short_writes() const { return short_writes_.load(); }
+  uint64_t eintrs() const { return eintrs_.load(); }
+  uint64_t fsync_failures() const { return fsync_failures_.load(); }
+  uint64_t writes_killed() const { return writes_killed_.load(); }
+
+ private:
+  /// One draw in [0, 1) from the seeded stream.
+  double NextUniform();
+
+  const Options options_;
+  std::atomic<uint64_t> rng_state_;
+  std::atomic<uint64_t> write_calls_{0};
+  std::atomic<uint64_t> short_writes_{0};
+  std::atomic<uint64_t> eintrs_{0};
+  std::atomic<uint64_t> fsync_failures_{0};
+  std::atomic<uint64_t> writes_killed_{0};
+};
+
+/// Installs `injector` (nullptr to disable) process-wide. The caller keeps
+/// ownership and must keep it alive until after SetFaultInjector(nullptr);
+/// intended for test / chaos-tool setup before traffic starts.
+void SetFaultInjector(FaultInjector* injector);
+FaultInjector* GetFaultInjector();
+
+// ------------------------------------------------------------ call sites
+// The hooks the server/WAL code calls in place of the raw syscalls. Each
+// is a single relaxed load + branch when no injector is installed.
+
+ssize_t FaultSend(int fd, const void* buf, size_t len, int flags);
+ssize_t FaultRead(int fd, void* buf, size_t len);
+ssize_t FaultWrite(int fd, const void* buf, size_t len);
+int FaultFsync(int fd);
+
+}  // namespace convoy::wal
+
+#endif  // CONVOY_WAL_FAULT_H_

@@ -1,0 +1,195 @@
+#ifndef CONVOY_WAL_WAL_H_
+#define CONVOY_WAL_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convoy {
+class TraceSession;
+}  // namespace convoy
+
+namespace convoy::wal {
+
+/// Write-ahead log of accepted ingest work — the durability layer under
+/// the convoy server and the ingest-log building block of the out-of-core
+/// SnapshotStore (see ROADMAP).
+///
+/// On-disk layout: a directory of segment files `wal-NNNNNN.log`, each
+///
+///   segment  := header record*
+///   header   := u32 LE magic "CWAL" | u32 LE format version
+///   record   := u32 LE payload_len | u32 LE CRC32(payload) | payload
+///   payload  := u8 kind | u64 stream_id | u64 seq | i64 tick | body
+///
+/// where `body` is kind-specific: kBegin carries the stream's query
+/// parameters (so recovery can reconstruct the StreamingCmc exactly),
+/// kBatch carries the *accepted* rows of one ReportBatch, kEndTick and
+/// kFinish carry nothing. All integers little-endian fixed width; doubles
+/// as IEEE-754 bits in a u64.
+///
+/// Only work that was accepted (and therefore acked) is logged, and it is
+/// logged *before* the ack leaves the server — so an acked item is always
+/// recoverable, and replaying a WAL through StreamingCmc reproduces the
+/// uninterrupted run bit-identically. A crash between write and ack at
+/// worst re-delivers an unacked item, which the server's seq-dedup absorbs.
+///
+/// Torn tails: a crash can leave the last record half-written. The reader
+/// stops at the first record whose length/CRC fails, reporting the exact
+/// byte offset — deterministic for a given byte string, fuzz-tested — and
+/// the writer truncates the segment there and appends on top
+/// (truncate-and-continue; recovery never crashes on a torn log).
+inline constexpr uint32_t kWalMagic = 0x4c415743;  // "CWAL"
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 8;
+
+/// Hostile-input guard, mirroring the wire framing: record payloads above
+/// this are treated as corruption, not allocated.
+inline constexpr size_t kMaxWalRecordPayload = 8u * 1024u * 1024u;
+
+/// When the WAL writer calls fsync(2):
+///  * kNone — never; page cache only. Survives process death (SIGKILL
+///    included: written pages belong to the kernel), not OS/power loss.
+///  * kInterval — group commit: at most one fsync per fsync_interval_ms,
+///    issued from the append path. Bounds data-at-risk by time.
+///  * kEveryTick — on every kEndTick/kFinish record: a processed tick is
+///    durable before its ack leaves.
+enum class FsyncPolicy : uint8_t { kNone = 0, kInterval, kEveryTick };
+
+/// "none" / "interval" / "every_tick" (the --fsync flag vocabulary).
+std::string_view ToString(FsyncPolicy policy);
+StatusOr<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+
+enum class WalRecordKind : uint8_t {
+  kBegin = 1,    ///< stream opened (carries query parameters)
+  kBatch = 2,    ///< accepted rows of one ReportBatch
+  kEndTick = 3,  ///< tick closed
+  kFinish = 4,   ///< stream finished
+};
+
+/// One logged row (mirrors the wire's PositionReport; the WAL stays
+/// independent of the protocol headers).
+struct WalRow {
+  uint32_t id = 0;
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const WalRow& other) const {
+    return id == other.id && x == other.x && y == other.y;
+  }
+};
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kBatch;
+  uint64_t stream_id = 0;
+  uint64_t seq = 0;   ///< the client sequence the ack echoed
+  int64_t tick = 0;   ///< kBatch/kEndTick; 0 otherwise
+
+  // kBegin only: the stream's query parameters.
+  uint32_t m = 0;
+  int64_t k = 0;
+  double e = 0.0;
+  int64_t carry_forward_ticks = 0;
+
+  // kBatch only: the accepted rows.
+  std::vector<WalRow> rows;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, zlib-compatible) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Record payload <-> struct (exposed for wal_test's fuzzing; the framing
+/// bytes — length + CRC — are the writer/reader's job).
+std::string EncodeWalRecord(const WalRecord& record);
+StatusOr<WalRecord> DecodeWalRecord(std::string_view payload);
+
+// ------------------------------------------------------------------ read
+
+struct WalReadStats {
+  uint64_t records = 0;        ///< valid records delivered
+  uint64_t bytes = 0;          ///< valid bytes consumed (headers included)
+  uint64_t segments = 0;       ///< segment files visited
+  bool torn = false;           ///< a torn/corrupt tail was found
+  std::string torn_segment;    ///< segment file holding the torn tail
+  uint64_t torn_offset = 0;    ///< valid byte length of that segment
+  std::string detail;          ///< human-readable reason for the tear
+};
+
+/// Replays every valid record of the WAL in `dir` (segments in index
+/// order, records in file order) through `fn`. Stops cleanly at the first
+/// torn/corrupt record — `stats->torn` plus the segment/offset identify
+/// the deterministic truncation point — and *never* errors for tail
+/// corruption; a non-OK return is a real I/O failure (unreadable dir) or
+/// `fn` itself failing. A missing directory reads as an empty WAL.
+Status ReadWalDir(const std::string& dir,
+                  const std::function<Status(const WalRecord&)>& fn,
+                  WalReadStats* stats);
+
+// ----------------------------------------------------------------- write
+
+struct WalOptions {
+  std::string dir;  ///< created if missing
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+  uint32_t fsync_interval_ms = 50;  ///< kInterval group-commit window
+  /// Rotate to a fresh segment once the current one reaches this size.
+  size_t segment_bytes = 64u * 1024u * 1024u;
+};
+
+/// The append side. Open() scans the existing segments, truncates a torn
+/// tail in place (unlinking any later segments, which can only be garbage
+/// once a tear is found), and appends after the last valid record — so a
+/// crashed server restarts onto its own WAL with no manual repair step.
+///
+/// Append() is serialized by an internal mutex: the per-stream workers of
+/// one server share one WAL. One buffered write(2) per record (through the
+/// fault-injection hooks), CRC computed per append.
+class WalWriter {
+ public:
+  /// `trace` (nullable) receives the wal.* counters.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const WalOptions& options,
+                                                   TraceSession* trace);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and applies the fsync policy. kInternal on an
+  /// unrecoverable I/O failure (disk full, injected EIO past retry) — the
+  /// caller must then NAK instead of ack, since durability was promised.
+  Status Append(const WalRecord& record);
+
+  /// Forces an fsync of the current segment regardless of policy.
+  Status Sync();
+
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  WalWriter(const WalOptions& options, TraceSession* trace);
+
+  Status OpenSegmentLocked(uint64_t index, bool truncate_to_header);
+  Status WriteAllLocked(std::string_view data);
+  Status MaybeFsyncLocked(const WalRecord& record);
+
+  const WalOptions options_;
+  TraceSession* const trace_;
+
+  std::mutex mu_;
+  int fd_ = -1;                   // GUARDED_BY(mu_)
+  uint64_t segment_index_ = 0;    // GUARDED_BY(mu_)
+  size_t segment_size_ = 0;       // GUARDED_BY(mu_)
+  std::chrono::steady_clock::time_point last_fsync_;  // GUARDED_BY(mu_)
+};
+
+/// The segment file path for index `index` under `dir`.
+std::string WalSegmentPath(const std::string& dir, uint64_t index);
+
+}  // namespace convoy::wal
+
+#endif  // CONVOY_WAL_WAL_H_

@@ -1,0 +1,484 @@
+// Crash-recovery tests of the durable ingest path: a server is stopped
+// (or its WAL is torn behind its back), a second server recovers from the
+// same directory, producers resume via the IngestBegin ack's resume_seq,
+// and the recovered stream — closed-convoy history, seq dedup, ad-hoc
+// query state — must be bit-identical to an uninterrupted run. The
+// process-kill variant of these tests lives in convoy_loadgen --chaos
+// (exercised by run_checks.sh); here the same invariants run in-process
+// where every step is deterministic and debuggable.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/streaming.h"
+#include "datagen/stream_feed.h"
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "traj/database.h"
+#include "wal/fault.h"
+#include "wal/wal.h"
+
+namespace convoy::server {
+namespace {
+
+std::string FreshWalDir() {
+  static int counter = 0;
+  return ::testing::TempDir() + "recovery_test_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++);
+}
+
+std::vector<PositionReport> ToWire(const std::vector<FeedRow>& rows) {
+  std::vector<PositionReport> wire;
+  wire.reserve(rows.size());
+  for (const FeedRow& row : rows) {
+    wire.push_back(PositionReport{row.id, row.pos.x, row.pos.y});
+  }
+  return wire;
+}
+
+/// Replays a feed through a local StreamingCmc — the unfaulted reference
+/// every recovered run must match bit-identically.
+std::vector<Convoy> LocalReplay(const StreamFeed& feed,
+                                Tick carry_forward = 0) {
+  StreamingCmc::Options options;
+  options.carry_forward_ticks = carry_forward;
+  StreamingCmc stream(feed.query, options);
+  std::vector<Convoy> closed;
+  for (const FeedTick& tick : feed.ticks) {
+    EXPECT_TRUE(stream.BeginTick(tick.tick).ok());
+    for (const auto& batch : tick.batches) {
+      for (const FeedRow& row : batch) {
+        EXPECT_TRUE(stream.Report(row.id, row.pos).ok());
+      }
+    }
+    const auto result = stream.EndTick();
+    EXPECT_TRUE(result.ok());
+    closed.insert(closed.end(), result->begin(), result->end());
+  }
+  const auto final_result = stream.Finish();
+  EXPECT_TRUE(final_result.ok());
+  closed.insert(closed.end(), final_result->begin(), final_result->end());
+  return closed;
+}
+
+/// The feed's rows as a TrajectoryDatabase (last write per (object, tick)
+/// wins) — the reference input of the ad-hoc query comparison.
+TrajectoryDatabase FeedDatabase(const StreamFeed& feed) {
+  std::map<ObjectId, std::map<Tick, Point>> rows;
+  for (const FeedTick& tick : feed.ticks) {
+    for (const auto& batch : tick.batches) {
+      for (const FeedRow& row : batch) {
+        rows[row.id][tick.tick] = row.pos;
+      }
+    }
+  }
+  TrajectoryDatabase db;
+  for (const auto& [id, points] : rows) {
+    std::vector<TimedPoint> samples;
+    samples.reserve(points.size());
+    for (const auto& [tick, pos] : points) {
+      samples.emplace_back(pos.x, pos.y, tick);
+    }
+    db.Add(Trajectory(id, std::move(samples)));
+  }
+  return db;
+}
+
+/// Extracts one counter value from the server's StatsJson.
+uint64_t StatsCounter(const std::string& json, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const size_t pos = json.find(key);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + key.size(), nullptr, 10);
+}
+
+ClientOptions TestClientOptions() {
+  ClientOptions options;
+  options.deadline_ms = 30000;  // a hang is a failure, not a freeze
+  return options;
+}
+
+std::unique_ptr<ConvoyClient> MustConnect(uint16_t port) {
+  auto client =
+      ConvoyClient::Connect("127.0.0.1", port, TestClientOptions());
+  EXPECT_TRUE(client.ok()) << client.status();
+  return client.ok() ? std::move(*client) : nullptr;
+}
+
+ServerOptions DurableOptions(const std::string& wal_dir) {
+  ServerOptions options;
+  options.port = 0;
+  options.wal_dir = wal_dir;
+  return options;
+}
+
+/// Sends the feed's ticks in [from, to) with acks required, returning the
+/// seq of every sent item in order (the op <-> seq map a torn-tail resume
+/// needs).
+void SendTicks(ConvoyClient& client, const StreamFeed& feed, size_t from,
+               size_t to, std::vector<uint64_t>* seqs = nullptr) {
+  for (size_t t = from; t < to && t < feed.ticks.size(); ++t) {
+    const FeedTick& tick = feed.ticks[t];
+    for (const auto& batch : tick.batches) {
+      const uint64_t seq = client.SendBatch(tick.tick, ToWire(batch));
+      if (seqs != nullptr) seqs->push_back(seq);
+      const auto ack = client.AwaitAck(seq);
+      ASSERT_TRUE(ack.ok()) << ack.status();
+      ASSERT_EQ(ack->code, 0) << ack->message;
+    }
+    const uint64_t seq = client.SendEndTick(tick.tick);
+    if (seqs != nullptr) seqs->push_back(seq);
+    const auto ack = client.AwaitAck(seq);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    ASSERT_EQ(ack->code, 0) << ack->message;
+  }
+}
+
+/// Reads events until kStreamEnd, collecting closed convoys deduped by
+/// event_index (a replay_closed catch-up may overlap the live feed).
+void CollectClosed(ConvoyClient& client,
+                   std::map<uint64_t, Convoy>* closed_by_index) {
+  for (;;) {
+    const auto event = client.NextEvent();
+    ASSERT_TRUE(event.ok()) << event.status();
+    const auto kind = static_cast<EventKind>(event->kind);
+    if (kind == EventKind::kConvoyClosed) {
+      ASSERT_NE(event->event_index, 0u);
+      closed_by_index->emplace(event->event_index, event->convoy);
+    }
+    if (kind == EventKind::kStreamEnd) return;
+  }
+}
+
+void ExpectClosedMatches(const std::map<uint64_t, Convoy>& closed_by_index,
+                         const std::vector<Convoy>& expected) {
+  ASSERT_EQ(closed_by_index.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const auto it = closed_by_index.find(i + 1);
+    ASSERT_NE(it, closed_by_index.end()) << "missing event_index " << i + 1;
+    EXPECT_EQ(it->second, expected[i]) << "event_index " << i + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack: stop a durable server mid-stream, recover, resume, finish.
+
+class RecoveryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RecoveryTest, RestartedServerResumesBitIdentical) {
+  const size_t num_streams = GetParam();
+  const std::string wal_dir = FreshWalDir();
+
+  StreamFeedConfig config;
+  config.num_objects = 24;
+  config.ticks = 12;
+  config.batch_rows = 8;
+  config.dropout = 0.05;
+  std::vector<StreamFeed> feeds;
+  for (size_t s = 0; s < num_streams; ++s) {
+    feeds.push_back(GenerateStreamFeed(config, 40 + s));
+  }
+  const size_t half = static_cast<size_t>(config.ticks) / 2;
+
+  // Phase A: ingest the first half of every feed, then stop the server.
+  {
+    ConvoyServer server(DurableOptions(wal_dir));
+    ASSERT_TRUE(server.Start().ok());
+    for (size_t s = 0; s < num_streams; ++s) {
+      auto client = MustConnect(server.port());
+      ASSERT_NE(client, nullptr);
+      ASSERT_TRUE(client->IngestBegin(s + 1, feeds[s].query).ok());
+      SendTicks(*client, feeds[s], 0, half);
+    }
+    server.Shutdown();
+  }
+
+  // Phase B: a fresh server on the same WAL recovers every stream;
+  // producers resume after resume_seq, subscribers replay the recovered
+  // closed history, and the final state matches an uninterrupted run.
+  ConvoyServer server(DurableOptions(wal_dir));
+  ASSERT_TRUE(server.Start().ok());
+
+  for (size_t s = 0; s < num_streams; ++s) {
+    auto producer = MustConnect(server.port());
+    ASSERT_NE(producer, nullptr);
+    uint64_t resume_seq = 0;
+    ASSERT_TRUE(producer
+                    ->IngestBegin(s + 1, feeds[s].query,
+                                  /*carry_forward_ticks=*/0, &resume_seq)
+                    .ok());
+    // Everything phase A acked was recovered: one seq per item plus the
+    // phase-A IngestBegin which consumed seq 1.
+    uint64_t phase_a_items = 0;
+    for (size_t t = 0; t < half; ++t) {
+      phase_a_items += feeds[s].ticks[t].batches.size() + 1;
+    }
+    EXPECT_EQ(resume_seq, phase_a_items + 1);
+
+    auto subscriber = MustConnect(server.port());
+    ASSERT_NE(subscriber, nullptr);
+    ASSERT_TRUE(subscriber->Subscribe(s + 1, /*replay_closed=*/true).ok());
+
+    SendTicks(*producer, feeds[s], half, feeds[s].ticks.size());
+    const auto fin = producer->Finish(/*max_retries=*/100);
+    ASSERT_TRUE(fin.ok());
+    ASSERT_EQ(fin->code, 0) << fin->message;
+
+    std::map<uint64_t, Convoy> closed_by_index;
+    CollectClosed(*subscriber, &closed_by_index);
+    ExpectClosedMatches(closed_by_index, LocalReplay(feeds[s]));
+
+    // The recovered row table answers ad-hoc queries identically to a
+    // local engine over the full feed.
+    const auto remote = producer->Query(s + 1, feeds[s].query);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    ASSERT_EQ(remote->code, 0) << remote->message;
+    ConvoyEngine local(FeedDatabase(feeds[s]));
+    const auto plan = local.Prepare(feeds[s].query);
+    ASSERT_TRUE(plan.ok());
+    auto local_result = local.Execute(*plan);
+    ASSERT_TRUE(local_result.ok());
+    EXPECT_EQ(remote->convoys, std::move(*local_result).TakeConvoys());
+  }
+
+  // The recovery actually happened (not a fresh-WAL false pass).
+  EXPECT_GT(StatsCounter(server.StatsJson(), "wal.recovered_records"), 0u);
+  server.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, RecoveryTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+// ---------------------------------------------------------------------------
+// Torn tail: the WAL loses its last records behind the server's back
+// (fsync=none + OS crash). Recovery truncates, the producer resends from
+// resume_seq + 1, and the result is still bit-identical.
+
+TEST(RecoveryTornTailTest, TornTailResentFromResumeSeq) {
+  const std::string wal_dir = FreshWalDir();
+
+  StreamFeedConfig config;
+  config.num_objects = 20;
+  config.ticks = 10;
+  config.batch_rows = 8;
+  const StreamFeed feed = GenerateStreamFeed(config, 99);
+
+  // Complete run (Finish included) against server A.
+  std::vector<uint64_t> seqs;
+  {
+    ConvoyServer server(DurableOptions(wal_dir));
+    ASSERT_TRUE(server.Start().ok());
+    auto client = MustConnect(server.port());
+    ASSERT_NE(client, nullptr);
+    ASSERT_TRUE(client->IngestBegin(1, feed.query).ok());
+    SendTicks(*client, feed, 0, feed.ticks.size(), &seqs);
+    const uint64_t fin_seq = client->SendFinish();
+    seqs.push_back(fin_seq);
+    const auto fin = client->AwaitAck(fin_seq);
+    ASSERT_TRUE(fin.ok());
+    ASSERT_EQ(fin->code, 0);
+    server.Shutdown();
+  }
+
+  // Tear the tail: drop the last ~100 bytes of the segment — at least the
+  // kFinish record, usually a couple more.
+  const std::string segment = wal::WalSegmentPath(wal_dir, 0);
+  std::string bytes;
+  {
+    std::ifstream in(segment, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 200u);
+  bytes.resize(bytes.size() - 100);
+  {
+    std::ofstream out(segment, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Server B recovers the surviving prefix; the producer replays every op
+  // whose seq is past resume_seq. The lost records were acked, but the
+  // producer still holds them — exactly the reconnect-and-resume
+  // contract.
+  ConvoyServer server(DurableOptions(wal_dir));
+  ASSERT_TRUE(server.Start().ok());
+  auto producer = MustConnect(server.port());
+  ASSERT_NE(producer, nullptr);
+  uint64_t resume_seq = 0;
+  ASSERT_TRUE(
+      producer->IngestBegin(1, feed.query, 0, &resume_seq).ok());
+  ASSERT_LT(resume_seq, seqs.back());  // the tear really lost acked work
+
+  auto subscriber = MustConnect(server.port());
+  ASSERT_NE(subscriber, nullptr);
+  ASSERT_TRUE(subscriber->Subscribe(1, /*replay_closed=*/true).ok());
+
+  // Rebuild the op list in phase-A order and resend the lost suffix.
+  size_t op = 0;
+  for (const FeedTick& tick : feed.ticks) {
+    for (const auto& batch : tick.batches) {
+      if (seqs[op++] > resume_seq) {
+        const auto ack = producer->ReportBatch(tick.tick, ToWire(batch), 100);
+        ASSERT_TRUE(ack.ok());
+        ASSERT_EQ(ack->code, 0) << ack->message;
+      }
+    }
+    if (seqs[op++] > resume_seq) {
+      const auto ack = producer->EndTick(tick.tick, 100);
+      ASSERT_TRUE(ack.ok());
+      ASSERT_EQ(ack->code, 0) << ack->message;
+    }
+  }
+  const auto fin = producer->Finish(100);
+  ASSERT_TRUE(fin.ok());
+  ASSERT_EQ(fin->code, 0) << fin->message;
+
+  std::map<uint64_t, Convoy> closed_by_index;
+  CollectClosed(*subscriber, &closed_by_index);
+  ExpectClosedMatches(closed_by_index, LocalReplay(feed));
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Session-level invariants: duplicate absorption and WAL-failure poisoning.
+
+class RecordingSink : public StreamSink {
+ public:
+  void SendAck(uint64_t, const AckMsg& ack) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    acks_.push_back(ack);
+    cv_.notify_all();
+  }
+  void SendEvent(const EventMsg&) override {}
+
+  std::vector<AckMsg> WaitForAcks(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return acks_.size() >= n; });
+    return acks_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<AckMsg> acks_;
+};
+
+IngestBeginMsg TestBegin(uint64_t stream_id) {
+  IngestBeginMsg begin;
+  begin.stream_id = stream_id;
+  begin.m = 2;
+  begin.k = 2;
+  begin.e = 1.0;
+  return begin;
+}
+
+WorkItem Batch(uint64_t seq, Tick tick, std::vector<PositionReport> rows) {
+  WorkItem item;
+  item.kind = WorkItem::Kind::kBatch;
+  item.seq = seq;
+  item.tick = tick;
+  item.rows = std::move(rows);
+  return item;
+}
+
+TEST(RecoverySessionTest, ResentSeqAbsorbedAsDuplicate) {
+  RecordingSink sink;
+  IngestStream stream(TestBegin(1), /*ring_capacity=*/8, &sink, nullptr);
+  ASSERT_EQ(stream.Submit(Batch(2, 0, {{1, 0, 0}, {2, 0, 0.5}})),
+            PushResult::kAccepted);
+  WorkItem end_tick;
+  end_tick.kind = WorkItem::Kind::kEndTick;
+  end_tick.seq = 3;
+  end_tick.tick = 0;
+  ASSERT_EQ(stream.Submit(end_tick), PushResult::kAccepted);
+  sink.WaitForAcks(2);
+  EXPECT_EQ(stream.LastAppliedSeq(), 3u);
+
+  // A reconnect-style resend of both items: acked OK, flagged duplicate,
+  // applied zero times (accepted == 0, last applied unchanged).
+  ASSERT_EQ(stream.Submit(Batch(2, 0, {{1, 0, 0}, {2, 0, 0.5}})),
+            PushResult::kAccepted);
+  ASSERT_EQ(stream.Submit(end_tick), PushResult::kAccepted);
+  const std::vector<AckMsg> acks = sink.WaitForAcks(4);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(acks[i].code, 0);
+    EXPECT_EQ(acks[i].flags & kAckFlagDuplicate, 0);
+  }
+  for (size_t i = 2; i < 4; ++i) {
+    EXPECT_EQ(acks[i].code, 0) << acks[i].message;
+    EXPECT_NE(acks[i].flags & kAckFlagDuplicate, 0);
+    EXPECT_EQ(acks[i].accepted, 0u);
+  }
+  EXPECT_EQ(stream.LastAppliedSeq(), 3u);
+  stream.Close();
+}
+
+TEST(RecoverySessionTest, WalAppendFailurePoisonsStreamNotTheLog) {
+  const std::string wal_dir = FreshWalDir();
+  wal::FaultInjector::Options fault_options;
+  fault_options.fail_writes_after = 3;  // header, one record, then dead
+  wal::FaultInjector injector(fault_options);
+  wal::SetFaultInjector(&injector);
+
+  auto wal = wal::WalWriter::Open(wal::WalOptions{wal_dir}, nullptr);
+  ASSERT_TRUE(wal.ok());
+  RecordingSink sink;
+  {
+    IngestStream stream(TestBegin(1), /*ring_capacity=*/8, &sink, nullptr,
+                        wal->get());
+    ASSERT_EQ(stream.Submit(Batch(2, 0, {{1, 0, 0}})),
+              PushResult::kAccepted);
+    const std::vector<AckMsg> first = sink.WaitForAcks(1);
+    ASSERT_EQ(first[0].code, 0);
+
+    // This item applies in memory but cannot be logged: it must be NAKed
+    // non-retryably (acked => recoverable would otherwise break), and the
+    // stream must refuse everything after it.
+    ASSERT_EQ(stream.Submit(Batch(3, 0, {{2, 0, 0}})),
+              PushResult::kAccepted);
+    const std::vector<AckMsg> acks = sink.WaitForAcks(2);
+    EXPECT_NE(acks[1].code, 0);
+    EXPECT_EQ(acks[1].retryable, 0);
+    EXPECT_EQ(stream.LastAppliedSeq(), 2u);
+
+    // The ring is closed (or the item is NAKed): no later item ever acks
+    // OK over the log gap.
+    const PushResult later = stream.Submit(Batch(4, 0, {{3, 0, 0}}));
+    if (later == PushResult::kAccepted) {
+      const std::vector<AckMsg> all = sink.WaitForAcks(3);
+      EXPECT_NE(all[2].code, 0);
+    }
+    stream.Close();
+  }
+  wal::SetFaultInjector(nullptr);
+
+  // The log holds exactly the acked prefix.
+  wal::WalReadStats stats;
+  std::vector<wal::WalRecord> records;
+  ASSERT_TRUE(wal::ReadWalDir(
+                  wal_dir,
+                  [&](const wal::WalRecord& record) {
+                    records.push_back(record);
+                    return Status::Ok();
+                  },
+                  &stats)
+                  .ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 2u);
+}
+
+}  // namespace
+}  // namespace convoy::server

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
@@ -197,6 +198,9 @@ TEST(IngestStreamTest, EventsBitIdenticalToLocalReplay) {
         break;
       case EventKind::kStreamEnd:
         EXPECT_EQ(&event, &events.back()) << "kStreamEnd not last";
+        break;
+      case EventKind::kGap:
+        ADD_FAILURE() << "direct sink never drops events";
         break;
     }
   }
@@ -649,6 +653,203 @@ TEST_F(ServerTest, ShutdownWithLiveClientsIsClean) {
   // worker and join every thread without hanging. TearDown verifies
   // idempotence by shutting down again.
   server_->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Client/server resilience: deadlines, idle reaping, load shedding, slow
+// subscribers. These run their own servers with non-default options.
+
+/// Extracts one counter value from the server's StatsJson.
+uint64_t StatsCounter(const std::string& json, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const size_t pos = json.find(key);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + key.size(), nullptr, 10);
+}
+
+TEST(ClientDeadlineTest, ConnectDeadlineExpiresOnSilentServer) {
+  // A listener that never accepts: the TCP handshake completes (backlog),
+  // the client's kHello goes out, and no HelloAck ever comes back.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  ClientOptions options;
+  options.deadline_ms = 100;
+  const auto client =
+      ConvoyClient::Connect("127.0.0.1", ntohs(addr.sin_port), options);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kDeadlineExceeded);
+  ::close(fd);
+}
+
+TEST(ClientDeadlineTest, NextEventDeadlineExpiresOnQuietStream) {
+  ServerOptions options;
+  options.port = 0;
+  ConvoyServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto producer = ConvoyClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE((*producer)->IngestBegin(1, ConvoyQuery{2, 2, 1.0}).ok());
+
+  ClientOptions sub_options;
+  sub_options.deadline_ms = 100;
+  auto subscriber =
+      ConvoyClient::Connect("127.0.0.1", server.port(), sub_options);
+  ASSERT_TRUE(subscriber.ok());
+  ASSERT_TRUE((*subscriber)->Subscribe(1).ok());
+  // The stream emits nothing — the deadline, not a hang, ends the wait.
+  const auto event = (*subscriber)->NextEvent();
+  EXPECT_FALSE(event.ok());
+  EXPECT_EQ(event.status().code(), StatusCode::kDeadlineExceeded);
+  server.Shutdown();
+}
+
+TEST(IdleReapTest, IdleConnectionReapedSubscriberExempt) {
+  ServerOptions options;
+  options.port = 0;
+  options.idle_timeout_ms = 100;
+  ConvoyServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A connection that handshakes and then goes silent gets reaped...
+  auto idle = ConvoyClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(idle.ok());
+
+  // ...while a subscriber may stay quiet forever.
+  auto producer = ConvoyClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE((*producer)->IngestBegin(1, ConvoyQuery{2, 2, 1.0}).ok());
+  auto subscriber = ConvoyClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(subscriber.ok());
+  ASSERT_TRUE((*subscriber)->Subscribe(1).ok());
+
+  uint64_t reaped = 0;
+  for (int i = 0; i < 200 && reaped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    reaped = StatsCounter(server.StatsJson(), "server.idle_reaped");
+  }
+  EXPECT_GT(reaped, 0u);
+
+  // The subscriber's connection outlived several idle windows.
+  EXPECT_TRUE((*subscriber)->Stats().ok());
+  server.Shutdown();
+}
+
+TEST(LoadShedTest, OverloadNaksRetryableAndStreamSurvives) {
+  ServerOptions options;
+  options.port = 0;
+  options.load_shed_high_water = 1;
+  ConvoyServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = ConvoyClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  ConvoyClient& client = **connected;
+  ASSERT_TRUE(client.IngestBegin(1, ConvoyQuery{2, 2, 1.0}).ok());
+
+  // Park the worker in an expensive DBSCAN tick, then pipeline batches at
+  // it: with the high water at one queued item, the backlog must shed.
+  std::vector<PositionReport> crowd;
+  for (ObjectId id = 1; id <= 600; ++id) {
+    crowd.push_back({id, static_cast<double>(id % 25),
+                     static_cast<double>(id / 25)});
+  }
+  ASSERT_EQ(client.ReportBatch(0, crowd, 100)->code, 0);
+  std::vector<uint64_t> seqs;
+  seqs.push_back(client.SendEndTick(0));
+  for (int i = 0; i < 40; ++i) {
+    seqs.push_back(client.SendBatch(1, {{1, 0, 0}, {2, 0, 0.5}}));
+  }
+  size_t shed = 0;
+  for (const uint64_t seq : seqs) {
+    const auto ack = client.AwaitAck(seq);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    if (ack->code != 0) {
+      // Every NAK here is load shedding / flow control: retryable.
+      EXPECT_EQ(ack->retryable, 1) << ack->message;
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(StatsCounter(server.StatsJson(), "server.load_shed"), 0u);
+
+  // Shedding is backpressure, not failure: retries complete the stream.
+  ASSERT_EQ(client.EndTick(1, 100)->code, 0);
+  ASSERT_EQ(client.Finish(100)->code, 0);
+  server.Shutdown();
+}
+
+TEST(SlowSubscriberTest, OverflowDropsEventsWithGapMarker) {
+  ServerOptions options;
+  options.port = 0;
+  options.subscriber_queue_capacity = 1;
+  ConvoyServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  StreamFeedConfig config;
+  config.num_objects = 12;
+  config.ticks = 300;
+  config.batch_rows = 12;
+  const StreamFeed feed = GenerateStreamFeed(config, 7);
+
+  ClientOptions sub_options;
+  sub_options.deadline_ms = 500;
+  auto subscriber =
+      ConvoyClient::Connect("127.0.0.1", server.port(), sub_options);
+  ASSERT_TRUE(subscriber.ok());
+
+  auto producer = ConvoyClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE((*producer)->IngestBegin(1, feed.query).ok());
+  ASSERT_TRUE((*subscriber)->Subscribe(1).ok());
+
+  // The subscriber reads nothing during the whole ingest: with a
+  // one-element event queue the per-tick event bursts overflow it, and
+  // once the socket buffers fill the sender can't drain at all.
+  for (const FeedTick& tick : feed.ticks) {
+    for (const auto& batch : tick.batches) {
+      ASSERT_EQ((*producer)->ReportBatch(tick.tick, ToWire(batch), 100)->code,
+                0);
+    }
+    ASSERT_EQ((*producer)->EndTick(tick.tick, 100)->code, 0);
+  }
+  ASSERT_EQ((*producer)->Finish(100)->code, 0);
+
+  EXPECT_GT(StatsCounter(server.StatsJson(), "server.events_dropped"), 0u);
+
+  // Now drain: the losses were replaced by kGap markers carrying counts,
+  // not silently swallowed. (kStreamEnd itself may have been dropped, so
+  // the deadline — not a hang — ends the drain either way.)
+  uint64_t gap_events = 0;
+  uint64_t gap_total = 0;
+  for (;;) {
+    const auto event = (*subscriber)->NextEvent();
+    if (!event.ok()) {
+      EXPECT_EQ(event.status().code(), StatusCode::kDeadlineExceeded);
+      break;
+    }
+    if (static_cast<EventKind>(event->kind) == EventKind::kGap) {
+      ++gap_events;
+      gap_total += event->live_candidates;
+    }
+    if (static_cast<EventKind>(event->kind) == EventKind::kStreamEnd) break;
+  }
+  EXPECT_GT(gap_events, 0u);
+  EXPECT_GT(gap_total, 0u);
+  // A gap marker never claims more losses than the server counted (the
+  // final burst's marker may still be unemitted, so <=, not ==).
+  EXPECT_LE(gap_total,
+            StatsCounter(server.StatsJson(), "server.events_dropped"));
+  server.Shutdown();
 }
 
 }  // namespace

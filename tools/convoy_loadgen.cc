@@ -1,32 +1,64 @@
-// convoy_loadgen — concurrent load generator for convoy_serverd.
+// convoy_loadgen — concurrent load generator and chaos harness for
+// convoy_serverd.
 //
 // Usage:
 //   convoy_loadgen --port P [--host 127.0.0.1] [--ingest 8] [--query 4]
 //                  [--ticks 40] [--objects 32] [--batch-rows 12]
 //                  [--window 4] [--seed 7] [--carry-forward 2]
-//                  [--json BENCH_server.json] [--verify]
+//                  [--deadline-ms 10000] [--json BENCH_server.json]
+//                  [--verify]
+//   convoy_loadgen --serverd PATH --sweep-fsync [--wal-root DIR] [...]
+//   convoy_loadgen --serverd PATH --chaos [--kills 3] [--fsync none]
+//                  [--wal-root DIR] [...]
 //
-// Spawns N ingest clients (each: one connection driving one ingest stream
-// fed by datagen/stream_feed.h, plus one subscriber connection receiving
-// the stream's convoy events) and M query clients issuing ad-hoc planned
-// queries against the live streams. Batches are pipelined up to --window
-// unacked frames; a retryable flow-control NAK (ring full) backs off and
-// resends, so the accepted row set is exactly the generated feed.
+// Load mode (--port): spawns N ingest clients (each: one connection
+// driving one ingest stream fed by datagen/stream_feed.h, plus one
+// subscriber connection receiving the stream's convoy events) and M query
+// clients issuing ad-hoc planned queries against the live streams.
+// Batches are pipelined up to --window unacked frames; a retryable
+// flow-control NAK (ring full / load shed) backs off and resends, so the
+// accepted row set is exactly the generated feed. --verify replays every
+// feed through a local StreamingCmc and requires the subscriber's
+// closed-convoy events to match bit-identically.
 //
-// --verify replays every feed through a local StreamingCmc and requires
-// the subscriber's closed-convoy events to match bit-identically — the
-// server's network/ring/worker path must not change the answer.
+// Sweep mode (--serverd --sweep-fsync): spawns its own daemon once per
+// WAL fsync policy (none, interval, every_tick), runs the load against
+// each, and reports per-policy ingest throughput — the durability-cost
+// curve of README "Durability & fault tolerance".
 //
-// --json writes a BENCH_server.json ("convoy-bench-server-v1"): ingest
-// throughput, subscription latency quantiles, query latency quantiles,
-// and the verification verdict. Exit 0 on full success, 1 on usage
-// errors, 2 on connection failures, 3 on NAK/verify failures.
+// Chaos mode (--serverd --chaos): spawns the daemon with the WAL and the
+// seeded fault injector on, drives every stream with sequential
+// (window=1) sends, and SIGKILLs + restarts the daemon at seeded points
+// mid-ingest. Clients reconnect, resume from the IngestBegin ack's
+// resume_seq (resent overlap is absorbed as duplicate acks), and after
+// the final restart the recovered closed-convoy history — fetched with a
+// replay_closed subscription and deduped by event_index — must match an
+// unfaulted local replay bit-identically, and an ad-hoc query against the
+// recovered stream must succeed. This is the end-to-end proof of the
+// crash-recovery invariant: acked ingest is never lost, never
+// double-applied.
+//
+// --json writes BENCH_server.json ("convoy-bench-server-v2"): ingest
+// throughput, subscription/query latency quantiles, the verification
+// verdict, the fsync sweep rows, and the chaos verdict. Exit 0 on full
+// success, 1 on usage errors, 2 on connection/spawn failures, 3 on
+// NAK/verify failures.
 
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -37,6 +69,7 @@
 namespace {
 
 using convoy::server::AckMsg;
+using convoy::server::ClientOptions;
 using convoy::server::ConvoyClient;
 using convoy::server::EventKind;
 using convoy::server::EventMsg;
@@ -53,8 +86,18 @@ struct LoadgenOptions {
   size_t window = 4;
   uint64_t seed = 7;
   convoy::Tick carry_forward = 2;
+  uint32_t deadline_ms = 10000;
   std::string json_out;
   bool verify = false;
+
+  // Spawn modes: --serverd names the daemon binary; loadgen owns its
+  // lifecycle (including killing it, in chaos mode).
+  std::string serverd;
+  std::string wal_root = ".loadgen-wal";
+  std::string fsync = "none";
+  bool sweep_fsync = false;
+  bool chaos = false;
+  size_t kills = 3;
 };
 
 bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
@@ -89,10 +132,25 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
       opts->seed = std::strtoull(value, nullptr, 10);
     } else if (arg == "--carry-forward" && (value = next())) {
       opts->carry_forward = std::strtoll(value, nullptr, 10);
+    } else if (arg == "--deadline-ms" && (value = next())) {
+      opts->deadline_ms =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (arg == "--json" && (value = next())) {
       opts->json_out = value;
+    } else if (arg == "--serverd" && (value = next())) {
+      opts->serverd = value;
+    } else if (arg == "--wal-root" && (value = next())) {
+      opts->wal_root = value;
+    } else if (arg == "--fsync" && (value = next())) {
+      opts->fsync = value;
+    } else if (arg == "--kills" && (value = next())) {
+      opts->kills = static_cast<size_t>(std::strtoull(value, nullptr, 10));
     } else if (arg == "--verify") {
       opts->verify = true;
+    } else if (arg == "--sweep-fsync") {
+      opts->sweep_fsync = true;
+    } else if (arg == "--chaos") {
+      opts->chaos = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -100,11 +158,25 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
       return false;
     }
     if (value == nullptr && arg.rfind("--", 0) == 0 && arg != "--verify" &&
-        arg != "--help") {
+        arg != "--sweep-fsync" && arg != "--chaos" && arg != "--help") {
       return false;
     }
   }
-  return opts->port != 0;
+  return true;
+}
+
+ClientOptions MakeClientOptions(const LoadgenOptions& opts, uint64_t salt) {
+  ClientOptions options;
+  options.deadline_ms = opts.deadline_ms;
+  options.jitter_seed = opts.seed * 0x9e3779b97f4a7c15ULL + salt;
+  return options;
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 std::vector<PositionReport> ToWire(const std::vector<convoy::FeedRow>& rows) {
@@ -190,7 +262,9 @@ convoy::StatusOr<AckMsg> SendWithFlowControl(ConvoyClient& client,
 }
 
 void IngestLoop(const LoadgenOptions& opts, StreamRun* run) {
-  auto connected = ConvoyClient::Connect(opts.host, opts.port);
+  auto connected = ConvoyClient::Connect(opts.host, opts.port,
+                                         MakeClientOptions(opts,
+                                                           run->stream_id));
   if (!connected.ok()) {
     run->ok = false;
     run->error = "connect: " + connected.status().ToString();
@@ -208,7 +282,8 @@ void IngestLoop(const LoadgenOptions& opts, StreamRun* run) {
 
   // The subscriber rides a second connection, subscribed before the first
   // batch so it observes every event of the stream.
-  auto sub_connected = ConvoyClient::Connect(opts.host, opts.port);
+  auto sub_connected = ConvoyClient::Connect(
+      opts.host, opts.port, MakeClientOptions(opts, 1000 + run->stream_id));
   if (!sub_connected.ok()) {
     run->ok = false;
     run->error = "subscriber connect: " + sub_connected.status().ToString();
@@ -309,7 +384,8 @@ void QueryLoop(const LoadgenOptions& opts,
                const std::vector<std::unique_ptr<StreamRun>>& runs,
                size_t worker, std::atomic<bool>* stop,
                std::vector<double>* latencies_ms, std::atomic<bool>* ok) {
-  auto connected = ConvoyClient::Connect(opts.host, opts.port);
+  auto connected = ConvoyClient::Connect(
+      opts.host, opts.port, MakeClientOptions(opts, 2000 + worker));
   if (!connected.ok()) {
     ok->store(false);
     return;
@@ -365,33 +441,7 @@ std::vector<convoy::Convoy> LocalReplay(const convoy::StreamFeed& feed,
   return closed;
 }
 
-void WriteQuantiles(std::ostream& out, std::vector<double> values) {
-  out << "{\"count\":" << values.size();
-  if (!values.empty()) {
-    out << ",\"p50\":" << convoy::Quantile(values, 0.50)
-        << ",\"p99\":" << convoy::Quantile(std::move(values), 0.99);
-  }
-  out << "}";
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  LoadgenOptions opts;
-  if (!ParseArgs(argc, argv, &opts)) {
-    std::cout
-        << "convoy_loadgen — load generator for convoy_serverd\n"
-           "  convoy_loadgen --port P [--host H] [--ingest N] [--query M]\n"
-           "                 [--ticks T] [--objects O] [--batch-rows B]\n"
-           "                 [--window W] [--seed S] [--carry-forward C]\n"
-           "                 [--json out.json] [--verify]\n";
-    return argc > 1 ? 1 : 0;
-  }
-  if (opts.ingest == 0) {
-    std::cerr << "--ingest must be >= 1\n";
-    return 1;
-  }
-
+convoy::StreamFeedConfig MakeFeedConfig(const LoadgenOptions& opts) {
   convoy::StreamFeedConfig config;
   config.num_objects = opts.objects;
   config.ticks = opts.ticks;
@@ -399,9 +449,35 @@ int main(int argc, char** argv) {
   config.dropout = 0.05;
   config.leave_prob = 0.02;
   config.rejoin_prob = 0.3;
+  return config;
+}
+
+// -------------------------------------------------------------- load mode
+
+/// Everything one load run produces — the primary BENCH payload, and one
+/// sweep row per fsync policy in sweep mode.
+struct LoadResult {
+  uint64_t rows_accepted = 0;
+  uint64_t batches = 0;
+  uint64_t retry_naks = 0;
+  size_t events = 0;
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+  std::vector<double> sub_latency_ms;
+  std::vector<double> query_ms;
+  bool ingest_ok = true;
+  bool queries_ok = true;
+  size_t verified_ok = 0;
+  size_t streams = 0;
+};
+
+LoadResult RunLoad(const LoadgenOptions& base_opts, uint16_t port) {
+  LoadgenOptions opts = base_opts;
+  opts.port = port;
 
   std::vector<std::unique_ptr<StreamRun>> runs;
   runs.reserve(opts.ingest);
+  const convoy::StreamFeedConfig config = MakeFeedConfig(opts);
   for (size_t i = 0; i < opts.ingest; ++i) {
     auto run = std::make_unique<StreamRun>(
         static_cast<size_t>(std::max<convoy::Tick>(opts.ticks, 0)));
@@ -414,6 +490,8 @@ int main(int argc, char** argv) {
   std::atomic<bool> queries_ok{true};
   std::vector<std::vector<double>> query_latencies(opts.query);
 
+  LoadResult result;
+  result.streams = runs.size();
   const double ingest_start = NowMs();
   {
     std::vector<convoy::ServiceThread> workers;
@@ -434,40 +512,34 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < opts.ingest; ++i) workers[i].Join();
     stop.store(true);
   }
-  const double ingest_seconds = (NowMs() - ingest_start) / 1000.0;
+  result.seconds = (NowMs() - ingest_start) / 1000.0;
 
-  uint64_t rows_accepted = 0;
-  uint64_t batches = 0;
-  uint64_t retry_naks = 0;
-  size_t events = 0;
-  std::vector<double> sub_latency_ms;
-  bool ingest_ok = true;
   for (const auto& run : runs) {
-    rows_accepted += run->rows_accepted;
-    batches += run->batches_sent;
-    retry_naks += run->retry_naks;
-    events += run->events_received;
-    sub_latency_ms.insert(sub_latency_ms.end(), run->sub_latency_ms.begin(),
-                          run->sub_latency_ms.end());
+    result.rows_accepted += run->rows_accepted;
+    result.batches += run->batches_sent;
+    result.retry_naks += run->retry_naks;
+    result.events += run->events_received;
+    result.sub_latency_ms.insert(result.sub_latency_ms.end(),
+                                 run->sub_latency_ms.begin(),
+                                 run->sub_latency_ms.end());
     if (!run->ok || !run->stream_end_seen) {
-      ingest_ok = false;
+      result.ingest_ok = false;
       std::cerr << "stream " << run->stream_id << " failed: "
                 << (run->error.empty() ? "no kStreamEnd event" : run->error)
                 << "\n";
     }
   }
-  std::vector<double> query_ms;
   for (const auto& lat : query_latencies) {
-    query_ms.insert(query_ms.end(), lat.begin(), lat.end());
+    result.query_ms.insert(result.query_ms.end(), lat.begin(), lat.end());
   }
+  result.queries_ok = queries_ok.load();
 
-  size_t verified_ok = 0;
   if (opts.verify) {
     for (const auto& run : runs) {
       const std::vector<convoy::Convoy> expected =
           LocalReplay(run->feed, opts.carry_forward);
       if (expected == run->closed_events) {
-        ++verified_ok;
+        ++result.verified_ok;
       } else {
         std::cerr << "verify FAILED for stream " << run->stream_id
                   << ": expected " << expected.size()
@@ -476,19 +548,583 @@ int main(int argc, char** argv) {
       }
     }
   }
+  result.rows_per_sec =
+      result.seconds > 0
+          ? static_cast<double>(result.rows_accepted) / result.seconds
+          : 0.0;
+  return result;
+}
 
-  const double rows_per_sec =
-      ingest_seconds > 0 ? static_cast<double>(rows_accepted) / ingest_seconds
-                         : 0.0;
-  std::cout << "ingest: " << rows_accepted << " rows in " << ingest_seconds
-            << " s (" << rows_per_sec << " rows/s), " << batches
-            << " batches, " << retry_naks << " flow-control retries\n"
-            << "subscription: " << events << " events, "
-            << sub_latency_ms.size() << " tick latency samples\n"
-            << "queries: " << query_ms.size() << " completed\n";
-  if (opts.verify) {
-    std::cout << "verify: " << verified_ok << "/" << runs.size()
-              << " streams bit-identical to local replay\n";
+// --------------------------------------------------------- daemon control
+
+bool EnsureDir(const std::string& path) {
+  return ::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST;
+}
+
+/// Deletes the WAL segments of `dir` so a spawned daemon starts fresh —
+/// stale segments would replay last run's streams into this run's ids.
+void RemoveWalFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (const struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("wal-", 0) == 0) {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+struct DaemonProcess {
+  pid_t pid = -1;
+  std::FILE* out = nullptr;  ///< read side of the daemon's stdout pipe
+  uint16_t port = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// fork/execs convoy_serverd on an ephemeral port with the given WAL dir,
+/// then scrapes its "listening on HOST:PORT" line for the bound port.
+/// `with_faults` turns on the daemon's seeded fault injector (short
+/// writes + EINTR — the recoverable kinds) for chaos runs.
+DaemonProcess SpawnDaemon(const LoadgenOptions& opts,
+                          const std::string& wal_dir, bool with_faults) {
+  DaemonProcess daemon;
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    daemon.error = "pipe failed";
+    return daemon;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    daemon.error = "fork failed";
+    return daemon;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<std::string> args = {
+        opts.serverd, "--host",    opts.host, "--port", "0",
+        "--wal-dir",  wal_dir,     "--fsync", opts.fsync};
+    if (with_faults) {
+      const std::vector<std::string> faults = {
+          "--fault-seed",             std::to_string(opts.seed),
+          "--fault-short-write-prob", "0.05",
+          "--fault-eintr-prob",       "0.05"};
+      args.insert(args.end(), faults.begin(), faults.end());
+    }
+    std::vector<char*> argv_c;
+    argv_c.reserve(args.size() + 1);
+    for (std::string& a : args) argv_c.push_back(a.data());
+    argv_c.push_back(nullptr);
+    ::execv(opts.serverd.c_str(), argv_c.data());
+    _exit(127);
+  }
+  ::close(fds[1]);
+  daemon.pid = pid;
+  daemon.out = ::fdopen(fds[0], "r");
+  char line[512];
+  while (daemon.out != nullptr &&
+         std::fgets(line, sizeof line, daemon.out) != nullptr) {
+    const std::string text = line;
+    if (text.find("listening on ") == std::string::npos) continue;
+    const size_t colon = text.rfind(':');
+    if (colon == std::string::npos) break;
+    daemon.port =
+        static_cast<uint16_t>(std::strtoul(text.c_str() + colon + 1,
+                                           nullptr, 10));
+    if (daemon.port != 0) daemon.ok = true;
+    break;
+  }
+  if (!daemon.ok) daemon.error = "daemon did not report a listening port";
+  return daemon;
+}
+
+void StopDaemon(DaemonProcess* daemon, int sig) {
+  if (daemon->pid > 0) {
+    ::kill(daemon->pid, sig);
+    int status = 0;
+    ::waitpid(daemon->pid, &status, 0);
+    daemon->pid = -1;
+  }
+  if (daemon->out != nullptr) {
+    std::fclose(daemon->out);
+    daemon->out = nullptr;
+  }
+  daemon->ok = false;
+}
+
+// --------------------------------------------------------------- chaos
+
+struct ChaosStreamRun {
+  uint64_t stream_id = 0;
+  convoy::StreamFeed feed;
+  uint64_t rows_accepted = 0;
+  uint64_t resumes = 0;  ///< reconnect + IngestBegin cycles after the first
+  uint64_t duplicate_acks = 0;
+  uint64_t retry_naks = 0;
+  bool ok = true;
+  std::string error;
+  /// Closed-convoy events recovered after ingest, keyed by event_index.
+  std::map<uint64_t, convoy::Convoy> closed_by_index;
+};
+
+/// The chaos controller publishes the live daemon's port here (0 while a
+/// restart is in flight); ingest threads re-read it on every reconnect.
+struct ChaosShared {
+  std::atomic<uint32_t> port{0};
+};
+
+/// Drives one stream with sequential (window=1) sends, surviving any
+/// number of daemon kills: on a connection/deadline error it reconnects,
+/// and the IngestBegin ack's resume_seq decides whether the one in-flight
+/// item was applied before the crash (applied => WAL-logged => recovered)
+/// or must be resent. Every op is therefore applied exactly once — the
+/// client-side half of the crash-recovery invariant.
+void ChaosIngest(const LoadgenOptions& opts, ChaosShared* shared,
+                 ChaosStreamRun* run) {
+  struct Op {
+    int kind;  // 0 = batch, 1 = end-tick, 2 = finish
+    convoy::Tick tick;
+    const std::vector<convoy::FeedRow>* batch;
+  };
+  std::vector<Op> ops;
+  for (const convoy::FeedTick& tick : run->feed.ticks) {
+    for (const auto& batch : tick.batches) {
+      ops.push_back(Op{0, tick.tick, &batch});
+    }
+    ops.push_back(Op{1, tick.tick, nullptr});
+  }
+  ops.push_back(Op{2, 0, nullptr});
+
+  std::unique_ptr<ConvoyClient> client;
+  size_t pos = 0;
+  uint64_t inflight_seq = 0;
+  bool first_connect = true;
+
+  const auto reconnect = [&]() -> bool {
+    client.reset();
+    for (int attempt = 0; attempt < 400; ++attempt) {
+      const auto port = static_cast<uint16_t>(shared->port.load());
+      if (port != 0) {
+        auto connected = ConvoyClient::Connect(
+            opts.host, port, MakeClientOptions(opts, run->stream_id));
+        if (connected.ok()) {
+          std::unique_ptr<ConvoyClient> candidate = std::move(*connected);
+          uint64_t resume_seq = 0;
+          const convoy::Status begun =
+              candidate->IngestBegin(run->stream_id, run->feed.query,
+                                     opts.carry_forward, &resume_seq);
+          if (begun.ok()) {
+            // With window=1 at most the in-flight op is unacked; the
+            // server's recovered resume_seq says whether it landed.
+            if (inflight_seq != 0 && resume_seq >= inflight_seq) ++pos;
+            inflight_seq = 0;
+            client = std::move(candidate);
+            if (!first_connect) ++run->resumes;
+            first_connect = false;
+            return true;
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    run->ok = false;
+    run->error = "chaos: could not reconnect to the restarted daemon";
+    return false;
+  };
+
+  if (!reconnect()) return;
+  int nak_attempt = 0;
+  while (pos < ops.size()) {
+    const Op& op = ops[pos];
+    uint64_t seq = 0;
+    switch (op.kind) {
+      case 0:
+        seq = client->SendBatch(op.tick, ToWire(*op.batch));
+        break;
+      case 1:
+        seq = client->SendEndTick(op.tick);
+        break;
+      default:
+        seq = client->SendFinish();
+        break;
+    }
+    inflight_seq = seq;
+    const convoy::StatusOr<AckMsg> ack = client->AwaitAck(seq);
+    if (!ack.ok()) {
+      // Connection reset / deadline — almost certainly the controller
+      // killed the daemon mid-op. Reconnect and let resume_seq decide.
+      if (!reconnect()) return;
+      continue;
+    }
+    if (ack->code != 0) {
+      if (ack->retryable != 0) {
+        ++run->retry_naks;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 << std::min(nak_attempt++, 5)));
+        continue;  // resend the same op under a fresh seq
+      }
+      run->ok = false;
+      run->error = "chaos NAK: " + ack->message;
+      return;
+    }
+    nak_attempt = 0;
+    if ((ack->flags & convoy::server::kAckFlagDuplicate) != 0) {
+      ++run->duplicate_acks;
+    }
+    run->rows_accepted += ack->accepted;
+    inflight_seq = 0;
+    ++pos;
+    if (op.kind == 1) {
+      // Pace the stream one tick per millisecond so the controller's
+      // seeded kill points land mid-ingest (chaos is a recovery test,
+      // not a throughput benchmark — rows/s comes from the load modes).
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+struct ChaosResult {
+  size_t kills = 0;
+  uint64_t resumes = 0;
+  uint64_t duplicate_acks = 0;
+  uint64_t retry_naks = 0;
+  uint64_t rows_accepted = 0;
+  size_t events = 0;
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+  std::vector<double> query_ms;
+  size_t verified_ok = 0;
+  size_t streams = 0;
+  bool spawn_ok = true;
+  bool streams_ok = true;
+};
+
+ChaosResult RunChaos(const LoadgenOptions& opts) {
+  ChaosResult result;
+  const std::string wal_dir = opts.wal_root + "/chaos";
+  if (!EnsureDir(opts.wal_root) || !EnsureDir(wal_dir)) {
+    std::cerr << "cannot create " << wal_dir << "\n";
+    result.spawn_ok = false;
+    return result;
+  }
+  RemoveWalFiles(wal_dir);
+
+  ChaosShared shared;
+  DaemonProcess daemon = SpawnDaemon(opts, wal_dir, /*with_faults=*/true);
+  if (!daemon.ok) {
+    std::cerr << "spawn failed: " << daemon.error << "\n";
+    result.spawn_ok = false;
+    return result;
+  }
+  shared.port.store(daemon.port);
+
+  std::vector<std::unique_ptr<ChaosStreamRun>> runs;
+  runs.reserve(opts.ingest);
+  const convoy::StreamFeedConfig config = MakeFeedConfig(opts);
+  for (size_t i = 0; i < opts.ingest; ++i) {
+    auto run = std::make_unique<ChaosStreamRun>();
+    run->stream_id = i + 1;
+    run->feed = convoy::GenerateStreamFeed(config, opts.seed + i);
+    runs.push_back(std::move(run));
+  }
+  result.streams = runs.size();
+
+  std::atomic<size_t> remaining{opts.ingest};
+  const double start = NowMs();
+  {
+    std::vector<convoy::ServiceThread> workers;
+    workers.reserve(opts.ingest);
+    for (auto& run_ptr : runs) {
+      ChaosStreamRun* run = run_ptr.get();
+      workers.emplace_back("chaos-ingest", [&opts, &shared, &remaining, run] {
+        ChaosIngest(opts, &shared, run);
+        remaining.fetch_sub(1);
+      });
+    }
+
+    // The kill schedule: seeded sleeps, then SIGKILL — no warning, no
+    // flush — and a restart on the same WAL dir. Recovery runs inside
+    // the daemon's Start() before it prints its port.
+    uint64_t rng = opts.seed ^ 0x9e3779b97f4a7c15ULL;
+    while (remaining.load() > 0 && result.kills < opts.kills) {
+      const uint64_t draw = SplitMix64(&rng);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(15 + draw % 60)));
+      if (remaining.load() == 0) break;
+      shared.port.store(0);
+      StopDaemon(&daemon, SIGKILL);
+      ++result.kills;
+      daemon = SpawnDaemon(opts, wal_dir, /*with_faults=*/true);
+      if (!daemon.ok) {
+        std::cerr << "restart failed: " << daemon.error << "\n";
+        result.spawn_ok = false;
+        break;  // ingest threads will exhaust their reconnect budget
+      }
+      shared.port.store(daemon.port);
+    }
+    for (convoy::ServiceThread& worker : workers) worker.Join();
+  }
+  result.seconds = (NowMs() - start) / 1000.0;
+
+  // Recovery verification: the surviving daemon's closed-convoy history —
+  // WAL-rebuilt across every kill — must match an unfaulted local replay,
+  // and the recovered stream must still answer ad-hoc queries.
+  for (auto& run_ptr : runs) {
+    ChaosStreamRun* run = run_ptr.get();
+    result.resumes += run->resumes;
+    result.duplicate_acks += run->duplicate_acks;
+    result.retry_naks += run->retry_naks;
+    result.rows_accepted += run->rows_accepted;
+    if (!run->ok) {
+      std::cerr << "chaos stream " << run->stream_id
+                << " failed: " << run->error << "\n";
+      result.streams_ok = false;
+      continue;
+    }
+    if (!daemon.ok) {
+      result.streams_ok = false;
+      continue;
+    }
+    const std::vector<convoy::Convoy> expected =
+        LocalReplay(run->feed, opts.carry_forward);
+
+    auto connected = ConvoyClient::Connect(
+        opts.host, daemon.port,
+        MakeClientOptions(opts, 3000 + run->stream_id));
+    if (!connected.ok()) {
+      std::cerr << "chaos verify connect failed for stream "
+                << run->stream_id << "\n";
+      result.streams_ok = false;
+      continue;
+    }
+    std::unique_ptr<ConvoyClient> client = std::move(*connected);
+    if (const convoy::Status s =
+            client->Subscribe(run->stream_id, /*replay_closed=*/true);
+        !s.ok()) {
+      std::cerr << "chaos verify subscribe failed for stream "
+                << run->stream_id << ": " << s << "\n";
+      result.streams_ok = false;
+      continue;
+    }
+    while (run->closed_by_index.size() < expected.size()) {
+      convoy::StatusOr<EventMsg> event = client->NextEvent();
+      if (!event.ok()) break;  // deadline — the count check below fails
+      ++result.events;
+      if (static_cast<EventKind>(event->kind) == EventKind::kConvoyClosed &&
+          event->event_index != 0) {
+        run->closed_by_index.emplace(event->event_index, event->convoy);
+      }
+    }
+    bool match = run->closed_by_index.size() == expected.size();
+    for (size_t i = 0; match && i < expected.size(); ++i) {
+      const auto it = run->closed_by_index.find(i + 1);
+      match = it != run->closed_by_index.end() && it->second == expected[i];
+    }
+    if (match) {
+      ++result.verified_ok;
+    } else {
+      std::cerr << "chaos verify FAILED for stream " << run->stream_id
+                << ": expected " << expected.size()
+                << " recovered closed convoy event(s), got "
+                << run->closed_by_index.size() << "\n";
+      result.streams_ok = false;
+    }
+
+    const double query_start = NowMs();
+    const auto query = client->Query(run->stream_id, run->feed.query);
+    if (query.ok() && query->code == 0) {
+      result.query_ms.push_back(NowMs() - query_start);
+    } else {
+      std::cerr << "chaos post-recovery query failed for stream "
+                << run->stream_id << "\n";
+      result.streams_ok = false;
+    }
+  }
+  StopDaemon(&daemon, SIGTERM);
+
+  result.rows_per_sec =
+      result.seconds > 0
+          ? static_cast<double>(result.rows_accepted) / result.seconds
+          : 0.0;
+  return result;
+}
+
+// ----------------------------------------------------------------- output
+
+struct SweepRow {
+  std::string policy;
+  uint64_t rows_accepted = 0;
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+  bool ok = false;
+};
+
+void WriteQuantiles(std::ostream& out, std::vector<double> values) {
+  out << "{\"count\":" << values.size();
+  if (!values.empty()) {
+    out << ",\"p50\":" << convoy::Quantile(values, 0.50)
+        << ",\"p99\":" << convoy::Quantile(std::move(values), 0.99);
+  }
+  out << "}";
+}
+
+/// The "convoy-bench-server-v2" document: v1's sections plus the fsync
+/// sweep rows and the chaos verdict (validated by run_checks.sh).
+void WriteJsonV2(std::ostream& out, const LoadgenOptions& opts,
+                 const LoadResult& load, const std::vector<SweepRow>& sweep,
+                 const ChaosResult* chaos) {
+  out << "{\"schema\":\"convoy-bench-server-v2\","
+      << "\"config\":{\"ingest_clients\":" << opts.ingest
+      << ",\"query_clients\":" << opts.query << ",\"ticks\":" << opts.ticks
+      << ",\"objects\":" << opts.objects << ",\"batch_rows\":"
+      << opts.batch_rows << ",\"window\":" << opts.window
+      << ",\"seed\":" << opts.seed << ",\"deadline_ms\":" << opts.deadline_ms
+      << ",\"fsync\":\"" << opts.fsync << "\"},"
+      << "\"ingest\":{\"rows_accepted\":" << load.rows_accepted
+      << ",\"batches\":" << load.batches
+      << ",\"retryable_naks\":" << load.retry_naks
+      << ",\"seconds\":" << load.seconds
+      << ",\"rows_per_sec\":" << load.rows_per_sec << "},"
+      << "\"subscription\":{\"events\":" << load.events
+      << ",\"latency_ms\":";
+  WriteQuantiles(out, load.sub_latency_ms);
+  out << "},\"query\":{\"latency_ms\":";
+  WriteQuantiles(out, load.query_ms);
+  out << "},\"verify\":{\"enabled\":" << (opts.verify ? "true" : "false")
+      << ",\"streams_ok\":" << load.verified_ok
+      << ",\"streams_total\":" << load.streams << "},"
+      << "\"fsync_sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"policy\":\"" << sweep[i].policy
+        << "\",\"rows_accepted\":" << sweep[i].rows_accepted
+        << ",\"seconds\":" << sweep[i].seconds
+        << ",\"rows_per_sec\":" << sweep[i].rows_per_sec
+        << ",\"ok\":" << (sweep[i].ok ? "true" : "false") << "}";
+  }
+  out << "],\"chaos\":{\"enabled\":" << (chaos != nullptr ? "true" : "false");
+  if (chaos != nullptr) {
+    out << ",\"kills\":" << chaos->kills << ",\"resumes\":" << chaos->resumes
+        << ",\"duplicate_acks\":" << chaos->duplicate_acks
+        << ",\"retryable_naks\":" << chaos->retry_naks
+        << ",\"streams_ok\":" << chaos->verified_ok
+        << ",\"streams_total\":" << chaos->streams;
+  }
+  out << "}}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::cout
+        << "convoy_loadgen — load generator + chaos harness for "
+           "convoy_serverd\n"
+           "  convoy_loadgen --port P [--host H] [--ingest N] [--query M]\n"
+           "                 [--ticks T] [--objects O] [--batch-rows B]\n"
+           "                 [--window W] [--seed S] [--carry-forward C]\n"
+           "                 [--deadline-ms MS] [--json out.json] "
+           "[--verify]\n"
+           "  convoy_loadgen --serverd PATH --sweep-fsync [--wal-root DIR]\n"
+           "  convoy_loadgen --serverd PATH --chaos [--kills K] "
+           "[--fsync POLICY]\n";
+    return argc > 1 ? 1 : 0;
+  }
+  if (opts.ingest == 0) {
+    std::cerr << "--ingest must be >= 1\n";
+    return 1;
+  }
+  if ((opts.chaos || opts.sweep_fsync) && opts.serverd.empty()) {
+    std::cerr << "--chaos / --sweep-fsync need --serverd PATH\n";
+    return 1;
+  }
+  if (!opts.chaos && !opts.sweep_fsync && opts.port == 0) {
+    std::cerr << "--port is required (or use --serverd with a mode)\n";
+    return 1;
+  }
+
+  LoadResult load;
+  std::vector<SweepRow> sweep;
+  ChaosResult chaos;
+  bool ran_chaos = false;
+
+  if (opts.chaos) {
+    ran_chaos = true;
+    chaos = RunChaos(opts);
+    std::cout << "chaos: " << chaos.kills << " kill/restart cycle(s), "
+              << chaos.resumes << " client resume(s), "
+              << chaos.duplicate_acks << " duplicate ack(s), "
+              << chaos.rows_accepted << " rows in " << chaos.seconds
+              << " s\nchaos verify: " << chaos.verified_ok << "/"
+              << chaos.streams
+              << " streams bit-identical to unfaulted replay\n";
+    // The chaos run doubles as the primary ingest payload of the JSON.
+    load.rows_accepted = chaos.rows_accepted;
+    load.retry_naks = chaos.retry_naks;
+    load.events = chaos.events;
+    load.seconds = chaos.seconds;
+    load.rows_per_sec = chaos.rows_per_sec;
+    load.query_ms = chaos.query_ms;
+    load.verified_ok = chaos.verified_ok;
+    load.streams = chaos.streams;
+    load.ingest_ok = chaos.streams_ok;
+  } else if (opts.sweep_fsync) {
+    if (!EnsureDir(opts.wal_root)) {
+      std::cerr << "cannot create " << opts.wal_root << "\n";
+      return 2;
+    }
+    for (const char* policy : {"none", "interval", "every_tick"}) {
+      LoadgenOptions run_opts = opts;
+      run_opts.fsync = policy;
+      const std::string wal_dir =
+          opts.wal_root + "/sweep-" + std::string(policy);
+      if (!EnsureDir(wal_dir)) {
+        std::cerr << "cannot create " << wal_dir << "\n";
+        return 2;
+      }
+      RemoveWalFiles(wal_dir);
+      DaemonProcess daemon =
+          SpawnDaemon(run_opts, wal_dir, /*with_faults=*/false);
+      if (!daemon.ok) {
+        std::cerr << "spawn failed (" << policy << "): " << daemon.error
+                  << "\n";
+        return 2;
+      }
+      const LoadResult run = RunLoad(run_opts, daemon.port);
+      StopDaemon(&daemon, SIGTERM);
+      SweepRow row;
+      row.policy = policy;
+      row.rows_accepted = run.rows_accepted;
+      row.seconds = run.seconds;
+      row.rows_per_sec = run.rows_per_sec;
+      row.ok = run.ingest_ok && run.queries_ok &&
+               (!opts.verify || run.verified_ok == run.streams);
+      sweep.push_back(row);
+      std::cout << "fsync=" << policy << ": " << run.rows_accepted
+                << " rows in " << run.seconds << " s (" << run.rows_per_sec
+                << " rows/s)\n";
+      if (std::string(policy) == "none") load = run;
+    }
+  } else {
+    load = RunLoad(opts, opts.port);
+    std::cout << "ingest: " << load.rows_accepted << " rows in "
+              << load.seconds << " s (" << load.rows_per_sec << " rows/s), "
+              << load.batches << " batches, " << load.retry_naks
+              << " flow-control retries\n"
+              << "subscription: " << load.events << " events, "
+              << load.sub_latency_ms.size() << " tick latency samples\n"
+              << "queries: " << load.query_ms.size() << " completed\n";
+    if (opts.verify) {
+      std::cout << "verify: " << load.verified_ok << "/" << load.streams
+                << " streams bit-identical to local replay\n";
+    }
   }
 
   if (!opts.json_out.empty()) {
@@ -497,27 +1133,22 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << opts.json_out << "\n";
       return 2;
     }
-    out << "{\"schema\":\"convoy-bench-server-v1\","
-        << "\"config\":{\"ingest_clients\":" << opts.ingest
-        << ",\"query_clients\":" << opts.query << ",\"ticks\":" << opts.ticks
-        << ",\"objects\":" << opts.objects << ",\"batch_rows\":"
-        << opts.batch_rows << ",\"window\":" << opts.window
-        << ",\"seed\":" << opts.seed << "},"
-        << "\"ingest\":{\"rows_accepted\":" << rows_accepted
-        << ",\"batches\":" << batches << ",\"retryable_naks\":" << retry_naks
-        << ",\"seconds\":" << ingest_seconds
-        << ",\"rows_per_sec\":" << rows_per_sec << "},"
-        << "\"subscription\":{\"events\":" << events << ",\"latency_ms\":";
-    WriteQuantiles(out, sub_latency_ms);
-    out << "},\"query\":{\"latency_ms\":";
-    WriteQuantiles(out, query_ms);
-    out << "},\"verify\":{\"enabled\":" << (opts.verify ? "true" : "false")
-        << ",\"streams_ok\":" << verified_ok
-        << ",\"streams_total\":" << runs.size() << "}}\n";
+    WriteJsonV2(out, opts, load, sweep, ran_chaos ? &chaos : nullptr);
     std::cout << "wrote " << opts.json_out << "\n";
   }
 
-  if (!ingest_ok || !queries_ok.load()) return 3;
-  if (opts.verify && verified_ok != runs.size()) return 3;
+  if (ran_chaos) {
+    if (!chaos.spawn_ok) return 2;
+    if (!chaos.streams_ok || chaos.verified_ok != chaos.streams) return 3;
+    return 0;
+  }
+  if (opts.sweep_fsync) {
+    for (const SweepRow& row : sweep) {
+      if (!row.ok) return 3;
+    }
+    return 0;
+  }
+  if (!load.ingest_ok || !load.queries_ok) return 3;
+  if (opts.verify && load.verified_ok != load.streams) return 3;
   return 0;
 }

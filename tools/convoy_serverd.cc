@@ -3,12 +3,29 @@
 // Usage:
 //   convoy_serverd [--host 127.0.0.1] [--port 0] [--ring-capacity 64]
 //                  [--stats-json out.json] [--max-seconds S]
+//                  [--wal-dir DIR] [--fsync none|interval|every_tick]
+//                  [--fsync-interval-ms 50] [--wal-segment-bytes N]
+//                  [--idle-timeout-ms 0] [--load-shed-high-water 0]
+//                  [--subscriber-queue 1024]
+//                  [--fault-seed S] [--fault-short-write-prob P]
+//                  [--fault-eintr-prob P] [--fault-fsync-fail-prob P]
+//                  [--fault-fsync-delay-us N]
 //
 // Binds a TCP listener (port 0 = ephemeral; the bound port is printed as
 // "listening on HOST:PORT" so scripts can scrape it), then serves the
 // length-prefixed binary protocol of src/server/protocol.h: streaming
 // ingest sessions, live convoy subscriptions, ad-hoc planned queries, and
 // metrics dumps. See README "Server".
+//
+// Durability: --wal-dir turns on the write-ahead log — accepted ingest is
+// logged before it is acked, and a restarted daemon pointed at the same
+// directory replays the log, resuming every stream bit-identical to an
+// uninterrupted run (the chaos harness in convoy_loadgen kill -9s the
+// daemon mid-ingest to verify exactly this).
+//
+// The --fault-* flags install a seeded fault injector over all socket and
+// WAL I/O (short writes, spurious EINTR, failing/slow fsync) — the chaos
+// harness's server-side knob. Off (zero) by default.
 //
 // Runs until SIGINT/SIGTERM (clean shutdown: every stream worker drains
 // and joins) or until --max-seconds elapses (for smoke tests). On exit,
@@ -39,6 +56,17 @@ struct DaemonOptions {
   size_t ring_capacity = 64;
   std::string stats_json;
   double max_seconds = -1.0;  // < 0: run until signalled
+
+  std::string wal_dir;
+  convoy::wal::FsyncPolicy fsync = convoy::wal::FsyncPolicy::kNone;
+  uint32_t fsync_interval_ms = 50;
+  size_t wal_segment_bytes = 64u * 1024u * 1024u;
+  uint32_t idle_timeout_ms = 0;
+  size_t load_shed_high_water = 0;
+  size_t subscriber_queue = 1024;
+
+  convoy::wal::FaultInjector::Options fault;
+  bool fault_enabled = false;
 };
 
 bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
@@ -63,6 +91,50 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
       opts->stats_json = value;
     } else if (arg == "--max-seconds" && (value = next())) {
       opts->max_seconds = std::strtod(value, nullptr);
+    } else if (arg == "--wal-dir" && (value = next())) {
+      opts->wal_dir = value;
+    } else if (arg == "--fsync" && (value = next())) {
+      const convoy::StatusOr<convoy::wal::FsyncPolicy> policy =
+          convoy::wal::ParseFsyncPolicy(value);
+      if (!policy.ok()) {
+        std::cerr << policy.status() << "\n";
+        return false;
+      }
+      opts->fsync = *policy;
+    } else if (arg == "--fsync-interval-ms" && (value = next())) {
+      opts->fsync_interval_ms =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--wal-segment-bytes" && (value = next())) {
+      opts->wal_segment_bytes =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--idle-timeout-ms" && (value = next())) {
+      opts->idle_timeout_ms =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--load-shed-high-water" && (value = next())) {
+      opts->load_shed_high_water =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--subscriber-queue" && (value = next())) {
+      opts->subscriber_queue =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--fault-seed" && (value = next())) {
+      opts->fault.seed = std::strtoull(value, nullptr, 10);
+      opts->fault_enabled = true;
+    } else if (arg == "--fault-short-write-prob" && (value = next())) {
+      opts->fault.short_write_prob = std::strtod(value, nullptr);
+      opts->fault_enabled = true;
+    } else if (arg == "--fault-eintr-prob" && (value = next())) {
+      opts->fault.eintr_prob = std::strtod(value, nullptr);
+      opts->fault_enabled = true;
+    } else if (arg == "--fault-fsync-fail-prob" && (value = next())) {
+      opts->fault.fsync_fail_prob = std::strtod(value, nullptr);
+      opts->fault_enabled = true;
+    } else if (arg == "--fault-fsync-delay-us" && (value = next())) {
+      opts->fault.fsync_delay_us =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+      opts->fault_enabled = true;
+    } else if (arg == "--fault-fail-writes-after" && (value = next())) {
+      opts->fault.fail_writes_after = std::strtoull(value, nullptr, 10);
+      opts->fault_enabled = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -81,21 +153,49 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opts) {
 int main(int argc, char** argv) {
   DaemonOptions opts;
   if (!ParseArgs(argc, argv, &opts)) {
-    std::cout << "convoy_serverd — convoy streaming server\n"
-                 "  convoy_serverd [--host H] [--port P] [--ring-capacity N]\n"
-                 "                 [--stats-json out.json] [--max-seconds S]\n";
+    std::cout
+        << "convoy_serverd — convoy streaming server\n"
+           "  convoy_serverd [--host H] [--port P] [--ring-capacity N]\n"
+           "                 [--stats-json out.json] [--max-seconds S]\n"
+           "                 [--wal-dir DIR] [--fsync none|interval|"
+           "every_tick]\n"
+           "                 [--fsync-interval-ms MS] "
+           "[--wal-segment-bytes N]\n"
+           "                 [--idle-timeout-ms MS] "
+           "[--load-shed-high-water N]\n"
+           "                 [--subscriber-queue N]\n"
+           "                 [--fault-seed S] [--fault-short-write-prob P]\n"
+           "                 [--fault-eintr-prob P] "
+           "[--fault-fsync-fail-prob P]\n"
+           "                 [--fault-fsync-delay-us N] "
+           "[--fault-fail-writes-after N]\n";
     return argc > 1 ? 1 : 0;
   }
+
+  // The injector outlives the server: hooks may fire until the last
+  // worker joins inside Shutdown(). Installed before Start() so WAL
+  // recovery I/O is faultable too.
+  convoy::wal::FaultInjector injector(opts.fault);
+  if (opts.fault_enabled) convoy::wal::SetFaultInjector(&injector);
 
   convoy::server::ServerOptions server_options;
   server_options.host = opts.host;
   server_options.port = opts.port;
   server_options.ring_capacity =
       opts.ring_capacity == 0 ? 1 : opts.ring_capacity;
+  server_options.wal_dir = opts.wal_dir;
+  server_options.fsync = opts.fsync;
+  server_options.fsync_interval_ms = opts.fsync_interval_ms;
+  server_options.wal_segment_bytes = opts.wal_segment_bytes;
+  server_options.idle_timeout_ms = opts.idle_timeout_ms;
+  server_options.load_shed_high_water = opts.load_shed_high_water;
+  server_options.subscriber_queue_capacity =
+      opts.subscriber_queue == 0 ? 1 : opts.subscriber_queue;
 
   convoy::server::ConvoyServer server(server_options);
   if (const convoy::Status started = server.Start(); !started.ok()) {
     std::cerr << "cannot start: " << started << "\n";
+    convoy::wal::SetFaultInjector(nullptr);
     return 2;
   }
   // Scraped by run_checks.sh and the e2e harness — keep the format stable.
@@ -115,6 +215,7 @@ int main(int argc, char** argv) {
 
   std::cout << "shutting down\n";
   server.Shutdown();
+  convoy::wal::SetFaultInjector(nullptr);
 
   if (!opts.stats_json.empty()) {
     std::ofstream out(opts.stats_json);

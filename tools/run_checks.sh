@@ -28,6 +28,11 @@
 # 4. bench smoke: run the Release bench/scalability and require it to
 #    produce a well-formed BENCH_hotpath.json (the machine-readable perf
 #    trajectory tracked across PRs);
+# 4b. durable-ingest smoke: an fsync-policy sweep (none / interval /
+#    every_tick, each against its own WAL-backed daemon) plus a chaos run
+#    that SIGKILLs the daemon mid-ingest and requires the recovered
+#    closed-convoy events to be bit-identical to an unfaulted local
+#    replay — the crash-recovery property, end to end over processes;
 # 5. generate a small synthetic dataset with convoy_cli;
 # 6. run CuTS* and CMC discovery with 1 and 2 worker threads and require
 #    byte-identical results (the parallel subsystem's core guarantee);
@@ -132,10 +137,10 @@ cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" -DCONVOY_SANITIZE=thread \
       -DCONVOY_WERROR=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
       --target race_stress_test trace_test streaming_test ring_test \
-               server_test
+               server_test wal_test recovery_test
 TSAN_OPTIONS="suppressions=${REPO_ROOT}/tools/tsan.supp" \
   ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure \
-        -R 'race_stress_test|trace_test|streaming_test|ring_test|server_test'
+        -R 'race_stress_test|trace_test|streaming_test|ring_test|server_test|wal_test|recovery_test'
 
 echo "== scalar-kernel leg (-DCONVOY_SIMD=OFF, compile-time fallback) =="
 # The distance kernels carry a compile-time scalar fallback that must stay
@@ -357,9 +362,10 @@ if command -v python3 > /dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc.get("schema") == "convoy-bench-server-v1", doc.get("schema")
+assert doc.get("schema") == "convoy-bench-server-v2", doc.get("schema")
 config = doc["config"]
 assert config["ingest_clients"] >= 8 and config["query_clients"] >= 4
+assert config["fsync"] in ("none", "interval", "every_tick"), config
 ingest = doc["ingest"]
 assert ingest["rows_accepted"] > 0 and ingest["rows_per_sec"] > 0
 sub = doc["subscription"]
@@ -372,6 +378,9 @@ verify = doc["verify"]
 assert verify["enabled"] is True
 assert verify["streams_ok"] == verify["streams_total"] == \
     config["ingest_clients"]
+# v2 carries the durability sections even when this run used neither.
+assert isinstance(doc["fsync_sweep"], list)
+assert doc["chaos"]["enabled"] in (True, False)
 print(f"ok: {ingest['rows_accepted']} rows at"
       f" {ingest['rows_per_sec']:.0f} rows/s,"
       f" {verify['streams_ok']}/{verify['streams_total']} streams verified")
@@ -388,9 +397,61 @@ assert counters["server.active_sessions_max"] >= 8, counters
 print("ok: stats dump carries the server.* counters")
 PYEOF
 else
-  grep -q '"schema":"convoy-bench-server-v1"' "${BENCH_SERVER_JSON}"
+  grep -q '"schema":"convoy-bench-server-v2"' "${BENCH_SERVER_JSON}"
   grep -q '"schema":"convoy-server-stats-v1"' "${SERVER_STATS}"
   echo "ok: schema markers present (python3 unavailable)"
+fi
+
+echo "== durable-ingest smoke (fsync sweep over WAL-backed daemons) =="
+SWEEP_JSON="${SMOKE_DIR}/BENCH_server_sweep.json"
+"${RELEASE_BUILD_DIR}/convoy_loadgen" \
+    --serverd "${RELEASE_BUILD_DIR}/convoy_serverd" --sweep-fsync \
+    --wal-root "${SMOKE_DIR}/sweep-wal" \
+    --ingest 2 --query 1 --ticks 10 --objects 16 --verify \
+    --json "${SWEEP_JSON}" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${SWEEP_JSON}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+sweep = doc["fsync_sweep"]
+assert {row["policy"] for row in sweep} == \
+    {"none", "interval", "every_tick"}, sweep
+for row in sweep:
+    assert row["ok"] is True, row
+    assert row["rows_accepted"] > 0 and row["rows_per_sec"] > 0, row
+print("ok: all three fsync policies ingest and verify")
+PYEOF
+else
+  grep -q '"policy":"every_tick"' "${SWEEP_JSON}"
+  echo "ok: sweep rows present (python3 unavailable)"
+fi
+
+echo "== crash-recovery smoke (chaos: SIGKILL mid-ingest, verify replay) =="
+CHAOS_JSON="${SMOKE_DIR}/BENCH_server_chaos.json"
+# Kills the daemon mid-ingest (twice), restarts it on the same WAL, and
+# exits 3 unless every recovered stream's closed-convoy events are
+# bit-identical to an unfaulted local replay — the PR's durability bar.
+"${RELEASE_BUILD_DIR}/convoy_loadgen" \
+    --serverd "${RELEASE_BUILD_DIR}/convoy_serverd" --chaos --kills 2 \
+    --wal-root "${SMOKE_DIR}/chaos-wal" \
+    --ingest 2 --ticks 40 --objects 16 --json "${CHAOS_JSON}"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${CHAOS_JSON}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+chaos = doc["chaos"]
+assert chaos["enabled"] is True
+assert chaos["kills"] >= 1, chaos
+assert chaos["streams_ok"] == chaos["streams_total"] == 2, chaos
+print(f"ok: {chaos['kills']} kills, {chaos['resumes']} resumes,"
+      f" {chaos['streams_ok']}/{chaos['streams_total']} streams"
+      " bit-identical after recovery")
+PYEOF
+else
+  grep -q '"chaos":{"enabled":true' "${CHAOS_JSON}"
+  echo "ok: chaos verdict present (python3 unavailable)"
 fi
 
 echo "== CLI --serve smoke (same server embedded in convoy_cli) =="
