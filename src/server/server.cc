@@ -206,6 +206,7 @@ void ConvoyServer::Shutdown() {
   subscribers_.clear();
   stream_owner_.clear();
   streams_.clear();
+  pending_streams_.clear();
 }
 
 void ConvoyServer::AcceptLoop() {
@@ -416,6 +417,7 @@ void ConvoyServer::HandleIngestBegin(const std::shared_ptr<Connection>& conn,
   }
 
   std::shared_ptr<IngestStream> stream;
+  bool reserved = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // One ingest stream per connection: batch frames carry no stream id,
@@ -446,27 +448,51 @@ void ConvoyServer::HandleIngestBegin(const std::shared_ptr<Connection>& conn,
       }
       stream = it->second;
       stream_owner_[msg.stream_id] = conn;
+    } else if (pending_streams_.count(msg.stream_id) > 0) {
+      // Another connection's IngestBegin for this id is mid-append;
+      // retryable, since that begin may yet fail and roll back.
+      AckTo(conn, msg.seq,
+            Status::FailedPrecondition(
+                "stream " + std::to_string(msg.stream_id) +
+                " has an IngestBegin in flight on another connection"),
+            /*retryable=*/true);
+      return;
     } else {
-      if (wal_ != nullptr) {
-        // The kBegin record must be durable before the stream exists (and
-        // before the ack leaves): recovery needs the query parameters to
-        // rebuild the StreamingCmc.
-        wal::WalRecord record;
-        record.kind = wal::WalRecordKind::kBegin;
-        record.stream_id = msg.stream_id;
-        record.seq = msg.seq;
-        record.m = msg.m;
-        record.k = msg.k;
-        record.e = msg.e;
-        record.carry_forward_ticks = msg.carry_forward_ticks;
-        const Status logged = wal_->Append(record);
-        if (!logged.ok()) {
-          AckTo(conn, msg.seq, logged.WithContext("wal"));
-          return;
-        }
+      pending_streams_.insert(msg.stream_id);
+      reserved = true;
+    }
+  }
+  if (reserved) {
+    // The kBegin record must be durable before the stream exists (and
+    // before the ack leaves): recovery needs the query parameters to
+    // rebuild the StreamingCmc. The append runs outside mu_ — a disk
+    // write (worse, an fsync) must not stall every other reader thread's
+    // dispatch — while the pending reservation keeps the id exclusive.
+    Status logged = Status::Ok();
+    if (wal_ != nullptr) {
+      wal::WalRecord record;
+      record.kind = wal::WalRecordKind::kBegin;
+      record.stream_id = msg.stream_id;
+      record.seq = msg.seq;
+      record.m = msg.m;
+      record.k = msg.k;
+      record.e = msg.e;
+      record.carry_forward_ticks = msg.carry_forward_ticks;
+      logged = wal_->Append(record);
+    }
+    if (!logged.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending_streams_.erase(msg.stream_id);
       }
-      stream = std::make_shared<IngestStream>(msg, options_.ring_capacity,
-                                              this, &trace_, wal_.get());
+      AckTo(conn, msg.seq, logged.WithContext("wal"));
+      return;
+    }
+    stream = std::make_shared<IngestStream>(msg, options_.ring_capacity, this,
+                                            &trace_, wal_.get());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_streams_.erase(msg.stream_id);
       streams_.emplace(msg.stream_id, stream);
       stream_owner_[msg.stream_id] = conn;
       trace_.CountMax(TraceCounter::kServerActiveSessionsMax,
@@ -760,35 +786,50 @@ void ConvoyServer::SendEvent(const EventMsg& event) {
   for (const auto& sub : subs) EnqueueEvent(sub, event, payload);
 }
 
+namespace {
+
+/// The in-band loss report for a drop run. Built under eq_mu (reads the
+/// connection's drop accounting); `dropped` saturates at u32 max.
+EventMsg GapEvent(uint64_t stream_id, uint64_t dropped) {
+  EventMsg gap;
+  gap.stream_id = stream_id;
+  gap.kind = static_cast<uint8_t>(EventKind::kGap);
+  gap.live_candidates = static_cast<uint32_t>(
+      std::min<uint64_t>(dropped, std::numeric_limits<uint32_t>::max()));
+  return gap;
+}
+
+}  // namespace
+
 void ConvoyServer::EnqueueEvent(const std::shared_ptr<Connection>& conn,
                                 const EventMsg& event,
                                 const std::string& frame) {
-  bool notify = false;
   {
     std::lock_guard<std::mutex> lock(conn->eq_mu);
     if (conn->eq_closed) return;
-    if (conn->event_queue.size() >= options_.subscriber_queue_capacity) {
+    // A pending drop run takes two slots (gap marker + this frame): the
+    // queue must never exceed its capacity, even by the marker.
+    const size_t needed = conn->dropped_events > 0 ? 2 : 1;
+    if (conn->event_queue.size() + needed >
+        options_.subscriber_queue_capacity) {
       // Slow subscriber: drop rather than stall the stream worker (the
       // worker's SendEvent must never block on one consumer's socket).
+      // Still notify: a drained sender flushes the gap marker itself.
       ++conn->dropped_events;
+      conn->dropped_stream_id = event.stream_id;
       trace_.Count(TraceCounter::kServerEventsDropped, 1);
-      return;
+    } else {
+      if (conn->dropped_events > 0) {
+        // First enqueue after a drop run: tell the subscriber how much it
+        // missed, in-band, before the stream resumes.
+        conn->event_queue.push_back(
+            Encode(GapEvent(event.stream_id, conn->dropped_events)));
+        conn->dropped_events = 0;
+      }
+      conn->event_queue.push_back(frame);
     }
-    if (conn->dropped_events > 0) {
-      // First enqueue after a drop run: tell the subscriber how much it
-      // missed, in-band, before the stream resumes.
-      EventMsg gap;
-      gap.stream_id = event.stream_id;
-      gap.kind = static_cast<uint8_t>(EventKind::kGap);
-      gap.live_candidates = static_cast<uint32_t>(std::min<uint64_t>(
-          conn->dropped_events, std::numeric_limits<uint32_t>::max()));
-      conn->event_queue.push_back(Encode(gap));
-      conn->dropped_events = 0;
-    }
-    conn->event_queue.push_back(frame);
-    notify = true;
   }
-  if (notify) conn->eq_cv.notify_one();
+  conn->eq_cv.notify_one();
 }
 
 void ConvoyServer::SenderLoop(const std::shared_ptr<Connection>& conn) {
@@ -797,11 +838,23 @@ void ConvoyServer::SenderLoop(const std::shared_ptr<Connection>& conn) {
     {
       std::unique_lock<std::mutex> lock(conn->eq_mu);
       conn->eq_cv.wait(lock, [&conn] {
-        return conn->eq_closed || !conn->event_queue.empty();
+        return conn->eq_closed || !conn->event_queue.empty() ||
+               conn->dropped_events > 0;
       });
-      if (conn->event_queue.empty()) return;  // closed and drained
-      frame = std::move(conn->event_queue.front());
-      conn->event_queue.pop_front();
+      if (!conn->event_queue.empty()) {
+        frame = std::move(conn->event_queue.front());
+        conn->event_queue.pop_front();
+      } else if (conn->dropped_events > 0) {
+        // The queue drained (or closed) with a drop run still pending:
+        // flush the gap marker now — a subscriber whose final events
+        // were shed before the stream went quiet must still learn that
+        // events were lost.
+        frame = Encode(
+            GapEvent(conn->dropped_stream_id, conn->dropped_events));
+        conn->dropped_events = 0;
+      } else {
+        return;  // closed and fully drained
+      }
     }
     // Outside eq_mu: a slow socket must not block enqueuers (they shed
     // into drops instead). WriteTo no-ops once the connection died.

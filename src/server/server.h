@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -150,6 +151,9 @@ class ConvoyServer : public StreamSink {
     std::condition_variable eq_cv;
     std::deque<std::string> event_queue;  // GUARDED_BY(eq_mu)
     uint64_t dropped_events = 0;          // GUARDED_BY(eq_mu)
+    /// Stream of the most recent drop — addresses the gap marker when the
+    /// sender flushes a drop run after the queue drained.
+    uint64_t dropped_stream_id = 0;       // GUARDED_BY(eq_mu)
     bool eq_closed = false;               // GUARDED_BY(eq_mu)
     /// Touched only by the connection's own reader thread.
     bool sender_started = false;
@@ -178,12 +182,18 @@ class ConvoyServer : public StreamSink {
   /// through it. Runs on the Start() thread before the acceptor exists.
   Status RecoverStreams();
 
-  /// Pushes one encoded event onto the connection's bounded queue. A full
-  /// queue drops the event (counted); the first enqueue after a drop is
-  /// preceded by a kGap event carrying the dropped count.
+  /// Pushes one encoded event onto the connection's bounded queue. The
+  /// capacity check reserves a slot for a pending gap marker, so the
+  /// queue never exceeds subscriber_queue_capacity. A full queue drops
+  /// the event (counted); the first enqueue after a drop is preceded by
+  /// a kGap event carrying the dropped count.
   void EnqueueEvent(const std::shared_ptr<Connection>& conn,
                     const EventMsg& event, const std::string& frame);
-  /// The per-connection event sender body: drains the queue to the socket.
+  /// The per-connection event sender body: drains the queue to the
+  /// socket. When the queue drains (or closes) with a drop run still
+  /// pending, it flushes the gap marker itself — a subscriber whose
+  /// final events were shed before the stream went quiet still learns
+  /// events were lost.
   void SenderLoop(const std::shared_ptr<Connection>& conn);
 
   /// Writes one frame under the connection's write mutex; a failed write
@@ -215,6 +225,11 @@ class ConvoyServer : public StreamSink {
   std::vector<std::shared_ptr<Connection>> connections_;  // GUARDED_BY(mu_)
   std::map<uint64_t, std::shared_ptr<IngestStream>>
       streams_;  // GUARDED_BY(mu_)
+  /// Stream ids whose IngestBegin is mid-flight: reserved under mu_, then
+  /// the kBegin WAL append runs *outside* mu_ (a disk write must not
+  /// stall every reader thread's dispatch), then the registration is
+  /// finalized — or rolled back — under mu_ again.
+  std::set<uint64_t> pending_streams_;  // GUARDED_BY(mu_)
   /// stream_id -> connection that owns the ingest session (acks go here).
   std::map<uint64_t, std::shared_ptr<Connection>>
       stream_owner_;  // GUARDED_BY(mu_)

@@ -170,6 +170,29 @@ uint32_t DecodeU32(const char* p) {
   return out;
 }
 
+/// fsync(2) on the directory fd: file creations/unlinks inside `dir` are
+/// only durable once the directory itself is synced — without this, a
+/// freshly rotated segment full of fsynced records can vanish on power
+/// loss because its directory entry was never written back.
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir " + dir);
+  const int rc = FaultFsync(fd);
+  const Status status =
+      rc != 0 ? ErrnoStatus("fsync dir " + dir) : Status::Ok();
+  ::close(fd);
+  return status;
+}
+
+/// The directory holding `path` ("." when the path has no slash) — the
+/// one whose fsync makes `path`'s own directory entry durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
 struct SegmentEntry {
   uint64_t index = 0;
   std::string path;
@@ -490,6 +513,12 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& options,
   if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return ErrnoStatus("mkdir " + options.dir);
   }
+  if (options.fsync != FsyncPolicy::kNone) {
+    // The WAL dir's own directory entry must survive power loss before
+    // any record in it can claim durability.
+    TraceCount(trace, TraceCounter::kWalFsyncs, 1);
+    CONVOY_RETURN_IF_ERROR(FsyncDir(ParentDir(options.dir)));
+  }
   // make_unique cannot reach the private ctor; ownership is taken on the
   // same line.  convoy-lint: allow-line(naked-new)
   std::unique_ptr<WalWriter> writer(new WalWriter(options, trace));
@@ -528,6 +557,14 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& options,
   if (tear_found) {
     for (size_t i = append_at + 1; i < segments->size(); ++i) {
       ::unlink((*segments)[i].path.c_str());
+    }
+    if (append_at + 1 < segments->size() &&
+        options.fsync != FsyncPolicy::kNone) {
+      // Make the unlinks durable: if power loss resurrected a post-tear
+      // segment after new records were appended over the tear, the next
+      // recovery would replay its stale garbage as a valid continuation.
+      TraceCount(trace, TraceCounter::kWalFsyncs, 1);
+      CONVOY_RETURN_IF_ERROR(FsyncDir(options.dir));
     }
   }
   const SegmentEntry& target = (*segments)[append_at];
@@ -583,6 +620,13 @@ Status WalWriter::OpenSegmentLocked(uint64_t index, bool truncate_to_header) {
   PutU32(&header, kWalMagic);
   PutU32(&header, kWalFormatVersion);
   CONVOY_RETURN_IF_ERROR(WriteAllLocked(header));
+  if (options_.fsync != FsyncPolicy::kNone) {
+    // The new segment's directory entry must be durable before any record
+    // in it is — otherwise an fsynced, acked tick can vanish with the
+    // whole file on power loss right after rotation.
+    TraceCount(trace_, TraceCounter::kWalFsyncs, 1);
+    CONVOY_RETURN_IF_ERROR(FsyncDir(options_.dir));
+  }
   return Status::Ok();
 }
 
@@ -626,11 +670,16 @@ Status WalWriter::MaybeFsyncLocked(const WalRecord& record) {
   last_fsync_ = std::chrono::steady_clock::now();
   TraceCount(trace_, TraceCounter::kWalFsyncs, 1);
   if (FaultFsync(fd_) != 0) {
-    // An fsync failure does not lose the written page-cache data (that
-    // takes an OS/power failure in the same window); the next successful
-    // fsync covers it. Degrade instead of killing the stream — the
-    // data-at-risk window widens until then. Documented in the README.
-    return Status::Ok();
+    // Linux (post-4.16 fsyncgate semantics): a failed fsync may have
+    // dropped the dirty pages while marking them clean, so a later
+    // "successful" fsync proves nothing about them. The policy demanded
+    // durability here — surface the failure as an append failure (the
+    // item is NAKed, never acked) and poison the writer; only a restart,
+    // which re-reads the real on-disk state, can re-establish the
+    // acked-implies-durable claim.
+    // convoy-lint: allow-line(guarded-member) — mu_ held by every caller.
+    broken_ = true;
+    return ErrnoStatus("WAL fsync");
   }
   return Status::Ok();
 }
@@ -645,6 +694,10 @@ Status WalWriter::Append(const WalRecord& record) {
 
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
+  if (broken_) {
+    return Status::Internal(
+        "WAL writer poisoned by an earlier I/O failure; restart to recover");
+  }
   if (segment_size_ + framed.size() > options_.segment_bytes &&
       segment_size_ > kWalHeaderBytes) {
     // Rotation keeps each record whole within one segment. Flush the old
@@ -652,13 +705,39 @@ Status WalWriter::Append(const WalRecord& record) {
     // never the event that loses a durable-claimed tail.
     if (options_.fsync != FsyncPolicy::kNone) {
       TraceCount(trace_, TraceCounter::kWalFsyncs, 1);
-      FaultFsync(fd_);
+      if (FaultFsync(fd_) != 0) {
+        // Same fsyncgate reasoning as MaybeFsyncLocked: the old segment's
+        // tail can no longer be proven durable, so nothing after it may
+        // be acked.
+        broken_ = true;
+        return ErrnoStatus("WAL fsync before rotation");
+      }
     }
-    CONVOY_RETURN_IF_ERROR(
-        OpenSegmentLocked(segment_index_ + 1, /*truncate_to_header=*/true));
+    const Status rotated =
+        OpenSegmentLocked(segment_index_ + 1, /*truncate_to_header=*/true);
+    if (!rotated.ok()) {
+      // The new segment may carry a torn header; records appended on top
+      // of it could never replay, so no stream may append again.
+      broken_ = true;
+      return rotated;
+    }
     TraceCount(trace_, TraceCounter::kWalSegmentsRotated, 1);
   }
-  CONVOY_RETURN_IF_ERROR(WriteAllLocked(framed));
+  const size_t pre_size = segment_size_;
+  const Status written = WriteAllLocked(framed);
+  if (!written.ok()) {
+    // A partial write left torn bytes in the *shared* log: another
+    // stream's next record would land after the tear, and the next Open
+    // would truncate it away even though it was acked. Cut the file back
+    // to the last record boundary so healthy streams keep their
+    // guarantee; if even the cleanup fails, poison the writer so every
+    // stream NAKs from here on.
+    if (::ftruncate(fd_, static_cast<off_t>(pre_size)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(pre_size), SEEK_SET) < 0) {
+      broken_ = true;
+    }
+    return written;
+  }
   TraceCount(trace_, TraceCounter::kWalRecordsAppended, 1);
   return MaybeFsyncLocked(record);
 }
@@ -666,9 +745,16 @@ Status WalWriter::Append(const WalRecord& record) {
 Status WalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
+  if (broken_) {
+    return Status::Internal(
+        "WAL writer poisoned by an earlier I/O failure; restart to recover");
+  }
   last_fsync_ = std::chrono::steady_clock::now();
   TraceCount(trace_, TraceCounter::kWalFsyncs, 1);
-  if (FaultFsync(fd_) != 0) return ErrnoStatus("WAL fsync");
+  if (FaultFsync(fd_) != 0) {
+    broken_ = true;  // fsyncgate: a later fsync cannot cover this failure
+    return ErrnoStatus("WAL fsync");
+  }
   return Status::Ok();
 }
 

@@ -150,6 +150,12 @@ struct WalOptions {
 /// Append() is serialized by an internal mutex: the per-stream workers of
 /// one server share one WAL. One buffered write(2) per record (through the
 /// fault-injection hooks), CRC computed per append.
+///
+/// Under a durable policy (interval/every_tick) the WAL directory itself
+/// is fsynced after mkdir, after every segment creation/rotation, and
+/// after tear-repair unlinks — a freshly rotated segment full of fsynced
+/// records must not vanish on power loss because its directory entry was
+/// never made durable (and unlinked post-tear garbage must not reappear).
 class WalWriter {
  public:
   /// `trace` (nullable) receives the wal.* counters.
@@ -163,6 +169,16 @@ class WalWriter {
   /// Appends one record and applies the fsync policy. kInternal on an
   /// unrecoverable I/O failure (disk full, injected EIO past retry) — the
   /// caller must then NAK instead of ack, since durability was promised.
+  ///
+  /// Failure containment: the WAL is shared by every stream, so a failed
+  /// append must not leave torn bytes for the next stream to write after
+  /// (Open would truncate at the tear and silently discard those acked
+  /// records). A failed record write is ftruncate'd back to the last
+  /// record boundary; if even that cleanup fails — or an fsync the policy
+  /// demanded fails (post-fsyncgate, a later fsync cannot resurrect
+  /// dropped dirty pages) — the whole writer is poisoned and every
+  /// subsequent Append fails, so every stream NAKs until a restart
+  /// re-opens from the real on-disk state.
   Status Append(const WalRecord& record);
 
   /// Forces an fsync of the current segment regardless of policy.
@@ -184,6 +200,9 @@ class WalWriter {
   int fd_ = -1;                   // GUARDED_BY(mu_)
   uint64_t segment_index_ = 0;    // GUARDED_BY(mu_)
   size_t segment_size_ = 0;       // GUARDED_BY(mu_)
+  /// Set on an I/O failure the writer could not contain (see Append);
+  /// once true every Append/Sync fails until the process restarts.
+  bool broken_ = false;           // GUARDED_BY(mu_)
   std::chrono::steady_clock::time_point last_fsync_;  // GUARDED_BY(mu_)
 };
 
